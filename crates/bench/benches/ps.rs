@@ -1,0 +1,26 @@
+//! Criterion bench: parameter-store push/pull cost vs model size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use specsync_ps::ParameterStore;
+use specsync_simnet::WorkerId;
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parameter_store");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        let grad = vec![0.01f32; n];
+        group.bench_with_input(BenchmarkId::new("apply_push", n), &n, |b, &n| {
+            let mut store = ParameterStore::new(vec![0.0; n], 8).with_momentum(0.9);
+            b.iter(|| store.apply_push(WorkerId::new(0), std::hint::black_box(&grad), 0.05))
+        });
+        group.bench_with_input(BenchmarkId::new("pull_snapshot", n), &n, |b, &n| {
+            let mut store = ParameterStore::new(vec![0.0; n], 8);
+            b.iter(|| std::hint::black_box(store.pull(WorkerId::new(0))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: scheduler notify/check throughput — the centralized
+//! scheduler must keep up with the aggregate push rate of the cluster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specsync_core::Scheduler;
+use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+use specsync_sync::TuningMode;
+
+fn bench_notify_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(20);
+    for m in [10usize, 40, 100] {
+        group.bench_with_input(BenchmarkId::new("notify_check_cycle", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut sched = Scheduler::new(
+                    m,
+                    TuningMode::Fixed { abort_time: SimDuration::from_millis(500), abort_rate: 0.2 },
+                );
+                let mut fired = 0u32;
+                for round in 0..50u64 {
+                    for i in 0..m {
+                        let now = VirtualTime::from_micros(round * 1_000_000 + i as u64 * 10_000);
+                        let deadline = sched.on_notify(WorkerId::new(i), now);
+                        if let Some(d) = deadline {
+                            if sched.on_check(WorkerId::new(i), d) {
+                                fired += 1;
+                            }
+                        }
+                    }
+                }
+                std::hint::black_box(fired)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_notify_check);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: event-engine throughput (schedule + pop) and a full
+//! miniature training run — the end-to-end cost of one simulated
+//! experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use specsync_cluster::{ClusterSpec, InstanceType, Trainer};
+use specsync_ml::Workload;
+use specsync_simnet::{EventQueue, VirtualTime};
+use specsync_sync::SchemeKind;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    // Scatter times deterministically.
+                    q.schedule(VirtualTime::from_micros(i.wrapping_mul(2_654_435_761) % 1_000_000_000), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for scheme in [SchemeKind::Asp, SchemeKind::specsync_adaptive()] {
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, &scheme| {
+            b.iter(|| {
+                Trainer::new(Workload::tiny_test(), scheme)
+                    .cluster(ClusterSpec::homogeneous(4, InstanceType::M4Xlarge))
+                    .horizon(VirtualTime::from_secs(120))
+                    .seed(1)
+                    .run()
+                    .total_iterations
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: Algorithm 1 adaptive tuning cost vs history size —
+//! quantifies Table II's claim that adaptive tuning has "little overhead".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specsync_core::{uniform_trace, AdaptiveTuner};
+use specsync_simnet::VirtualTime;
+
+fn bench_tuner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_tune");
+    group.sample_size(20);
+    for (workers, rounds) in [(10usize, 4usize), (40, 4), (40, 16), (100, 8)] {
+        let mut history = uniform_trace(workers, 14.0, rounds);
+        history.mark_epoch();
+        let tuner = AdaptiveTuner::default();
+        let pushes = history.len();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{workers}w_{pushes}pushes")),
+            &history,
+            |b, h| {
+                b.iter(|| tuner.tune(std::hint::black_box(h), workers, VirtualTime::from_secs(100_000)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuner);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 10: robustness to heterogeneity.
+//!
+//! CIFAR-10 on the paper's Cluster 2 (10 × m3.xlarge, 10 × m3.2xlarge,
+//! 10 × m4.xlarge, 10 × m4.2xlarge) against the homogeneous Cluster 1.
+//! The paper observes: SpecSync-Adaptive beats Original on both clusters;
+//! heterogeneity slows everyone; and the SpecSync speedup *shrinks* under
+//! heterogeneity because the tuner's uniform-arrival assumption degrades.
+
+use specsync_bench::{fmt_time, print_curve, section, time_to_target};
+use specsync_cluster::{ClusterSpec, Trainer};
+use specsync_ml::Workload;
+use specsync_simnet::VirtualTime;
+use specsync_sync::SchemeKind;
+
+fn main() {
+    let workload = Workload::cifar_like();
+    let target = workload.target_loss;
+    section(&format!("Fig. 10: CIFAR-10 homogeneous vs heterogeneous, target {target}"));
+
+    let mut speedups = Vec::new();
+    for (cluster_label, cluster) in
+        [("homogeneous (Cluster 1)", ClusterSpec::paper_cluster1()), ("heterogeneous (Cluster 2)", ClusterSpec::paper_cluster2())]
+    {
+        let mut times = Vec::new();
+        for (label, scheme) in [("Original", SchemeKind::Asp), ("SpecSync-Adaptive", SchemeKind::specsync_adaptive())]
+        {
+            let report = Trainer::new(workload.clone(), scheme)
+                .cluster(cluster.clone())
+                .horizon(VirtualTime::from_secs(8000))
+                .eval_stride(8)
+                .seed(42)
+                .run();
+            let full = format!("{label} / {cluster_label}");
+            print_curve(&full, &report, 8);
+            let t = time_to_target(&report, target);
+            println!("{full:64} runtime {}s  mean staleness {:.1}", fmt_time(t), report.mean_staleness);
+            times.push(t);
+        }
+        if let [Some(orig), Some(spec)] = times[..] {
+            let s = orig.as_secs_f64() / spec.as_secs_f64();
+            println!("{cluster_label}: SpecSync-Adaptive speedup {s:.2}x");
+            speedups.push(s);
+        } else {
+            println!("{cluster_label}: Original did not converge within the horizon");
+        }
+    }
+    if let [homo, hetero] = speedups[..] {
+        println!(
+            "\nspeedup homogeneous {homo:.2}x vs heterogeneous {hetero:.2}x (paper: smaller under heterogeneity)"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig. 11: scalability with cluster size (CIFAR-10; 20/30/40 nodes).
+//!
+//! Left plot: speedup of SpecSync-Adaptive over Original in runtime to the
+//! same target loss. Right plot: loss improvement at a fixed time budget.
+//! The paper finds the improvement *grows* with cluster size.
+
+use specsync_bench::{fmt_time, section, time_to_target};
+use specsync_cluster::{ClusterSpec, Trainer};
+use specsync_ml::Workload;
+use specsync_simnet::VirtualTime;
+use specsync_sync::SchemeKind;
+
+fn main() {
+    let workload = Workload::cifar_like();
+    let target = workload.target_loss;
+    let budget = VirtualTime::from_secs(1500);
+    section(&format!("Fig. 11: CIFAR-10 scalability, target {target}, budget {budget}"));
+    println!(
+        "{:>6} {:>14} {:>14} {:>9} | {:>12} {:>12} {:>12}",
+        "nodes", "orig time", "spec time", "speedup", "orig loss", "spec loss", "improvement"
+    );
+
+    for n in [20, 30, 40] {
+        let mut reports = Vec::new();
+        for scheme in [SchemeKind::Asp, SchemeKind::specsync_adaptive()] {
+            let mut w = workload.clone();
+            w.target_loss = 0.0; // run to horizon: both metrics need curves
+            let report = Trainer::new(w, scheme)
+                .cluster(ClusterSpec::paper_sized(n))
+                .horizon(VirtualTime::from_secs(8000))
+                .eval_stride(8)
+                .seed(42)
+                .run();
+            reports.push(report);
+        }
+        let t_orig = time_to_target(&reports[0], target);
+        let t_spec = time_to_target(&reports[1], target);
+        let speedup = match (t_orig, t_spec) {
+            (Some(o), Some(s)) => format!("{:.2}x", o.as_secs_f64() / s.as_secs_f64()),
+            _ => "--".to_string(),
+        };
+        let l_orig = reports[0].best_loss_by(budget).unwrap_or(f64::NAN);
+        let l_spec = reports[1].best_loss_by(budget).unwrap_or(f64::NAN);
+        println!(
+            "{n:>6} {:>13}s {:>13}s {speedup:>9} | {l_orig:>12.4} {l_spec:>12.4} {:>11.1}%",
+            fmt_time(t_orig),
+            fmt_time(t_spec),
+            100.0 * (l_orig - l_spec) / l_orig,
+        );
+    }
+    println!("(paper: improvement grows with cluster size in both scenarios)");
+}

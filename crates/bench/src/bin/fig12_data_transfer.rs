@@ -1,0 +1,53 @@
+//! Fig. 12: accumulated data transfer over time, Original vs
+//! SpecSync-Adaptive.
+//!
+//! The paper's claims: the two curves are nearly identical while both run
+//! (SpecSync's control traffic is negligible), and because SpecSync
+//! finishes earlier its *total* transfer is smaller — e.g. 2.00 TB vs
+//! 3.17 TB on CIFAR-10 (≈ 40% saved).
+
+use specsync_bench::{fmt_bytes, section, time_to_target};
+use specsync_cluster::{ClusterSpec, Trainer};
+use specsync_ml::{Workload, WorkloadKind};
+use specsync_simnet::VirtualTime;
+use specsync_sync::SchemeKind;
+
+fn main() {
+    let horizons = [2500.0, 6000.0, 25000.0];
+    for (kind, horizon) in WorkloadKind::ALL.into_iter().zip(horizons) {
+        let workload = Workload::from_kind(kind);
+        let name = workload.paper.name;
+        section(&format!("Fig. 12 ({name}): accumulated data transfer over time"));
+
+        let mut totals = Vec::new();
+        for (label, scheme) in [("Original", SchemeKind::Asp), ("SpecSync-Adaptive", SchemeKind::specsync_adaptive())]
+        {
+            let report = Trainer::new(workload.clone(), scheme)
+                .cluster(ClusterSpec::paper_cluster1())
+                .horizon(VirtualTime::from_secs_f64(horizon))
+                .eval_stride(8)
+                .seed(42)
+                .run();
+            // Accumulate transfer up to the convergence point (the paper's
+            // curves end when each scheme's training ends).
+            let end = time_to_target(&report, workload.target_loss).unwrap_or(report.finished_at);
+            let series = report.transfer.cumulative_series(end, 6);
+            print!("{label:24}");
+            for (t, bytes) in &series {
+                print!(" {:.0}s:{}", t.as_secs_f64(), fmt_bytes(*bytes));
+            }
+            println!();
+            let total = series.last().map_or(0, |&(_, b)| b);
+            println!("{label:24} total transfer to convergence: {}", fmt_bytes(total));
+            totals.push(total);
+        }
+        if let [orig, spec] = totals[..] {
+            if orig > 0 {
+                println!(
+                    "transfer saved by SpecSync-Adaptive: {:.0}% (paper CIFAR-10: ~40%)",
+                    100.0 * (orig as f64 - spec as f64) / orig as f64
+                );
+            }
+        }
+    }
+}

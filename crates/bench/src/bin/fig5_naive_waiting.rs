@@ -1,0 +1,46 @@
+//! Fig. 5: learning curves under naïve waiting.
+//!
+//! Each pull request is deferred by a fixed delay; the paper shows that a
+//! small delay (1 s) helps, while larger delays (3–5 s on CIFAR-10) waste
+//! enough compute to do more harm than good — the motivation for
+//! speculation instead of blind waiting (§III-B).
+
+use specsync_bench::{fmt_time, print_curve, section, time_to_target};
+use specsync_cluster::{ClusterSpec, Trainer};
+use specsync_ml::{Workload, WorkloadKind};
+use specsync_simnet::{SimDuration, VirtualTime};
+use specsync_sync::SchemeKind;
+
+fn main() {
+    for (kind, delays, horizon_secs) in [
+        (WorkloadKind::CifarLike, vec![0.0, 1.0, 3.0, 5.0], 4000.0),
+        (WorkloadKind::MatrixFactorization, vec![0.0, 0.25, 1.0], 900.0),
+    ] {
+        let workload = Workload::from_kind(kind);
+        let name = workload.paper.name;
+        let target = workload.target_loss;
+        section(&format!("Fig. 5 ({name}): naive waiting, target loss {target}"));
+        for delay in delays {
+            let mut w = workload.clone();
+            w.target_loss = 0.0; // run to horizon so curves are comparable
+            let scheme = if delay == 0.0 {
+                SchemeKind::Asp
+            } else {
+                SchemeKind::NaiveWaiting { delay: SimDuration::from_secs_f64(delay) }
+            };
+            let report = Trainer::new(w, scheme)
+                .cluster(ClusterSpec::paper_cluster1())
+                .horizon(VirtualTime::from_secs_f64(horizon_secs))
+                .eval_stride(8)
+                .seed(42)
+                .run();
+            let label = if delay == 0.0 { "original".to_string() } else { format!("delay {delay}s") };
+            print_curve(&format!("{label} (loss/time)"), &report, 8);
+            println!(
+                "{label:24} time-to-target: {}s, best loss {:.4}",
+                fmt_time(time_to_target(&report, target)),
+                report.best_loss_by(report.finished_at).unwrap_or(f64::NAN)
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Runs every experiment binary in sequence — the one-command regeneration
+//! of all tables and figures. Output is suitable for diffing against
+//! `EXPERIMENTS.md`.
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "table1_workloads",
+        "fig3_pap",
+        "fig5_naive_waiting",
+        "fig8_effectiveness",
+        "fig9_iterations",
+        "fig10_heterogeneity",
+        "fig11_scalability",
+        "fig12_data_transfer",
+        "fig13_breakdown",
+        "table2_search_cost",
+        "ablation_ssp",
+        "ablation_estimator",
+    ];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe directory");
+    for bin in binaries {
+        eprintln!(">>> running {bin}");
+        let status = Command::new(dir.join(bin)).status().unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Table I: workload summary.
+//!
+//! Prints the paper-reported profile of each workload next to the scaled
+//! configuration actually trained here, so the substitution is visible in
+//! every experiment log.
+
+use specsync_bench::section;
+use specsync_ml::{Workload, WorkloadKind};
+
+fn main() {
+    section("Table I: workload summary (paper profile vs scaled substitute)");
+    println!(
+        "{:<10} {:>13} {:>12} {:>13} {:>11} | {:>13} {:>10}",
+        "Workload", "#params", "Dataset", "Dataset size", "Iter time", "scaled params", "batch"
+    );
+    for kind in WorkloadKind::ALL {
+        let w = Workload::from_kind(kind);
+        println!(
+            "{:<10} {:>13} {:>12} {:>13} {:>10}s | {:>13} {:>10}",
+            w.paper.name,
+            w.paper.num_parameters,
+            w.paper.dataset,
+            w.paper.dataset_size,
+            w.paper.iteration_secs,
+            w.scaled_num_params(),
+            w.batch_size,
+        );
+    }
+}

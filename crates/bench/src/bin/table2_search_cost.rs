@@ -1,0 +1,64 @@
+//! Table II: cost of exhaustive hyperparameter search (Cherrypick) vs the
+//! adaptive tuner.
+//!
+//! The grid dimensions and per-trial times come from the paper; the total
+//! search time is their product. For contrast, the measured wall-clock cost
+//! of one Algorithm-1 adaptive tuning pass on a realistic push history is
+//! printed below (the paper: "little overhead … no additional profiling
+//! experiment is needed").
+
+use std::time::Instant;
+
+use specsync_bench::section;
+use specsync_core::{uniform_trace, AdaptiveTuner};
+use specsync_simnet::{SimDuration, VirtualTime};
+
+struct Row {
+    workload: &'static str,
+    time_trials: usize,
+    rate_trials: usize,
+    trial_hours: f64,
+}
+
+fn main() {
+    section("Table II: cherrypick exhaustive-search cost");
+    let rows = [
+        Row { workload: "MF", time_trials: 5, rate_trials: 10, trial_hours: 1.33 },
+        Row { workload: "CIFAR-10", time_trials: 7, rate_trials: 10, trial_hours: 6.0 },
+        Row { workload: "ImageNet", time_trials: 10, rate_trials: 10, trial_hours: 8.0 },
+    ];
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14}",
+        "workload", "#time trial", "#rate trial", "trial (h)", "total (h)"
+    );
+    for r in &rows {
+        let total = r.time_trials as f64 * r.rate_trials as f64 * r.trial_hours;
+        println!(
+            "{:<10} {:>12} {:>12} {:>12.2} {:>14.0}",
+            r.workload, r.time_trials, r.rate_trials, r.trial_hours, total
+        );
+    }
+    println!("(paper totals: 40 h / 420 h / >800 h)");
+
+    // Adaptive tuner cost on a 40-worker epoch history.
+    let mut history = uniform_trace(40, 14.0, 12);
+    history.mark_epoch();
+    let tuner = AdaptiveTuner::default();
+    let start = Instant::now();
+    let iterations = 50;
+    let mut outcome = None;
+    for _ in 0..iterations {
+        outcome = tuner.tune(&history, 40, VirtualTime::from_secs(10_000));
+    }
+    let per_pass = start.elapsed() / iterations;
+    println!("\nAdaptive (Algorithm 1) cost per tuning pass: {per_pass:?} — no profiling runs needed");
+    if let Some(o) = outcome {
+        println!(
+            "  tuned on {} candidate windows -> ABORT_TIME {}, ABORT_RATE {:.3}",
+            o.candidates_evaluated,
+            o.hyperparams.abort_time(),
+            o.hyperparams.abort_rate()
+        );
+    }
+    let _ = SimDuration::ZERO;
+}

@@ -1,0 +1,96 @@
+//! Shared helpers for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure (see
+//! `DESIGN.md` for the index); this library holds the common machinery:
+//! convergence-time extraction, speedup tables, and pretty-printing.
+
+#![warn(missing_docs)]
+
+use specsync_cluster::RunReport;
+use specsync_simnet::VirtualTime;
+
+/// The virtual time at which `report`'s loss curve first satisfies the
+/// paper's convergence rule for `target` (at or below it for 5 consecutive
+/// evaluations), regardless of the target the run itself used.
+pub fn time_to_target(report: &RunReport, target: f64) -> Option<VirtualTime> {
+    let mut streak = 0;
+    for p in &report.loss_curve {
+        if p.loss <= target {
+            streak += 1;
+            if streak >= 5 {
+                return Some(p.time);
+            }
+        } else {
+            streak = 0;
+        }
+    }
+    None
+}
+
+/// The iteration count at which the convergence rule is first met.
+pub fn iterations_to_target(report: &RunReport, target: f64) -> Option<u64> {
+    let mut streak = 0;
+    for p in &report.loss_curve {
+        if p.loss <= target {
+            streak += 1;
+            if streak >= 5 {
+                return Some(p.iterations);
+            }
+        } else {
+            streak = 0;
+        }
+    }
+    None
+}
+
+/// Formats a virtual-time option as whole seconds or `--`.
+pub fn fmt_time(t: Option<VirtualTime>) -> String {
+    match t {
+        Some(t) => format!("{:.0}", t.as_secs_f64()),
+        None => "--".to_string(),
+    }
+}
+
+/// Formats a byte count with decimal units.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1000.0 && unit < UNITS.len() - 1 {
+        v /= 1000.0;
+        unit += 1;
+    }
+    format!("{v:.2} {}", UNITS[unit])
+}
+
+/// Prints a section header in the experiment output.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints a downsampled `(time, loss)` curve with a label.
+pub fn print_curve(label: &str, report: &RunReport, points: usize) {
+    print!("{label:24}");
+    for p in report.sampled_curve(points) {
+        print!(" {:.0}s:{:.3}", p.time.as_secs_f64(), p.loss);
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_bytes_picks_units() {
+        assert_eq!(fmt_bytes(512), "512.00 B");
+        assert_eq!(fmt_bytes(3_170_000_000_000), "3.17 TB");
+    }
+
+    #[test]
+    fn fmt_time_handles_none() {
+        assert_eq!(fmt_time(None), "--");
+        assert_eq!(fmt_time(Some(VirtualTime::from_secs(90))), "90");
+    }
+}

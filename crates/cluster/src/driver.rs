@@ -1,0 +1,609 @@
+//! The virtual-time training driver.
+//!
+//! Composes the parameter store, the SpecSync scheduler, the sync-scheme
+//! bookkeeping and the per-worker models into one discrete-event loop.
+//! Gradient math is real (each worker computes actual minibatch gradients
+//! against its possibly-stale replica); *time* is virtual: compute spans are
+//! drawn from instance-type distributions and message delays from the
+//! network model, so a 40-node hour-long EC2 run replays in milliseconds,
+//! deterministically from a seed.
+//!
+//! Worker lifecycle (paper Algorithm 2, worker side):
+//!
+//! ```text
+//! pull issued ──(pull bytes)──▶ PullArrive: compute gradient, start timer
+//!    ▲                              │
+//!    │ re-sync while computing      ▼
+//!    └───────── ResyncArrive    ComputeDone ──(push bytes)──▶ PushArrive:
+//!                                   apply to store, notify scheduler,
+//!                                   next pull (gated by BSP/SSP/naïve wait)
+//! ```
+
+use rand::rngs::StdRng;
+
+use specsync_core::Scheduler;
+use specsync_ml::{BatchSampler, LrSchedule, Model, Workload};
+use specsync_ps::{MessageSizes, ParameterStore};
+use specsync_simnet::{
+    DurationSampler, EventQueue, MessageClass, NetworkModel, RngStreams, SimDuration,
+    TransferLedger, VirtualTime, WorkerId,
+};
+use specsync_sync::{BaseScheme, BspBarrier, SchemeKind, SspClock, TuningMode};
+
+use crate::report::{LossPoint, RunReport};
+use crate::spec::ClusterSpec;
+
+/// Driver tunables beyond workload/scheme/cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriverConfig {
+    /// Hard horizon on virtual time; the run stops here if not converged.
+    pub max_virtual_time: VirtualTime,
+    /// Safety cap on total pushes.
+    pub max_iterations: u64,
+    /// Number of server shards for the parameter store.
+    pub num_shards: usize,
+    /// Evaluate the global loss every `eval_stride`-th push (1 = every push).
+    pub eval_stride: u64,
+    /// Stop as soon as the convergence criterion is met.
+    pub stop_on_convergence: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            max_virtual_time: VirtualTime::from_secs(200_000),
+            max_iterations: 2_000_000,
+            num_shards: 8,
+            eval_stride: 1,
+            stop_on_convergence: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    PullArrive(WorkerId),
+    ComputeDone(WorkerId, u64),
+    PushArrive(WorkerId),
+    NotifyArrive(WorkerId),
+    CheckTimer(WorkerId),
+    ResyncArrive(WorkerId),
+    NaiveWaitDone(WorkerId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerState {
+    /// Waiting for a barrier/SSP gate or naïve-wait delay before pulling.
+    Idle,
+    /// Pull in flight.
+    Pulling,
+    /// Gradient computation in progress (abortable).
+    Computing,
+    /// Push in flight.
+    Pushing,
+}
+
+struct WorkerCtx {
+    state: WorkerState,
+    attempt: u64,
+    model: Box<dyn Model>,
+    sampler: BatchSampler,
+    grad: Vec<f32>,
+    pending_params: Option<Vec<f32>>,
+    iterations: u64,
+    aborts: u64,
+    compute_started: VirtualTime,
+    compute_sampler: DurationSampler,
+    rng: StdRng,
+}
+
+/// Runs one training experiment to convergence (or the horizon) and
+/// produces a [`RunReport`].
+pub struct Driver {
+    workload: Workload,
+    scheme: SchemeKind,
+    cluster: ClusterSpec,
+    config: DriverConfig,
+    seed: u64,
+}
+
+impl std::fmt::Debug for Driver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Driver")
+            .field("workload", &self.workload.paper.name)
+            .field("scheme", &self.scheme.label())
+            .field("workers", &self.cluster.num_workers())
+            .finish()
+    }
+}
+
+impl Driver {
+    /// Creates a driver for (workload × scheme × cluster).
+    pub fn new(workload: Workload, scheme: SchemeKind, cluster: ClusterSpec, config: DriverConfig, seed: u64) -> Self {
+        Driver { workload, scheme, cluster, config, seed }
+    }
+
+    /// Runs the experiment.
+    pub fn run(self) -> RunReport {
+        Simulation::new(self).run()
+    }
+}
+
+/// The mutable simulation state (separate from `Driver` so `run` can
+/// consume the config cleanly).
+struct Simulation {
+    workload: Workload,
+    scheme: SchemeKind,
+    cluster: ClusterSpec,
+    config: DriverConfig,
+    seed: u64,
+
+    queue: EventQueue<Event>,
+    net: NetworkModel,
+    net_rng: StdRng,
+    sizes: MessageSizes,
+    ledger: TransferLedger,
+
+    store: ParameterStore,
+    scheduler: Scheduler,
+    workers: Vec<WorkerCtx>,
+    eval: specsync_ml::EvalSet,
+    detector: specsync_ml::ConvergenceDetector,
+    lr: LrSchedule,
+
+    bsp: Option<BspBarrier>,
+    ssp: Option<SspClock>,
+    ssp_blocked: Vec<WorkerId>,
+
+    total_pushes: u64,
+    epochs_done: u64,
+    loss_curve: Vec<LossPoint>,
+    converged_at: Option<VirtualTime>,
+    iterations_at_convergence: Option<u64>,
+    wasted_compute: SimDuration,
+    staleness_sum: f64,
+    staleness_count: u64,
+    hyper_trace: Vec<(u64, specsync_core::Hyperparams)>,
+}
+
+impl Simulation {
+    fn new(driver: Driver) -> Self {
+        let Driver { workload, scheme, cluster, config, seed } = driver;
+        let m = cluster.num_workers();
+        let streams = RngStreams::new(seed);
+        let bundle = workload.build(m, seed);
+
+        let initial = bundle.workers[0].params().to_vec();
+        let mut store = ParameterStore::new(initial, config.num_shards).with_momentum(workload.momentum);
+        if let Some(clip) = workload.grad_clip {
+            store = store.with_grad_clip(clip);
+        }
+        let sizes = MessageSizes::for_model(workload.paper.num_parameters);
+
+        let tuning = match scheme {
+            SchemeKind::SpecSync { tuning, .. } => tuning,
+            // Non-speculative schemes still use the scheduler as the
+            // history recorder, with speculation disabled.
+            _ => TuningMode::Fixed { abort_time: SimDuration::ZERO, abort_rate: f64::MAX },
+        };
+        let scheduler = Scheduler::new(m, tuning);
+
+        let workers = bundle
+            .workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, model)| {
+                let n = model.num_params();
+                let sampler: BatchSampler = workload.sampler_for(model.as_ref(), i, seed ^ 0xBA7C);
+                WorkerCtx {
+                    state: WorkerState::Idle,
+                    attempt: 0,
+                    model,
+                    sampler,
+                    grad: vec![0.0; n],
+                    pending_params: None,
+                    iterations: 0,
+                    aborts: 0,
+                    compute_started: VirtualTime::ZERO,
+                    compute_sampler: cluster
+                        .instance(i)
+                        .iteration_sampler(workload.mean_iteration_secs, workload.iteration_cv),
+                    rng: streams.indexed_stream("compute", i),
+                }
+            })
+            .collect();
+
+        let (bsp, ssp) = match scheme {
+            SchemeKind::Bsp => (Some(BspBarrier::new(m)), None),
+            SchemeKind::Ssp { bound } => (None, Some(SspClock::new(m, bound))),
+            SchemeKind::SpecSync { base: BaseScheme::Ssp { bound }, .. } => (None, Some(SspClock::new(m, bound))),
+            _ => (None, None),
+        };
+
+        Simulation {
+            lr: workload.lr.clone(),
+            detector: workload.convergence_detector(),
+            net: cluster.network(),
+            net_rng: streams.stream("net"),
+            sizes,
+            ledger: TransferLedger::new(),
+            queue: EventQueue::new(),
+            store,
+            scheduler,
+            workers,
+            eval: bundle.eval,
+            bsp,
+            ssp,
+            ssp_blocked: Vec::new(),
+            total_pushes: 0,
+            epochs_done: 0,
+            loss_curve: Vec::new(),
+            converged_at: None,
+            iterations_at_convergence: None,
+            wasted_compute: SimDuration::ZERO,
+            staleness_sum: 0.0,
+            staleness_count: 0,
+            hyper_trace: Vec::new(),
+            workload,
+            scheme,
+            cluster,
+            config,
+            seed,
+        }
+    }
+
+    fn delay(&mut self, class: MessageClass) -> SimDuration {
+        let bytes = self.sizes.bytes_for(class);
+        self.net.delay(bytes, &mut self.net_rng)
+    }
+
+    fn record_transfer(&mut self, at: VirtualTime, class: MessageClass) {
+        let bytes = self.sizes.bytes_for(class);
+        self.ledger.record(at, class, bytes);
+    }
+
+    /// Issues a pull for `worker` at `now`: snapshot immediately (server
+    /// state at request time), deliver after the transfer delay.
+    fn issue_pull(&mut self, worker: WorkerId, now: VirtualTime) {
+        self.staleness_sum += self.store.staleness_of(worker) as f64;
+        self.staleness_count += 1;
+        let snapshot = self.store.pull(worker);
+        self.scheduler.on_pull(worker, now);
+        self.workers[worker.index()].pending_params = Some(snapshot.into_params());
+        self.workers[worker.index()].state = WorkerState::Pulling;
+        let delay = self.delay(MessageClass::PullParams);
+        let at = now + delay;
+        self.record_transfer(at, MessageClass::PullParams);
+        self.queue.schedule(at, Event::PullArrive(worker));
+    }
+
+    /// Scheme-specific gate between finishing a push and issuing the next
+    /// pull.
+    fn after_push(&mut self, worker: WorkerId, now: VirtualTime) {
+        match self.scheme {
+            SchemeKind::Asp | SchemeKind::SpecSync { base: BaseScheme::Asp, .. } => {
+                self.issue_pull(worker, now);
+            }
+            SchemeKind::NaiveWaiting { delay } => {
+                self.workers[worker.index()].state = WorkerState::Idle;
+                self.queue.schedule(now + delay, Event::NaiveWaitDone(worker));
+            }
+            SchemeKind::Bsp => {
+                self.workers[worker.index()].state = WorkerState::Idle;
+                let barrier = self.bsp.as_mut().expect("BSP barrier exists");
+                if let Some(released) = barrier.arrive(worker) {
+                    for w in released {
+                        self.issue_pull(w, now);
+                    }
+                }
+            }
+            SchemeKind::Ssp { .. } | SchemeKind::SpecSync { base: BaseScheme::Ssp { .. }, .. } => {
+                let ssp = self.ssp.as_mut().expect("SSP clock exists");
+                ssp.complete_iteration(worker);
+                // Release any worker the completion unblocked.
+                let unblocked = ssp.newly_unblocked(&self.ssp_blocked);
+                self.ssp_blocked.retain(|w| !unblocked.contains(w));
+                let can_start = ssp.can_start_next(worker);
+                for w in unblocked {
+                    self.issue_pull(w, now);
+                }
+                if can_start {
+                    self.issue_pull(worker, now);
+                } else {
+                    self.workers[worker.index()].state = WorkerState::Idle;
+                    self.ssp_blocked.push(worker);
+                }
+            }
+        }
+    }
+
+    fn start_compute(&mut self, worker: WorkerId, now: VirtualTime) {
+        let ctx = &mut self.workers[worker.index()];
+        let params = ctx.pending_params.take().expect("pull delivered parameters");
+        ctx.model.set_params(&params);
+        let batch = ctx.sampler.next_batch();
+        ctx.model.gradient(&batch, &mut ctx.grad);
+        ctx.state = WorkerState::Computing;
+        ctx.compute_started = now;
+        ctx.attempt += 1;
+        let duration = ctx.compute_sampler.sample(&mut ctx.rng);
+        let attempt = ctx.attempt;
+        self.queue.schedule(now + duration, Event::ComputeDone(worker, attempt));
+    }
+
+    fn evaluate(&mut self, now: VirtualTime) {
+        if !self.total_pushes.is_multiple_of(self.config.eval_stride) {
+            return;
+        }
+        let loss = self.eval.loss_of(self.store.params());
+        self.loss_curve.push(LossPoint { time: now, iterations: self.total_pushes, loss });
+        if self.converged_at.is_none() && self.detector.observe(loss) {
+            self.converged_at = Some(now);
+            self.iterations_at_convergence = Some(self.total_pushes);
+        }
+    }
+
+    fn on_push_arrive(&mut self, worker: WorkerId, now: VirtualTime) {
+        let lr = self.lr.lr_at(self.epochs_done) as f32;
+        // Move the gradient out to satisfy the borrow checker, then back.
+        let grad = std::mem::take(&mut self.workers[worker.index()].grad);
+        self.store.apply_push(worker, &grad, lr);
+        self.workers[worker.index()].grad = grad;
+        self.workers[worker.index()].iterations += 1;
+        self.total_pushes += 1;
+        self.record_transfer(now, MessageClass::PushGrad);
+
+        self.evaluate(now);
+
+        // Notify the scheduler (control-plane message).
+        let notify_delay = self.delay(MessageClass::Notify);
+        let at = now + notify_delay;
+        self.record_transfer(at, MessageClass::Notify);
+        self.queue.schedule(at, Event::NotifyArrive(worker));
+
+        // Epoch bookkeeping: an epoch completes when every worker has
+        // finished one more iteration (paper §II-B).
+        let min_iters = self.workers.iter().map(|w| w.iterations).min().unwrap_or(0);
+        while min_iters > self.epochs_done {
+            self.epochs_done += 1;
+            self.scheduler.on_epoch_complete(now);
+            self.hyper_trace.push((self.epochs_done, self.scheduler.hyperparams()));
+        }
+
+        self.after_push(worker, now);
+    }
+
+    fn on_resync(&mut self, worker: WorkerId, now: VirtualTime) {
+        let ctx = &mut self.workers[worker.index()];
+        if ctx.state != WorkerState::Computing {
+            // Too late: the iteration finished (or is pushing) — Algorithm 2
+            // only aborts in-flight computation ("if that is not too late
+            // yet", §IV-A).
+            return;
+        }
+        ctx.aborts += 1;
+        ctx.attempt += 1; // invalidates the pending ComputeDone
+        self.wasted_compute += now.saturating_since(ctx.compute_started);
+        self.issue_pull(worker, now);
+    }
+
+    fn handle(&mut self, event: Event, now: VirtualTime) {
+        match event {
+            Event::PullArrive(worker) => self.start_compute(worker, now),
+            Event::ComputeDone(worker, attempt) => {
+                let ctx = &mut self.workers[worker.index()];
+                if ctx.attempt != attempt || ctx.state != WorkerState::Computing {
+                    return; // aborted mid-compute
+                }
+                ctx.state = WorkerState::Pushing;
+                let delay = self.delay(MessageClass::PushGrad);
+                self.queue.schedule(now + delay, Event::PushArrive(worker));
+            }
+            Event::PushArrive(worker) => self.on_push_arrive(worker, now),
+            Event::NotifyArrive(worker) => {
+                if let Some(deadline) = self.scheduler.on_notify(worker, now) {
+                    self.queue.schedule(deadline, Event::CheckTimer(worker));
+                }
+            }
+            Event::CheckTimer(worker) => {
+                if self.scheduler.on_check(worker, now) {
+                    let delay = self.delay(MessageClass::Resync);
+                    let at = now + delay;
+                    self.record_transfer(at, MessageClass::Resync);
+                    self.queue.schedule(at, Event::ResyncArrive(worker));
+                }
+            }
+            Event::ResyncArrive(worker) => self.on_resync(worker, now),
+            Event::NaiveWaitDone(worker) => self.issue_pull(worker, now),
+        }
+    }
+
+    fn run(mut self) -> RunReport {
+        // Kick off: every worker pulls at t = 0.
+        for w in WorkerId::all(self.cluster.num_workers()) {
+            self.issue_pull(w, VirtualTime::ZERO);
+        }
+
+        while let Some((now, event)) = self.queue.pop() {
+            if now > self.config.max_virtual_time || self.total_pushes >= self.config.max_iterations {
+                break;
+            }
+            self.handle(event, now);
+            if self.config.stop_on_convergence && self.converged_at.is_some() {
+                break;
+            }
+        }
+
+        let finished_at = self.queue.now();
+        let mean_staleness =
+            if self.staleness_count == 0 { 0.0 } else { self.staleness_sum / self.staleness_count as f64 };
+        RunReport {
+            scheme: self.scheme.label(),
+            workload: self.workload.paper.name.to_string(),
+            num_workers: self.cluster.num_workers(),
+            seed: self.seed,
+            converged_at: self.converged_at,
+            iterations_at_convergence: self.iterations_at_convergence,
+            total_iterations: self.total_pushes,
+            total_aborts: self.workers.iter().map(|w| w.aborts).sum(),
+            wasted_compute: self.wasted_compute,
+            loss_curve: self.loss_curve,
+            iterations_per_worker: self.workers.iter().map(|w| w.iterations).collect(),
+            transfer: self.ledger,
+            scheduler_stats: self.scheduler.stats(),
+            hyperparams_trace: self.hyper_trace,
+            mean_staleness,
+            history: self.scheduler.history().clone(),
+            finished_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceType;
+
+    fn tiny_cluster(n: usize) -> ClusterSpec {
+        ClusterSpec::homogeneous(n, InstanceType::M4Xlarge)
+    }
+
+    fn quick_config() -> DriverConfig {
+        DriverConfig {
+            max_virtual_time: VirtualTime::from_secs(400),
+            max_iterations: 100_000,
+            ..DriverConfig::default()
+        }
+    }
+
+    #[test]
+    fn asp_run_converges_on_tiny_workload() {
+        let report = Driver::new(
+            Workload::tiny_test(),
+            SchemeKind::Asp,
+            tiny_cluster(4),
+            quick_config(),
+            42,
+        )
+        .run();
+        assert!(report.converged_at.is_some(), "ASP failed to converge: final loss {:?}", report.final_loss());
+        assert!(report.total_iterations > 0);
+        assert_eq!(report.total_aborts, 0);
+        assert_eq!(report.iterations_per_worker.len(), 4);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            Driver::new(Workload::tiny_test(), SchemeKind::Asp, tiny_cluster(3), quick_config(), 7).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.converged_at, b.converged_at);
+        assert_eq!(a.total_iterations, b.total_iterations);
+        assert_eq!(a.loss_curve.len(), b.loss_curve.len());
+        assert_eq!(a.transfer.total_bytes(), b.transfer.total_bytes());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Driver::new(Workload::tiny_test(), SchemeKind::Asp, tiny_cluster(3), quick_config(), 1).run();
+        let b = Driver::new(Workload::tiny_test(), SchemeKind::Asp, tiny_cluster(3), quick_config(), 2).run();
+        assert_ne!(a.converged_at, b.converged_at);
+    }
+
+    #[test]
+    fn bsp_keeps_workers_in_lockstep() {
+        let report =
+            Driver::new(Workload::tiny_test(), SchemeKind::Bsp, tiny_cluster(4), quick_config(), 11).run();
+        let max = report.iterations_per_worker.iter().max().unwrap();
+        let min = report.iterations_per_worker.iter().min().unwrap();
+        assert!(max - min <= 1, "BSP spread too wide: {:?}", report.iterations_per_worker);
+    }
+
+    #[test]
+    fn ssp_bounds_the_iteration_spread() {
+        let report = Driver::new(
+            Workload::tiny_test(),
+            SchemeKind::Ssp { bound: 2 },
+            tiny_cluster(4),
+            quick_config(),
+            11,
+        )
+        .run();
+        let max = report.iterations_per_worker.iter().max().unwrap();
+        let min = report.iterations_per_worker.iter().min().unwrap();
+        assert!(max - min <= 3, "SSP spread exceeds bound+1: {:?}", report.iterations_per_worker);
+    }
+
+    #[test]
+    fn specsync_fixed_aborts_and_converges() {
+        let scheme = SchemeKind::specsync_fixed(SimDuration::from_secs_f64(0.05), 0.5);
+        let report =
+            Driver::new(Workload::tiny_test(), scheme, tiny_cluster(4), quick_config(), 5).run();
+        assert!(report.converged_at.is_some(), "SpecSync failed to converge");
+        assert!(report.scheduler_stats.notifies > 0);
+        assert!(report.total_aborts > 0, "expected at least one abort with a permissive config");
+        assert!(!report.wasted_compute.is_zero());
+    }
+
+    #[test]
+    fn specsync_adaptive_retunes() {
+        let report = Driver::new(
+            Workload::tiny_test(),
+            SchemeKind::specsync_adaptive(),
+            tiny_cluster(4),
+            quick_config(),
+            5,
+        )
+        .run();
+        assert!(report.converged_at.is_some());
+        assert!(!report.hyperparams_trace.is_empty(), "no epochs completed");
+    }
+
+    #[test]
+    fn naive_waiting_delays_increase_iteration_span() {
+        let base = Driver::new(Workload::tiny_test(), SchemeKind::Asp, tiny_cluster(3), quick_config(), 9).run();
+        let delayed = Driver::new(
+            Workload::tiny_test(),
+            SchemeKind::NaiveWaiting { delay: SimDuration::from_secs_f64(0.2) },
+            tiny_cluster(3),
+            quick_config(),
+            9,
+        )
+        .run();
+        // Same wall-clock horizon, the delayed variant completes fewer
+        // iterations per unit time.
+        let base_rate = base.total_iterations as f64 / base.finished_at.as_secs_f64();
+        let delayed_rate = delayed.total_iterations as f64 / delayed.finished_at.as_secs_f64();
+        assert!(delayed_rate < base_rate, "delayed {delayed_rate} !< base {base_rate}");
+    }
+
+    #[test]
+    fn transfer_ledger_accounts_for_all_classes() {
+        let scheme = SchemeKind::specsync_fixed(SimDuration::from_secs_f64(0.05), 0.5);
+        let report =
+            Driver::new(Workload::tiny_test(), scheme, tiny_cluster(4), quick_config(), 5).run();
+        assert!(report.transfer.bytes_for(MessageClass::PullParams) > 0);
+        assert!(report.transfer.bytes_for(MessageClass::PushGrad) > 0);
+        assert!(report.transfer.bytes_for(MessageClass::Notify) > 0);
+        assert!(report.transfer.bytes_for(MessageClass::Resync) > 0);
+        // Control traffic is negligible next to data traffic.
+        let control = report.transfer.bytes_for(MessageClass::Notify)
+            + report.transfer.bytes_for(MessageClass::Resync);
+        assert!(control * 100 < report.transfer.total_bytes());
+    }
+
+    #[test]
+    fn horizon_stops_non_converging_runs() {
+        let mut workload = Workload::tiny_test();
+        workload.target_loss = 0.0; // unreachable
+        let config = DriverConfig {
+            max_virtual_time: VirtualTime::from_secs(30),
+            ..DriverConfig::default()
+        };
+        let report = Driver::new(workload, SchemeKind::Asp, tiny_cluster(2), config, 3).run();
+        assert!(report.converged_at.is_none());
+        assert!(report.finished_at >= VirtualTime::from_secs(30));
+    }
+}

@@ -1,0 +1,153 @@
+//! Exact (post-hoc) freshness accounting — Problem (3)/(4) of §IV-B.
+//!
+//! The adaptive tuner works from *estimates* (Eq. 5–7). For evaluation and
+//! ablation we also compute the exact freshness contribution a window `Δ`
+//! would have had on a recorded trace: gain `u_i(Δ)` from the actual pushes
+//! after each pull, loss `l_i(Δ)` as the actual number of peers whose pulls
+//! fell inside the deferral window of worker i's subsequent push. This is
+//! the hindsight objective an oracle tuner would maximize; benches compare
+//! the heuristic's choice against it.
+
+use specsync_simnet::{SimDuration, VirtualTime};
+
+use crate::history::PushHistory;
+
+/// The exact freshness contribution of deferring every pull in the trace by
+/// `delta`, split into total gain and total loss (Problem (3)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreshnessOutcome {
+    /// Σᵢ u_i(Δ): updates that the deferral would newly uncover.
+    pub gain: u64,
+    /// Σᵢ l_i(Δ): peer pulls that would newly miss the deferred pushes.
+    pub loss: u64,
+}
+
+impl FreshnessOutcome {
+    /// Net improvement `F(Δ) = gain − loss`.
+    pub fn net(&self) -> i64 {
+        self.gain as i64 - self.loss as i64
+    }
+}
+
+/// Evaluates the exact freshness objective on a recorded trace.
+///
+/// For every pull `p` by worker `i`:
+/// - gain: pushes by others in `(p, p + Δ]` (they would be uncovered by
+///   deferring the pull by `Δ`);
+/// - loss: the worker's next push moves `Δ` later, so peers that pulled in
+///   `(push, push + Δ]` would now miss it.
+pub fn exact_freshness(history: &PushHistory, delta: SimDuration) -> FreshnessOutcome {
+    let mut gain = 0u64;
+    let mut loss = 0u64;
+
+    for pull in history.pulls() {
+        gain += history.pushes_by_others_in(pull.worker, pull.time, delta);
+    }
+    for push in history.pushes() {
+        // Peers whose pull falls within (push, push + delta] would have
+        // captured this push on time, but miss it if it is deferred by
+        // delta.
+        let end = push.time + delta;
+        loss += history
+            .pulls()
+            .iter()
+            .filter(|p| p.worker != push.worker && p.time > push.time && p.time <= end)
+            .count() as u64;
+    }
+    FreshnessOutcome { gain, loss }
+}
+
+/// Finds the window maximizing the exact objective over the given
+/// candidates (the oracle tuner used in ablation benches).
+///
+/// Returns `None` when `candidates` is empty.
+pub fn oracle_best_window(history: &PushHistory, candidates: &[SimDuration]) -> Option<(SimDuration, FreshnessOutcome)> {
+    candidates
+        .iter()
+        .map(|&d| (d, exact_freshness(history, d)))
+        .max_by_key(|(_, o)| o.net())
+}
+
+/// Measures the actual mean staleness (pushes missed per pull) of a trace:
+/// for each pull, the number of pushes by others between the worker's
+/// previous pull and this one. This is the quantity SpecSync drives down.
+pub fn mean_missed_updates(history: &PushHistory, m: usize) -> f64 {
+    let mut last_pull: Vec<Option<VirtualTime>> = vec![None; m];
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for pull in history.pulls() {
+        let w = pull.worker.index();
+        if w >= m {
+            continue;
+        }
+        if let Some(prev) = last_pull[w] {
+            total += history.pushes_by_others_in(pull.worker, prev, pull.time.since(prev));
+            count += 1;
+        }
+        last_pull[w] = Some(pull.time);
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pap::uniform_trace;
+
+    fn d(secs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn zero_delta_is_neutral() {
+        let h = uniform_trace(4, 4.0, 3);
+        let o = exact_freshness(&h, SimDuration::ZERO);
+        assert_eq!(o.gain, 0);
+        assert_eq!(o.loss, 0);
+        assert_eq!(o.net(), 0);
+    }
+
+    #[test]
+    fn gain_and_loss_both_grow_with_delta() {
+        let h = uniform_trace(8, 8.0, 4);
+        let small = exact_freshness(&h, d(1.0));
+        let large = exact_freshness(&h, d(4.0));
+        assert!(large.gain >= small.gain);
+        assert!(large.loss >= small.loss);
+        assert!(small.gain > 0);
+    }
+
+    #[test]
+    fn oracle_picks_the_best_candidate() {
+        let h = uniform_trace(8, 8.0, 4);
+        let candidates: Vec<SimDuration> = (1..=8).map(|k| d(k as f64)).collect();
+        let (best, outcome) = oracle_best_window(&h, &candidates).unwrap();
+        for &c in &candidates {
+            assert!(exact_freshness(&h, c).net() <= outcome.net(), "candidate {c} beats 'best' {best}");
+        }
+    }
+
+    #[test]
+    fn oracle_of_empty_candidates_is_none() {
+        let h = uniform_trace(2, 1.0, 2);
+        assert!(oracle_best_window(&h, &[]).is_none());
+    }
+
+    #[test]
+    fn mean_missed_updates_matches_uniform_structure() {
+        // m workers uniform: between two consecutive pulls of a worker
+        // (span apart), each of the other m−1 workers pushes exactly once.
+        let h = uniform_trace(5, 5.0, 6);
+        let missed = mean_missed_updates(&h, 5);
+        assert!((missed - 4.0).abs() < 0.5, "missed {missed}, expected ≈4");
+    }
+
+    #[test]
+    fn mean_missed_updates_of_empty_history_is_zero() {
+        assert_eq!(mean_missed_updates(&PushHistory::new(), 4), 0.0);
+    }
+}

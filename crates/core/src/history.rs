@@ -1,0 +1,253 @@
+//! The scheduler's push/pull history — the "list of timestamps of all
+//! pushes" of Algorithm 2, extended with pull records, which the Eq. (5)
+//! gain estimator needs ("the number of updates the worker would have
+//! uncovered if it had deferred its last iteration by Δ").
+
+use serde::{Deserialize, Serialize};
+use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+
+/// One recorded push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PushRecord {
+    /// When the push's notify reached the scheduler.
+    pub time: VirtualTime,
+    /// Which worker pushed.
+    pub worker: WorkerId,
+}
+
+/// One recorded pull.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PullRecord {
+    /// When the pull was issued.
+    pub time: VirtualTime,
+    /// Which worker pulled.
+    pub worker: WorkerId,
+}
+
+/// Chronological push/pull history with epoch segmentation.
+///
+/// # Examples
+///
+/// ```
+/// use specsync_core::PushHistory;
+/// use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+///
+/// let mut h = PushHistory::new();
+/// h.record_push(VirtualTime::from_secs(1), WorkerId::new(0));
+/// h.record_push(VirtualTime::from_secs(2), WorkerId::new(1));
+/// let n = h.pushes_by_others_in(
+///     WorkerId::new(0),
+///     VirtualTime::from_secs(0),
+///     SimDuration::from_secs(5),
+/// );
+/// assert_eq!(n, 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PushHistory {
+    pushes: Vec<PushRecord>,
+    pulls: Vec<PullRecord>,
+    epoch_marks: Vec<usize>,
+}
+
+impl PushHistory {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a push record.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `time` precedes the last recorded push
+    /// (history must be chronological).
+    pub fn record_push(&mut self, time: VirtualTime, worker: WorkerId) {
+        debug_assert!(
+            self.pushes.last().is_none_or(|last| last.time <= time),
+            "push history must be chronological"
+        );
+        self.pushes.push(PushRecord { time, worker });
+    }
+
+    /// Appends a pull record.
+    pub fn record_pull(&mut self, time: VirtualTime, worker: WorkerId) {
+        debug_assert!(
+            self.pulls.last().is_none_or(|last| last.time <= time),
+            "pull history must be chronological"
+        );
+        self.pulls.push(PullRecord { time, worker });
+    }
+
+    /// Marks an epoch boundary: pushes recorded before this call belong to
+    /// the closed epoch.
+    pub fn mark_epoch(&mut self) {
+        self.epoch_marks.push(self.pushes.len());
+    }
+
+    /// All pushes ever recorded.
+    pub fn pushes(&self) -> &[PushRecord] {
+        &self.pushes
+    }
+
+    /// All pulls ever recorded.
+    pub fn pulls(&self) -> &[PullRecord] {
+        &self.pulls
+    }
+
+    /// The pushes of the most recently closed epoch, or `None` if no epoch
+    /// has been marked yet.
+    pub fn last_epoch_pushes(&self) -> Option<&[PushRecord]> {
+        let end = *self.epoch_marks.last()?;
+        let start = if self.epoch_marks.len() >= 2 {
+            self.epoch_marks[self.epoch_marks.len() - 2]
+        } else {
+            0
+        };
+        Some(&self.pushes[start..end])
+    }
+
+    /// The pushes of the last `epochs` closed epochs (fewer if not that
+    /// many have been marked). `None` if no epoch has been closed.
+    pub fn recent_epoch_pushes(&self, epochs: usize) -> Option<&[PushRecord]> {
+        let end = *self.epoch_marks.last()?;
+        let n = self.epoch_marks.len();
+        let start = if n > epochs { self.epoch_marks[n - 1 - epochs] } else { 0 };
+        Some(&self.pushes[start..end])
+    }
+
+    /// The time span covered by the last `epochs` closed epochs, or `None`
+    /// if no closed epoch contains a push.
+    pub fn recent_epoch_range(&self, epochs: usize) -> Option<(VirtualTime, VirtualTime)> {
+        let pushes = self.recent_epoch_pushes(epochs)?;
+        let first = pushes.first()?;
+        let last = pushes.last()?;
+        Some((first.time, last.time))
+    }
+
+    /// Number of pushes by workers other than `worker` in the half-open
+    /// window `(start, start + window]`.
+    ///
+    /// Runs in `O(log n + k)` for `k` pushes inside the window, exploiting
+    /// the chronological invariant — this is on the adaptive tuner's inner
+    /// loop.
+    pub fn pushes_by_others_in(&self, worker: WorkerId, start: VirtualTime, window: SimDuration) -> u64 {
+        let end = start + window;
+        // First index with time > start.
+        let lo = self.pushes.partition_point(|p| p.time <= start);
+        // First index with time > end.
+        let hi = self.pushes.partition_point(|p| p.time <= end);
+        self.pushes[lo..hi].iter().filter(|p| p.worker != worker).count() as u64
+    }
+
+    /// The most recent pull by `worker` at or before `cutoff`, if any.
+    pub fn last_pull_of(&self, worker: WorkerId, cutoff: VirtualTime) -> Option<VirtualTime> {
+        self.pulls
+            .iter()
+            .rev()
+            .find(|p| p.worker == worker && p.time <= cutoff)
+            .map(|p| p.time)
+    }
+
+    /// Mean push-to-push interval of `worker` over its pushes in the last
+    /// closed epoch — the iteration-span estimate `T_i` of Eq. (6). Falls
+    /// back to the worker's whole history, then to `None` if the worker has
+    /// fewer than two pushes.
+    pub fn iteration_span_of(&self, worker: WorkerId) -> Option<SimDuration> {
+        let from_records = |records: &[PushRecord]| -> Option<SimDuration> {
+            let times: Vec<VirtualTime> =
+                records.iter().filter(|p| p.worker == worker).map(|p| p.time).collect();
+            if times.len() < 2 {
+                return None;
+            }
+            let total = times.last().unwrap().since(times[0]);
+            Some(total / (times.len() as u64 - 1))
+        };
+        self.last_epoch_pushes()
+            .and_then(from_records)
+            .or_else(|| from_records(&self.pushes))
+    }
+
+    /// Total number of recorded pushes.
+    pub fn len(&self) -> usize {
+        self.pushes.len()
+    }
+
+    /// Whether no pushes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pushes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> VirtualTime {
+        VirtualTime::from_secs_f64(secs)
+    }
+
+    fn w(i: usize) -> WorkerId {
+        WorkerId::new(i)
+    }
+
+    #[test]
+    fn window_counting_excludes_self_and_respects_bounds() {
+        let mut h = PushHistory::new();
+        h.record_push(t(1.0), w(0));
+        h.record_push(t(2.0), w(1));
+        h.record_push(t(3.0), w(2));
+        h.record_push(t(4.0), w(1));
+        // Window (1.0, 3.0]: pushes at 2.0 (w1) and 3.0 (w2); excludes own.
+        assert_eq!(h.pushes_by_others_in(w(0), t(1.0), SimDuration::from_secs(2)), 2);
+        assert_eq!(h.pushes_by_others_in(w(1), t(1.0), SimDuration::from_secs(2)), 1);
+        // Left boundary excluded: the push at exactly `start` doesn't count.
+        assert_eq!(h.pushes_by_others_in(w(5), t(2.0), SimDuration::from_secs(1)), 1);
+    }
+
+    #[test]
+    fn epoch_segmentation_returns_last_closed_epoch() {
+        let mut h = PushHistory::new();
+        assert!(h.last_epoch_pushes().is_none());
+        h.record_push(t(1.0), w(0));
+        h.mark_epoch();
+        h.record_push(t(2.0), w(0));
+        h.record_push(t(3.0), w(1));
+        h.mark_epoch();
+        h.record_push(t(4.0), w(1));
+        let epoch = h.last_epoch_pushes().unwrap();
+        assert_eq!(epoch.len(), 2);
+        assert_eq!(epoch[0].time, t(2.0));
+    }
+
+    #[test]
+    fn last_pull_respects_cutoff() {
+        let mut h = PushHistory::new();
+        h.record_pull(t(1.0), w(0));
+        h.record_pull(t(3.0), w(1));
+        h.record_pull(t(5.0), w(0));
+        assert_eq!(h.last_pull_of(w(0), t(4.0)), Some(t(1.0)));
+        assert_eq!(h.last_pull_of(w(0), t(10.0)), Some(t(5.0)));
+        assert_eq!(h.last_pull_of(w(2), t(10.0)), None);
+    }
+
+    #[test]
+    fn iteration_span_is_mean_push_gap() {
+        let mut h = PushHistory::new();
+        h.record_push(t(0.0), w(0));
+        h.record_push(t(3.0), w(0));
+        h.record_push(t(9.0), w(0));
+        h.mark_epoch();
+        // (9 - 0) / 2 = 4.5 s
+        assert_eq!(h.iteration_span_of(w(0)), Some(SimDuration::from_secs_f64(4.5)));
+        assert_eq!(h.iteration_span_of(w(1)), None);
+    }
+
+    #[test]
+    fn iteration_span_falls_back_to_full_history() {
+        let mut h = PushHistory::new();
+        h.record_push(t(0.0), w(0));
+        h.record_push(t(2.0), w(0));
+        // No epoch marked: falls back to whole history.
+        assert_eq!(h.iteration_span_of(w(0)), Some(SimDuration::from_secs(2)));
+    }
+}

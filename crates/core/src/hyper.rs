@@ -1,0 +1,99 @@
+//! SpecSync's two hyperparameters (paper §IV-A).
+
+use serde::{Deserialize, Serialize};
+use specsync_simnet::SimDuration;
+
+/// `ABORT_TIME` and `ABORT_RATE` — the pair that fully determines when a
+/// worker aborts and re-synchronizes.
+///
+/// After a worker starts an iteration, the scheduler watches pushes for
+/// `abort_time`; if the count of pushes from others reaches
+/// `m × abort_rate`, it instructs the worker to abort and re-pull.
+///
+/// # Examples
+///
+/// ```
+/// use specsync_core::Hyperparams;
+/// use specsync_simnet::SimDuration;
+///
+/// let h = Hyperparams::new(SimDuration::from_secs(2), 0.15);
+/// assert_eq!(h.threshold(40), 6); // ceil(40 * 0.15)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hyperparams {
+    abort_time: SimDuration,
+    abort_rate: f64,
+}
+
+impl Hyperparams {
+    /// Creates a hyperparameter pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `abort_rate` is negative or not finite.
+    pub fn new(abort_time: SimDuration, abort_rate: f64) -> Self {
+        assert!(abort_rate.is_finite() && abort_rate >= 0.0, "abort_rate must be finite and non-negative");
+        Hyperparams { abort_time, abort_rate }
+    }
+
+    /// A configuration that never triggers a re-sync (zero window, infinite
+    /// threshold) — the scheduler's state before the first adaptive tuning
+    /// pass.
+    pub fn disabled() -> Self {
+        Hyperparams { abort_time: SimDuration::ZERO, abort_rate: f64::MAX }
+    }
+
+    /// The speculation window `ABORT_TIME`.
+    pub fn abort_time(&self) -> SimDuration {
+        self.abort_time
+    }
+
+    /// The push-rate threshold `ABORT_RATE`.
+    pub fn abort_rate(&self) -> f64 {
+        self.abort_rate
+    }
+
+    /// The absolute push-count threshold for an `m`-worker cluster:
+    /// the smallest integer `cnt` with `cnt >= m × abort_rate`, and at
+    /// least 1 (zero pushes must never trigger an abort).
+    pub fn threshold(&self, m: usize) -> u64 {
+        let raw = (m as f64 * self.abort_rate).ceil();
+        if raw >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            (raw as u64).max(1)
+        }
+    }
+
+    /// Whether speculation is effectively off.
+    pub fn is_disabled(&self) -> bool {
+        self.abort_time.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_rounds_up_and_floors_at_one() {
+        let h = Hyperparams::new(SimDuration::from_secs(1), 0.15);
+        assert_eq!(h.threshold(40), 6);
+        assert_eq!(h.threshold(41), 7); // 6.15 -> 7
+        let tiny = Hyperparams::new(SimDuration::from_secs(1), 0.0);
+        assert_eq!(tiny.threshold(40), 1);
+    }
+
+    #[test]
+    fn disabled_never_fires() {
+        let h = Hyperparams::disabled();
+        assert!(h.is_disabled());
+        assert_eq!(h.threshold(1_000_000), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "abort_rate")]
+    fn negative_rate_panics() {
+        Hyperparams::new(SimDuration::ZERO, -0.1);
+    }
+}

@@ -1,0 +1,321 @@
+//! The centralized SpecSync scheduler (paper §V, Algorithm 2).
+//!
+//! Workers report each push with a `notify` message; the scheduler tracks
+//! the global push history, arms a per-worker timer `ABORT_TIME` after each
+//! notify, and when the timer fires checks whether enough pushes arrived in
+//! the window to justify instructing that worker to abort and re-sync.
+//!
+//! The scheduler is a *pure state machine*: it never blocks or owns timers.
+//! [`Scheduler::on_notify`] returns the deadline at which the caller (the
+//! simulation driver or a real event loop) must invoke
+//! [`Scheduler::on_check`]. This keeps the component testable and
+//! host-agnostic, and mirrors the pluggable-module structure of the MXNet
+//! implementation.
+
+use serde::{Deserialize, Serialize};
+use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+use specsync_sync::TuningMode;
+
+use crate::history::PushHistory;
+use crate::hyper::Hyperparams;
+use crate::tuner::AdaptiveTuner;
+
+/// Per-worker speculation state.
+#[derive(Debug, Clone, Copy, Default)]
+struct SpecState {
+    /// Start of the worker's active speculation window (its last notify).
+    window_start: Option<VirtualTime>,
+    /// Window width captured when the timer was armed (hyperparameters may
+    /// be retuned mid-window; Algorithm 2 uses the value at arm time).
+    window: SimDuration,
+    /// Threshold captured at arm time.
+    threshold: u64,
+}
+
+/// Aggregate counters for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Total notify messages received.
+    pub notifies: u64,
+    /// Timers that fired and were evaluated.
+    pub checks: u64,
+    /// Re-sync instructions issued.
+    pub resyncs: u64,
+    /// Adaptive retuning passes that produced new hyperparameters.
+    pub retunes: u64,
+}
+
+/// The centralized scheduler of Algorithm 2.
+///
+/// # Examples
+///
+/// ```
+/// use specsync_core::Scheduler;
+/// use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+/// use specsync_sync::TuningMode;
+///
+/// let fixed = TuningMode::Fixed {
+///     abort_time: SimDuration::from_secs(2),
+///     abort_rate: 0.4,
+/// };
+/// let mut sched = Scheduler::new(4, fixed);
+/// let w0 = WorkerId::new(0);
+/// let deadline = sched.on_notify(w0, VirtualTime::from_secs(10)).unwrap();
+/// assert_eq!(deadline, VirtualTime::from_secs(12));
+/// // Two other workers push inside the window (threshold = ceil(4×0.4) = 2).
+/// sched.on_notify(WorkerId::new(1), VirtualTime::from_secs(11));
+/// sched.on_notify(WorkerId::new(2), VirtualTime::from_secs(11));
+/// assert!(sched.on_check(w0, deadline));
+/// ```
+#[derive(Debug)]
+pub struct Scheduler {
+    m: usize,
+    hyper: Hyperparams,
+    tuning: TuningMode,
+    tuner: AdaptiveTuner,
+    history: PushHistory,
+    spec: Vec<SpecState>,
+    stats: SchedulerStats,
+    epoch: u64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for an `m`-worker cluster.
+    ///
+    /// With [`TuningMode::Fixed`] the given hyperparameters apply from the
+    /// start; with [`TuningMode::Adaptive`] speculation is disabled until
+    /// the first epoch of history exists (the paper's adaptive variant has
+    /// nothing to tune on before that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize, tuning: TuningMode) -> Self {
+        assert!(m > 0, "need at least one worker");
+        let hyper = match tuning {
+            TuningMode::Fixed { abort_time, abort_rate } => Hyperparams::new(abort_time, abort_rate),
+            TuningMode::Adaptive => Hyperparams::disabled(),
+        };
+        Scheduler {
+            m,
+            hyper,
+            tuning,
+            tuner: AdaptiveTuner::default(),
+            history: PushHistory::new(),
+            spec: vec![SpecState::default(); m],
+            stats: SchedulerStats::default(),
+            epoch: 0,
+        }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.m
+    }
+
+    /// The hyperparameters currently in force.
+    pub fn hyperparams(&self) -> Hyperparams {
+        self.hyper
+    }
+
+    /// The current epoch index.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// The full push/pull history (read-only).
+    pub fn history(&self) -> &PushHistory {
+        &self.history
+    }
+
+    /// Records that `worker` pulled parameters at `now` (used by the
+    /// Eq. (5) gain estimator).
+    pub fn on_pull(&mut self, worker: WorkerId, now: VirtualTime) {
+        self.history.record_pull(now, worker);
+    }
+
+    /// Algorithm 2, `HandleNotification`: records the push and arms the
+    /// worker's speculation window. Returns the instant at which the caller
+    /// must invoke [`on_check`](Self::on_check) for this worker, or `None`
+    /// when speculation is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn on_notify(&mut self, worker: WorkerId, now: VirtualTime) -> Option<VirtualTime> {
+        self.stats.notifies += 1;
+        self.history.record_push(now, worker);
+        if self.hyper.is_disabled() {
+            return None;
+        }
+        let state = &mut self.spec[worker.index()];
+        state.window_start = Some(now);
+        state.window = self.hyper.abort_time();
+        state.threshold = self.hyper.threshold(self.m);
+        Some(now + self.hyper.abort_time())
+    }
+
+    /// Algorithm 2, `CheckResync`: evaluates the worker's speculation
+    /// window. Returns `true` when a `re-sync` should be issued.
+    ///
+    /// Returns `false` if the window was already consumed or superseded by
+    /// a newer notify (stale timer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn on_check(&mut self, worker: WorkerId, now: VirtualTime) -> bool {
+        let state = self.spec[worker.index()];
+        let Some(start) = state.window_start else {
+            return false;
+        };
+        // A stale timer: the worker has re-notified since this timer was
+        // armed (its deadline would be later than `now`).
+        if start + state.window != now {
+            return false;
+        }
+        self.stats.checks += 1;
+        let cnt = self.history.pushes_by_others_in(worker, start, state.window);
+        let fire = cnt >= state.threshold;
+        if fire {
+            self.stats.resyncs += 1;
+            self.spec[worker.index()].window_start = None;
+        }
+        fire
+    }
+
+    /// Marks an epoch boundary; in adaptive mode, re-runs Algorithm 1 on
+    /// the closed epoch and installs the new hyperparameters.
+    pub fn on_epoch_complete(&mut self, now: VirtualTime) {
+        self.epoch += 1;
+        self.history.mark_epoch();
+        if matches!(self.tuning, TuningMode::Adaptive) {
+            if let Some(outcome) = self.tuner.tune(&self.history, self.m, now) {
+                self.hyper = outcome.hyperparams;
+                self.stats.retunes += 1;
+            } else {
+                // No profitable window found this epoch: keep speculation
+                // off rather than aborting on stale evidence.
+                self.hyper = Hyperparams::disabled();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> VirtualTime {
+        VirtualTime::from_secs_f64(secs)
+    }
+
+    fn w(i: usize) -> WorkerId {
+        WorkerId::new(i)
+    }
+
+    fn fixed(window_secs: f64, rate: f64) -> TuningMode {
+        TuningMode::Fixed { abort_time: SimDuration::from_secs_f64(window_secs), abort_rate: rate }
+    }
+
+    #[test]
+    fn resync_fires_when_threshold_met() {
+        let mut s = Scheduler::new(4, fixed(2.0, 0.5)); // threshold = 2
+        let deadline = s.on_notify(w(0), t(10.0)).unwrap();
+        s.on_notify(w(1), t(10.5));
+        s.on_notify(w(2), t(11.9));
+        assert!(s.on_check(w(0), deadline));
+        assert_eq!(s.stats().resyncs, 1);
+    }
+
+    #[test]
+    fn resync_does_not_fire_below_threshold() {
+        let mut s = Scheduler::new(4, fixed(2.0, 0.5));
+        let deadline = s.on_notify(w(0), t(10.0)).unwrap();
+        s.on_notify(w(1), t(10.5));
+        assert!(!s.on_check(w(0), deadline));
+        assert_eq!(s.stats().resyncs, 0);
+        assert_eq!(s.stats().checks, 1);
+    }
+
+    #[test]
+    fn own_pushes_do_not_count() {
+        let mut s = Scheduler::new(4, fixed(5.0, 0.25)); // threshold = 1
+        let deadline = s.on_notify(w(0), t(0.0)).unwrap();
+        // Only worker 0 itself pushes again inside the window — but a new
+        // notify supersedes the old timer, so check the *old* deadline.
+        // (In the protocol a worker cannot push mid-iteration anyway.)
+        assert!(!s.on_check(w(0), deadline));
+    }
+
+    #[test]
+    fn pushes_outside_window_do_not_count() {
+        let mut s = Scheduler::new(4, fixed(1.0, 0.25)); // threshold = 1
+        let deadline = s.on_notify(w(0), t(10.0)).unwrap();
+        s.on_notify(w(1), t(11.5)); // after the window [10, 11]
+        assert!(!s.on_check(w(0), deadline));
+    }
+
+    #[test]
+    fn stale_timer_is_ignored() {
+        let mut s = Scheduler::new(4, fixed(2.0, 0.25));
+        let old_deadline = s.on_notify(w(0), t(10.0)).unwrap();
+        // Worker 0 notifies again (it aborted quickly or this was re-armed);
+        // the old timer must become a no-op.
+        let _new_deadline = s.on_notify(w(0), t(11.0)).unwrap();
+        s.on_notify(w(1), t(11.5));
+        assert!(!s.on_check(w(0), old_deadline));
+        // The new timer still works.
+        assert!(s.on_check(w(0), t(13.0)));
+    }
+
+    #[test]
+    fn adaptive_starts_disabled_and_enables_after_an_epoch() {
+        let mut s = Scheduler::new(4, TuningMode::Adaptive);
+        assert!(s.on_notify(w(0), t(1.0)).is_none());
+        assert!(s.hyperparams().is_disabled());
+
+        // Build one epoch of uniform activity, then close it.
+        for round in 0..3 {
+            for i in 0..4 {
+                let base = round as f64 * 4.0 + i as f64;
+                s.on_pull(w(i), t(20.0 + base));
+                s.on_notify(w(i), t(20.0 + base + 3.9));
+            }
+        }
+        s.on_epoch_complete(t(40.0));
+        assert_eq!(s.epoch(), 1);
+        assert!(!s.hyperparams().is_disabled(), "tuning should have enabled speculation");
+        assert_eq!(s.stats().retunes, 1);
+        assert!(s.on_notify(w(0), t(41.0)).is_some());
+    }
+
+    #[test]
+    fn adaptive_with_thin_history_stays_disabled() {
+        let mut s = Scheduler::new(4, TuningMode::Adaptive);
+        s.on_notify(w(0), t(1.0));
+        s.on_epoch_complete(t(2.0));
+        assert!(s.hyperparams().is_disabled());
+    }
+
+    #[test]
+    fn window_consumed_after_resync() {
+        let mut s = Scheduler::new(2, fixed(2.0, 0.5)); // threshold = 1
+        let deadline = s.on_notify(w(0), t(0.0)).unwrap();
+        s.on_notify(w(1), t(1.0));
+        assert!(s.on_check(w(0), deadline));
+        // Re-checking the same deadline is a no-op.
+        assert!(!s.on_check(w(0), deadline));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn zero_workers_panics() {
+        Scheduler::new(0, TuningMode::Adaptive);
+    }
+}

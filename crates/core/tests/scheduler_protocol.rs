@@ -1,0 +1,114 @@
+//! Property-based tests of the SpecSync scheduler protocol invariants.
+
+use proptest::prelude::*;
+use specsync_core::Scheduler;
+use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+use specsync_sync::TuningMode;
+
+/// A random but chronologically valid notify schedule: (worker, gap µs).
+fn schedule_strategy(m: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((0..m, 1_000u64..2_000_000), 1..120)
+}
+
+fn fixed(window_ms: u64, rate: f64) -> TuningMode {
+    TuningMode::Fixed { abort_time: SimDuration::from_millis(window_ms), abort_rate: rate }
+}
+
+/// Replays a schedule through a scheduler, firing every timer at its
+/// deadline (in global time order), and returns the stats.
+fn replay(mut sched: Scheduler, schedule: &[(usize, u64)]) -> specsync_core::SchedulerStats {
+    let mut now = VirtualTime::ZERO;
+    let mut timers: Vec<(VirtualTime, WorkerId)> = Vec::new();
+    for &(w, gap) in schedule {
+        now += SimDuration::from_micros(gap);
+        // Fire any timers that expired before this notify.
+        timers.sort();
+        let due: Vec<_> = timers.iter().filter(|&&(t, _)| t <= now).copied().collect();
+        timers.retain(|&(t, _)| t > now);
+        for (t, worker) in due {
+            sched.on_check(worker, t);
+        }
+        if let Some(deadline) = sched.on_notify(WorkerId::new(w), now) {
+            timers.push((deadline, WorkerId::new(w)));
+        }
+    }
+    for (t, worker) in timers {
+        sched.on_check(worker, t);
+    }
+    sched.stats()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: re-syncs never exceed evaluated checks, which never
+    /// exceed notifies.
+    #[test]
+    fn resyncs_bounded_by_checks_bounded_by_notifies(schedule in schedule_strategy(6)) {
+        let stats = replay(Scheduler::new(6, fixed(500, 0.3)), &schedule);
+        prop_assert!(stats.resyncs <= stats.checks);
+        prop_assert!(stats.checks <= stats.notifies);
+        prop_assert_eq!(stats.notifies, schedule.len() as u64);
+    }
+
+    /// Monotonicity in the threshold: a stricter ABORT_RATE can only
+    /// reduce the number of re-syncs (same schedule, same window).
+    #[test]
+    fn stricter_rate_fires_less(schedule in schedule_strategy(6)) {
+        let loose = replay(Scheduler::new(6, fixed(500, 0.2)), &schedule);
+        let strict = replay(Scheduler::new(6, fixed(500, 0.8)), &schedule);
+        prop_assert!(strict.resyncs <= loose.resyncs,
+            "strict {} > loose {}", strict.resyncs, loose.resyncs);
+    }
+
+    /// A disabled scheduler records history but never arms timers.
+    #[test]
+    fn disabled_scheduler_never_fires(schedule in schedule_strategy(4)) {
+        let mut sched = Scheduler::new(4, TuningMode::Adaptive);
+        let mut now = VirtualTime::ZERO;
+        for &(w, gap) in &schedule {
+            now += SimDuration::from_micros(gap);
+            prop_assert!(sched.on_notify(WorkerId::new(w), now).is_none());
+        }
+        prop_assert_eq!(sched.stats().resyncs, 0);
+        prop_assert_eq!(sched.history().len(), schedule.len());
+    }
+
+    /// The scheduler's push history preserves the notify order exactly.
+    #[test]
+    fn history_matches_schedule(schedule in schedule_strategy(5)) {
+        let mut sched = Scheduler::new(5, fixed(100, 0.5));
+        let mut now = VirtualTime::ZERO;
+        let mut expected = Vec::new();
+        for &(w, gap) in &schedule {
+            now += SimDuration::from_micros(gap);
+            sched.on_notify(WorkerId::new(w), now);
+            expected.push((now, w));
+        }
+        let got: Vec<(VirtualTime, usize)> =
+            sched.history().pushes().iter().map(|p| (p.time, p.worker.index())).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Adaptive tuning either stays disabled or produces valid
+    /// hyperparameters (positive window, finite non-negative rate).
+    #[test]
+    fn adaptive_tuning_outputs_are_valid(schedule in schedule_strategy(5), epochs in 1usize..4) {
+        let mut sched = Scheduler::new(5, TuningMode::Adaptive);
+        let mut now = VirtualTime::ZERO;
+        let chunk = schedule.len().div_ceil(epochs);
+        for (i, &(w, gap)) in schedule.iter().enumerate() {
+            now += SimDuration::from_micros(gap);
+            sched.on_pull(WorkerId::new(w), now);
+            sched.on_notify(WorkerId::new(w), now);
+            if (i + 1) % chunk == 0 {
+                sched.on_epoch_complete(now);
+                let h = sched.hyperparams();
+                if !h.is_disabled() {
+                    prop_assert!(h.abort_rate().is_finite() && h.abort_rate() >= 0.0);
+                    prop_assert!(h.threshold(5) >= 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Minibatch sampling.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded minibatch sampler over `[0, num_samples)`.
+///
+/// Samples with replacement (standard for asynchronous SGD, where each
+/// worker draws an i.i.d. minibatch per iteration).
+///
+/// # Examples
+///
+/// ```
+/// use specsync_ml::BatchSampler;
+///
+/// let mut s = BatchSampler::new(100, 8, 42);
+/// let batch = s.next_batch();
+/// assert_eq!(batch.len(), 8);
+/// assert!(batch.iter().all(|&i| i < 100));
+/// ```
+#[derive(Debug)]
+pub struct BatchSampler {
+    num_samples: usize,
+    batch_size: usize,
+    rng: StdRng,
+}
+
+impl BatchSampler {
+    /// Creates a sampler drawing batches of `batch_size` indices from
+    /// `[0, num_samples)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(num_samples: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(num_samples > 0, "cannot sample from an empty dataset");
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchSampler { num_samples, batch_size, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Draws the next minibatch of sample indices.
+    pub fn next_batch(&mut self) -> Vec<usize> {
+        (0..self.batch_size).map(|_| self.rng.random_range(0..self.num_samples)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_in_range_and_sized() {
+        let mut s = BatchSampler::new(10, 4, 1);
+        for _ in 0..100 {
+            let b = s.next_batch();
+            assert_eq!(b.len(), 4);
+            assert!(b.iter().all(|&i| i < 10));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_batches() {
+        let mut a = BatchSampler::new(1000, 16, 5);
+        let mut b = BatchSampler::new(1000, 16, 5);
+        for _ in 0..10 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = BatchSampler::new(1000, 16, 5);
+        let mut b = BatchSampler::new(1000, 16, 6);
+        assert_ne!(a.next_batch(), b.next_batch());
+    }
+
+    #[test]
+    fn covers_the_sample_space() {
+        let mut s = BatchSampler::new(10, 10, 3);
+        let mut seen = [false; 10];
+        for _ in 0..100 {
+            for i in s.next_batch() {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "sampler never drew some index");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        BatchSampler::new(10, 0, 0);
+    }
+}

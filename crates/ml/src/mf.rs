@@ -1,0 +1,205 @@
+//! Matrix factorization — the paper's MovieLens workload.
+//!
+//! Parameters are user and item latent factors, stored flat as
+//! `[user_0 factors…, user_1 factors…, …, item_0 factors…, …]`. The loss is
+//! the squared rating-reconstruction error with L2 regularization.
+
+use std::sync::Arc;
+
+use crate::dataset::RatingsDataset;
+use crate::model::Model;
+
+/// Matrix-factorization model over (a view of) a [`RatingsDataset`].
+#[derive(Debug, Clone)]
+pub struct MatrixFactorization {
+    data: Arc<RatingsDataset>,
+    /// Restriction of the dataset to `[lo, hi)` — the worker's partition.
+    range: (usize, usize),
+    rank: usize,
+    reg: f32,
+    params: Vec<f32>,
+}
+
+impl MatrixFactorization {
+    /// Creates a model of the given latent `rank` over the full dataset,
+    /// with L2 regularization strength `reg`. Parameters are initialized
+    /// deterministically to small values spread around zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank == 0`.
+    pub fn new(data: Arc<RatingsDataset>, rank: usize, reg: f32) -> Self {
+        let range = (0, data.len());
+        Self::with_partition(data, range, rank, reg)
+    }
+
+    /// Creates a model whose training samples are restricted to the index
+    /// range `[range.0, range.1)` — one worker's data partition `D_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank == 0` or the range is out of bounds.
+    pub fn with_partition(data: Arc<RatingsDataset>, range: (usize, usize), rank: usize, reg: f32) -> Self {
+        assert!(rank > 0, "rank must be positive");
+        assert!(range.0 <= range.1 && range.1 <= data.len(), "partition out of bounds");
+        let n = (data.num_users() + data.num_items()) * rank;
+        // Deterministic small init: pseudo-random in [-0.1, 0.1] scaled by
+        // 1/sqrt(rank) so initial predictions are O(0.01).
+        let scale = 0.1 / (rank as f32).sqrt();
+        let params = (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+                ((h % 2001) as f32 / 1000.0 - 1.0) * scale
+            })
+            .collect();
+        MatrixFactorization { data, range, rank, reg, params }
+    }
+
+    /// The latent rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn user_offset(&self, user: usize) -> usize {
+        user * self.rank
+    }
+
+    fn item_offset(&self, item: usize) -> usize {
+        (self.data.num_users() + item) * self.rank
+    }
+
+    /// Prediction for a (user, item) pair under the current parameters.
+    pub fn predict(&self, user: usize, item: usize) -> f32 {
+        let u = &self.params[self.user_offset(user)..self.user_offset(user) + self.rank];
+        let v = &self.params[self.item_offset(item)..self.item_offset(item) + self.rank];
+        u.iter().zip(v).map(|(a, b)| a * b).sum()
+    }
+}
+
+impl Model for MatrixFactorization {
+    fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    fn num_samples(&self) -> usize {
+        self.range.1 - self.range.0
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.params.len(), "parameter length mismatch");
+        self.params.copy_from_slice(params);
+    }
+
+    fn loss(&self, indices: &[usize]) -> f64 {
+        assert!(!indices.is_empty(), "loss over empty batch");
+        let mut total = 0.0f64;
+        for &local in indices {
+            let r = self.data.rating(self.range.0 + local);
+            let err = r.rating - self.predict(r.user, r.item);
+            total += (err * err) as f64;
+        }
+        // Regularization contributes to the objective; report it scaled by
+        // the batch fraction so full-data loss equals objective value.
+        let reg_term = self.reg as f64 * self.params.iter().map(|&p| (p * p) as f64).sum::<f64>();
+        total / indices.len() as f64 + reg_term / self.data.len().max(1) as f64
+    }
+
+    fn gradient(&self, indices: &[usize], out: &mut [f32]) {
+        assert_eq!(out.len(), self.params.len(), "gradient buffer length mismatch");
+        assert!(!indices.is_empty(), "gradient over empty batch");
+        out.fill(0.0);
+        let inv_batch = 1.0 / indices.len() as f32;
+        for &local in indices {
+            let r = self.data.rating(self.range.0 + local);
+            let uo = self.user_offset(r.user);
+            let io = self.item_offset(r.item);
+            let err = r.rating - self.predict(r.user, r.item);
+            let coeff = -2.0 * err * inv_batch;
+            for k in 0..self.rank {
+                let u = self.params[uo + k];
+                let v = self.params[io + k];
+                out[uo + k] += coeff * v;
+                out[io + k] += coeff * u;
+            }
+        }
+        // L2 term, scaled consistently with `loss`.
+        let reg_coeff = 2.0 * self.reg / self.data.len().max(1) as f32;
+        for (o, &p) in out.iter_mut().zip(&self.params) {
+            *o += reg_coeff * p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::check_gradient;
+
+    fn dataset() -> Arc<RatingsDataset> {
+        Arc::new(RatingsDataset::generate(20, 15, 300, 4, 0.05, 11))
+    }
+
+    #[test]
+    fn param_layout_has_expected_size() {
+        let m = MatrixFactorization::new(dataset(), 6, 0.01);
+        assert_eq!(m.num_params(), (20 + 15) * 6);
+        assert_eq!(m.num_samples(), 300);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut m = MatrixFactorization::new(dataset(), 4, 0.01);
+        let indices: Vec<usize> = (0..32).collect();
+        check_gradient(&mut m, &indices, 5e-2);
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let mut m = MatrixFactorization::new(dataset(), 4, 0.001);
+        let all: Vec<usize> = (0..m.num_samples()).collect();
+        let initial = m.loss(&all);
+        let mut grad = vec![0.0f32; m.num_params()];
+        for _ in 0..300 {
+            m.gradient(&all, &mut grad);
+            let params: Vec<f32> = m.params().iter().zip(&grad).map(|(p, g)| p - 0.5 * g).collect();
+            m.set_params(&params);
+        }
+        let final_loss = m.loss(&all);
+        assert!(
+            final_loss < initial * 0.5,
+            "loss did not halve: {initial} -> {final_loss}"
+        );
+    }
+
+    #[test]
+    fn partition_restricts_samples() {
+        let m = MatrixFactorization::with_partition(dataset(), (100, 150), 4, 0.0);
+        assert_eq!(m.num_samples(), 50);
+    }
+
+    #[test]
+    fn set_params_round_trips() {
+        let mut m = MatrixFactorization::new(dataset(), 3, 0.0);
+        let p: Vec<f32> = (0..m.num_params()).map(|i| i as f32 * 0.001).collect();
+        m.set_params(&p);
+        assert_eq!(m.params(), &p[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter length mismatch")]
+    fn wrong_param_length_panics() {
+        let mut m = MatrixFactorization::new(dataset(), 3, 0.0);
+        m.set_params(&[0.0]);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let a = MatrixFactorization::new(dataset(), 4, 0.0);
+        let b = MatrixFactorization::new(dataset(), 4, 0.0);
+        assert_eq!(a.params(), b.params());
+    }
+}

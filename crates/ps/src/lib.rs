@@ -1,0 +1,35 @@
+//! Parameter-server substrate for the SpecSync reproduction.
+//!
+//! Implements the server side of the PS architecture the paper builds on
+//! (Fig. 1): a sharded, versioned [`ParameterStore`] with asynchronous
+//! push/pull semantics matching MXNet's `dist_async` kvstore, plus the
+//! wire-size model ([`MessageSizes`]) used for transfer accounting.
+//!
+//! The store is deliberately *policy-free*: ASP/BSP/SSP/SpecSync behaviour
+//! is decided by the scheme and scheduler layers (`specsync-sync`,
+//! `specsync-core`); servers "are agnostic to speculative synchronization"
+//! (paper §V-B).
+//!
+//! # Examples
+//!
+//! ```
+//! use specsync_ps::ParameterStore;
+//! use specsync_simnet::WorkerId;
+//!
+//! let mut store = ParameterStore::new(vec![0.0; 4], 2);
+//! let snapshot = store.pull(WorkerId::new(0));
+//! store.apply_push(WorkerId::new(1), &[1.0, 1.0, 1.0, 1.0], 0.1);
+//! assert_eq!(store.staleness_of(WorkerId::new(0)), 1);
+//! assert_eq!(snapshot.version(), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod messages;
+mod sharding;
+mod store;
+
+pub use messages::MessageSizes;
+pub use sharding::{ShardId, ShardLayout};
+pub use store::{ParamSnapshot, ParameterStore};

@@ -1,0 +1,74 @@
+//! Wire-size model for PS traffic.
+//!
+//! The experiment harness accounts transfer volume at the *paper's* model
+//! scale (millions of parameters, 4 bytes each), even though the trained
+//! model is smaller — this keeps Fig. 12/13 magnitudes comparable to the
+//! paper's TB-scale numbers. Control messages (`notify`/`re-sync`) carry a
+//! sender id and a timestamp, "a short list of numbers" per §V-B.
+
+use serde::{Deserialize, Serialize};
+
+use specsync_simnet::MessageClass;
+
+/// Byte sizes of each PS message class for one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageSizes {
+    /// Bytes for one full parameter pull.
+    pub pull_bytes: u64,
+    /// Bytes for one gradient push (same dimensionality as a pull).
+    pub push_bytes: u64,
+    /// Bytes for a `notify` control message.
+    pub notify_bytes: u64,
+    /// Bytes for a `re-sync` control message.
+    pub resync_bytes: u64,
+    /// Bytes for other control traffic.
+    pub control_bytes: u64,
+}
+
+impl MessageSizes {
+    /// Sizes for a model of `num_parameters` parameters at 4 bytes each,
+    /// with 16-byte control messages (id + timestamp).
+    pub fn for_model(num_parameters: u64) -> Self {
+        MessageSizes {
+            pull_bytes: num_parameters * 4,
+            push_bytes: num_parameters * 4,
+            notify_bytes: 16,
+            resync_bytes: 16,
+            control_bytes: 16,
+        }
+    }
+
+    /// The byte size of a message of the given class.
+    pub fn bytes_for(&self, class: MessageClass) -> u64 {
+        match class {
+            MessageClass::PullParams => self.pull_bytes,
+            MessageClass::PushGrad => self.push_bytes,
+            MessageClass::Notify => self.notify_bytes,
+            MessageClass::Resync => self.resync_bytes,
+            MessageClass::Control => self.control_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_sizes_scale_with_parameter_count() {
+        let s = MessageSizes::for_model(2_500_000);
+        assert_eq!(s.pull_bytes, 10_000_000);
+        assert_eq!(s.push_bytes, 10_000_000);
+        assert_eq!(s.notify_bytes, 16);
+    }
+
+    #[test]
+    fn bytes_for_covers_every_class() {
+        let s = MessageSizes::for_model(100);
+        for class in MessageClass::ALL {
+            assert!(s.bytes_for(class) > 0);
+        }
+        assert_eq!(s.bytes_for(MessageClass::PullParams), 400);
+        assert_eq!(s.bytes_for(MessageClass::Resync), 16);
+    }
+}

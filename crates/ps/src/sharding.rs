@@ -1,0 +1,148 @@
+//! Key-range sharding of the flat parameter vector across server nodes.
+//!
+//! In the PS architecture (paper Fig. 1) "the model parameters are sharded
+//! across multiple servers". The layout here is contiguous range sharding —
+//! what MXNet's kvstore does per key — and is used to attribute transfer
+//! bytes to server nodes and to size per-shard messages.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one parameter shard (one server's slice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ShardId(usize);
+
+impl ShardId {
+    /// Creates the id of the `index`-th shard.
+    pub const fn new(index: usize) -> Self {
+        ShardId(index)
+    }
+
+    /// The shard's index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard-{}", self.0)
+    }
+}
+
+/// A contiguous-range sharding of `num_params` parameters over `num_shards`
+/// servers, as equal as possible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardLayout {
+    ranges: Vec<(usize, usize)>,
+    num_params: usize,
+}
+
+impl ShardLayout {
+    /// Creates a layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_params == 0` or `num_shards == 0`.
+    pub fn new(num_params: usize, num_shards: usize) -> Self {
+        assert!(num_params > 0, "cannot shard zero parameters");
+        assert!(num_shards > 0, "need at least one shard");
+        let shards = num_shards.min(num_params);
+        let base = num_params / shards;
+        let extra = num_params % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0;
+        for s in 0..shards {
+            let len = base + usize::from(s < extra);
+            ranges.push((start, start + len));
+            start += len;
+        }
+        ShardLayout { ranges, num_params }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total parameters across all shards.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// The half-open parameter range `[lo, hi)` owned by `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn range(&self, shard: ShardId) -> (usize, usize) {
+        self.ranges[shard.index()]
+    }
+
+    /// The shard owning parameter `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_params`.
+    pub fn shard_of(&self, index: usize) -> ShardId {
+        assert!(index < self.num_params, "parameter index out of range");
+        // Ranges are equal-or-off-by-one, so a direct computation works:
+        // the first `extra` shards have `base + 1` params.
+        let shards = self.ranges.len();
+        let base = self.num_params / shards;
+        let extra = self.num_params % shards;
+        let boundary = extra * (base + 1);
+        let s = if index < boundary { index / (base + 1) } else { extra + (index - boundary) / base };
+        ShardId::new(s)
+    }
+
+    /// Iterates over `(ShardId, (lo, hi))` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ShardId, (usize, usize))> + '_ {
+        self.ranges.iter().enumerate().map(|(i, &r)| (ShardId::new(i), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_covers_all_params_contiguously() {
+        let l = ShardLayout::new(103, 7);
+        assert_eq!(l.num_shards(), 7);
+        let mut expected_start = 0;
+        for (_, (lo, hi)) in l.iter() {
+            assert_eq!(lo, expected_start);
+            expected_start = hi;
+        }
+        assert_eq!(expected_start, 103);
+    }
+
+    #[test]
+    fn shard_sizes_differ_by_at_most_one() {
+        let l = ShardLayout::new(100, 8);
+        let sizes: Vec<usize> = l.iter().map(|(_, (lo, hi))| hi - lo).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn shard_of_agrees_with_ranges() {
+        let l = ShardLayout::new(97, 5);
+        for (sid, (lo, hi)) in l.iter() {
+            for i in lo..hi {
+                assert_eq!(l.shard_of(i), sid, "param {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_params_collapses() {
+        let l = ShardLayout::new(3, 10);
+        assert_eq!(l.num_shards(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter index out of range")]
+    fn shard_of_out_of_range_panics() {
+        ShardLayout::new(10, 2).shard_of(10);
+    }
+}

@@ -1,0 +1,318 @@
+//! The sharded, versioned parameter store.
+//!
+//! Semantics follow MXNet's `dist_async` kvstore, the substrate the paper
+//! builds on (§V): pushes are gradient contributions applied to the global
+//! parameters in arrival order; pulls return a snapshot of the current
+//! global view. There are no barriers in the store itself — synchronization
+//! policy lives entirely in the scheme/scheduler layer.
+
+use specsync_simnet::WorkerId;
+
+use crate::sharding::ShardLayout;
+
+/// A consistent snapshot of the global parameters, as returned by a pull.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSnapshot {
+    params: Vec<f32>,
+    version: u64,
+}
+
+impl ParamSnapshot {
+    /// The parameter values.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// The global version (total pushes applied) at snapshot time.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Consumes the snapshot, returning the parameter vector.
+    pub fn into_params(self) -> Vec<f32> {
+        self.params
+    }
+}
+
+/// The server-side global parameter state.
+///
+/// # Examples
+///
+/// ```
+/// use specsync_ps::ParameterStore;
+/// use specsync_simnet::WorkerId;
+///
+/// let mut store = ParameterStore::new(vec![1.0, 1.0], 1);
+/// store.apply_push(WorkerId::new(0), &[0.5, 0.0], 1.0);
+/// let snap = store.pull(WorkerId::new(0));
+/// assert_eq!(snap.params(), &[0.5, 1.0]);
+/// assert_eq!(snap.version(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParameterStore {
+    params: Vec<f32>,
+    layout: ShardLayout,
+    version: u64,
+    pushes_per_worker: Vec<u64>,
+    last_pull_version: Vec<u64>,
+    momentum: f32,
+    velocity: Vec<f32>,
+    grad_clip: Option<f32>,
+}
+
+impl ParameterStore {
+    /// Creates a store holding `initial` parameters split into `num_shards`
+    /// server shards, applying plain SGD updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `num_shards == 0`.
+    pub fn new(initial: Vec<f32>, num_shards: usize) -> Self {
+        assert!(!initial.is_empty(), "parameter vector cannot be empty");
+        let layout = ShardLayout::new(initial.len(), num_shards);
+        ParameterStore {
+            params: initial,
+            layout,
+            version: 0,
+            pushes_per_worker: Vec::new(),
+            last_pull_version: Vec::new(),
+            momentum: 0.0,
+            velocity: Vec::new(),
+            grad_clip: None,
+        }
+    }
+
+    /// Enables server-side gradient clipping: a pushed gradient whose L2
+    /// norm exceeds `max_norm` is rescaled to that norm before applying
+    /// (MXNet's `clip_gradient` optimizer option).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_norm` is not positive and finite.
+    pub fn with_grad_clip(mut self, max_norm: f32) -> Self {
+        assert!(max_norm.is_finite() && max_norm > 0.0, "clip norm must be positive and finite");
+        self.grad_clip = Some(max_norm);
+        self
+    }
+
+    /// Enables server-side Polyak momentum: each push applies
+    /// `v ← β·v + g; w ← w − lr·v` (MXNet's `sgd` optimizer with
+    /// `momentum = β`, the update rule the paper's ResNet/MF workloads
+    /// train with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is not in `[0, 1)`.
+    pub fn with_momentum(mut self, beta: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta), "momentum must be in [0, 1)");
+        self.momentum = beta;
+        if beta > 0.0 {
+            self.velocity = vec![0.0; self.params.len()];
+        }
+        self
+    }
+
+    /// Number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The shard layout.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// Global version: total number of pushes applied so far.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Current global parameters (server-side view, no copy).
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    fn ensure_worker(&mut self, worker: WorkerId) {
+        let need = worker.index() + 1;
+        if self.pushes_per_worker.len() < need {
+            self.pushes_per_worker.resize(need, 0);
+            self.last_pull_version.resize(need, 0);
+        }
+    }
+
+    /// Applies a gradient push from `worker`: `w -= lr * grad`, applied
+    /// atomically across all shards in arrival order. Returns the new
+    /// global version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len()` differs from the parameter count or `lr` is
+    /// not finite.
+    pub fn apply_push(&mut self, worker: WorkerId, grad: &[f32], lr: f32) -> u64 {
+        assert_eq!(grad.len(), self.params.len(), "gradient length mismatch");
+        assert!(lr.is_finite(), "learning rate must be finite");
+        self.ensure_worker(worker);
+        // Apply clipping as a scale factor so the (possibly large) gradient
+        // buffer is never copied.
+        let scale = match self.grad_clip {
+            Some(max_norm) => {
+                let norm = grad.iter().map(|g| g * g).sum::<f32>().sqrt();
+                if norm > max_norm {
+                    max_norm / norm
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        if self.momentum > 0.0 {
+            let beta = self.momentum;
+            for ((p, v), g) in self.params.iter_mut().zip(&mut self.velocity).zip(grad) {
+                *v = beta * *v + g * scale;
+                *p -= lr * *v;
+            }
+        } else {
+            for (p, g) in self.params.iter_mut().zip(grad) {
+                *p -= lr * g * scale;
+            }
+        }
+        self.version += 1;
+        self.pushes_per_worker[worker.index()] += 1;
+        self.version
+    }
+
+    /// Serves a pull from `worker`: snapshots the current parameters and
+    /// records the version the worker now holds (the basis for staleness
+    /// accounting).
+    pub fn pull(&mut self, worker: WorkerId) -> ParamSnapshot {
+        self.ensure_worker(worker);
+        self.last_pull_version[worker.index()] = self.version;
+        ParamSnapshot { params: self.params.clone(), version: self.version }
+    }
+
+    /// How many pushes `worker` has applied.
+    pub fn pushes_by(&self, worker: WorkerId) -> u64 {
+        self.pushes_per_worker.get(worker.index()).copied().unwrap_or(0)
+    }
+
+    /// The staleness of `worker`'s replica: pushes applied globally since
+    /// its last pull (the "missing updates" of paper §II-C).
+    pub fn staleness_of(&self, worker: WorkerId) -> u64 {
+        let pulled = self.last_pull_version.get(worker.index()).copied().unwrap_or(0);
+        self.version - pulled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: usize) -> WorkerId {
+        WorkerId::new(i)
+    }
+
+    #[test]
+    fn push_applies_scaled_gradient() {
+        let mut s = ParameterStore::new(vec![1.0, 2.0, 3.0], 2);
+        s.apply_push(w(0), &[1.0, 0.0, -1.0], 0.5);
+        assert_eq!(s.params(), &[0.5, 2.0, 3.5]);
+        assert_eq!(s.version(), 1);
+    }
+
+    #[test]
+    fn pushes_compose_in_arrival_order() {
+        let mut s = ParameterStore::new(vec![0.0], 1);
+        s.apply_push(w(0), &[1.0], 1.0);
+        s.apply_push(w(1), &[1.0], 0.5);
+        assert_eq!(s.params(), &[-1.5]);
+        assert_eq!(s.version(), 2);
+        assert_eq!(s.pushes_by(w(0)), 1);
+        assert_eq!(s.pushes_by(w(1)), 1);
+    }
+
+    #[test]
+    fn pull_snapshots_are_isolated_from_later_pushes() {
+        let mut s = ParameterStore::new(vec![0.0], 1);
+        let snap = s.pull(w(0));
+        s.apply_push(w(1), &[1.0], 1.0);
+        assert_eq!(snap.params(), &[0.0]);
+        assert_eq!(snap.version(), 0);
+        assert_eq!(s.pull(w(1)).params(), &[-1.0]);
+    }
+
+    #[test]
+    fn staleness_counts_pushes_since_last_pull() {
+        let mut s = ParameterStore::new(vec![0.0], 1);
+        s.pull(w(0));
+        assert_eq!(s.staleness_of(w(0)), 0);
+        s.apply_push(w(1), &[1.0], 1.0);
+        s.apply_push(w(2), &[1.0], 1.0);
+        assert_eq!(s.staleness_of(w(0)), 2);
+        s.pull(w(0));
+        assert_eq!(s.staleness_of(w(0)), 0);
+    }
+
+    #[test]
+    fn staleness_of_never_pulled_worker_counts_all_pushes() {
+        let mut s = ParameterStore::new(vec![0.0], 1);
+        s.apply_push(w(0), &[1.0], 1.0);
+        assert_eq!(s.staleness_of(w(5)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient length mismatch")]
+    fn mismatched_gradient_panics() {
+        let mut s = ParameterStore::new(vec![0.0, 0.0], 1);
+        s.apply_push(w(0), &[1.0], 1.0);
+    }
+
+    #[test]
+    fn grad_clip_rescales_large_pushes() {
+        let mut s = ParameterStore::new(vec![0.0, 0.0], 1).with_grad_clip(1.0);
+        // Norm 5 gradient clipped to norm 1: (3,4)/5 = (0.6, 0.8).
+        s.apply_push(w(0), &[3.0, 4.0], 1.0);
+        assert!((s.params()[0] + 0.6).abs() < 1e-6);
+        assert!((s.params()[1] + 0.8).abs() < 1e-6);
+        // Small gradients pass through unchanged.
+        s.apply_push(w(0), &[0.1, 0.0], 1.0);
+        assert!((s.params()[0] + 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "clip norm must be positive")]
+    fn zero_clip_panics() {
+        let _ = ParameterStore::new(vec![0.0], 1).with_grad_clip(0.0);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut s = ParameterStore::new(vec![0.0], 1).with_momentum(0.5);
+        s.apply_push(w(0), &[1.0], 1.0);
+        // v = 1.0, w = -1.0
+        assert_eq!(s.params(), &[-1.0]);
+        s.apply_push(w(0), &[1.0], 1.0);
+        // v = 1.5, w = -2.5
+        assert_eq!(s.params(), &[-2.5]);
+    }
+
+    #[test]
+    fn zero_momentum_matches_plain_sgd() {
+        let mut a = ParameterStore::new(vec![0.0], 1);
+        let mut b = ParameterStore::new(vec![0.0], 1).with_momentum(0.0);
+        a.apply_push(w(0), &[2.0], 0.5);
+        b.apply_push(w(0), &[2.0], 0.5);
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in [0, 1)")]
+    fn invalid_momentum_panics() {
+        let _ = ParameterStore::new(vec![0.0], 1).with_momentum(1.0);
+    }
+
+    #[test]
+    fn snapshot_into_params_round_trips() {
+        let mut s = ParameterStore::new(vec![7.0], 1);
+        assert_eq!(s.pull(w(0)).into_params(), vec![7.0]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the parameter-store semantics.
+
+use proptest::prelude::*;
+use specsync_ps::{ParameterStore, ShardLayout};
+use specsync_simnet::WorkerId;
+
+proptest! {
+    /// Version equals the number of applied pushes; per-worker counters sum
+    /// to it.
+    #[test]
+    fn version_counts_pushes(pushes in proptest::collection::vec((0usize..5, -1.0f32..1.0), 0..50)) {
+        let mut store = ParameterStore::new(vec![0.0; 4], 2);
+        for &(w, g) in &pushes {
+            store.apply_push(WorkerId::new(w), &[g, g, g, g], 0.1);
+        }
+        prop_assert_eq!(store.version(), pushes.len() as u64);
+        let sum: u64 = (0..5).map(|w| store.pushes_by(WorkerId::new(w))).sum();
+        prop_assert_eq!(sum, pushes.len() as u64);
+    }
+
+    /// Plain SGD pushes commute in their final sum (floating-point
+    /// associativity aside, a tolerance check): the store applies
+    /// w -= lr·Σg regardless of arrival order.
+    #[test]
+    fn sgd_updates_accumulate(grads in proptest::collection::vec(-1.0f32..1.0, 1..30)) {
+        let mut store = ParameterStore::new(vec![0.0], 1);
+        for &g in &grads {
+            store.apply_push(WorkerId::new(0), &[g], 0.5);
+        }
+        let expected: f32 = -0.5 * grads.iter().sum::<f32>();
+        prop_assert!((store.params()[0] - expected).abs() < 1e-3);
+    }
+
+    /// Snapshots are immutable: later pushes never alter an earlier pull.
+    #[test]
+    fn snapshots_are_isolated(pre in -1.0f32..1.0, post in -1.0f32..1.0) {
+        let mut store = ParameterStore::new(vec![1.0, 2.0], 2);
+        store.apply_push(WorkerId::new(0), &[pre, pre], 1.0);
+        let snap = store.pull(WorkerId::new(1));
+        let frozen = snap.params().to_vec();
+        store.apply_push(WorkerId::new(0), &[post, post], 1.0);
+        prop_assert_eq!(snap.params(), &frozen[..]);
+    }
+
+    /// Staleness is exactly the number of pushes since the last pull.
+    #[test]
+    fn staleness_is_exact(k in 0u64..20) {
+        let mut store = ParameterStore::new(vec![0.0], 1);
+        store.pull(WorkerId::new(0));
+        for _ in 0..k {
+            store.apply_push(WorkerId::new(1), &[0.1], 0.1);
+        }
+        prop_assert_eq!(store.staleness_of(WorkerId::new(0)), k);
+    }
+
+    /// Clipping never increases the applied step and preserves direction.
+    #[test]
+    fn clipping_shrinks_but_preserves_direction(gx in -10.0f32..10.0, gy in -10.0f32..10.0) {
+        prop_assume!(gx.abs() > 1e-3 || gy.abs() > 1e-3);
+        let mut clipped = ParameterStore::new(vec![0.0, 0.0], 1).with_grad_clip(0.5);
+        let mut plain = ParameterStore::new(vec![0.0, 0.0], 1);
+        clipped.apply_push(WorkerId::new(0), &[gx, gy], 1.0);
+        plain.apply_push(WorkerId::new(0), &[gx, gy], 1.0);
+        let cn = (clipped.params()[0].powi(2) + clipped.params()[1].powi(2)).sqrt();
+        let pn = (plain.params()[0].powi(2) + plain.params()[1].powi(2)).sqrt();
+        prop_assert!(cn <= pn + 1e-6);
+        prop_assert!(cn <= 0.5 + 1e-4, "clipped step norm {cn} exceeds clip");
+        // Same direction: cross product ~ 0 and dot >= 0.
+        let cross = clipped.params()[0] * plain.params()[1] - clipped.params()[1] * plain.params()[0];
+        prop_assert!(cross.abs() < 1e-3);
+    }
+
+    /// Shard layouts tile the parameter space for any (params, shards).
+    #[test]
+    fn shard_layout_tiles(n in 1usize..10_000, s in 1usize..64) {
+        let layout = ShardLayout::new(n, s);
+        let mut covered = 0;
+        let mut prev_end = 0;
+        for (_, (lo, hi)) in layout.iter() {
+            prop_assert_eq!(lo, prev_end);
+            prop_assert!(hi > lo);
+            covered += hi - lo;
+            prev_end = hi;
+        }
+        prop_assert_eq!(covered, n);
+    }
+}

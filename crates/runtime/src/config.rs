@@ -1,0 +1,100 @@
+//! Runtime configuration.
+
+use std::time::Duration;
+
+use specsync_sync::TuningMode;
+
+/// How the threaded runtime synchronizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RuntimeScheme {
+    /// Plain asynchronous parallel (MXNet's default).
+    Asp,
+    /// Speculative synchronization over ASP.
+    SpecSync(TuningMode),
+}
+
+impl RuntimeScheme {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RuntimeScheme::Asp => "Original",
+            RuntimeScheme::SpecSync(TuningMode::Adaptive) => "SpecSync-Adaptive",
+            RuntimeScheme::SpecSync(TuningMode::Fixed { .. }) => "SpecSync-Fixed",
+        }
+    }
+}
+
+/// Configuration of a threaded training run.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Synchronization scheme.
+    pub scheme: RuntimeScheme,
+    /// Artificial per-iteration compute padding: stands in for the heavy
+    /// gradient computation of a full-size model (our scaled models compute
+    /// in microseconds, far below meaningful speculation windows).
+    pub compute_pad: Duration,
+    /// How often a padded computation polls for a re-sync instruction.
+    pub abort_poll: Duration,
+    /// Wall-clock budget for the run.
+    pub max_duration: Duration,
+    /// Stop early when the eval loss stays at or below this target for 5
+    /// consecutive evaluations (the paper's rule); `None` runs the full
+    /// budget.
+    pub target_loss: Option<f64>,
+    /// Evaluate the global loss every `eval_stride` pushes.
+    pub eval_stride: u64,
+    /// Master seed for dataset generation and batch sampling.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 4,
+            scheme: RuntimeScheme::Asp,
+            compute_pad: Duration::from_millis(10),
+            abort_poll: Duration::from_millis(1),
+            max_duration: Duration::from_secs(5),
+            target_loss: None,
+            eval_stride: 4,
+            seed: 0,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero workers, zero eval stride, or a zero poll interval.
+    pub fn validate(&self) {
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(self.eval_stride > 0, "eval stride must be positive");
+        assert!(!self.abort_poll.is_zero(), "abort poll interval must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        RuntimeConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        RuntimeConfig { workers: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(RuntimeScheme::Asp.label(), "Original");
+        assert_eq!(RuntimeScheme::SpecSync(TuningMode::Adaptive).label(), "SpecSync-Adaptive");
+    }
+}

@@ -1,0 +1,45 @@
+//! Real multi-threaded SpecSync deployment.
+//!
+//! `specsync-cluster` replays the protocol under deterministic virtual
+//! time; this crate runs it on actual OS threads — the three roles of the
+//! paper's architecture (Fig. 7) wired with channels:
+//!
+//! - a **server** thread owning the [`specsync_ps::ParameterStore`],
+//! - a **scheduler** thread running the [`specsync_core::Scheduler`] with
+//!   real wall-clock timers,
+//! - `m` **worker** threads pulling, computing real gradients (padded to a
+//!   configurable iteration length), pushing, and honouring `re-sync`
+//!   instructions mid-computation.
+//!
+//! Use it to exercise the protocol under genuine concurrency and races;
+//! use the simulator for reproducible paper-scale experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::Duration;
+//! use specsync_ml::Workload;
+//! use specsync_runtime::{run, RuntimeConfig, RuntimeScheme};
+//! use specsync_sync::TuningMode;
+//!
+//! let config = RuntimeConfig {
+//!     workers: 2,
+//!     scheme: RuntimeScheme::SpecSync(TuningMode::Adaptive),
+//!     compute_pad: Duration::from_millis(2),
+//!     max_duration: Duration::from_millis(300),
+//!     ..RuntimeConfig::default()
+//! };
+//! let report = run(&Workload::tiny_test(), &config);
+//! assert!(report.total_iterations > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod report;
+mod runtime;
+
+pub use config::{RuntimeConfig, RuntimeScheme};
+pub use report::{RuntimeReport, WallLossPoint};
+pub use runtime::run;

@@ -1,0 +1,73 @@
+//! Results of a threaded run.
+
+use std::time::Duration;
+
+/// One loss observation on the wall clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallLossPoint {
+    /// Elapsed wall time since the run started.
+    pub elapsed: Duration,
+    /// Total pushes applied when the observation was taken.
+    pub iterations: u64,
+    /// Evaluation loss.
+    pub loss: f64,
+}
+
+/// Outcome of one threaded training run.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Scheme label.
+    pub scheme: String,
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Wall time at which the convergence rule fired, if it did.
+    pub converged_at: Option<Duration>,
+    /// Total gradient pushes applied.
+    pub total_iterations: u64,
+    /// Total aborted computations.
+    pub total_aborts: u64,
+    /// Loss curve over wall time.
+    pub loss_curve: Vec<WallLossPoint>,
+    /// Wall time when the run finished.
+    pub elapsed: Duration,
+}
+
+impl RuntimeReport {
+    /// Final observed loss.
+    pub fn final_loss(&self) -> Option<f64> {
+        self.loss_curve.last().map(|p| p.loss)
+    }
+
+    /// Lowest observed loss.
+    pub fn best_loss(&self) -> Option<f64> {
+        self.loss_curve
+            .iter()
+            .map(|p| p.loss)
+            .filter(|l| !l.is_nan())
+            .min_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_loss_ignores_nan() {
+        let report = RuntimeReport {
+            scheme: "test".into(),
+            workers: 1,
+            converged_at: None,
+            total_iterations: 3,
+            total_aborts: 0,
+            loss_curve: vec![
+                WallLossPoint { elapsed: Duration::from_millis(1), iterations: 1, loss: 1.0 },
+                WallLossPoint { elapsed: Duration::from_millis(2), iterations: 2, loss: f64::NAN },
+                WallLossPoint { elapsed: Duration::from_millis(3), iterations: 3, loss: 0.5 },
+            ],
+            elapsed: Duration::from_millis(3),
+        };
+        assert_eq!(report.best_loss(), Some(0.5));
+        assert!(report.final_loss().unwrap() == 0.5);
+    }
+}

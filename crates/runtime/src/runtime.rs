@@ -1,0 +1,267 @@
+//! The threaded deployment: one server thread, one scheduler thread, `m`
+//! worker threads, wired with channels — the same roles as the paper's
+//! Fig. 7, inside one process.
+//!
+//! Unlike the virtual-time simulator in `specsync-cluster` (deterministic,
+//! used for all paper experiments), this runtime exercises the SpecSync
+//! protocol under *real* concurrency: real wall-clock speculation windows,
+//! real races between `re-sync` delivery and iteration completion. It is
+//! intentionally not deterministic.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use specsync_core::Scheduler;
+use specsync_ml::{ConvergenceDetector, Workload};
+use specsync_ps::ParameterStore;
+use specsync_simnet::{VirtualTime, WorkerId};
+use specsync_sync::TuningMode;
+
+use crate::config::{RuntimeConfig, RuntimeScheme};
+use crate::report::{RuntimeReport, WallLossPoint};
+
+enum ServerMsg {
+    Pull { reply: Sender<Vec<f32>> },
+    Push { worker: WorkerId, grad: Vec<f32> },
+    Shutdown,
+}
+
+enum SchedMsg {
+    Pull { worker: WorkerId },
+    Notify { worker: WorkerId },
+    Shutdown,
+}
+
+/// Runs a workload on real threads and reports the outcome.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`RuntimeConfig::validate`])
+/// or a thread panics.
+pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
+    config.validate();
+    let m = config.workers;
+    let start = Instant::now();
+    let stop = Arc::new(AtomicBool::new(false));
+    let aborts = Arc::new(AtomicU64::new(0));
+
+    let mut bundle = workload.build(m, config.seed);
+    let initial = bundle.workers[0].params().to_vec();
+
+    // Channels.
+    let (server_tx, server_rx) = unbounded::<ServerMsg>();
+    let (sched_tx, sched_rx) = unbounded::<SchedMsg>();
+    let resync_channels: Vec<(Sender<()>, Receiver<()>)> = (0..m).map(|_| bounded(1)).collect();
+    let resync_txs: Vec<Sender<()>> = resync_channels.iter().map(|(tx, _)| tx.clone()).collect();
+
+    // ---- Server thread: owns the store, applies pushes, evaluates. ----
+    let loss_curve = Arc::new(Mutex::new(Vec::<WallLossPoint>::new()));
+    let converged_at = Arc::new(Mutex::new(None::<Duration>));
+    let total_pushes = Arc::new(AtomicU64::new(0));
+    let server = {
+        let mut store = ParameterStore::new(initial, 8).with_momentum(workload.momentum);
+        if let Some(clip) = workload.grad_clip {
+            store = store.with_grad_clip(clip);
+        }
+        let mut eval = bundle.eval;
+        let mut detector = config.target_loss.map(ConvergenceDetector::paper_default);
+        let lr_schedule = workload.lr.clone();
+        let stop = Arc::clone(&stop);
+        let loss_curve = Arc::clone(&loss_curve);
+        let converged_at = Arc::clone(&converged_at);
+        let total_pushes = Arc::clone(&total_pushes);
+        let eval_stride = config.eval_stride;
+        let run_start = start;
+        let workers = m;
+        thread::spawn(move || {
+            let mut per_worker = vec![0u64; workers];
+            let mut epochs = 0u64;
+            while let Ok(msg) = server_rx.recv() {
+                match msg {
+                    ServerMsg::Pull { reply } => {
+                        // A send fails only if the worker already exited.
+                        let _ = reply.send(store.params().to_vec());
+                    }
+                    ServerMsg::Push { worker, grad } => {
+                        let lr = lr_schedule.lr_at(epochs) as f32;
+                        store.apply_push(worker, &grad, lr);
+                        per_worker[worker.index()] += 1;
+                        let applied = total_pushes.fetch_add(1, Ordering::Relaxed) + 1;
+                        let min = per_worker.iter().min().copied().unwrap_or(0);
+                        if min > epochs {
+                            epochs = min;
+                        }
+                        if applied.is_multiple_of(eval_stride) {
+                            let loss = eval.loss_of(store.params());
+                            let elapsed = run_start.elapsed();
+                            loss_curve.lock().push(WallLossPoint { elapsed, iterations: applied, loss });
+                            if let Some(det) = detector.as_mut() {
+                                if det.observe(loss) && converged_at.lock().is_none() {
+                                    *converged_at.lock() = Some(elapsed);
+                                    stop.store(true, Ordering::SeqCst);
+                                }
+                            }
+                        }
+                    }
+                    ServerMsg::Shutdown => break,
+                }
+            }
+        })
+    };
+
+    // ---- Scheduler thread: Algorithm 2 with real timers. ----
+    let scheduler = {
+        let tuning = match config.scheme {
+            RuntimeScheme::SpecSync(t) => t,
+            RuntimeScheme::Asp => TuningMode::Fixed {
+                abort_time: specsync_simnet::SimDuration::ZERO,
+                abort_rate: f64::MAX,
+            },
+        };
+        let mut core = Scheduler::new(m, tuning);
+        let resync_txs = resync_txs.clone();
+        thread::spawn(move || {
+            let now_vt = |origin: Instant| VirtualTime::from_micros(origin.elapsed().as_micros() as u64);
+            let origin = Instant::now();
+            let mut timers: Vec<(VirtualTime, WorkerId)> = Vec::new();
+            let mut per_worker = vec![0u64; m];
+            let mut epochs = 0u64;
+            loop {
+                // Fire due timers.
+                let now = now_vt(origin);
+                let mut i = 0;
+                while i < timers.len() {
+                    if timers[i].0 <= now {
+                        let (deadline, worker) = timers.swap_remove(i);
+                        if core.on_check(worker, deadline) {
+                            // A full channel means a resync is already
+                            // pending for this worker; dropping is safe.
+                            let _ = resync_txs[worker.index()].try_send(());
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                // Wait for the next message or timer.
+                let next = timers.iter().map(|&(t, _)| t).min();
+                let timeout = match next {
+                    Some(t) => Duration::from_micros(t.as_micros().saturating_sub(now_vt(origin).as_micros())),
+                    None => Duration::from_millis(20),
+                };
+                match sched_rx.recv_timeout(timeout.max(Duration::from_micros(100))) {
+                    Ok(SchedMsg::Pull { worker }) => core.on_pull(worker, now_vt(origin)),
+                    Ok(SchedMsg::Notify { worker }) => {
+                        let now = now_vt(origin);
+                        if let Some(deadline) = core.on_notify(worker, now) {
+                            timers.push((deadline, worker));
+                        }
+                        per_worker[worker.index()] += 1;
+                        let min = per_worker.iter().min().copied().unwrap_or(0);
+                        while min > epochs {
+                            epochs += 1;
+                            core.on_epoch_complete(now);
+                        }
+                    }
+                    Ok(SchedMsg::Shutdown) => break,
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        })
+    };
+
+    // ---- Worker threads. ----
+    let mut worker_handles = Vec::with_capacity(m);
+    for (i, mut model) in bundle.workers.drain(..).enumerate() {
+        let worker = WorkerId::new(i);
+        let server_tx = server_tx.clone();
+        let sched_tx = sched_tx.clone();
+        let resync_rx = resync_channels[i].1.clone();
+        let stop = Arc::clone(&stop);
+        let aborts = Arc::clone(&aborts);
+        let mut sampler = workload.sampler_for(model.as_ref(), i, config.seed ^ 0xBA7C);
+        let pad = config.compute_pad;
+        let poll = config.abort_poll;
+        worker_handles.push(thread::spawn(move || {
+            let mut grad = vec![0.0f32; model.num_params()];
+            'training: while !stop.load(Ordering::SeqCst) {
+                // Pull.
+                let (reply_tx, reply_rx) = bounded(1);
+                if server_tx.send(ServerMsg::Pull { reply: reply_tx }).is_err() {
+                    break;
+                }
+                let Ok(params) = reply_rx.recv() else { break };
+                let _ = sched_tx.send(SchedMsg::Pull { worker });
+                // Discard any stale re-sync from a previous iteration.
+                while resync_rx.try_recv().is_ok() {}
+
+                // Compute (abortable during the padded span).
+                'attempt: loop {
+                    model.set_params(&params);
+                    let batch = sampler.next_batch();
+                    model.gradient(&batch, &mut grad);
+                    let compute_start = Instant::now();
+                    while compute_start.elapsed() < pad {
+                        thread::sleep(poll.min(pad));
+                        if stop.load(Ordering::SeqCst) {
+                            break 'training;
+                        }
+                        if resync_rx.try_recv().is_ok() {
+                            // Abort: re-pull fresh parameters and restart.
+                            aborts.fetch_add(1, Ordering::Relaxed);
+                            let (reply_tx, reply_rx) = bounded(1);
+                            if server_tx.send(ServerMsg::Pull { reply: reply_tx }).is_err() {
+                                break 'training;
+                            }
+                            let Ok(fresh) = reply_rx.recv() else { break 'training };
+                            let _ = sched_tx.send(SchedMsg::Pull { worker });
+                            model.set_params(&fresh);
+                            let batch = sampler.next_batch();
+                            model.gradient(&batch, &mut grad);
+                            continue 'attempt;
+                        }
+                    }
+                    break 'attempt;
+                }
+
+                // Push + notify.
+                if server_tx.send(ServerMsg::Push { worker, grad: grad.clone() }).is_err() {
+                    break;
+                }
+                let _ = sched_tx.send(SchedMsg::Notify { worker });
+            }
+        }));
+    }
+
+    // ---- Main thread: enforce the wall-clock budget. ----
+    let deadline = start + config.max_duration;
+    while Instant::now() < deadline && !stop.load(Ordering::SeqCst) {
+        thread::sleep(Duration::from_millis(5));
+    }
+    stop.store(true, Ordering::SeqCst);
+    for h in worker_handles {
+        h.join().expect("worker thread panicked");
+    }
+    let _ = sched_tx.send(SchedMsg::Shutdown);
+    let _ = server_tx.send(ServerMsg::Shutdown);
+    scheduler.join().expect("scheduler thread panicked");
+    server.join().expect("server thread panicked");
+
+    let elapsed = start.elapsed();
+    let mut curve = Arc::try_unwrap(loss_curve).map(Mutex::into_inner).unwrap_or_default();
+    curve.sort_by_key(|p| p.iterations);
+    let converged = *converged_at.lock();
+    RuntimeReport {
+        scheme: config.scheme.label().to_string(),
+        workers: m,
+        converged_at: converged,
+        total_iterations: total_pushes.load(Ordering::Relaxed),
+        total_aborts: aborts.load(Ordering::Relaxed),
+        loss_curve: curve,
+        elapsed,
+    }
+}

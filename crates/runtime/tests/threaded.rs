@@ -1,0 +1,89 @@
+//! Integration tests for the threaded runtime: the protocol must behave
+//! under real concurrency.
+
+use std::time::Duration;
+
+use specsync_ml::Workload;
+use specsync_runtime::{run, RuntimeConfig, RuntimeScheme};
+use specsync_simnet::SimDuration;
+use specsync_sync::TuningMode;
+
+fn base_config() -> RuntimeConfig {
+    RuntimeConfig {
+        workers: 4,
+        compute_pad: Duration::from_millis(5),
+        abort_poll: Duration::from_millis(1),
+        max_duration: Duration::from_millis(800),
+        eval_stride: 4,
+        seed: 3,
+        ..RuntimeConfig::default()
+    }
+}
+
+#[test]
+fn asp_makes_progress_on_real_threads() {
+    let report = run(&Workload::tiny_test(), &base_config());
+    assert_eq!(report.scheme, "Original");
+    assert!(report.total_iterations > 20, "only {} iterations", report.total_iterations);
+    assert_eq!(report.total_aborts, 0);
+    let first = report.loss_curve.first().expect("non-empty curve").loss;
+    let best = report.best_loss().expect("non-empty curve");
+    assert!(best <= first, "loss should not regress: {first} -> {best}");
+}
+
+#[test]
+fn specsync_fixed_aborts_under_load() {
+    let config = RuntimeConfig {
+        scheme: RuntimeScheme::SpecSync(TuningMode::Fixed {
+            // Window shorter than the compute pad and a permissive
+            // threshold: with 4 workers pushing every ~5 ms, aborts must
+            // occur.
+            abort_time: SimDuration::from_millis(3),
+            abort_rate: 0.25,
+        }),
+        ..base_config()
+    };
+    let report = run(&Workload::tiny_test(), &config);
+    assert!(report.total_aborts > 0, "speculation never fired on real threads");
+    assert!(report.total_iterations > 10);
+}
+
+#[test]
+fn specsync_adaptive_runs_and_completes() {
+    let config = RuntimeConfig {
+        scheme: RuntimeScheme::SpecSync(TuningMode::Adaptive),
+        max_duration: Duration::from_millis(1200),
+        ..base_config()
+    };
+    let report = run(&Workload::tiny_test(), &config);
+    assert_eq!(report.scheme, "SpecSync-Adaptive");
+    assert!(report.total_iterations > 20);
+    assert!(report.elapsed <= Duration::from_secs(5), "run overshot its budget grossly");
+}
+
+#[test]
+fn target_loss_stops_the_run_early() {
+    let config = RuntimeConfig {
+        // Trivially reachable target: the initial loss already satisfies it.
+        target_loss: Some(1e9),
+        max_duration: Duration::from_secs(10),
+        ..base_config()
+    };
+    let report = run(&Workload::tiny_test(), &config);
+    assert!(report.converged_at.is_some());
+    assert!(report.elapsed < Duration::from_secs(5), "early stop did not happen");
+}
+
+#[test]
+fn loss_curve_iterations_are_monotone() {
+    let report = run(&Workload::tiny_test(), &base_config());
+    assert!(report.loss_curve.windows(2).all(|w| w[0].iterations < w[1].iterations));
+}
+
+#[test]
+fn single_worker_degenerates_to_sequential_sgd() {
+    let config = RuntimeConfig { workers: 1, ..base_config() };
+    let report = run(&Workload::tiny_test(), &config);
+    assert!(report.total_iterations > 10);
+    assert_eq!(report.total_aborts, 0, "a lone worker has no peers to trigger speculation");
+}

@@ -1,0 +1,213 @@
+//! The event queue at the heart of the discrete-event engine.
+//!
+//! Events are ordered by `(time, sequence)`: two events scheduled for the
+//! same instant pop in the order they were scheduled. The tie-break is what
+//! makes whole-simulation runs deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::VirtualTime;
+
+/// A handle that identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    time: VirtualTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// # Examples
+///
+/// ```
+/// use specsync_simnet::{EventQueue, VirtualTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(VirtualTime::from_micros(20), "later");
+/// q.schedule(VirtualTime::from_micros(10), "sooner");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t.as_micros(), e), (10, "sooner"));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    now: VirtualTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`VirtualTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            now: VirtualTime::ZERO,
+        }
+    }
+
+    /// The current simulated instant: the time of the most recently popped
+    /// event (or zero before any pop).
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at `time`, returning a cancellation handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the current instant — the engine never
+    /// travels backwards.
+    pub fn schedule(&mut self, time: VirtualTime, event: E) -> EventId {
+        assert!(time >= self.now, "cannot schedule into the past ({time} < {})", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its time.
+    /// Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(VirtualTime, E)> {
+        while let Some(s) = self.heap.pop() {
+            if self.cancelled.remove(&s.seq) {
+                continue;
+            }
+            self.now = s.time;
+            return Some((s.time, s.event));
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    ///
+    /// Cancelled events that have not yet been skipped over still occupy heap
+    /// slots, so this subtracts the cancellation set size.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(VirtualTime::from_micros(30), 3);
+        q.schedule(VirtualTime::from_micros(10), 1);
+        q.schedule(VirtualTime::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = VirtualTime::from_micros(5);
+        q.schedule(t, "first");
+        q.schedule(t, "second");
+        q.schedule(t, "third");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(VirtualTime::from_micros(7), ());
+        assert_eq!(q.now(), VirtualTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), VirtualTime::from_micros(7));
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(VirtualTime::from_micros(1), "keep");
+        let drop = q.schedule(VirtualTime::from_micros(2), "drop");
+        q.cancel(drop);
+        let _ = keep;
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "keep");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(VirtualTime::from_micros(1), ());
+        q.pop();
+        q.cancel(id);
+        q.schedule(VirtualTime::from_micros(2), ());
+        assert!(q.pop().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(VirtualTime::from_micros(10), ());
+        q.pop();
+        q.schedule(VirtualTime::from_micros(5), ());
+    }
+
+    #[test]
+    fn is_empty_accounts_for_cancellations() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        let id = q.schedule(VirtualTime::from_micros(1), ());
+        assert!(!q.is_empty());
+        q.cancel(id);
+        assert!(q.is_empty());
+    }
+}

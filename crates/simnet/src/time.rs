@@ -1,0 +1,294 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! All simulated clocks are integer microsecond counters. Using a fixed-point
+//! integer representation (rather than `f64` seconds) keeps event ordering
+//! exact and runs bit-identical across platforms, which the determinism
+//! guarantees of the engine rely on.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// An instant on the simulated clock, measured in microseconds since the
+/// start of the simulation.
+///
+/// # Examples
+///
+/// ```
+/// use specsync_simnet::{SimDuration, VirtualTime};
+///
+/// let t = VirtualTime::ZERO + SimDuration::from_secs_f64(1.5);
+/// assert_eq!(t.as_micros(), 1_500_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct VirtualTime(u64);
+
+/// A span of simulated time, measured in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use specsync_simnet::SimDuration;
+///
+/// let d = SimDuration::from_millis(250) * 4;
+/// assert_eq!(d.as_secs_f64(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl VirtualTime {
+    /// The start of the simulation.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// The largest representable instant (used as an "infinitely far" sentinel).
+    pub const MAX: VirtualTime = VirtualTime(u64::MAX);
+
+    /// Creates an instant from a raw microsecond count.
+    pub const fn from_micros(micros: u64) -> Self {
+        VirtualTime(micros)
+    }
+
+    /// Creates an instant `secs` whole seconds after the simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        VirtualTime(secs * MICROS_PER_SEC)
+    }
+
+    /// Creates an instant `secs` seconds after the simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "time must be finite and non-negative");
+        VirtualTime((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw microsecond count since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// The span from `earlier` to `self`, or [`SimDuration::ZERO`] if
+    /// `earlier` is later than `self`.
+    pub fn saturating_since(self, earlier: VirtualTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier > self`.
+    pub fn since(self, earlier: VirtualTime) -> SimDuration {
+        debug_assert!(earlier <= self, "`since` called with a later instant");
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// The largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a span from a raw microsecond count.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a span of `secs` whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * MICROS_PER_SEC)
+    }
+
+    /// Creates a span of `secs` seconds from a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        SimDuration((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The span in seconds as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Whether this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by a non-negative float, rounding to microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and non-negative");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Saturating subtraction of spans.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: SimDuration) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for VirtualTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for VirtualTime {
+    type Output = VirtualTime;
+    fn sub(self, rhs: SimDuration) -> VirtualTime {
+        VirtualTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(rhs <= self, "duration subtraction underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = VirtualTime::from_micros(1_000);
+        let d = SimDuration::from_micros(500);
+        assert_eq!((t + d).as_micros(), 1_500);
+        assert_eq!((t + d).since(t), d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = VirtualTime::from_micros(10);
+        let late = VirtualTime::from_micros(20);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early).as_micros(), 10);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_to_micros() {
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_micros(), 1_500_000);
+        assert_eq!(SimDuration::from_secs_f64(0.0000014).as_micros(), 1);
+        assert_eq!(VirtualTime::from_secs_f64(2.0).as_micros(), 2_000_000);
+    }
+
+    #[test]
+    fn display_formats_in_seconds() {
+        assert_eq!(SimDuration::from_millis(1500).to_string(), "1.500s");
+        assert_eq!(VirtualTime::from_secs_f64(3.25).to_string(), "3.250s");
+    }
+
+    #[test]
+    fn mul_f64_scales_and_rounds() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_secs(5));
+        assert_eq!(d.mul_f64(1.25), SimDuration::from_secs_f64(12.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn ordering_is_by_instant() {
+        let a = VirtualTime::from_micros(1);
+        let b = VirtualTime::from_micros(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn duration_div_and_mul() {
+        let d = SimDuration::from_secs(9);
+        assert_eq!(d / 3, SimDuration::from_secs(3));
+        assert_eq!(d * 2, SimDuration::from_secs(18));
+    }
+}

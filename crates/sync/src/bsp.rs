@@ -1,0 +1,114 @@
+//! Bulk-synchronous-parallel barrier bookkeeping (paper §II-C).
+
+use specsync_simnet::WorkerId;
+
+/// An iteration barrier over `m` workers: all must arrive before any may
+/// continue.
+///
+/// # Examples
+///
+/// ```
+/// use specsync_sync::BspBarrier;
+/// use specsync_simnet::WorkerId;
+///
+/// let mut barrier = BspBarrier::new(2);
+/// assert!(barrier.arrive(WorkerId::new(0)).is_none());
+/// let released = barrier.arrive(WorkerId::new(1)).unwrap();
+/// assert_eq!(released.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BspBarrier {
+    m: usize,
+    arrived: Vec<bool>,
+    count: usize,
+    generation: u64,
+}
+
+impl BspBarrier {
+    /// Creates a barrier over `m` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "need at least one worker");
+        BspBarrier { m, arrived: vec![false; m], count: 0, generation: 0 }
+    }
+
+    /// The number of completed barrier rounds.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of workers currently waiting at the barrier.
+    pub fn waiting(&self) -> usize {
+        self.count
+    }
+
+    /// Marks `worker` as arrived. Returns `Some(all workers)` when the
+    /// barrier trips (and resets for the next round), `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range or arrives twice in one round.
+    pub fn arrive(&mut self, worker: WorkerId) -> Option<Vec<WorkerId>> {
+        let slot = &mut self.arrived[worker.index()];
+        assert!(!*slot, "{worker} arrived twice in one barrier round");
+        *slot = true;
+        self.count += 1;
+        if self.count == self.m {
+            self.arrived.fill(false);
+            self.count = 0;
+            self.generation += 1;
+            Some(WorkerId::all(self.m).collect())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: usize) -> WorkerId {
+        WorkerId::new(i)
+    }
+
+    #[test]
+    fn trips_only_when_all_arrive() {
+        let mut b = BspBarrier::new(3);
+        assert!(b.arrive(w(0)).is_none());
+        assert!(b.arrive(w(2)).is_none());
+        assert_eq!(b.waiting(), 2);
+        let released = b.arrive(w(1)).unwrap();
+        assert_eq!(released, vec![w(0), w(1), w(2)]);
+        assert_eq!(b.generation(), 1);
+        assert_eq!(b.waiting(), 0);
+    }
+
+    #[test]
+    fn resets_between_rounds() {
+        let mut b = BspBarrier::new(2);
+        b.arrive(w(0));
+        b.arrive(w(1));
+        assert!(b.arrive(w(1)).is_none());
+        assert!(b.arrive(w(0)).is_some());
+        assert_eq!(b.generation(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived twice")]
+    fn double_arrival_panics() {
+        let mut b = BspBarrier::new(2);
+        b.arrive(w(0));
+        b.arrive(w(0));
+    }
+
+    #[test]
+    fn single_worker_barrier_always_trips() {
+        let mut b = BspBarrier::new(1);
+        assert!(b.arrive(w(0)).is_some());
+        assert!(b.arrive(w(0)).is_some());
+    }
+}

@@ -1,0 +1,133 @@
+//! The synchronization-scheme taxonomy (paper §II-C and §IV).
+
+use serde::{Deserialize, Serialize};
+use specsync_simnet::SimDuration;
+
+/// The scheme SpecSync speculation is layered on top of (paper §IV-A:
+/// "SpecSync can be flexibly implemented in both ASP and SSP models").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaseScheme {
+    /// Asynchronous parallel: never wait.
+    Asp,
+    /// Stale synchronous parallel with the given staleness bound.
+    Ssp {
+        /// Maximum number of iterations the fastest worker may lead the
+        /// slowest by.
+        bound: u64,
+    },
+}
+
+/// How SpecSync's two hyperparameters are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TuningMode {
+    /// Re-tune `ABORT_TIME`/`ABORT_RATE` at the start of every epoch with
+    /// the paper's Algorithm 1 (SpecSync-Adaptive).
+    Adaptive,
+    /// Fixed hyperparameters for the whole run — one grid point of
+    /// SpecSync-Cherrypick's exhaustive search.
+    Fixed {
+        /// The speculation window `ABORT_TIME`.
+        abort_time: SimDuration,
+        /// The push-rate threshold `ABORT_RATE` in `[0, 1]`.
+        abort_rate: f64,
+    },
+}
+
+/// A complete synchronization-scheme selection for a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// MXNet's default asynchronous scheme ("Original" in the paper's
+    /// evaluation).
+    Asp,
+    /// Bulk synchronous parallel: barrier at the end of every iteration.
+    Bsp,
+    /// Stale synchronous parallel.
+    Ssp {
+        /// Staleness bound in iterations.
+        bound: u64,
+    },
+    /// ASP with every pull deferred by a fixed delay (paper §III-B).
+    NaiveWaiting {
+        /// The fixed pull deferral.
+        delay: SimDuration,
+    },
+    /// Speculative synchronization over a base scheme.
+    SpecSync {
+        /// The scheme speculation is layered on.
+        base: BaseScheme,
+        /// Hyperparameter selection policy.
+        tuning: TuningMode,
+    },
+}
+
+impl SchemeKind {
+    /// SpecSync-Adaptive over ASP — the configuration the paper evaluates
+    /// most extensively.
+    pub fn specsync_adaptive() -> Self {
+        SchemeKind::SpecSync { base: BaseScheme::Asp, tuning: TuningMode::Adaptive }
+    }
+
+    /// SpecSync with fixed (cherry-picked) hyperparameters over ASP.
+    pub fn specsync_fixed(abort_time: SimDuration, abort_rate: f64) -> Self {
+        SchemeKind::SpecSync { base: BaseScheme::Asp, tuning: TuningMode::Fixed { abort_time, abort_rate } }
+    }
+
+    /// Whether this scheme runs the SpecSync scheduler.
+    pub fn is_speculative(&self) -> bool {
+        matches!(self, SchemeKind::SpecSync { .. })
+    }
+
+    /// A short human-readable label used in experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            SchemeKind::Asp => "Original".to_string(),
+            SchemeKind::Bsp => "BSP".to_string(),
+            SchemeKind::Ssp { bound } => format!("SSP(s={bound})"),
+            SchemeKind::NaiveWaiting { delay } => format!("NaiveWait({delay})"),
+            SchemeKind::SpecSync { base, tuning } => {
+                let base = match base {
+                    BaseScheme::Asp => "",
+                    BaseScheme::Ssp { bound } => &format!("/SSP(s={bound})") as &str,
+                };
+                match tuning {
+                    TuningMode::Adaptive => format!("SpecSync-Adaptive{base}"),
+                    TuningMode::Fixed { .. } => format!("SpecSync-Cherrypick{base}"),
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_and_stable() {
+        assert_eq!(SchemeKind::Asp.label(), "Original");
+        assert_eq!(SchemeKind::Ssp { bound: 3 }.label(), "SSP(s=3)");
+        assert_eq!(SchemeKind::specsync_adaptive().label(), "SpecSync-Adaptive");
+        assert_eq!(
+            SchemeKind::specsync_fixed(SimDuration::from_secs(1), 0.1).label(),
+            "SpecSync-Cherrypick"
+        );
+        let over_ssp = SchemeKind::SpecSync {
+            base: BaseScheme::Ssp { bound: 2 },
+            tuning: TuningMode::Adaptive,
+        };
+        assert_eq!(over_ssp.label(), "SpecSync-Adaptive/SSP(s=2)");
+    }
+
+    #[test]
+    fn speculative_predicate() {
+        assert!(SchemeKind::specsync_adaptive().is_speculative());
+        assert!(!SchemeKind::Asp.is_speculative());
+        assert!(!SchemeKind::NaiveWaiting { delay: SimDuration::from_secs(1) }.is_speculative());
+    }
+}

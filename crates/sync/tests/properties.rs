@@ -1,0 +1,64 @@
+//! Property-based tests of the SSP clock and BSP barrier invariants.
+
+use proptest::prelude::*;
+use specsync_simnet::WorkerId;
+use specsync_sync::{BspBarrier, SspClock};
+
+proptest! {
+    /// Executing any admissible schedule never violates the SSP bound:
+    /// whenever `can_start_next` admits a worker, the resulting clock gap
+    /// stays within `bound + 1`.
+    #[test]
+    fn ssp_gap_never_exceeds_bound(
+        bound in 0u64..5,
+        m in 2usize..6,
+        choices in proptest::collection::vec(0usize..6, 1..200),
+    ) {
+        let mut ssp = SspClock::new(m, bound);
+        for c in choices {
+            let w = WorkerId::new(c % m);
+            if ssp.can_start_next(w) {
+                ssp.complete_iteration(w);
+            }
+            let max = (0..m).map(|i| ssp.clock_of(WorkerId::new(i))).max().unwrap();
+            prop_assert!(max - ssp.min_clock() <= bound + 1,
+                "gap {} exceeded bound {}", max - ssp.min_clock(), bound);
+        }
+    }
+
+    /// The slowest worker is never blocked.
+    #[test]
+    fn ssp_slowest_can_always_start(bound in 0u64..5, m in 2usize..6, steps in 1usize..50) {
+        let mut ssp = SspClock::new(m, bound);
+        for s in 0..steps {
+            // Advance an arbitrary admissible worker.
+            let w = WorkerId::new(s % m);
+            if ssp.can_start_next(w) {
+                ssp.complete_iteration(w);
+            }
+            let slowest = (0..m)
+                .map(WorkerId::new)
+                .min_by_key(|&w| ssp.clock_of(w))
+                .unwrap();
+            prop_assert!(ssp.can_start_next(slowest), "slowest worker blocked");
+        }
+    }
+
+    /// The barrier trips exactly every m arrivals and releases everyone.
+    #[test]
+    fn barrier_trips_every_m_arrivals(m in 1usize..8, rounds in 1usize..10) {
+        let mut barrier = BspBarrier::new(m);
+        for r in 0..rounds {
+            for i in 0..m {
+                let released = barrier.arrive(WorkerId::new(i));
+                if i + 1 < m {
+                    prop_assert!(released.is_none());
+                } else {
+                    let released = released.expect("last arrival trips the barrier");
+                    prop_assert_eq!(released.len(), m);
+                }
+            }
+            prop_assert_eq!(barrier.generation(), (r + 1) as u64);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Dense vectors and row-major matrices.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `f32` vector.
+///
+/// # Examples
+///
+/// ```
+/// use specsync_tensor::Vector;
+///
+/// let mut v = Vector::zeros(3);
+/// v.axpy(2.0, &Vector::from(vec![1.0, 2.0, 3.0]));
+/// assert_eq!(v.as_slice(), &[2.0, 4.0, 6.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vector {
+    data: Vec<f32>,
+}
+
+impl Vector {
+    /// A vector of `n` zeros.
+    pub fn zeros(n: usize) -> Self {
+        Vector { data: vec![0.0; n] }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector has zero components.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the components.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the components.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning its storage.
+    pub fn into_inner(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &Vector) -> f32 {
+        assert_eq!(self.len(), other.len(), "dot: dimension mismatch");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// `self += alpha * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn axpy(&mut self, alpha: f32, x: &Vector) {
+        assert_eq!(self.len(), x.len(), "axpy: dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(&x.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every component by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn norm2(&self) -> f32 {
+        self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    pub fn norm2_squared(&self) -> f32 {
+        self.data.iter().map(|a| a * a).sum()
+    }
+}
+
+impl From<Vec<f32>> for Vector {
+    fn from(data: Vec<f32>) -> Self {
+        Vector { data }
+    }
+}
+
+impl FromIterator<f32> for Vector {
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        Vector { data: iter.into_iter().collect() }
+    }
+}
+
+impl AsRef<[f32]> for Vector {
+    fn as_ref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// A dense row-major `f32` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use specsync_tensor::Matrix;
+///
+/// let m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(m.get(1, 0), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_rows: shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "get: index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "set: index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row: index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row_mut: index out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Immutable view of the row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `y = self * x` (matrix-vector product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vector {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            y.push(dot(self.row(r), x));
+        }
+        Vector::from(y)
+    }
+
+    /// `y = selfᵀ * x` (transposed matrix-vector product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_transposed(&self, x: &[f32]) -> Vector {
+        assert_eq!(x.len(), self.rows, "matvec_transposed: dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            let row = self.row(r);
+            for (yc, &m) in y.iter_mut().zip(row) {
+                *yc += xr * m;
+            }
+        }
+        Vector::from(y)
+    }
+}
+
+/// Dot product of two slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` over raw slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "axpy: dimension mismatch");
+    for (a, b) in y.iter_mut().zip(x) {
+        *a += alpha * b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_dot_and_axpy() {
+        let a = Vector::from(vec![1.0, 2.0, 3.0]);
+        let b = Vector::from(vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b), 32.0);
+        let mut c = a.clone();
+        c.axpy(-1.0, &b);
+        assert_eq!(c.as_slice(), &[-3.0, -3.0, -3.0]);
+    }
+
+    #[test]
+    fn vector_norms() {
+        let v = Vector::from(vec![3.0, 4.0]);
+        assert_eq!(v.norm2(), 5.0);
+        assert_eq!(v.norm2_squared(), 25.0);
+    }
+
+    #[test]
+    fn vector_scale() {
+        let mut v = Vector::from(vec![1.0, -2.0]);
+        v.scale(0.5);
+        assert_eq!(v.as_slice(), &[0.5, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_mismatched_lengths_panics() {
+        Vector::zeros(2).dot(&Vector::zeros(3));
+    }
+
+    #[test]
+    fn matrix_indexing_and_rows() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 7.0);
+        assert_eq!(m.get(1, 2), 7.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 7.0]);
+        m.row_mut(0)[0] = 1.0;
+        assert_eq!(m.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = m.matvec(&[1.0, 0.0, -1.0]);
+        assert_eq!(y.as_slice(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_matches_manual() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = m.matvec_transposed(&[1.0, 1.0]);
+        assert_eq!(y.as_slice(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: Vector = (0..3).map(|i| i as f32).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn from_rows_validates_shape() {
+        Matrix::from_rows(2, 2, vec![0.0; 3]);
+    }
+}

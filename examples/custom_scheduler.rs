@@ -1,0 +1,65 @@
+//! Driving the SpecSync scheduler directly — for embedding the protocol in
+//! your own training system rather than using the bundled simulator.
+//!
+//! The scheduler is a pure state machine: you feed it pulls and notifies
+//! and it hands back timer deadlines and re-sync decisions. This example
+//! replays a hand-written push/pull schedule and shows Algorithm 1 retuning
+//! the hyperparameters from history.
+//!
+//! ```sh
+//! cargo run --release --example custom_scheduler
+//! ```
+
+use specsync::{Scheduler, SimDuration, TuningMode, VirtualTime, WorkerId};
+
+fn main() {
+    let m = 4;
+    let mut sched = Scheduler::new(m, TuningMode::Adaptive);
+    println!("4-worker scheduler, adaptive tuning (speculation off until an epoch of history exists)\n");
+
+    // Replay three "epochs" of regular activity: worker i pulls at phase
+    // i·T/m and pushes T later, with a deliberate burst pattern (workers 2
+    // and 3 push shortly after worker 0 pulls).
+    let span = 8.0;
+    let mut pending_checks: Vec<(VirtualTime, WorkerId)> = Vec::new();
+    for round in 0..6u64 {
+        for i in 0..m {
+            let phase = round as f64 * span + i as f64 * span / m as f64;
+            let pull = VirtualTime::from_secs_f64(phase);
+            let push = VirtualTime::from_secs_f64(phase + span * 0.98);
+            sched.on_pull(WorkerId::new(i), pull);
+            if let Some(deadline) = sched.on_notify(WorkerId::new(i), push) {
+                pending_checks.push((deadline, WorkerId::new(i)));
+            }
+        }
+        // Epoch boundary: every worker finished one more iteration.
+        let now = VirtualTime::from_secs_f64((round + 1) as f64 * span);
+        sched.on_epoch_complete(now);
+        let h = sched.hyperparams();
+        if h.is_disabled() {
+            println!("epoch {}: speculation disabled (not enough history)", round + 1);
+        } else {
+            println!(
+                "epoch {}: ABORT_TIME {} ABORT_RATE {:.3} (threshold {} of {m} workers)",
+                round + 1,
+                h.abort_time(),
+                h.abort_rate(),
+                h.threshold(m),
+            );
+        }
+    }
+
+    // Evaluate the timers that were armed along the way.
+    let mut resyncs = 0;
+    for (deadline, worker) in pending_checks {
+        if sched.on_check(worker, deadline) {
+            resyncs += 1;
+        }
+    }
+    let stats = sched.stats();
+    println!(
+        "\nprocessed {} notifies, evaluated {} timers, issued {} re-syncs ({} fired here)",
+        stats.notifies, stats.checks, stats.resyncs, resyncs
+    );
+    let _ = SimDuration::ZERO;
+}

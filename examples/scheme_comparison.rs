@@ -1,0 +1,48 @@
+//! All synchronization schemes side by side on one workload — ASP, BSP,
+//! SSP with two bounds, naïve waiting, SpecSync fixed and adaptive, and
+//! SpecSync layered over SSP (paper §IV-A: "SpecSync can be flexibly
+//! implemented in both ASP and SSP models").
+//!
+//! ```sh
+//! cargo run --release --example scheme_comparison
+//! ```
+
+use specsync::{
+    BaseScheme, ClusterSpec, InstanceType, SchemeKind, SimDuration, Trainer, TuningMode, VirtualTime,
+    Workload,
+};
+
+fn main() {
+    let cluster = ClusterSpec::homogeneous(8, InstanceType::M4Xlarge);
+    let schemes = [
+        SchemeKind::Asp,
+        SchemeKind::Bsp,
+        SchemeKind::Ssp { bound: 2 },
+        SchemeKind::Ssp { bound: 8 },
+        SchemeKind::NaiveWaiting { delay: SimDuration::from_millis(40) },
+        SchemeKind::specsync_fixed(SimDuration::from_millis(60), 0.2),
+        SchemeKind::specsync_adaptive(),
+        SchemeKind::SpecSync { base: BaseScheme::Ssp { bound: 4 }, tuning: TuningMode::Adaptive },
+    ];
+
+    println!(
+        "{:<28} {:>10} {:>7} {:>7} {:>10} {:>8}",
+        "scheme", "converged", "iters", "aborts", "staleness", "transfer"
+    );
+    for scheme in schemes {
+        let report = Trainer::new(Workload::tiny_test(), scheme)
+            .cluster(cluster.clone())
+            .horizon(VirtualTime::from_secs(600))
+            .seed(21)
+            .run();
+        println!(
+            "{:<28} {:>10} {:>7} {:>7} {:>10.1} {:>7.1}GB",
+            report.scheme,
+            report.converged_at.map_or("--".to_string(), |t| format!("{:.0}s", t.as_secs_f64())),
+            report.total_iterations,
+            report.total_aborts,
+            report.mean_staleness,
+            report.transfer.total_bytes() as f64 / 1e9,
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! The protocol on real OS threads: server, scheduler and workers wired
+//! with channels, wall-clock speculation windows, genuine races.
+//!
+//! ```sh
+//! cargo run --release --example threaded_runtime
+//! ```
+
+use std::time::Duration;
+
+use specsync::runtime::{run, RuntimeConfig, RuntimeScheme};
+use specsync::{SimDuration, TuningMode, Workload};
+
+fn main() {
+    let schemes = [
+        RuntimeScheme::Asp,
+        RuntimeScheme::SpecSync(TuningMode::Fixed {
+            abort_time: SimDuration::from_millis(4),
+            abort_rate: 0.25,
+        }),
+        RuntimeScheme::SpecSync(TuningMode::Adaptive),
+    ];
+    println!("6 worker threads, 8 ms padded iterations, 2 s wall budget\n");
+    for scheme in schemes {
+        let config = RuntimeConfig {
+            workers: 6,
+            scheme,
+            compute_pad: Duration::from_millis(8),
+            abort_poll: Duration::from_millis(1),
+            max_duration: Duration::from_secs(2),
+            eval_stride: 8,
+            seed: 5,
+            ..RuntimeConfig::default()
+        };
+        let report = run(&Workload::tiny_test(), &config);
+        println!(
+            "{:20} iterations {:>5}  aborts {:>4}  best loss {:.4}  ({:?})",
+            report.scheme,
+            report.total_iterations,
+            report.total_aborts,
+            report.best_loss().unwrap_or(f64::NAN),
+            report.elapsed,
+        );
+    }
+    println!("\n(threaded runs are wall-clock real and intentionally non-deterministic;");
+    println!(" use the virtual-time simulator for reproducible experiments)");
+}

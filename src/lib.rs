@@ -1,0 +1,63 @@
+//! # SpecSync
+//!
+//! A full Rust reproduction of **"Stay Fresh: Speculative Synchronization
+//! for Fast Distributed Machine Learning"** (Zhang, Tian, Wang & Yan,
+//! ICDCS 2018).
+//!
+//! In asynchronous parameter-server training, a worker only refreshes its
+//! parameter replica when it pulls at the start of an iteration, so every
+//! push made shortly afterwards is invisible until the next pull — the
+//! *pushes-after-pull* staleness the paper identifies. SpecSync lets a
+//! centralized scheduler watch all pushes and, when enough land inside a
+//! speculation window `ABORT_TIME`, tell the worker to **abort** its
+//! in-flight computation, re-pull fresh parameters, and start over. The
+//! window and the trigger threshold `ABORT_RATE` are retuned every epoch by
+//! the paper's Algorithm 1.
+//!
+//! This facade re-exports the whole stack:
+//!
+//! - [`core`] — the SpecSync scheduler, adaptive tuner, freshness
+//!   estimators and PAP analysis (the paper's contribution);
+//! - [`cluster`] — the virtual-time cluster harness that trains real models
+//!   under simulated EC2 timing;
+//! - [`ml`] — datasets, models and the three Table-I workloads;
+//! - [`ps`] — the sharded asynchronous parameter server;
+//! - [`runtime`] — a real multi-threaded deployment of the same protocol;
+//! - [`sync`] — ASP/BSP/SSP/naïve-waiting schemes;
+//! - [`simnet`] — the deterministic discrete-event engine.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use specsync::{ClusterSpec, InstanceType, SchemeKind, Trainer, Workload};
+//!
+//! let cluster = ClusterSpec::homogeneous(4, InstanceType::M4Xlarge);
+//! let baseline = Trainer::new(Workload::tiny_test(), SchemeKind::Asp)
+//!     .cluster(cluster.clone())
+//!     .seed(7)
+//!     .run();
+//! let specsync = Trainer::new(Workload::tiny_test(), SchemeKind::specsync_adaptive())
+//!     .cluster(cluster)
+//!     .seed(7)
+//!     .run();
+//! println!("ASP runtime {} vs SpecSync {}", baseline.runtime(), specsync.runtime());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use specsync_cluster as cluster;
+pub use specsync_core as core;
+pub use specsync_ml as ml;
+pub use specsync_ps as ps;
+pub use specsync_runtime as runtime;
+pub use specsync_simnet as simnet;
+pub use specsync_sync as sync;
+
+pub use specsync_cluster::{ClusterSpec, Driver, DriverConfig, InstanceType, LossPoint, RunReport, Trainer};
+pub use specsync_core::{
+    AdaptiveTuner, CherrypickGrid, Hyperparams, PapDistribution, PushHistory, Scheduler, SchedulerStats,
+};
+pub use specsync_ml::{LrSchedule, Model, Workload, WorkloadKind};
+pub use specsync_ps::{ParamSnapshot, ParameterStore};
+pub use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+pub use specsync_sync::{BaseScheme, SchemeKind, TuningMode};

@@ -1,0 +1,144 @@
+//! End-to-end integration tests spanning all crates: full training runs
+//! through the public facade.
+
+use specsync::{
+    ClusterSpec, InstanceType, SchemeKind, SimDuration, Trainer, VirtualTime, Workload,
+};
+
+fn small_cluster(n: usize) -> ClusterSpec {
+    ClusterSpec::homogeneous(n, InstanceType::M4Xlarge)
+}
+
+#[test]
+fn every_scheme_trains_the_tiny_workload() {
+    for scheme in [
+        SchemeKind::Asp,
+        SchemeKind::Bsp,
+        SchemeKind::Ssp { bound: 3 },
+        SchemeKind::NaiveWaiting { delay: SimDuration::from_millis(30) },
+        SchemeKind::specsync_fixed(SimDuration::from_millis(50), 0.3),
+        SchemeKind::specsync_adaptive(),
+    ] {
+        let report = Trainer::new(Workload::tiny_test(), scheme)
+            .cluster(small_cluster(4))
+            .horizon(VirtualTime::from_secs(400))
+            .seed(13)
+            .run();
+        assert!(
+            report.converged_at.is_some(),
+            "{} failed to converge (final loss {:?})",
+            report.scheme,
+            report.final_loss()
+        );
+        assert!(report.total_iterations > 50, "{}: too few iterations", report.scheme);
+    }
+}
+
+#[test]
+fn loss_decreases_substantially_during_training() {
+    let report = Trainer::new(Workload::tiny_test(), SchemeKind::Asp)
+        .cluster(small_cluster(4))
+        .horizon(VirtualTime::from_secs(400))
+        .seed(5)
+        .run();
+    let first = report.loss_curve.first().expect("curve non-empty").loss;
+    let last = report.final_loss().expect("curve non-empty");
+    assert!(last < first * 0.6, "loss barely moved: {first} -> {last}");
+}
+
+#[test]
+fn specsync_reduces_staleness_versus_asp() {
+    let asp = Trainer::new(Workload::tiny_test(), SchemeKind::Asp)
+        .cluster(small_cluster(8))
+        .horizon(VirtualTime::from_secs(200))
+        .seed(9)
+        .run();
+    let spec = Trainer::new(
+        Workload::tiny_test(),
+        SchemeKind::specsync_fixed(SimDuration::from_millis(60), 0.15),
+    )
+    .cluster(small_cluster(8))
+    .horizon(VirtualTime::from_secs(200))
+    .seed(9)
+    .run();
+    assert!(spec.total_aborts > 0, "speculation never fired");
+    assert!(
+        spec.mean_staleness < asp.mean_staleness,
+        "SpecSync staleness {} not below ASP {}",
+        spec.mean_staleness,
+        asp.mean_staleness
+    );
+}
+
+#[test]
+fn convergence_time_scales_down_with_cluster_size() {
+    // More workers -> more updates per virtual second -> faster convergence
+    // (the premise of distributed training; sanity-checks the harness).
+    let small = Trainer::new(Workload::tiny_test(), SchemeKind::Asp)
+        .cluster(small_cluster(2))
+        .horizon(VirtualTime::from_secs(600))
+        .seed(3)
+        .run();
+    let large = Trainer::new(Workload::tiny_test(), SchemeKind::Asp)
+        .cluster(small_cluster(8))
+        .horizon(VirtualTime::from_secs(600))
+        .seed(3)
+        .run();
+    let (Some(ts), Some(tl)) = (small.converged_at, large.converged_at) else {
+        panic!("both runs should converge");
+    };
+    assert!(tl < ts, "8 workers ({tl}) should beat 2 workers ({ts})");
+}
+
+#[test]
+fn bsp_is_slower_per_update_but_fresher() {
+    let asp = Trainer::new(Workload::tiny_test(), SchemeKind::Asp)
+        .cluster(small_cluster(6))
+        .horizon(VirtualTime::from_secs(100))
+        .seed(17)
+        .run();
+    let bsp = Trainer::new(Workload::tiny_test(), SchemeKind::Bsp)
+        .cluster(small_cluster(6))
+        .horizon(VirtualTime::from_secs(100))
+        .seed(17)
+        .run();
+    // BSP pays barrier waits: fewer updates per unit time.
+    let asp_rate = asp.total_iterations as f64 / asp.finished_at.as_secs_f64();
+    let bsp_rate = bsp.total_iterations as f64 / bsp.finished_at.as_secs_f64();
+    assert!(bsp_rate < asp_rate, "BSP rate {bsp_rate} should trail ASP rate {asp_rate}");
+}
+
+#[test]
+fn transfer_accounting_matches_iteration_counts() {
+    let report = Trainer::new(Workload::tiny_test(), SchemeKind::Asp)
+        .cluster(small_cluster(3))
+        .horizon(VirtualTime::from_secs(60))
+        .seed(2)
+        .run();
+    let sizes = specsync::ps::MessageSizes::for_model(1_000);
+    // Every completed iteration pushed exactly once.
+    let push_bytes = report.transfer.bytes_for(specsync::simnet::MessageClass::PushGrad);
+    assert_eq!(push_bytes, report.total_iterations * sizes.push_bytes);
+    // Pulls: initial pulls + one per completed iteration (no aborts in ASP);
+    // some may be in flight at the end.
+    let pull_bytes = report.transfer.bytes_for(specsync::simnet::MessageClass::PullParams);
+    assert!(pull_bytes >= report.total_iterations * sizes.pull_bytes);
+}
+
+#[test]
+fn ssp_over_specsync_composes() {
+    use specsync::{BaseScheme, TuningMode};
+    let report = Trainer::new(
+        Workload::tiny_test(),
+        SchemeKind::SpecSync { base: BaseScheme::Ssp { bound: 2 }, tuning: TuningMode::Adaptive },
+    )
+    .cluster(small_cluster(4))
+    .horizon(VirtualTime::from_secs(400))
+    .seed(23)
+    .run();
+    assert!(report.converged_at.is_some(), "SpecSync/SSP failed to converge");
+    // SSP bound must hold on top of speculation.
+    let max = report.iterations_per_worker.iter().max().unwrap();
+    let min = report.iterations_per_worker.iter().min().unwrap();
+    assert!(max - min <= 3, "SSP bound violated: {:?}", report.iterations_per_worker);
+}

@@ -1,0 +1,94 @@
+//! Cross-crate property-based tests: protocol and accounting invariants
+//! that must hold for *any* configuration.
+
+use proptest::prelude::*;
+use specsync::simnet::MessageClass;
+use specsync::{
+    ClusterSpec, InstanceType, RunReport, SchemeKind, SimDuration, Trainer, VirtualTime, Workload,
+};
+
+fn quick_run(scheme: SchemeKind, workers: usize, seed: u64) -> RunReport {
+    let mut workload = Workload::tiny_test();
+    workload.target_loss = 0.0; // fixed horizon: uniform run lengths
+    Trainer::new(workload, scheme)
+        .cluster(ClusterSpec::homogeneous(workers, InstanceType::M4Xlarge))
+        .horizon(VirtualTime::from_secs(20))
+        .eval_stride(4)
+        .seed(seed)
+        .run()
+}
+
+fn scheme_strategy() -> impl Strategy<Value = SchemeKind> {
+    prop_oneof![
+        Just(SchemeKind::Asp),
+        Just(SchemeKind::Bsp),
+        (0u64..4).prop_map(|b| SchemeKind::Ssp { bound: b }),
+        (10u64..100).prop_map(|ms| SchemeKind::NaiveWaiting { delay: SimDuration::from_millis(ms) }),
+        ((20u64..80), (0.05f64..0.5))
+            .prop_map(|(ms, r)| SchemeKind::specsync_fixed(SimDuration::from_millis(ms), r)),
+        Just(SchemeKind::specsync_adaptive()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The push/pull history is chronological, per-worker iteration counts
+    /// sum to the total, and all losses are finite for every scheme/size.
+    #[test]
+    fn run_invariants_hold(scheme in scheme_strategy(), workers in 2usize..7, seed in 0u64..1000) {
+        let report = quick_run(scheme, workers, seed);
+
+        // Iteration accounting.
+        let per_worker: u64 = report.iterations_per_worker.iter().sum();
+        prop_assert_eq!(per_worker, report.total_iterations);
+
+        // History is chronological.
+        let pushes = report.history.pushes();
+        prop_assert!(pushes.windows(2).all(|w| w[0].time <= w[1].time));
+        let pulls = report.history.pulls();
+        prop_assert!(pulls.windows(2).all(|w| w[0].time <= w[1].time));
+
+        // Pushes recorded by the scheduler match applied iterations.
+        prop_assert_eq!(pushes.len() as u64, report.scheduler_stats.notifies);
+
+        // Losses are finite at this stable operating point.
+        prop_assert!(report.loss_curve.iter().all(|p| p.loss.is_finite()));
+
+        // Aborts can only happen under speculation.
+        if !scheme.is_speculative() {
+            prop_assert_eq!(report.total_aborts, 0);
+            prop_assert_eq!(report.scheduler_stats.resyncs, 0);
+        }
+        // Every abort was caused by an issued re-sync.
+        prop_assert!(report.total_aborts <= report.scheduler_stats.resyncs);
+    }
+
+    /// Transfer accounting: pushed bytes equal iterations x push size;
+    /// control traffic is bounded by notifies + resyncs.
+    #[test]
+    fn transfer_accounting_is_consistent(scheme in scheme_strategy(), seed in 0u64..1000) {
+        let report = quick_run(scheme, 4, seed);
+        let sizes = specsync::ps::MessageSizes::for_model(1_000);
+        prop_assert_eq!(
+            report.transfer.bytes_for(MessageClass::PushGrad),
+            report.total_iterations * sizes.push_bytes
+        );
+        let notify_bytes = report.transfer.bytes_for(MessageClass::Notify);
+        prop_assert!(notify_bytes <= report.scheduler_stats.notifies * sizes.notify_bytes);
+        let resync_bytes = report.transfer.bytes_for(MessageClass::Resync);
+        prop_assert!(resync_bytes <= report.scheduler_stats.resyncs * sizes.resync_bytes);
+    }
+
+    /// SSP's staleness bound holds at run end for any bound.
+    #[test]
+    fn ssp_bound_is_respected(bound in 0u64..5, seed in 0u64..500) {
+        let report = quick_run(SchemeKind::Ssp { bound }, 4, seed);
+        let max = *report.iterations_per_worker.iter().max().unwrap();
+        let min = *report.iterations_per_worker.iter().min().unwrap();
+        prop_assert!(
+            max - min <= bound + 1,
+            "spread {} exceeds bound {} (+1 in-flight)", max - min, bound
+        );
+    }
+}
