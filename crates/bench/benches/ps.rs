@@ -1,8 +1,35 @@
-//! Criterion bench: parameter-store push/pull cost vs model size.
+//! Criterion bench: parameter-store push/pull cost vs model size, plus the
+//! PR's hot-path comparisons — zero-copy snapshot pulls vs a full copy, and
+//! sparse pushes vs dense pushes of the same gradient.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use specsync_ml::Workload;
 use specsync_ps::ParameterStore;
 use specsync_simnet::WorkerId;
+use specsync_tensor::SparseGrad;
+
+/// `(label, num_params)` for the paper's Table I parameter scales: MF
+/// (4.2M) and ImageNet (5.9M).
+fn scales() -> [(&'static str, usize); 2] {
+    let mf = Workload::matrix_factorization().paper.num_parameters as usize;
+    let imagenet = Workload::imagenet_like().paper.num_parameters as usize;
+    [("mf", mf), ("imagenet", imagenet)]
+}
+
+/// A gradient with `nnz` evenly spread non-zeros, in both representations.
+fn spread_gradient(n: usize, nnz: usize) -> (Vec<f32>, SparseGrad) {
+    let nnz = nnz.min(n);
+    let stride = n / nnz;
+    let mut dense = vec![0.0f32; n];
+    let mut sparse = SparseGrad::new();
+    sparse.reset(n);
+    for k in 0..nnz {
+        dense[k * stride] = 0.01;
+        sparse.add(k * stride, 0.01);
+    }
+    sparse.finish();
+    (dense, sparse)
+}
 
 fn bench_store(c: &mut Criterion) {
     let mut group = c.benchmark_group("parameter_store");
@@ -22,5 +49,60 @@ fn bench_store(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_store);
+/// Zero-copy pull (cached `Arc` snapshot) vs the pre-snapshot baseline of
+/// copying the full parameter vector on every pull.
+fn bench_pull_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ps_pull_snapshot");
+    group.sample_size(20);
+    for (label, n) in scales() {
+        group.throughput(Throughput::Bytes(4 * n as u64));
+        group.bench_function(BenchmarkId::new("clone_baseline", label), |b| {
+            let mut store = ParameterStore::new(vec![0.0; n], 8);
+            std::hint::black_box(store.params().to_vec()); // fault pages in
+            b.iter(|| std::hint::black_box(store.params().to_vec()))
+        });
+        group.bench_function(BenchmarkId::new("arc_snapshot", label), |b| {
+            let mut store = ParameterStore::new(vec![0.0; n], 8);
+            std::hint::black_box(store.pull(WorkerId::new(0))); // fault pages in
+            b.iter(|| std::hint::black_box(store.pull(WorkerId::new(0))))
+        });
+    }
+    group.finish();
+}
+
+/// Sparse push vs a dense push of the same gradient (momentum 0.9 and grad
+/// clipping on, the expensive configuration). The sparse gradient has the
+/// non-zero count of an MF minibatch: 128 ratings x rank 8 x 2 factors.
+fn bench_push_sparse_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ps_push_sparse_vs_dense");
+    group.sample_size(20);
+    for (label, n) in scales() {
+        let (dense, sparse) = spread_gradient(n, 2048);
+        group.throughput(Throughput::Elements(sparse.nnz() as u64));
+        group.bench_function(BenchmarkId::new("dense", label), |b| {
+            let mut store = ParameterStore::new(vec![0.0; n], 8)
+                .with_momentum(0.9)
+                .with_grad_clip(10.0);
+            store.apply_push(WorkerId::new(0), &dense, 0.05); // fault pages in
+            b.iter(|| store.apply_push(WorkerId::new(0), std::hint::black_box(&dense), 0.05))
+        });
+        group.bench_function(BenchmarkId::new("sparse", label), |b| {
+            let mut store = ParameterStore::new(vec![0.0; n], 8)
+                .with_momentum(0.9)
+                .with_grad_clip(10.0);
+            store.apply_push(WorkerId::new(0), &dense, 0.05); // fault pages in
+            b.iter(|| {
+                store.apply_push_sparse(WorkerId::new(0), std::hint::black_box(&sparse), 0.05)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_store,
+    bench_pull_snapshot,
+    bench_push_sparse_vs_dense
+);
 criterion_main!(benches);

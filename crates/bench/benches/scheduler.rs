@@ -14,7 +14,10 @@ fn bench_notify_check(c: &mut Criterion) {
             b.iter(|| {
                 let mut sched = Scheduler::new(
                     m,
-                    TuningMode::Fixed { abort_time: SimDuration::from_millis(500), abort_rate: 0.2 },
+                    TuningMode::Fixed {
+                        abort_time: SimDuration::from_millis(500),
+                        abort_rate: 0.2,
+                    },
                 );
                 let mut fired = 0u32;
                 for round in 0..50u64 {

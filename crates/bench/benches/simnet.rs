@@ -17,7 +17,10 @@ fn bench_event_queue(c: &mut Criterion) {
                 let mut q = EventQueue::new();
                 for i in 0..n {
                     // Scatter times deterministically.
-                    q.schedule(VirtualTime::from_micros(i.wrapping_mul(2_654_435_761) % 1_000_000_000), i);
+                    q.schedule(
+                        VirtualTime::from_micros(i.wrapping_mul(2_654_435_761) % 1_000_000_000),
+                        i,
+                    );
                 }
                 let mut acc = 0u64;
                 while let Some((_, e)) = q.pop() {
@@ -34,16 +37,20 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
     for scheme in [SchemeKind::Asp, SchemeKind::specsync_adaptive()] {
-        group.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, &scheme| {
-            b.iter(|| {
-                Trainer::new(Workload::tiny_test(), scheme)
-                    .cluster(ClusterSpec::homogeneous(4, InstanceType::M4Xlarge))
-                    .horizon(VirtualTime::from_secs(120))
-                    .seed(1)
-                    .run()
-                    .total_iterations
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    Trainer::new(Workload::tiny_test(), scheme)
+                        .cluster(ClusterSpec::homogeneous(4, InstanceType::M4Xlarge))
+                        .horizon(VirtualTime::from_secs(120))
+                        .seed(1)
+                        .run()
+                        .total_iterations
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -17,7 +17,13 @@ fn bench_tuner(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{workers}w_{pushes}pushes")),
             &history,
             |b, h| {
-                b.iter(|| tuner.tune(std::hint::black_box(h), workers, VirtualTime::from_secs(100_000)))
+                b.iter(|| {
+                    tuner.tune(
+                        std::hint::black_box(h),
+                        workers,
+                        VirtualTime::from_secs(100_000),
+                    )
+                })
             },
         );
     }

@@ -1,0 +1,55 @@
+//! Quick direct timing of the parameter-store hot path (no criterion).
+use specsync_ps::ParameterStore;
+use specsync_simnet::WorkerId;
+use specsync_tensor::SparseGrad;
+use std::time::Instant;
+
+fn time(label: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    println!(
+        "{label}: {:.0} ns/call",
+        t.elapsed().as_secs_f64() * 1e9 / iters as f64
+    );
+}
+
+fn main() {
+    let n = 11_200usize;
+    let nnz = 2048usize;
+    let stride = n / nnz;
+    let mut sparse = SparseGrad::new();
+    sparse.reset(n);
+    let mut dense = vec![0.0f32; n];
+    for k in 0..nnz {
+        sparse.add(k * stride, 0.01);
+        dense[k * stride] = 0.01;
+    }
+    sparse.finish();
+    let w = WorkerId::new(0);
+
+    let mut s1 = ParameterStore::new(vec![0.0; n], 8)
+        .with_momentum(0.9)
+        .with_grad_clip(10.0);
+    time("dense push ", 20_000, || {
+        s1.apply_push(w, &dense, 0.05);
+    });
+    let mut s2 = ParameterStore::new(vec![0.0; n], 8)
+        .with_momentum(0.9)
+        .with_grad_clip(10.0);
+    time("sparse push", 20_000, || {
+        s2.apply_push_sparse(w, &sparse, 0.05);
+    });
+    let mut s3 = ParameterStore::new(vec![0.0; n], 8);
+    time("clone pull ", 100_000, || {
+        std::hint::black_box(s3.params().to_vec());
+    });
+    let mut s4 = ParameterStore::new(vec![0.0; n], 8);
+    time("arc pull   ", 100_000, || {
+        std::hint::black_box(s4.pull(w));
+    });
+}

@@ -13,9 +13,7 @@
 
 use specsync_bench::section;
 use specsync_cluster::{ClusterSpec, Trainer};
-use specsync_core::estimator::{
-    estimate_improvement, estimate_realized_improvement, EpochView,
-};
+use specsync_core::estimator::{estimate_improvement, estimate_realized_improvement, EpochView};
 use specsync_core::exact_freshness;
 use specsync_ml::Workload;
 use specsync_simnet::{SimDuration, VirtualTime};
@@ -33,7 +31,10 @@ fn main() {
     let history = &report.history;
     let m = 40;
 
-    section(&format!("Ablation: tuning objectives on a real ASP trace ({} pushes)", history.len()));
+    section(&format!(
+        "Ablation: tuning objectives on a real ASP trace ({} pushes)",
+        history.len()
+    ));
     let literal_view = EpochView::from_history(history, m, report.finished_at);
     let recent_view = EpochView::from_recent(history, m, 4);
 

@@ -14,7 +14,9 @@ use specsync_sync::{BaseScheme, SchemeKind, TuningMode};
 fn main() {
     let workload = Workload::cifar_like();
     let target = workload.target_loss;
-    section(&format!("Ablation: SpecSync over SSP (CIFAR-10, target {target})"));
+    section(&format!(
+        "Ablation: SpecSync over SSP (CIFAR-10, target {target})"
+    ));
     println!(
         "{:<34} {:>10} {:>8} {:>10}",
         "scheme", "runtime", "aborts", "staleness"
@@ -24,8 +26,14 @@ fn main() {
         SchemeKind::Ssp { bound: 1 },
         SchemeKind::Ssp { bound: 4 },
         SchemeKind::specsync_adaptive(),
-        SchemeKind::SpecSync { base: BaseScheme::Ssp { bound: 1 }, tuning: TuningMode::Adaptive },
-        SchemeKind::SpecSync { base: BaseScheme::Ssp { bound: 4 }, tuning: TuningMode::Adaptive },
+        SchemeKind::SpecSync {
+            base: BaseScheme::Ssp { bound: 1 },
+            tuning: TuningMode::Adaptive,
+        },
+        SchemeKind::SpecSync {
+            base: BaseScheme::Ssp { bound: 4 },
+            tuning: TuningMode::Adaptive,
+        },
     ] {
         let report = Trainer::new(workload.clone(), scheme)
             .cluster(ClusterSpec::paper_cluster1())

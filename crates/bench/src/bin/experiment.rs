@@ -29,7 +29,9 @@ fn parse_scheme(s: &str) -> SchemeKind {
     match parts.as_slice() {
         ["asp"] => SchemeKind::Asp,
         ["bsp"] => SchemeKind::Bsp,
-        ["ssp", b] => SchemeKind::Ssp { bound: b.parse().unwrap_or_else(|_| usage()) },
+        ["ssp", b] => SchemeKind::Ssp {
+            bound: b.parse().unwrap_or_else(|_| usage()),
+        },
         ["wait", secs] => SchemeKind::NaiveWaiting {
             delay: SimDuration::from_secs_f64(secs.parse().unwrap_or_else(|_| usage())),
         },
@@ -105,12 +107,25 @@ fn main() {
     println!(
         "runtime to target : {}s{}",
         fmt_time(time_to_target(&report, target)),
-        if report.converged_at.is_none() { " (did not converge)" } else { "" }
+        if report.converged_at.is_none() {
+            " (did not converge)"
+        } else {
+            ""
+        }
     );
-    println!("iterations        : {} ({} aborted)", report.total_iterations, report.total_aborts);
-    println!("mean staleness    : {:.1} missed updates per pull", report.mean_staleness);
+    println!(
+        "iterations        : {} ({} aborted)",
+        report.total_iterations, report.total_aborts
+    );
+    println!(
+        "mean staleness    : {:.1} missed updates per pull",
+        report.mean_staleness
+    );
     println!("wasted compute    : {}", report.wasted_compute);
-    println!("data transferred  : {}", fmt_bytes(report.transfer.total_bytes()));
+    println!(
+        "data transferred  : {}",
+        fmt_bytes(report.transfer.total_bytes())
+    );
     if let Some((epoch, h)) = report.hyperparams_trace.last() {
         if !h.is_disabled() {
             println!(

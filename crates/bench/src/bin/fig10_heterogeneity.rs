@@ -6,7 +6,7 @@
 //! heterogeneity slows everyone; and the SpecSync speedup *shrinks* under
 //! heterogeneity because the tuner's uniform-arrival assumption degrades.
 
-use specsync_bench::{fmt_time, print_curve, section, time_to_target};
+use specsync_bench::{fmt_time, print_curve, section, time_to_target, RunMatrix};
 use specsync_cluster::{ClusterSpec, Trainer};
 use specsync_ml::Workload;
 use specsync_simnet::VirtualTime;
@@ -15,25 +15,47 @@ use specsync_sync::SchemeKind;
 fn main() {
     let workload = Workload::cifar_like();
     let target = workload.target_loss;
-    section(&format!("Fig. 10: CIFAR-10 homogeneous vs heterogeneous, target {target}"));
+    section(&format!(
+        "Fig. 10: CIFAR-10 homogeneous vs heterogeneous, target {target}"
+    ));
+
+    let clusters = [
+        ("homogeneous (Cluster 1)", ClusterSpec::paper_cluster1()),
+        ("heterogeneous (Cluster 2)", ClusterSpec::paper_cluster2()),
+    ];
+    let schemes = [
+        ("Original", SchemeKind::Asp),
+        ("SpecSync-Adaptive", SchemeKind::specsync_adaptive()),
+    ];
+
+    // The four (cluster, scheme) runs are independent: fan out at once.
+    let mut matrix = RunMatrix::new();
+    for (_, cluster) in &clusters {
+        for (label, scheme) in schemes {
+            matrix.add(
+                label,
+                Trainer::new(workload.clone(), scheme)
+                    .cluster(cluster.clone())
+                    .horizon(VirtualTime::from_secs(8000))
+                    .eval_stride(8)
+                    .seed(42),
+            );
+        }
+    }
+    let mut reports = matrix.run().into_iter();
 
     let mut speedups = Vec::new();
-    for (cluster_label, cluster) in
-        [("homogeneous (Cluster 1)", ClusterSpec::paper_cluster1()), ("heterogeneous (Cluster 2)", ClusterSpec::paper_cluster2())]
-    {
+    for (cluster_label, _) in clusters {
         let mut times = Vec::new();
-        for (label, scheme) in [("Original", SchemeKind::Asp), ("SpecSync-Adaptive", SchemeKind::specsync_adaptive())]
-        {
-            let report = Trainer::new(workload.clone(), scheme)
-                .cluster(cluster.clone())
-                .horizon(VirtualTime::from_secs(8000))
-                .eval_stride(8)
-                .seed(42)
-                .run();
+        for (label, report) in reports.by_ref().take(schemes.len()) {
             let full = format!("{label} / {cluster_label}");
             print_curve(&full, &report, 8);
             let t = time_to_target(&report, target);
-            println!("{full:64} runtime {}s  mean staleness {:.1}", fmt_time(t), report.mean_staleness);
+            println!(
+                "{full:64} runtime {}s  mean staleness {:.1}",
+                fmt_time(t),
+                report.mean_staleness
+            );
             times.push(t);
         }
         if let [Some(orig), Some(spec)] = times[..] {

@@ -4,7 +4,7 @@
 //! same target loss. Right plot: loss improvement at a fixed time budget.
 //! The paper finds the improvement *grows* with cluster size.
 
-use specsync_bench::{fmt_time, section, time_to_target};
+use specsync_bench::{fmt_time, section, time_to_target, RunMatrix};
 use specsync_cluster::{ClusterSpec, Trainer};
 use specsync_ml::Workload;
 use specsync_simnet::VirtualTime;
@@ -14,25 +14,35 @@ fn main() {
     let workload = Workload::cifar_like();
     let target = workload.target_loss;
     let budget = VirtualTime::from_secs(1500);
-    section(&format!("Fig. 11: CIFAR-10 scalability, target {target}, budget {budget}"));
+    section(&format!(
+        "Fig. 11: CIFAR-10 scalability, target {target}, budget {budget}"
+    ));
     println!(
         "{:>6} {:>14} {:>14} {:>9} | {:>12} {:>12} {:>12}",
         "nodes", "orig time", "spec time", "speedup", "orig loss", "spec loss", "improvement"
     );
 
-    for n in [20, 30, 40] {
-        let mut reports = Vec::new();
+    let sizes = [20, 30, 40];
+    // All six (size, scheme) runs are independent: fan out at once.
+    let mut matrix = RunMatrix::new();
+    for n in sizes {
         for scheme in [SchemeKind::Asp, SchemeKind::specsync_adaptive()] {
             let mut w = workload.clone();
             w.target_loss = 0.0; // run to horizon: both metrics need curves
-            let report = Trainer::new(w, scheme)
-                .cluster(ClusterSpec::paper_sized(n))
-                .horizon(VirtualTime::from_secs(8000))
-                .eval_stride(8)
-                .seed(42)
-                .run();
-            reports.push(report);
+            matrix.add(
+                n,
+                Trainer::new(w, scheme)
+                    .cluster(ClusterSpec::paper_sized(n))
+                    .horizon(VirtualTime::from_secs(8000))
+                    .eval_stride(8)
+                    .seed(42),
+            );
         }
+    }
+    let mut results = matrix.run().into_iter();
+
+    for n in sizes {
+        let reports: Vec<_> = results.by_ref().take(2).map(|(_, r)| r).collect();
         let t_orig = time_to_target(&reports[0], target);
         let t_spec = time_to_target(&reports[1], target);
         let speedup = match (t_orig, t_spec) {

@@ -17,11 +17,15 @@ fn main() {
     for (kind, horizon) in WorkloadKind::ALL.into_iter().zip(horizons) {
         let workload = Workload::from_kind(kind);
         let name = workload.paper.name;
-        section(&format!("Fig. 12 ({name}): accumulated data transfer over time"));
+        section(&format!(
+            "Fig. 12 ({name}): accumulated data transfer over time"
+        ));
 
         let mut totals = Vec::new();
-        for (label, scheme) in [("Original", SchemeKind::Asp), ("SpecSync-Adaptive", SchemeKind::specsync_adaptive())]
-        {
+        for (label, scheme) in [
+            ("Original", SchemeKind::Asp),
+            ("SpecSync-Adaptive", SchemeKind::specsync_adaptive()),
+        ] {
             let report = Trainer::new(workload.clone(), scheme)
                 .cluster(ClusterSpec::paper_cluster1())
                 .horizon(VirtualTime::from_secs_f64(horizon))
@@ -38,7 +42,10 @@ fn main() {
             }
             println!();
             let total = series.last().map_or(0, |&(_, b)| b);
-            println!("{label:24} total transfer to convergence: {}", fmt_bytes(total));
+            println!(
+                "{label:24} total transfer to convergence: {}",
+                fmt_bytes(total)
+            );
             totals.push(total);
         }
         if let [orig, spec] = totals[..] {

@@ -26,14 +26,24 @@ fn main() {
             .seed(42)
             .run();
 
-        section(&format!("Fig. 13 ({name}): SpecSync-Adaptive transfer breakdown"));
+        section(&format!(
+            "Fig. 13 ({name}): SpecSync-Adaptive transfer breakdown"
+        ));
         let total = report.transfer.total_bytes().max(1);
         for (class, bytes) in report.transfer.breakdown() {
-            println!("{:>8}: {:>12}  ({:.4}%)", class.label(), fmt_bytes(bytes), 100.0 * bytes as f64 / total as f64);
+            println!(
+                "{:>8}: {:>12}  ({:.4}%)",
+                class.label(),
+                fmt_bytes(bytes),
+                100.0 * bytes as f64 / total as f64
+            );
         }
         let control = report.transfer.bytes_for(MessageClass::Notify)
             + report.transfer.bytes_for(MessageClass::Resync);
-        println!("control-plane share: {:.4}% of total", 100.0 * control as f64 / total as f64);
+        println!(
+            "control-plane share: {:.4}% of total",
+            100.0 * control as f64 / total as f64
+        );
 
         // §V-A ablation: a direct implementation broadcasts each notify to
         // the m−1 peers instead of sending one message to the scheduler.

@@ -33,7 +33,10 @@ fn main() {
             "Fig. 3 ({name}): PAP per 1-second interval after a pull ({} pulls sampled)",
             dist.samples_per_interval
         ));
-        println!("{:>9} {:>6} {:>6} {:>6} {:>6} {:>6}", "interval", "p5", "p25", "p50", "p75", "p95");
+        println!(
+            "{:>9} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "interval", "p5", "p25", "p50", "p75", "p95"
+        );
         for (k, s) in dist.stats.iter().enumerate() {
             println!(
                 "{:>4}-{:<4} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
@@ -49,6 +52,8 @@ fn main() {
         // The paper's headline from this figure: the median number of
         // pushes uncovered within the first two seconds.
         let first_two: f64 = dist.stats.iter().take(2).map(|s| s.p50).sum();
-        println!("median pushes hidden within 2s of a pull: {first_two:.1} (paper: >6 for CIFAR-10)");
+        println!(
+            "median pushes hidden within 2s of a pull: {first_two:.1} (paper: >6 for CIFAR-10)"
+        );
     }
 }

@@ -14,19 +14,27 @@ use specsync_sync::SchemeKind;
 fn main() {
     for (kind, delays, horizon_secs) in [
         (WorkloadKind::CifarLike, vec![0.0, 1.0, 3.0, 5.0], 4000.0),
-        (WorkloadKind::MatrixFactorization, vec![0.0, 0.25, 1.0], 900.0),
+        (
+            WorkloadKind::MatrixFactorization,
+            vec![0.0, 0.25, 1.0],
+            900.0,
+        ),
     ] {
         let workload = Workload::from_kind(kind);
         let name = workload.paper.name;
         let target = workload.target_loss;
-        section(&format!("Fig. 5 ({name}): naive waiting, target loss {target}"));
+        section(&format!(
+            "Fig. 5 ({name}): naive waiting, target loss {target}"
+        ));
         for delay in delays {
             let mut w = workload.clone();
             w.target_loss = 0.0; // run to horizon so curves are comparable
             let scheme = if delay == 0.0 {
                 SchemeKind::Asp
             } else {
-                SchemeKind::NaiveWaiting { delay: SimDuration::from_secs_f64(delay) }
+                SchemeKind::NaiveWaiting {
+                    delay: SimDuration::from_secs_f64(delay),
+                }
             };
             let report = Trainer::new(w, scheme)
                 .cluster(ClusterSpec::paper_cluster1())
@@ -34,7 +42,11 @@ fn main() {
                 .eval_stride(8)
                 .seed(42)
                 .run();
-            let label = if delay == 0.0 { "original".to_string() } else { format!("delay {delay}s") };
+            let label = if delay == 0.0 {
+                "original".to_string()
+            } else {
+                format!("delay {delay}s")
+            };
             print_curve(&format!("{label} (loss/time)"), &report, 8);
             println!(
                 "{label:24} time-to-target: {}s, best loss {:.4}",

@@ -8,60 +8,86 @@
 //! expensive, so the reproduction keeps it small — the grid bounds follow
 //! the paper: windows up to half the iteration time).
 
-use specsync_bench::{fmt_time, print_curve, section, time_to_target};
+use specsync_bench::{fmt_time, print_curve, section, time_to_target, RunMatrix};
 use specsync_cluster::{ClusterSpec, RunReport, Trainer};
 use specsync_ml::{Workload, WorkloadKind};
 use specsync_simnet::{SimDuration, VirtualTime};
 use specsync_sync::SchemeKind;
 
-fn run(workload: &Workload, scheme: SchemeKind, horizon: f64, seed: u64) -> RunReport {
+fn trainer(workload: &Workload, scheme: SchemeKind, horizon: f64, seed: u64) -> Trainer {
     Trainer::new(workload.clone(), scheme)
         .cluster(ClusterSpec::paper_cluster1())
         .horizon(VirtualTime::from_secs_f64(horizon))
         .eval_stride(8)
         .seed(seed)
-        .run()
 }
 
-/// Grid-search the fixed hyperparameters, returning the best run.
-fn cherrypick(workload: &Workload, horizon: f64, seed: u64) -> (SchemeKind, RunReport) {
-    let iter = workload.mean_iteration_secs;
-    let mut best: Option<(SchemeKind, RunReport)> = None;
-    for frac in [0.15, 0.3, 0.45] {
-        for rate in [0.1, 0.2, 0.35] {
-            let scheme = SchemeKind::specsync_fixed(SimDuration::from_secs_f64(iter * frac), rate);
-            let report = run(workload, scheme, horizon, seed);
-            let t = time_to_target(&report, workload.target_loss);
-            let better = match (&best, t) {
-                (None, _) => true,
-                (Some((_, b)), Some(t)) => {
-                    time_to_target(b, workload.target_loss).is_none_or(|bt| t < bt)
-                }
-                (Some(_), None) => false,
-            };
-            if better {
-                best = Some((scheme, report));
-            }
+/// Picks the best grid run by time-to-target (first wins on ties, same as
+/// the original serial grid search).
+fn pick_best(grid: Vec<(SchemeKind, RunReport)>, target: f64) -> (SchemeKind, RunReport) {
+    let mut best: Option<usize> = None;
+    for (i, (_, report)) in grid.iter().enumerate() {
+        let t = time_to_target(report, target);
+        let better = match (best, t) {
+            (None, _) => true,
+            (Some(b), Some(t)) => time_to_target(&grid[b].1, target).is_none_or(|bt| t < bt),
+            (Some(_), None) => false,
+        };
+        if better {
+            best = Some(i);
         }
     }
-    best.expect("grid is non-empty")
+    let best = best.expect("grid is non-empty");
+    grid.into_iter().nth(best).expect("index in range")
 }
 
 fn main() {
     let horizons = [2500.0, 6000.0, 25000.0];
-    for (kind, horizon) in WorkloadKind::ALL.into_iter().zip(horizons) {
-        let workload = Workload::from_kind(kind);
+    let workloads: Vec<Workload> = WorkloadKind::ALL
+        .into_iter()
+        .map(Workload::from_kind)
+        .collect();
+
+    // Every run of the figure — Original, the 3x3 cherry-pick grid and
+    // Adaptive, for all three workloads — is an independent simulation, so
+    // the whole batch fans out across cores at once. Per workload the
+    // insertion order is: Original, 9 grid points, Adaptive.
+    let mut matrix = RunMatrix::new();
+    for (workload, &horizon) in workloads.iter().zip(&horizons) {
+        matrix.add(
+            SchemeKind::Asp,
+            trainer(workload, SchemeKind::Asp, horizon, 42),
+        );
+        let iter = workload.mean_iteration_secs;
+        for frac in [0.15, 0.3, 0.45] {
+            for rate in [0.1, 0.2, 0.35] {
+                let scheme =
+                    SchemeKind::specsync_fixed(SimDuration::from_secs_f64(iter * frac), rate);
+                matrix.add(scheme, trainer(workload, scheme, horizon, 42));
+            }
+        }
+        let adaptive = SchemeKind::specsync_adaptive();
+        matrix.add(adaptive, trainer(workload, adaptive, horizon, 42));
+    }
+    let mut results = matrix.run().into_iter();
+
+    for workload in &workloads {
         let name = workload.paper.name;
         let target = workload.target_loss;
-        section(&format!("Fig. 8 ({name}): target loss {target}, 40 x m4.xlarge"));
+        section(&format!(
+            "Fig. 8 ({name}): target loss {target}, 40 x m4.xlarge"
+        ));
 
-        let original = run(&workload, SchemeKind::Asp, horizon, 42);
-        let (cherry_scheme, cherry) = cherrypick(&workload, horizon, 42);
-        let adaptive = run(&workload, SchemeKind::specsync_adaptive(), horizon, 42);
+        let (_, original) = results.next().expect("matrix order: Original");
+        let grid: Vec<(SchemeKind, RunReport)> = results.by_ref().take(9).collect();
+        let (cherry_scheme, cherry) = pick_best(grid, target);
+        let (_, adaptive) = results.next().expect("matrix order: Adaptive");
 
-        for (label, report) in
-            [("Original", &original), ("SpecSync-Cherrypick", &cherry), ("SpecSync-Adaptive", &adaptive)]
-        {
+        for (label, report) in [
+            ("Original", &original),
+            ("SpecSync-Cherrypick", &cherry),
+            ("SpecSync-Adaptive", &adaptive),
+        ] {
             print_curve(label, report, 8);
             let t = time_to_target(report, target);
             println!(
@@ -79,7 +105,9 @@ fn main() {
         let t_orig = time_to_target(&original, target);
         for (label, report) in [("Cherrypick", &cherry), ("Adaptive", &adaptive)] {
             let speedup = match (time_to_target(report, target), t_orig) {
-                (Some(mine), Some(orig)) => format!("{:.2}x", orig.as_secs_f64() / mine.as_secs_f64()),
+                (Some(mine), Some(orig)) => {
+                    format!("{:.2}x", orig.as_secs_f64() / mine.as_secs_f64())
+                }
                 (Some(_), None) => "inf (Original never converged)".to_string(),
                 _ => "--".to_string(),
             };

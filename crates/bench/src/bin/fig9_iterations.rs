@@ -5,7 +5,7 @@
 //! up to 58% fewer. This binary prints loss-vs-iterations for Original and
 //! SpecSync-Adaptive and the iteration reduction at the target loss.
 
-use specsync_bench::{iterations_to_target, section};
+use specsync_bench::{iterations_to_target, section, RunMatrix};
 use specsync_cluster::{ClusterSpec, Trainer};
 use specsync_ml::{Workload, WorkloadKind};
 use specsync_simnet::VirtualTime;
@@ -13,21 +13,41 @@ use specsync_sync::SchemeKind;
 
 fn main() {
     let horizons = [2500.0, 6000.0, 25000.0];
-    for (kind, horizon) in WorkloadKind::ALL.into_iter().zip(horizons) {
-        let workload = Workload::from_kind(kind);
+    let schemes = [
+        ("Original", SchemeKind::Asp),
+        ("SpecSync-Adaptive", SchemeKind::specsync_adaptive()),
+    ];
+    let workloads: Vec<Workload> = WorkloadKind::ALL
+        .into_iter()
+        .map(Workload::from_kind)
+        .collect();
+
+    // All six (workload, scheme) runs are independent: fan out at once and
+    // consume the reports in insertion order.
+    let mut matrix = RunMatrix::new();
+    for (workload, &horizon) in workloads.iter().zip(&horizons) {
+        for (label, scheme) in schemes {
+            matrix.add(
+                label,
+                Trainer::new(workload.clone(), scheme)
+                    .cluster(ClusterSpec::paper_cluster1())
+                    .horizon(VirtualTime::from_secs_f64(horizon))
+                    .eval_stride(8)
+                    .seed(42),
+            );
+        }
+    }
+    let mut reports = matrix.run().into_iter();
+
+    for workload in &workloads {
         let name = workload.paper.name;
         let target = workload.target_loss;
-        section(&format!("Fig. 9 ({name}): loss vs accumulated iterations, target {target}"));
+        section(&format!(
+            "Fig. 9 ({name}): loss vs accumulated iterations, target {target}"
+        ));
 
         let mut results = Vec::new();
-        for (label, scheme) in [("Original", SchemeKind::Asp), ("SpecSync-Adaptive", SchemeKind::specsync_adaptive())]
-        {
-            let report = Trainer::new(workload.clone(), scheme)
-                .cluster(ClusterSpec::paper_cluster1())
-                .horizon(VirtualTime::from_secs_f64(horizon))
-                .eval_stride(8)
-                .seed(42)
-                .run();
+        for (label, report) in reports.by_ref().take(schemes.len()) {
             print!("{label:24}");
             for p in report.sampled_curve(8) {
                 print!(" {}it:{:.3}", p.iterations, p.loss);

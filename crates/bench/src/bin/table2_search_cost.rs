@@ -23,9 +23,24 @@ struct Row {
 fn main() {
     section("Table II: cherrypick exhaustive-search cost");
     let rows = [
-        Row { workload: "MF", time_trials: 5, rate_trials: 10, trial_hours: 1.33 },
-        Row { workload: "CIFAR-10", time_trials: 7, rate_trials: 10, trial_hours: 6.0 },
-        Row { workload: "ImageNet", time_trials: 10, rate_trials: 10, trial_hours: 8.0 },
+        Row {
+            workload: "MF",
+            time_trials: 5,
+            rate_trials: 10,
+            trial_hours: 1.33,
+        },
+        Row {
+            workload: "CIFAR-10",
+            time_trials: 7,
+            rate_trials: 10,
+            trial_hours: 6.0,
+        },
+        Row {
+            workload: "ImageNet",
+            time_trials: 10,
+            rate_trials: 10,
+            trial_hours: 8.0,
+        },
     ];
     println!(
         "{:<10} {:>12} {:>12} {:>12} {:>14}",
@@ -51,7 +66,9 @@ fn main() {
         outcome = tuner.tune(&history, 40, VirtualTime::from_secs(10_000));
     }
     let per_pass = start.elapsed() / iterations;
-    println!("\nAdaptive (Algorithm 1) cost per tuning pass: {per_pass:?} — no profiling runs needed");
+    println!(
+        "\nAdaptive (Algorithm 1) cost per tuning pass: {per_pass:?} — no profiling runs needed"
+    );
     if let Some(o) = outcome {
         println!(
             "  tuned on {} candidate windows -> ABORT_TIME {}, ABORT_RATE {:.3}",

@@ -1,0 +1,47 @@
+//! The parallel run harness must be observationally identical to serial
+//! execution: same keys, same order, same `RunReport`s, for any thread
+//! count.
+
+use specsync_bench::RunMatrix;
+use specsync_cluster::{ClusterSpec, InstanceType, Trainer};
+use specsync_ml::Workload;
+use specsync_simnet::VirtualTime;
+use specsync_sync::SchemeKind;
+
+fn matrix() -> RunMatrix<String> {
+    let mut m = RunMatrix::new();
+    for seed in [1u64, 7, 42] {
+        for scheme in [SchemeKind::Asp, SchemeKind::specsync_adaptive()] {
+            m.add(
+                format!("{scheme:?}/{seed}"),
+                Trainer::new(Workload::tiny_test(), scheme)
+                    .cluster(ClusterSpec::homogeneous(4, InstanceType::M4Xlarge))
+                    .horizon(VirtualTime::from_secs(20))
+                    .eval_stride(4)
+                    .seed(seed),
+            );
+        }
+    }
+    m
+}
+
+#[test]
+fn parallel_reports_are_identical_to_serial() {
+    let serial = matrix().run_serial();
+    for threads in [2, 4] {
+        let parallel = matrix().run_with_threads(threads);
+        assert_eq!(parallel.len(), serial.len());
+        for ((pk, pr), (sk, sr)) in parallel.iter().zip(&serial) {
+            assert_eq!(pk, sk, "result order must match insertion order");
+            assert_eq!(pr, sr, "parallel report for {pk} differs from serial");
+        }
+    }
+}
+
+#[test]
+fn run_matrix_reports_its_size() {
+    let m = matrix();
+    assert_eq!(m.len(), 6);
+    assert!(!m.is_empty());
+    assert!(RunMatrix::<u32>::new().is_empty());
+}

@@ -19,10 +19,12 @@
 //!                                   next pull (gated by BSP/SSP/naïve wait)
 //! ```
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 
 use specsync_core::Scheduler;
-use specsync_ml::{BatchSampler, LrSchedule, Model, Workload};
+use specsync_ml::{BatchSampler, LrSchedule, Model, SparseGrad, Workload};
 use specsync_ps::{MessageSizes, ParameterStore};
 use specsync_simnet::{
     DurationSampler, EventQueue, MessageClass, NetworkModel, RngStreams, SimDuration,
@@ -88,8 +90,16 @@ struct WorkerCtx {
     attempt: u64,
     model: Box<dyn Model>,
     sampler: BatchSampler,
+    /// Dense gradient buffer (fallback for models without a sparse path).
     grad: Vec<f32>,
-    pending_params: Option<Vec<f32>>,
+    /// Reusable sparse gradient accumulator.
+    sparse_grad: SparseGrad,
+    /// Whether the last computed gradient lives in `sparse_grad`.
+    grad_is_sparse: bool,
+    /// Replica delivered by the last pull, shared with the store's
+    /// snapshot cache (and with every other worker that pulled the same
+    /// version) instead of owning a copy.
+    pending_params: Option<Arc<[f32]>>,
     iterations: u64,
     aborts: u64,
     compute_started: VirtualTime,
@@ -119,8 +129,20 @@ impl std::fmt::Debug for Driver {
 
 impl Driver {
     /// Creates a driver for (workload × scheme × cluster).
-    pub fn new(workload: Workload, scheme: SchemeKind, cluster: ClusterSpec, config: DriverConfig, seed: u64) -> Self {
-        Driver { workload, scheme, cluster, config, seed }
+    pub fn new(
+        workload: Workload,
+        scheme: SchemeKind,
+        cluster: ClusterSpec,
+        config: DriverConfig,
+        seed: u64,
+    ) -> Self {
+        Driver {
+            workload,
+            scheme,
+            cluster,
+            config,
+            seed,
+        }
     }
 
     /// Runs the experiment.
@@ -168,13 +190,20 @@ struct Simulation {
 
 impl Simulation {
     fn new(driver: Driver) -> Self {
-        let Driver { workload, scheme, cluster, config, seed } = driver;
+        let Driver {
+            workload,
+            scheme,
+            cluster,
+            config,
+            seed,
+        } = driver;
         let m = cluster.num_workers();
         let streams = RngStreams::new(seed);
         let bundle = workload.build(m, seed);
 
         let initial = bundle.workers[0].params().to_vec();
-        let mut store = ParameterStore::new(initial, config.num_shards).with_momentum(workload.momentum);
+        let mut store =
+            ParameterStore::new(initial, config.num_shards).with_momentum(workload.momentum);
         if let Some(clip) = workload.grad_clip {
             store = store.with_grad_clip(clip);
         }
@@ -184,7 +213,10 @@ impl Simulation {
             SchemeKind::SpecSync { tuning, .. } => tuning,
             // Non-speculative schemes still use the scheduler as the
             // history recorder, with speculation disabled.
-            _ => TuningMode::Fixed { abort_time: SimDuration::ZERO, abort_rate: f64::MAX },
+            _ => TuningMode::Fixed {
+                abort_time: SimDuration::ZERO,
+                abort_rate: f64::MAX,
+            },
         };
         let scheduler = Scheduler::new(m, tuning);
 
@@ -201,6 +233,8 @@ impl Simulation {
                     model,
                     sampler,
                     grad: vec![0.0; n],
+                    sparse_grad: SparseGrad::new(),
+                    grad_is_sparse: false,
                     pending_params: None,
                     iterations: 0,
                     aborts: 0,
@@ -216,7 +250,10 @@ impl Simulation {
         let (bsp, ssp) = match scheme {
             SchemeKind::Bsp => (Some(BspBarrier::new(m)), None),
             SchemeKind::Ssp { bound } => (None, Some(SspClock::new(m, bound))),
-            SchemeKind::SpecSync { base: BaseScheme::Ssp { bound }, .. } => (None, Some(SspClock::new(m, bound))),
+            SchemeKind::SpecSync {
+                base: BaseScheme::Ssp { bound },
+                ..
+            } => (None, Some(SspClock::new(m, bound))),
             _ => (None, None),
         };
 
@@ -269,7 +306,7 @@ impl Simulation {
         self.staleness_count += 1;
         let snapshot = self.store.pull(worker);
         self.scheduler.on_pull(worker, now);
-        self.workers[worker.index()].pending_params = Some(snapshot.into_params());
+        self.workers[worker.index()].pending_params = Some(snapshot.into_shared());
         self.workers[worker.index()].state = WorkerState::Pulling;
         let delay = self.delay(MessageClass::PullParams);
         let at = now + delay;
@@ -281,12 +318,17 @@ impl Simulation {
     /// pull.
     fn after_push(&mut self, worker: WorkerId, now: VirtualTime) {
         match self.scheme {
-            SchemeKind::Asp | SchemeKind::SpecSync { base: BaseScheme::Asp, .. } => {
+            SchemeKind::Asp
+            | SchemeKind::SpecSync {
+                base: BaseScheme::Asp,
+                ..
+            } => {
                 self.issue_pull(worker, now);
             }
             SchemeKind::NaiveWaiting { delay } => {
                 self.workers[worker.index()].state = WorkerState::Idle;
-                self.queue.schedule(now + delay, Event::NaiveWaitDone(worker));
+                self.queue
+                    .schedule(now + delay, Event::NaiveWaitDone(worker));
             }
             SchemeKind::Bsp => {
                 self.workers[worker.index()].state = WorkerState::Idle;
@@ -297,7 +339,11 @@ impl Simulation {
                     }
                 }
             }
-            SchemeKind::Ssp { .. } | SchemeKind::SpecSync { base: BaseScheme::Ssp { .. }, .. } => {
+            SchemeKind::Ssp { .. }
+            | SchemeKind::SpecSync {
+                base: BaseScheme::Ssp { .. },
+                ..
+            } => {
                 let ssp = self.ssp.as_mut().expect("SSP clock exists");
                 ssp.complete_iteration(worker);
                 // Release any worker the completion unblocked.
@@ -319,16 +365,24 @@ impl Simulation {
 
     fn start_compute(&mut self, worker: WorkerId, now: VirtualTime) {
         let ctx = &mut self.workers[worker.index()];
-        let params = ctx.pending_params.take().expect("pull delivered parameters");
+        let params = ctx
+            .pending_params
+            .take()
+            .expect("pull delivered parameters");
         ctx.model.set_params(&params);
+        drop(params); // release the shared snapshot before the long compute
         let batch = ctx.sampler.next_batch();
-        ctx.model.gradient(&batch, &mut ctx.grad);
+        ctx.grad_is_sparse = ctx.model.sparse_gradient(&batch, &mut ctx.sparse_grad);
+        if !ctx.grad_is_sparse {
+            ctx.model.gradient(&batch, &mut ctx.grad);
+        }
         ctx.state = WorkerState::Computing;
         ctx.compute_started = now;
         ctx.attempt += 1;
         let duration = ctx.compute_sampler.sample(&mut ctx.rng);
         let attempt = ctx.attempt;
-        self.queue.schedule(now + duration, Event::ComputeDone(worker, attempt));
+        self.queue
+            .schedule(now + duration, Event::ComputeDone(worker, attempt));
     }
 
     fn evaluate(&mut self, now: VirtualTime) {
@@ -336,7 +390,11 @@ impl Simulation {
             return;
         }
         let loss = self.eval.loss_of(self.store.params());
-        self.loss_curve.push(LossPoint { time: now, iterations: self.total_pushes, loss });
+        self.loss_curve.push(LossPoint {
+            time: now,
+            iterations: self.total_pushes,
+            loss,
+        });
         if self.converged_at.is_none() && self.detector.observe(loss) {
             self.converged_at = Some(now);
             self.iterations_at_convergence = Some(self.total_pushes);
@@ -346,20 +404,28 @@ impl Simulation {
     fn on_push_arrive(&mut self, worker: WorkerId, now: VirtualTime) {
         let lr = self.lr.lr_at(self.epochs_done) as f32;
         // Move the gradient out to satisfy the borrow checker, then back.
-        let grad = std::mem::take(&mut self.workers[worker.index()].grad);
-        self.store.apply_push(worker, &grad, lr);
-        self.workers[worker.index()].grad = grad;
+        if self.workers[worker.index()].grad_is_sparse {
+            let grad = std::mem::take(&mut self.workers[worker.index()].sparse_grad);
+            self.store.apply_push_sparse(worker, &grad, lr);
+            self.workers[worker.index()].sparse_grad = grad;
+        } else {
+            let grad = std::mem::take(&mut self.workers[worker.index()].grad);
+            self.store.apply_push(worker, &grad, lr);
+            self.workers[worker.index()].grad = grad;
+        }
         self.workers[worker.index()].iterations += 1;
         self.total_pushes += 1;
         self.record_transfer(now, MessageClass::PushGrad);
 
         self.evaluate(now);
 
-        // Notify the scheduler (control-plane message).
+        // Notify the scheduler (control-plane message). The transfer is
+        // recorded on delivery so the ledger never counts a notify the
+        // scheduler did not see (a notify can still be in flight when the
+        // horizon cuts the run short).
         let notify_delay = self.delay(MessageClass::Notify);
-        let at = now + notify_delay;
-        self.record_transfer(at, MessageClass::Notify);
-        self.queue.schedule(at, Event::NotifyArrive(worker));
+        self.queue
+            .schedule(now + notify_delay, Event::NotifyArrive(worker));
 
         // Epoch bookkeeping: an epoch completes when every worker has
         // finished one more iteration (paper §II-B).
@@ -367,7 +433,8 @@ impl Simulation {
         while min_iters > self.epochs_done {
             self.epochs_done += 1;
             self.scheduler.on_epoch_complete(now);
-            self.hyper_trace.push((self.epochs_done, self.scheduler.hyperparams()));
+            self.hyper_trace
+                .push((self.epochs_done, self.scheduler.hyperparams()));
         }
 
         self.after_push(worker, now);
@@ -401,6 +468,7 @@ impl Simulation {
             }
             Event::PushArrive(worker) => self.on_push_arrive(worker, now),
             Event::NotifyArrive(worker) => {
+                self.record_transfer(now, MessageClass::Notify);
                 if let Some(deadline) = self.scheduler.on_notify(worker, now) {
                     self.queue.schedule(deadline, Event::CheckTimer(worker));
                 }
@@ -408,12 +476,14 @@ impl Simulation {
             Event::CheckTimer(worker) => {
                 if self.scheduler.on_check(worker, now) {
                     let delay = self.delay(MessageClass::Resync);
-                    let at = now + delay;
-                    self.record_transfer(at, MessageClass::Resync);
-                    self.queue.schedule(at, Event::ResyncArrive(worker));
+                    self.queue
+                        .schedule(now + delay, Event::ResyncArrive(worker));
                 }
             }
-            Event::ResyncArrive(worker) => self.on_resync(worker, now),
+            Event::ResyncArrive(worker) => {
+                self.record_transfer(now, MessageClass::Resync);
+                self.on_resync(worker, now);
+            }
             Event::NaiveWaitDone(worker) => self.issue_pull(worker, now),
         }
     }
@@ -425,7 +495,8 @@ impl Simulation {
         }
 
         while let Some((now, event)) = self.queue.pop() {
-            if now > self.config.max_virtual_time || self.total_pushes >= self.config.max_iterations {
+            if now > self.config.max_virtual_time || self.total_pushes >= self.config.max_iterations
+            {
                 break;
             }
             self.handle(event, now);
@@ -435,8 +506,11 @@ impl Simulation {
         }
 
         let finished_at = self.queue.now();
-        let mean_staleness =
-            if self.staleness_count == 0 { 0.0 } else { self.staleness_sum / self.staleness_count as f64 };
+        let mean_staleness = if self.staleness_count == 0 {
+            0.0
+        } else {
+            self.staleness_sum / self.staleness_count as f64
+        };
         RunReport {
             scheme: self.scheme.label(),
             workload: self.workload.paper.name.to_string(),
@@ -486,7 +560,11 @@ mod tests {
             42,
         )
         .run();
-        assert!(report.converged_at.is_some(), "ASP failed to converge: final loss {:?}", report.final_loss());
+        assert!(
+            report.converged_at.is_some(),
+            "ASP failed to converge: final loss {:?}",
+            report.final_loss()
+        );
         assert!(report.total_iterations > 0);
         assert_eq!(report.total_aborts, 0);
         assert_eq!(report.iterations_per_worker.len(), 4);
@@ -495,7 +573,14 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let run = || {
-            Driver::new(Workload::tiny_test(), SchemeKind::Asp, tiny_cluster(3), quick_config(), 7).run()
+            Driver::new(
+                Workload::tiny_test(),
+                SchemeKind::Asp,
+                tiny_cluster(3),
+                quick_config(),
+                7,
+            )
+            .run()
         };
         let a = run();
         let b = run();
@@ -507,18 +592,42 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = Driver::new(Workload::tiny_test(), SchemeKind::Asp, tiny_cluster(3), quick_config(), 1).run();
-        let b = Driver::new(Workload::tiny_test(), SchemeKind::Asp, tiny_cluster(3), quick_config(), 2).run();
+        let a = Driver::new(
+            Workload::tiny_test(),
+            SchemeKind::Asp,
+            tiny_cluster(3),
+            quick_config(),
+            1,
+        )
+        .run();
+        let b = Driver::new(
+            Workload::tiny_test(),
+            SchemeKind::Asp,
+            tiny_cluster(3),
+            quick_config(),
+            2,
+        )
+        .run();
         assert_ne!(a.converged_at, b.converged_at);
     }
 
     #[test]
     fn bsp_keeps_workers_in_lockstep() {
-        let report =
-            Driver::new(Workload::tiny_test(), SchemeKind::Bsp, tiny_cluster(4), quick_config(), 11).run();
+        let report = Driver::new(
+            Workload::tiny_test(),
+            SchemeKind::Bsp,
+            tiny_cluster(4),
+            quick_config(),
+            11,
+        )
+        .run();
         let max = report.iterations_per_worker.iter().max().unwrap();
         let min = report.iterations_per_worker.iter().min().unwrap();
-        assert!(max - min <= 1, "BSP spread too wide: {:?}", report.iterations_per_worker);
+        assert!(
+            max - min <= 1,
+            "BSP spread too wide: {:?}",
+            report.iterations_per_worker
+        );
     }
 
     #[test]
@@ -533,17 +642,30 @@ mod tests {
         .run();
         let max = report.iterations_per_worker.iter().max().unwrap();
         let min = report.iterations_per_worker.iter().min().unwrap();
-        assert!(max - min <= 3, "SSP spread exceeds bound+1: {:?}", report.iterations_per_worker);
+        assert!(
+            max - min <= 3,
+            "SSP spread exceeds bound+1: {:?}",
+            report.iterations_per_worker
+        );
     }
 
     #[test]
     fn specsync_fixed_aborts_and_converges() {
         let scheme = SchemeKind::specsync_fixed(SimDuration::from_secs_f64(0.05), 0.5);
-        let report =
-            Driver::new(Workload::tiny_test(), scheme, tiny_cluster(4), quick_config(), 5).run();
+        let report = Driver::new(
+            Workload::tiny_test(),
+            scheme,
+            tiny_cluster(4),
+            quick_config(),
+            5,
+        )
+        .run();
         assert!(report.converged_at.is_some(), "SpecSync failed to converge");
         assert!(report.scheduler_stats.notifies > 0);
-        assert!(report.total_aborts > 0, "expected at least one abort with a permissive config");
+        assert!(
+            report.total_aborts > 0,
+            "expected at least one abort with a permissive config"
+        );
         assert!(!report.wasted_compute.is_zero());
     }
 
@@ -563,10 +685,19 @@ mod tests {
 
     #[test]
     fn naive_waiting_delays_increase_iteration_span() {
-        let base = Driver::new(Workload::tiny_test(), SchemeKind::Asp, tiny_cluster(3), quick_config(), 9).run();
+        let base = Driver::new(
+            Workload::tiny_test(),
+            SchemeKind::Asp,
+            tiny_cluster(3),
+            quick_config(),
+            9,
+        )
+        .run();
         let delayed = Driver::new(
             Workload::tiny_test(),
-            SchemeKind::NaiveWaiting { delay: SimDuration::from_secs_f64(0.2) },
+            SchemeKind::NaiveWaiting {
+                delay: SimDuration::from_secs_f64(0.2),
+            },
             tiny_cluster(3),
             quick_config(),
             9,
@@ -576,14 +707,23 @@ mod tests {
         // iterations per unit time.
         let base_rate = base.total_iterations as f64 / base.finished_at.as_secs_f64();
         let delayed_rate = delayed.total_iterations as f64 / delayed.finished_at.as_secs_f64();
-        assert!(delayed_rate < base_rate, "delayed {delayed_rate} !< base {base_rate}");
+        assert!(
+            delayed_rate < base_rate,
+            "delayed {delayed_rate} !< base {base_rate}"
+        );
     }
 
     #[test]
     fn transfer_ledger_accounts_for_all_classes() {
         let scheme = SchemeKind::specsync_fixed(SimDuration::from_secs_f64(0.05), 0.5);
-        let report =
-            Driver::new(Workload::tiny_test(), scheme, tiny_cluster(4), quick_config(), 5).run();
+        let report = Driver::new(
+            Workload::tiny_test(),
+            scheme,
+            tiny_cluster(4),
+            quick_config(),
+            5,
+        )
+        .run();
         assert!(report.transfer.bytes_for(MessageClass::PullParams) > 0);
         assert!(report.transfer.bytes_for(MessageClass::PushGrad) > 0);
         assert!(report.transfer.bytes_for(MessageClass::Notify) > 0);

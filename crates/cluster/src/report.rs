@@ -16,7 +16,7 @@ pub struct LossPoint {
 }
 
 /// The full outcome of one training run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Scheme label (e.g. `"SpecSync-Adaptive"`).
     pub scheme: String,

@@ -20,7 +20,10 @@ impl ClusterSpec {
     /// Panics if `n == 0`.
     pub fn homogeneous(n: usize, instance: InstanceType) -> Self {
         assert!(n > 0, "cluster needs at least one worker");
-        ClusterSpec { workers: vec![instance; n], network: NetworkModel::ec2_like() }
+        ClusterSpec {
+            workers: vec![instance; n],
+            network: NetworkModel::ec2_like(),
+        }
     }
 
     /// The paper's Cluster 1: 40 × `m4.xlarge` (effectiveness evaluation).
@@ -36,7 +39,10 @@ impl ClusterSpec {
         workers.extend(std::iter::repeat_n(InstanceType::M32xlarge, 10));
         workers.extend(std::iter::repeat_n(InstanceType::M4Xlarge, 10));
         workers.extend(std::iter::repeat_n(InstanceType::M42xlarge, 10));
-        ClusterSpec { workers, network: NetworkModel::ec2_like() }
+        ClusterSpec {
+            workers,
+            network: NetworkModel::ec2_like(),
+        }
     }
 
     /// The paper's scalability clusters: `n ∈ {20, 30, 40}` × `m4.xlarge`.
@@ -97,9 +103,17 @@ mod tests {
         let c = ClusterSpec::paper_cluster2();
         assert_eq!(c.num_workers(), 40);
         assert!(!c.is_homogeneous());
-        let m3x = c.instances().iter().filter(|&&i| i == InstanceType::M3Xlarge).count();
+        let m3x = c
+            .instances()
+            .iter()
+            .filter(|&&i| i == InstanceType::M3Xlarge)
+            .count();
         assert_eq!(m3x, 10);
-        let m42 = c.instances().iter().filter(|&&i| i == InstanceType::M42xlarge).count();
+        let m42 = c
+            .instances()
+            .iter()
+            .filter(|&&i| i == InstanceType::M42xlarge)
+            .count();
         assert_eq!(m42, 10);
     }
 

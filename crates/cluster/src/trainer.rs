@@ -90,7 +90,14 @@ impl Trainer {
 
     /// Runs the experiment and returns its report.
     pub fn run(self) -> RunReport {
-        Driver::new(self.workload, self.scheme, self.cluster, self.config, self.seed).run()
+        Driver::new(
+            self.workload,
+            self.scheme,
+            self.cluster,
+            self.config,
+            self.seed,
+        )
+        .run()
     }
 }
 

@@ -13,7 +13,10 @@ fn single_worker_cluster_trains() {
         .seed(1)
         .run();
     assert!(report.total_iterations > 100);
-    assert!((report.mean_staleness - 1.0).abs() < 0.2, "solo staleness is its own push");
+    assert!(
+        (report.mean_staleness - 1.0).abs() < 0.2,
+        "solo staleness is its own push"
+    );
 }
 
 #[test]
@@ -42,7 +45,10 @@ fn extreme_network_latency_still_completes() {
         .horizon(VirtualTime::from_secs(300))
         .seed(4)
         .run();
-    assert!(report.total_iterations > 10, "training stalled under slow network");
+    assert!(
+        report.total_iterations > 10,
+        "training stalled under slow network"
+    );
 }
 
 #[test]
@@ -90,7 +96,11 @@ fn max_iterations_cap_is_enforced() {
         .config(config)
         .seed(8)
         .run();
-    assert!(report.total_iterations <= 51, "cap exceeded: {}", report.total_iterations);
+    assert!(
+        report.total_iterations <= 51,
+        "cap exceeded: {}",
+        report.total_iterations
+    );
 }
 
 #[test]
@@ -106,7 +116,10 @@ fn gradient_clipping_keeps_divergent_lr_finite() {
         .run();
     // With a tight clip the update norm is bounded; loss may be bad but
     // must stay finite.
-    assert!(report.loss_curve.iter().all(|p| p.loss.is_finite()), "clipped run produced NaN");
+    assert!(
+        report.loss_curve.iter().all(|p| p.loss.is_finite()),
+        "clipped run produced NaN"
+    );
 }
 
 #[test]
@@ -119,7 +132,8 @@ fn instant_network_matches_protocol_expectations() {
     let mean = workload.mean_iteration_secs;
     let report = Trainer::new(workload, SchemeKind::Asp)
         .cluster(
-            ClusterSpec::homogeneous(1, InstanceType::M4Xlarge).with_network(NetworkModel::instant()),
+            ClusterSpec::homogeneous(1, InstanceType::M4Xlarge)
+                .with_network(NetworkModel::instant()),
         )
         .horizon(VirtualTime::from_secs(100))
         .seed(5)

@@ -39,8 +39,13 @@ impl EpochView {
                 }
             }
         }
-        let iteration_spans = WorkerId::all(m).map(|w| history.iteration_span_of(w)).collect();
-        EpochView { pulls, iteration_spans }
+        let iteration_spans = WorkerId::all(m)
+            .map(|w| history.iteration_span_of(w))
+            .collect();
+        EpochView {
+            pulls,
+            iteration_spans,
+        }
     }
 
     /// The paper's literal Eq. (5) view: only each worker's last pull at or
@@ -49,8 +54,13 @@ impl EpochView {
         let pulls = WorkerId::all(m)
             .map(|w| history.last_pull_of(w, now).into_iter().collect())
             .collect();
-        let iteration_spans = WorkerId::all(m).map(|w| history.iteration_span_of(w)).collect();
-        EpochView { pulls, iteration_spans }
+        let iteration_spans = WorkerId::all(m)
+            .map(|w| history.iteration_span_of(w))
+            .collect();
+        EpochView {
+            pulls,
+            iteration_spans,
+        }
     }
 
     /// Number of workers.
@@ -61,7 +71,12 @@ impl EpochView {
 
 /// Eq. (5): gain estimate from a single pull — pushes by others within
 /// `delta` after `last_pull`.
-pub fn estimate_gain(history: &PushHistory, worker: WorkerId, last_pull: VirtualTime, delta: SimDuration) -> u64 {
+pub fn estimate_gain(
+    history: &PushHistory,
+    worker: WorkerId,
+    last_pull: VirtualTime,
+    delta: SimDuration,
+) -> u64 {
     history.pushes_by_others_in(worker, last_pull, delta)
 }
 
@@ -76,7 +91,10 @@ pub fn estimate_mean_gain(
     if pulls.is_empty() {
         return None;
     }
-    let total: u64 = pulls.iter().map(|&p| history.pushes_by_others_in(worker, p, delta)).sum();
+    let total: u64 = pulls
+        .iter()
+        .map(|&p| history.pushes_by_others_in(worker, p, delta))
+        .sum();
     Some(total as f64 / pulls.len() as f64)
 }
 
@@ -100,7 +118,9 @@ pub fn estimate_improvement(history: &PushHistory, view: &EpochView, delta: SimD
     let mut total = 0.0;
     for (i, (pulls, span)) in view.pulls.iter().zip(&view.iteration_spans).enumerate() {
         let Some(span) = span else { continue };
-        let Some(gain) = estimate_mean_gain(history, WorkerId::new(i), pulls, delta) else { continue };
+        let Some(gain) = estimate_mean_gain(history, WorkerId::new(i), pulls, delta) else {
+            continue;
+        };
         let loss = estimate_loss(delta, m, *span);
         total += gain - loss;
     }
@@ -120,7 +140,11 @@ pub fn estimate_improvement(history: &PushHistory, view: &EpochView, delta: SimD
 /// and zero otherwise. Under perfectly uniform arrivals both estimates
 /// agree (≈ 0); under bursty arrivals this one credits exactly the bursts
 /// SpecSync harvests.
-pub fn estimate_realized_improvement(history: &PushHistory, view: &EpochView, delta: SimDuration) -> f64 {
+pub fn estimate_realized_improvement(
+    history: &PushHistory,
+    view: &EpochView,
+    delta: SimDuration,
+) -> f64 {
     let m = view.num_workers();
     let mut total = 0.0;
     for (i, (pulls, span)) in view.pulls.iter().zip(&view.iteration_spans).enumerate() {
@@ -186,7 +210,10 @@ mod tests {
         // Worker 0 pulls at 0,2,4,6,8; worker 1 pushes 1.8s later each time.
         let pulls: Vec<VirtualTime> = (0..5).map(|k| t(k as f64 * 2.0)).collect();
         let g = estimate_mean_gain(&h, w(0), &pulls, d(1.9)).unwrap();
-        assert!((g - 1.0).abs() < 1e-9, "each window should cover exactly one push, got {g}");
+        assert!(
+            (g - 1.0).abs() < 1e-9,
+            "each window should cover exactly one push, got {g}"
+        );
         assert_eq!(estimate_mean_gain(&h, w(0), &[], d(1.0)), None);
     }
 
@@ -226,7 +253,10 @@ mod tests {
         let view = EpochView::from_recent(&h, 2, 1);
         for secs in [0.5, 1.0, 1.9, 3.0] {
             let f = estimate_realized_improvement(&h, &view, d(secs));
-            assert!(f >= 0.0, "realized estimate must be non-negative, got {f} at {secs}");
+            assert!(
+                f >= 0.0,
+                "realized estimate must be non-negative, got {f} at {secs}"
+            );
         }
         // A window wide enough to capture the peer's push fires and earns.
         let f = estimate_realized_improvement(&h, &view, d(1.9));

@@ -61,7 +61,10 @@ pub fn exact_freshness(history: &PushHistory, delta: SimDuration) -> FreshnessOu
 /// candidates (the oracle tuner used in ablation benches).
 ///
 /// Returns `None` when `candidates` is empty.
-pub fn oracle_best_window(history: &PushHistory, candidates: &[SimDuration]) -> Option<(SimDuration, FreshnessOutcome)> {
+pub fn oracle_best_window(
+    history: &PushHistory,
+    candidates: &[SimDuration],
+) -> Option<(SimDuration, FreshnessOutcome)> {
     candidates
         .iter()
         .map(|&d| (d, exact_freshness(history, d)))
@@ -127,7 +130,10 @@ mod tests {
         let candidates: Vec<SimDuration> = (1..=8).map(|k| d(k as f64)).collect();
         let (best, outcome) = oracle_best_window(&h, &candidates).unwrap();
         for &c in &candidates {
-            assert!(exact_freshness(&h, c).net() <= outcome.net(), "candidate {c} beats 'best' {best}");
+            assert!(
+                exact_freshness(&h, c).net() <= outcome.net(),
+                "candidate {c} beats 'best' {best}"
+            );
         }
     }
 

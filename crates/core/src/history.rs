@@ -42,7 +42,7 @@ pub struct PullRecord {
 /// );
 /// assert_eq!(n, 1);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PushHistory {
     pushes: Vec<PushRecord>,
     pulls: Vec<PullRecord>,
@@ -111,7 +111,11 @@ impl PushHistory {
     pub fn recent_epoch_pushes(&self, epochs: usize) -> Option<&[PushRecord]> {
         let end = *self.epoch_marks.last()?;
         let n = self.epoch_marks.len();
-        let start = if n > epochs { self.epoch_marks[n - 1 - epochs] } else { 0 };
+        let start = if n > epochs {
+            self.epoch_marks[n - 1 - epochs]
+        } else {
+            0
+        };
         Some(&self.pushes[start..end])
     }
 
@@ -130,13 +134,21 @@ impl PushHistory {
     /// Runs in `O(log n + k)` for `k` pushes inside the window, exploiting
     /// the chronological invariant — this is on the adaptive tuner's inner
     /// loop.
-    pub fn pushes_by_others_in(&self, worker: WorkerId, start: VirtualTime, window: SimDuration) -> u64 {
+    pub fn pushes_by_others_in(
+        &self,
+        worker: WorkerId,
+        start: VirtualTime,
+        window: SimDuration,
+    ) -> u64 {
         let end = start + window;
         // First index with time > start.
         let lo = self.pushes.partition_point(|p| p.time <= start);
         // First index with time > end.
         let hi = self.pushes.partition_point(|p| p.time <= end);
-        self.pushes[lo..hi].iter().filter(|p| p.worker != worker).count() as u64
+        self.pushes[lo..hi]
+            .iter()
+            .filter(|p| p.worker != worker)
+            .count() as u64
     }
 
     /// The most recent pull by `worker` at or before `cutoff`, if any.
@@ -154,8 +166,11 @@ impl PushHistory {
     /// fewer than two pushes.
     pub fn iteration_span_of(&self, worker: WorkerId) -> Option<SimDuration> {
         let from_records = |records: &[PushRecord]| -> Option<SimDuration> {
-            let times: Vec<VirtualTime> =
-                records.iter().filter(|p| p.worker == worker).map(|p| p.time).collect();
+            let times: Vec<VirtualTime> = records
+                .iter()
+                .filter(|p| p.worker == worker)
+                .map(|p| p.time)
+                .collect();
             if times.len() < 2 {
                 return None;
             }
@@ -198,10 +213,19 @@ mod tests {
         h.record_push(t(3.0), w(2));
         h.record_push(t(4.0), w(1));
         // Window (1.0, 3.0]: pushes at 2.0 (w1) and 3.0 (w2); excludes own.
-        assert_eq!(h.pushes_by_others_in(w(0), t(1.0), SimDuration::from_secs(2)), 2);
-        assert_eq!(h.pushes_by_others_in(w(1), t(1.0), SimDuration::from_secs(2)), 1);
+        assert_eq!(
+            h.pushes_by_others_in(w(0), t(1.0), SimDuration::from_secs(2)),
+            2
+        );
+        assert_eq!(
+            h.pushes_by_others_in(w(1), t(1.0), SimDuration::from_secs(2)),
+            1
+        );
         // Left boundary excluded: the push at exactly `start` doesn't count.
-        assert_eq!(h.pushes_by_others_in(w(5), t(2.0), SimDuration::from_secs(1)), 1);
+        assert_eq!(
+            h.pushes_by_others_in(w(5), t(2.0), SimDuration::from_secs(1)),
+            1
+        );
     }
 
     #[test]
@@ -238,7 +262,10 @@ mod tests {
         h.record_push(t(9.0), w(0));
         h.mark_epoch();
         // (9 - 0) / 2 = 4.5 s
-        assert_eq!(h.iteration_span_of(w(0)), Some(SimDuration::from_secs_f64(4.5)));
+        assert_eq!(
+            h.iteration_span_of(w(0)),
+            Some(SimDuration::from_secs_f64(4.5))
+        );
         assert_eq!(h.iteration_span_of(w(1)), None);
     }
 

@@ -32,15 +32,24 @@ impl Hyperparams {
     ///
     /// Panics if `abort_rate` is negative or not finite.
     pub fn new(abort_time: SimDuration, abort_rate: f64) -> Self {
-        assert!(abort_rate.is_finite() && abort_rate >= 0.0, "abort_rate must be finite and non-negative");
-        Hyperparams { abort_time, abort_rate }
+        assert!(
+            abort_rate.is_finite() && abort_rate >= 0.0,
+            "abort_rate must be finite and non-negative"
+        );
+        Hyperparams {
+            abort_time,
+            abort_rate,
+        }
     }
 
     /// A configuration that never triggers a re-sync (zero window, infinite
     /// threshold) — the scheduler's state before the first adaptive tuning
     /// pass.
     pub fn disabled() -> Self {
-        Hyperparams { abort_time: SimDuration::ZERO, abort_rate: f64::MAX }
+        Hyperparams {
+            abort_time: SimDuration::ZERO,
+            abort_rate: f64::MAX,
+        }
     }
 
     /// The speculation window `ABORT_TIME`.

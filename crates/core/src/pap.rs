@@ -45,7 +45,13 @@ impl BoxStats {
             let frac = pos - lo as f64;
             sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
         };
-        Some(BoxStats { p5: q(0.05), p25: q(0.25), p50: q(0.50), p75: q(0.75), p95: q(0.95) })
+        Some(BoxStats {
+            p5: q(0.05),
+            p25: q(0.25),
+            p50: q(0.50),
+            p75: q(0.75),
+            p95: q(0.95),
+        })
     }
 }
 
@@ -99,9 +105,21 @@ pub fn pap_distribution(
     let samples = per_interval[0].len();
     let stats = per_interval
         .iter()
-        .map(|c| BoxStats::from_counts(c).unwrap_or(BoxStats { p5: 0.0, p25: 0.0, p50: 0.0, p75: 0.0, p95: 0.0 }))
+        .map(|c| {
+            BoxStats::from_counts(c).unwrap_or(BoxStats {
+                p5: 0.0,
+                p25: 0.0,
+                p50: 0.0,
+                p75: 0.0,
+                p95: 0.0,
+            })
+        })
         .collect();
-    PapDistribution { interval, stats, samples_per_interval: samples }
+    PapDistribution {
+        interval,
+        stats,
+        samples_per_interval: samples,
+    }
 }
 
 /// Convenience: a synthetic uniform-arrival history for testing and

@@ -93,7 +93,10 @@ impl Scheduler {
     pub fn new(m: usize, tuning: TuningMode) -> Self {
         assert!(m > 0, "need at least one worker");
         let hyper = match tuning {
-            TuningMode::Fixed { abort_time, abort_rate } => Hyperparams::new(abort_time, abort_rate),
+            TuningMode::Fixed {
+                abort_time,
+                abort_rate,
+            } => Hyperparams::new(abort_time, abort_rate),
             TuningMode::Adaptive => Hyperparams::disabled(),
         };
         Scheduler {
@@ -180,7 +183,9 @@ impl Scheduler {
             return false;
         }
         self.stats.checks += 1;
-        let cnt = self.history.pushes_by_others_in(worker, start, state.window);
+        let cnt = self
+            .history
+            .pushes_by_others_in(worker, start, state.window);
         let fire = cnt >= state.threshold;
         if fire {
             self.stats.resyncs += 1;
@@ -220,7 +225,10 @@ mod tests {
     }
 
     fn fixed(window_secs: f64, rate: f64) -> TuningMode {
-        TuningMode::Fixed { abort_time: SimDuration::from_secs_f64(window_secs), abort_rate: rate }
+        TuningMode::Fixed {
+            abort_time: SimDuration::from_secs_f64(window_secs),
+            abort_rate: rate,
+        }
     }
 
     #[test]
@@ -290,7 +298,10 @@ mod tests {
         }
         s.on_epoch_complete(t(40.0));
         assert_eq!(s.epoch(), 1);
-        assert!(!s.hyperparams().is_disabled(), "tuning should have enabled speculation");
+        assert!(
+            !s.hyperparams().is_disabled(),
+            "tuning should have enabled speculation"
+        );
         assert_eq!(s.stats().retunes, 1);
         assert!(s.on_notify(w(0), t(41.0)).is_some());
     }

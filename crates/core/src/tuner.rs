@@ -42,7 +42,10 @@ impl AdaptiveTuner {
     pub fn new(max_candidates: usize, window_epochs: usize) -> Self {
         assert!(max_candidates > 0, "need at least one candidate");
         assert!(window_epochs > 0, "need at least one epoch of history");
-        AdaptiveTuner { max_candidates, window_epochs }
+        AdaptiveTuner {
+            max_candidates,
+            window_epochs,
+        }
     }
 
     /// Enumerates candidate windows from the last closed epoch: the sorted,
@@ -95,12 +98,18 @@ impl AdaptiveTuner {
         // bound the paper uses for the cherrypick grid ("we use half of the
         // batch time as upper bound"): later aborts waste more compute than
         // the freshness model accounts for.
-        let spans_for_cap: Vec<f64> =
-            view.iteration_spans.iter().flatten().map(|s| s.as_secs_f64()).collect();
+        let spans_for_cap: Vec<f64> = view
+            .iteration_spans
+            .iter()
+            .flatten()
+            .map(|s| s.as_secs_f64())
+            .collect();
         let cap = if spans_for_cap.is_empty() {
             SimDuration::MAX
         } else {
-            SimDuration::from_secs_f64(spans_for_cap.iter().sum::<f64>() / spans_for_cap.len() as f64 / 2.0)
+            SimDuration::from_secs_f64(
+                spans_for_cap.iter().sum::<f64>() / spans_for_cap.len() as f64 / 2.0,
+            )
         };
 
         let mut best: Option<(SimDuration, f64)> = None;
@@ -117,8 +126,12 @@ impl AdaptiveTuner {
 
         // Algorithm 1 line 7: ABORT_RATE = Δ (m − 1) / (T m), with T the
         // mean iteration span across workers.
-        let spans: Vec<f64> =
-            view.iteration_spans.iter().flatten().map(|s| s.as_secs_f64()).collect();
+        let spans: Vec<f64> = view
+            .iteration_spans
+            .iter()
+            .flatten()
+            .map(|s| s.as_secs_f64())
+            .collect();
         if spans.is_empty() {
             return None;
         }
@@ -163,15 +176,27 @@ impl CherrypickGrid {
     /// # Panics
     ///
     /// Panics if either trial count is zero or the iteration time is zero.
-    pub fn paper_style(mean_iteration: SimDuration, time_trials: usize, rate_trials: usize) -> Self {
-        assert!(time_trials > 0 && rate_trials > 0, "trial counts must be positive");
+    pub fn paper_style(
+        mean_iteration: SimDuration,
+        time_trials: usize,
+        rate_trials: usize,
+    ) -> Self {
+        assert!(
+            time_trials > 0 && rate_trials > 0,
+            "trial counts must be positive"
+        );
         assert!(!mean_iteration.is_zero(), "iteration time must be positive");
         let half = mean_iteration.as_micros() / 2;
         let abort_times = (1..=time_trials)
             .map(|k| SimDuration::from_micros(half * k as u64 / time_trials as u64))
             .collect();
-        let abort_rates = (1..=rate_trials).map(|k| 0.5 * k as f64 / rate_trials as f64).collect();
-        CherrypickGrid { abort_times, abort_rates }
+        let abort_rates = (1..=rate_trials)
+            .map(|k| 0.5 * k as f64 / rate_trials as f64)
+            .collect();
+        CherrypickGrid {
+            abort_times,
+            abort_rates,
+        }
     }
 
     /// All grid points.
@@ -268,7 +293,10 @@ mod tests {
         let outcome = tuner.tune(&h, 8, t(100.0)).expect("should find a window");
         assert!(outcome.estimated_improvement > 0.0);
         let at = outcome.hyperparams.abort_time();
-        assert!(!at.is_zero() && at <= SimDuration::from_secs(8), "window {at} out of range");
+        assert!(
+            !at.is_zero() && at <= SimDuration::from_secs(8),
+            "window {at} out of range"
+        );
         assert!(outcome.hyperparams.abort_rate() > 0.0);
     }
 
@@ -280,8 +308,11 @@ mod tests {
         let delta = outcome.hyperparams.abort_time().as_secs_f64();
         // T = 4s for every worker, m = 4.
         let expected = delta * 3.0 / (4.0 * 4.0);
-        assert!((outcome.hyperparams.abort_rate() - expected).abs() < 0.02,
-            "rate {} vs expected {expected}", outcome.hyperparams.abort_rate());
+        assert!(
+            (outcome.hyperparams.abort_rate() - expected).abs() < 0.02,
+            "rate {} vs expected {expected}",
+            outcome.hyperparams.abort_rate()
+        );
     }
 
     #[test]

@@ -11,7 +11,10 @@ fn schedule_strategy(m: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
 }
 
 fn fixed(window_ms: u64, rate: f64) -> TuningMode {
-    TuningMode::Fixed { abort_time: SimDuration::from_millis(window_ms), abort_rate: rate }
+    TuningMode::Fixed {
+        abort_time: SimDuration::from_millis(window_ms),
+        abort_rate: rate,
+    }
 }
 
 /// Replays a schedule through a scheduler, firing every timer at its

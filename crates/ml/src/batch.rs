@@ -35,7 +35,11 @@ impl BatchSampler {
     pub fn new(num_samples: usize, batch_size: usize, seed: u64) -> Self {
         assert!(num_samples > 0, "cannot sample from an empty dataset");
         assert!(batch_size > 0, "batch size must be positive");
-        BatchSampler { num_samples, batch_size, rng: StdRng::seed_from_u64(seed) }
+        BatchSampler {
+            num_samples,
+            batch_size,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The configured batch size.
@@ -45,7 +49,9 @@ impl BatchSampler {
 
     /// Draws the next minibatch of sample indices.
     pub fn next_batch(&mut self) -> Vec<usize> {
-        (0..self.batch_size).map(|_| self.rng.random_range(0..self.num_samples)).collect()
+        (0..self.batch_size)
+            .map(|_| self.rng.random_range(0..self.num_samples))
+            .collect()
     }
 }
 

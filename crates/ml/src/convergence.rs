@@ -48,7 +48,12 @@ impl ConvergenceDetector {
     pub fn new(target: f64, window: u32) -> Self {
         assert!(target.is_finite(), "target loss must be finite");
         assert!(window > 0, "window must be positive");
-        ConvergenceDetector { target, window, streak: 0, converged: false }
+        ConvergenceDetector {
+            target,
+            window,
+            streak: 0,
+            converged: false,
+        }
     }
 
     /// The target loss.

@@ -50,14 +50,21 @@ impl RatingsDataset {
         noise_std: f32,
         seed: u64,
     ) -> Self {
-        assert!(num_users > 0 && num_items > 0 && true_rank > 0, "dimensions must be positive");
+        assert!(
+            num_users > 0 && num_items > 0 && true_rank > 0,
+            "dimensions must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let normal = Normal::new(0.0f32, 1.0).expect("valid normal");
         let scale = 1.0 / (true_rank as f32).sqrt();
 
         // Ground-truth latent factors.
-        let u: Vec<f32> = (0..num_users * true_rank).map(|_| normal.sample(&mut rng) * scale).collect();
-        let v: Vec<f32> = (0..num_items * true_rank).map(|_| normal.sample(&mut rng) * scale).collect();
+        let u: Vec<f32> = (0..num_users * true_rank)
+            .map(|_| normal.sample(&mut rng) * scale)
+            .collect();
+        let v: Vec<f32> = (0..num_items * true_rank)
+            .map(|_| normal.sample(&mut rng) * scale)
+            .collect();
 
         let noise = Normal::new(0.0f32, noise_std.max(0.0)).expect("valid normal");
         // Item popularity follows a Zipf-like law, as in MovieLens: a few
@@ -65,7 +72,9 @@ impl RatingsDataset {
         // training these hot items become collision points where staleness
         // actually hurts — uniform sampling would wash that structure out.
         let zipf_cdf: Vec<f64> = {
-            let weights: Vec<f64> = (0..num_items).map(|i| 1.0 / (i as f64 + 1.0).powf(0.9)).collect();
+            let weights: Vec<f64> = (0..num_items)
+                .map(|i| 1.0 / (i as f64 + 1.0).powf(0.9))
+                .collect();
             let total: f64 = weights.iter().sum();
             let mut acc = 0.0;
             weights
@@ -84,9 +93,17 @@ impl RatingsDataset {
             let uf = &u[user * true_rank..(user + 1) * true_rank];
             let vf = &v[item * true_rank..(item + 1) * true_rank];
             let dot: f32 = uf.iter().zip(vf).map(|(a, b)| a * b).sum();
-            ratings.push(Rating { user, item, rating: dot + noise.sample(&mut rng) });
+            ratings.push(Rating {
+                user,
+                item,
+                rating: dot + noise.sample(&mut rng),
+            });
         }
-        RatingsDataset { num_users, num_items, ratings }
+        RatingsDataset {
+            num_users,
+            num_items,
+            ratings,
+        }
     }
 
     /// Number of users in the rating matrix.
@@ -154,8 +171,14 @@ impl DenseDataset {
         label_noise: f64,
         seed: u64,
     ) -> Self {
-        assert!(dim > 0 && num_classes > 1, "need dim > 0 and at least two classes");
-        assert!((0.0..=1.0).contains(&label_noise), "label_noise must be in [0, 1]");
+        assert!(
+            dim > 0 && num_classes > 1,
+            "need dim > 0 and at least two classes"
+        );
+        assert!(
+            (0.0..=1.0).contains(&label_noise),
+            "label_noise must be in [0, 1]"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let normal = Normal::new(0.0f32, 1.0).expect("valid normal");
 
@@ -189,7 +212,12 @@ impl DenseDataset {
             };
             labels.push(label);
         }
-        DenseDataset { dim, num_classes, features, labels }
+        DenseDataset {
+            dim,
+            num_classes,
+            features,
+            labels,
+        }
     }
 
     /// Feature dimension.
@@ -287,7 +315,12 @@ mod tests {
         // structure rather than the noise floor.
         let d = RatingsDataset::generate(100, 100, 2000, 8, 0.01, 2);
         let mean: f32 = d.ratings().iter().map(|r| r.rating).sum::<f32>() / d.len() as f32;
-        let var: f32 = d.ratings().iter().map(|r| (r.rating - mean).powi(2)).sum::<f32>() / d.len() as f32;
+        let var: f32 = d
+            .ratings()
+            .iter()
+            .map(|r| (r.rating - mean).powi(2))
+            .sum::<f32>()
+            / d.len() as f32;
         assert!(var > 0.1, "rating variance {var} unexpectedly small");
     }
 

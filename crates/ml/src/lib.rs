@@ -40,4 +40,5 @@ pub use mlp::Mlp;
 pub use model::{check_gradient, Model};
 pub use schedule::LrSchedule;
 pub use softmax::SoftmaxRegression;
+pub use specsync_tensor::SparseGrad;
 pub use workload::{EvalSet, PaperProfile, Workload, WorkloadBundle, WorkloadKind};

@@ -2,9 +2,15 @@
 //!
 //! Parameters are user and item latent factors, stored flat as
 //! `[user_0 factors…, user_1 factors…, …, item_0 factors…, …]`. The loss is
-//! the squared rating-reconstruction error with L2 regularization.
+//! the squared rating-reconstruction error with per-sample L2
+//! regularization of the touched factors (`err² + λ(‖u‖² + ‖v‖²)`, the
+//! classic MF objective): a minibatch gradient therefore only involves the
+//! factors of users and items appearing in the batch, which is what makes
+//! the sparse push path O(nnz).
 
 use std::sync::Arc;
+
+use specsync_tensor::SparseGrad;
 
 use crate::dataset::RatingsDataset;
 use crate::model::Model;
@@ -39,9 +45,17 @@ impl MatrixFactorization {
     /// # Panics
     ///
     /// Panics if `rank == 0` or the range is out of bounds.
-    pub fn with_partition(data: Arc<RatingsDataset>, range: (usize, usize), rank: usize, reg: f32) -> Self {
+    pub fn with_partition(
+        data: Arc<RatingsDataset>,
+        range: (usize, usize),
+        rank: usize,
+        reg: f32,
+    ) -> Self {
         assert!(rank > 0, "rank must be positive");
-        assert!(range.0 <= range.1 && range.1 <= data.len(), "partition out of bounds");
+        assert!(
+            range.0 <= range.1 && range.1 <= data.len(),
+            "partition out of bounds"
+        );
         let n = (data.num_users() + data.num_items()) * rank;
         // Deterministic small init: pseudo-random in [-0.1, 0.1] scaled by
         // 1/sqrt(rank) so initial predictions are O(0.01).
@@ -52,7 +66,13 @@ impl MatrixFactorization {
                 ((h % 2001) as f32 / 1000.0 - 1.0) * scale
             })
             .collect();
-        MatrixFactorization { data, range, rank, reg, params }
+        MatrixFactorization {
+            data,
+            range,
+            rank,
+            reg,
+            params,
+        }
     }
 
     /// The latent rank.
@@ -97,22 +117,34 @@ impl Model for MatrixFactorization {
     fn loss(&self, indices: &[usize]) -> f64 {
         assert!(!indices.is_empty(), "loss over empty batch");
         let mut total = 0.0f64;
+        // The regularization sum is accumulated in f64: at large parameter
+        // counts an f32 running sum of squares loses low-order bits.
+        let mut reg_sum = 0.0f64;
         for &local in indices {
             let r = self.data.rating(self.range.0 + local);
             let err = r.rating - self.predict(r.user, r.item);
             total += (err * err) as f64;
+            let uo = self.user_offset(r.user);
+            let io = self.item_offset(r.item);
+            for k in 0..self.rank {
+                let u = self.params[uo + k] as f64;
+                let v = self.params[io + k] as f64;
+                reg_sum += u * u + v * v;
+            }
         }
-        // Regularization contributes to the objective; report it scaled by
-        // the batch fraction so full-data loss equals objective value.
-        let reg_term = self.reg as f64 * self.params.iter().map(|&p| (p * p) as f64).sum::<f64>();
-        total / indices.len() as f64 + reg_term / self.data.len().max(1) as f64
+        (total + self.reg as f64 * reg_sum) / indices.len() as f64
     }
 
     fn gradient(&self, indices: &[usize], out: &mut [f32]) {
-        assert_eq!(out.len(), self.params.len(), "gradient buffer length mismatch");
+        assert_eq!(
+            out.len(),
+            self.params.len(),
+            "gradient buffer length mismatch"
+        );
         assert!(!indices.is_empty(), "gradient over empty batch");
         out.fill(0.0);
         let inv_batch = 1.0 / indices.len() as f32;
+        let reg_coeff = 2.0 * self.reg * inv_batch;
         for &local in indices {
             let r = self.data.rating(self.range.0 + local);
             let uo = self.user_offset(r.user);
@@ -122,15 +154,34 @@ impl Model for MatrixFactorization {
             for k in 0..self.rank {
                 let u = self.params[uo + k];
                 let v = self.params[io + k];
-                out[uo + k] += coeff * v;
-                out[io + k] += coeff * u;
+                out[uo + k] += coeff * v + reg_coeff * u;
+                out[io + k] += coeff * u + reg_coeff * v;
             }
         }
-        // L2 term, scaled consistently with `loss`.
-        let reg_coeff = 2.0 * self.reg / self.data.len().max(1) as f32;
-        for (o, &p) in out.iter_mut().zip(&self.params) {
-            *o += reg_coeff * p;
+    }
+
+    fn sparse_gradient(&self, indices: &[usize], out: &mut SparseGrad) -> bool {
+        assert!(!indices.is_empty(), "gradient over empty batch");
+        out.reset(self.params.len());
+        // Identical arithmetic and accumulation order to `gradient`, so the
+        // two paths agree bit-for-bit per coordinate.
+        let inv_batch = 1.0 / indices.len() as f32;
+        let reg_coeff = 2.0 * self.reg * inv_batch;
+        for &local in indices {
+            let r = self.data.rating(self.range.0 + local);
+            let uo = self.user_offset(r.user);
+            let io = self.item_offset(r.item);
+            let err = r.rating - self.predict(r.user, r.item);
+            let coeff = -2.0 * err * inv_batch;
+            for k in 0..self.rank {
+                let u = self.params[uo + k];
+                let v = self.params[io + k];
+                out.add(uo + k, coeff * v + reg_coeff * u);
+                out.add(io + k, coeff * u + reg_coeff * v);
+            }
         }
+        out.finish();
+        true
     }
 }
 
@@ -165,7 +216,12 @@ mod tests {
         let mut grad = vec![0.0f32; m.num_params()];
         for _ in 0..300 {
             m.gradient(&all, &mut grad);
-            let params: Vec<f32> = m.params().iter().zip(&grad).map(|(p, g)| p - 0.5 * g).collect();
+            let params: Vec<f32> = m
+                .params()
+                .iter()
+                .zip(&grad)
+                .map(|(p, g)| p - 0.5 * g)
+                .collect();
             m.set_params(&params);
         }
         let final_loss = m.loss(&all);
@@ -201,5 +257,26 @@ mod tests {
         let a = MatrixFactorization::new(dataset(), 4, 0.0);
         let b = MatrixFactorization::new(dataset(), 4, 0.0);
         assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn sparse_gradient_matches_dense_exactly() {
+        let m = MatrixFactorization::new(dataset(), 4, 0.02);
+        let indices: Vec<usize> = (0..32).collect();
+        let mut dense = vec![0.0f32; m.num_params()];
+        m.gradient(&indices, &mut dense);
+        let mut sparse = SparseGrad::new();
+        assert!(m.sparse_gradient(&indices, &mut sparse));
+        assert_eq!(sparse.to_dense(), dense);
+        // Truly sparse: a 32-sample batch touches at most 64 factor rows.
+        assert!(sparse.nnz() <= 64 * m.rank());
+        assert!(sparse.nnz() < m.num_params());
+    }
+
+    #[test]
+    fn regularized_gradient_matches_finite_differences() {
+        let mut m = MatrixFactorization::new(dataset(), 4, 0.1);
+        let indices: Vec<usize> = (0..48).collect();
+        check_gradient(&mut m, &indices, 5e-2);
     }
 }

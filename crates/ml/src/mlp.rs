@@ -46,7 +46,10 @@ impl Mlp {
     /// Panics if `hidden == 0` or the range is out of bounds.
     pub fn with_partition(data: Arc<DenseDataset>, range: (usize, usize), hidden: usize) -> Self {
         assert!(hidden > 0, "hidden size must be positive");
-        assert!(range.0 <= range.1 && range.1 <= data.len(), "partition out of bounds");
+        assert!(
+            range.0 <= range.1 && range.1 <= data.len(),
+            "partition out of bounds"
+        );
         let (d, k) = (data.dim(), data.num_classes());
         let n = hidden * d + hidden + k * hidden + k;
         let w1_scale = (2.0 / d as f32).sqrt();
@@ -62,7 +65,12 @@ impl Mlp {
             let h = ((i + 7919) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
             params[w2_start + i] = ((h % 2001) as f32 / 1000.0 - 1.0) * w2_scale * 0.5;
         }
-        Mlp { data, range, hidden, params }
+        Mlp {
+            data,
+            range,
+            hidden,
+            params,
+        }
     }
 
     fn dims(&self) -> (usize, usize, usize) {
@@ -143,7 +151,11 @@ impl Model for Mlp {
     }
 
     fn gradient(&self, indices: &[usize], out: &mut [f32]) {
-        assert_eq!(out.len(), self.params.len(), "gradient buffer length mismatch");
+        assert_eq!(
+            out.len(),
+            self.params.len(),
+            "gradient buffer length mismatch"
+        );
         assert!(!indices.is_empty(), "gradient over empty batch");
         out.fill(0.0);
         let (d, h, k) = self.dims();
@@ -216,13 +228,24 @@ mod tests {
         let mut grad = vec![0.0f32; m.num_params()];
         for _ in 0..300 {
             m.gradient(&all, &mut grad);
-            let params: Vec<f32> = m.params().iter().zip(&grad).map(|(p, g)| p - 0.3 * g).collect();
+            let params: Vec<f32> = m
+                .params()
+                .iter()
+                .zip(&grad)
+                .map(|(p, g)| p - 0.3 * g)
+                .collect();
             m.set_params(&params);
         }
         let trained = m.loss(&all);
         let acc = m.accuracy(&all);
-        assert!(trained < initial * 0.5, "loss barely moved: {initial} -> {trained}");
-        assert!(acc > initial_acc, "accuracy did not improve: {initial_acc} -> {acc}");
+        assert!(
+            trained < initial * 0.5,
+            "loss barely moved: {initial} -> {trained}"
+        );
+        assert!(
+            acc > initial_acc,
+            "accuracy did not improve: {initial_acc} -> {acc}"
+        );
         assert!(acc > 0.8, "accuracy only {acc}");
     }
 

@@ -6,6 +6,8 @@
 //! snapshot, compute a minibatch gradient against it, and push the gradient
 //! back.
 
+use specsync_tensor::SparseGrad;
+
 /// A trainable model over an implicit dataset, exposing flat parameters.
 ///
 /// Implementations must be deterministic: identical parameters and sample
@@ -43,6 +45,20 @@ pub trait Model: Send {
     /// Implementations panic if `out.len() != self.num_params()`, any index
     /// is out of bounds, or `indices` is empty.
     fn gradient(&self, indices: &[usize], out: &mut [f32]);
+
+    /// Mean gradient over the given sample indices as a sparse accumulator,
+    /// for models whose minibatch gradients touch few coordinates.
+    ///
+    /// Returns `true` if `out` was filled (after resetting it to
+    /// `num_params` dimensions); the default implementation returns `false`
+    /// to signal that callers must fall back to the dense [`gradient`]
+    /// (Self::gradient). When supported, the accumulated entries must equal
+    /// the dense gradient exactly (same arithmetic, same order), so the two
+    /// paths are interchangeable.
+    fn sparse_gradient(&self, indices: &[usize], out: &mut SparseGrad) -> bool {
+        let _ = (indices, out);
+        false
+    }
 }
 
 /// Checks common `Model` invariants; used by each implementation's tests.
@@ -60,9 +76,19 @@ pub fn check_gradient<M: Model + ?Sized>(model: &mut M, indices: &[usize], tol: 
 
     // Deterministic pseudo-random direction.
     let dir: Vec<f32> = (0..n)
-        .map(|i| if (i * 2654435761) % 97 < 48 { 1.0 } else { -1.0 })
+        .map(|i| {
+            if (i * 2654435761) % 97 < 48 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
         .collect();
-    let analytic: f64 = grad.iter().zip(&dir).map(|(g, d)| (*g as f64) * (*d as f64)).sum();
+    let analytic: f64 = grad
+        .iter()
+        .zip(&dir)
+        .map(|(g, d)| (*g as f64) * (*d as f64))
+        .sum();
 
     let eps = 1e-3f32;
     let base: Vec<f32> = model.params().to_vec();
@@ -118,7 +144,9 @@ mod tests {
 
     #[test]
     fn checker_accepts_correct_gradient() {
-        let mut m = Quadratic { w: vec![0.5, -2.0, 3.0] };
+        let mut m = Quadratic {
+            w: vec![0.5, -2.0, 3.0],
+        };
         check_gradient(&mut m, &[0], 1e-3);
     }
 

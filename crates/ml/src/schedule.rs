@@ -41,7 +41,11 @@ impl LrSchedule {
     pub fn lr_at(&self, epoch: u64) -> f64 {
         match self {
             LrSchedule::Constant { lr } => *lr,
-            LrSchedule::StepDecay { initial, factor, at_epochs } => {
+            LrSchedule::StepDecay {
+                initial,
+                factor,
+                at_epochs,
+            } => {
                 let decays = at_epochs.iter().filter(|&&e| epoch >= e).count() as i32;
                 initial * factor.powi(decays)
             }
@@ -62,7 +66,11 @@ mod tests {
 
     #[test]
     fn step_decay_applies_at_boundaries() {
-        let s = LrSchedule::StepDecay { initial: 1.0, factor: 0.5, at_epochs: vec![10, 20] };
+        let s = LrSchedule::StepDecay {
+            initial: 1.0,
+            factor: 0.5,
+            at_epochs: vec![10, 20],
+        };
         assert_eq!(s.lr_at(9), 1.0);
         assert_eq!(s.lr_at(10), 0.5);
         assert_eq!(s.lr_at(19), 0.5);
@@ -71,7 +79,11 @@ mod tests {
 
     #[test]
     fn empty_decay_list_is_constant() {
-        let s = LrSchedule::StepDecay { initial: 0.1, factor: 0.1, at_epochs: vec![] };
+        let s = LrSchedule::StepDecay {
+            initial: 0.1,
+            factor: 0.1,
+            at_epochs: vec![],
+        };
         assert_eq!(s.lr_at(500), 0.1);
     }
 }

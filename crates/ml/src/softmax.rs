@@ -33,9 +33,16 @@ impl SoftmaxRegression {
     ///
     /// Panics if the range is out of bounds.
     pub fn with_partition(data: Arc<DenseDataset>, range: (usize, usize)) -> Self {
-        assert!(range.0 <= range.1 && range.1 <= data.len(), "partition out of bounds");
+        assert!(
+            range.0 <= range.1 && range.1 <= data.len(),
+            "partition out of bounds"
+        );
         let n = data.num_classes() * data.dim() + data.num_classes();
-        SoftmaxRegression { data, range, params: vec![0.0; n] }
+        SoftmaxRegression {
+            data,
+            range,
+            params: vec![0.0; n],
+        }
     }
 
     fn dim(&self) -> usize {
@@ -90,7 +97,11 @@ impl Model for SoftmaxRegression {
     }
 
     fn gradient(&self, indices: &[usize], out: &mut [f32]) {
-        assert_eq!(out.len(), self.params.len(), "gradient buffer length mismatch");
+        assert_eq!(
+            out.len(),
+            self.params.len(),
+            "gradient buffer length mismatch"
+        );
         assert!(!indices.is_empty(), "gradient over empty batch");
         out.fill(0.0);
         let (d, k) = (self.dim(), self.classes());
@@ -135,7 +146,9 @@ mod tests {
     fn gradient_matches_finite_differences() {
         let mut m = SoftmaxRegression::new(dataset());
         // Move off the zero init so the gradient is non-trivial.
-        let p: Vec<f32> = (0..m.num_params()).map(|i| ((i % 13) as f32 - 6.0) * 0.01).collect();
+        let p: Vec<f32> = (0..m.num_params())
+            .map(|i| ((i % 13) as f32 - 6.0) * 0.01)
+            .collect();
         m.set_params(&p);
         let indices: Vec<usize> = (0..24).collect();
         check_gradient(&mut m, &indices, 5e-2);
@@ -149,11 +162,19 @@ mod tests {
         let mut grad = vec![0.0f32; m.num_params()];
         for _ in 0..200 {
             m.gradient(&all, &mut grad);
-            let params: Vec<f32> = m.params().iter().zip(&grad).map(|(p, g)| p - 0.5 * g).collect();
+            let params: Vec<f32> = m
+                .params()
+                .iter()
+                .zip(&grad)
+                .map(|(p, g)| p - 0.5 * g)
+                .collect();
             m.set_params(&params);
         }
         let trained = m.loss(&all);
-        assert!(trained < initial * 0.35, "loss barely moved: {initial} -> {trained}");
+        assert!(
+            trained < initial * 0.35,
+            "loss barely moved: {initial} -> {trained}"
+        );
     }
 
     #[test]

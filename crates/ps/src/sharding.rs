@@ -91,13 +91,20 @@ impl ShardLayout {
         let base = self.num_params / shards;
         let extra = self.num_params % shards;
         let boundary = extra * (base + 1);
-        let s = if index < boundary { index / (base + 1) } else { extra + (index - boundary) / base };
+        let s = if index < boundary {
+            index / (base + 1)
+        } else {
+            extra + (index - boundary) / base
+        };
         ShardId::new(s)
     }
 
     /// Iterates over `(ShardId, (lo, hi))` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ShardId, (usize, usize))> + '_ {
-        self.ranges.iter().enumerate().map(|(i, &r)| (ShardId::new(i), r))
+        self.ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (ShardId::new(i), r))
     }
 }
 

@@ -73,7 +73,10 @@ impl RuntimeConfig {
     pub fn validate(&self) {
         assert!(self.workers > 0, "need at least one worker");
         assert!(self.eval_stride > 0, "eval stride must be positive");
-        assert!(!self.abort_poll.is_zero(), "abort poll interval must be positive");
+        assert!(
+            !self.abort_poll.is_zero(),
+            "abort poll interval must be positive"
+        );
     }
 }
 
@@ -89,12 +92,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
-        RuntimeConfig { workers: 0, ..Default::default() }.validate();
+        RuntimeConfig {
+            workers: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     fn labels_are_stable() {
         assert_eq!(RuntimeScheme::Asp.label(), "Original");
-        assert_eq!(RuntimeScheme::SpecSync(TuningMode::Adaptive).label(), "SpecSync-Adaptive");
+        assert_eq!(
+            RuntimeScheme::SpecSync(TuningMode::Adaptive).label(),
+            "SpecSync-Adaptive"
+        );
     }
 }

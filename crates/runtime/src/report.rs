@@ -61,9 +61,21 @@ mod tests {
             total_iterations: 3,
             total_aborts: 0,
             loss_curve: vec![
-                WallLossPoint { elapsed: Duration::from_millis(1), iterations: 1, loss: 1.0 },
-                WallLossPoint { elapsed: Duration::from_millis(2), iterations: 2, loss: f64::NAN },
-                WallLossPoint { elapsed: Duration::from_millis(3), iterations: 3, loss: 0.5 },
+                WallLossPoint {
+                    elapsed: Duration::from_millis(1),
+                    iterations: 1,
+                    loss: 1.0,
+                },
+                WallLossPoint {
+                    elapsed: Duration::from_millis(2),
+                    iterations: 2,
+                    loss: f64::NAN,
+                },
+                WallLossPoint {
+                    elapsed: Duration::from_millis(3),
+                    iterations: 3,
+                    loss: 0.5,
+                },
             ],
             elapsed: Duration::from_millis(3),
         };

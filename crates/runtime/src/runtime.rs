@@ -98,7 +98,11 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
                         if applied.is_multiple_of(eval_stride) {
                             let loss = eval.loss_of(store.params());
                             let elapsed = run_start.elapsed();
-                            loss_curve.lock().push(WallLossPoint { elapsed, iterations: applied, loss });
+                            loss_curve.lock().push(WallLossPoint {
+                                elapsed,
+                                iterations: applied,
+                                loss,
+                            });
                             if let Some(det) = detector.as_mut() {
                                 if det.observe(loss) && converged_at.lock().is_none() {
                                     *converged_at.lock() = Some(elapsed);
@@ -125,7 +129,8 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
         let mut core = Scheduler::new(m, tuning);
         let resync_txs = resync_txs.clone();
         thread::spawn(move || {
-            let now_vt = |origin: Instant| VirtualTime::from_micros(origin.elapsed().as_micros() as u64);
+            let now_vt =
+                |origin: Instant| VirtualTime::from_micros(origin.elapsed().as_micros() as u64);
             let origin = Instant::now();
             let mut timers: Vec<(VirtualTime, WorkerId)> = Vec::new();
             let mut per_worker = vec![0u64; m];
@@ -149,7 +154,9 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
                 // Wait for the next message or timer.
                 let next = timers.iter().map(|&(t, _)| t).min();
                 let timeout = match next {
-                    Some(t) => Duration::from_micros(t.as_micros().saturating_sub(now_vt(origin).as_micros())),
+                    Some(t) => Duration::from_micros(
+                        t.as_micros().saturating_sub(now_vt(origin).as_micros()),
+                    ),
                     None => Duration::from_millis(20),
                 };
                 match sched_rx.recv_timeout(timeout.max(Duration::from_micros(100))) {
@@ -217,7 +224,9 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
                             if server_tx.send(ServerMsg::Pull { reply: reply_tx }).is_err() {
                                 break 'training;
                             }
-                            let Ok(fresh) = reply_rx.recv() else { break 'training };
+                            let Ok(fresh) = reply_rx.recv() else {
+                                break 'training;
+                            };
                             let _ = sched_tx.send(SchedMsg::Pull { worker });
                             model.set_params(&fresh);
                             let batch = sampler.next_batch();
@@ -229,7 +238,13 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
                 }
 
                 // Push + notify.
-                if server_tx.send(ServerMsg::Push { worker, grad: grad.clone() }).is_err() {
+                if server_tx
+                    .send(ServerMsg::Push {
+                        worker,
+                        grad: grad.clone(),
+                    })
+                    .is_err()
+                {
                     break;
                 }
                 let _ = sched_tx.send(SchedMsg::Notify { worker });
@@ -252,7 +267,9 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
     server.join().expect("server thread panicked");
 
     let elapsed = start.elapsed();
-    let mut curve = Arc::try_unwrap(loss_curve).map(Mutex::into_inner).unwrap_or_default();
+    let mut curve = Arc::try_unwrap(loss_curve)
+        .map(Mutex::into_inner)
+        .unwrap_or_default();
     curve.sort_by_key(|p| p.iterations);
     let converged = *converged_at.lock();
     RuntimeReport {

@@ -24,7 +24,11 @@ fn base_config() -> RuntimeConfig {
 fn asp_makes_progress_on_real_threads() {
     let report = run(&Workload::tiny_test(), &base_config());
     assert_eq!(report.scheme, "Original");
-    assert!(report.total_iterations > 20, "only {} iterations", report.total_iterations);
+    assert!(
+        report.total_iterations > 20,
+        "only {} iterations",
+        report.total_iterations
+    );
     assert_eq!(report.total_aborts, 0);
     let first = report.loss_curve.first().expect("non-empty curve").loss;
     let best = report.best_loss().expect("non-empty curve");
@@ -44,7 +48,10 @@ fn specsync_fixed_aborts_under_load() {
         ..base_config()
     };
     let report = run(&Workload::tiny_test(), &config);
-    assert!(report.total_aborts > 0, "speculation never fired on real threads");
+    assert!(
+        report.total_aborts > 0,
+        "speculation never fired on real threads"
+    );
     assert!(report.total_iterations > 10);
 }
 
@@ -58,7 +65,10 @@ fn specsync_adaptive_runs_and_completes() {
     let report = run(&Workload::tiny_test(), &config);
     assert_eq!(report.scheme, "SpecSync-Adaptive");
     assert!(report.total_iterations > 20);
-    assert!(report.elapsed <= Duration::from_secs(5), "run overshot its budget grossly");
+    assert!(
+        report.elapsed <= Duration::from_secs(5),
+        "run overshot its budget grossly"
+    );
 }
 
 #[test]
@@ -71,19 +81,31 @@ fn target_loss_stops_the_run_early() {
     };
     let report = run(&Workload::tiny_test(), &config);
     assert!(report.converged_at.is_some());
-    assert!(report.elapsed < Duration::from_secs(5), "early stop did not happen");
+    assert!(
+        report.elapsed < Duration::from_secs(5),
+        "early stop did not happen"
+    );
 }
 
 #[test]
 fn loss_curve_iterations_are_monotone() {
     let report = run(&Workload::tiny_test(), &base_config());
-    assert!(report.loss_curve.windows(2).all(|w| w[0].iterations < w[1].iterations));
+    assert!(report
+        .loss_curve
+        .windows(2)
+        .all(|w| w[0].iterations < w[1].iterations));
 }
 
 #[test]
 fn single_worker_degenerates_to_sequential_sgd() {
-    let config = RuntimeConfig { workers: 1, ..base_config() };
+    let config = RuntimeConfig {
+        workers: 1,
+        ..base_config()
+    };
     let report = run(&Workload::tiny_test(), &config);
     assert!(report.total_iterations > 10);
-    assert_eq!(report.total_aborts, 0, "a lone worker has no peers to trigger speculation");
+    assert_eq!(
+        report.total_aborts, 0,
+        "a lone worker has no peers to trigger speculation"
+    );
 }

@@ -72,7 +72,10 @@ impl NetworkModel {
     /// ~1 Gbit/s per-flow bandwidth (m4.xlarge class).
     pub fn ec2_like() -> Self {
         NetworkModel {
-            latency: DurationSampler::LogNormal { mean: 0.0005, cv: 0.3 },
+            latency: DurationSampler::LogNormal {
+                mean: 0.0005,
+                cv: 0.3,
+            },
             bandwidth_bytes_per_sec: 125_000_000.0,
         }
     }
@@ -110,7 +113,7 @@ pub struct TransferRecord {
 
 /// Accumulates per-class byte counts and a time series of cumulative
 /// transfer, the raw material for the paper's Fig. 12/13.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TransferLedger {
     records: Vec<TransferRecord>,
     totals: std::collections::BTreeMap<MessageClass, u64>,
@@ -149,7 +152,11 @@ impl TransferLedger {
     /// # Panics
     ///
     /// Panics if `points == 0`.
-    pub fn cumulative_series(&self, horizon: VirtualTime, points: usize) -> Vec<(VirtualTime, u64)> {
+    pub fn cumulative_series(
+        &self,
+        horizon: VirtualTime,
+        points: usize,
+    ) -> Vec<(VirtualTime, u64)> {
         assert!(points > 0, "need at least one sample point");
         let mut sorted: Vec<&TransferRecord> = self.records.iter().collect();
         sorted.sort_by_key(|r| r.time);
@@ -169,7 +176,10 @@ impl TransferLedger {
 
     /// Per-class byte totals in a stable order.
     pub fn breakdown(&self) -> Vec<(MessageClass, u64)> {
-        MessageClass::ALL.iter().map(|&c| (c, self.bytes_for(c))).collect()
+        MessageClass::ALL
+            .iter()
+            .map(|&c| (c, self.bytes_for(c)))
+            .collect()
     }
 
     /// Merges another ledger into this one (used to aggregate per-link

@@ -87,7 +87,11 @@ impl<E> EventQueue<E> {
     /// Panics if `time` is before the current instant — the engine never
     /// travels backwards.
     pub fn schedule(&mut self, time: VirtualTime, event: E) -> EventId {
-        assert!(time >= self.now, "cannot schedule into the past ({time} < {})", self.now);
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, event });

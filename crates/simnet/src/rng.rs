@@ -52,7 +52,9 @@ impl RngStreams {
     /// Derives the deterministic stream for an indexed component, e.g.
     /// worker `i`.
     pub fn indexed_stream(&self, label: &str, index: usize) -> StdRng {
-        StdRng::seed_from_u64(self.master_seed ^ fxhash(label) ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        StdRng::seed_from_u64(
+            self.master_seed ^ fxhash(label) ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
     }
 }
 
@@ -119,11 +121,17 @@ impl DurationSampler {
                 secs
             }
             DurationSampler::Uniform { lo, hi } => {
-                assert!(lo < hi && lo >= 0.0, "uniform bounds must satisfy 0 <= lo < hi");
+                assert!(
+                    lo < hi && lo >= 0.0,
+                    "uniform bounds must satisfy 0 <= lo < hi"
+                );
                 Uniform::new(lo, hi).expect("validated bounds").sample(rng)
             }
             DurationSampler::LogNormal { mean, cv } => {
-                assert!(mean > 0.0 && cv >= 0.0, "lognormal needs mean > 0 and cv >= 0");
+                assert!(
+                    mean > 0.0 && cv >= 0.0,
+                    "lognormal needs mean > 0 and cv >= 0"
+                );
                 if cv == 0.0 {
                     mean
                 } else {
@@ -131,7 +139,9 @@ impl DurationSampler {
                     // underlying normal's (mu, sigma).
                     let sigma2 = (1.0 + cv * cv).ln();
                     let mu = mean.ln() - sigma2 / 2.0;
-                    LogNormal::new(mu, sigma2.sqrt()).expect("validated params").sample(rng)
+                    LogNormal::new(mu, sigma2.sqrt())
+                        .expect("validated params")
+                        .sample(rng)
                 }
             }
             DurationSampler::Exponential { mean } => {
@@ -159,12 +169,25 @@ impl DurationSampler {
     ///
     /// Panics if `factor` is not finite and positive.
     pub fn scaled(&self, factor: f64) -> DurationSampler {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         match *self {
-            DurationSampler::Constant { secs } => DurationSampler::Constant { secs: secs * factor },
-            DurationSampler::Uniform { lo, hi } => DurationSampler::Uniform { lo: lo * factor, hi: hi * factor },
-            DurationSampler::LogNormal { mean, cv } => DurationSampler::LogNormal { mean: mean * factor, cv },
-            DurationSampler::Exponential { mean } => DurationSampler::Exponential { mean: mean * factor },
+            DurationSampler::Constant { secs } => DurationSampler::Constant {
+                secs: secs * factor,
+            },
+            DurationSampler::Uniform { lo, hi } => DurationSampler::Uniform {
+                lo: lo * factor,
+                hi: hi * factor,
+            },
+            DurationSampler::LogNormal { mean, cv } => DurationSampler::LogNormal {
+                mean: mean * factor,
+                cv,
+            },
+            DurationSampler::Exponential { mean } => DurationSampler::Exponential {
+                mean: mean * factor,
+            },
         }
     }
 }
@@ -218,12 +241,18 @@ mod tests {
 
     #[test]
     fn lognormal_mean_is_calibrated() {
-        let d = DurationSampler::LogNormal { mean: 14.0, cv: 0.2 };
+        let d = DurationSampler::LogNormal {
+            mean: 14.0,
+            cv: 0.2,
+        };
         let mut r = rng();
         let n = 20_000;
         let sum: f64 = (0..n).map(|_| d.sample(&mut r).as_secs_f64()).sum();
         let emp_mean = sum / n as f64;
-        assert!((emp_mean - 14.0).abs() < 0.2, "empirical mean {emp_mean} too far from 14.0");
+        assert!(
+            (emp_mean - 14.0).abs() < 0.2,
+            "empirical mean {emp_mean} too far from 14.0"
+        );
     }
 
     #[test]
@@ -243,7 +272,11 @@ mod tests {
 
     #[test]
     fn scaled_shifts_location() {
-        let d = DurationSampler::LogNormal { mean: 10.0, cv: 0.3 }.scaled(1.5);
+        let d = DurationSampler::LogNormal {
+            mean: 10.0,
+            cv: 0.3,
+        }
+        .scaled(1.5);
         assert_eq!(d.mean_secs(), 15.0);
         let c = DurationSampler::Constant { secs: 2.0 }.scaled(0.5);
         assert_eq!(c.mean_secs(), 1.0);

@@ -24,7 +24,9 @@ pub const MICROS_PER_SEC: u64 = 1_000_000;
 /// let t = VirtualTime::ZERO + SimDuration::from_secs_f64(1.5);
 /// assert_eq!(t.as_micros(), 1_500_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct VirtualTime(u64);
 
 /// A span of simulated time, measured in microseconds.
@@ -37,7 +39,9 @@ pub struct VirtualTime(u64);
 /// let d = SimDuration::from_millis(250) * 4;
 /// assert_eq!(d.as_secs_f64(), 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl VirtualTime {
@@ -63,7 +67,10 @@ impl VirtualTime {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "time must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "time must be finite and non-negative"
+        );
         VirtualTime((secs * MICROS_PER_SEC as f64).round() as u64)
     }
 
@@ -122,7 +129,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((secs * MICROS_PER_SEC as f64).round() as u64)
     }
 
@@ -147,7 +157,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 

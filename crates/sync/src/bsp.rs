@@ -32,7 +32,12 @@ impl BspBarrier {
     /// Panics if `m == 0`.
     pub fn new(m: usize) -> Self {
         assert!(m > 0, "need at least one worker");
-        BspBarrier { m, arrived: vec![false; m], count: 0, generation: 0 }
+        BspBarrier {
+            m,
+            arrived: vec![false; m],
+            count: 0,
+            generation: 0,
+        }
     }
 
     /// The number of completed barrier rounds.

@@ -64,12 +64,21 @@ impl SchemeKind {
     /// SpecSync-Adaptive over ASP — the configuration the paper evaluates
     /// most extensively.
     pub fn specsync_adaptive() -> Self {
-        SchemeKind::SpecSync { base: BaseScheme::Asp, tuning: TuningMode::Adaptive }
+        SchemeKind::SpecSync {
+            base: BaseScheme::Asp,
+            tuning: TuningMode::Adaptive,
+        }
     }
 
     /// SpecSync with fixed (cherry-picked) hyperparameters over ASP.
     pub fn specsync_fixed(abort_time: SimDuration, abort_rate: f64) -> Self {
-        SchemeKind::SpecSync { base: BaseScheme::Asp, tuning: TuningMode::Fixed { abort_time, abort_rate } }
+        SchemeKind::SpecSync {
+            base: BaseScheme::Asp,
+            tuning: TuningMode::Fixed {
+                abort_time,
+                abort_rate,
+            },
+        }
     }
 
     /// Whether this scheme runs the SpecSync scheduler.
@@ -128,6 +137,9 @@ mod tests {
     fn speculative_predicate() {
         assert!(SchemeKind::specsync_adaptive().is_speculative());
         assert!(!SchemeKind::Asp.is_speculative());
-        assert!(!SchemeKind::NaiveWaiting { delay: SimDuration::from_secs(1) }.is_speculative());
+        assert!(!SchemeKind::NaiveWaiting {
+            delay: SimDuration::from_secs(1)
+        }
+        .is_speculative());
     }
 }

@@ -35,7 +35,10 @@ impl SspClock {
     /// Panics if `m == 0`.
     pub fn new(m: usize, bound: u64) -> Self {
         assert!(m > 0, "need at least one worker");
-        SspClock { clocks: vec![0; m], bound }
+        SspClock {
+            clocks: vec![0; m],
+            bound,
+        }
     }
 
     /// The staleness bound.
@@ -79,14 +82,20 @@ impl SspClock {
 
     /// Workers currently blocked by the bound.
     pub fn blocked_workers(&self) -> Vec<WorkerId> {
-        WorkerId::all(self.clocks.len()).filter(|&w| !self.can_start_next(w)).collect()
+        WorkerId::all(self.clocks.len())
+            .filter(|&w| !self.can_start_next(w))
+            .collect()
     }
 
     /// Workers that become unblocked when `worker` completes an iteration
     /// (call *after* [`complete_iteration`](Self::complete_iteration)):
     /// any worker whose next iteration is now within the bound.
     pub fn newly_unblocked(&self, previously_blocked: &[WorkerId]) -> Vec<WorkerId> {
-        previously_blocked.iter().copied().filter(|&w| self.can_start_next(w)).collect()
+        previously_blocked
+            .iter()
+            .copied()
+            .filter(|&w| self.can_start_next(w))
+            .collect()
     }
 }
 

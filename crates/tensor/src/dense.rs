@@ -97,7 +97,9 @@ impl From<Vec<f32>> for Vector {
 
 impl FromIterator<f32> for Vector {
     fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
-        Vector { data: iter.into_iter().collect() }
+        Vector {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -127,7 +129,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from row-major data.

@@ -27,4 +27,4 @@ mod sparse;
 
 pub use dense::{axpy, dot, Matrix, Vector};
 pub use ops::{argmax, log_sum_exp, relu, relu_grad, softmax_in_place};
-pub use sparse::SparseVector;
+pub use sparse::{SparseGrad, SparseVector};

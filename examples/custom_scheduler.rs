@@ -15,7 +15,9 @@ use specsync::{Scheduler, SimDuration, TuningMode, VirtualTime, WorkerId};
 fn main() {
     let m = 4;
     let mut sched = Scheduler::new(m, TuningMode::Adaptive);
-    println!("4-worker scheduler, adaptive tuning (speculation off until an epoch of history exists)\n");
+    println!(
+        "4-worker scheduler, adaptive tuning (speculation off until an epoch of history exists)\n"
+    );
 
     // Replay three "epochs" of regular activity: worker i pulls at phase
     // i·T/m and pushes T later, with a deliberate burst pattern (workers 2
@@ -37,7 +39,10 @@ fn main() {
         sched.on_epoch_complete(now);
         let h = sched.hyperparams();
         if h.is_disabled() {
-            println!("epoch {}: speculation disabled (not enough history)", round + 1);
+            println!(
+                "epoch {}: speculation disabled (not enough history)",
+                round + 1
+            );
         } else {
             println!(
                 "epoch {}: ABORT_TIME {} ABORT_RATE {:.3} (threshold {} of {m} workers)",

@@ -24,7 +24,11 @@ fn main() {
     }
     println!("cluster: {} nodes ({} types)", nodes.len(), 4);
     for ty in [InstanceType::M3Xlarge, InstanceType::M42xlarge] {
-        println!("  {ty}: speed factor {:.2}, jitter cv {:.2}", ty.speed_factor(), ty.jitter_cv());
+        println!(
+            "  {ty}: speed factor {:.2}, jitter cv {:.2}",
+            ty.speed_factor(),
+            ty.jitter_cv()
+        );
     }
 
     // Assemble the heterogeneous spec by hand via homogeneous + per-node
@@ -45,7 +49,9 @@ fn main() {
             println!(
                 "{:20} converged {:>8}  aborts {:>4}  mean staleness {:>5.1}",
                 report.scheme,
-                report.converged_at.map_or("--".to_string(), |t| t.to_string()),
+                report
+                    .converged_at
+                    .map_or("--".to_string(), |t| t.to_string()),
                 report.total_aborts,
                 report.mean_staleness,
             );

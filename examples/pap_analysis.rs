@@ -10,7 +10,9 @@
 //! ```
 
 use specsync::core::{exact_freshness, mean_missed_updates, oracle_best_window, pap_distribution};
-use specsync::{ClusterSpec, InstanceType, SchemeKind, SimDuration, Trainer, VirtualTime, Workload};
+use specsync::{
+    ClusterSpec, InstanceType, SchemeKind, SimDuration, Trainer, VirtualTime, Workload,
+};
 
 fn main() {
     let mut workload = Workload::tiny_test();
@@ -22,14 +24,24 @@ fn main() {
         .seed(11)
         .run();
     let history = &report.history;
-    println!("trace: {} pushes, {} pulls", history.pushes().len(), history.pulls().len());
-    println!("mean missed updates per pull (staleness): {:.1}\n", mean_missed_updates(history, 10));
+    println!(
+        "trace: {} pushes, {} pulls",
+        history.pushes().len(),
+        history.pulls().len()
+    );
+    println!(
+        "mean missed updates per pull (staleness): {:.1}\n",
+        mean_missed_updates(history, 10)
+    );
 
     // Fig. 3-style distribution, at this workload's 0.2s iteration scale.
     let dist = pap_distribution(history, 10, SimDuration::from_millis(50), 4);
     println!("PAP distribution per 50 ms interval after a pull:");
     for (k, s) in dist.stats.iter().enumerate() {
-        println!("  interval {k}: median {:.1} (p25 {:.1}, p75 {:.1})", s.p50, s.p25, s.p75);
+        println!(
+            "  interval {k}: median {:.1} (p25 {:.1}, p75 {:.1})",
+            s.p50, s.p25, s.p75
+        );
     }
 
     // What would deferring every pull by Δ have done? (Problem (3).)
@@ -37,9 +49,17 @@ fn main() {
     let candidates: Vec<SimDuration> = (1..=6).map(|k| SimDuration::from_millis(k * 25)).collect();
     for &delta in &candidates {
         let o = exact_freshness(history, delta);
-        println!("  delta {delta}: gain {} loss {} net {}", o.gain, o.loss, o.net());
+        println!(
+            "  delta {delta}: gain {} loss {} net {}",
+            o.gain,
+            o.loss,
+            o.net()
+        );
     }
     if let Some((best, outcome)) = oracle_best_window(history, &candidates) {
-        println!("oracle-best window: {best} (net freshness {})", outcome.net());
+        println!(
+            "oracle-best window: {best} (net freshness {})",
+            outcome.net()
+        );
     }
 }

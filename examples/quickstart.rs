@@ -12,7 +12,11 @@ fn main() {
     println!("training a tiny matrix-factorization workload on 8 virtual m4.xlarge nodes\n");
 
     let mut results = Vec::new();
-    for scheme in [SchemeKind::Asp, SchemeKind::Bsp, SchemeKind::specsync_adaptive()] {
+    for scheme in [
+        SchemeKind::Asp,
+        SchemeKind::Bsp,
+        SchemeKind::specsync_adaptive(),
+    ] {
         let report = Trainer::new(Workload::tiny_test(), scheme)
             .cluster(cluster.clone())
             .horizon(VirtualTime::from_secs(600))

@@ -8,8 +8,8 @@
 //! ```
 
 use specsync::{
-    BaseScheme, ClusterSpec, InstanceType, SchemeKind, SimDuration, Trainer, TuningMode, VirtualTime,
-    Workload,
+    BaseScheme, ClusterSpec, InstanceType, SchemeKind, SimDuration, Trainer, TuningMode,
+    VirtualTime, Workload,
 };
 
 fn main() {
@@ -19,10 +19,15 @@ fn main() {
         SchemeKind::Bsp,
         SchemeKind::Ssp { bound: 2 },
         SchemeKind::Ssp { bound: 8 },
-        SchemeKind::NaiveWaiting { delay: SimDuration::from_millis(40) },
+        SchemeKind::NaiveWaiting {
+            delay: SimDuration::from_millis(40),
+        },
         SchemeKind::specsync_fixed(SimDuration::from_millis(60), 0.2),
         SchemeKind::specsync_adaptive(),
-        SchemeKind::SpecSync { base: BaseScheme::Ssp { bound: 4 }, tuning: TuningMode::Adaptive },
+        SchemeKind::SpecSync {
+            base: BaseScheme::Ssp { bound: 4 },
+            tuning: TuningMode::Adaptive,
+        },
     ];
 
     println!(
@@ -38,7 +43,9 @@ fn main() {
         println!(
             "{:<28} {:>10} {:>7} {:>7} {:>10.1} {:>7.1}GB",
             report.scheme,
-            report.converged_at.map_or("--".to_string(), |t| format!("{:.0}s", t.as_secs_f64())),
+            report
+                .converged_at
+                .map_or("--".to_string(), |t| format!("{:.0}s", t.as_secs_f64())),
             report.total_iterations,
             report.total_aborts,
             report.mean_staleness,

@@ -53,9 +53,12 @@ pub use specsync_runtime as runtime;
 pub use specsync_simnet as simnet;
 pub use specsync_sync as sync;
 
-pub use specsync_cluster::{ClusterSpec, Driver, DriverConfig, InstanceType, LossPoint, RunReport, Trainer};
+pub use specsync_cluster::{
+    ClusterSpec, Driver, DriverConfig, InstanceType, LossPoint, RunReport, Trainer,
+};
 pub use specsync_core::{
-    AdaptiveTuner, CherrypickGrid, Hyperparams, PapDistribution, PushHistory, Scheduler, SchedulerStats,
+    AdaptiveTuner, CherrypickGrid, Hyperparams, PapDistribution, PushHistory, Scheduler,
+    SchedulerStats,
 };
 pub use specsync_ml::{LrSchedule, Model, Workload, WorkloadKind};
 pub use specsync_ps::{ParamSnapshot, ParameterStore};

@@ -20,7 +20,11 @@ fn assert_identical(a: &RunReport, b: &RunReport) {
     assert_eq!(a.loss_curve.len(), b.loss_curve.len());
     for (pa, pb) in a.loss_curve.iter().zip(&b.loss_curve) {
         assert_eq!(pa.time, pb.time);
-        assert_eq!(pa.loss.to_bits(), pb.loss.to_bits(), "loss values must be bit-identical");
+        assert_eq!(
+            pa.loss.to_bits(),
+            pb.loss.to_bits(),
+            "loss values must be bit-identical"
+        );
     }
     assert_eq!(a.history.pushes(), b.history.pushes());
     assert_eq!(a.history.pulls(), b.history.pulls());
@@ -56,5 +60,9 @@ fn scheme_choice_does_not_perturb_workload_generation() {
     let b = run(SchemeKind::Bsp, 5);
     let la = a.loss_curve.first().unwrap().loss;
     let lb = b.loss_curve.first().unwrap().loss;
-    assert_eq!(la.to_bits(), lb.to_bits(), "initial eval loss must match across schemes");
+    assert_eq!(
+        la.to_bits(),
+        lb.to_bits(),
+        "initial eval loss must match across schemes"
+    );
 }

@@ -15,7 +15,9 @@ fn every_scheme_trains_the_tiny_workload() {
         SchemeKind::Asp,
         SchemeKind::Bsp,
         SchemeKind::Ssp { bound: 3 },
-        SchemeKind::NaiveWaiting { delay: SimDuration::from_millis(30) },
+        SchemeKind::NaiveWaiting {
+            delay: SimDuration::from_millis(30),
+        },
         SchemeKind::specsync_fixed(SimDuration::from_millis(50), 0.3),
         SchemeKind::specsync_adaptive(),
     ] {
@@ -30,7 +32,11 @@ fn every_scheme_trains_the_tiny_workload() {
             report.scheme,
             report.final_loss()
         );
-        assert!(report.total_iterations > 50, "{}: too few iterations", report.scheme);
+        assert!(
+            report.total_iterations > 50,
+            "{}: too few iterations",
+            report.scheme
+        );
     }
 }
 
@@ -105,7 +111,10 @@ fn bsp_is_slower_per_update_but_fresher() {
     // BSP pays barrier waits: fewer updates per unit time.
     let asp_rate = asp.total_iterations as f64 / asp.finished_at.as_secs_f64();
     let bsp_rate = bsp.total_iterations as f64 / bsp.finished_at.as_secs_f64();
-    assert!(bsp_rate < asp_rate, "BSP rate {bsp_rate} should trail ASP rate {asp_rate}");
+    assert!(
+        bsp_rate < asp_rate,
+        "BSP rate {bsp_rate} should trail ASP rate {asp_rate}"
+    );
 }
 
 #[test]
@@ -117,11 +126,15 @@ fn transfer_accounting_matches_iteration_counts() {
         .run();
     let sizes = specsync::ps::MessageSizes::for_model(1_000);
     // Every completed iteration pushed exactly once.
-    let push_bytes = report.transfer.bytes_for(specsync::simnet::MessageClass::PushGrad);
+    let push_bytes = report
+        .transfer
+        .bytes_for(specsync::simnet::MessageClass::PushGrad);
     assert_eq!(push_bytes, report.total_iterations * sizes.push_bytes);
     // Pulls: initial pulls + one per completed iteration (no aborts in ASP);
     // some may be in flight at the end.
-    let pull_bytes = report.transfer.bytes_for(specsync::simnet::MessageClass::PullParams);
+    let pull_bytes = report
+        .transfer
+        .bytes_for(specsync::simnet::MessageClass::PullParams);
     assert!(pull_bytes >= report.total_iterations * sizes.pull_bytes);
 }
 
@@ -130,15 +143,25 @@ fn ssp_over_specsync_composes() {
     use specsync::{BaseScheme, TuningMode};
     let report = Trainer::new(
         Workload::tiny_test(),
-        SchemeKind::SpecSync { base: BaseScheme::Ssp { bound: 2 }, tuning: TuningMode::Adaptive },
+        SchemeKind::SpecSync {
+            base: BaseScheme::Ssp { bound: 2 },
+            tuning: TuningMode::Adaptive,
+        },
     )
     .cluster(small_cluster(4))
     .horizon(VirtualTime::from_secs(400))
     .seed(23)
     .run();
-    assert!(report.converged_at.is_some(), "SpecSync/SSP failed to converge");
+    assert!(
+        report.converged_at.is_some(),
+        "SpecSync/SSP failed to converge"
+    );
     // SSP bound must hold on top of speculation.
     let max = report.iterations_per_worker.iter().max().unwrap();
     let min = report.iterations_per_worker.iter().min().unwrap();
-    assert!(max - min <= 3, "SSP bound violated: {:?}", report.iterations_per_worker);
+    assert!(
+        max - min <= 3,
+        "SSP bound violated: {:?}",
+        report.iterations_per_worker
+    );
 }

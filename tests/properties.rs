@@ -23,7 +23,9 @@ fn scheme_strategy() -> impl Strategy<Value = SchemeKind> {
         Just(SchemeKind::Asp),
         Just(SchemeKind::Bsp),
         (0u64..4).prop_map(|b| SchemeKind::Ssp { bound: b }),
-        (10u64..100).prop_map(|ms| SchemeKind::NaiveWaiting { delay: SimDuration::from_millis(ms) }),
+        (10u64..100).prop_map(|ms| SchemeKind::NaiveWaiting {
+            delay: SimDuration::from_millis(ms)
+        }),
         ((20u64..80), (0.05f64..0.5))
             .prop_map(|(ms, r)| SchemeKind::specsync_fixed(SimDuration::from_millis(ms), r)),
         Just(SchemeKind::specsync_adaptive()),

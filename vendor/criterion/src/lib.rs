@@ -1,0 +1,294 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Real measurements, minimal machinery: each benchmark is calibrated to a
+//! target per-sample duration, timed for `sample_size` samples, and reported
+//! as median/mean ns-per-iteration (plus throughput when declared) on
+//! stdout. The surface API — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! `criterion_group!`/`criterion_main!` — matches upstream closely enough
+//! that benches compile unchanged. There are no plots, no statistics beyond
+//! the basics, and no baseline comparisons.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared per-iteration workload, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> Bencher<'a> {
+    /// Runs `routine` for the calibrated number of iterations, recording
+    /// total wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+/// Target wall-clock time for one measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run(&id.label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId2>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = id.into().label;
+        self.run(&label, |b| f(b));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, label: &str, mut f: F) {
+        // Calibrate: grow the iteration count until one sample takes long
+        // enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+                _marker: std::marker::PhantomData,
+            };
+            f(&mut b);
+            if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (TARGET_SAMPLE.as_nanos() / b.elapsed.as_nanos().max(1) + 1).min(16) as u64
+            };
+            iters = iters.saturating_mul(grow.max(2));
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                    _marker: std::marker::PhantomData,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+
+        let mut line = format!(
+            "{}/{:<40} median {:>12}  mean {:>12}",
+            self.name,
+            label,
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / (median * 1e-9);
+                line.push_str(&format!("  {:.3} Melem/s", per_sec / 1e6));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / (median * 1e-9);
+                line.push_str(&format!("  {:.3} MiB/s", per_sec / (1024.0 * 1024.0)));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Anything accepted as a benchmark id by [`BenchmarkGroup::bench_function`].
+pub struct BenchmarkId2 {
+    label: String,
+}
+
+impl From<BenchmarkId> for BenchmarkId2 {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkId2 { label: id.label }
+    }
+}
+
+impl From<&str> for BenchmarkId2 {
+    fn from(s: &str) -> Self {
+        BenchmarkId2 {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId2 {
+    fn from(s: String) -> Self {
+        BenchmarkId2 { label: s }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut group = BenchmarkGroup {
+            name: "bench".to_string(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        };
+        group.run(name, |b| f(b));
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).label, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

@@ -1,0 +1,398 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! Provides the two facilities this workspace uses:
+//!
+//! * [`channel`] — MPMC channels with *clonable receivers* (std's mpsc
+//!   receivers are not clonable), bounded and unbounded, with
+//!   `try_send`/`recv_timeout` semantics matching crossbeam's.
+//! * [`thread`] — scoped threads, layered over `std::thread::scope` (which
+//!   has provided the same guarantee since Rust 1.63).
+
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when an item arrives or all senders disconnect.
+        readable: Condvar,
+        /// Signalled when capacity frees up or all receivers disconnect.
+        writable: Condvar,
+        capacity: Option<usize>,
+    }
+
+    /// The sending half of a channel. Clonable.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a channel. Clonable (MPMC).
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and full.
+        Full(T),
+        /// All receivers disconnected.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and all senders disconnected.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and all senders disconnected.
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel lock").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.0.state.lock().expect("channel lock");
+            s.senders -= 1;
+            if s.senders == 0 {
+                self.0.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel lock").receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut s = self.0.state.lock().expect("channel lock");
+            s.receivers -= 1;
+            if s.receivers == 0 {
+                self.0.writable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message if all receivers disconnected.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut s = self.0.state.lock().expect("channel lock");
+            loop {
+                if s.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.0.capacity {
+                    Some(cap) if s.queue.len() >= cap => {
+                        s = self.0.writable.wait(s).expect("channel lock");
+                    }
+                    _ => break,
+                }
+            }
+            s.queue.push_back(msg);
+            drop(s);
+            self.0.readable.notify_one();
+            Ok(())
+        }
+
+        /// Sends without blocking.
+        ///
+        /// # Errors
+        ///
+        /// `Full` if a bounded channel has no free slot, `Disconnected` if
+        /// all receivers are gone.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut s = self.0.state.lock().expect("channel lock");
+            if s.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.0.capacity {
+                if s.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            s.queue.push_back(msg);
+            drop(s);
+            self.0.readable.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking until a message or disconnection.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is empty with no senders.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut s = self.0.state.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = s.queue.pop_front() {
+                    drop(s);
+                    self.0.writable.notify_one();
+                    return Ok(msg);
+                }
+                if s.senders == 0 {
+                    return Err(RecvError);
+                }
+                s = self.0.readable.wait(s).expect("channel lock");
+            }
+        }
+
+        /// Receives without blocking.
+        ///
+        /// # Errors
+        ///
+        /// `Empty` when no message is queued, `Disconnected` when the
+        /// channel is drained and all senders are gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut s = self.0.state.lock().expect("channel lock");
+            if let Some(msg) = s.queue.pop_front() {
+                drop(s);
+                self.0.writable.notify_one();
+                return Ok(msg);
+            }
+            if s.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receives, blocking up to `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// `Timeout` if the wait elapses, `Disconnected` when drained with
+        /// no senders.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut s = self.0.state.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = s.queue.pop_front() {
+                    drop(s);
+                    self.0.writable.notify_one();
+                    return Ok(msg);
+                }
+                if s.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self
+                    .0
+                    .readable
+                    .wait_timeout(s, deadline - now)
+                    .expect("channel lock");
+                s = guard;
+                if res.timed_out() && s.queue.is_empty() {
+                    return if s.senders == 0 {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Scoped threads: spawned threads may borrow from the enclosing scope and
+/// are joined before `scope` returns.
+pub mod thread {
+    /// A scope handle; spawn borrowing threads through it.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the thread's panic payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to the enclosing [`scope`] call.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; all spawned threads are joined before this
+    /// returns. As in crossbeam, an unjoined child panic surfaces as `Err`
+    /// (std's scope would instead resume unwinding after joining).
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload if `f` or an unjoined spawned thread
+    /// panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError, TrySendError};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn bounded_try_send_full() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = unbounded::<i32>();
+        let r = rx.recv_timeout(Duration::from_millis(10));
+        assert_eq!(r, Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn disconnect_unblocks_receiver() {
+        let (tx, rx) = unbounded::<i32>();
+        let h = std::thread::spawn(move || rx.recv());
+        drop(tx);
+        assert!(h.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn receivers_are_clonable() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let a = rx1.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        assert_eq!(a + b, 3);
+    }
+
+    #[test]
+    fn scoped_threads_borrow() {
+        let data = [1, 2, 3];
+        let sum = super::thread::scope(|s| {
+            let h = s.spawn(|| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,629 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the [`Strategy`]
+//! trait with `prop_map`/`boxed`, range and tuple strategies,
+//! [`collection::vec`], [`prelude::Just`], `any::<T>()`, `prop_oneof!`, the
+//! `proptest!` macro (item and closure forms), `prop_assert*!`/`prop_assume!`,
+//! and [`prelude::ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, by design: cases are generated from a
+//! deterministic per-test seed (stable CI, no regression files) and there is
+//! no shrinking — the failing case is reported as generated. Each test still
+//! exercises `cases` random instances per run.
+
+#![warn(missing_docs)]
+
+/// Strategy combinators and primitive strategies.
+pub mod strategy {
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// A recipe for generating values of a given type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { strategy: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    /// Object-safe strategy view used by [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.inner.dyn_new_value(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        strategy: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.strategy.new_value(rng))
+        }
+    }
+
+    /// Uniform choice among type-erased strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        variants: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Debug for Union<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Union")
+                .field("variants", &self.variants.len())
+                .finish()
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over the given variants.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `variants` is empty.
+        pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !variants.is_empty(),
+                "prop_oneof! needs at least one variant"
+            );
+            Union { variants }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.random_range(0..self.variants.len());
+            self.variants[i].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    if lo == hi { lo } else { rng.random_range(lo..hi + 1) }
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+/// Full-domain strategies for primitive types (`any::<T>()`).
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngExt};
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// Draws one value from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// A strategy over the full domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            rng.random_range(-1.0e6f32..1.0e6)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.random_range(-1.0e12f64..1.0e12)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// A length range for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi_inclusive {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi_inclusive + 1)
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The test runner: deterministic case generation and failure reporting.
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the property is violated.
+        Fail(String),
+        /// The case was rejected by `prop_assume!`; try another.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed assertion.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (assumed-away) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result of one generated test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    fn fnv1a(label: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `case` until `config.cases` cases are accepted, panicking on the
+    /// first failure. Case generation is seeded from the test name, so runs
+    /// are reproducible without regression files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a case fails or too many cases are rejected.
+    pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, TestCaseResult),
+    {
+        let mut rng = TestRng::seed_from_u64(fnv1a(name) ^ 0x5EED_CAFE_F00D_D00D);
+        let mut accepted: u32 = 0;
+        let mut rejected: u64 = 0;
+        let max_rejects = (config.cases as u64) * 16 + 256;
+        while accepted < config.cases {
+            let (desc, result) = case(&mut rng);
+            match result {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest `{name}`: too many rejected cases ({rejected}); \
+                         weaken prop_assume! or widen the strategy"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{name}` failed after {accepted} passing case(s)\n\
+                         case: {desc}\n{msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a proptest body, failing the case (not
+/// aborting the process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l
+        );
+    }};
+}
+
+/// Rejects the current case, asking the runner for a fresh one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines property tests (item form) or runs an inline property check
+/// (closure form).
+#[macro_export]
+macro_rules! proptest {
+    // Closure form: proptest!(|(pat in strategy, ...)| { body });
+    (|($($pat:pat in $strategy:expr),+ $(,)?)| $body:expr) => {{
+        $crate::test_runner::run(
+            $crate::test_runner::ProptestConfig::default(),
+            "inline",
+            |__rng| {
+                let mut __desc = ::std::string::String::new();
+                $(
+                    let __value = $crate::strategy::Strategy::new_value(&($strategy), __rng);
+                    __desc.push_str(&format!("{} = {:?}; ", stringify!($pat), &__value));
+                    let $pat = __value;
+                )+
+                let __result: $crate::test_runner::TestCaseResult = (|| {
+                    let _ = $body;
+                    ::core::result::Result::Ok(())
+                })();
+                (__desc, __result)
+            },
+        );
+    }};
+    // Item form with an explicit #![proptest_config(...)].
+    (#![proptest_config($config:expr)] $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run(__config, stringify!($name), |__rng| {
+                let mut __desc = ::std::string::String::new();
+                $(
+                    let __value = $crate::strategy::Strategy::new_value(&($strategy), __rng);
+                    __desc.push_str(&format!("{} = {:?}; ", stringify!($pat), &__value));
+                    let $pat = __value;
+                )+
+                #[allow(clippy::redundant_closure_call)]
+                let __result: $crate::test_runner::TestCaseResult = (|| {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                })();
+                (__desc, __result)
+            });
+        }
+    )*};
+    // Item form without a config header: default config.
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, f in -1.0f32..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0usize..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![Just(1u64), (10u64..20).prop_map(|v| v * 2)]) {
+            prop_assert!(x == 1 || (20..40).contains(&x));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_is_applied(_x in 0u64..10) {
+            // Body runs exactly `cases` times; nothing to assert per-case.
+        }
+    }
+
+    #[test]
+    fn closure_form_runs() {
+        proptest!(|((a, b) in (0u64..10, 0u64..10))| {
+            prop_assert!(a < 10 && b < 10);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `failing_property` failed")]
+    fn failures_panic_with_case_description() {
+        crate::test_runner::run(ProptestConfig::with_cases(10), "failing_property", |_rng| {
+            ("x = 1".to_string(), Err(TestCaseError::fail("nope")))
+        });
+    }
+}

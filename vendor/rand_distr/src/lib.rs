@@ -1,0 +1,238 @@
+//! Offline vendored stand-in for the `rand_distr` crate.
+//!
+//! Provides the four distributions this workspace samples — [`Normal`],
+//! [`LogNormal`], [`Exp`] and [`Uniform`] — over the vendored `rand` API.
+//! Normal deviates use Box–Muller (two uniform draws per pair, cached), so
+//! streams are deterministic functions of the underlying RNG state.
+
+#![warn(missing_docs)]
+
+use rand::{Rng, RngExt};
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistrError(&'static str);
+
+impl std::fmt::Display for DistrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for DistrError {}
+
+/// Types that can be sampled from a distribution.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// `f32`/`f64` abstraction for the generic distributions.
+pub trait Float: Copy + PartialOrd {
+    /// Converts from `f64`, rounding.
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64` exactly.
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Float for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+fn unit_open01<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // (0, 1]: never zero, so ln() below is always finite.
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller; the cosine twin is discarded to keep Sample = f(rng
+    // state) without interior mutability across threads.
+    let u1 = unit_open01(rng);
+    let u2 = unit_open01(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The normal distribution N(mean, std²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `std` is negative or either parameter is non-finite.
+    pub fn new(mean: F, std: F) -> Result<Self, DistrError> {
+        let (m, s) = (mean.to_f64(), std.to_f64());
+        if !m.is_finite() || !s.is_finite() || s < 0.0 {
+            return Err(DistrError("Normal requires finite mean and std >= 0"));
+        }
+        Ok(Normal { mean, std })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.mean.to_f64() + self.std.to_f64() * standard_normal(rng))
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F: Float> {
+    mu: F,
+    sigma: F,
+}
+
+impl<F: Float> LogNormal<F> {
+    /// Creates a log-normal distribution parameterized by the underlying
+    /// normal's `mu` and `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: F, sigma: F) -> Result<Self, DistrError> {
+        let (m, s) = (mu.to_f64(), sigma.to_f64());
+        if !m.is_finite() || !s.is_finite() || s < 0.0 {
+            return Err(DistrError("LogNormal requires finite mu and sigma >= 0"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl<F: Float> Distribution<F> for LogNormal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64((self.mu.to_f64() + self.sigma.to_f64() * standard_normal(rng)).exp())
+    }
+}
+
+/// The exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp<F: Float> {
+    lambda: F,
+}
+
+impl<F: Float> Exp<F> {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `lambda` is not positive and finite.
+    pub fn new(lambda: F) -> Result<Self, DistrError> {
+        let l = lambda.to_f64();
+        if !l.is_finite() || l <= 0.0 {
+            return Err(DistrError("Exp requires a positive finite rate"));
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl<F: Float> Distribution<F> for Exp<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(-unit_open01(rng).ln() / self.lambda.to_f64())
+    }
+}
+
+/// The uniform distribution over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<F: Float> {
+    lo: F,
+    hi: F,
+}
+
+impl<F: Float> Uniform<F> {
+    /// Creates a uniform distribution over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `lo < hi` and both are finite.
+    pub fn new(lo: F, hi: F) -> Result<Self, DistrError> {
+        let (l, h) = (lo.to_f64(), hi.to_f64());
+        if !l.is_finite() || !h.is_finite() || l >= h {
+            return Err(DistrError("Uniform requires finite lo < hi"));
+        }
+        Ok(Uniform { lo, hi })
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        let unit: f64 = rng.random_range(0.0..1.0);
+        F::from_f64(self.lo.to_f64() + unit * (self.hi.to_f64() - self.lo.to_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn normal_moments_are_calibrated() {
+        let d = Normal::new(3.0f64, 2.0).unwrap();
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_is_inverse_rate() {
+        let d = Exp::new(0.5f64).unwrap();
+        let mut r = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.08, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_is_exp_of_normal() {
+        let d = LogNormal::new(0.0f64, 0.5).unwrap();
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let d = Uniform::new(2.0f64, 5.0).unwrap();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let v = d.sample(&mut r);
+            assert!((2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn invalid_params_error() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Exp::new(0.0f64).is_err());
+        assert!(Uniform::new(2.0f64, 2.0).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! for forward compatibility but never performs actual serialization (no
+//! `serde_json`/`bincode` dependency exists). This stub therefore provides
+//! the two traits as markers plus no-op derive macros, which is exactly the
+//! surface the build needs while the environment is offline.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (no-op in the vendored stub).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no-op in the vendored stub).
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing (no-op).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,53 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Emits empty impls of the vendored marker traits `serde::Serialize` and
+//! `serde::Deserialize` — sufficient because the workspace never actually
+//! serializes (see the vendored `serde` stub). Implemented with raw
+//! `proc_macro` token scanning so no `syn`/`quote` dependency is needed.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword.
+///
+/// Panics on generic types: nothing in this workspace derives serde traits
+/// on a generic type, and supporting them would require real parsing.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    assert!(
+                        p.as_char() != '<',
+                        "vendored serde_derive does not support generic types (type `{name}`)"
+                    );
+                }
+                return name;
+            }
+        }
+    }
+    panic!("no struct/enum/union found in derive input");
+}
+
+/// Derives the no-op `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
+
+/// Derives the no-op `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
