@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
-use specsync_core::Scheduler;
+use specsync_core::{Scheduler, SpecSyncError};
 use specsync_ml::{BatchSampler, LrSchedule, Model, SparseGrad, Workload};
 use specsync_ps::{MessageSizes, ParameterStore};
 use specsync_simnet::{
@@ -146,7 +146,22 @@ impl Driver {
     }
 
     /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an internal wiring bug (scheme state missing, pull lost);
+    /// [`try_run`](Self::try_run) surfaces those as [`SpecSyncError`]
+    /// instead.
     pub fn run(self) -> RunReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`run`](Self::run), but internal invariant violations become typed
+    /// errors instead of panics — for embedding hosts that must not abort.
+    pub fn try_run(self) -> Result<RunReport, SpecSyncError> {
         Simulation::new(self).run()
     }
 }
@@ -315,8 +330,9 @@ impl Simulation {
     }
 
     /// Scheme-specific gate between finishing a push and issuing the next
-    /// pull.
-    fn after_push(&mut self, worker: WorkerId, now: VirtualTime) {
+    /// pull. Errs if the scheme's state (barrier/clock) was never built —
+    /// a wiring bug reported with context instead of a bare `expect`.
+    fn after_push(&mut self, worker: WorkerId, now: VirtualTime) -> Result<(), SpecSyncError> {
         match self.scheme {
             SchemeKind::Asp
             | SchemeKind::SpecSync {
@@ -332,7 +348,9 @@ impl Simulation {
             }
             SchemeKind::Bsp => {
                 self.workers[worker.index()].state = WorkerState::Idle;
-                let barrier = self.bsp.as_mut().expect("BSP barrier exists");
+                let barrier = self.bsp.as_mut().ok_or(SpecSyncError::SchemeStateMissing {
+                    what: "BSP barrier",
+                })?;
                 if let Some(released) = barrier.arrive(worker) {
                     for w in released {
                         self.issue_pull(w, now);
@@ -344,7 +362,10 @@ impl Simulation {
                 base: BaseScheme::Ssp { .. },
                 ..
             } => {
-                let ssp = self.ssp.as_mut().expect("SSP clock exists");
+                let ssp = self
+                    .ssp
+                    .as_mut()
+                    .ok_or(SpecSyncError::SchemeStateMissing { what: "SSP clock" })?;
                 ssp.complete_iteration(worker);
                 // Release any worker the completion unblocked.
                 let unblocked = ssp.newly_unblocked(&self.ssp_blocked);
@@ -361,14 +382,17 @@ impl Simulation {
                 }
             }
         }
+        Ok(())
     }
 
-    fn start_compute(&mut self, worker: WorkerId, now: VirtualTime) {
+    fn start_compute(&mut self, worker: WorkerId, now: VirtualTime) -> Result<(), SpecSyncError> {
         let ctx = &mut self.workers[worker.index()];
         let params = ctx
             .pending_params
             .take()
-            .expect("pull delivered parameters");
+            .ok_or(SpecSyncError::MissingPullParams {
+                worker: worker.index(),
+            })?;
         ctx.model.set_params(&params);
         drop(params); // release the shared snapshot before the long compute
         let batch = ctx.sampler.next_batch();
@@ -383,6 +407,7 @@ impl Simulation {
         let attempt = ctx.attempt;
         self.queue
             .schedule(now + duration, Event::ComputeDone(worker, attempt));
+        Ok(())
     }
 
     fn evaluate(&mut self, now: VirtualTime) {
@@ -401,7 +426,7 @@ impl Simulation {
         }
     }
 
-    fn on_push_arrive(&mut self, worker: WorkerId, now: VirtualTime) {
+    fn on_push_arrive(&mut self, worker: WorkerId, now: VirtualTime) -> Result<(), SpecSyncError> {
         let lr = self.lr.lr_at(self.epochs_done) as f32;
         // Move the gradient out to satisfy the borrow checker, then back.
         if self.workers[worker.index()].grad_is_sparse {
@@ -437,7 +462,7 @@ impl Simulation {
                 .push((self.epochs_done, self.scheduler.hyperparams()));
         }
 
-        self.after_push(worker, now);
+        self.after_push(worker, now)
     }
 
     fn on_resync(&mut self, worker: WorkerId, now: VirtualTime) {
@@ -454,27 +479,27 @@ impl Simulation {
         self.issue_pull(worker, now);
     }
 
-    fn handle(&mut self, event: Event, now: VirtualTime) {
+    fn handle(&mut self, event: Event, now: VirtualTime) -> Result<(), SpecSyncError> {
         match event {
-            Event::PullArrive(worker) => self.start_compute(worker, now),
+            Event::PullArrive(worker) => self.start_compute(worker, now)?,
             Event::ComputeDone(worker, attempt) => {
                 let ctx = &mut self.workers[worker.index()];
                 if ctx.attempt != attempt || ctx.state != WorkerState::Computing {
-                    return; // aborted mid-compute
+                    return Ok(()); // aborted mid-compute
                 }
                 ctx.state = WorkerState::Pushing;
                 let delay = self.delay(MessageClass::PushGrad);
                 self.queue.schedule(now + delay, Event::PushArrive(worker));
             }
-            Event::PushArrive(worker) => self.on_push_arrive(worker, now),
+            Event::PushArrive(worker) => self.on_push_arrive(worker, now)?,
             Event::NotifyArrive(worker) => {
                 self.record_transfer(now, MessageClass::Notify);
-                if let Some(deadline) = self.scheduler.on_notify(worker, now) {
+                if let Some(deadline) = self.scheduler.try_on_notify(worker, now)? {
                     self.queue.schedule(deadline, Event::CheckTimer(worker));
                 }
             }
             Event::CheckTimer(worker) => {
-                if self.scheduler.on_check(worker, now) {
+                if self.scheduler.try_on_check(worker, now)? {
                     let delay = self.delay(MessageClass::Resync);
                     self.queue
                         .schedule(now + delay, Event::ResyncArrive(worker));
@@ -486,9 +511,10 @@ impl Simulation {
             }
             Event::NaiveWaitDone(worker) => self.issue_pull(worker, now),
         }
+        Ok(())
     }
 
-    fn run(mut self) -> RunReport {
+    fn run(mut self) -> Result<RunReport, SpecSyncError> {
         // Kick off: every worker pulls at t = 0.
         for w in WorkerId::all(self.cluster.num_workers()) {
             self.issue_pull(w, VirtualTime::ZERO);
@@ -499,7 +525,7 @@ impl Simulation {
             {
                 break;
             }
-            self.handle(event, now);
+            self.handle(event, now)?;
             if self.config.stop_on_convergence && self.converged_at.is_some() {
                 break;
             }
@@ -511,7 +537,7 @@ impl Simulation {
         } else {
             self.staleness_sum / self.staleness_count as f64
         };
-        RunReport {
+        Ok(RunReport {
             scheme: self.scheme.label(),
             workload: self.workload.paper.name.to_string(),
             num_workers: self.cluster.num_workers(),
@@ -529,7 +555,7 @@ impl Simulation {
             mean_staleness,
             history: self.scheduler.history().clone(),
             finished_at,
-        }
+        })
     }
 }
 

@@ -74,7 +74,7 @@ impl RunReport {
             .take_while(|p| p.time <= t)
             .map(|p| p.loss)
             .filter(|l| !l.is_nan())
-            .min_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Downsamples the loss curve to at most `points` evenly spaced

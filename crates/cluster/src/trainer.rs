@@ -1,6 +1,7 @@
 //! High-level training API: the one-call entry point used by examples and
 //! experiment binaries.
 
+use specsync_core::SpecSyncError;
 use specsync_ml::Workload;
 use specsync_simnet::VirtualTime;
 use specsync_sync::SchemeKind;
@@ -89,7 +90,21 @@ impl Trainer {
     }
 
     /// Runs the experiment and returns its report.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an internal wiring bug; [`try_run`](Self::try_run)
+    /// surfaces those as [`SpecSyncError`] instead.
     pub fn run(self) -> RunReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`run`](Self::run) with internal invariant violations reported as
+    /// typed errors instead of panics.
+    pub fn try_run(self) -> Result<RunReport, SpecSyncError> {
         Driver::new(
             self.workload,
             self.scheme,
@@ -97,7 +112,7 @@ impl Trainer {
             self.config,
             self.seed,
         )
-        .run()
+        .try_run()
     }
 }
 

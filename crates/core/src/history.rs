@@ -174,7 +174,7 @@ impl PushHistory {
             if times.len() < 2 {
                 return None;
             }
-            let total = times.last().unwrap().since(times[0]);
+            let total = times.last()?.since(*times.first()?);
             Some(total / (times.len() as u64 - 1))
         };
         self.last_epoch_pushes()

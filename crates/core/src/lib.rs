@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod error;
 pub mod estimator;
 mod freshness;
 mod history;
@@ -46,6 +47,7 @@ mod pap;
 mod scheduler;
 mod tuner;
 
+pub use error::SpecSyncError;
 pub use freshness::{exact_freshness, mean_missed_updates, oracle_best_window, FreshnessOutcome};
 pub use history::{PullRecord, PushHistory, PushRecord};
 pub use hyper::Hyperparams;

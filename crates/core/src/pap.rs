@@ -134,7 +134,7 @@ pub fn uniform_trace(m: usize, span: f64, rounds: usize) -> PushHistory {
             events.push((phase + span * 0.999, WorkerId::new(i), true));
         }
     }
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut h = PushHistory::new();
     for (time, worker, is_push) in events {
         let vt = specsync_simnet::VirtualTime::from_secs_f64(time);

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
 use specsync_sync::TuningMode;
 
+use crate::error::SpecSyncError;
 use crate::history::PushHistory;
 use crate::hyper::Hyperparams;
 use crate::tuner::AdaptiveTuner;
@@ -89,7 +90,8 @@ impl Scheduler {
     ///
     /// # Panics
     ///
-    /// Panics if `m == 0`.
+    /// Panics if `m == 0`; [`try_new`](Self::try_new) reports that as a
+    /// typed error instead.
     pub fn new(m: usize, tuning: TuningMode) -> Self {
         assert!(m > 0, "need at least one worker");
         let hyper = match tuning {
@@ -111,9 +113,29 @@ impl Scheduler {
         }
     }
 
+    /// [`new`](Self::new), but a zero-worker cluster is a typed error
+    /// instead of a panic — the constructor embedding hosts should use.
+    pub fn try_new(m: usize, tuning: TuningMode) -> Result<Self, SpecSyncError> {
+        if m == 0 {
+            return Err(SpecSyncError::EmptyCluster);
+        }
+        Ok(Self::new(m, tuning))
+    }
+
     /// Number of workers.
     pub fn num_workers(&self) -> usize {
         self.m
+    }
+
+    /// Validates that `worker` addresses this cluster.
+    fn check_worker(&self, worker: WorkerId) -> Result<(), SpecSyncError> {
+        if worker.index() >= self.m {
+            return Err(SpecSyncError::WorkerOutOfRange {
+                worker: worker.index(),
+                num_workers: self.m,
+            });
+        }
+        Ok(())
     }
 
     /// The hyperparameters currently in force.
@@ -149,18 +171,34 @@ impl Scheduler {
     ///
     /// # Panics
     ///
-    /// Panics if `worker` is out of range.
+    /// Panics if `worker` is out of range;
+    /// [`try_on_notify`](Self::try_on_notify) reports that as a typed
+    /// error instead.
     pub fn on_notify(&mut self, worker: WorkerId, now: VirtualTime) -> Option<VirtualTime> {
+        match self.try_on_notify(worker, now) {
+            Ok(deadline) => deadline,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`on_notify`](Self::on_notify) with an out-of-range worker reported
+    /// as [`SpecSyncError::WorkerOutOfRange`].
+    pub fn try_on_notify(
+        &mut self,
+        worker: WorkerId,
+        now: VirtualTime,
+    ) -> Result<Option<VirtualTime>, SpecSyncError> {
+        self.check_worker(worker)?;
         self.stats.notifies += 1;
         self.history.record_push(now, worker);
         if self.hyper.is_disabled() {
-            return None;
+            return Ok(None);
         }
         let state = &mut self.spec[worker.index()];
         state.window_start = Some(now);
         state.window = self.hyper.abort_time();
         state.threshold = self.hyper.threshold(self.m);
-        Some(now + self.hyper.abort_time())
+        Ok(Some(now + self.hyper.abort_time()))
     }
 
     /// Algorithm 2, `CheckResync`: evaluates the worker's speculation
@@ -171,8 +209,29 @@ impl Scheduler {
     ///
     /// # Panics
     ///
-    /// Panics if `worker` is out of range.
+    /// Panics if `worker` is out of range;
+    /// [`try_on_check`](Self::try_on_check) reports that as a typed error
+    /// instead.
     pub fn on_check(&mut self, worker: WorkerId, now: VirtualTime) -> bool {
+        match self.try_on_check(worker, now) {
+            Ok(fire) => fire,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`on_check`](Self::on_check) with an out-of-range worker reported
+    /// as [`SpecSyncError::WorkerOutOfRange`].
+    pub fn try_on_check(
+        &mut self,
+        worker: WorkerId,
+        now: VirtualTime,
+    ) -> Result<bool, SpecSyncError> {
+        self.check_worker(worker)?;
+        Ok(self.check_armed_window(worker, now))
+    }
+
+    /// The body of `CheckResync`, once `worker` is known to be in range.
+    fn check_armed_window(&mut self, worker: WorkerId, now: VirtualTime) -> bool {
         let state = self.spec[worker.index()];
         let Some(start) = state.window_start else {
             return false;

@@ -14,6 +14,16 @@ use rand::{RngExt, SeedableRng};
 use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
 
+/// Zero-mean Gaussian with the given standard deviation. Every caller
+/// passes a finite, non-negative `std`, so construction failure is a
+/// programming error worth a loud panic rather than an `expect`.
+fn gaussian(std: f32) -> Normal<f32> {
+    match Normal::new(0.0f32, std) {
+        Ok(n) => n,
+        Err(e) => panic!("gaussian(std = {std}): {e}"),
+    }
+}
+
 /// One observed rating: user `u` gave item `i` the value `rating`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Rating {
@@ -55,7 +65,7 @@ impl RatingsDataset {
             "dimensions must be positive"
         );
         let mut rng = StdRng::seed_from_u64(seed);
-        let normal = Normal::new(0.0f32, 1.0).expect("valid normal");
+        let normal = gaussian(1.0);
         let scale = 1.0 / (true_rank as f32).sqrt();
 
         // Ground-truth latent factors.
@@ -66,7 +76,7 @@ impl RatingsDataset {
             .map(|_| normal.sample(&mut rng) * scale)
             .collect();
 
-        let noise = Normal::new(0.0f32, noise_std.max(0.0)).expect("valid normal");
+        let noise = gaussian(noise_std.max(0.0));
         // Item popularity follows a Zipf-like law, as in MovieLens: a few
         // blockbuster items receive most ratings. Under asynchronous
         // training these hot items become collision points where staleness
@@ -180,7 +190,7 @@ impl DenseDataset {
             "label_noise must be in [0, 1]"
         );
         let mut rng = StdRng::seed_from_u64(seed);
-        let normal = Normal::new(0.0f32, 1.0).expect("valid normal");
+        let normal = gaussian(1.0);
 
         // Random unit directions for class means, scaled to `separation`.
         let mut means = vec![0.0f32; num_classes * dim];
@@ -189,6 +199,10 @@ impl DenseDataset {
             let mut norm = 0.0f32;
             for x in row.iter_mut() {
                 *x = normal.sample(&mut rng);
+                // Dataset generation is part of the seeded baseline; a
+                // `dim`-length sum widened to f64 would shift every pinned
+                // experiment result.
+                // specsync-allow(f32-accumulation): generation pinned to f32 by seeded baselines
                 norm += *x * *x;
             }
             let norm = norm.sqrt().max(1e-6);

@@ -1,0 +1,106 @@
+//! The runtime's time source, abstracted behind [`ClockSource`].
+//!
+//! The threaded runtime is the one component of the workspace that is
+//! *supposed* to read wall-clock time — its speculation windows are real.
+//! Even so, every read goes through this trait, for two reasons: the
+//! workspace analyzer (`cargo xtask analyze`) denies ambient `Instant`
+//! reads, so the sanctioned sites are concentrated here and individually
+//! annotated; and tests can substitute a [`ManualClock`] to drive timing
+//! deterministically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonic time source. `now` reports the time elapsed since the
+/// clock's epoch, which is fixed at construction.
+pub trait ClockSource: Send + Sync {
+    /// Time elapsed since the clock's epoch. Must be monotonic.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: monotonic wall time, epoch = construction time.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    // specsync-allow(virtual-time): the runtime's sanctioned wall-clock origin
+    origin: std::time::Instant,
+}
+
+impl WallClock {
+    /// Creates a clock whose epoch is now.
+    pub fn new() -> Self {
+        WallClock {
+            // specsync-allow(virtual-time): the runtime's sanctioned wall-clock read
+            origin: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClockSource for WallClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A clock that only moves when told to — for tests that need timing
+/// behaviour without wall-clock flakiness. Shareable across threads.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    micros: AtomicU64,
+}
+
+impl ManualClock {
+    /// Creates a clock at its epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `by` (truncated to microseconds).
+    pub fn advance(&self, by: Duration) {
+        self.micros
+            .fetch_add(by.as_micros() as u64, Ordering::SeqCst);
+    }
+}
+
+impl ClockSource for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_micros(self.micros.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = WallClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_on_advance() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(5));
+        clock.advance(Duration::from_millis(7));
+        assert_eq!(clock.now(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn manual_clock_is_shareable_across_threads() {
+        let clock = Arc::new(ManualClock::new());
+        let peer = Arc::clone(&clock);
+        let handle = std::thread::spawn(move || peer.advance(Duration::from_micros(42)));
+        assert!(handle.join().is_ok());
+        assert_eq!(clock.now(), Duration::from_micros(42));
+    }
+}

@@ -36,10 +36,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod clock;
 mod config;
 mod report;
 mod runtime;
 
+pub use clock::{ClockSource, ManualClock, WallClock};
 pub use config::{RuntimeConfig, RuntimeScheme};
 pub use report::{RuntimeReport, WallLossPoint};
-pub use runtime::run;
+pub use runtime::{run, try_run, try_run_with_clock};

@@ -44,7 +44,7 @@ impl RuntimeReport {
             .iter()
             .map(|p| p.loss)
             .filter(|l| !l.is_nan())
-            .min_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 }
 

@@ -6,21 +6,23 @@
 //! used for all paper experiments), this runtime exercises the SpecSync
 //! protocol under *real* concurrency: real wall-clock speculation windows,
 //! real races between `re-sync` delivery and iteration completion. It is
-//! intentionally not deterministic.
+//! intentionally not deterministic — but every time read still goes
+//! through [`ClockSource`], so the wall clock is injected, not ambient.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use specsync_core::Scheduler;
+use specsync_core::{Scheduler, SpecSyncError};
 use specsync_ml::{ConvergenceDetector, Workload};
 use specsync_ps::ParameterStore;
 use specsync_simnet::{VirtualTime, WorkerId};
 use specsync_sync::TuningMode;
 
+use crate::clock::{ClockSource, WallClock};
 use crate::config::{RuntimeConfig, RuntimeScheme};
 use crate::report::{RuntimeReport, WallLossPoint};
 
@@ -41,11 +43,35 @@ enum SchedMsg {
 /// # Panics
 ///
 /// Panics if the configuration is invalid (see [`RuntimeConfig::validate`])
-/// or a thread panics.
+/// or a thread panics; [`try_run`] reports thread failure as a typed error
+/// instead.
 pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
+    match try_run(workload, config) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run`] with thread panics surfaced as [`SpecSyncError::ThreadPanicked`]
+/// instead of propagated panics. Uses the wall clock.
+pub fn try_run(
+    workload: &Workload,
+    config: &RuntimeConfig,
+) -> Result<RuntimeReport, SpecSyncError> {
+    try_run_with_clock(workload, config, Arc::new(WallClock::new()))
+}
+
+/// [`try_run`] against an injected [`ClockSource`] — the seam that keeps
+/// wall-clock reads out of the runtime logic and lets tests drive timing
+/// with a [`ManualClock`](crate::clock::ManualClock).
+pub fn try_run_with_clock(
+    workload: &Workload,
+    config: &RuntimeConfig,
+    clock: Arc<dyn ClockSource>,
+) -> Result<RuntimeReport, SpecSyncError> {
     config.validate();
     let m = config.workers;
-    let start = Instant::now();
+    let start = clock.now();
     let stop = Arc::new(AtomicBool::new(false));
     let aborts = Arc::new(AtomicU64::new(0));
 
@@ -75,6 +101,7 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
         let converged_at = Arc::clone(&converged_at);
         let total_pushes = Arc::clone(&total_pushes);
         let eval_stride = config.eval_stride;
+        let clock = Arc::clone(&clock);
         let run_start = start;
         let workers = m;
         thread::spawn(move || {
@@ -97,7 +124,7 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
                         }
                         if applied.is_multiple_of(eval_stride) {
                             let loss = eval.loss_of(store.params());
-                            let elapsed = run_start.elapsed();
+                            let elapsed = clock.now().saturating_sub(run_start);
                             loss_curve.lock().push(WallLossPoint {
                                 elapsed,
                                 iterations: applied,
@@ -128,16 +155,17 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
         };
         let mut core = Scheduler::new(m, tuning);
         let resync_txs = resync_txs.clone();
+        let clock = Arc::clone(&clock);
         thread::spawn(move || {
+            let origin = clock.now();
             let now_vt =
-                |origin: Instant| VirtualTime::from_micros(origin.elapsed().as_micros() as u64);
-            let origin = Instant::now();
+                || VirtualTime::from_micros(clock.now().saturating_sub(origin).as_micros() as u64);
             let mut timers: Vec<(VirtualTime, WorkerId)> = Vec::new();
             let mut per_worker = vec![0u64; m];
             let mut epochs = 0u64;
             loop {
                 // Fire due timers.
-                let now = now_vt(origin);
+                let now = now_vt();
                 let mut i = 0;
                 while i < timers.len() {
                     if timers[i].0 <= now {
@@ -154,15 +182,15 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
                 // Wait for the next message or timer.
                 let next = timers.iter().map(|&(t, _)| t).min();
                 let timeout = match next {
-                    Some(t) => Duration::from_micros(
-                        t.as_micros().saturating_sub(now_vt(origin).as_micros()),
-                    ),
+                    Some(t) => {
+                        Duration::from_micros(t.as_micros().saturating_sub(now_vt().as_micros()))
+                    }
                     None => Duration::from_millis(20),
                 };
                 match sched_rx.recv_timeout(timeout.max(Duration::from_micros(100))) {
-                    Ok(SchedMsg::Pull { worker }) => core.on_pull(worker, now_vt(origin)),
+                    Ok(SchedMsg::Pull { worker }) => core.on_pull(worker, now_vt()),
                     Ok(SchedMsg::Notify { worker }) => {
-                        let now = now_vt(origin);
+                        let now = now_vt();
                         if let Some(deadline) = core.on_notify(worker, now) {
                             timers.push((deadline, worker));
                         }
@@ -190,6 +218,7 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
         let resync_rx = resync_channels[i].1.clone();
         let stop = Arc::clone(&stop);
         let aborts = Arc::clone(&aborts);
+        let clock = Arc::clone(&clock);
         let mut sampler = workload.sampler_for(model.as_ref(), i, config.seed ^ 0xBA7C);
         let pad = config.compute_pad;
         let poll = config.abort_poll;
@@ -211,8 +240,8 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
                     model.set_params(&params);
                     let batch = sampler.next_batch();
                     model.gradient(&batch, &mut grad);
-                    let compute_start = Instant::now();
-                    while compute_start.elapsed() < pad {
+                    let compute_start = clock.now();
+                    while clock.now().saturating_sub(compute_start) < pad {
                         thread::sleep(poll.min(pad));
                         if stop.load(Ordering::SeqCst) {
                             break 'training;
@@ -254,25 +283,37 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
 
     // ---- Main thread: enforce the wall-clock budget. ----
     let deadline = start + config.max_duration;
-    while Instant::now() < deadline && !stop.load(Ordering::SeqCst) {
+    while clock.now() < deadline && !stop.load(Ordering::SeqCst) {
         thread::sleep(Duration::from_millis(5));
     }
     stop.store(true, Ordering::SeqCst);
+    let mut worker_panicked = false;
     for h in worker_handles {
-        h.join().expect("worker thread panicked");
+        worker_panicked |= h.join().is_err();
     }
     let _ = sched_tx.send(SchedMsg::Shutdown);
     let _ = server_tx.send(ServerMsg::Shutdown);
-    scheduler.join().expect("scheduler thread panicked");
-    server.join().expect("server thread panicked");
+    // Drain the remaining threads before reporting any failure, so a
+    // worker panic cannot leave the server/scheduler running detached.
+    let scheduler_panicked = scheduler.join().is_err();
+    let server_panicked = server.join().is_err();
+    if worker_panicked {
+        return Err(SpecSyncError::ThreadPanicked { role: "worker" });
+    }
+    if scheduler_panicked {
+        return Err(SpecSyncError::ThreadPanicked { role: "scheduler" });
+    }
+    if server_panicked {
+        return Err(SpecSyncError::ThreadPanicked { role: "server" });
+    }
 
-    let elapsed = start.elapsed();
+    let elapsed = clock.now().saturating_sub(start);
     let mut curve = Arc::try_unwrap(loss_curve)
         .map(Mutex::into_inner)
         .unwrap_or_default();
     curve.sort_by_key(|p| p.iterations);
     let converged = *converged_at.lock();
-    RuntimeReport {
+    Ok(RuntimeReport {
         scheme: config.scheme.label().to_string(),
         workers: m,
         converged_at: converged,
@@ -280,5 +321,5 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
         total_aborts: aborts.load(Ordering::Relaxed),
         loss_curve: curve,
         elapsed,
-    }
+    })
 }

@@ -41,5 +41,5 @@ mod time;
 pub use id::WorkerId;
 pub use network::{MessageClass, NetworkModel, TransferLedger, TransferRecord};
 pub use queue::{EventId, EventQueue};
-pub use rng::{DurationSampler, RngStreams};
+pub use rng::{DistributionError, DurationSampler, RngStreams};
 pub use time::{SimDuration, VirtualTime, MICROS_PER_SEC};

@@ -5,7 +5,7 @@
 //! makes whole-simulation runs deterministic.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::VirtualTime;
 
@@ -53,7 +53,10 @@ impl<E> Ord for Scheduled<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
+    // BTreeSet, not HashSet: the engine never iterates it today, but the
+    // ordered-iteration lint keeps nondeterministic containers out of the
+    // deterministic crates wholesale (one refactor away is too close).
+    cancelled: BTreeSet<u64>,
     now: VirtualTime,
 }
 
@@ -69,7 +72,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            cancelled: BTreeSet::new(),
             now: VirtualTime::ZERO,
         }
     }

@@ -5,12 +5,40 @@
 //! therefore consume randomness independently: adding draws in one component
 //! never perturbs another, which keeps experiment sweeps comparable.
 
+use std::fmt;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Exp, LogNormal, Uniform};
 use serde::{Deserialize, Serialize};
 
 use crate::time::SimDuration;
+
+/// A duration distribution was constructed with invalid parameters
+/// (non-positive mean, `lo >= hi`, ...).
+///
+/// Carried by [`DurationSampler::try_sample`] so callers can surface the
+/// bad configuration as a typed error instead of a panic deep inside a
+/// simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributionError {
+    message: &'static str,
+}
+
+impl DistributionError {
+    /// Creates an error with a static description.
+    pub fn new(message: &'static str) -> Self {
+        DistributionError { message }
+    }
+}
+
+impl fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message)
+    }
+}
+
+impl std::error::Error for DistributionError {}
 
 /// A factory of independent, deterministic RNG streams.
 ///
@@ -112,26 +140,50 @@ impl DurationSampler {
     /// # Panics
     ///
     /// Panics if the variant's parameters are invalid (non-positive mean,
-    /// `lo >= hi`, ...). Parameters are validated lazily at sample time so
-    /// the type stays a plain `Copy` value.
+    /// `lo >= hi`, ...); use [`try_sample`](Self::try_sample) to get the
+    /// problem as a typed [`DistributionError`] instead. Parameters are
+    /// validated lazily at sample time so the type stays a plain `Copy`
+    /// value.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> SimDuration {
+        match self.try_sample(rng) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Draws one duration, reporting invalid parameters as a typed error
+    /// rather than panicking.
+    pub fn try_sample<R: Rng>(&self, rng: &mut R) -> Result<SimDuration, DistributionError> {
         let secs = match *self {
             DurationSampler::Constant { secs } => {
-                assert!(secs >= 0.0, "constant duration must be non-negative");
+                if secs.is_nan() || secs < 0.0 {
+                    return Err(DistributionError::new(
+                        "constant duration must be non-negative",
+                    ));
+                }
                 secs
             }
             DurationSampler::Uniform { lo, hi } => {
-                assert!(
-                    lo < hi && lo >= 0.0,
-                    "uniform bounds must satisfy 0 <= lo < hi"
-                );
-                Uniform::new(lo, hi).expect("validated bounds").sample(rng)
+                let dist = if lo < hi && lo >= 0.0 {
+                    Uniform::new(lo, hi).ok()
+                } else {
+                    None
+                };
+                match dist {
+                    Some(d) => d.sample(rng),
+                    None => {
+                        return Err(DistributionError::new(
+                            "uniform bounds must satisfy 0 <= lo < hi",
+                        ))
+                    }
+                }
             }
             DurationSampler::LogNormal { mean, cv } => {
-                assert!(
-                    mean > 0.0 && cv >= 0.0,
-                    "lognormal needs mean > 0 and cv >= 0"
-                );
+                if !(mean > 0.0 && cv >= 0.0) {
+                    return Err(DistributionError::new(
+                        "lognormal needs mean > 0 and cv >= 0",
+                    ));
+                }
                 if cv == 0.0 {
                     mean
                 } else {
@@ -139,17 +191,29 @@ impl DurationSampler {
                     // underlying normal's (mu, sigma).
                     let sigma2 = (1.0 + cv * cv).ln();
                     let mu = mean.ln() - sigma2 / 2.0;
-                    LogNormal::new(mu, sigma2.sqrt())
-                        .expect("validated params")
-                        .sample(rng)
+                    match LogNormal::new(mu, sigma2.sqrt()).ok() {
+                        Some(d) => d.sample(rng),
+                        None => {
+                            return Err(DistributionError::new(
+                                "lognormal needs mean > 0 and cv >= 0",
+                            ))
+                        }
+                    }
                 }
             }
             DurationSampler::Exponential { mean } => {
-                assert!(mean > 0.0, "exponential needs mean > 0");
-                Exp::new(1.0 / mean).expect("validated rate").sample(rng)
+                let dist = if mean > 0.0 {
+                    Exp::new(1.0 / mean).ok()
+                } else {
+                    None
+                };
+                match dist {
+                    Some(d) => d.sample(rng),
+                    None => return Err(DistributionError::new("exponential needs mean > 0")),
+                }
             }
         };
-        SimDuration::from_secs_f64(secs)
+        Ok(SimDuration::from_secs_f64(secs))
     }
 
     /// The distribution's mean, in seconds.
@@ -286,6 +350,29 @@ mod tests {
     #[should_panic(expected = "scale factor must be positive")]
     fn zero_scale_panics() {
         let _ = DurationSampler::Constant { secs: 1.0 }.scaled(0.0);
+    }
+
+    #[test]
+    fn try_sample_reports_invalid_parameters() {
+        let mut r = rng();
+        let bad = DurationSampler::Uniform { lo: 2.0, hi: 1.0 };
+        let err = bad.try_sample(&mut r).unwrap_err();
+        assert!(err.to_string().contains("lo < hi"));
+        let bad = DurationSampler::LogNormal {
+            mean: -1.0,
+            cv: 0.2,
+        };
+        assert!(bad.try_sample(&mut r).is_err());
+        let bad = DurationSampler::Exponential { mean: 0.0 };
+        assert!(bad.try_sample(&mut r).is_err());
+        let bad = DurationSampler::Constant { secs: -1.0 };
+        assert!(bad.try_sample(&mut r).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform bounds")]
+    fn sample_panics_on_invalid_parameters() {
+        let _ = DurationSampler::Uniform { lo: 2.0, hi: 1.0 }.sample(&mut rng());
     }
 
     #[test]

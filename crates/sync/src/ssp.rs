@@ -55,9 +55,10 @@ impl SspClock {
         self.clocks[worker.index()]
     }
 
-    /// The slowest worker's clock.
+    /// The slowest worker's clock (zero for an empty clock set, which the
+    /// constructor forbids).
     pub fn min_clock(&self) -> u64 {
-        *self.clocks.iter().min().expect("non-empty")
+        self.clocks.iter().min().copied().unwrap_or(0)
     }
 
     /// Records that `worker` finished an iteration (its clock advances).

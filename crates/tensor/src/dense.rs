@@ -79,13 +79,21 @@ impl Vector {
     }
 
     /// Euclidean norm.
+    ///
+    /// Accumulates in `f64`: norms feed reporting and clipping thresholds,
+    /// where a million-element `f32` running sum loses enough precision to
+    /// vary with summation order.
     pub fn norm2(&self) -> f32 {
-        self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+        self.norm2_squared().sqrt()
     }
 
-    /// Squared Euclidean norm (avoids the square root).
+    /// Squared Euclidean norm (avoids the square root); accumulated in
+    /// `f64` like [`norm2`](Self::norm2).
     pub fn norm2_squared(&self) -> f32 {
-        self.data.iter().map(|a| a * a).sum()
+        self.data
+            .iter()
+            .map(|&a| f64::from(a) * f64::from(a))
+            .sum::<f64>() as f32
     }
 }
 

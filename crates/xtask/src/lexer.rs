@@ -1,0 +1,464 @@
+//! A minimal Rust source scanner.
+//!
+//! The analyzer does not need full parsing — every lint is a token-level
+//! property ("`Instant` is named in non-test code", "`.unwrap()` is called
+//! in a library crate"). What it *does* need to be trustworthy:
+//!
+//! 1. never match inside string literals, char literals, or comments;
+//! 2. know which lines belong to `#[cfg(test)]` / `#[test]` items;
+//! 3. see comments separately, to honor `specsync-allow` annotations.
+//!
+//! `scan` produces a *sanitized* copy of the source — comment bodies and
+//! literal contents blanked to spaces, newlines preserved so line numbers
+//! stay aligned — plus the comment list, and `test_regions` recovers the
+//! test-code line ranges by brace matching over the sanitized text.
+
+/// The result of scanning one source file.
+#[derive(Debug)]
+pub struct SourceScan {
+    /// Source with comment bodies and string/char literal contents replaced
+    /// by spaces. Byte offsets and line numbers match the original exactly.
+    pub sanitized: String,
+    /// Every comment, as `(1-based line of the comment's start, text)`.
+    /// Block comments spanning lines are recorded at their first line.
+    pub comments: Vec<(usize, String)>,
+}
+
+/// Scans `source`, blanking comments and literals.
+pub fn scan(source: &str) -> SourceScan {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes `b` to the sanitized output, preserving newlines so offsets
+    // and line numbers survive blanking.
+    fn blank(out: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start_line = line;
+                let mut text = String::new();
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    text.push(bytes[i] as char);
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+                comments.push((start_line, text));
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start_line = line;
+                let mut text = String::new();
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        text.push_str("/*");
+                        blank(&mut out, c);
+                        blank(&mut out, bytes[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    if c == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        text.push_str("*/");
+                        blank(&mut out, c);
+                        blank(&mut out, bytes[i + 1]);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                        continue;
+                    }
+                    if c == b'\n' {
+                        line += 1;
+                    }
+                    text.push(c as char);
+                    blank(&mut out, c);
+                    i += 1;
+                }
+                comments.push((start_line, text));
+            }
+            b'"' => {
+                // Regular (or byte) string literal; the opening quote was
+                // not preceded by `r`/`r#` (handled below).
+                out.push(b'"');
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c == b'\\' && i + 1 < bytes.len() {
+                        blank(&mut out, c);
+                        if bytes[i + 1] == b'\n' {
+                            line += 1;
+                        }
+                        blank(&mut out, bytes[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    if c == b'"' {
+                        out.push(b'"');
+                        i += 1;
+                        break;
+                    }
+                    if c == b'\n' {
+                        line += 1;
+                    }
+                    blank(&mut out, c);
+                    i += 1;
+                }
+            }
+            b'r' if is_raw_string_start(bytes, i) => {
+                // Raw string r"..." or r#"..."# (any number of #).
+                out.push(b'r');
+                i += 1;
+                let mut hashes = 0usize;
+                while i < bytes.len() && bytes[i] == b'#' {
+                    hashes += 1;
+                    out.push(b'#');
+                    i += 1;
+                }
+                out.push(b'"');
+                i += 1; // the opening quote
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                while i < bytes.len() {
+                    if bytes[i..].starts_with(&closer) {
+                        for &c in &closer {
+                            out.push(c);
+                        }
+                        i += closer.len();
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Distinguish a char literal from a lifetime: a char literal
+                // is 'x' or an escape '\..'; a lifetime has no closing quote
+                // right after one scalar.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    out.push(b'\'');
+                    i += 2; // consume ' and backslash
+                    blank(&mut out, b'\\');
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        blank(&mut out, bytes[i]);
+                        i += 1;
+                    }
+                    if i < bytes.len() {
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                } else if char_literal_len(bytes, i).is_some() {
+                    let len = char_literal_len(bytes, i).unwrap_or(1);
+                    out.push(b'\'');
+                    for k in 1..len - 1 {
+                        blank(&mut out, bytes[i + k]);
+                    }
+                    out.push(b'\'');
+                    i += len;
+                } else {
+                    // A lifetime (or label): keep as-is.
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                if b == b'\n' {
+                    line += 1;
+                }
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+
+    SourceScan {
+        // The sanitized buffer substitutes ASCII spaces for arbitrary
+        // bytes, which keeps it valid UTF-8 only because multi-byte
+        // sequences are blanked wholesale; from_utf8_lossy is belt and
+        // braces for any literal we mis-measure.
+        sanitized: String::from_utf8_lossy(&out).into_owned(),
+        comments,
+    }
+}
+
+/// Whether the `r` at `i` starts a raw string (`r"`, `r#"`). Guards against
+/// identifiers ending in `r` by requiring the previous byte to be a
+/// non-identifier character.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    if i > 0 {
+        let p = bytes[i - 1];
+        if p.is_ascii_alphanumeric() || p == b'_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// If a non-escape char literal starts at `i` (which holds `'`), returns
+/// its total byte length including quotes; `None` for lifetimes.
+fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
+    // 'X' where X is a single UTF-8 scalar followed by a closing quote.
+    let rest = &bytes[i + 1..];
+    if rest.is_empty() || rest[0] == b'\'' {
+        return None;
+    }
+    let scalar_len = utf8_len(rest[0]);
+    if rest.len() > scalar_len && rest[scalar_len] == b'\'' {
+        Some(1 + scalar_len + 1)
+    } else {
+        None
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// One identifier token with its location in the sanitized source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ident<'a> {
+    pub text: &'a str,
+    /// 1-based line number.
+    pub line: usize,
+    /// Byte offset of the identifier's first byte.
+    pub offset: usize,
+}
+
+/// All identifier tokens (including keywords) in sanitized source.
+pub fn idents(sanitized: &str) -> Vec<Ident<'_>> {
+    let bytes = sanitized.as_bytes();
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(Ident {
+                text: &sanitized[start..i],
+                line,
+                offset: start,
+            });
+            continue;
+        }
+        if b.is_ascii_digit() {
+            // Skip numeric literals wholesale (incl. suffixes like 0.5f32)
+            // so their suffixes don't read as identifiers.
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+            {
+                // `0..n` range: stop before a second consecutive dot.
+                if bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The next non-whitespace byte at or after `from`, if any.
+pub fn next_nonspace(sanitized: &str, from: usize) -> Option<(usize, u8)> {
+    sanitized.as_bytes()[from..]
+        .iter()
+        .enumerate()
+        .find(|(_, b)| !b.is_ascii_whitespace())
+        .map(|(k, &b)| (from + k, b))
+}
+
+/// The previous non-whitespace byte strictly before `before`, if any.
+pub fn prev_nonspace(sanitized: &str, before: usize) -> Option<(usize, u8)> {
+    sanitized.as_bytes()[..before]
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, b)| !b.is_ascii_whitespace())
+        .map(|(k, &b)| (k, b))
+}
+
+/// Line ranges (1-based, inclusive) of test-only code: items annotated
+/// `#[cfg(test)]`, `#[cfg(any(.., test, ..))]` or `#[test]`.
+pub fn test_regions(sanitized: &str) -> Vec<(usize, usize)> {
+    let bytes = sanitized.as_bytes();
+    let mut regions = Vec::new();
+    let mut search = 0usize;
+    while let Some(found) = find_test_attr(sanitized, search) {
+        let (attr_end, attr_line) = found;
+        // The attribute applies to the next item: either a braced item
+        // (`mod tests { .. }`, `fn case() { .. }`) or a `;`-terminated one
+        // (`use ..;`). Whichever delimiter comes first wins.
+        let mut j = attr_end;
+        let mut depth = 0usize;
+        let mut start_line = attr_line;
+        let mut line = attr_line;
+        let mut end = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\n' => line += 1,
+                b'{' => {
+                    if depth == 0 {
+                        start_line = attr_line;
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = Some((start_line, line));
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = Some((attr_line, line));
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        match end {
+            Some(range) => regions.push(range),
+            None => regions.push((attr_line, line)),
+        }
+        search = j.max(attr_end + 1);
+    }
+    regions
+}
+
+/// Finds the next test attribute at or after `from`; returns the byte
+/// offset just past the closing `]` and the attribute's line number.
+fn find_test_attr(sanitized: &str, from: usize) -> Option<(usize, usize)> {
+    let bytes = sanitized.as_bytes();
+    let mut i = from;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b'#' && bytes[i + 1] == b'[' {
+            // Find the matching `]` (attributes do not nest brackets except
+            // in literals, which are already blanked).
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            while j < bytes.len() && depth > 0 {
+                match bytes[j] {
+                    b'[' => depth += 1,
+                    b']' => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let body = &sanitized[i + 2..j.saturating_sub(1)];
+            let compact: String = body.chars().filter(|c| !c.is_whitespace()).collect();
+            let is_test = compact == "test"
+                || compact.starts_with("cfg(test")
+                || (compact.starts_with("cfg(") && compact.contains("(test"))
+                || compact.contains(",test,")
+                || compact.contains(",test)");
+            if is_test {
+                let line = 1 + sanitized[..i].bytes().filter(|&b| b == b'\n').count();
+                return Some((j, line));
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = r#"let x = "Instant::now()"; // Instant here too
+let y = 1;"#;
+        let s = scan(src);
+        assert!(!s.sanitized.contains("Instant"));
+        assert!(s.sanitized.contains("let y = 1;"));
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].1.contains("Instant here too"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = r##"let x = r#"HashMap"#; let z = 2;"##;
+        let s = scan(src);
+        assert!(!s.sanitized.contains("HashMap"));
+        assert!(s.sanitized.contains("let z = 2;"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let s = scan("let c = 'x'; fn f<'a>(v: &'a str) {}");
+        assert!(!s.sanitized.contains('x'));
+        assert!(s.sanitized.contains("'a str"));
+    }
+
+    #[test]
+    fn line_numbers_are_preserved() {
+        let src = "a\n/* multi\nline */\nb";
+        let s = scan(src);
+        let ids = idents(&s.sanitized);
+        assert_eq!(ids[0].text, "a");
+        assert_eq!(ids[0].line, 1);
+        assert_eq!(ids[1].text, "b");
+        assert_eq!(ids[1].line, 4);
+    }
+
+    #[test]
+    fn test_region_covers_cfg_test_module() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let s = scan(src);
+        let regions = test_regions(&s.sanitized);
+        assert_eq!(regions, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn test_region_handles_semicolon_items() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}\n";
+        let s = scan(src);
+        let regions = test_regions(&s.sanitized);
+        assert_eq!(regions, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn numeric_suffixes_are_not_idents() {
+        let s = scan("let a = 0.5f32 + 1_000u64;");
+        let names: Vec<&str> = idents(&s.sanitized).iter().map(|i| i.text).collect();
+        assert_eq!(names, vec!["let", "a"]);
+    }
+}

@@ -1,0 +1,54 @@
+//! `specsync-analyze`: the workspace determinism & safety lint pass.
+//!
+//! Run it as `cargo xtask analyze` (the alias lives in
+//! `.cargo/config.toml`). See DESIGN.md §10 for the catalogue of lints,
+//! their rationale, and the `specsync-allow` annotation convention; the
+//! module docs on [`lints`] give the short version.
+//!
+//! The crate is a library plus a thin `main` so the fixture regression
+//! tests in `tests/` can drive [`lints::analyze_source`] directly against
+//! deliberately-broken sources without touching the real workspace.
+
+pub mod lexer;
+pub mod lints;
+pub mod workspace;
+
+use std::fs;
+use std::path::Path;
+
+use lints::{Diagnostic, Options};
+
+/// The outcome of analysing a whole workspace.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Every diagnostic, in (file, line) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// Whether any deny-level diagnostic was produced.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.lint.is_deny())
+    }
+}
+
+/// Analyses every covered file under `root`.
+pub fn analyze_workspace(root: &Path, opts: Options) -> std::io::Result<Analysis> {
+    let files = workspace::collect_files(root)?;
+    let mut analysis = Analysis {
+        files_scanned: files.len(),
+        ..Analysis::default()
+    };
+    for file in &files {
+        let source = fs::read_to_string(&file.path)?;
+        analysis.diagnostics.extend(lints::analyze_source(
+            &file.label,
+            &source,
+            file.class,
+            opts,
+        ));
+    }
+    Ok(analysis)
+}

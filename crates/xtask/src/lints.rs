@@ -1,0 +1,535 @@
+//! The SpecSync lint classes and the per-file analysis driver.
+//!
+//! Every figure the reproduction claims depends on two properties that rot
+//! silently as code grows: the discrete-event simulator must be
+//! bit-deterministic, and library crates must fail through typed errors
+//! rather than panics. These lints make both machine-checked:
+//!
+//! | lint                | scope          | flags                                             |
+//! |---------------------|----------------|---------------------------------------------------|
+//! | `virtual-time`      | deterministic  | `Instant`, `SystemTime`, `thread_rng`,            |
+//! |                     |                | `from_entropy`, `std::env::var*` branching        |
+//! | `ordered-iteration` | deterministic  | `HashMap` / `HashSet` (iteration order is         |
+//! |                     |                | nondeterministic; use `BTreeMap`/`BTreeSet`)      |
+//! | `no-panic`          | library        | `.unwrap()` / `.expect(..)`                       |
+//! | `f32-accumulation`  | deterministic  | `+=` loops on `f32` accumulators, `sum::<f32>()`  |
+//!
+//! Plus the advisory (non-failing) `unchecked-indexing` audit, and two
+//! meta-lints: `malformed-allow` (an annotation without a reason) and
+//! `unused-allow` (an annotation suppressing nothing).
+//!
+//! ### Escape hatch
+//!
+//! A violation that is intentional carries an annotation on the same line
+//! or the line above, with a mandatory reason:
+//!
+//! ```text
+//! // specsync-allow(virtual-time): the one sanctioned wall-clock source
+//! ```
+
+use std::fmt;
+
+use crate::lexer::{self, Ident, SourceScan};
+use crate::workspace::CrateClass;
+
+/// The lint classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    VirtualTime,
+    OrderedIteration,
+    NoPanic,
+    F32Accumulation,
+    UncheckedIndexing,
+    MalformedAllow,
+    UnusedAllow,
+}
+
+impl Lint {
+    /// The kebab-case name used in diagnostics and allow annotations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::VirtualTime => "virtual-time",
+            Lint::OrderedIteration => "ordered-iteration",
+            Lint::NoPanic => "no-panic",
+            Lint::F32Accumulation => "f32-accumulation",
+            Lint::UncheckedIndexing => "unchecked-indexing",
+            Lint::MalformedAllow => "malformed-allow",
+            Lint::UnusedAllow => "unused-allow",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Lint> {
+        Some(match name {
+            "virtual-time" => Lint::VirtualTime,
+            "ordered-iteration" => Lint::OrderedIteration,
+            "no-panic" => Lint::NoPanic,
+            "f32-accumulation" => Lint::F32Accumulation,
+            "unchecked-indexing" => Lint::UncheckedIndexing,
+            _ => return None,
+        })
+    }
+
+    /// Whether a diagnostic of this lint fails the analysis run.
+    pub fn is_deny(self) -> bool {
+        !matches!(self, Lint::UncheckedIndexing | Lint::UnusedAllow)
+    }
+}
+
+/// One finding, pointing at a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub lint: Lint,
+    /// Workspace-relative path (or fixture label in tests).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let level = if self.lint.is_deny() {
+            "error"
+        } else {
+            "warning"
+        };
+        writeln!(f, "{level}[{}]: {}", self.lint.name(), self.message)?;
+        write!(f, "  --> {}:{}", self.file, self.line)
+    }
+}
+
+/// A parsed `specsync-allow` annotation.
+#[derive(Debug)]
+struct Allow {
+    lint: Lint,
+    /// Line the annotation sits on; it suppresses this line and the next.
+    line: usize,
+    used: bool,
+}
+
+const ALLOW_MARKER: &str = "specsync-allow(";
+
+/// Extracts allow annotations from a file's comments. Malformed
+/// annotations (unknown lint, missing `: reason`) become diagnostics —
+/// a suppression that silently fails open would defeat the pass.
+fn parse_allows(scanned: &SourceScan, file: &str, diags: &mut Vec<Diagnostic>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (line, text) in &scanned.comments {
+        let mut rest = text.as_str();
+        while let Some(pos) = rest.find(ALLOW_MARKER) {
+            let after = &rest[pos + ALLOW_MARKER.len()..];
+            let Some(close) = after.find(')') else {
+                diags.push(Diagnostic {
+                    lint: Lint::MalformedAllow,
+                    file: file.to_string(),
+                    line: *line,
+                    message: "unclosed `specsync-allow(` annotation".into(),
+                });
+                break;
+            };
+            let name = after[..close].trim();
+            let tail = &after[close + 1..];
+            match Lint::from_name(name) {
+                Some(lint) => {
+                    let reason = tail.strip_prefix(':').map(str::trim);
+                    match reason {
+                        Some(r) if !r.is_empty() => allows.push(Allow {
+                            lint,
+                            line: *line,
+                            used: false,
+                        }),
+                        _ => diags.push(Diagnostic {
+                            lint: Lint::MalformedAllow,
+                            file: file.to_string(),
+                            line: *line,
+                            message: format!(
+                                "`specsync-allow({name})` needs a reason: \
+                                 `// specsync-allow({name}): <why this is sound>`"
+                            ),
+                        }),
+                    }
+                }
+                None => diags.push(Diagnostic {
+                    lint: Lint::MalformedAllow,
+                    file: file.to_string(),
+                    line: *line,
+                    message: format!("unknown lint `{name}` in specsync-allow annotation"),
+                }),
+            }
+            rest = tail;
+        }
+    }
+    allows
+}
+
+/// Analysis options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// Also run the (noisy, advisory) unchecked-indexing audit.
+    pub index_audit: bool,
+}
+
+/// Runs every applicable lint over one file's contents.
+///
+/// `file` is used only for labeling diagnostics; `class` decides which
+/// lints apply. Test regions (`#[cfg(test)]`, `#[test]`) are exempt from
+/// all lints.
+pub fn analyze_source(
+    file: &str,
+    source: &str,
+    class: CrateClass,
+    opts: Options,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if class == CrateClass::Harness {
+        return diags;
+    }
+    let scanned = lexer::scan(source);
+    let mut allows = parse_allows(&scanned, file, &mut diags);
+    let test_regions = lexer::test_regions(&scanned.sanitized);
+    let in_test = |line: usize| test_regions.iter().any(|&(a, b)| line >= a && line <= b);
+
+    let idents = lexer::idents(&scanned.sanitized);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    no_panic(file, &scanned.sanitized, &idents, &mut raw);
+    if class == CrateClass::Deterministic {
+        virtual_time(file, &scanned.sanitized, &idents, &mut raw);
+        ordered_iteration(file, &idents, &mut raw);
+        f32_accumulation(file, &scanned.sanitized, &mut raw);
+    }
+    if opts.index_audit {
+        unchecked_indexing(file, &scanned.sanitized, &idents, &mut raw);
+    }
+
+    // Apply suppressions: an allow on line L covers findings of its lint
+    // on lines L and L+1.
+    for d in raw {
+        if in_test(d.line) {
+            continue;
+        }
+        let mut suppressed = false;
+        for a in allows.iter_mut() {
+            if a.lint == d.lint && (a.line == d.line || a.line + 1 == d.line) {
+                a.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            diags.push(d);
+        }
+    }
+    for a in &allows {
+        if !a.used && !in_test(a.line) {
+            diags.push(Diagnostic {
+                lint: Lint::UnusedAllow,
+                file: file.to_string(),
+                line: a.line,
+                message: format!(
+                    "specsync-allow({}) suppresses nothing — remove it",
+                    a.lint.name()
+                ),
+            });
+        }
+    }
+    diags.sort_by(|a, b| (a.line, a.lint.name()).cmp(&(b.line, b.lint.name())));
+    diags
+}
+
+/// `virtual-time`: wall-clock types, entropy-seeded RNGs, and environment
+/// reads are forbidden in deterministic crates — each one makes two
+/// same-seed runs diverge.
+fn virtual_time(file: &str, sanitized: &str, idents: &[Ident<'_>], out: &mut Vec<Diagnostic>) {
+    for (k, id) in idents.iter().enumerate() {
+        let flagged = match id.text {
+            "Instant" | "SystemTime" => Some(format!(
+                "`{}` is wall-clock state; deterministic crates must use \
+                 `specsync_simnet::VirtualTime`",
+                id.text
+            )),
+            "thread_rng" | "from_entropy" => Some(format!(
+                "`{}` draws OS entropy; derive streams from \
+                 `specsync_simnet::RngStreams` instead",
+                id.text
+            )),
+            "env" => {
+                // `env::var`, `env::var_os`, `env::vars`, `env::args`:
+                // environment-dependent branching.
+                let next_is_path = lexer::next_nonspace(sanitized, id.offset + id.text.len())
+                    .is_some_and(|(_, b)| b == b':');
+                let accessor = idents.get(k + 1).map(|n| n.text);
+                if next_is_path
+                    && matches!(
+                        accessor,
+                        Some("var" | "var_os" | "vars" | "vars_os" | "args")
+                    )
+                {
+                    Some(format!(
+                        "`env::{}` makes behaviour depend on the environment; \
+                         plumb configuration through typed config structs",
+                        accessor.unwrap_or_default()
+                    ))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(message) = flagged {
+            out.push(Diagnostic {
+                lint: Lint::VirtualTime,
+                file: file.to_string(),
+                line: id.line,
+                message,
+            });
+        }
+    }
+}
+
+/// `ordered-iteration`: `HashMap`/`HashSet` iteration order varies run to
+/// run (and across std versions); deterministic crates must use the BTree
+/// variants or sort explicitly. The lint flags the *types* — membership-only
+/// uses are still one refactor away from someone iterating them.
+fn ordered_iteration(file: &str, idents: &[Ident<'_>], out: &mut Vec<Diagnostic>) {
+    for id in idents {
+        if matches!(id.text, "HashMap" | "HashSet") {
+            out.push(Diagnostic {
+                lint: Lint::OrderedIteration,
+                file: file.to_string(),
+                line: id.line,
+                message: format!(
+                    "`{}` has nondeterministic iteration order; use `BTree{}` \
+                     (or sort before iterating)",
+                    id.text,
+                    &id.text[4..]
+                ),
+            });
+        }
+    }
+}
+
+/// `no-panic`: library crates surface failures as typed `Result`s
+/// (`SpecSyncError`); `.unwrap()`/`.expect(..)` turn recoverable states
+/// into aborts in whatever binary embeds the crate.
+fn no_panic(file: &str, sanitized: &str, idents: &[Ident<'_>], out: &mut Vec<Diagnostic>) {
+    for id in idents {
+        if !matches!(id.text, "unwrap" | "expect") {
+            continue;
+        }
+        let preceded_by_dot =
+            lexer::prev_nonspace(sanitized, id.offset).is_some_and(|(_, b)| b == b'.');
+        let followed_by_paren = lexer::next_nonspace(sanitized, id.offset + id.text.len())
+            .is_some_and(|(_, b)| b == b'(');
+        if preceded_by_dot && followed_by_paren {
+            out.push(Diagnostic {
+                lint: Lint::NoPanic,
+                file: file.to_string(),
+                line: id.line,
+                message: format!(
+                    "`.{}()` panics in library code; return a typed error \
+                     (`SpecSyncError`) or use a non-panicking combinator",
+                    id.text
+                ),
+            });
+        }
+    }
+}
+
+/// `f32-accumulation`: long `+=` reductions in `f32` lose low-order bits
+/// (and made PR 1's clip-norm drift at ImageNet scale); accumulate in
+/// `f64` and round once. Heuristic: a `let mut x: f32 = ..` /
+/// `let mut x = 0.0f32` binding followed by `x +=` in the same function,
+/// plus any `sum::<f32>()` turbofish.
+fn f32_accumulation(file: &str, sanitized: &str, out: &mut Vec<Diagnostic>) {
+    let mut acc_names: Vec<String> = Vec::new();
+    for (lineno, line) in sanitized.lines().enumerate() {
+        let lineno = lineno + 1;
+        let trimmed = line.trim_start();
+        // A new fn scope: earlier accumulator names no longer apply.
+        if trimmed.starts_with("fn ") || trimmed.starts_with("pub fn ") || trimmed.contains(" fn ")
+        {
+            acc_names.clear();
+        }
+        if let Some(name) = f32_accumulator_binding(trimmed) {
+            acc_names.push(name);
+        }
+        if let Some(pos) = line.find("+=") {
+            let lhs = line[..pos].trim();
+            let lhs_ident = lhs
+                .rsplit(|c: char| !c.is_alphanumeric() && c != '_')
+                .next();
+            if let Some(lhs_ident) = lhs_ident {
+                if acc_names.iter().any(|n| n == lhs_ident) {
+                    out.push(Diagnostic {
+                        lint: Lint::F32Accumulation,
+                        file: file.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "`{lhs_ident} +=` accumulates in f32; reduce in f64 \
+                             and convert once at the end"
+                        ),
+                    });
+                }
+            }
+        }
+        if line.contains("sum::<f32>") {
+            out.push(Diagnostic {
+                lint: Lint::F32Accumulation,
+                file: file.to_string(),
+                line: lineno,
+                message: "`sum::<f32>()` reduces in f32; sum in f64 and convert once".into(),
+            });
+        }
+    }
+}
+
+/// If `line` binds a mutable f32 accumulator, returns its name. Requires an
+/// explicit f32 marker — `: f32` or an `f32`-suffixed literal — because an
+/// unsuffixed `0.0` defaults to f64.
+fn f32_accumulator_binding(line: &str) -> Option<String> {
+    let rest = line.strip_prefix("let mut ")?;
+    let name_end = rest
+        .find(|c: char| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    let name = &rest[..name_end];
+    if name.is_empty() {
+        return None;
+    }
+    let tail = &rest[name_end..];
+    let typed_f32 = tail.trim_start().starts_with(": f32");
+    let literal_f32 = tail.contains("f32")
+        && (tail.contains("0f32") || tail.contains("0.0f32") || tail.contains("0.0_f32"));
+    if typed_f32 || literal_f32 {
+        Some(name.to_string())
+    } else {
+        None
+    }
+}
+
+/// Advisory audit: `expr[index]` slice indexing panics on out-of-bounds.
+/// Far too common (and often contract-checked) to deny, but worth an
+/// occasional sweep: run with `--index-audit`.
+fn unchecked_indexing(
+    file: &str,
+    sanitized: &str,
+    idents: &[Ident<'_>],
+    out: &mut Vec<Diagnostic>,
+) {
+    for id in idents {
+        let after = id.offset + id.text.len();
+        if sanitized.as_bytes().get(after) == Some(&b'[')
+            && !matches!(
+                id.text,
+                "vec" | "cfg" | "derive" | "allow" | "warn" | "deny"
+            )
+        {
+            out.push(Diagnostic {
+                lint: Lint::UncheckedIndexing,
+                file: file.to_string(),
+                line: id.line,
+                message: format!("`{}[..]` indexing panics when out of bounds", id.text),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(src: &str) -> Vec<Diagnostic> {
+        analyze_source(
+            "fixture.rs",
+            src,
+            CrateClass::Deterministic,
+            Options::default(),
+        )
+    }
+
+    #[test]
+    fn instant_is_flagged_in_deterministic_code() {
+        let d = det("use std::time::Instant;\nfn f() { let t = Instant::now(); }\n");
+        assert!(d.iter().filter(|d| d.lint == Lint::VirtualTime).count() >= 2);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let d = det(
+            "// specsync-allow(virtual-time): fixture needs wall clock\nuse std::time::Instant;\n",
+        );
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let d = det("// specsync-allow(virtual-time)\nuse std::time::Instant;\n");
+        assert!(d.iter().any(|d| d.lint == Lint::MalformedAllow));
+        assert!(d.iter().any(|d| d.lint == Lint::VirtualTime));
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let d = det("// specsync-allow(no-panic): nothing here\nfn f() {}\n");
+        assert!(d.iter().any(|d| d.lint == Lint::UnusedAllow));
+    }
+
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        let d = det("#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n");
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        let d = det("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n");
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn strings_do_not_trip_lints() {
+        let d = det("fn f() -> &'static str { \"Instant HashMap unwrap()\" }\n");
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn library_class_skips_determinism_lints() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let _ = Option::<u32>::None.unwrap(); }\n";
+        let d = analyze_source("fixture.rs", src, CrateClass::Library, Options::default());
+        assert!(d.iter().all(|d| d.lint == Lint::NoPanic));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn env_var_is_flagged() {
+        let d = det("fn f() { let _ = std::env::var(\"X\"); }\n");
+        assert!(d.iter().any(|d| d.lint == Lint::VirtualTime));
+    }
+
+    #[test]
+    fn f32_accumulator_is_flagged() {
+        let d = det("fn f(xs: &[f32]) -> f32 {\n    let mut acc: f32 = 0.0;\n    for x in xs { acc += x; }\n    acc\n}\n");
+        assert!(d.iter().any(|d| d.lint == Lint::F32Accumulation), "{d:?}");
+    }
+
+    #[test]
+    fn f64_accumulator_is_clean() {
+        let d = det("fn f(xs: &[f32]) -> f64 {\n    let mut acc = 0.0f64;\n    for x in xs { acc += *x as f64; }\n    acc\n}\n");
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn index_audit_is_opt_in_and_advisory() {
+        let src = "fn f(xs: &[u32], i: usize) -> u32 { xs[i] }\n";
+        let quiet = det(src);
+        assert!(quiet.is_empty());
+        let audited = analyze_source(
+            "fixture.rs",
+            src,
+            CrateClass::Deterministic,
+            Options { index_audit: true },
+        );
+        assert!(audited.iter().any(|d| d.lint == Lint::UncheckedIndexing));
+        assert!(audited.iter().all(|d| !d.lint.is_deny()));
+    }
+}

@@ -1,0 +1,133 @@
+//! Workspace layout: which files get which lints.
+//!
+//! Classification is by crate, mirroring the architecture in DESIGN.md:
+//!
+//! * **Deterministic** — `simnet`, `tensor`, `ml`, `ps`, `sync`, `core`,
+//!   `cluster`, `runtime`: everything the virtual-time simulator executes.
+//!   Same seed must mean bit-identical traces, so all four lint classes
+//!   apply. (`runtime` is real-threaded by design, but its wall-clock use
+//!   is confined to the annotated `ClockSource` impl — everything else in
+//!   the crate must stay clock-free.)
+//! * **Library** — the facade crate (`src/`): `no-panic` only.
+//! * **Harness** — `bench` (experiment binaries + their helpers) and
+//!   `xtask` itself: exempt. These are leaf executables whose panics and
+//!   env-var switches never run inside a simulation.
+//!
+//! Within a crate, `tests/`, `benches/`, `examples/` and `src/bin/` are
+//! not scanned, and `#[cfg(test)]` / `#[test]` items inside `src/` are
+//! exempted by the lint driver itself.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Which rule set applies to a crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateClass {
+    /// All lints: virtual-time, ordered-iteration, no-panic, f32-accumulation.
+    Deterministic,
+    /// `no-panic` only.
+    Library,
+    /// Not scanned.
+    Harness,
+}
+
+/// Classifies a workspace crate by directory name.
+pub fn classify(crate_name: &str) -> CrateClass {
+    match crate_name {
+        "simnet" | "tensor" | "ml" | "ps" | "sync" | "core" | "cluster" | "runtime" => {
+            CrateClass::Deterministic
+        }
+        "bench" | "xtask" => CrateClass::Harness,
+        _ => CrateClass::Library,
+    }
+}
+
+/// One file scheduled for analysis.
+#[derive(Debug)]
+pub struct FileToCheck {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Path relative to the workspace root, for diagnostics.
+    pub label: String,
+    pub class: CrateClass,
+}
+
+/// Collects every `.rs` file the pass covers, sorted by label so output
+/// and CI logs are stable.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<FileToCheck>> {
+    let mut out = Vec::new();
+
+    // Member crates.
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let class = classify(&name);
+            if class == CrateClass::Harness {
+                continue;
+            }
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                walk_rs(&src, root, class, &mut out)?;
+            }
+        }
+    }
+
+    // The facade crate at the workspace root.
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        walk_rs(&facade_src, root, CrateClass::Library, &mut out)?;
+    }
+
+    out.sort_by(|a, b| a.label.cmp(&b.label));
+    Ok(out)
+}
+
+fn walk_rs(
+    dir: &Path,
+    root: &Path,
+    class: CrateClass,
+    out: &mut Vec<FileToCheck>,
+) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            // `src/bin/` targets are executables: panicking and reading the
+            // environment at the top level is their job.
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            walk_rs(&path, root, class, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            out.push(FileToCheck { path, label, class });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_set_matches_design() {
+        for c in [
+            "simnet", "tensor", "ml", "ps", "sync", "core", "cluster", "runtime",
+        ] {
+            assert_eq!(classify(c), CrateClass::Deterministic, "{c}");
+        }
+        assert_eq!(classify("bench"), CrateClass::Harness);
+        assert_eq!(classify("xtask"), CrateClass::Harness);
+        assert_eq!(classify("something-else"), CrateClass::Library);
+    }
+}

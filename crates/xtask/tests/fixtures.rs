@@ -1,0 +1,230 @@
+//! Regression fixtures: each lint class must keep catching a deliberately
+//! broken source, and the real workspace must keep analysing clean. These
+//! are the tests that stop the analyzer itself from rotting — a lexer or
+//! suppression bug that silently stopped reporting a class would show up
+//! here, not in CI's green "0 errors".
+
+use std::path::Path;
+
+use xtask::lints::{analyze_source, Lint, Options};
+use xtask::workspace::CrateClass;
+
+fn analyze_det(source: &str) -> Vec<xtask::lints::Diagnostic> {
+    analyze_source(
+        "fixture.rs",
+        source,
+        CrateClass::Deterministic,
+        Options::default(),
+    )
+}
+
+fn lines_of(diags: &[xtask::lints::Diagnostic], lint: Lint) -> Vec<usize> {
+    diags
+        .iter()
+        .filter(|d| d.lint == lint)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn virtual_time_fixture_instant_in_simnet_style_crate() {
+    // The scenario the lint exists for: someone "just times" something in
+    // the deterministic simulator.
+    let fixture = r#"
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(f: F) -> u128 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_micros()
+}
+"#;
+    let diags = analyze_det(fixture);
+    let lines = lines_of(&diags, Lint::VirtualTime);
+    assert_eq!(lines, vec![2, 5], "expected both Instant sites: {diags:?}");
+}
+
+#[test]
+fn virtual_time_fixture_entropy_and_env() {
+    let fixture = r#"
+pub fn seed() -> u64 {
+    if std::env::var("SPECSYNC_SEED").is_ok() {
+        7
+    } else {
+        let mut rng = thread_rng();
+        0
+    }
+}
+"#;
+    let diags = analyze_det(fixture);
+    let lines = lines_of(&diags, Lint::VirtualTime);
+    assert_eq!(lines.len(), 2, "env::var + thread_rng: {diags:?}");
+}
+
+#[test]
+fn ordered_iteration_fixture_hashmap_in_core_style_crate() {
+    let fixture = r#"
+use std::collections::HashMap;
+
+pub fn tally(workers: &[usize]) -> Vec<(usize, u64)> {
+    let mut counts: HashMap<usize, u64> = HashMap::new();
+    for &w in workers {
+        *counts.entry(w).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+"#;
+    let diags = analyze_det(fixture);
+    let lines = lines_of(&diags, Lint::OrderedIteration);
+    assert_eq!(
+        lines,
+        vec![2, 5, 5],
+        "expected every HashMap site: {diags:?}"
+    );
+}
+
+#[test]
+fn no_panic_fixture_unwrap_in_library_crate() {
+    let fixture = r#"
+pub fn first_positive(xs: &[f64]) -> f64 {
+    let found = xs.iter().find(|x| **x > 0.0).unwrap();
+    *found
+}
+
+pub fn named(x: Option<u32>) -> u32 {
+    x.expect("value must be present")
+}
+"#;
+    let diags = analyze_source(
+        "fixture.rs",
+        fixture,
+        CrateClass::Library,
+        Options::default(),
+    );
+    let lines = lines_of(&diags, Lint::NoPanic);
+    assert_eq!(lines, vec![3, 8], "unwrap + expect: {diags:?}");
+    // Library crates skip determinism lints entirely.
+    assert!(diags.iter().all(|d| d.lint == Lint::NoPanic));
+}
+
+#[test]
+fn no_panic_fixture_is_silent_for_harness_crates() {
+    let fixture = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let diags = analyze_source(
+        "fixture.rs",
+        fixture,
+        CrateClass::Harness,
+        Options::default(),
+    );
+    assert!(diags.is_empty(), "harness crates are exempt: {diags:?}");
+}
+
+#[test]
+fn f32_accumulation_fixture_running_sum() {
+    let fixture = r#"
+pub fn l2(xs: &[f32]) -> f32 {
+    let mut sum = 0.0f32;
+    for x in xs {
+        sum += x * x;
+    }
+    sum.sqrt()
+}
+
+pub fn total(xs: &[f32]) -> f32 {
+    xs.iter().copied().sum::<f32>()
+}
+"#;
+    let diags = analyze_det(fixture);
+    let lines = lines_of(&diags, Lint::F32Accumulation);
+    assert_eq!(lines, vec![5, 11], "`+=` loop and turbofish sum: {diags:?}");
+}
+
+#[test]
+fn f32_accumulation_fixture_scope_reset_between_functions() {
+    // The accumulator from `a` must not leak into `b`'s scope.
+    let fixture = r#"
+pub fn a(xs: &[f32]) -> f64 {
+    let mut acc: f32 = 0.0;
+    acc as f64
+}
+
+pub fn b(mut acc: f64, xs: &[f64]) -> f64 {
+    for x in xs {
+        acc += x;
+    }
+    acc
+}
+"#;
+    let diags = analyze_det(fixture);
+    assert!(diags.is_empty(), "f64 accumulation is fine: {diags:?}");
+}
+
+#[test]
+fn allow_annotation_suppresses_exactly_its_lint_and_site() {
+    let fixture = r#"
+// specsync-allow(virtual-time): fixture's sanctioned clock read
+use std::time::Instant;
+
+pub fn f() -> Instant {
+    Instant::now()
+}
+"#;
+    let diags = analyze_det(fixture);
+    // Line 3 is covered by the allow on line 2; lines 5 and 6 are not.
+    let lines = lines_of(&diags, Lint::VirtualTime);
+    assert_eq!(lines, vec![5, 6], "{diags:?}");
+}
+
+#[test]
+fn allow_without_reason_fails_closed() {
+    let fixture = "// specsync-allow(no-panic)\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let diags = analyze_source(
+        "fixture.rs",
+        fixture,
+        CrateClass::Library,
+        Options::default(),
+    );
+    assert!(diags.iter().any(|d| d.lint == Lint::MalformedAllow));
+    assert!(
+        diags.iter().any(|d| d.lint == Lint::NoPanic),
+        "a malformed allow must not suppress: {diags:?}"
+    );
+}
+
+#[test]
+fn deny_and_advisory_levels_are_stable() {
+    assert!(Lint::VirtualTime.is_deny());
+    assert!(Lint::OrderedIteration.is_deny());
+    assert!(Lint::NoPanic.is_deny());
+    assert!(Lint::F32Accumulation.is_deny());
+    assert!(Lint::MalformedAllow.is_deny());
+    assert!(!Lint::UncheckedIndexing.is_deny());
+    assert!(!Lint::UnusedAllow.is_deny());
+}
+
+#[test]
+fn the_real_workspace_analyzes_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let analysis = xtask::analyze_workspace(root, Options::default()).expect("workspace readable");
+    assert!(
+        analysis.files_scanned > 40,
+        "suspiciously few files scanned"
+    );
+    let errors: Vec<_> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint.is_deny())
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "workspace must stay lint-clean:\n{}",
+        errors
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

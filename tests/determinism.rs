@@ -30,9 +30,62 @@ fn assert_identical(a: &RunReport, b: &RunReport) {
     assert_eq!(a.history.pulls(), b.history.pulls());
 }
 
+/// Serializes everything observable about a run into one canonical text
+/// trace: every push/pull event, every loss sample (as raw f64 bits),
+/// every transfer record. Byte-equality of two traces is the strongest
+/// replay check we can state — any divergence anywhere in the event
+/// stream changes the bytes.
+fn render_trace(r: &RunReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scheme={} workload={} workers={} seed={} iters={} aborts={}",
+        r.scheme, r.workload, r.num_workers, r.seed, r.total_iterations, r.total_aborts
+    );
+    for p in r.history.pushes() {
+        let _ = writeln!(out, "push t={} w={}", p.time.as_micros(), p.worker.index());
+    }
+    for p in r.history.pulls() {
+        let _ = writeln!(out, "pull t={} w={}", p.time.as_micros(), p.worker.index());
+    }
+    for p in &r.loss_curve {
+        let _ = writeln!(
+            out,
+            "loss t={} i={} bits={:016x}",
+            p.time.as_micros(),
+            p.iterations,
+            p.loss.to_bits()
+        );
+    }
+    for t in r.transfer.records() {
+        let _ = writeln!(
+            out,
+            "xfer t={} class={:?} bytes={}",
+            t.time.as_micros(),
+            t.class,
+            t.bytes
+        );
+    }
+    out
+}
+
 #[test]
 fn asp_runs_are_bit_identical_across_replays() {
     assert_identical(&run(SchemeKind::Asp, 77), &run(SchemeKind::Asp, 77));
+}
+
+#[test]
+fn same_seed_produces_byte_identical_traces() {
+    let scheme = SchemeKind::specsync_adaptive();
+    let a = render_trace(&run(scheme, 31));
+    let b = render_trace(&run(scheme, 31));
+    assert!(!a.is_empty());
+    assert_eq!(
+        a.as_bytes(),
+        b.as_bytes(),
+        "two same-seed simulations must serialize to identical bytes"
+    );
 }
 
 #[test]

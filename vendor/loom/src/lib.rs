@@ -1,0 +1,73 @@
+//! Offline vendored stand-in for the `loom` crate.
+//!
+//! Upstream loom exhaustively enumerates every thread interleaving of a
+//! test body under the C11 memory model. That requires its own scheduler
+//! and shadow `sync` types, which are far outside what can be vendored
+//! here — so this stand-in keeps loom's API *shape* (`loom::model`,
+//! `loom::thread`, `loom::sync`) while running the body as a stress test:
+//! many repetitions on real std threads, each preceded by a yield to vary
+//! the OS schedule. A stress schedule samples interleavings rather than
+//! proving all of them, so tests that need full coverage should pair a
+//! `loom::model` test with an explicit interleaving enumeration (see
+//! `crates/ps/tests/concurrency.rs`). Swapping the registry release back
+//! in upgrades these tests to true exhaustive checking without edits.
+
+#![warn(missing_docs)]
+
+/// How many times [`model`] replays the body. Loom explores interleavings
+/// until exhaustion; the stand-in samples this fixed number of schedules.
+pub const MODEL_ITERATIONS: usize = 64;
+
+/// Runs `f` repeatedly, replaying the modeled concurrent scenario under
+/// different (OS-chosen) schedules. Panics from `f` propagate, failing the
+/// enclosing test just as an upstream loom counterexample would.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    for _ in 0..MODEL_ITERATIONS {
+        std::thread::yield_now();
+        f();
+    }
+}
+
+/// Threads for model bodies — upstream loom shadows `std::thread`; the
+/// stand-in spawns real OS threads.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Synchronization primitives for model bodies — upstream loom shadows
+/// these with checked versions; the stand-in re-exports `std::sync`, whose
+/// lock API (`lock().unwrap()`) is what loom mirrors anyway.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Shadowed atomics (std-backed here).
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn model_replays_the_body() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let count = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&count);
+        super::model(move || {
+            seen.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), super::MODEL_ITERATIONS);
+    }
+
+    #[test]
+    fn model_supports_spawned_threads() {
+        super::model(|| {
+            let h = crate::thread::spawn(|| 21 * 2);
+            assert_eq!(h.join().expect("thread"), 42);
+        });
+    }
+}
