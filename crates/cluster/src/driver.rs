@@ -31,6 +31,7 @@ use specsync_simnet::{
     TransferLedger, VirtualTime, WorkerId,
 };
 use specsync_sync::{BaseScheme, BspBarrier, SchemeKind, SspClock, TuningMode};
+use specsync_telemetry::{Event as TraceEvent, EventSink, LossCurve, NullSink, WorkerPhase};
 
 use crate::report::{LossPoint, RunReport};
 use crate::spec::ClusterSpec;
@@ -85,6 +86,18 @@ enum WorkerState {
     Pushing,
 }
 
+impl WorkerState {
+    /// The telemetry phase mirroring this driver state.
+    fn phase(self) -> WorkerPhase {
+        match self {
+            WorkerState::Idle => WorkerPhase::Idle,
+            WorkerState::Pulling => WorkerPhase::Pulling,
+            WorkerState::Computing => WorkerPhase::Computing,
+            WorkerState::Pushing => WorkerPhase::Pushing,
+        }
+    }
+}
+
 struct WorkerCtx {
     state: WorkerState,
     attempt: u64,
@@ -115,6 +128,7 @@ pub struct Driver {
     cluster: ClusterSpec,
     config: DriverConfig,
     seed: u64,
+    sink: Arc<dyn EventSink<VirtualTime>>,
 }
 
 impl std::fmt::Debug for Driver {
@@ -142,7 +156,18 @@ impl Driver {
             cluster,
             config,
             seed,
+            sink: Arc::new(NullSink),
         }
+    }
+
+    /// Routes every protocol event of the run (pulls, pushes, notifies,
+    /// abort decisions, re-syncs, tuning passes, evaluations, worker state
+    /// transitions) to `sink`, stamped with virtual time. Emission points
+    /// are deterministic, so with a deterministic sink two same-seed runs
+    /// produce identical event streams.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink<VirtualTime>>) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// Runs the experiment.
@@ -192,9 +217,11 @@ struct Simulation {
     ssp: Option<SspClock>,
     ssp_blocked: Vec<WorkerId>,
 
+    sink: Arc<dyn EventSink<VirtualTime>>,
+
     total_pushes: u64,
     epochs_done: u64,
-    loss_curve: Vec<LossPoint>,
+    loss_curve: LossCurve<VirtualTime>,
     converged_at: Option<VirtualTime>,
     iterations_at_convergence: Option<u64>,
     wasted_compute: SimDuration,
@@ -211,6 +238,7 @@ impl Simulation {
             cluster,
             config,
             seed,
+            sink,
         } = driver;
         let m = cluster.num_workers();
         let streams = RngStreams::new(seed);
@@ -233,7 +261,10 @@ impl Simulation {
                 abort_rate: f64::MAX,
             },
         };
-        let scheduler = Scheduler::new(m, tuning);
+        // The scheduler emits its own decisions (notify, abort-issued,
+        // epoch-tuned) through the same sink as the driver's data-plane
+        // events, so a trace interleaves both sides of the protocol.
+        let scheduler = Scheduler::new(m, tuning).with_sink(Arc::clone(&sink));
 
         let workers = bundle
             .workers
@@ -287,9 +318,10 @@ impl Simulation {
             bsp,
             ssp,
             ssp_blocked: Vec::new(),
+            sink,
             total_pushes: 0,
             epochs_done: 0,
-            loss_curve: Vec::new(),
+            loss_curve: LossCurve::new(),
             converged_at: None,
             iterations_at_convergence: None,
             wasted_compute: SimDuration::ZERO,
@@ -314,15 +346,31 @@ impl Simulation {
         self.ledger.record(at, class, bytes);
     }
 
+    /// Transitions `worker` to `state`, reporting the transition to the
+    /// event sink.
+    fn set_worker_state(&mut self, worker: WorkerId, state: WorkerState, now: VirtualTime) {
+        self.workers[worker.index()].state = state;
+        self.sink.record(
+            now,
+            &TraceEvent::WorkerState {
+                worker,
+                state: state.phase(),
+            },
+        );
+    }
+
     /// Issues a pull for `worker` at `now`: snapshot immediately (server
     /// state at request time), deliver after the transfer delay.
     fn issue_pull(&mut self, worker: WorkerId, now: VirtualTime) {
-        self.staleness_sum += self.store.staleness_of(worker) as f64;
+        let staleness = self.store.staleness_of(worker);
+        self.staleness_sum += staleness as f64;
         self.staleness_count += 1;
+        self.sink
+            .record(now, &TraceEvent::Pull { worker, staleness });
         let snapshot = self.store.pull(worker);
         self.scheduler.on_pull(worker, now);
         self.workers[worker.index()].pending_params = Some(snapshot.into_shared());
-        self.workers[worker.index()].state = WorkerState::Pulling;
+        self.set_worker_state(worker, WorkerState::Pulling, now);
         let delay = self.delay(MessageClass::PullParams);
         let at = now + delay;
         self.record_transfer(at, MessageClass::PullParams);
@@ -342,12 +390,12 @@ impl Simulation {
                 self.issue_pull(worker, now);
             }
             SchemeKind::NaiveWaiting { delay } => {
-                self.workers[worker.index()].state = WorkerState::Idle;
+                self.set_worker_state(worker, WorkerState::Idle, now);
                 self.queue
                     .schedule(now + delay, Event::NaiveWaitDone(worker));
             }
             SchemeKind::Bsp => {
-                self.workers[worker.index()].state = WorkerState::Idle;
+                self.set_worker_state(worker, WorkerState::Idle, now);
                 let barrier = self.bsp.as_mut().ok_or(SpecSyncError::SchemeStateMissing {
                     what: "BSP barrier",
                 })?;
@@ -377,7 +425,7 @@ impl Simulation {
                 if can_start {
                     self.issue_pull(worker, now);
                 } else {
-                    self.workers[worker.index()].state = WorkerState::Idle;
+                    self.set_worker_state(worker, WorkerState::Idle, now);
                     self.ssp_blocked.push(worker);
                 }
             }
@@ -400,11 +448,11 @@ impl Simulation {
         if !ctx.grad_is_sparse {
             ctx.model.gradient(&batch, &mut ctx.grad);
         }
-        ctx.state = WorkerState::Computing;
         ctx.compute_started = now;
         ctx.attempt += 1;
         let duration = ctx.compute_sampler.sample(&mut ctx.rng);
         let attempt = ctx.attempt;
+        self.set_worker_state(worker, WorkerState::Computing, now);
         self.queue
             .schedule(now + duration, Event::ComputeDone(worker, attempt));
         Ok(())
@@ -415,6 +463,13 @@ impl Simulation {
             return;
         }
         let loss = self.eval.loss_of(self.store.params());
+        self.sink.record(
+            now,
+            &TraceEvent::Eval {
+                iterations: self.total_pushes,
+                loss,
+            },
+        );
         self.loss_curve.push(LossPoint {
             time: now,
             iterations: self.total_pushes,
@@ -441,6 +496,13 @@ impl Simulation {
         self.workers[worker.index()].iterations += 1;
         self.total_pushes += 1;
         self.record_transfer(now, MessageClass::PushGrad);
+        self.sink.record(
+            now,
+            &TraceEvent::Push {
+                worker,
+                iteration: self.total_pushes,
+            },
+        );
 
         self.evaluate(now);
 
@@ -475,7 +537,10 @@ impl Simulation {
         }
         ctx.aborts += 1;
         ctx.attempt += 1; // invalidates the pending ComputeDone
-        self.wasted_compute += now.saturating_since(ctx.compute_started);
+        let wasted = now.saturating_since(ctx.compute_started);
+        self.wasted_compute += wasted;
+        self.sink
+            .record(now, &TraceEvent::Resync { worker, wasted });
         self.issue_pull(worker, now);
     }
 
@@ -487,7 +552,7 @@ impl Simulation {
                 if ctx.attempt != attempt || ctx.state != WorkerState::Computing {
                     return Ok(()); // aborted mid-compute
                 }
-                ctx.state = WorkerState::Pushing;
+                self.set_worker_state(worker, WorkerState::Pushing, now);
                 let delay = self.delay(MessageClass::PushGrad);
                 self.queue.schedule(now + delay, Event::PushArrive(worker));
             }
@@ -531,6 +596,7 @@ impl Simulation {
             }
         }
 
+        self.sink.flush();
         let finished_at = self.queue.now();
         let mean_staleness = if self.staleness_count == 0 {
             0.0

@@ -3,17 +3,11 @@
 use serde::{Deserialize, Serialize};
 use specsync_core::{Hyperparams, PushHistory, SchedulerStats};
 use specsync_simnet::{SimDuration, TransferLedger, VirtualTime};
+use specsync_telemetry::{LossCurve, LossSample};
 
-/// One point on the loss curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct LossPoint {
-    /// Virtual time of the observation (at a push apply).
-    pub time: VirtualTime,
-    /// Total pushes applied so far (the paper's "accumulated iterations").
-    pub iterations: u64,
-    /// Evaluation loss of the global parameters.
-    pub loss: f64,
-}
+/// One point on the simulator's loss curve: a
+/// [`LossSample`] stamped with virtual time.
+pub type LossPoint = LossSample<VirtualTime>;
 
 /// The full outcome of one training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,7 +31,7 @@ pub struct RunReport {
     /// Virtual compute time thrown away by aborts.
     pub wasted_compute: SimDuration,
     /// The loss curve (one point per applied push).
-    pub loss_curve: Vec<LossPoint>,
+    pub loss_curve: LossCurve<VirtualTime>,
     /// Per-worker completed iteration counts.
     pub iterations_per_worker: Vec<u64>,
     /// Byte-level transfer accounting.
@@ -63,28 +57,19 @@ impl RunReport {
 
     /// The loss at the end of the run.
     pub fn final_loss(&self) -> Option<f64> {
-        self.loss_curve.last().map(|p| p.loss)
+        self.loss_curve.final_loss()
     }
 
     /// The lowest loss reached at or before `t` (for fixed-budget
     /// comparisons, Fig. 11 right).
     pub fn best_loss_by(&self, t: VirtualTime) -> Option<f64> {
-        self.loss_curve
-            .iter()
-            .take_while(|p| p.time <= t)
-            .map(|p| p.loss)
-            .filter(|l| !l.is_nan())
-            .min_by(|a, b| a.total_cmp(b))
+        self.loss_curve.best_loss_by(t)
     }
 
     /// Downsamples the loss curve to at most `points` evenly spaced
     /// entries (for printing).
     pub fn sampled_curve(&self, points: usize) -> Vec<LossPoint> {
-        if points == 0 || self.loss_curve.len() <= points {
-            return self.loss_curve.clone();
-        }
-        let stride = self.loss_curve.len().div_ceil(points);
-        self.loss_curve.iter().copied().step_by(stride).collect()
+        self.loss_curve.sampled(points)
     }
 
     /// Speedup of this run over `baseline` in runtime-to-convergence.

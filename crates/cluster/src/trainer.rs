@@ -1,10 +1,13 @@
 //! High-level training API: the one-call entry point used by examples and
 //! experiment binaries.
 
+use std::sync::Arc;
+
 use specsync_core::SpecSyncError;
 use specsync_ml::Workload;
 use specsync_simnet::VirtualTime;
 use specsync_sync::SchemeKind;
+use specsync_telemetry::{EventSink, NullSink};
 
 use crate::driver::{Driver, DriverConfig};
 use crate::report::RunReport;
@@ -32,6 +35,7 @@ pub struct Trainer {
     cluster: ClusterSpec,
     config: DriverConfig,
     seed: u64,
+    sink: Arc<dyn EventSink<VirtualTime>>,
 }
 
 impl Trainer {
@@ -44,7 +48,15 @@ impl Trainer {
             cluster: ClusterSpec::paper_cluster1(),
             config: DriverConfig::default(),
             seed: 0,
+            sink: Arc::new(NullSink),
         }
+    }
+
+    /// Routes the run's protocol events to `sink` (see
+    /// [`Driver::with_sink`]).
+    pub fn sink(mut self, sink: Arc<dyn EventSink<VirtualTime>>) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// Sets the cluster.
@@ -112,6 +124,7 @@ impl Trainer {
             self.config,
             self.seed,
         )
+        .with_sink(self.sink)
         .try_run()
     }
 }

@@ -48,6 +48,12 @@ pub enum SpecSyncError {
     },
     /// A configuration value failed validation.
     InvalidConfig(String),
+    /// An execution host was asked to run a synchronization scheme it does
+    /// not implement (e.g. the threaded runtime has no BSP barrier).
+    UnsupportedScheme {
+        /// The scheme's label.
+        scheme: String,
+    },
 }
 
 impl fmt::Display for SpecSyncError {
@@ -71,6 +77,9 @@ impl fmt::Display for SpecSyncError {
             SpecSyncError::Distribution(e) => write!(f, "invalid distribution: {e}"),
             SpecSyncError::ThreadPanicked { role } => write!(f, "{role} thread panicked"),
             SpecSyncError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SpecSyncError::UnsupportedScheme { scheme } => {
+                write!(f, "scheme {scheme} is not supported by this execution host")
+            }
         }
     }
 }

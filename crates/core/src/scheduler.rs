@@ -12,14 +12,17 @@
 //! host-agnostic, and mirrors the pluggable-module structure of the MXNet
 //! implementation.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
 use specsync_sync::TuningMode;
+use specsync_telemetry::{Event, EventSink, NullSink};
 
 use crate::error::SpecSyncError;
 use crate::history::PushHistory;
 use crate::hyper::Hyperparams;
-use crate::tuner::AdaptiveTuner;
+use crate::tuner::{AdaptiveTuner, TuneOutcome};
 
 /// Per-worker speculation state.
 #[derive(Debug, Clone, Copy, Default)]
@@ -78,6 +81,7 @@ pub struct Scheduler {
     spec: Vec<SpecState>,
     stats: SchedulerStats,
     epoch: u64,
+    sink: Arc<dyn EventSink<VirtualTime>>,
 }
 
 impl Scheduler {
@@ -110,7 +114,16 @@ impl Scheduler {
             spec: vec![SpecState::default(); m],
             stats: SchedulerStats::default(),
             epoch: 0,
+            sink: Arc::new(NullSink),
         }
+    }
+
+    /// Routes the scheduler's protocol events ([`Event::Notify`],
+    /// [`Event::AbortIssued`], [`Event::EpochTuned`]) to `sink` instead of
+    /// the default [`NullSink`].
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink<VirtualTime>>) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// [`new`](Self::new), but a zero-worker cluster is a typed error
@@ -190,6 +203,7 @@ impl Scheduler {
     ) -> Result<Option<VirtualTime>, SpecSyncError> {
         self.check_worker(worker)?;
         self.stats.notifies += 1;
+        self.sink.record(now, &Event::Notify { worker });
         self.history.record_push(now, worker);
         if self.hyper.is_disabled() {
             return Ok(None);
@@ -249,25 +263,43 @@ impl Scheduler {
         if fire {
             self.stats.resyncs += 1;
             self.spec[worker.index()].window_start = None;
+            self.sink.record(now, &Event::AbortIssued { worker });
         }
         fire
     }
 
     /// Marks an epoch boundary; in adaptive mode, re-runs Algorithm 1 on
     /// the closed epoch and installs the new hyperparameters.
-    pub fn on_epoch_complete(&mut self, now: VirtualTime) {
+    ///
+    /// Returns the tuning outcome when an adaptive pass produced one, so
+    /// hosts can report the tuner's estimated freshness gain (Eq. 7)
+    /// alongside the installed hyperparameters. Fixed mode and unprofitable
+    /// adaptive passes return `None`.
+    pub fn on_epoch_complete(&mut self, now: VirtualTime) -> Option<TuneOutcome> {
         self.epoch += 1;
         self.history.mark_epoch();
+        let mut tuned = None;
         if matches!(self.tuning, TuningMode::Adaptive) {
             if let Some(outcome) = self.tuner.tune(&self.history, self.m, now) {
                 self.hyper = outcome.hyperparams;
                 self.stats.retunes += 1;
+                tuned = Some(outcome);
             } else {
                 // No profitable window found this epoch: keep speculation
                 // off rather than aborting on stale evidence.
                 self.hyper = Hyperparams::disabled();
             }
         }
+        self.sink.record(
+            now,
+            &Event::EpochTuned {
+                epoch: self.epoch,
+                abort_time: self.hyper.abort_time(),
+                abort_rate: self.hyper.abort_rate(),
+                estimated_gain: tuned.as_ref().map(|o| o.estimated_improvement),
+            },
+        );
+        tuned
     }
 }
 

@@ -2,35 +2,22 @@
 
 use std::time::Duration;
 
-use specsync_sync::TuningMode;
-
-/// How the threaded runtime synchronizes.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum RuntimeScheme {
-    /// Plain asynchronous parallel (MXNet's default).
-    Asp,
-    /// Speculative synchronization over ASP.
-    SpecSync(TuningMode),
-}
-
-impl RuntimeScheme {
-    /// Short label for reports.
-    pub fn label(&self) -> &'static str {
-        match self {
-            RuntimeScheme::Asp => "Original",
-            RuntimeScheme::SpecSync(TuningMode::Adaptive) => "SpecSync-Adaptive",
-            RuntimeScheme::SpecSync(TuningMode::Fixed { .. }) => "SpecSync-Fixed",
-        }
-    }
-}
+use specsync_core::SpecSyncError;
+use specsync_sync::{BaseScheme, SchemeKind};
 
 /// Configuration of a threaded training run.
+///
+/// The scheme is the workspace-wide [`SchemeKind`] shared with the
+/// simulator, so experiment code configures both hosts with one type. The
+/// threaded runtime implements only the asynchronous schemes — plain ASP
+/// and SpecSync over ASP; [`try_validate`](Self::try_validate) rejects the
+/// rest with [`SpecSyncError::UnsupportedScheme`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Number of worker threads.
     pub workers: usize,
     /// Synchronization scheme.
-    pub scheme: RuntimeScheme,
+    pub scheme: SchemeKind,
     /// Artificial per-iteration compute padding: stands in for the heavy
     /// gradient computation of a full-size model (our scaled models compute
     /// in microseconds, far below meaningful speculation windows).
@@ -53,7 +40,7 @@ impl Default for RuntimeConfig {
     fn default() -> Self {
         RuntimeConfig {
             workers: 4,
-            scheme: RuntimeScheme::Asp,
+            scheme: SchemeKind::Asp,
             compute_pad: Duration::from_millis(10),
             abort_poll: Duration::from_millis(1),
             max_duration: Duration::from_secs(5),
@@ -65,33 +52,83 @@ impl Default for RuntimeConfig {
 }
 
 impl RuntimeConfig {
+    /// Whether the threaded runtime implements `scheme`. The synchronous
+    /// schemes (BSP, SSP, naïve waiting) exist only in the virtual-time
+    /// simulator; speculation over an SSP base likewise.
+    pub fn scheme_supported(scheme: SchemeKind) -> bool {
+        matches!(
+            scheme,
+            SchemeKind::Asp
+                | SchemeKind::SpecSync {
+                    base: BaseScheme::Asp,
+                    ..
+                }
+        )
+    }
+
+    /// Validates the configuration, reporting the first problem as a typed
+    /// error: zero workers, zero eval stride, a zero poll interval, or a
+    /// scheme this runtime does not implement.
+    pub fn try_validate(&self) -> Result<(), SpecSyncError> {
+        if self.workers == 0 {
+            return Err(SpecSyncError::InvalidConfig(
+                "need at least one worker".to_string(),
+            ));
+        }
+        if self.eval_stride == 0 {
+            return Err(SpecSyncError::InvalidConfig(
+                "eval stride must be positive".to_string(),
+            ));
+        }
+        if self.abort_poll.is_zero() {
+            return Err(SpecSyncError::InvalidConfig(
+                "abort poll interval must be positive".to_string(),
+            ));
+        }
+        if !Self::scheme_supported(self.scheme) {
+            return Err(SpecSyncError::UnsupportedScheme {
+                scheme: self.scheme.label(),
+            });
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
-    /// Panics on zero workers, zero eval stride, or a zero poll interval.
+    /// Panics on any [`try_validate`](Self::try_validate) failure.
     pub fn validate(&self) {
-        assert!(self.workers > 0, "need at least one worker");
-        assert!(self.eval_stride > 0, "eval stride must be positive");
-        assert!(
-            !self.abort_poll.is_zero(),
-            "abort poll interval must be positive"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specsync_simnet::SimDuration;
 
     #[test]
     fn default_config_is_valid() {
-        RuntimeConfig::default().validate();
+        assert_eq!(RuntimeConfig::default().try_validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let err = RuntimeConfig {
+            workers: 0,
+            ..Default::default()
+        }
+        .try_validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("at least one worker"));
     }
 
     #[test]
     #[should_panic(expected = "at least one worker")]
-    fn zero_workers_rejected() {
+    fn validate_panics_on_invalid() {
         RuntimeConfig {
             workers: 0,
             ..Default::default()
@@ -100,11 +137,40 @@ mod tests {
     }
 
     #[test]
-    fn labels_are_stable() {
-        assert_eq!(RuntimeScheme::Asp.label(), "Original");
-        assert_eq!(
-            RuntimeScheme::SpecSync(TuningMode::Adaptive).label(),
-            "SpecSync-Adaptive"
-        );
+    fn synchronous_schemes_rejected_as_unsupported() {
+        for scheme in [
+            SchemeKind::Bsp,
+            SchemeKind::Ssp { bound: 2 },
+            SchemeKind::NaiveWaiting {
+                delay: SimDuration::from_secs(1),
+            },
+            SchemeKind::SpecSync {
+                base: specsync_sync::BaseScheme::Ssp { bound: 2 },
+                tuning: specsync_sync::TuningMode::Adaptive,
+            },
+        ] {
+            let err = RuntimeConfig {
+                scheme,
+                ..Default::default()
+            }
+            .try_validate()
+            .unwrap_err();
+            assert!(
+                matches!(err, SpecSyncError::UnsupportedScheme { .. }),
+                "{scheme:?} should be unsupported, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn asynchronous_schemes_supported() {
+        assert!(RuntimeConfig::scheme_supported(SchemeKind::Asp));
+        assert!(RuntimeConfig::scheme_supported(
+            SchemeKind::specsync_adaptive()
+        ));
+        assert!(RuntimeConfig::scheme_supported(SchemeKind::specsync_fixed(
+            SimDuration::from_millis(50),
+            0.25
+        )));
     }
 }

@@ -19,12 +19,12 @@
 //! ```
 //! use std::time::Duration;
 //! use specsync_ml::Workload;
-//! use specsync_runtime::{run, RuntimeConfig, RuntimeScheme};
-//! use specsync_sync::TuningMode;
+//! use specsync_runtime::{run, RuntimeConfig};
+//! use specsync_sync::SchemeKind;
 //!
 //! let config = RuntimeConfig {
 //!     workers: 2,
-//!     scheme: RuntimeScheme::SpecSync(TuningMode::Adaptive),
+//!     scheme: SchemeKind::specsync_adaptive(),
 //!     compute_pad: Duration::from_millis(2),
 //!     max_duration: Duration::from_millis(300),
 //!     ..RuntimeConfig::default()
@@ -32,6 +32,13 @@
 //! let report = run(&Workload::tiny_test(), &config);
 //! assert!(report.total_iterations > 0);
 //! ```
+//!
+//! The scheme is the same [`SchemeKind`] the simulator takes, so one
+//! configuration type drives both hosts; schemes this runtime does not
+//! implement (BSP, SSP, naïve waiting) are rejected by
+//! [`RuntimeConfig::try_validate`] with a typed
+//! [`UnsupportedScheme`](specsync_core::SpecSyncError::UnsupportedScheme)
+//! error.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -42,6 +49,7 @@ mod report;
 mod runtime;
 
 pub use clock::{ClockSource, ManualClock, WallClock};
-pub use config::{RuntimeConfig, RuntimeScheme};
+pub use config::RuntimeConfig;
 pub use report::{RuntimeReport, WallLossPoint};
-pub use runtime::{run, try_run, try_run_with_clock};
+pub use runtime::{run, try_run, try_run_with_clock, try_run_with_sink};
+pub use specsync_sync::SchemeKind;

@@ -2,16 +2,11 @@
 
 use std::time::Duration;
 
-/// One loss observation on the wall clock.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct WallLossPoint {
-    /// Elapsed wall time since the run started.
-    pub elapsed: Duration,
-    /// Total pushes applied when the observation was taken.
-    pub iterations: u64,
-    /// Evaluation loss.
-    pub loss: f64,
-}
+use specsync_telemetry::{LossCurve, LossSample};
+
+/// One loss observation on the wall clock: a
+/// [`LossSample`] stamped with elapsed run time.
+pub type WallLossPoint = LossSample<Duration>;
 
 /// Outcome of one threaded training run.
 #[derive(Debug, Clone)]
@@ -27,7 +22,7 @@ pub struct RuntimeReport {
     /// Total aborted computations.
     pub total_aborts: u64,
     /// Loss curve over wall time.
-    pub loss_curve: Vec<WallLossPoint>,
+    pub loss_curve: LossCurve<Duration>,
     /// Wall time when the run finished.
     pub elapsed: Duration,
 }
@@ -35,16 +30,12 @@ pub struct RuntimeReport {
 impl RuntimeReport {
     /// Final observed loss.
     pub fn final_loss(&self) -> Option<f64> {
-        self.loss_curve.last().map(|p| p.loss)
+        self.loss_curve.final_loss()
     }
 
     /// Lowest observed loss.
     pub fn best_loss(&self) -> Option<f64> {
-        self.loss_curve
-            .iter()
-            .map(|p| p.loss)
-            .filter(|l| !l.is_nan())
-            .min_by(|a, b| a.total_cmp(b))
+        self.loss_curve.best_loss()
     }
 }
 
@@ -62,21 +53,22 @@ mod tests {
             total_aborts: 0,
             loss_curve: vec![
                 WallLossPoint {
-                    elapsed: Duration::from_millis(1),
+                    time: Duration::from_millis(1),
                     iterations: 1,
                     loss: 1.0,
                 },
                 WallLossPoint {
-                    elapsed: Duration::from_millis(2),
+                    time: Duration::from_millis(2),
                     iterations: 2,
                     loss: f64::NAN,
                 },
                 WallLossPoint {
-                    elapsed: Duration::from_millis(3),
+                    time: Duration::from_millis(3),
                     iterations: 3,
                     loss: 0.5,
                 },
-            ],
+            ]
+            .into(),
             elapsed: Duration::from_millis(3),
         };
         assert_eq!(report.best_loss(), Some(0.5));

@@ -8,6 +8,12 @@
 //! real races between `re-sync` delivery and iteration completion. It is
 //! intentionally not deterministic — but every time read still goes
 //! through [`ClockSource`], so the wall clock is injected, not ambient.
+//!
+//! Telemetry: every thread stamps its events with the [`Duration`] elapsed
+//! on the injected clock since the run started and reports them through
+//! one shared [`EventSink`] (see [`try_run_with_sink`]). The taxonomy is
+//! identical to the simulator's; the interleaving is whatever the OS
+//! scheduler produced.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -19,16 +25,23 @@ use parking_lot::Mutex;
 use specsync_core::{Scheduler, SpecSyncError};
 use specsync_ml::{ConvergenceDetector, Workload};
 use specsync_ps::ParameterStore;
-use specsync_simnet::{VirtualTime, WorkerId};
-use specsync_sync::TuningMode;
+use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+use specsync_sync::{SchemeKind, TuningMode};
+use specsync_telemetry::{Event, EventSink, LossCurve, NullSink, WorkerPhase};
 
 use crate::clock::{ClockSource, WallClock};
-use crate::config::{RuntimeConfig, RuntimeScheme};
+use crate::config::RuntimeConfig;
 use crate::report::{RuntimeReport, WallLossPoint};
 
 enum ServerMsg {
-    Pull { reply: Sender<Vec<f32>> },
-    Push { worker: WorkerId, grad: Vec<f32> },
+    Pull {
+        worker: WorkerId,
+        reply: Sender<Arc<[f32]>>,
+    },
+    Push {
+        worker: WorkerId,
+        grad: Vec<f32>,
+    },
     Shutdown,
 }
 
@@ -38,13 +51,17 @@ enum SchedMsg {
     Shutdown,
 }
 
+/// Elapsed run time on the injected clock — the runtime's trace timestamp.
+fn elapsed_since(clock: &dyn ClockSource, start: Duration) -> Duration {
+    clock.now().saturating_sub(start)
+}
+
 /// Runs a workload on real threads and reports the outcome.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid (see [`RuntimeConfig::validate`])
-/// or a thread panics; [`try_run`] reports thread failure as a typed error
-/// instead.
+/// or a thread panics; [`try_run`] reports those as typed errors instead.
 pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
     match try_run(workload, config) {
         Ok(report) => report,
@@ -52,8 +69,9 @@ pub fn run(workload: &Workload, config: &RuntimeConfig) -> RuntimeReport {
     }
 }
 
-/// [`run`] with thread panics surfaced as [`SpecSyncError::ThreadPanicked`]
-/// instead of propagated panics. Uses the wall clock.
+/// [`run`] with invalid configurations and thread panics surfaced as
+/// [`SpecSyncError`] values instead of propagated panics. Uses the wall
+/// clock and discards telemetry.
 pub fn try_run(
     workload: &Workload,
     config: &RuntimeConfig,
@@ -69,7 +87,20 @@ pub fn try_run_with_clock(
     config: &RuntimeConfig,
     clock: Arc<dyn ClockSource>,
 ) -> Result<RuntimeReport, SpecSyncError> {
-    config.validate();
+    try_run_with_sink(workload, config, clock, Arc::new(NullSink))
+}
+
+/// [`try_run_with_clock`] with the run's protocol events routed to `sink`,
+/// stamped with elapsed time on `clock`. The sink is shared by the server,
+/// scheduler and every worker thread, so implementations must tolerate
+/// concurrent `record` calls (all bundled sinks do).
+pub fn try_run_with_sink(
+    workload: &Workload,
+    config: &RuntimeConfig,
+    clock: Arc<dyn ClockSource>,
+    sink: Arc<dyn EventSink<Duration>>,
+) -> Result<RuntimeReport, SpecSyncError> {
+    config.try_validate()?;
     let m = config.workers;
     let start = clock.now();
     let stop = Arc::new(AtomicBool::new(false));
@@ -102,6 +133,7 @@ pub fn try_run_with_clock(
         let total_pushes = Arc::clone(&total_pushes);
         let eval_stride = config.eval_stride;
         let clock = Arc::clone(&clock);
+        let sink = Arc::clone(&sink);
         let run_start = start;
         let workers = m;
         thread::spawn(move || {
@@ -109,24 +141,43 @@ pub fn try_run_with_clock(
             let mut epochs = 0u64;
             while let Ok(msg) = server_rx.recv() {
                 match msg {
-                    ServerMsg::Pull { reply } => {
+                    ServerMsg::Pull { worker, reply } => {
+                        let staleness = store.staleness_of(worker);
+                        sink.record(
+                            elapsed_since(clock.as_ref(), run_start),
+                            &Event::Pull { worker, staleness },
+                        );
                         // A send fails only if the worker already exited.
-                        let _ = reply.send(store.params().to_vec());
+                        let _ = reply.send(store.pull(worker).into_shared());
                     }
                     ServerMsg::Push { worker, grad } => {
                         let lr = lr_schedule.lr_at(epochs) as f32;
                         store.apply_push(worker, &grad, lr);
                         per_worker[worker.index()] += 1;
                         let applied = total_pushes.fetch_add(1, Ordering::Relaxed) + 1;
+                        sink.record(
+                            elapsed_since(clock.as_ref(), run_start),
+                            &Event::Push {
+                                worker,
+                                iteration: applied,
+                            },
+                        );
                         let min = per_worker.iter().min().copied().unwrap_or(0);
                         if min > epochs {
                             epochs = min;
                         }
                         if applied.is_multiple_of(eval_stride) {
                             let loss = eval.loss_of(store.params());
-                            let elapsed = clock.now().saturating_sub(run_start);
-                            loss_curve.lock().push(WallLossPoint {
+                            let elapsed = elapsed_since(clock.as_ref(), run_start);
+                            sink.record(
                                 elapsed,
+                                &Event::Eval {
+                                    iterations: applied,
+                                    loss,
+                                },
+                            );
+                            loss_curve.lock().push(WallLossPoint {
+                                time: elapsed,
                                 iterations: applied,
                                 loss,
                             });
@@ -147,15 +198,22 @@ pub fn try_run_with_clock(
     // ---- Scheduler thread: Algorithm 2 with real timers. ----
     let scheduler = {
         let tuning = match config.scheme {
-            RuntimeScheme::SpecSync(t) => t,
-            RuntimeScheme::Asp => TuningMode::Fixed {
-                abort_time: specsync_simnet::SimDuration::ZERO,
+            SchemeKind::SpecSync { tuning, .. } => tuning,
+            // ASP (the only other scheme try_validate admits) keeps the
+            // scheduler as a pure history recorder: speculation disabled.
+            _ => TuningMode::Fixed {
+                abort_time: SimDuration::ZERO,
                 abort_rate: f64::MAX,
             },
         };
+        // The core scheduler keeps its NullSink: its sink is typed on
+        // VirtualTime, while this host's trace runs on wall Duration. The
+        // thread re-emits the scheduler's decisions with wall timestamps.
         let mut core = Scheduler::new(m, tuning);
         let resync_txs = resync_txs.clone();
         let clock = Arc::clone(&clock);
+        let sink = Arc::clone(&sink);
+        let run_start = start;
         thread::spawn(move || {
             let origin = clock.now();
             let now_vt =
@@ -171,6 +229,10 @@ pub fn try_run_with_clock(
                     if timers[i].0 <= now {
                         let (deadline, worker) = timers.swap_remove(i);
                         if core.on_check(worker, deadline) {
+                            sink.record(
+                                elapsed_since(clock.as_ref(), run_start),
+                                &Event::AbortIssued { worker },
+                            );
                             // A full channel means a resync is already
                             // pending for this worker; dropping is safe.
                             let _ = resync_txs[worker.index()].try_send(());
@@ -191,6 +253,10 @@ pub fn try_run_with_clock(
                     Ok(SchedMsg::Pull { worker }) => core.on_pull(worker, now_vt()),
                     Ok(SchedMsg::Notify { worker }) => {
                         let now = now_vt();
+                        sink.record(
+                            elapsed_since(clock.as_ref(), run_start),
+                            &Event::Notify { worker },
+                        );
                         if let Some(deadline) = core.on_notify(worker, now) {
                             timers.push((deadline, worker));
                         }
@@ -198,7 +264,17 @@ pub fn try_run_with_clock(
                         let min = per_worker.iter().min().copied().unwrap_or(0);
                         while min > epochs {
                             epochs += 1;
-                            core.on_epoch_complete(now);
+                            let tuned = core.on_epoch_complete(now);
+                            let hyper = core.hyperparams();
+                            sink.record(
+                                elapsed_since(clock.as_ref(), run_start),
+                                &Event::EpochTuned {
+                                    epoch: epochs,
+                                    abort_time: hyper.abort_time(),
+                                    abort_rate: hyper.abort_rate(),
+                                    estimated_gain: tuned.as_ref().map(|o| o.estimated_improvement),
+                                },
+                            );
                         }
                     }
                     Ok(SchedMsg::Shutdown) => break,
@@ -219,15 +295,33 @@ pub fn try_run_with_clock(
         let stop = Arc::clone(&stop);
         let aborts = Arc::clone(&aborts);
         let clock = Arc::clone(&clock);
+        let sink = Arc::clone(&sink);
+        let run_start = start;
         let mut sampler = workload.sampler_for(model.as_ref(), i, config.seed ^ 0xBA7C);
         let pad = config.compute_pad;
         let poll = config.abort_poll;
         worker_handles.push(thread::spawn(move || {
+            let state = |phase: WorkerPhase| {
+                sink.record(
+                    elapsed_since(clock.as_ref(), run_start),
+                    &Event::WorkerState {
+                        worker,
+                        state: phase,
+                    },
+                );
+            };
             let mut grad = vec![0.0f32; model.num_params()];
             'training: while !stop.load(Ordering::SeqCst) {
                 // Pull.
+                state(WorkerPhase::Pulling);
                 let (reply_tx, reply_rx) = bounded(1);
-                if server_tx.send(ServerMsg::Pull { reply: reply_tx }).is_err() {
+                if server_tx
+                    .send(ServerMsg::Pull {
+                        worker,
+                        reply: reply_tx,
+                    })
+                    .is_err()
+                {
                     break;
                 }
                 let Ok(params) = reply_rx.recv() else { break };
@@ -236,6 +330,7 @@ pub fn try_run_with_clock(
                 while resync_rx.try_recv().is_ok() {}
 
                 // Compute (abortable during the padded span).
+                state(WorkerPhase::Computing);
                 'attempt: loop {
                     model.set_params(&params);
                     let batch = sampler.next_batch();
@@ -249,14 +344,32 @@ pub fn try_run_with_clock(
                         if resync_rx.try_recv().is_ok() {
                             // Abort: re-pull fresh parameters and restart.
                             aborts.fetch_add(1, Ordering::Relaxed);
+                            let wasted = clock.now().saturating_sub(compute_start);
+                            sink.record(
+                                elapsed_since(clock.as_ref(), run_start),
+                                &Event::Resync {
+                                    worker,
+                                    wasted: SimDuration::from_micros(
+                                        wasted.as_micros().min(u64::MAX as u128) as u64,
+                                    ),
+                                },
+                            );
+                            state(WorkerPhase::Pulling);
                             let (reply_tx, reply_rx) = bounded(1);
-                            if server_tx.send(ServerMsg::Pull { reply: reply_tx }).is_err() {
+                            if server_tx
+                                .send(ServerMsg::Pull {
+                                    worker,
+                                    reply: reply_tx,
+                                })
+                                .is_err()
+                            {
                                 break 'training;
                             }
                             let Ok(fresh) = reply_rx.recv() else {
                                 break 'training;
                             };
                             let _ = sched_tx.send(SchedMsg::Pull { worker });
+                            state(WorkerPhase::Computing);
                             model.set_params(&fresh);
                             let batch = sampler.next_batch();
                             model.gradient(&batch, &mut grad);
@@ -267,6 +380,7 @@ pub fn try_run_with_clock(
                 }
 
                 // Push + notify.
+                state(WorkerPhase::Pushing);
                 if server_tx
                     .send(ServerMsg::Push {
                         worker,
@@ -297,6 +411,7 @@ pub fn try_run_with_clock(
     // worker panic cannot leave the server/scheduler running detached.
     let scheduler_panicked = scheduler.join().is_err();
     let server_panicked = server.join().is_err();
+    sink.flush();
     if worker_panicked {
         return Err(SpecSyncError::ThreadPanicked { role: "worker" });
     }
@@ -314,12 +429,12 @@ pub fn try_run_with_clock(
     curve.sort_by_key(|p| p.iterations);
     let converged = *converged_at.lock();
     Ok(RuntimeReport {
-        scheme: config.scheme.label().to_string(),
+        scheme: config.scheme.label(),
         workers: m,
         converged_at: converged,
         total_iterations: total_pushes.load(Ordering::Relaxed),
         total_aborts: aborts.load(Ordering::Relaxed),
-        loss_curve: curve,
+        loss_curve: LossCurve::from(curve),
         elapsed,
     })
 }

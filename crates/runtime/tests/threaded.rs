@@ -1,12 +1,14 @@
 //! Integration tests for the threaded runtime: the protocol must behave
 //! under real concurrency.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use specsync_ml::Workload;
-use specsync_runtime::{run, RuntimeConfig, RuntimeScheme};
+use specsync_runtime::{run, try_run_with_sink, RuntimeConfig, WallClock};
 use specsync_simnet::SimDuration;
-use specsync_sync::TuningMode;
+use specsync_sync::SchemeKind;
+use specsync_telemetry::{Event, EventSink, InMemorySink};
 
 fn base_config() -> RuntimeConfig {
     RuntimeConfig {
@@ -38,13 +40,9 @@ fn asp_makes_progress_on_real_threads() {
 #[test]
 fn specsync_fixed_aborts_under_load() {
     let config = RuntimeConfig {
-        scheme: RuntimeScheme::SpecSync(TuningMode::Fixed {
-            // Window shorter than the compute pad and a permissive
-            // threshold: with 4 workers pushing every ~5 ms, aborts must
-            // occur.
-            abort_time: SimDuration::from_millis(3),
-            abort_rate: 0.25,
-        }),
+        // Window shorter than the compute pad and a permissive threshold:
+        // with 4 workers pushing every ~5 ms, aborts must occur.
+        scheme: SchemeKind::specsync_fixed(SimDuration::from_millis(3), 0.25),
         ..base_config()
     };
     let report = run(&Workload::tiny_test(), &config);
@@ -58,7 +56,7 @@ fn specsync_fixed_aborts_under_load() {
 #[test]
 fn specsync_adaptive_runs_and_completes() {
     let config = RuntimeConfig {
-        scheme: RuntimeScheme::SpecSync(TuningMode::Adaptive),
+        scheme: SchemeKind::specsync_adaptive(),
         max_duration: Duration::from_millis(1200),
         ..base_config()
     };
@@ -94,6 +92,44 @@ fn loss_curve_iterations_are_monotone() {
         .loss_curve
         .windows(2)
         .all(|w| w[0].iterations < w[1].iterations));
+}
+
+#[test]
+fn sink_observes_the_run_it_was_handed() {
+    let config = RuntimeConfig {
+        scheme: SchemeKind::specsync_fixed(SimDuration::from_millis(3), 0.25),
+        ..base_config()
+    };
+    let sink = Arc::new(InMemorySink::<Duration>::new());
+    let report = try_run_with_sink(
+        &Workload::tiny_test(),
+        &config,
+        Arc::new(WallClock::new()),
+        Arc::clone(&sink) as Arc<dyn EventSink<Duration>>,
+    )
+    .expect("valid config");
+
+    let events = sink.take();
+    let count = |f: &dyn Fn(&Event) -> bool| events.iter().filter(|(_, e)| f(e)).count() as u64;
+    assert_eq!(
+        count(&|e| matches!(e, Event::Push { .. })),
+        report.total_iterations,
+        "every applied push must be traced"
+    );
+    assert_eq!(
+        count(&|e| matches!(e, Event::Resync { .. })),
+        report.total_aborts,
+        "every abort must be traced as a re-sync"
+    );
+    assert_eq!(
+        count(&|e| matches!(e, Event::Eval { .. })) as usize,
+        report.loss_curve.len(),
+        "every loss sample must be traced"
+    );
+    // Wall timestamps are monotone non-decreasing in emission order per
+    // thread; globally they must at least stay within the run's span.
+    let max_t = events.iter().map(|(t, _)| *t).max().expect("events exist");
+    assert!(max_t <= report.elapsed + Duration::from_millis(500));
 }
 
 #[test]

@@ -1,0 +1,214 @@
+//! The loss-over-time series shared by both execution hosts.
+//!
+//! The simulator's `RunReport` and the threaded runtime's `RuntimeReport`
+//! previously carried separate point types with duplicated
+//! `final_loss`/`best_loss` logic. [`LossCurve`] unifies them: the
+//! simulator instantiates it with
+//! [`VirtualTime`](specsync_simnet::VirtualTime), the runtime with
+//! [`Duration`](std::time::Duration).
+
+use std::ops::Deref;
+
+/// One loss observation at a moment of type `T`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossSample<T> {
+    /// When the observation was taken (virtual or wall time).
+    pub time: T,
+    /// Total pushes applied when the observation was taken (the paper's
+    /// "accumulated iterations").
+    pub iterations: u64,
+    /// Evaluation loss of the global parameters.
+    pub loss: f64,
+}
+
+/// An append-only series of loss observations, ordered by insertion.
+///
+/// Dereferences to a slice, so all read-only slice methods apply.
+///
+/// # Examples
+///
+/// ```
+/// use specsync_simnet::VirtualTime;
+/// use specsync_telemetry::{LossCurve, LossSample};
+///
+/// let mut curve: LossCurve<VirtualTime> = LossCurve::new();
+/// curve.push(LossSample { time: VirtualTime::from_secs(1), iterations: 1, loss: 0.9 });
+/// curve.push(LossSample { time: VirtualTime::from_secs(2), iterations: 2, loss: 0.4 });
+/// assert_eq!(curve.final_loss(), Some(0.4));
+/// assert_eq!(curve.best_loss(), Some(0.4));
+/// assert_eq!(curve.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossCurve<T> {
+    samples: Vec<LossSample<T>>,
+}
+
+impl<T> Default for LossCurve<T> {
+    fn default() -> Self {
+        LossCurve {
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl<T> LossCurve<T> {
+    /// An empty curve.
+    pub fn new() -> Self {
+        LossCurve::default()
+    }
+
+    /// Appends one observation.
+    pub fn push(&mut self, sample: LossSample<T>) {
+        self.samples.push(sample);
+    }
+
+    /// The observations as a slice.
+    pub fn samples(&self) -> &[LossSample<T>] {
+        &self.samples
+    }
+
+    /// The loss of the last observation.
+    pub fn final_loss(&self) -> Option<f64> {
+        self.samples.last().map(|p| p.loss)
+    }
+
+    /// The lowest non-NaN loss observed.
+    pub fn best_loss(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .map(|p| p.loss)
+            .filter(|l| !l.is_nan())
+            .min_by(|a, b| a.total_cmp(b))
+    }
+}
+
+impl<T: PartialOrd + Copy> LossCurve<T> {
+    /// The lowest non-NaN loss observed at or before `t` (for fixed-budget
+    /// comparisons). Assumes observations were pushed in time order.
+    pub fn best_loss_by(&self, t: T) -> Option<f64> {
+        self.samples
+            .iter()
+            .take_while(|p| p.time <= t)
+            .map(|p| p.loss)
+            .filter(|l| !l.is_nan())
+            .min_by(|a, b| a.total_cmp(b))
+    }
+}
+
+impl<T: Copy> LossCurve<T> {
+    /// Downsamples to at most `points` evenly spaced observations (for
+    /// printing). `points == 0` returns the full curve.
+    pub fn sampled(&self, points: usize) -> Vec<LossSample<T>> {
+        if points == 0 || self.samples.len() <= points {
+            return self.samples.clone();
+        }
+        let stride = self.samples.len().div_ceil(points);
+        self.samples.iter().copied().step_by(stride).collect()
+    }
+}
+
+impl<T> Deref for LossCurve<T> {
+    type Target = [LossSample<T>];
+    fn deref(&self) -> &Self::Target {
+        &self.samples
+    }
+}
+
+impl<T> From<Vec<LossSample<T>>> for LossCurve<T> {
+    fn from(samples: Vec<LossSample<T>>) -> Self {
+        LossCurve { samples }
+    }
+}
+
+impl<T> FromIterator<LossSample<T>> for LossCurve<T> {
+    fn from_iter<I: IntoIterator<Item = LossSample<T>>>(iter: I) -> Self {
+        LossCurve {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a LossCurve<T> {
+    type Item = &'a LossSample<T>;
+    type IntoIter = std::slice::Iter<'a, LossSample<T>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+impl<T> IntoIterator for LossCurve<T> {
+    type Item = LossSample<T>;
+    type IntoIter = std::vec::IntoIter<LossSample<T>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specsync_simnet::VirtualTime;
+    use std::time::Duration;
+
+    fn curve(points: &[(u64, f64)]) -> LossCurve<VirtualTime> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &(secs, loss))| LossSample {
+                time: VirtualTime::from_secs(secs),
+                iterations: i as u64 + 1,
+                loss,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn best_loss_ignores_nan() {
+        let c = curve(&[(1, 1.0), (2, f64::NAN), (3, 0.5)]);
+        assert_eq!(c.best_loss(), Some(0.5));
+        assert_eq!(c.final_loss(), Some(0.5));
+    }
+
+    #[test]
+    fn best_loss_by_respects_budget() {
+        let c = curve(&[(1, 0.9), (2, 0.5), (3, 0.7), (4, 0.2)]);
+        assert_eq!(c.best_loss_by(VirtualTime::from_secs(2)), Some(0.5));
+        assert_eq!(c.best_loss_by(VirtualTime::from_secs(10)), Some(0.2));
+        assert_eq!(c.best_loss_by(VirtualTime::ZERO), None);
+    }
+
+    #[test]
+    fn sampled_caps_length() {
+        let points: Vec<(u64, f64)> = (0..100).map(|i| (i, 1.0)).collect();
+        let c = curve(&points);
+        assert!(c.sampled(10).len() <= 10);
+        assert_eq!(c.sampled(1000).len(), 100);
+        assert_eq!(c.sampled(0).len(), 100);
+    }
+
+    #[test]
+    fn slice_methods_via_deref() {
+        let c = curve(&[(1, 0.9), (2, 0.5)]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.last().map(|p| p.loss), Some(0.5));
+        let mut seen = 0;
+        for p in &c {
+            assert!(p.loss > 0.0);
+            seen += 1;
+        }
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn works_with_wall_time() {
+        let mut c: LossCurve<Duration> = LossCurve::new();
+        c.push(LossSample {
+            time: Duration::from_millis(10),
+            iterations: 1,
+            loss: 0.3,
+        });
+        assert_eq!(c.best_loss_by(Duration::from_millis(5)), None);
+        assert_eq!(c.best_loss_by(Duration::from_millis(10)), Some(0.3));
+    }
+}

@@ -1,0 +1,208 @@
+//! The typed event model: what the protocol emits, independent of which
+//! clock stamped it.
+
+use std::time::Duration;
+
+use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+
+/// A trace timestamp: anything that reduces to a monotone microsecond
+/// count from the start of the run.
+///
+/// The simulator stamps events with [`VirtualTime`]; the threaded runtime
+/// stamps them with the [`Duration`] elapsed on its injected clock. Both
+/// serialize identically, so one trace format and one set of analysis
+/// tools covers both hosts.
+pub trait Timestamp: Copy + Send + Sync + std::fmt::Debug + 'static {
+    /// Microseconds since the start of the run.
+    fn as_trace_micros(self) -> u64;
+}
+
+impl Timestamp for VirtualTime {
+    fn as_trace_micros(self) -> u64 {
+        self.as_micros()
+    }
+}
+
+impl Timestamp for Duration {
+    fn as_trace_micros(self) -> u64 {
+        // A run longer than ~584k years of wall time is not representable;
+        // saturate rather than wrap.
+        u64::try_from(self.as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// The coarse lifecycle phase of a worker (mirrors the driver's state
+/// machine: pull in flight → computing → push in flight → gated idle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerPhase {
+    /// Waiting on a scheme gate (BSP barrier, SSP clock, naïve-wait delay).
+    Idle,
+    /// Pull request in flight.
+    Pulling,
+    /// Gradient computation in progress (abortable).
+    Computing,
+    /// Push in flight.
+    Pushing,
+}
+
+impl WorkerPhase {
+    /// Stable lowercase label used in serialized traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkerPhase::Idle => "idle",
+            WorkerPhase::Pulling => "pulling",
+            WorkerPhase::Computing => "computing",
+            WorkerPhase::Pushing => "pushing",
+        }
+    }
+
+    /// Parses a serialized [`label`](Self::label) back into a phase.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Some(match label {
+            "idle" => WorkerPhase::Idle,
+            "pulling" => WorkerPhase::Pulling,
+            "computing" => WorkerPhase::Computing,
+            "pushing" => WorkerPhase::Pushing,
+            _ => return None,
+        })
+    }
+}
+
+/// One protocol event. Timestamps are carried separately (see
+/// [`EventSink::record`](crate::EventSink::record)), so the payload is the
+/// same for virtual-time and wall-clock hosts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A worker issued a pull; `staleness` is the number of pushes applied
+    /// to the store since the worker's previous pull (the quantity the
+    /// paper's freshness argument is about).
+    Pull {
+        /// The pulling worker.
+        worker: WorkerId,
+        /// Pushes the replica being replaced had missed.
+        staleness: u64,
+    },
+    /// A gradient push was applied to the global parameters.
+    Push {
+        /// The pushing worker.
+        worker: WorkerId,
+        /// Total pushes applied after this one (the paper's "accumulated
+        /// iterations").
+        iteration: u64,
+    },
+    /// The scheduler received a worker's `notify` (Algorithm 2,
+    /// `HandleNotification`).
+    Notify {
+        /// The notifying worker.
+        worker: WorkerId,
+    },
+    /// The scheduler decided to instruct the worker to abort (Algorithm 2,
+    /// `CheckResync` fired).
+    AbortIssued {
+        /// The worker being told to re-sync.
+        worker: WorkerId,
+    },
+    /// A worker actually aborted its in-flight computation and re-pulled.
+    Resync {
+        /// The aborting worker.
+        worker: WorkerId,
+        /// Compute time thrown away by the abort.
+        wasted: SimDuration,
+    },
+    /// An epoch closed and the hyperparameters in force were (re)installed.
+    /// In adaptive mode this is one Algorithm-1 pass; `estimated_gain` is
+    /// the tuner's estimated freshness improvement `F̃(Δ*)` for the chosen
+    /// window (`None` when speculation stayed disabled or the mode is
+    /// fixed).
+    EpochTuned {
+        /// The epoch index just closed (1-based).
+        epoch: u64,
+        /// The installed speculation window `ABORT_TIME`.
+        abort_time: SimDuration,
+        /// The installed push-rate threshold `ABORT_RATE`.
+        abort_rate: f64,
+        /// The tuner's `F̃(Δ*)` estimate, when a tuning pass produced one.
+        estimated_gain: Option<f64>,
+    },
+    /// The global loss was evaluated.
+    Eval {
+        /// Total pushes applied at evaluation time.
+        iterations: u64,
+        /// The evaluated loss.
+        loss: f64,
+    },
+    /// A worker transitioned lifecycle phase.
+    WorkerState {
+        /// The transitioning worker.
+        worker: WorkerId,
+        /// The phase entered.
+        state: WorkerPhase,
+    },
+}
+
+impl Event {
+    /// The worker the event concerns, if it is worker-scoped.
+    pub fn worker(&self) -> Option<WorkerId> {
+        match self {
+            Event::Pull { worker, .. }
+            | Event::Push { worker, .. }
+            | Event::Notify { worker }
+            | Event::AbortIssued { worker }
+            | Event::Resync { worker, .. }
+            | Event::WorkerState { worker, .. } => Some(*worker),
+            Event::EpochTuned { .. } | Event::Eval { .. } => None,
+        }
+    }
+
+    /// Stable lowercase tag used in serialized traces.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::Pull { .. } => "pull",
+            Event::Push { .. } => "push",
+            Event::Notify { .. } => "notify",
+            Event::AbortIssued { .. } => "abort_issued",
+            Event::Resync { .. } => "resync",
+            Event::EpochTuned { .. } => "epoch_tuned",
+            Event::Eval { .. } => "eval",
+            Event::WorkerState { .. } => "state",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_reduce_to_micros() {
+        assert_eq!(VirtualTime::from_secs(2).as_trace_micros(), 2_000_000);
+        assert_eq!(Duration::from_millis(3).as_trace_micros(), 3_000);
+    }
+
+    #[test]
+    fn worker_scoping() {
+        let w = WorkerId::new(3);
+        assert_eq!(Event::Notify { worker: w }.worker(), Some(w));
+        assert_eq!(
+            Event::Eval {
+                iterations: 1,
+                loss: 0.5
+            }
+            .worker(),
+            None
+        );
+    }
+
+    #[test]
+    fn phase_labels_round_trip() {
+        for phase in [
+            WorkerPhase::Idle,
+            WorkerPhase::Pulling,
+            WorkerPhase::Computing,
+            WorkerPhase::Pushing,
+        ] {
+            assert_eq!(WorkerPhase::from_label(phase.label()), Some(phase));
+        }
+        assert_eq!(WorkerPhase::from_label("warp-drive"), None);
+    }
+}

@@ -3,11 +3,14 @@
 //! Classification is by crate, mirroring the architecture in DESIGN.md:
 //!
 //! * **Deterministic** — `simnet`, `tensor`, `ml`, `ps`, `sync`, `core`,
-//!   `cluster`, `runtime`: everything the virtual-time simulator executes.
+//!   `telemetry`, `cluster`, `runtime`: everything the virtual-time
+//!   simulator executes.
 //!   Same seed must mean bit-identical traces, so all four lint classes
 //!   apply. (`runtime` is real-threaded by design, but its wall-clock use
 //!   is confined to the annotated `ClockSource` impl — everything else in
-//!   the crate must stay clock-free.)
+//!   the crate must stay clock-free. `telemetry` timestamps come from the
+//!   host's injected clock, never an ambient one — the same-seed
+//!   byte-identical-trace guarantee depends on it.)
 //! * **Library** — the facade crate (`src/`): `no-panic` only.
 //! * **Harness** — `bench` (experiment binaries + their helpers) and
 //!   `xtask` itself: exempt. These are leaf executables whose panics and
@@ -34,9 +37,8 @@ pub enum CrateClass {
 /// Classifies a workspace crate by directory name.
 pub fn classify(crate_name: &str) -> CrateClass {
     match crate_name {
-        "simnet" | "tensor" | "ml" | "ps" | "sync" | "core" | "cluster" | "runtime" => {
-            CrateClass::Deterministic
-        }
+        "simnet" | "tensor" | "ml" | "ps" | "sync" | "core" | "telemetry" | "cluster"
+        | "runtime" => CrateClass::Deterministic,
         "bench" | "xtask" => CrateClass::Harness,
         _ => CrateClass::Library,
     }
@@ -122,7 +124,15 @@ mod tests {
     #[test]
     fn deterministic_set_matches_design() {
         for c in [
-            "simnet", "tensor", "ml", "ps", "sync", "core", "cluster", "runtime",
+            "simnet",
+            "tensor",
+            "ml",
+            "ps",
+            "sync",
+            "core",
+            "telemetry",
+            "cluster",
+            "runtime",
         ] {
             assert_eq!(classify(c), CrateClass::Deterministic, "{c}");
         }

@@ -7,17 +7,14 @@
 
 use std::time::Duration;
 
-use specsync::runtime::{run, RuntimeConfig, RuntimeScheme};
-use specsync::{SimDuration, TuningMode, Workload};
+use specsync::runtime::{run, RuntimeConfig};
+use specsync::{SchemeKind, SimDuration, Workload};
 
 fn main() {
     let schemes = [
-        RuntimeScheme::Asp,
-        RuntimeScheme::SpecSync(TuningMode::Fixed {
-            abort_time: SimDuration::from_millis(4),
-            abort_rate: 0.25,
-        }),
-        RuntimeScheme::SpecSync(TuningMode::Adaptive),
+        SchemeKind::Asp,
+        SchemeKind::specsync_fixed(SimDuration::from_millis(4), 0.25),
+        SchemeKind::specsync_adaptive(),
     ];
     println!("6 worker threads, 8 ms padded iterations, 2 s wall budget\n");
     for scheme in schemes {

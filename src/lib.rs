@@ -24,6 +24,8 @@
 //! - [`ps`] — the sharded asynchronous parameter server;
 //! - [`runtime`] — a real multi-threaded deployment of the same protocol;
 //! - [`sync`] — ASP/BSP/SSP/naïve-waiting schemes;
+//! - [`telemetry`] — typed protocol event traces and metrics sinks shared
+//!   by the simulator and the threaded runtime;
 //! - [`simnet`] — the deterministic discrete-event engine.
 //!
 //! # Quickstart
@@ -52,6 +54,7 @@ pub use specsync_ps as ps;
 pub use specsync_runtime as runtime;
 pub use specsync_simnet as simnet;
 pub use specsync_sync as sync;
+pub use specsync_telemetry as telemetry;
 
 pub use specsync_cluster::{
     ClusterSpec, Driver, DriverConfig, InstanceType, LossPoint, RunReport, Trainer,
@@ -64,3 +67,6 @@ pub use specsync_ml::{LrSchedule, Model, Workload, WorkloadKind};
 pub use specsync_ps::{ParamSnapshot, ParameterStore};
 pub use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
 pub use specsync_sync::{BaseScheme, SchemeKind, TuningMode};
+pub use specsync_telemetry::{
+    Event, EventSink, InMemorySink, JsonlSink, LossCurve, LossSample, MetricsSink, NullSink,
+};
