@@ -1,0 +1,166 @@
+//! Chaos experiment: how gracefully does each scheme degrade under faults?
+//!
+//! Runs every scheme (Original/ASP, SSP, BSP, SpecSync-Adaptive) on the
+//! same cluster under three fault profiles and reports the
+//! time-to-target-loss degradation relative to that scheme's fault-free
+//! baseline:
+//!
+//! - **fault-free** — the baseline; the chaos counters must all be zero.
+//! - **lossy** — 10% of notifies dropped, 5% of data messages dropped,
+//!   2% duplicated, occasional delay spikes.
+//! - **chaos** — the lossy network plus one straggler window and two
+//!   worker crash/recover cycles.
+//!
+//! Everything is seeded and replayed in virtual time, so every cell of
+//! the table is reproducible (`cargo run -p specsync-bench --bin chaos`).
+
+use specsync_bench::{fmt_time, section, time_to_target, RunMatrix};
+use specsync_cluster::{ClusterSpec, InstanceType, Trainer};
+use specsync_ml::Workload;
+use specsync_simnet::{
+    CrashEvent, DurationSampler, FaultPlan, LinkFaultProfile, MessageClass, RngStreams,
+    StragglerWindow, VirtualTime, WorkerId,
+};
+use specsync_sync::SchemeKind;
+
+/// A named fault profile: `None` is the fault-free baseline.
+type Profile = (&'static str, fn(u64) -> Option<FaultPlan>);
+
+const WORKERS: usize = 8;
+const SEED: u64 = 42;
+const HORIZON_SECS: u64 = 200;
+
+/// The lossy-network profile: notify loss well above the acceptance bar
+/// (10%), light data loss, duplicates and delay spikes.
+fn lossy_plan(seed: u64) -> FaultPlan {
+    let streams = RngStreams::new(seed);
+    let data = LinkFaultProfile {
+        drop_prob: 0.05,
+        duplicate_prob: 0.02,
+        spike_prob: 0.01,
+        spike: DurationSampler::Constant { secs: 0.05 },
+    };
+    FaultPlan::new(&streams)
+        .with_profile(MessageClass::Notify, LinkFaultProfile::drop_only(0.10))
+        .with_profile(MessageClass::PullParams, data)
+        .with_profile(MessageClass::PushGrad, data)
+        .with_profile(MessageClass::Resync, LinkFaultProfile::drop_only(0.05))
+}
+
+/// The full chaos profile: the lossy network plus one straggler window
+/// and two crash/recover cycles. The events are packed into the first
+/// seconds of the run because the tiny workload converges in under ten
+/// virtual seconds — they must land while training is still in flight.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    lossy_plan(seed)
+        .with_straggler(StragglerWindow {
+            worker: WorkerId::new(1),
+            start: VirtualTime::from_secs(1),
+            end: VirtualTime::from_secs(4),
+            slowdown: 3.0,
+        })
+        .with_crash(CrashEvent {
+            worker: WorkerId::new(2),
+            at: VirtualTime::from_secs(2),
+            recover_at: Some(VirtualTime::from_secs(5)),
+        })
+        .with_crash(CrashEvent {
+            worker: WorkerId::new(3),
+            at: VirtualTime::from_secs(3),
+            recover_at: Some(VirtualTime::from_secs(6)),
+        })
+}
+
+fn main() {
+    let workload = Workload::tiny_test();
+    let target = workload.target_loss;
+    section(&format!(
+        "Chaos: loss-vs-time degradation under fault injection ({WORKERS} workers, target {target})"
+    ));
+
+    let profiles: [Profile; 3] = [
+        ("fault-free", |_| None),
+        ("lossy", |s| Some(lossy_plan(s))),
+        ("chaos", |s| Some(chaos_plan(s))),
+    ];
+    let schemes = [
+        ("Original", SchemeKind::Asp),
+        ("SSP(3)", SchemeKind::Ssp { bound: 3 }),
+        ("BSP", SchemeKind::Bsp),
+        ("SpecSync-Adaptive", SchemeKind::specsync_adaptive()),
+    ];
+
+    // All (profile × scheme) runs are independent: fan out at once.
+    let mut matrix = RunMatrix::new();
+    for (profile, plan) in profiles {
+        for (label, scheme) in schemes {
+            let mut trainer = Trainer::new(workload.clone(), scheme)
+                .cluster(ClusterSpec::homogeneous(WORKERS, InstanceType::M4Xlarge))
+                .horizon(VirtualTime::from_secs(HORIZON_SECS))
+                .eval_stride(4)
+                .seed(SEED);
+            if let Some(plan) = plan(SEED) {
+                trainer = trainer.faults(plan);
+            }
+            matrix.add((profile, label), trainer);
+        }
+    }
+    let reports = matrix.run();
+
+    // Index the fault-free runs so each faulted run can report its own
+    // scheme's baseline.
+    let baseline = |label: &str| {
+        reports
+            .iter()
+            .find(|((p, l), _)| *p == "fault-free" && *l == label)
+            .map(|(_, r)| r)
+            .expect("every scheme has a fault-free run")
+    };
+
+    for (profile, _) in profiles {
+        println!("\n{profile}:");
+        println!(
+            "{:>18} {:>12} {:>12} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8}",
+            "scheme",
+            "t-target",
+            "degrade",
+            "iters",
+            "aborts",
+            "drops",
+            "retries",
+            "crashes",
+            "reissue"
+        );
+        for (label, _) in schemes {
+            let report = &reports
+                .iter()
+                .find(|((p, l), _)| *p == profile && *l == label)
+                .expect("run exists")
+                .1;
+            let t = time_to_target(report, target);
+            let degrade = match (t, time_to_target(baseline(label), target)) {
+                (Some(mine), Some(base)) if base.as_micros() > 0 => {
+                    format!("{:.2}x", mine.as_secs_f64() / base.as_secs_f64())
+                }
+                _ => "--".to_string(),
+            };
+            println!(
+                "{:>18} {:>12} {:>12} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8}",
+                label,
+                fmt_time(t),
+                degrade,
+                report.total_iterations,
+                report.total_aborts,
+                report.chaos.dropped_messages,
+                report.chaos.retries,
+                report.chaos.crashes,
+                report.chaos.abort_reissues,
+            );
+        }
+    }
+
+    println!(
+        "\nDegradation is time-to-target under the profile over the scheme's own \
+         fault-free baseline; '--' means the target was not reached within {HORIZON_SECS}s."
+    );
+}

@@ -149,8 +149,10 @@ struct WorkerTimeline {
     aborts_issued: u64,
     resyncs: u64,
     wasted_micros: u64,
+    /// Injected faults and degradation decisions touching this worker.
+    faults: u64,
     /// Micros spent in each phase, indexed by [`phase_index`].
-    phase_micros: [u64; 4],
+    phase_micros: [u64; 5],
     current_phase: Option<(WorkerPhase, u64)>,
     /// Time of the worker's most recent pull (for gain attribution).
     last_pull_at: Option<u64>,
@@ -164,6 +166,7 @@ fn phase_index(p: WorkerPhase) -> usize {
         WorkerPhase::Pulling => 1,
         WorkerPhase::Computing => 2,
         WorkerPhase::Pushing => 3,
+        WorkerPhase::Dead => 4,
     }
 }
 
@@ -325,7 +328,16 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
                     tl.wasted_micros += wasted.as_micros();
                 }
                 Event::WorkerState { state, .. } => tl.enter_phase(*state, t),
-                Event::EpochTuned { .. } | Event::Eval { .. } => {}
+                Event::Fault { .. }
+                | Event::WorkerCrashed { .. }
+                | Event::WorkerRecovered { .. }
+                | Event::Straggler { .. }
+                | Event::Membership { .. }
+                | Event::NotifyLoss { .. }
+                | Event::AbortReissued { .. }
+                | Event::PushFenced { .. }
+                | Event::RetryScheduled { .. } => tl.faults += 1,
+                Event::EpochTuned { .. } | Event::Eval { .. } | Event::StoreRecovered { .. } => {}
             }
         }
     }
@@ -407,8 +419,8 @@ fn summarize(path: &str) -> ExitCode {
 
     println!("\nper-worker timelines:");
     println!(
-        "{:>3} {:>6} {:>6} {:>9} {:>9} {:>7} {:>7} {:>9}  phase share i/p/c/s",
-        "w", "pulls", "pushes", "T_i(ms)", "stale/pl", "aborts", "resync", "waste(ms)"
+        "{:>3} {:>6} {:>6} {:>9} {:>9} {:>7} {:>7} {:>9} {:>6}  phase share i/p/c/s/d",
+        "w", "pulls", "pushes", "T_i(ms)", "stale/pl", "aborts", "resync", "waste(ms)", "faults"
     );
     for (&w, tl) in &summary.overall {
         let t_i = tl
@@ -423,17 +435,18 @@ fn summarize(path: &str) -> ExitCode {
         let share = if total_phase > 0 {
             let pct = |i: usize| 100.0 * tl.phase_micros[i] as f64 / total_phase as f64;
             format!(
-                "{:>4.1}/{:>4.1}/{:>4.1}/{:>4.1}%",
+                "{:>4.1}/{:>4.1}/{:>4.1}/{:>4.1}/{:>4.1}%",
                 pct(0),
                 pct(1),
                 pct(2),
-                pct(3)
+                pct(3),
+                pct(4)
             )
         } else {
             "--".to_string()
         };
         println!(
-            "{:>3} {:>6} {:>6} {:>9} {:>9} {:>7} {:>7} {:>9.1}  {}",
+            "{:>3} {:>6} {:>6} {:>9} {:>9} {:>7} {:>7} {:>9.1} {:>6}  {}",
             w,
             tl.pulls,
             tl.pushes,
@@ -442,6 +455,7 @@ fn summarize(path: &str) -> ExitCode {
             tl.aborts_issued,
             tl.resyncs,
             tl.wasted_micros as f64 / 1e3,
+            tl.faults,
             share
         );
     }

@@ -18,6 +18,35 @@
 //!                                   apply to store, notify scheduler,
 //!                                   next pull (gated by BSP/SSP/naïve wait)
 //! ```
+//!
+//! # Fault injection
+//!
+//! An optional [`FaultPlan`] (see [`Driver::with_faults`]) subjects every
+//! message send to drop/duplicate/delay-spike verdicts, slows compute
+//! inside straggler windows, and schedules worker crash/recover events.
+//! The degradation machinery is:
+//!
+//! - **Retries**: dropped pulls and pushes are re-sent after a fixed
+//!   timeout, up to [`DriverConfig::max_send_retries`] times; the final
+//!   attempt is delivered cleanly so a hostile plan cannot livelock the
+//!   run. Dropped notifies are *not* retried — the scheduler reconciles
+//!   its notify count against the store's applied-push counter
+//!   (piggybacked on the next notify) and backfills the gap.
+//! - **Fencing**: each worker carries a crash epoch; pushes from before a
+//!   crash arrive with a stale epoch and are fenced off instead of
+//!   corrupting the store. Duplicated pushes are deduplicated by sequence
+//!   number, duplicated notifies/re-syncs by monotone counters.
+//! - **Membership**: a crash deactivates the worker in the scheduler
+//!   (shrinking the effective `m` the Eq. 6/7 tuner sees) and in the
+//!   BSP/SSP gates, releasing anyone waiting on the dead worker so no
+//!   scheme deadlocks; recovery reverses all of it in a fresh epoch.
+//! - **Abort acks**: a `re-sync` delivery acknowledges the abort; if the
+//!   ack does not arrive before [`DriverConfig::abort_ack_timeout`], the
+//!   abort is re-issued at most once.
+//!
+//! A driver without a fault plan draws zero randomness from the fault
+//! stream and schedules no chaos events, so fault-free runs are
+//! byte-identical to the pre-fault behaviour.
 
 use std::sync::Arc;
 
@@ -27,13 +56,15 @@ use specsync_core::{Scheduler, SpecSyncError};
 use specsync_ml::{BatchSampler, LrSchedule, Model, SparseGrad, Workload};
 use specsync_ps::{MessageSizes, ParameterStore};
 use specsync_simnet::{
-    DurationSampler, EventQueue, MessageClass, NetworkModel, RngStreams, SimDuration,
-    TransferLedger, VirtualTime, WorkerId,
+    DurationSampler, EventQueue, FaultPlan, MessageClass, MessageFate, NetworkModel, RngStreams,
+    SimDuration, TransferLedger, VirtualTime, WorkerId,
 };
 use specsync_sync::{BaseScheme, BspBarrier, SchemeKind, SspClock, TuningMode};
-use specsync_telemetry::{Event as TraceEvent, EventSink, LossCurve, NullSink, WorkerPhase};
+use specsync_telemetry::{
+    Event as TraceEvent, EventSink, FaultKind, LossCurve, NullSink, WorkerPhase,
+};
 
-use crate::report::{LossPoint, RunReport};
+use crate::report::{ChaosStats, LossPoint, RunReport};
 use crate::spec::ClusterSpec;
 
 /// Driver tunables beyond workload/scheme/cluster.
@@ -49,6 +80,14 @@ pub struct DriverConfig {
     pub eval_stride: u64,
     /// Stop as soon as the convergence criterion is met.
     pub stop_on_convergence: bool,
+    /// How long to wait before re-sending a dropped pull/push.
+    pub retry_timeout: SimDuration,
+    /// Retry budget per message; the attempt after the last retry is
+    /// delivered cleanly (a fault plan must degrade the run, not wedge it).
+    pub max_send_retries: u32,
+    /// How long the scheduler waits for a `re-sync` delivery ack before
+    /// re-issuing the abort (at most once per armed window).
+    pub abort_ack_timeout: SimDuration,
 }
 
 impl Default for DriverConfig {
@@ -59,19 +98,38 @@ impl Default for DriverConfig {
             num_shards: 8,
             eval_stride: 1,
             stop_on_convergence: true,
+            retry_timeout: SimDuration::from_millis(50),
+            max_send_retries: 10,
+            abort_ack_timeout: SimDuration::from_millis(200),
         }
     }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
-    PullArrive(WorkerId),
+    /// Pull bytes delivered (tagged with the worker's crash epoch at send).
+    PullArrive(WorkerId, u64),
+    /// Re-send a dropped pull: (worker, epoch, attempt).
+    PullRetry(WorkerId, u64, u32),
     ComputeDone(WorkerId, u64),
-    PushArrive(WorkerId),
-    NotifyArrive(WorkerId),
+    /// Re-send a dropped push: (worker, epoch, seq, attempt).
+    PushSend(WorkerId, u64, u64, u32),
+    /// Push bytes delivered: (worker, epoch, seq).
+    PushArrive(WorkerId, u64, u64),
+    /// Notify delivered, piggybacking the store's applied-push counter for
+    /// the sender (captured at push-apply time).
+    NotifyArrive(WorkerId, u64),
     CheckTimer(WorkerId),
-    ResyncArrive(WorkerId),
+    /// Re-sync delivered: (worker, issue id) — duplicates deduplicated.
+    ResyncArrive(WorkerId, u64),
+    /// The abort issued at the carried instant was never acknowledged.
+    AbortAckTimeout(WorkerId, VirtualTime),
     NaiveWaitDone(WorkerId),
+    WorkerCrash(WorkerId),
+    WorkerRecover(WorkerId),
+    /// A straggler window (by index into the plan) opens — telemetry only;
+    /// the slowdown itself is sampled per compute start.
+    StragglerStart(usize),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +142,8 @@ enum WorkerState {
     Computing,
     /// Push in flight.
     Pushing,
+    /// Crashed; ignores every event until a `WorkerRecover`.
+    Dead,
 }
 
 impl WorkerState {
@@ -94,6 +154,7 @@ impl WorkerState {
             WorkerState::Pulling => WorkerPhase::Pulling,
             WorkerState::Computing => WorkerPhase::Computing,
             WorkerState::Pushing => WorkerPhase::Pushing,
+            WorkerState::Dead => WorkerPhase::Dead,
         }
     }
 }
@@ -118,6 +179,20 @@ struct WorkerCtx {
     compute_started: VirtualTime,
     compute_sampler: DurationSampler,
     rng: StdRng,
+    /// Crash epoch: bumped on every recovery. Messages sent before the
+    /// crash carry the old epoch and are fenced on delivery.
+    epoch: u64,
+    /// Sequence number of the last push sent (for duplicate detection).
+    push_seq: u64,
+    /// Sequence number of the last push applied to the store.
+    applied_seq: u64,
+    /// Highest applied-push count seen in a delivered notify (dedupes
+    /// duplicated and reordered notifies).
+    notify_seen: u64,
+    /// Issue counter for re-sync messages sent to this worker.
+    resync_issued: u64,
+    /// Highest re-sync issue id delivered (dedupes duplicated re-syncs).
+    resync_seen: u64,
 }
 
 /// Runs one training experiment to convergence (or the horizon) and
@@ -129,6 +204,7 @@ pub struct Driver {
     config: DriverConfig,
     seed: u64,
     sink: Arc<dyn EventSink<VirtualTime>>,
+    faults: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for Driver {
@@ -137,6 +213,7 @@ impl std::fmt::Debug for Driver {
             .field("workload", &self.workload.paper.name)
             .field("scheme", &self.scheme.label())
             .field("workers", &self.cluster.num_workers())
+            .field("faults", &self.faults.is_some())
             .finish()
     }
 }
@@ -157,6 +234,7 @@ impl Driver {
             config,
             seed,
             sink: Arc::new(NullSink),
+            faults: None,
         }
     }
 
@@ -167,6 +245,18 @@ impl Driver {
     /// produce identical event streams.
     pub fn with_sink(mut self, sink: Arc<dyn EventSink<VirtualTime>>) -> Self {
         self.sink = sink;
+        self
+    }
+
+    /// Injects a chaos schedule: every message send is subjected to the
+    /// plan's drop/duplicate/delay verdicts, compute slows inside its
+    /// straggler windows, and its crash/recover timeline is replayed.
+    ///
+    /// The plan carries its own RNG stream, so `(seed, plan)` pairs replay
+    /// byte-identically; without a plan the fault machinery is fully
+    /// dormant (zero extra randomness, zero extra events).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -218,6 +308,8 @@ struct Simulation {
     ssp_blocked: Vec<WorkerId>,
 
     sink: Arc<dyn EventSink<VirtualTime>>,
+    faults: Option<FaultPlan>,
+    chaos: ChaosStats,
 
     total_pushes: u64,
     epochs_done: u64,
@@ -239,6 +331,7 @@ impl Simulation {
             config,
             seed,
             sink,
+            faults,
         } = driver;
         let m = cluster.num_workers();
         let streams = RngStreams::new(seed);
@@ -289,6 +382,12 @@ impl Simulation {
                         .instance(i)
                         .iteration_sampler(workload.mean_iteration_secs, workload.iteration_cv),
                     rng: streams.indexed_stream("compute", i),
+                    epoch: 0,
+                    push_seq: 0,
+                    applied_seq: 0,
+                    notify_seen: 0,
+                    resync_issued: 0,
+                    resync_seen: 0,
                 }
             })
             .collect();
@@ -319,6 +418,8 @@ impl Simulation {
             ssp,
             ssp_blocked: Vec::new(),
             sink,
+            faults,
+            chaos: ChaosStats::default(),
             total_pushes: 0,
             epochs_done: 0,
             loss_curve: LossCurve::new(),
@@ -346,6 +447,56 @@ impl Simulation {
         self.ledger.record(at, class, bytes);
     }
 
+    /// Draws the fault plan's verdict for one message send by `worker`,
+    /// emitting [`TraceEvent::Fault`] telemetry and chaos counters.
+    /// Without a plan this is a clean delivery and zero RNG draws.
+    fn fate_for(
+        &mut self,
+        worker: WorkerId,
+        class: MessageClass,
+        now: VirtualTime,
+    ) -> Result<MessageFate, SpecSyncError> {
+        let Some(plan) = self.faults.as_mut() else {
+            return Ok(MessageFate::clean());
+        };
+        let fate = plan.try_fate(class)?;
+        if fate.is_drop() {
+            self.chaos.dropped_messages += 1;
+            self.sink.record(
+                now,
+                &TraceEvent::Fault {
+                    worker,
+                    class,
+                    kind: FaultKind::Drop,
+                },
+            );
+        } else {
+            if fate.is_duplicate() {
+                self.chaos.duplicated_messages += 1;
+                self.sink.record(
+                    now,
+                    &TraceEvent::Fault {
+                        worker,
+                        class,
+                        kind: FaultKind::Duplicate,
+                    },
+                );
+            }
+            if fate.is_spiked() {
+                self.chaos.delay_spikes += 1;
+                self.sink.record(
+                    now,
+                    &TraceEvent::Fault {
+                        worker,
+                        class,
+                        kind: FaultKind::DelaySpike(fate.extra_delay),
+                    },
+                );
+            }
+        }
+        Ok(fate)
+    }
+
     /// Transitions `worker` to `state`, reporting the transition to the
     /// event sink.
     fn set_worker_state(&mut self, worker: WorkerId, state: WorkerState, now: VirtualTime) {
@@ -360,8 +511,12 @@ impl Simulation {
     }
 
     /// Issues a pull for `worker` at `now`: snapshot immediately (server
-    /// state at request time), deliver after the transfer delay.
-    fn issue_pull(&mut self, worker: WorkerId, now: VirtualTime) {
+    /// state at request time), deliver after the transfer delay. Dead
+    /// workers are silently skipped (a crash can race a release decision).
+    fn issue_pull(&mut self, worker: WorkerId, now: VirtualTime) -> Result<(), SpecSyncError> {
+        if self.workers[worker.index()].state == WorkerState::Dead {
+            return Ok(());
+        }
         let staleness = self.store.staleness_of(worker);
         self.staleness_sum += staleness as f64;
         self.staleness_count += 1;
@@ -371,10 +526,100 @@ impl Simulation {
         self.scheduler.on_pull(worker, now);
         self.workers[worker.index()].pending_params = Some(snapshot.into_shared());
         self.set_worker_state(worker, WorkerState::Pulling, now);
-        let delay = self.delay(MessageClass::PullParams);
-        let at = now + delay;
-        self.record_transfer(at, MessageClass::PullParams);
-        self.queue.schedule(at, Event::PullArrive(worker));
+        self.send_pull(worker, 0, now)
+    }
+
+    /// Puts the pull bytes on the wire (attempt `attempt`), honouring the
+    /// fault plan: drops schedule a bounded retry, duplicates deliver
+    /// twice, spikes delay every copy.
+    fn send_pull(
+        &mut self,
+        worker: WorkerId,
+        attempt: u32,
+        now: VirtualTime,
+    ) -> Result<(), SpecSyncError> {
+        let epoch = self.workers[worker.index()].epoch;
+        let fate = if attempt >= self.config.max_send_retries {
+            MessageFate::clean() // retry budget exhausted: deliver, don't livelock
+        } else {
+            self.fate_for(worker, MessageClass::PullParams, now)?
+        };
+        if fate.is_drop() {
+            self.chaos.retries += 1;
+            self.sink.record(
+                now,
+                &TraceEvent::RetryScheduled {
+                    worker,
+                    class: MessageClass::PullParams,
+                    attempt: attempt + 1,
+                },
+            );
+            self.queue.schedule(
+                now + self.config.retry_timeout,
+                Event::PullRetry(worker, epoch, attempt + 1),
+            );
+            return Ok(());
+        }
+        for _ in 0..fate.copies {
+            let delay = self.delay(MessageClass::PullParams) + fate.extra_delay;
+            let at = now + delay;
+            self.record_transfer(at, MessageClass::PullParams);
+            self.queue.schedule(at, Event::PullArrive(worker, epoch));
+        }
+        Ok(())
+    }
+
+    /// Puts the push bytes on the wire (attempt `attempt`), same fault
+    /// handling as [`send_pull`](Self::send_pull).
+    fn send_push(
+        &mut self,
+        worker: WorkerId,
+        seq: u64,
+        attempt: u32,
+        now: VirtualTime,
+    ) -> Result<(), SpecSyncError> {
+        let epoch = self.workers[worker.index()].epoch;
+        let fate = if attempt >= self.config.max_send_retries {
+            MessageFate::clean()
+        } else {
+            self.fate_for(worker, MessageClass::PushGrad, now)?
+        };
+        if fate.is_drop() {
+            self.chaos.retries += 1;
+            self.sink.record(
+                now,
+                &TraceEvent::RetryScheduled {
+                    worker,
+                    class: MessageClass::PushGrad,
+                    attempt: attempt + 1,
+                },
+            );
+            self.queue.schedule(
+                now + self.config.retry_timeout,
+                Event::PushSend(worker, epoch, seq, attempt + 1),
+            );
+            return Ok(());
+        }
+        for _ in 0..fate.copies {
+            let delay = self.delay(MessageClass::PushGrad) + fate.extra_delay;
+            self.queue
+                .schedule(now + delay, Event::PushArrive(worker, epoch, seq));
+        }
+        Ok(())
+    }
+
+    /// Sends a `re-sync` instruction to `worker`; re-syncs are never
+    /// retried on drop — the abort-ack timeout covers loss instead.
+    fn send_resync(&mut self, worker: WorkerId, now: VirtualTime) -> Result<(), SpecSyncError> {
+        self.workers[worker.index()].resync_issued += 1;
+        let issue = self.workers[worker.index()].resync_issued;
+        let fate = self.fate_for(worker, MessageClass::Resync, now)?;
+        for _ in 0..fate.copies {
+            let delay = self.delay(MessageClass::Resync) + fate.extra_delay;
+            self.queue
+                .schedule(now + delay, Event::ResyncArrive(worker, issue));
+        }
+        Ok(())
     }
 
     /// Scheme-specific gate between finishing a push and issuing the next
@@ -387,7 +632,7 @@ impl Simulation {
                 base: BaseScheme::Asp,
                 ..
             } => {
-                self.issue_pull(worker, now);
+                self.issue_pull(worker, now)?;
             }
             SchemeKind::NaiveWaiting { delay } => {
                 self.set_worker_state(worker, WorkerState::Idle, now);
@@ -401,7 +646,7 @@ impl Simulation {
                 })?;
                 if let Some(released) = barrier.arrive(worker) {
                     for w in released {
-                        self.issue_pull(w, now);
+                        self.issue_pull(w, now)?;
                     }
                 }
             }
@@ -420,10 +665,10 @@ impl Simulation {
                 self.ssp_blocked.retain(|w| !unblocked.contains(w));
                 let can_start = ssp.can_start_next(worker);
                 for w in unblocked {
-                    self.issue_pull(w, now);
+                    self.issue_pull(w, now)?;
                 }
                 if can_start {
-                    self.issue_pull(worker, now);
+                    self.issue_pull(worker, now)?;
                 } else {
                     self.set_worker_state(worker, WorkerState::Idle, now);
                     self.ssp_blocked.push(worker);
@@ -450,8 +695,16 @@ impl Simulation {
         }
         ctx.compute_started = now;
         ctx.attempt += 1;
-        let duration = ctx.compute_sampler.sample(&mut ctx.rng);
+        // Always sample first, then stretch: straggler windows must not
+        // shift the compute RNG stream relative to a fault-free run.
+        let mut duration = ctx.compute_sampler.sample(&mut ctx.rng);
         let attempt = ctx.attempt;
+        if let Some(plan) = &self.faults {
+            let slowdown = plan.slowdown_at(worker, now);
+            if slowdown != 1.0 {
+                duration = duration.mul_f64(slowdown);
+            }
+        }
         self.set_worker_state(worker, WorkerState::Computing, now);
         self.queue
             .schedule(now + duration, Event::ComputeDone(worker, attempt));
@@ -495,7 +748,6 @@ impl Simulation {
         }
         self.workers[worker.index()].iterations += 1;
         self.total_pushes += 1;
-        self.record_transfer(now, MessageClass::PushGrad);
         self.sink.record(
             now,
             &TraceEvent::Push {
@@ -506,17 +758,33 @@ impl Simulation {
 
         self.evaluate(now);
 
-        // Notify the scheduler (control-plane message). The transfer is
-        // recorded on delivery so the ledger never counts a notify the
-        // scheduler did not see (a notify can still be in flight when the
-        // horizon cuts the run short).
-        let notify_delay = self.delay(MessageClass::Notify);
-        self.queue
-            .schedule(now + notify_delay, Event::NotifyArrive(worker));
+        // Notify the scheduler (control-plane message), piggybacking the
+        // store's applied-push counter for this worker so the scheduler
+        // can reconcile away lost notifies. The transfer is recorded on
+        // delivery so the ledger never counts a notify the scheduler did
+        // not see (dropped, or still in flight when the horizon cuts the
+        // run short). Dropped notifies are deliberately not retried: the
+        // next delivered notify's counter heals the gap.
+        let applied = self.store.pushes_by(worker);
+        let fate = self.fate_for(worker, MessageClass::Notify, now)?;
+        for _ in 0..fate.copies {
+            let notify_delay = self.delay(MessageClass::Notify) + fate.extra_delay;
+            self.queue
+                .schedule(now + notify_delay, Event::NotifyArrive(worker, applied));
+        }
 
-        // Epoch bookkeeping: an epoch completes when every worker has
-        // finished one more iteration (paper §II-B).
-        let min_iters = self.workers.iter().map(|w| w.iterations).min().unwrap_or(0);
+        // Epoch bookkeeping: an epoch completes when every live worker has
+        // finished one more iteration (paper §II-B). Dead workers are
+        // excluded — a crashed straggler must not freeze tuning for the
+        // survivors. (A recovered worker can drag the minimum back down;
+        // the `>` guard keeps the epoch counter monotone through that.)
+        let min_iters = self
+            .workers
+            .iter()
+            .filter(|w| w.state != WorkerState::Dead)
+            .map(|w| w.iterations)
+            .min()
+            .unwrap_or(0);
         while min_iters > self.epochs_done {
             self.epochs_done += 1;
             self.scheduler.on_epoch_complete(now);
@@ -527,13 +795,13 @@ impl Simulation {
         self.after_push(worker, now)
     }
 
-    fn on_resync(&mut self, worker: WorkerId, now: VirtualTime) {
+    fn on_resync(&mut self, worker: WorkerId, now: VirtualTime) -> Result<(), SpecSyncError> {
         let ctx = &mut self.workers[worker.index()];
         if ctx.state != WorkerState::Computing {
             // Too late: the iteration finished (or is pushing) — Algorithm 2
             // only aborts in-flight computation ("if that is not too late
-            // yet", §IV-A).
-            return;
+            // yet", §IV-A). Dead workers land here too.
+            return Ok(());
         }
         ctx.aborts += 1;
         ctx.attempt += 1; // invalidates the pending ComputeDone
@@ -541,48 +809,226 @@ impl Simulation {
         self.wasted_compute += wasted;
         self.sink
             .record(now, &TraceEvent::Resync { worker, wasted });
-        self.issue_pull(worker, now);
+        self.issue_pull(worker, now)
+    }
+
+    /// A scheduled crash: discard in-flight compute, fence the epoch,
+    /// shrink scheduler membership and release anyone gated on the dead
+    /// worker so no scheme deadlocks.
+    fn on_crash(&mut self, worker: WorkerId, now: VirtualTime) -> Result<(), SpecSyncError> {
+        if self.workers[worker.index()].state == WorkerState::Dead {
+            return Ok(());
+        }
+        {
+            let ctx = &mut self.workers[worker.index()];
+            ctx.attempt += 1; // invalidates any pending ComputeDone
+            ctx.pending_params = None; // an in-flight pull is useless now
+        }
+        self.chaos.crashes += 1;
+        self.sink.record(now, &TraceEvent::WorkerCrashed { worker });
+        self.set_worker_state(worker, WorkerState::Dead, now);
+        self.scheduler.try_mark_dead(worker, now)?;
+
+        if let Some(barrier) = self.bsp.as_mut() {
+            // Removing the dead worker from the wait set can complete the
+            // current round for everyone else.
+            if let Some(released) = barrier.deactivate(worker) {
+                for w in released {
+                    if self.workers[w.index()].state == WorkerState::Idle {
+                        self.issue_pull(w, now)?;
+                    }
+                }
+            }
+        }
+        if let Some(ssp) = self.ssp.as_mut() {
+            ssp.deactivate(worker);
+            self.ssp_blocked.retain(|w| *w != worker);
+            // The dead worker may have been the straggler pinning the
+            // minimum clock; recompute who is free to proceed.
+            let unblocked = ssp.newly_unblocked(&self.ssp_blocked);
+            self.ssp_blocked.retain(|w| !unblocked.contains(w));
+            for w in unblocked {
+                self.issue_pull(w, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// A scheduled recovery: rejoin in a fresh fencing epoch, grow
+    /// scheduler membership back and start pulling again.
+    fn on_recover(&mut self, worker: WorkerId, now: VirtualTime) -> Result<(), SpecSyncError> {
+        if self.workers[worker.index()].state != WorkerState::Dead {
+            return Ok(());
+        }
+        let epoch = {
+            let ctx = &mut self.workers[worker.index()];
+            ctx.epoch += 1;
+            ctx.pending_params = None;
+            ctx.epoch
+        };
+        self.chaos.recoveries += 1;
+        self.scheduler.try_mark_alive(worker, now)?;
+        self.sink
+            .record(now, &TraceEvent::WorkerRecovered { worker, epoch });
+        if let Some(barrier) = self.bsp.as_mut() {
+            barrier.reactivate(worker);
+        }
+        if let Some(ssp) = self.ssp.as_mut() {
+            ssp.reactivate(worker);
+        }
+        self.set_worker_state(worker, WorkerState::Idle, now);
+        self.issue_pull(worker, now)
     }
 
     fn handle(&mut self, event: Event, now: VirtualTime) -> Result<(), SpecSyncError> {
         match event {
-            Event::PullArrive(worker) => self.start_compute(worker, now)?,
-            Event::ComputeDone(worker, attempt) => {
-                let ctx = &mut self.workers[worker.index()];
-                if ctx.attempt != attempt || ctx.state != WorkerState::Computing {
-                    return Ok(()); // aborted mid-compute
+            Event::PullArrive(worker, epoch) => {
+                let ctx = &self.workers[worker.index()];
+                // Stale (pre-crash) or duplicate deliveries are ignored.
+                if ctx.state == WorkerState::Pulling && ctx.epoch == epoch {
+                    self.start_compute(worker, now)?;
                 }
-                self.set_worker_state(worker, WorkerState::Pushing, now);
-                let delay = self.delay(MessageClass::PushGrad);
-                self.queue.schedule(now + delay, Event::PushArrive(worker));
             }
-            Event::PushArrive(worker) => self.on_push_arrive(worker, now)?,
-            Event::NotifyArrive(worker) => {
+            Event::PullRetry(worker, epoch, attempt) => {
+                let ctx = &self.workers[worker.index()];
+                if ctx.state == WorkerState::Pulling && ctx.epoch == epoch {
+                    self.send_pull(worker, attempt, now)?;
+                }
+            }
+            Event::ComputeDone(worker, attempt) => {
+                let ctx = &self.workers[worker.index()];
+                if ctx.attempt != attempt || ctx.state != WorkerState::Computing {
+                    return Ok(()); // aborted or crashed mid-compute
+                }
+                self.workers[worker.index()].push_seq += 1;
+                let seq = self.workers[worker.index()].push_seq;
+                self.set_worker_state(worker, WorkerState::Pushing, now);
+                self.send_push(worker, seq, 0, now)?;
+            }
+            Event::PushSend(worker, epoch, seq, attempt) => {
+                let ctx = &self.workers[worker.index()];
+                if ctx.state == WorkerState::Pushing && ctx.epoch == epoch && ctx.applied_seq < seq
+                {
+                    self.send_push(worker, seq, attempt, now)?;
+                }
+            }
+            Event::PushArrive(worker, epoch, seq) => {
+                self.record_transfer(now, MessageClass::PushGrad);
+                let ctx = &self.workers[worker.index()];
+                if ctx.state == WorkerState::Dead || ctx.epoch != epoch {
+                    // Stale-push fencing: the sender crashed after sending.
+                    let current = ctx.epoch;
+                    self.chaos.fenced_pushes += 1;
+                    self.sink.record(
+                        now,
+                        &TraceEvent::PushFenced {
+                            worker,
+                            epoch: current,
+                        },
+                    );
+                    return Ok(());
+                }
+                if seq <= ctx.applied_seq {
+                    self.chaos.duplicate_pushes_ignored += 1;
+                    return Ok(());
+                }
+                self.workers[worker.index()].applied_seq = seq;
+                self.on_push_arrive(worker, now)?;
+            }
+            Event::NotifyArrive(worker, applied) => {
+                // Duplicated (or pathologically reordered) notifies carry a
+                // counter we have already seen; drop them.
+                if applied <= self.workers[worker.index()].notify_seen {
+                    return Ok(());
+                }
+                self.workers[worker.index()].notify_seen = applied;
                 self.record_transfer(now, MessageClass::Notify);
-                if let Some(deadline) = self.scheduler.try_on_notify(worker, now)? {
+                if let Some(deadline) = self
+                    .scheduler
+                    .try_on_notify_reconciled(worker, applied, now)?
+                {
                     self.queue.schedule(deadline, Event::CheckTimer(worker));
                 }
             }
             Event::CheckTimer(worker) => {
                 if self.scheduler.try_on_check(worker, now)? {
-                    let delay = self.delay(MessageClass::Resync);
-                    self.queue
-                        .schedule(now + delay, Event::ResyncArrive(worker));
+                    self.send_resync(worker, now)?;
+                    // Only chaos runs arm the ack timeout: a lossless
+                    // network always delivers, so the timer would be noise.
+                    if self.faults.is_some() {
+                        self.queue.schedule(
+                            now + self.config.abort_ack_timeout,
+                            Event::AbortAckTimeout(worker, now),
+                        );
+                    }
                 }
             }
-            Event::ResyncArrive(worker) => {
+            Event::ResyncArrive(worker, issue) => {
+                if issue <= self.workers[worker.index()].resync_seen {
+                    return Ok(()); // duplicate copy
+                }
+                self.workers[worker.index()].resync_seen = issue;
                 self.record_transfer(now, MessageClass::Resync);
-                self.on_resync(worker, now);
+                self.scheduler.try_on_abort_ack(worker, now)?;
+                self.on_resync(worker, now)?;
             }
-            Event::NaiveWaitDone(worker) => self.issue_pull(worker, now),
+            Event::AbortAckTimeout(worker, issued_at) => {
+                if self.scheduler.try_on_ack_timeout(worker, issued_at, now)? {
+                    self.chaos.abort_reissues += 1;
+                    self.send_resync(worker, now)?;
+                }
+            }
+            Event::NaiveWaitDone(worker) => {
+                if self.workers[worker.index()].state == WorkerState::Idle {
+                    self.issue_pull(worker, now)?;
+                }
+            }
+            Event::WorkerCrash(worker) => self.on_crash(worker, now)?,
+            Event::WorkerRecover(worker) => self.on_recover(worker, now)?,
+            Event::StragglerStart(idx) => {
+                if let Some(plan) = &self.faults {
+                    if let Some(w) = plan.straggler_windows().get(idx) {
+                        let (worker, slowdown) = (w.worker, w.slowdown);
+                        let duration = w.end.saturating_since(w.start);
+                        self.sink.record(
+                            now,
+                            &TraceEvent::Straggler {
+                                worker,
+                                slowdown,
+                                duration,
+                            },
+                        );
+                    }
+                }
+            }
         }
         Ok(())
     }
 
     fn run(mut self) -> Result<RunReport, SpecSyncError> {
+        // Replay the chaos timeline into the queue up front so crashes,
+        // recoveries and straggler markers interleave with protocol events
+        // in virtual-time order.
+        let (windows, crashes) = match &self.faults {
+            Some(plan) => (
+                plan.straggler_windows().to_vec(),
+                plan.crash_schedule().to_vec(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        for (idx, w) in windows.iter().enumerate() {
+            self.queue.schedule(w.start, Event::StragglerStart(idx));
+        }
+        for c in crashes {
+            self.queue.schedule(c.at, Event::WorkerCrash(c.worker));
+            if let Some(r) = c.recover_at {
+                self.queue.schedule(r, Event::WorkerRecover(c.worker));
+            }
+        }
+
         // Kick off: every worker pulls at t = 0.
         for w in WorkerId::all(self.cluster.num_workers()) {
-            self.issue_pull(w, VirtualTime::ZERO);
+            self.issue_pull(w, VirtualTime::ZERO)?;
         }
 
         while let Some((now, event)) = self.queue.pop() {
@@ -620,6 +1066,7 @@ impl Simulation {
             hyperparams_trace: self.hyper_trace,
             mean_staleness,
             history: self.scheduler.history().clone(),
+            chaos: self.chaos,
             finished_at,
         })
     }
@@ -629,6 +1076,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::instance::InstanceType;
+    use specsync_simnet::{CrashEvent, LinkFaultProfile, StragglerWindow};
 
     fn tiny_cluster(n: usize) -> ClusterSpec {
         ClusterSpec::homogeneous(n, InstanceType::M4Xlarge)
@@ -637,6 +1085,22 @@ mod tests {
     fn quick_config() -> DriverConfig {
         DriverConfig {
             max_virtual_time: VirtualTime::from_secs(400),
+            max_iterations: 100_000,
+            ..DriverConfig::default()
+        }
+    }
+
+    /// A workload that never converges, so runs always reach the horizon
+    /// and iteration counts are budget-comparable.
+    fn endless_workload() -> Workload {
+        let mut w = Workload::tiny_test();
+        w.target_loss = 0.0;
+        w
+    }
+
+    fn horizon_config(secs: u64) -> DriverConfig {
+        DriverConfig {
+            max_virtual_time: VirtualTime::from_secs(secs),
             max_iterations: 100_000,
             ..DriverConfig::default()
         }
@@ -828,14 +1292,313 @@ mod tests {
 
     #[test]
     fn horizon_stops_non_converging_runs() {
-        let mut workload = Workload::tiny_test();
-        workload.target_loss = 0.0; // unreachable
         let config = DriverConfig {
             max_virtual_time: VirtualTime::from_secs(30),
             ..DriverConfig::default()
         };
-        let report = Driver::new(workload, SchemeKind::Asp, tiny_cluster(2), config, 3).run();
+        let report = Driver::new(
+            endless_workload(),
+            SchemeKind::Asp,
+            tiny_cluster(2),
+            config,
+            3,
+        )
+        .run();
         assert!(report.converged_at.is_none());
         assert!(report.finished_at >= VirtualTime::from_secs(30));
+    }
+
+    #[test]
+    fn fault_free_runs_keep_chaos_counters_at_zero() {
+        let report = Driver::new(
+            Workload::tiny_test(),
+            SchemeKind::specsync_fixed(SimDuration::from_secs_f64(0.05), 0.5),
+            tiny_cluster(4),
+            quick_config(),
+            5,
+        )
+        .run();
+        assert_eq!(report.chaos, ChaosStats::default());
+        assert_eq!(report.scheduler_stats.lost_notifies, 0);
+        assert_eq!(report.scheduler_stats.abort_reissues, 0);
+    }
+
+    #[test]
+    fn crashed_worker_stops_while_survivors_continue() {
+        let plan = FaultPlan::new(&RngStreams::new(21)).with_crash(CrashEvent {
+            worker: WorkerId::new(1),
+            at: VirtualTime::from_secs(20),
+            recover_at: None,
+        });
+        let report = Driver::new(
+            endless_workload(),
+            SchemeKind::Asp,
+            tiny_cluster(4),
+            horizon_config(60),
+            21,
+        )
+        .with_faults(plan)
+        .run();
+        assert_eq!(report.chaos.crashes, 1);
+        assert_eq!(report.chaos.recoveries, 0);
+        let dead = report.iterations_per_worker[1];
+        for (i, &iters) in report.iterations_per_worker.iter().enumerate() {
+            if i != 1 {
+                assert!(
+                    iters > dead * 2,
+                    "survivor {i} ({iters}) barely outpaced the dead worker ({dead})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recovered_worker_rejoins_and_pushes_again() {
+        let crash = CrashEvent {
+            worker: WorkerId::new(0),
+            at: VirtualTime::from_secs(10),
+            recover_at: Some(VirtualTime::from_secs(40)),
+        };
+        let plan = FaultPlan::new(&RngStreams::new(22)).with_crash(crash);
+        let report = Driver::new(
+            endless_workload(),
+            SchemeKind::Asp,
+            tiny_cluster(3),
+            horizon_config(80),
+            22,
+        )
+        .with_faults(plan)
+        .run();
+        assert_eq!(report.chaos.crashes, 1);
+        assert_eq!(report.chaos.recoveries, 1);
+        // ~10s pre-crash + ~40s post-recovery out of 80: well past what it
+        // had at the crash, well short of the uninterrupted workers.
+        let rejoined = report.iterations_per_worker[0];
+        let others = report.iterations_per_worker[1];
+        assert!(rejoined > 0);
+        assert!(
+            rejoined < others,
+            "rejoined worker ({rejoined}) should trail uninterrupted peers ({others})"
+        );
+        assert_eq!(report.scheduler_stats.membership_changes, 2);
+    }
+
+    #[test]
+    fn bsp_releases_the_barrier_when_a_worker_dies() {
+        let plan = FaultPlan::new(&RngStreams::new(23)).with_crash(CrashEvent {
+            worker: WorkerId::new(2),
+            at: VirtualTime::from_secs(15),
+            recover_at: None,
+        });
+        let report = Driver::new(
+            endless_workload(),
+            SchemeKind::Bsp,
+            tiny_cluster(4),
+            horizon_config(60),
+            23,
+        )
+        .with_faults(plan)
+        .run();
+        // The survivors must keep making rounds long after the crash —
+        // a deadlocked barrier would freeze everyone near the crash count.
+        let dead = report.iterations_per_worker[2];
+        let survivors: Vec<u64> = report
+            .iterations_per_worker
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 2)
+            .map(|(_, &n)| n)
+            .collect();
+        assert!(
+            survivors.iter().all(|&n| n > dead + 5),
+            "survivors {survivors:?} stalled near the dead worker's count {dead}"
+        );
+        // Lockstep still holds among the survivors.
+        let max = survivors.iter().max().unwrap();
+        let min = survivors.iter().min().unwrap();
+        assert!(max - min <= 1, "post-crash BSP spread: {survivors:?}");
+    }
+
+    #[test]
+    fn ssp_unblocks_survivors_when_the_straggler_dies() {
+        let plan = FaultPlan::new(&RngStreams::new(24)).with_crash(CrashEvent {
+            worker: WorkerId::new(0),
+            at: VirtualTime::from_secs(15),
+            recover_at: None,
+        });
+        let report = Driver::new(
+            endless_workload(),
+            SchemeKind::Ssp { bound: 2 },
+            tiny_cluster(4),
+            horizon_config(60),
+            24,
+        )
+        .with_faults(plan)
+        .run();
+        let dead = report.iterations_per_worker[0];
+        for (i, &iters) in report.iterations_per_worker.iter().enumerate() {
+            if i != 0 {
+                assert!(
+                    iters > dead + 2,
+                    "survivor {i} ({iters}) is still gated on the dead worker ({dead})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lost_notifies_are_reconciled_from_the_push_counter() {
+        let plan = FaultPlan::new(&RngStreams::new(25))
+            .with_profile(MessageClass::Notify, LinkFaultProfile::drop_only(0.3));
+        let report = Driver::new(
+            endless_workload(),
+            SchemeKind::specsync_fixed(SimDuration::from_secs_f64(0.05), 0.5),
+            tiny_cluster(4),
+            horizon_config(60),
+            25,
+        )
+        .with_faults(plan)
+        .run();
+        assert!(report.chaos.dropped_messages > 0);
+        assert!(
+            report.scheduler_stats.lost_notifies > 0,
+            "no notify loss reconciled despite 30% drop"
+        );
+        // Every history entry is either a delivered notify or a
+        // reconciliation backfill — losses don't leak out of the record.
+        assert_eq!(
+            report.history.pushes().len() as u64,
+            report.scheduler_stats.notifies + report.scheduler_stats.lost_notifies,
+            "history != notifies + reconciled losses"
+        );
+        // The only pushes still missing from the history are tail losses
+        // that no later notify could heal before the horizon.
+        assert!(
+            report.history.pushes().len() as u64 + 4 * 5 >= report.total_iterations,
+            "reconciliation left more than a tail's worth of gaps"
+        );
+    }
+
+    #[test]
+    fn dropped_data_messages_are_retried_until_delivered() {
+        let plan = FaultPlan::new(&RngStreams::new(26))
+            .with_profile(MessageClass::PullParams, LinkFaultProfile::drop_only(0.4))
+            .with_profile(MessageClass::PushGrad, LinkFaultProfile::drop_only(0.4));
+        let report = Driver::new(
+            endless_workload(),
+            SchemeKind::Asp,
+            tiny_cluster(3),
+            horizon_config(60),
+            26,
+        )
+        .with_faults(plan)
+        .run();
+        assert!(report.chaos.retries > 0, "no retries under 40% drop");
+        assert!(report.total_iterations > 0, "no pushes ever delivered");
+        let total: u64 = report.iterations_per_worker.iter().sum();
+        assert_eq!(total, report.total_iterations);
+    }
+
+    #[test]
+    fn duplicates_and_spikes_are_deduplicated_and_tolerated() {
+        let profile = LinkFaultProfile {
+            drop_prob: 0.0,
+            duplicate_prob: 0.3,
+            spike_prob: 0.3,
+            spike: DurationSampler::Constant { secs: 0.05 },
+        };
+        let plan = FaultPlan::new(&RngStreams::new(27))
+            .with_profile(MessageClass::PushGrad, profile)
+            .with_profile(MessageClass::Notify, profile);
+        let report = Driver::new(
+            endless_workload(),
+            SchemeKind::specsync_fixed(SimDuration::from_secs_f64(0.05), 0.5),
+            tiny_cluster(3),
+            horizon_config(60),
+            27,
+        )
+        .with_faults(plan)
+        .run();
+        assert!(report.chaos.duplicated_messages > 0);
+        assert!(report.chaos.delay_spikes > 0);
+        assert!(
+            report.chaos.duplicate_pushes_ignored > 0,
+            "duplicated pushes were never deduplicated"
+        );
+        // Dedupe means per-worker iteration counts still sum to the total.
+        let total: u64 = report.iterations_per_worker.iter().sum();
+        assert_eq!(total, report.total_iterations);
+    }
+
+    #[test]
+    fn straggler_window_slows_only_its_worker() {
+        let plan = FaultPlan::new(&RngStreams::new(28)).with_straggler(StragglerWindow {
+            worker: WorkerId::new(0),
+            start: VirtualTime::ZERO,
+            end: VirtualTime::from_secs(60),
+            slowdown: 8.0,
+        });
+        let report = Driver::new(
+            endless_workload(),
+            SchemeKind::Asp,
+            tiny_cluster(3),
+            horizon_config(60),
+            28,
+        )
+        .with_faults(plan)
+        .run();
+        let slow = report.iterations_per_worker[0];
+        for (i, &iters) in report.iterations_per_worker.iter().enumerate() {
+            if i != 0 {
+                assert!(
+                    iters > slow * 3,
+                    "worker {i} ({iters}) not clearly faster than straggler ({slow})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let run = || {
+            let profile = LinkFaultProfile {
+                drop_prob: 0.15,
+                duplicate_prob: 0.1,
+                spike_prob: 0.1,
+                spike: DurationSampler::Constant { secs: 0.02 },
+            };
+            let plan = FaultPlan::new(&RngStreams::new(29))
+                .with_profile(MessageClass::PullParams, profile)
+                .with_profile(MessageClass::PushGrad, profile)
+                .with_profile(MessageClass::Notify, profile)
+                .with_profile(MessageClass::Resync, profile)
+                .with_straggler(StragglerWindow {
+                    worker: WorkerId::new(1),
+                    start: VirtualTime::from_secs(10),
+                    end: VirtualTime::from_secs(30),
+                    slowdown: 4.0,
+                })
+                .with_crash(CrashEvent {
+                    worker: WorkerId::new(2),
+                    at: VirtualTime::from_secs(20),
+                    recover_at: Some(VirtualTime::from_secs(35)),
+                });
+            Driver::new(
+                endless_workload(),
+                SchemeKind::specsync_fixed(SimDuration::from_secs_f64(0.05), 0.5),
+                tiny_cluster(4),
+                horizon_config(50),
+                29,
+            )
+            .with_faults(plan)
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_iterations, b.total_iterations);
+        assert_eq!(a.chaos, b.chaos);
+        assert_eq!(a.iterations_per_worker, b.iterations_per_worker);
+        assert_eq!(a.transfer.total_bytes(), b.transfer.total_bytes());
+        assert_eq!(a.scheduler_stats, b.scheduler_stats);
     }
 }

@@ -40,6 +40,6 @@ mod trainer;
 
 pub use driver::{Driver, DriverConfig};
 pub use instance::InstanceType;
-pub use report::{LossPoint, RunReport};
+pub use report::{ChaosStats, LossPoint, RunReport};
 pub use spec::ClusterSpec;
 pub use trainer::Trainer;

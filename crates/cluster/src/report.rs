@@ -9,6 +9,30 @@ use specsync_telemetry::{LossCurve, LossSample};
 /// [`LossSample`] stamped with virtual time.
 pub type LossPoint = LossSample<VirtualTime>;
 
+/// Counters for every fault injected and every degradation decision the
+/// driver took. All-zero for fault-free runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosStats {
+    /// Messages the fault plan dropped on the wire.
+    pub dropped_messages: u64,
+    /// Messages delivered twice.
+    pub duplicated_messages: u64,
+    /// Messages hit by a delay spike.
+    pub delay_spikes: u64,
+    /// Bounded retransmissions scheduled for dropped pulls/pushes.
+    pub retries: u64,
+    /// Pushes fenced off for carrying a stale (pre-crash) epoch.
+    pub fenced_pushes: u64,
+    /// Duplicated pushes ignored by sequence-number dedupe.
+    pub duplicate_pushes_ignored: u64,
+    /// Worker crashes replayed from the plan.
+    pub crashes: u64,
+    /// Worker recoveries replayed from the plan.
+    pub recoveries: u64,
+    /// Aborts re-issued after an unacknowledged ack timeout.
+    pub abort_reissues: u64,
+}
+
 /// The full outcome of one training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -44,6 +68,9 @@ pub struct RunReport {
     pub mean_staleness: f64,
     /// The complete push/pull history of the run.
     pub history: PushHistory,
+    /// Fault-injection and degradation counters (all-zero without a
+    /// [`FaultPlan`](specsync_simnet::FaultPlan)).
+    pub chaos: ChaosStats,
     /// Virtual time when the run stopped (converged or hit the horizon).
     pub finished_at: VirtualTime,
 }
@@ -114,6 +141,7 @@ mod tests {
             hyperparams_trace: Vec::new(),
             mean_staleness: 0.0,
             history: PushHistory::new(),
+            chaos: ChaosStats::default(),
             finished_at: VirtualTime::from_secs_f64(100.0),
         }
     }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use specsync_core::SpecSyncError;
 use specsync_ml::Workload;
-use specsync_simnet::VirtualTime;
+use specsync_simnet::{FaultPlan, VirtualTime};
 use specsync_sync::SchemeKind;
 use specsync_telemetry::{EventSink, NullSink};
 
@@ -36,6 +36,7 @@ pub struct Trainer {
     config: DriverConfig,
     seed: u64,
     sink: Arc<dyn EventSink<VirtualTime>>,
+    faults: Option<FaultPlan>,
 }
 
 impl Trainer {
@@ -49,6 +50,7 @@ impl Trainer {
             config: DriverConfig::default(),
             seed: 0,
             sink: Arc::new(NullSink),
+            faults: None,
         }
     }
 
@@ -62,6 +64,12 @@ impl Trainer {
     /// Sets the cluster.
     pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
         self.cluster = cluster;
+        self
+    }
+
+    /// Injects a chaos schedule for the run (see [`Driver::with_faults`]).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -117,15 +125,18 @@ impl Trainer {
     /// [`run`](Self::run) with internal invariant violations reported as
     /// typed errors instead of panics.
     pub fn try_run(self) -> Result<RunReport, SpecSyncError> {
-        Driver::new(
+        let mut driver = Driver::new(
             self.workload,
             self.scheme,
             self.cluster,
             self.config,
             self.seed,
         )
-        .with_sink(self.sink)
-        .try_run()
+        .with_sink(self.sink);
+        if let Some(plan) = self.faults {
+            driver = driver.with_faults(plan);
+        }
+        driver.try_run()
     }
 }
 

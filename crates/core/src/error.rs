@@ -54,6 +54,18 @@ pub enum SpecSyncError {
         /// The scheme's label.
         scheme: String,
     },
+    /// A heartbeat parameter failed validation (zero interval/timeout, or
+    /// a timeout that does not exceed the interval).
+    InvalidHeartbeat {
+        /// What was wrong with the heartbeat configuration.
+        reason: &'static str,
+    },
+    /// A retry/backoff parameter failed validation (zero attempts or a
+    /// zero backoff base).
+    InvalidRetryPolicy {
+        /// What was wrong with the retry configuration.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for SpecSyncError {
@@ -79,6 +91,12 @@ impl fmt::Display for SpecSyncError {
             SpecSyncError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SpecSyncError::UnsupportedScheme { scheme } => {
                 write!(f, "scheme {scheme} is not supported by this execution host")
+            }
+            SpecSyncError::InvalidHeartbeat { reason } => {
+                write!(f, "invalid heartbeat configuration: {reason}")
+            }
+            SpecSyncError::InvalidRetryPolicy { reason } => {
+                write!(f, "invalid retry policy: {reason}")
             }
         }
     }

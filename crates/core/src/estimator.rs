@@ -29,6 +29,11 @@ impl EpochView {
     /// Extracts the view for an `m`-worker cluster from the last `epochs`
     /// closed epochs of `history` (paper: one epoch; the scheduler uses a
     /// slightly longer window to stabilize the estimate).
+    ///
+    /// A zero iteration span is reported as unknown: it only occurs on
+    /// degenerate histories (e.g. lost-notify backfills recorded at one
+    /// timestamp) where Eq. (6) is undefined, and a worker without a span
+    /// simply contributes no evidence to the objective.
     pub fn from_recent(history: &PushHistory, m: usize, epochs: usize) -> Self {
         let range = history.recent_epoch_range(epochs);
         let mut pulls: Vec<Vec<VirtualTime>> = vec![Vec::new(); m];
@@ -40,7 +45,7 @@ impl EpochView {
             }
         }
         let iteration_spans = WorkerId::all(m)
-            .map(|w| history.iteration_span_of(w))
+            .map(|w| history.iteration_span_of(w).filter(|s| !s.is_zero()))
             .collect();
         EpochView {
             pulls,
@@ -49,13 +54,14 @@ impl EpochView {
     }
 
     /// The paper's literal Eq. (5) view: only each worker's last pull at or
-    /// before `now`.
+    /// before `now`. Zero iteration spans are reported as unknown (see
+    /// [`from_recent`](Self::from_recent)).
     pub fn from_history(history: &PushHistory, m: usize, now: VirtualTime) -> Self {
         let pulls = WorkerId::all(m)
             .map(|w| history.last_pull_of(w, now).into_iter().collect())
             .collect();
         let iteration_spans = WorkerId::all(m)
-            .map(|w| history.iteration_span_of(w))
+            .map(|w| history.iteration_span_of(w).filter(|s| !s.is_zero()))
             .collect();
         EpochView {
             pulls,
@@ -117,11 +123,13 @@ pub fn estimate_improvement(history: &PushHistory, view: &EpochView, delta: SimD
     let m = view.num_workers();
     let mut total = 0.0;
     for (i, (pulls, span)) in view.pulls.iter().zip(&view.iteration_spans).enumerate() {
-        let Some(span) = span else { continue };
+        let Some(span) = span.filter(|s| !s.is_zero()) else {
+            continue;
+        };
         let Some(gain) = estimate_mean_gain(history, WorkerId::new(i), pulls, delta) else {
             continue;
         };
-        let loss = estimate_loss(delta, m, *span);
+        let loss = estimate_loss(delta, m, span);
         total += gain - loss;
     }
     total
@@ -148,11 +156,13 @@ pub fn estimate_realized_improvement(
     let m = view.num_workers();
     let mut total = 0.0;
     for (i, (pulls, span)) in view.pulls.iter().zip(&view.iteration_spans).enumerate() {
-        let Some(span) = span else { continue };
+        let Some(span) = span.filter(|s| !s.is_zero()) else {
+            continue;
+        };
         if pulls.is_empty() {
             continue;
         }
-        let loss = estimate_loss(delta, m, *span);
+        let loss = estimate_loss(delta, m, span);
         let threshold = loss.max(1.0);
         let mut contribution = 0.0;
         for &p in pulls {

@@ -47,6 +47,21 @@ pub struct SchedulerStats {
     pub resyncs: u64,
     /// Adaptive retuning passes that produced new hyperparameters.
     pub retunes: u64,
+    /// Lost notifies detected by push-count reconciliation and backfilled.
+    pub lost_notifies: u64,
+    /// Aborts re-issued after an unacknowledged ack timeout.
+    pub abort_reissues: u64,
+    /// Notifies ignored because the sender was marked dead.
+    pub stale_notifies: u64,
+    /// Dead/alive membership transitions observed.
+    pub membership_changes: u64,
+}
+
+/// An abort awaiting its `re-sync` acknowledgement.
+#[derive(Debug, Clone, Copy)]
+struct PendingAbort {
+    issued_at: VirtualTime,
+    reissued: bool,
 }
 
 /// The centralized scheduler of Algorithm 2.
@@ -81,6 +96,16 @@ pub struct Scheduler {
     spec: Vec<SpecState>,
     stats: SchedulerStats,
     epoch: u64,
+    /// Liveness per worker; dead workers are excluded from the effective
+    /// `m` that Eq. 6/7 and the abort threshold use.
+    alive: Vec<bool>,
+    /// Number of `true` entries in `alive`.
+    active: usize,
+    /// Notifies accepted per worker, reconciled against the store's
+    /// applied-push counter to detect lost notifies.
+    notify_counts: Vec<u64>,
+    /// Aborts awaiting acknowledgement, per worker.
+    pending_abort: Vec<Option<PendingAbort>>,
     sink: Arc<dyn EventSink<VirtualTime>>,
 }
 
@@ -114,6 +139,10 @@ impl Scheduler {
             spec: vec![SpecState::default(); m],
             stats: SchedulerStats::default(),
             epoch: 0,
+            alive: vec![true; m],
+            active: m,
+            notify_counts: vec![0; m],
+            pending_abort: vec![None; m],
             sink: Arc::new(NullSink),
         }
     }
@@ -135,9 +164,87 @@ impl Scheduler {
         Ok(Self::new(m, tuning))
     }
 
-    /// Number of workers.
+    /// Number of workers (dead or alive).
     pub fn num_workers(&self) -> usize {
         self.m
+    }
+
+    /// Number of workers currently considered alive — the effective `m`
+    /// the abort threshold and the Eq. 6/7 tuner use.
+    pub fn active_workers(&self) -> usize {
+        self.active
+    }
+
+    /// Whether `worker` is currently considered alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn is_alive(&self, worker: WorkerId) -> bool {
+        self.alive[worker.index()]
+    }
+
+    /// Marks `worker` dead: its speculation window and pending abort are
+    /// discarded, its notifies are ignored until it rejoins, and the
+    /// effective `m` shrinks. Returns `true` if the worker was alive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecSyncError::WorkerOutOfRange`] for an unknown worker.
+    pub fn try_mark_dead(
+        &mut self,
+        worker: WorkerId,
+        now: VirtualTime,
+    ) -> Result<bool, SpecSyncError> {
+        self.check_worker(worker)?;
+        let i = worker.index();
+        if !self.alive[i] {
+            return Ok(false);
+        }
+        self.alive[i] = false;
+        self.active -= 1;
+        self.spec[i] = SpecState::default();
+        self.pending_abort[i] = None;
+        self.stats.membership_changes += 1;
+        self.sink.record(
+            now,
+            &Event::Membership {
+                worker,
+                alive: false,
+                active: self.active as u64,
+            },
+        );
+        Ok(true)
+    }
+
+    /// Marks `worker` alive again after a recovery; the effective `m`
+    /// grows. Returns `true` if the worker was dead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecSyncError::WorkerOutOfRange`] for an unknown worker.
+    pub fn try_mark_alive(
+        &mut self,
+        worker: WorkerId,
+        now: VirtualTime,
+    ) -> Result<bool, SpecSyncError> {
+        self.check_worker(worker)?;
+        let i = worker.index();
+        if self.alive[i] {
+            return Ok(false);
+        }
+        self.alive[i] = true;
+        self.active += 1;
+        self.stats.membership_changes += 1;
+        self.sink.record(
+            now,
+            &Event::Membership {
+                worker,
+                alive: true,
+                active: self.active as u64,
+            },
+        );
+        Ok(true)
     }
 
     /// Validates that `worker` addresses this cluster.
@@ -196,23 +303,79 @@ impl Scheduler {
 
     /// [`on_notify`](Self::on_notify) with an out-of-range worker reported
     /// as [`SpecSyncError::WorkerOutOfRange`].
+    ///
+    /// Notifies from workers currently marked dead are counted and
+    /// ignored (`Ok(None)`): a crashed worker's in-flight notify must not
+    /// arm a window for it.
     pub fn try_on_notify(
         &mut self,
         worker: WorkerId,
         now: VirtualTime,
     ) -> Result<Option<VirtualTime>, SpecSyncError> {
         self.check_worker(worker)?;
+        if !self.alive[worker.index()] {
+            self.stats.stale_notifies += 1;
+            return Ok(None);
+        }
+        self.notify_counts[worker.index()] += 1;
+        Ok(self.accept_notify(worker, now))
+    }
+
+    /// [`try_on_notify`](Self::try_on_notify) for hosts whose notify
+    /// messages piggyback the store's applied-push counter for the sender
+    /// (`applied_pushes`, inclusive of the push this notify reports).
+    ///
+    /// Before arming the window, the scheduler reconciles its own accepted
+    /// notify count against that counter: any gap means notifies were lost
+    /// in flight, so the missing pushes are backfilled into the history at
+    /// `now` (keeping the Eq. 6/7 tuner's push record complete) and an
+    /// [`Event::NotifyLoss`] is emitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecSyncError::WorkerOutOfRange`] for an unknown worker.
+    pub fn try_on_notify_reconciled(
+        &mut self,
+        worker: WorkerId,
+        applied_pushes: u64,
+        now: VirtualTime,
+    ) -> Result<Option<VirtualTime>, SpecSyncError> {
+        self.check_worker(worker)?;
+        if !self.alive[worker.index()] {
+            self.stats.stale_notifies += 1;
+            return Ok(None);
+        }
+        let seen = self.notify_counts[worker.index()] + 1;
+        let missing = applied_pushes.saturating_sub(seen);
+        if missing > 0 {
+            for _ in 0..missing {
+                self.history.record_push(now, worker);
+            }
+            self.stats.lost_notifies += missing;
+            self.sink
+                .record(now, &Event::NotifyLoss { worker, missing });
+        }
+        self.notify_counts[worker.index()] = applied_pushes.max(seen);
+        Ok(self.accept_notify(worker, now))
+    }
+
+    /// The shared tail of the notify paths: record, emit, clear any
+    /// pending abort (the worker has moved on, so re-issuing is moot) and
+    /// arm the speculation window against the *active* worker count.
+    fn accept_notify(&mut self, worker: WorkerId, now: VirtualTime) -> Option<VirtualTime> {
         self.stats.notifies += 1;
         self.sink.record(now, &Event::Notify { worker });
         self.history.record_push(now, worker);
+        self.pending_abort[worker.index()] = None;
         if self.hyper.is_disabled() {
-            return Ok(None);
+            return None;
         }
+        let threshold = self.hyper.threshold(self.active.max(1));
         let state = &mut self.spec[worker.index()];
         state.window_start = Some(now);
         state.window = self.hyper.abort_time();
-        state.threshold = self.hyper.threshold(self.m);
-        Ok(Some(now + self.hyper.abort_time()))
+        state.threshold = threshold;
+        Some(now + self.hyper.abort_time())
     }
 
     /// Algorithm 2, `CheckResync`: evaluates the worker's speculation
@@ -263,9 +426,60 @@ impl Scheduler {
         if fire {
             self.stats.resyncs += 1;
             self.spec[worker.index()].window_start = None;
+            self.pending_abort[worker.index()] = Some(PendingAbort {
+                issued_at: now,
+                reissued: false,
+            });
             self.sink.record(now, &Event::AbortIssued { worker });
         }
         fire
+    }
+
+    /// Records that the abort issued to `worker` was acknowledged (its
+    /// `re-sync` was delivered). Returns `true` if an abort was pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecSyncError::WorkerOutOfRange`] for an unknown worker.
+    pub fn try_on_abort_ack(
+        &mut self,
+        worker: WorkerId,
+        _now: VirtualTime,
+    ) -> Result<bool, SpecSyncError> {
+        self.check_worker(worker)?;
+        Ok(self.pending_abort[worker.index()].take().is_some())
+    }
+
+    /// Evaluates an abort-ack timeout for the abort issued at `issued_at`.
+    /// Returns `true` when the caller should re-send the `re-sync` — the
+    /// abort is still unacknowledged, the worker is alive, and it has not
+    /// been re-issued before (at-most-once re-issue). Stale timeouts (the
+    /// pending abort is newer, acknowledged, or already re-issued) return
+    /// `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecSyncError::WorkerOutOfRange`] for an unknown worker.
+    pub fn try_on_ack_timeout(
+        &mut self,
+        worker: WorkerId,
+        issued_at: VirtualTime,
+        now: VirtualTime,
+    ) -> Result<bool, SpecSyncError> {
+        self.check_worker(worker)?;
+        let i = worker.index();
+        if !self.alive[i] {
+            return Ok(false);
+        }
+        match &mut self.pending_abort[i] {
+            Some(pending) if pending.issued_at == issued_at && !pending.reissued => {
+                pending.reissued = true;
+                self.stats.abort_reissues += 1;
+                self.sink.record(now, &Event::AbortReissued { worker });
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
     }
 
     /// Marks an epoch boundary; in adaptive mode, re-runs Algorithm 1 on
@@ -280,7 +494,10 @@ impl Scheduler {
         self.history.mark_epoch();
         let mut tuned = None;
         if matches!(self.tuning, TuningMode::Adaptive) {
-            if let Some(outcome) = self.tuner.tune(&self.history, self.m, now) {
+            // Tune against the *effective* cluster size: dead workers push
+            // nothing, so Eq. 6/7 must use the live `m` or the rate
+            // `Δ(m−1)/(Tm)` would be skewed by ghosts.
+            if let Some(outcome) = self.tuner.tune(&self.history, self.active.max(1), now) {
                 self.hyper = outcome.hyperparams;
                 self.stats.retunes += 1;
                 tuned = Some(outcome);
@@ -419,5 +636,118 @@ mod tests {
     #[should_panic(expected = "need at least one worker")]
     fn zero_workers_panics() {
         Scheduler::new(0, TuningMode::Adaptive);
+    }
+
+    #[test]
+    fn dead_workers_shrink_the_threshold() {
+        // m = 4, rate 0.5 → threshold 2; after two deaths the effective
+        // m = 2 → threshold 1, so a single push by another worker fires.
+        let mut s = Scheduler::new(4, fixed(2.0, 0.5));
+        s.try_mark_dead(w(2), t(1.0)).unwrap();
+        s.try_mark_dead(w(3), t(1.0)).unwrap();
+        assert_eq!(s.active_workers(), 2);
+        let deadline = s.on_notify(w(0), t(10.0)).unwrap();
+        s.on_notify(w(1), t(10.5));
+        assert!(s.on_check(w(0), deadline), "threshold must track live m");
+        assert_eq!(s.stats().membership_changes, 2);
+    }
+
+    #[test]
+    fn dead_worker_notifies_are_ignored() {
+        let mut s = Scheduler::new(4, fixed(2.0, 0.25));
+        s.try_mark_dead(w(1), t(0.0)).unwrap();
+        assert!(s.try_on_notify(w(1), t(1.0)).unwrap().is_none());
+        assert_eq!(s.stats().notifies, 0);
+        assert_eq!(s.stats().stale_notifies, 1);
+        // Rejoin: notifies count again.
+        assert!(s.try_mark_alive(w(1), t(2.0)).unwrap());
+        assert!(s.try_on_notify(w(1), t(3.0)).unwrap().is_some());
+        assert_eq!(s.stats().notifies, 1);
+    }
+
+    #[test]
+    fn membership_marks_are_idempotent() {
+        let mut s = Scheduler::new(2, fixed(1.0, 0.5));
+        assert!(s.try_mark_dead(w(0), t(0.0)).unwrap());
+        assert!(!s.try_mark_dead(w(0), t(0.0)).unwrap());
+        assert_eq!(s.active_workers(), 1);
+        assert!(s.try_mark_alive(w(0), t(1.0)).unwrap());
+        assert!(!s.try_mark_alive(w(0), t(1.0)).unwrap());
+        assert_eq!(s.active_workers(), 2);
+        assert_eq!(s.stats().membership_changes, 2);
+    }
+
+    #[test]
+    fn reconciliation_backfills_lost_notifies() {
+        let mut s = Scheduler::new(4, fixed(2.0, 0.5)); // threshold 2
+                                                        // Worker 1's store counter says 3 pushes applied, but this is the
+                                                        // first notify the scheduler ever saw from it: 2 were lost.
+        let deadline = s.on_notify(w(0), t(10.0)).unwrap();
+        s.try_on_notify_reconciled(w(1), 3, t(11.0)).unwrap();
+        assert_eq!(s.stats().lost_notifies, 2);
+        // The backfilled pushes land in the history at t=11, inside
+        // worker 0's window, so the abort fires off reconciled evidence.
+        assert!(s.on_check(w(0), deadline));
+    }
+
+    #[test]
+    fn reconciliation_with_no_gap_is_silent() {
+        let mut s = Scheduler::new(2, fixed(2.0, 0.5));
+        s.try_on_notify_reconciled(w(0), 1, t(1.0)).unwrap();
+        s.try_on_notify_reconciled(w(0), 2, t(2.0)).unwrap();
+        assert_eq!(s.stats().lost_notifies, 0);
+        assert_eq!(s.stats().notifies, 2);
+    }
+
+    #[test]
+    fn ack_timeout_reissues_at_most_once() {
+        let mut s = Scheduler::new(2, fixed(2.0, 0.5)); // threshold 1
+        let deadline = s.on_notify(w(0), t(0.0)).unwrap();
+        s.on_notify(w(1), t(1.0));
+        assert!(s.on_check(w(0), deadline));
+        let issued_at = deadline;
+        // First timeout: re-issue. Second: already re-issued once.
+        assert!(s.try_on_ack_timeout(w(0), issued_at, t(4.0)).unwrap());
+        assert!(!s.try_on_ack_timeout(w(0), issued_at, t(6.0)).unwrap());
+        assert_eq!(s.stats().abort_reissues, 1);
+    }
+
+    #[test]
+    fn ack_clears_the_pending_abort() {
+        let mut s = Scheduler::new(2, fixed(2.0, 0.5));
+        let deadline = s.on_notify(w(0), t(0.0)).unwrap();
+        s.on_notify(w(1), t(1.0));
+        assert!(s.on_check(w(0), deadline));
+        assert!(s.try_on_abort_ack(w(0), t(3.0)).unwrap());
+        assert!(!s.try_on_ack_timeout(w(0), deadline, t(4.0)).unwrap());
+    }
+
+    #[test]
+    fn a_new_notify_supersedes_the_pending_abort() {
+        // If the worker pushed anyway (the abort raced its completion),
+        // re-issuing the abort would be wrong — the notify acks implicitly.
+        let mut s = Scheduler::new(2, fixed(2.0, 0.5));
+        let deadline = s.on_notify(w(0), t(0.0)).unwrap();
+        s.on_notify(w(1), t(1.0));
+        assert!(s.on_check(w(0), deadline));
+        s.on_notify(w(0), t(2.5));
+        assert!(!s.try_on_ack_timeout(w(0), deadline, t(4.0)).unwrap());
+    }
+
+    #[test]
+    fn stale_ack_timeout_for_an_older_abort_is_ignored() {
+        let mut s = Scheduler::new(2, fixed(1.0, 0.5)); // threshold 1
+        let d1 = s.on_notify(w(0), t(0.0)).unwrap();
+        s.on_notify(w(1), t(0.5));
+        assert!(s.on_check(w(0), d1));
+        // The worker re-syncs, notifies, and a second abort fires later.
+        s.on_notify(w(0), t(2.0));
+        let d2 = t(3.0);
+        s.on_notify(w(1), t(2.5));
+        assert!(s.on_check(w(0), d2));
+        // A timeout carrying the *first* abort's issue time must not touch
+        // the second abort's pending slot.
+        assert!(!s.try_on_ack_timeout(w(0), d1, t(5.0)).unwrap());
+        assert!(s.try_on_ack_timeout(w(0), d2, t(5.0)).unwrap());
     }
 }

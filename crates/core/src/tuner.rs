@@ -316,6 +316,31 @@ mod tests {
     }
 
     #[test]
+    fn abort_rate_scales_with_effective_membership() {
+        // Same push history, different effective cluster sizes (membership
+        // churn): line 7 must use the live m, so the per-Δ rate factor
+        // (m − 1)/(T m) strictly increases with m.
+        let h = uniform_history(4, 4.0, 3);
+        let tuner = AdaptiveTuner::default();
+        let mut factors = Vec::new();
+        for m in [2usize, 3, 4] {
+            let o = tuner.tune(&h, m, t(100.0)).expect("profitable window");
+            let delta = o.hyperparams.abort_time().as_secs_f64();
+            let expected = delta * (m as f64 - 1.0) / (4.0 * m as f64);
+            assert!(
+                (o.hyperparams.abort_rate() - expected).abs() < 0.02,
+                "m={m}: rate {} vs golden {expected}",
+                o.hyperparams.abort_rate()
+            );
+            factors.push(o.hyperparams.abort_rate() / delta);
+        }
+        assert!(
+            factors.windows(2).all(|w| w[0] < w[1]),
+            "rate factor must grow with membership: {factors:?}"
+        );
+    }
+
+    #[test]
     fn grid_matches_paper_dimensions() {
         let g = CherrypickGrid::paper_style(SimDuration::from_secs(14), 7, 10);
         assert_eq!(g.num_trials(), 70);

@@ -115,3 +115,118 @@ proptest! {
         }
     }
 }
+
+/// Feeds one uniform epoch into the scheduler: each of `workers` pulls at
+/// the start of a `span`-long iteration (phases offset by `span / m`) and
+/// notifies just before the end, for `iters` iterations starting at
+/// `start`. Returns the time after the last event.
+fn feed_uniform_epoch(
+    sched: &mut Scheduler,
+    workers: &[usize],
+    span: f64,
+    iters: usize,
+    start: VirtualTime,
+) -> VirtualTime {
+    let m = workers.len();
+    let mut events: Vec<(f64, usize, bool)> = Vec::new();
+    for k in 0..iters {
+        for (slot, &w) in workers.iter().enumerate() {
+            let phase = k as f64 * span + slot as f64 * span / m as f64;
+            events.push((phase, w, false));
+            events.push((phase + span * 0.999, w, true));
+        }
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut last = start;
+    for (offset, w, is_notify) in events {
+        last = start + SimDuration::from_secs_f64(offset);
+        if is_notify {
+            sched.on_notify(WorkerId::new(w), last);
+        } else {
+            sched.on_pull(WorkerId::new(w), last);
+        }
+    }
+    last + SimDuration::from_secs_f64(span * 0.001)
+}
+
+/// Satellite: membership math. Algorithm 1 line 7 must be recomputed
+/// against the *effective* cluster size when membership changes mid-run:
+/// with `m` alive workers and span `T`, `ABORT_RATE = Δ (m − 1) / (T m)`.
+#[test]
+fn abort_rate_is_recomputed_when_membership_changes_mid_epoch() {
+    const SPAN: f64 = 4.0;
+    let mut sched = Scheduler::new(4, TuningMode::Adaptive);
+
+    // Epoch 1: all four workers alive.
+    let now = feed_uniform_epoch(&mut sched, &[0, 1, 2, 3], SPAN, 3, VirtualTime::ZERO);
+    let o1 = sched
+        .on_epoch_complete(now)
+        .expect("uniform 4-worker epoch must be profitable");
+    let d1 = o1.hyperparams.abort_time().as_secs_f64();
+    let r1 = o1.hyperparams.abort_rate();
+    assert!(
+        (r1 - d1 * 3.0 / (SPAN * 4.0)).abs() < 0.02,
+        "m=4 golden rate: got {r1}, expected {}",
+        d1 * 3.0 / (SPAN * 4.0)
+    );
+
+    // Worker 3 dies mid-epoch: the effective m shrinks to 3.
+    assert_eq!(sched.try_mark_dead(WorkerId::new(3), now), Ok(true));
+    assert_eq!(sched.active_workers(), 3);
+
+    // Epoch 2: only the three survivors push.
+    let now = feed_uniform_epoch(&mut sched, &[0, 1, 2], SPAN, 3, now);
+    let o2 = sched
+        .on_epoch_complete(now)
+        .expect("uniform 3-worker epoch must be profitable");
+    let d2 = o2.hyperparams.abort_time().as_secs_f64();
+    let r2 = o2.hyperparams.abort_rate();
+    assert!(
+        (r2 - d2 * 2.0 / (SPAN * 3.0)).abs() < 0.02,
+        "m=3 golden rate: got {r2}, expected {}",
+        d2 * 2.0 / (SPAN * 3.0)
+    );
+
+    // The rejoin must widen m again.
+    assert_eq!(sched.try_mark_alive(WorkerId::new(3), now), Ok(true));
+    assert_eq!(sched.active_workers(), 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite: freshness estimates stay finite under arbitrary
+    /// schedules and membership sizes, and the realized-improvement
+    /// estimate (what the tuner maximizes) is never negative.
+    #[test]
+    fn freshness_estimates_are_finite_and_realized_nonnegative(
+        schedule in schedule_strategy(5),
+        delta_us in 1u64..5_000_000,
+        m in 1usize..8,
+    ) {
+        use specsync_core::estimator::{
+            estimate_improvement, estimate_realized_improvement, EpochView,
+        };
+        use specsync_core::PushHistory;
+
+        let mut h = PushHistory::new();
+        let mut now = VirtualTime::ZERO;
+        for &(w, gap) in &schedule {
+            now += SimDuration::from_micros(gap);
+            h.record_pull(now, WorkerId::new(w));
+            h.record_push(now + SimDuration::from_micros(1), WorkerId::new(w));
+        }
+        h.mark_epoch();
+
+        // `m` deliberately ranges over, under and past the scheduled
+        // worker count: membership churn shrinks or grows the view
+        // independently of who appears in the history.
+        let view = EpochView::from_recent(&h, m, 1);
+        let delta = SimDuration::from_micros(delta_us);
+        let f = estimate_improvement(&h, &view, delta);
+        prop_assert!(f.is_finite(), "estimate_improvement diverged: {f}");
+        let fr = estimate_realized_improvement(&h, &view, delta);
+        prop_assert!(fr.is_finite(), "realized estimate diverged: {fr}");
+        prop_assert!(fr >= 0.0, "realized estimate went negative: {fr}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Deterministic bounded retry backoff for channel sends.
+//!
+//! The threaded runtime retries transient channel failures (a full bounded
+//! channel, a scheduler briefly behind on its queue) with an exponential
+//! backoff that is a pure function of the attempt index: `base << attempt`,
+//! capped at [`Backoff::MAX_DELAY`] and limited to a configured number of
+//! attempts. No randomness — two runs configured identically walk the same
+//! delay sequence, which keeps retry behaviour reproducible in tests even
+//! though the surrounding thread interleaving is not.
+
+use std::time::Duration;
+
+/// A bounded, deterministic exponential backoff policy.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use specsync_runtime::Backoff;
+///
+/// let policy = Backoff::new(Duration::from_millis(1), 3);
+/// assert_eq!(policy.delay(0), Some(Duration::from_millis(1)));
+/// assert_eq!(policy.delay(1), Some(Duration::from_millis(2)));
+/// assert_eq!(policy.delay(2), Some(Duration::from_millis(4)));
+/// assert_eq!(policy.delay(3), None); // retries exhausted
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay before the first retry; doubles on each subsequent attempt.
+    pub base: Duration,
+    /// Maximum number of retries before giving up.
+    pub max_retries: u32,
+}
+
+impl Backoff {
+    /// Ceiling on any single delay, whatever the attempt index — keeps a
+    /// misconfigured policy from sleeping a thread for minutes.
+    pub const MAX_DELAY: Duration = Duration::from_millis(250);
+
+    /// Creates a policy with the given base delay and retry budget.
+    pub fn new(base: Duration, max_retries: u32) -> Self {
+        Backoff { base, max_retries }
+    }
+
+    /// The delay before retry number `attempt` (0-based), or `None` once
+    /// the retry budget is exhausted.
+    pub fn delay(&self, attempt: u32) -> Option<Duration> {
+        if attempt >= self.max_retries {
+            return None;
+        }
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        let delay = self.base.checked_mul(factor).unwrap_or(Self::MAX_DELAY);
+        Some(delay.min(Self::MAX_DELAY))
+    }
+
+    /// Iterator over the full delay schedule, in order.
+    pub fn schedule(&self) -> impl Iterator<Item = Duration> + '_ {
+        (0..self.max_retries).filter_map(|a| self.delay(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_exhausted() {
+        let b = Backoff::new(Duration::from_millis(2), 4);
+        let schedule: Vec<_> = b.schedule().collect();
+        assert_eq!(
+            schedule,
+            vec![
+                Duration::from_millis(2),
+                Duration::from_millis(4),
+                Duration::from_millis(8),
+                Duration::from_millis(16),
+            ]
+        );
+        assert_eq!(b.delay(4), None);
+        assert_eq!(b.delay(100), None);
+    }
+
+    #[test]
+    fn delays_are_capped() {
+        let b = Backoff::new(Duration::from_millis(100), 10);
+        for attempt in 0..10 {
+            assert!(b.delay(attempt).unwrap() <= Backoff::MAX_DELAY);
+        }
+        assert_eq!(b.delay(9), Some(Backoff::MAX_DELAY));
+    }
+
+    #[test]
+    fn huge_attempt_indices_do_not_overflow() {
+        let b = Backoff::new(Duration::from_millis(1), u32::MAX);
+        assert_eq!(b.delay(u32::MAX - 1), Some(Backoff::MAX_DELAY));
+        assert_eq!(b.delay(63), Some(Backoff::MAX_DELAY));
+    }
+
+    #[test]
+    fn zero_budget_never_retries() {
+        let b = Backoff::new(Duration::from_millis(1), 0);
+        assert_eq!(b.delay(0), None);
+        assert_eq!(b.schedule().count(), 0);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let b = Backoff::new(Duration::from_micros(500), 6);
+        let first: Vec<_> = b.schedule().collect();
+        let second: Vec<_> = b.schedule().collect();
+        assert_eq!(first, second);
+    }
+}

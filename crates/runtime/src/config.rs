@@ -5,6 +5,40 @@ use std::time::Duration;
 use specsync_core::SpecSyncError;
 use specsync_sync::{BaseScheme, SchemeKind};
 
+/// Chaos knobs for the threaded runtime: deliberate, reproducible-ish
+/// faults that exercise the degradation paths under real concurrency.
+///
+/// Unlike the simulator's [`FaultPlan`](specsync_simnet::FaultPlan) —
+/// which replays faults at exact virtual times — these are coarse
+/// count-based triggers: thread interleaving is inherently nondeterministic
+/// here, so the knobs fire on the n-th occurrence of an operation rather
+/// than at a timestamp. All-`None` (the default) injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RuntimeChaos {
+    /// Poison the parameter store on the n-th push apply attempt
+    /// (1-based): that apply panics once, exercising the server's
+    /// catch-and-restore path.
+    pub poison_at_push: Option<u64>,
+    /// Drop every n-th notify on the worker→scheduler channel (n ≥ 1),
+    /// exercising push-count reconciliation.
+    pub drop_notify_every: Option<u64>,
+    /// Cut worker `index`'s link to the scheduler (heartbeats, pull
+    /// notices, notifies) after the given elapsed run time — a one-way
+    /// partition that exercises liveness detection and membership shrink.
+    /// The worker keeps computing and pushing to the server; the scheduler
+    /// just never hears from it again, so the failure stays detected.
+    pub mute_worker_after: Option<(usize, Duration)>,
+}
+
+impl RuntimeChaos {
+    /// Whether any knob is active.
+    pub fn is_active(&self) -> bool {
+        self.poison_at_push.is_some()
+            || self.drop_notify_every.is_some()
+            || self.mute_worker_after.is_some()
+    }
+}
+
 /// Configuration of a threaded training run.
 ///
 /// The scheme is the workspace-wide [`SchemeKind`] shared with the
@@ -34,6 +68,18 @@ pub struct RuntimeConfig {
     pub eval_stride: u64,
     /// Master seed for dataset generation and batch sampling.
     pub seed: u64,
+    /// How often each worker heartbeats the scheduler.
+    pub heartbeat_interval: Duration,
+    /// Silence after which the scheduler declares a worker dead. Must
+    /// exceed [`heartbeat_interval`](Self::heartbeat_interval).
+    pub heartbeat_timeout: Duration,
+    /// Retry budget for transient channel-send failures.
+    pub send_retries: u32,
+    /// Base delay of the deterministic exponential send backoff (doubles
+    /// per attempt, capped — see [`Backoff`](crate::Backoff)).
+    pub retry_backoff: Duration,
+    /// Fault-injection knobs; default injects nothing.
+    pub chaos: RuntimeChaos,
 }
 
 impl Default for RuntimeConfig {
@@ -47,6 +93,11 @@ impl Default for RuntimeConfig {
             target_loss: None,
             eval_stride: 4,
             seed: 0,
+            heartbeat_interval: Duration::from_millis(20),
+            heartbeat_timeout: Duration::from_millis(200),
+            send_retries: 5,
+            retry_backoff: Duration::from_millis(1),
+            chaos: RuntimeChaos::default(),
         }
     }
 }
@@ -67,8 +118,9 @@ impl RuntimeConfig {
     }
 
     /// Validates the configuration, reporting the first problem as a typed
-    /// error: zero workers, zero eval stride, a zero poll interval, or a
-    /// scheme this runtime does not implement.
+    /// error: zero workers, zero eval stride, a zero poll interval,
+    /// degenerate heartbeat or retry parameters, or a scheme this runtime
+    /// does not implement.
     pub fn try_validate(&self) -> Result<(), SpecSyncError> {
         if self.workers == 0 {
             return Err(SpecSyncError::InvalidConfig(
@@ -84,6 +136,38 @@ impl RuntimeConfig {
             return Err(SpecSyncError::InvalidConfig(
                 "abort poll interval must be positive".to_string(),
             ));
+        }
+        if self.heartbeat_interval.is_zero() {
+            return Err(SpecSyncError::InvalidHeartbeat {
+                reason: "heartbeat interval must be positive",
+            });
+        }
+        if self.heartbeat_timeout.is_zero() {
+            return Err(SpecSyncError::InvalidHeartbeat {
+                reason: "heartbeat timeout must be positive",
+            });
+        }
+        if self.heartbeat_timeout <= self.heartbeat_interval {
+            return Err(SpecSyncError::InvalidHeartbeat {
+                reason: "heartbeat timeout must exceed the interval",
+            });
+        }
+        if self.send_retries == 0 {
+            return Err(SpecSyncError::InvalidRetryPolicy {
+                reason: "send retry budget must be positive",
+            });
+        }
+        if self.retry_backoff.is_zero() {
+            return Err(SpecSyncError::InvalidRetryPolicy {
+                reason: "retry backoff base must be positive",
+            });
+        }
+        if let Some(n) = self.chaos.drop_notify_every {
+            if n == 0 {
+                return Err(SpecSyncError::InvalidConfig(
+                    "drop_notify_every must be at least 1".to_string(),
+                ));
+            }
         }
         if !Self::scheme_supported(self.scheme) {
             return Err(SpecSyncError::UnsupportedScheme {
@@ -160,6 +244,126 @@ mod tests {
                 "{scheme:?} should be unsupported, got {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn zero_heartbeat_interval_rejected() {
+        let err = RuntimeConfig {
+            heartbeat_interval: Duration::ZERO,
+            ..Default::default()
+        }
+        .try_validate()
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SpecSyncError::InvalidHeartbeat {
+                    reason: "heartbeat interval must be positive"
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_heartbeat_timeout_rejected() {
+        let err = RuntimeConfig {
+            heartbeat_timeout: Duration::ZERO,
+            ..Default::default()
+        }
+        .try_validate()
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SpecSyncError::InvalidHeartbeat {
+                    reason: "heartbeat timeout must be positive"
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn heartbeat_timeout_not_exceeding_interval_rejected() {
+        let err = RuntimeConfig {
+            heartbeat_interval: Duration::from_millis(50),
+            heartbeat_timeout: Duration::from_millis(50),
+            ..Default::default()
+        }
+        .try_validate()
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SpecSyncError::InvalidHeartbeat {
+                    reason: "heartbeat timeout must exceed the interval"
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_send_retries_rejected() {
+        let err = RuntimeConfig {
+            send_retries: 0,
+            ..Default::default()
+        }
+        .try_validate()
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SpecSyncError::InvalidRetryPolicy {
+                    reason: "send retry budget must be positive"
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_retry_backoff_rejected() {
+        let err = RuntimeConfig {
+            retry_backoff: Duration::ZERO,
+            ..Default::default()
+        }
+        .try_validate()
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SpecSyncError::InvalidRetryPolicy {
+                    reason: "retry backoff base must be positive"
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_drop_notify_stride_rejected() {
+        let err = RuntimeConfig {
+            chaos: RuntimeChaos {
+                drop_notify_every: Some(0),
+                ..RuntimeChaos::default()
+            },
+            ..Default::default()
+        }
+        .try_validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("drop_notify_every"), "got {err:?}");
+    }
+
+    #[test]
+    fn default_chaos_is_inert() {
+        assert!(!RuntimeChaos::default().is_active());
+        assert!(RuntimeChaos {
+            poison_at_push: Some(3),
+            ..RuntimeChaos::default()
+        }
+        .is_active());
     }
 
     #[test]

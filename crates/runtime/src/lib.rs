@@ -43,13 +43,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backoff;
 mod clock;
 mod config;
 mod report;
 mod runtime;
 
+pub use backoff::Backoff;
 pub use clock::{ClockSource, ManualClock, WallClock};
-pub use config::RuntimeConfig;
+pub use config::{RuntimeChaos, RuntimeConfig};
 pub use report::{RuntimeReport, WallLossPoint};
 pub use runtime::{run, try_run, try_run_with_clock, try_run_with_sink};
 pub use specsync_sync::SchemeKind;

@@ -21,6 +21,17 @@ pub struct RuntimeReport {
     pub total_iterations: u64,
     /// Total aborted computations.
     pub total_aborts: u64,
+    /// Workers the scheduler declared dead after heartbeat silence.
+    pub detected_failures: u64,
+    /// Workers re-admitted after resuming heartbeats or notifies.
+    pub rejoins: u64,
+    /// Times the server restored the store from its checkpoint after a
+    /// poisoned (panicking) push apply.
+    pub store_recoveries: u64,
+    /// Notifies dropped by the chaos knobs (zero without chaos).
+    pub dropped_notifies: u64,
+    /// Channel sends that needed at least one backoff retry.
+    pub send_retries: u64,
     /// Loss curve over wall time.
     pub loss_curve: LossCurve<Duration>,
     /// Wall time when the run finished.
@@ -51,6 +62,11 @@ mod tests {
             converged_at: None,
             total_iterations: 3,
             total_aborts: 0,
+            detected_failures: 0,
+            rejoins: 0,
+            store_recoveries: 0,
+            dropped_notifies: 0,
+            send_retries: 0,
             loss_curve: vec![
                 WallLossPoint {
                     time: Duration::from_millis(1),

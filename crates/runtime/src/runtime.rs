@@ -9,26 +9,53 @@
 //! intentionally not deterministic — but every time read still goes
 //! through [`ClockSource`], so the wall clock is injected, not ambient.
 //!
+//! # Resilience
+//!
+//! The runtime degrades gracefully rather than hanging or crashing:
+//!
+//! - **Liveness**: every worker heartbeats the scheduler on
+//!   [`RuntimeConfig::heartbeat_interval`]; silence past
+//!   [`RuntimeConfig::heartbeat_timeout`] marks the worker dead
+//!   ([`Scheduler::try_mark_dead`], shrinking the effective `m`), and any
+//!   later heartbeat or notify re-admits it.
+//! - **Notify reconciliation**: each notify piggybacks the worker's
+//!   cumulative push count, so the scheduler backfills notifies lost in
+//!   flight ([`Scheduler::try_on_notify_reconciled`]).
+//! - **Bounded send retries**: a full re-sync channel is retried with the
+//!   deterministic [`Backoff`] schedule instead of looping or giving up
+//!   immediately.
+//! - **Poisoned-store recovery**: the server applies pushes under
+//!   `catch_unwind`; a panicking apply restores the store from the last
+//!   eval-stride checkpoint and the run continues.
+//!
+//! The [`RuntimeChaos`](crate::RuntimeChaos) knobs inject each of these
+//! faults on purpose; telemetry reports every degradation decision
+//! ([`Event::WorkerCrashed`], [`Event::WorkerRecovered`],
+//! [`Event::NotifyLoss`], [`Event::RetryScheduled`],
+//! [`Event::StoreRecovered`]).
+//!
 //! Telemetry: every thread stamps its events with the [`Duration`] elapsed
 //! on the injected clock since the run started and reports them through
 //! one shared [`EventSink`] (see [`try_run_with_sink`]). The taxonomy is
 //! identical to the simulator's; the interleaving is whatever the OS
 //! scheduler produced.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use specsync_core::{Scheduler, SpecSyncError};
 use specsync_ml::{ConvergenceDetector, Workload};
 use specsync_ps::ParameterStore;
-use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+use specsync_simnet::{MessageClass, SimDuration, VirtualTime, WorkerId};
 use specsync_sync::{SchemeKind, TuningMode};
 use specsync_telemetry::{Event, EventSink, LossCurve, NullSink, WorkerPhase};
 
+use crate::backoff::Backoff;
 use crate::clock::{ClockSource, WallClock};
 use crate::config::RuntimeConfig;
 use crate::report::{RuntimeReport, WallLossPoint};
@@ -46,14 +73,34 @@ enum ServerMsg {
 }
 
 enum SchedMsg {
-    Pull { worker: WorkerId },
-    Notify { worker: WorkerId },
+    Pull {
+        worker: WorkerId,
+    },
+    /// `pushes` is the sender's cumulative push count, the reconciliation
+    /// counter that lets the scheduler detect lost notifies.
+    Notify {
+        worker: WorkerId,
+        pushes: u64,
+    },
+    Heartbeat {
+        worker: WorkerId,
+    },
     Shutdown,
 }
 
 /// Elapsed run time on the injected clock — the runtime's trace timestamp.
 fn elapsed_since(clock: &dyn ClockSource, start: Duration) -> Duration {
     clock.now().saturating_sub(start)
+}
+
+/// Shared degradation counters, filled in by the three thread roles.
+#[derive(Default)]
+struct ResilienceCounters {
+    detected_failures: AtomicU64,
+    rejoins: AtomicU64,
+    store_recoveries: AtomicU64,
+    dropped_notifies: AtomicU64,
+    send_retries: AtomicU64,
 }
 
 /// Runs a workload on real threads and reports the outcome.
@@ -105,6 +152,7 @@ pub fn try_run_with_sink(
     let start = clock.now();
     let stop = Arc::new(AtomicBool::new(false));
     let aborts = Arc::new(AtomicU64::new(0));
+    let counters = Arc::new(ResilienceCounters::default());
 
     let mut bundle = workload.build(m, config.seed);
     let initial = bundle.workers[0].params().to_vec();
@@ -120,8 +168,10 @@ pub fn try_run_with_sink(
     let converged_at = Arc::new(Mutex::new(None::<Duration>));
     let total_pushes = Arc::new(AtomicU64::new(0));
     let server = {
-        let mut store = ParameterStore::new(initial, 8).with_momentum(workload.momentum);
-        if let Some(clip) = workload.grad_clip {
+        let momentum = workload.momentum;
+        let grad_clip = workload.grad_clip;
+        let mut store = ParameterStore::new(initial.clone(), 8).with_momentum(momentum);
+        if let Some(clip) = grad_clip {
             store = store.with_grad_clip(clip);
         }
         let mut eval = bundle.eval;
@@ -131,7 +181,9 @@ pub fn try_run_with_sink(
         let loss_curve = Arc::clone(&loss_curve);
         let converged_at = Arc::clone(&converged_at);
         let total_pushes = Arc::clone(&total_pushes);
+        let counters = Arc::clone(&counters);
         let eval_stride = config.eval_stride;
+        let poison_at_push = config.chaos.poison_at_push;
         let clock = Arc::clone(&clock);
         let sink = Arc::clone(&sink);
         let run_start = start;
@@ -139,6 +191,13 @@ pub fn try_run_with_sink(
         thread::spawn(move || {
             let mut per_worker = vec![0u64; workers];
             let mut epochs = 0u64;
+            // Recovery checkpoint: the last eval-stride parameter snapshot.
+            // A poisoned apply restores from here (momentum state is
+            // sacrificed — a degradation, not a correctness loss).
+            let mut checkpoint = initial;
+            let mut checkpoint_version = 0u64;
+            let mut push_attempts = 0u64;
+            let mut poison_armed = poison_at_push;
             while let Ok(msg) = server_rx.recv() {
                 match msg {
                     ServerMsg::Pull { worker, reply } => {
@@ -152,7 +211,35 @@ pub fn try_run_with_sink(
                     }
                     ServerMsg::Push { worker, grad } => {
                         let lr = lr_schedule.lr_at(epochs) as f32;
-                        store.apply_push(worker, &grad, lr);
+                        push_attempts += 1;
+                        let poison = poison_armed == Some(push_attempts);
+                        if poison {
+                            poison_armed = None;
+                        }
+                        let applied_ok = catch_unwind(AssertUnwindSafe(|| {
+                            assert!(!poison, "injected store poison");
+                            store.apply_push(worker, &grad, lr);
+                        }))
+                        .is_ok();
+                        if !applied_ok {
+                            // The apply panicked mid-update; the store may
+                            // hold a torn write. Restore the checkpoint and
+                            // drop this push.
+                            let mut fresh =
+                                ParameterStore::new(checkpoint.clone(), 8).with_momentum(momentum);
+                            if let Some(clip) = grad_clip {
+                                fresh = fresh.with_grad_clip(clip);
+                            }
+                            store = fresh;
+                            counters.store_recoveries.fetch_add(1, Ordering::Relaxed);
+                            sink.record(
+                                elapsed_since(clock.as_ref(), run_start),
+                                &Event::StoreRecovered {
+                                    version: checkpoint_version,
+                                },
+                            );
+                            continue;
+                        }
                         per_worker[worker.index()] += 1;
                         let applied = total_pushes.fetch_add(1, Ordering::Relaxed) + 1;
                         sink.record(
@@ -167,6 +254,8 @@ pub fn try_run_with_sink(
                             epochs = min;
                         }
                         if applied.is_multiple_of(eval_stride) {
+                            checkpoint = store.params().to_vec();
+                            checkpoint_version = applied;
                             let loss = eval.loss_of(store.params());
                             let elapsed = elapsed_since(clock.as_ref(), run_start);
                             sink.record(
@@ -195,7 +284,7 @@ pub fn try_run_with_sink(
         })
     };
 
-    // ---- Scheduler thread: Algorithm 2 with real timers. ----
+    // ---- Scheduler thread: Algorithm 2 with real timers + liveness. ----
     let scheduler = {
         let tuning = match config.scheme {
             SchemeKind::SpecSync { tuning, .. } => tuning,
@@ -211,6 +300,12 @@ pub fn try_run_with_sink(
         // thread re-emits the scheduler's decisions with wall timestamps.
         let mut core = Scheduler::new(m, tuning);
         let resync_txs = resync_txs.clone();
+        let counters = Arc::clone(&counters);
+        let hb_interval = config.heartbeat_interval;
+        let hb_timeout = SimDuration::from_micros(
+            config.heartbeat_timeout.as_micros().min(u64::MAX as u128) as u64,
+        );
+        let backoff = Backoff::new(config.retry_backoff, config.send_retries);
         let clock = Arc::clone(&clock);
         let sink = Arc::clone(&sink);
         let run_start = start;
@@ -219,11 +314,70 @@ pub fn try_run_with_sink(
             let now_vt =
                 || VirtualTime::from_micros(clock.now().saturating_sub(origin).as_micros() as u64);
             let mut timers: Vec<(VirtualTime, WorkerId)> = Vec::new();
+            // Pending re-sync retransmissions: (due, worker, retries used).
+            let mut resync_retries: Vec<(VirtualTime, WorkerId, u32)> = Vec::new();
             let mut per_worker = vec![0u64; m];
             let mut epochs = 0u64;
+            let mut last_beat = vec![VirtualTime::ZERO; m];
+            let mut dead = vec![false; m];
+            let mut rejoin_epochs = vec![0u64; m];
+            // Delivers a re-sync, falling back to the bounded backoff
+            // schedule when the worker's channel is full. An exhausted
+            // budget is safe: a full channel already holds an undelivered
+            // re-sync for this worker.
+            let send_resync =
+                |worker: WorkerId,
+                 attempt: u32,
+                 now: VirtualTime,
+                 retries: &mut Vec<(VirtualTime, WorkerId, u32)>| {
+                    match resync_txs[worker.index()].try_send(()) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(())) => {
+                            if let Some(delay) = backoff.delay(attempt) {
+                                counters.send_retries.fetch_add(1, Ordering::Relaxed);
+                                sink.record(
+                                    elapsed_since(clock.as_ref(), run_start),
+                                    &Event::RetryScheduled {
+                                        worker,
+                                        class: MessageClass::Resync,
+                                        attempt: attempt + 1,
+                                    },
+                                );
+                                let due = now
+                                    + SimDuration::from_micros(
+                                        delay.as_micros().min(u64::MAX as u128) as u64,
+                                    );
+                                retries.push((due, worker, attempt + 1));
+                            }
+                        }
+                        // The worker exited; nothing to deliver to.
+                        Err(TrySendError::Disconnected(())) => {}
+                    }
+                };
+            // Re-admission shared by every message a live worker sends.
+            let beat = |worker: WorkerId,
+                        now: VirtualTime,
+                        core: &mut Scheduler,
+                        last_beat: &mut Vec<VirtualTime>,
+                        dead: &mut Vec<bool>,
+                        rejoin_epochs: &mut Vec<u64>| {
+                last_beat[worker.index()] = now;
+                if dead[worker.index()] && core.try_mark_alive(worker, now) == Ok(true) {
+                    dead[worker.index()] = false;
+                    rejoin_epochs[worker.index()] += 1;
+                    counters.rejoins.fetch_add(1, Ordering::Relaxed);
+                    sink.record(
+                        elapsed_since(clock.as_ref(), run_start),
+                        &Event::WorkerRecovered {
+                            worker,
+                            epoch: rejoin_epochs[worker.index()],
+                        },
+                    );
+                }
+            };
             loop {
-                // Fire due timers.
                 let now = now_vt();
+                // Fire due abort timers.
                 let mut i = 0;
                 while i < timers.len() {
                     if timers[i].0 <= now {
@@ -233,34 +387,103 @@ pub fn try_run_with_sink(
                                 elapsed_since(clock.as_ref(), run_start),
                                 &Event::AbortIssued { worker },
                             );
-                            // A full channel means a resync is already
-                            // pending for this worker; dropping is safe.
-                            let _ = resync_txs[worker.index()].try_send(());
+                            send_resync(worker, 0, now, &mut resync_retries);
                         }
                     } else {
                         i += 1;
                     }
                 }
-                // Wait for the next message or timer.
-                let next = timers.iter().map(|&(t, _)| t).min();
+                // Flush due re-sync retransmissions.
+                let mut i = 0;
+                while i < resync_retries.len() {
+                    if resync_retries[i].0 <= now {
+                        let (_, worker, attempt) = resync_retries.swap_remove(i);
+                        send_resync(worker, attempt, now, &mut resync_retries);
+                    } else {
+                        i += 1;
+                    }
+                }
+                // Liveness: declare workers dead after heartbeat silence.
+                for w in 0..m {
+                    if !dead[w] && now.saturating_since(last_beat[w]) > hb_timeout {
+                        let worker = WorkerId::new(w);
+                        if core.try_mark_dead(worker, now) == Ok(true) {
+                            dead[w] = true;
+                            counters.detected_failures.fetch_add(1, Ordering::Relaxed);
+                            sink.record(
+                                elapsed_since(clock.as_ref(), run_start),
+                                &Event::WorkerCrashed { worker },
+                            );
+                        }
+                    }
+                }
+                // Wait for the next message, timer or retry — but never
+                // longer than a heartbeat interval, so liveness checks
+                // keep running while the cluster idles.
+                let next = timers
+                    .iter()
+                    .map(|&(t, _)| t)
+                    .chain(resync_retries.iter().map(|&(t, _, _)| t))
+                    .min();
                 let timeout = match next {
                     Some(t) => {
                         Duration::from_micros(t.as_micros().saturating_sub(now_vt().as_micros()))
                     }
-                    None => Duration::from_millis(20),
-                };
+                    None => hb_interval,
+                }
+                .min(hb_interval);
                 match sched_rx.recv_timeout(timeout.max(Duration::from_micros(100))) {
-                    Ok(SchedMsg::Pull { worker }) => core.on_pull(worker, now_vt()),
-                    Ok(SchedMsg::Notify { worker }) => {
+                    Ok(SchedMsg::Pull { worker }) => {
                         let now = now_vt();
+                        beat(
+                            worker,
+                            now,
+                            &mut core,
+                            &mut last_beat,
+                            &mut dead,
+                            &mut rejoin_epochs,
+                        );
+                        core.on_pull(worker, now);
+                    }
+                    Ok(SchedMsg::Heartbeat { worker }) => {
+                        beat(
+                            worker,
+                            now_vt(),
+                            &mut core,
+                            &mut last_beat,
+                            &mut dead,
+                            &mut rejoin_epochs,
+                        );
+                    }
+                    Ok(SchedMsg::Notify { worker, pushes }) => {
+                        let now = now_vt();
+                        beat(
+                            worker,
+                            now,
+                            &mut core,
+                            &mut last_beat,
+                            &mut dead,
+                            &mut rejoin_epochs,
+                        );
                         sink.record(
                             elapsed_since(clock.as_ref(), run_start),
                             &Event::Notify { worker },
                         );
-                        if let Some(deadline) = core.on_notify(worker, now) {
+                        // Re-emit the core's reconciliation verdict on the
+                        // wall-clock trace before arming the window.
+                        let missing = pushes.saturating_sub(per_worker[worker.index()] + 1);
+                        if missing > 0 {
+                            sink.record(
+                                elapsed_since(clock.as_ref(), run_start),
+                                &Event::NotifyLoss { worker, missing },
+                            );
+                        }
+                        if let Ok(Some(deadline)) =
+                            core.try_on_notify_reconciled(worker, pushes, now)
+                        {
                             timers.push((deadline, worker));
                         }
-                        per_worker[worker.index()] += 1;
+                        per_worker[worker.index()] = per_worker[worker.index()].max(pushes);
                         let min = per_worker.iter().min().copied().unwrap_or(0);
                         while min > epochs {
                             epochs += 1;
@@ -294,12 +517,20 @@ pub fn try_run_with_sink(
         let resync_rx = resync_channels[i].1.clone();
         let stop = Arc::clone(&stop);
         let aborts = Arc::clone(&aborts);
+        let counters = Arc::clone(&counters);
         let clock = Arc::clone(&clock);
         let sink = Arc::clone(&sink);
         let run_start = start;
         let mut sampler = workload.sampler_for(model.as_ref(), i, config.seed ^ 0xBA7C);
         let pad = config.compute_pad;
         let poll = config.abort_poll;
+        let hb_interval = config.heartbeat_interval;
+        let drop_notify_every = config.chaos.drop_notify_every;
+        let mute_after = config
+            .chaos
+            .mute_worker_after
+            .filter(|&(idx, _)| idx == i)
+            .map(|(_, after)| after);
         worker_handles.push(thread::spawn(move || {
             let state = |phase: WorkerPhase| {
                 sink.record(
@@ -311,7 +542,28 @@ pub fn try_run_with_sink(
                 );
             };
             let mut grad = vec![0.0f32; model.num_params()];
+            let mut my_pushes = 0u64;
+            let mut notify_seq = 0u64;
+            let mut last_beat = clock.now();
+            // The chaos partition: past the configured elapsed time this
+            // worker's entire scheduler link goes silent (heartbeats,
+            // pull notices, notifies), so the scheduler's liveness
+            // detector fires and the detection sticks.
+            let muted =
+                || mute_after.is_some_and(|after| clock.now().saturating_sub(run_start) >= after);
+            // Heartbeat, paced by the interval.
+            let beat = |last: &mut Duration| {
+                let now = clock.now();
+                if now.saturating_sub(*last) < hb_interval {
+                    return;
+                }
+                *last = now;
+                if !muted() {
+                    let _ = sched_tx.send(SchedMsg::Heartbeat { worker });
+                }
+            };
             'training: while !stop.load(Ordering::SeqCst) {
+                beat(&mut last_beat);
                 // Pull.
                 state(WorkerPhase::Pulling);
                 let (reply_tx, reply_rx) = bounded(1);
@@ -325,7 +577,9 @@ pub fn try_run_with_sink(
                     break;
                 }
                 let Ok(params) = reply_rx.recv() else { break };
-                let _ = sched_tx.send(SchedMsg::Pull { worker });
+                if !muted() {
+                    let _ = sched_tx.send(SchedMsg::Pull { worker });
+                }
                 // Discard any stale re-sync from a previous iteration.
                 while resync_rx.try_recv().is_ok() {}
 
@@ -337,7 +591,9 @@ pub fn try_run_with_sink(
                     model.gradient(&batch, &mut grad);
                     let compute_start = clock.now();
                     while clock.now().saturating_sub(compute_start) < pad {
+                        // specsync-allow(virtual-time): real-threaded compute pacing; progress is still measured on the injected clock
                         thread::sleep(poll.min(pad));
+                        beat(&mut last_beat);
                         if stop.load(Ordering::SeqCst) {
                             break 'training;
                         }
@@ -368,7 +624,9 @@ pub fn try_run_with_sink(
                             let Ok(fresh) = reply_rx.recv() else {
                                 break 'training;
                             };
-                            let _ = sched_tx.send(SchedMsg::Pull { worker });
+                            if !muted() {
+                                let _ = sched_tx.send(SchedMsg::Pull { worker });
+                            }
                             state(WorkerPhase::Computing);
                             model.set_params(&fresh);
                             let batch = sampler.next_batch();
@@ -379,7 +637,8 @@ pub fn try_run_with_sink(
                     break 'attempt;
                 }
 
-                // Push + notify.
+                // Push + notify (the notify carries the push counter for
+                // loss reconciliation; the chaos knob may eat it).
                 state(WorkerPhase::Pushing);
                 if server_tx
                     .send(ServerMsg::Push {
@@ -390,7 +649,17 @@ pub fn try_run_with_sink(
                 {
                     break;
                 }
-                let _ = sched_tx.send(SchedMsg::Notify { worker });
+                my_pushes += 1;
+                notify_seq += 1;
+                let dropped = drop_notify_every.is_some_and(|n| notify_seq.is_multiple_of(n));
+                if dropped {
+                    counters.dropped_notifies.fetch_add(1, Ordering::Relaxed);
+                } else if !muted() {
+                    let _ = sched_tx.send(SchedMsg::Notify {
+                        worker,
+                        pushes: my_pushes,
+                    });
+                }
             }
         }));
     }
@@ -398,6 +667,7 @@ pub fn try_run_with_sink(
     // ---- Main thread: enforce the wall-clock budget. ----
     let deadline = start + config.max_duration;
     while clock.now() < deadline && !stop.load(Ordering::SeqCst) {
+        // specsync-allow(virtual-time): the budget watchdog polls the injected clock; the sleep only bounds poll frequency
         thread::sleep(Duration::from_millis(5));
     }
     stop.store(true, Ordering::SeqCst);
@@ -434,6 +704,11 @@ pub fn try_run_with_sink(
         converged_at: converged,
         total_iterations: total_pushes.load(Ordering::Relaxed),
         total_aborts: aborts.load(Ordering::Relaxed),
+        detected_failures: counters.detected_failures.load(Ordering::Relaxed),
+        rejoins: counters.rejoins.load(Ordering::Relaxed),
+        store_recoveries: counters.store_recoveries.load(Ordering::Relaxed),
+        dropped_notifies: counters.dropped_notifies.load(Ordering::Relaxed),
+        send_retries: counters.send_retries.load(Ordering::Relaxed),
         loss_curve: LossCurve::from(curve),
         elapsed,
     })

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use specsync_ml::Workload;
-use specsync_runtime::{run, try_run_with_sink, RuntimeConfig, WallClock};
+use specsync_runtime::{run, try_run_with_sink, RuntimeChaos, RuntimeConfig, WallClock};
 use specsync_simnet::SimDuration;
 use specsync_sync::SchemeKind;
 use specsync_telemetry::{Event, EventSink, InMemorySink};
@@ -130,6 +130,135 @@ fn sink_observes_the_run_it_was_handed() {
     // thread; globally they must at least stay within the run's span.
     let max_t = events.iter().map(|(t, _)| *t).max().expect("events exist");
     assert!(max_t <= report.elapsed + Duration::from_millis(500));
+}
+
+#[test]
+fn fault_free_runs_report_zero_degradations() {
+    let report = run(&Workload::tiny_test(), &base_config());
+    assert_eq!(report.store_recoveries, 0);
+    assert_eq!(report.dropped_notifies, 0);
+    assert_eq!(report.rejoins, 0);
+}
+
+#[test]
+fn poisoned_store_is_restored_and_the_run_continues() {
+    let config = RuntimeConfig {
+        chaos: RuntimeChaos {
+            poison_at_push: Some(10),
+            ..RuntimeChaos::default()
+        },
+        ..base_config()
+    };
+    let sink = Arc::new(InMemorySink::<Duration>::new());
+    let report = try_run_with_sink(
+        &Workload::tiny_test(),
+        &config,
+        Arc::new(WallClock::new()),
+        Arc::clone(&sink) as Arc<dyn EventSink<Duration>>,
+    )
+    .expect("a poisoned apply must not kill the server thread");
+    assert_eq!(report.store_recoveries, 1);
+    assert!(
+        report.total_iterations > 20,
+        "run stalled after store recovery: {} iterations",
+        report.total_iterations
+    );
+    let events = sink.take();
+    assert_eq!(
+        events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::StoreRecovered { .. }))
+            .count(),
+        1,
+        "the recovery must be traced"
+    );
+    // The loss curve must survive the restore: still finite, still keyed
+    // by monotone iteration counts.
+    assert!(report
+        .loss_curve
+        .windows(2)
+        .all(|w| w[0].iterations < w[1].iterations));
+}
+
+#[test]
+fn dropped_notifies_are_reconciled_from_the_push_counter() {
+    let config = RuntimeConfig {
+        scheme: SchemeKind::specsync_fixed(SimDuration::from_millis(3), 0.25),
+        chaos: RuntimeChaos {
+            drop_notify_every: Some(3),
+            ..RuntimeChaos::default()
+        },
+        ..base_config()
+    };
+    let sink = Arc::new(InMemorySink::<Duration>::new());
+    let report = try_run_with_sink(
+        &Workload::tiny_test(),
+        &config,
+        Arc::new(WallClock::new()),
+        Arc::clone(&sink) as Arc<dyn EventSink<Duration>>,
+    )
+    .expect("valid config");
+    assert!(
+        report.dropped_notifies > 0,
+        "the chaos knob never fired in {} iterations",
+        report.total_iterations
+    );
+    assert!(report.total_iterations > 20, "notify loss stalled the run");
+    // Reconciliation must detect at least some of the losses: each
+    // surviving notify carries the worker's cumulative push count, so a
+    // gap shows up on the very next delivery.
+    let events = sink.take();
+    let reconciled: u64 = events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            Event::NotifyLoss { missing, .. } => Some(*missing),
+            _ => None,
+        })
+        .sum();
+    assert!(
+        reconciled > 0,
+        "dropped {} notifies but reconciled none",
+        report.dropped_notifies
+    );
+}
+
+#[test]
+fn muted_worker_is_declared_dead_and_survivors_continue() {
+    let config = RuntimeConfig {
+        workers: 3,
+        max_duration: Duration::from_millis(900),
+        heartbeat_interval: Duration::from_millis(10),
+        heartbeat_timeout: Duration::from_millis(60),
+        chaos: RuntimeChaos {
+            mute_worker_after: Some((0, Duration::from_millis(150))),
+            ..RuntimeChaos::default()
+        },
+        ..base_config()
+    };
+    let sink = Arc::new(InMemorySink::<Duration>::new());
+    let report = try_run_with_sink(
+        &Workload::tiny_test(),
+        &config,
+        Arc::new(WallClock::new()),
+        Arc::clone(&sink) as Arc<dyn EventSink<Duration>>,
+    )
+    .expect("valid config");
+    assert!(
+        report.detected_failures >= 1,
+        "heartbeat silence was never detected"
+    );
+    assert_eq!(report.rejoins, 0, "a muted worker must stay dead");
+    assert!(
+        report.total_iterations > 20,
+        "survivors stalled after the partition"
+    );
+    let events = sink.take();
+    assert!(
+        events
+            .iter()
+            .any(|(_, e)| matches!(e, Event::WorkerCrashed { .. })),
+        "the detection must be traced"
+    );
 }
 
 #[test]

@@ -32,12 +32,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod fault;
 mod id;
 mod network;
 mod queue;
 mod rng;
 mod time;
 
+pub use fault::{
+    CrashEvent, FaultConfigError, FaultPlan, LinkFaultProfile, MessageFate, StragglerWindow,
+};
 pub use id::WorkerId;
 pub use network::{MessageClass, NetworkModel, TransferLedger, TransferRecord};
 pub use queue::{EventId, EventQueue};

@@ -5,7 +5,7 @@
 //! [`MessageClass`], which is the substrate behind the paper's Fig. 12
 //! (accumulated transfer over time) and Fig. 13 (transfer breakdown).
 
-use rand::Rng;
+use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
 
 use crate::rng::DurationSampler;
@@ -50,6 +50,11 @@ impl MessageClass {
             MessageClass::Control => "control",
         }
     }
+
+    /// Inverse of [`MessageClass::label`]; `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<Self> {
+        MessageClass::ALL.into_iter().find(|c| c.label() == label)
+    }
 }
 
 impl std::fmt::Display for MessageClass {
@@ -65,6 +70,10 @@ pub struct NetworkModel {
     pub latency: DurationSampler,
     /// Link bandwidth in bytes per second (per flow).
     pub bandwidth_bytes_per_sec: f64,
+    /// Probability a message hits a congestion jitter spike (default `0`).
+    pub spike_prob: f64,
+    /// Extra delay drawn on top of the base delay when a spike hits.
+    pub spike: DurationSampler,
 }
 
 impl NetworkModel {
@@ -77,6 +86,8 @@ impl NetworkModel {
                 cv: 0.3,
             },
             bandwidth_bytes_per_sec: 125_000_000.0,
+            spike_prob: 0.0,
+            spike: DurationSampler::Constant { secs: 0.0 },
         }
     }
 
@@ -86,17 +97,38 @@ impl NetworkModel {
         NetworkModel {
             latency: DurationSampler::Constant { secs: 0.0 },
             bandwidth_bytes_per_sec: f64::INFINITY,
+            spike_prob: 0.0,
+            spike: DurationSampler::Constant { secs: 0.0 },
         }
     }
 
+    /// Enables congestion jitter spikes: with probability `spike_prob` each
+    /// message pays an extra delay drawn from `spike`.
+    pub fn with_jitter_spikes(mut self, spike_prob: f64, spike: DurationSampler) -> Self {
+        self.spike_prob = spike_prob;
+        self.spike = spike;
+        self
+    }
+
     /// Samples the delivery delay for a message of `bytes` bytes.
+    ///
+    /// The base delay is `latency + bytes / bandwidth`. When jitter spikes
+    /// are enabled (see [`NetworkModel::with_jitter_spikes`]) the spike
+    /// branch may add an extra sampled delay. With `spike_prob == 0.0` the
+    /// spike path consumes **zero** randomness, so enabling the feature on
+    /// one model never perturbs the RNG stream of a spike-free run — a
+    /// property the byte-identical golden traces rely on.
     pub fn delay<R: Rng>(&self, bytes: u64, rng: &mut R) -> SimDuration {
         let transmit_secs = if self.bandwidth_bytes_per_sec.is_finite() {
             bytes as f64 / self.bandwidth_bytes_per_sec
         } else {
             0.0
         };
-        self.latency.sample(rng) + SimDuration::from_secs_f64(transmit_secs)
+        let mut total = self.latency.sample(rng) + SimDuration::from_secs_f64(transmit_secs);
+        if self.spike_prob > 0.0 && rng.random_bool(self.spike_prob) {
+            total += self.spike.sample(rng);
+        }
+        total
     }
 }
 
@@ -209,11 +241,62 @@ mod tests {
         let net = NetworkModel {
             latency: DurationSampler::Constant { secs: 0.001 },
             bandwidth_bytes_per_sec: 1_000_000.0,
+            spike_prob: 0.0,
+            spike: DurationSampler::Constant { secs: 0.0 },
         };
         let mut rng = StdRng::seed_from_u64(0);
         // 500 KB over 1 MB/s = 0.5 s, plus 1 ms latency.
         let d = net.delay(500_000, &mut rng);
         assert_eq!(d, SimDuration::from_secs_f64(0.501));
+    }
+
+    #[test]
+    fn certain_spike_adds_the_sampled_extra_delay() {
+        let net = NetworkModel::instant()
+            .with_jitter_spikes(1.0, DurationSampler::Constant { secs: 0.25 });
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(net.delay(0, &mut rng), SimDuration::from_secs_f64(0.25));
+    }
+
+    #[test]
+    fn zero_spike_probability_consumes_no_randomness() {
+        // A spike-free model must draw the exact same latency sequence as a
+        // model that has the spike fields populated but disabled.
+        let plain = NetworkModel::ec2_like();
+        let armed_but_off = NetworkModel::ec2_like()
+            .with_jitter_spikes(0.0, DurationSampler::Constant { secs: 9.0 });
+        let mut ra = StdRng::seed_from_u64(11);
+        let mut rb = StdRng::seed_from_u64(11);
+        for _ in 0..128 {
+            assert_eq!(
+                plain.delay(1_000, &mut ra),
+                armed_but_off.delay(1_000, &mut rb)
+            );
+        }
+    }
+
+    #[test]
+    fn spikes_only_ever_increase_delay() {
+        let base = NetworkModel::ec2_like();
+        let spiky = NetworkModel::ec2_like()
+            .with_jitter_spikes(0.5, DurationSampler::Uniform { lo: 0.01, hi: 0.1 });
+        // Same seed: whenever the spike branch fires, the spiky delay must
+        // dominate what the base model would have produced from that state.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..256 {
+            let mut probe = rng.clone();
+            let plain = base.delay(4_096, &mut probe);
+            let spiked = spiky.delay(4_096, &mut rng);
+            assert!(spiked >= plain, "spike may only add delay");
+        }
+    }
+
+    #[test]
+    fn class_labels_round_trip() {
+        for class in MessageClass::ALL {
+            assert_eq!(MessageClass::from_label(class.label()), Some(class));
+        }
+        assert_eq!(MessageClass::from_label("bogus"), None);
     }
 
     #[test]

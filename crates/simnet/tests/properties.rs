@@ -1,7 +1,10 @@
 //! Property-based tests for the discrete-event engine's core invariants.
 
 use proptest::prelude::*;
-use specsync_simnet::{DurationSampler, EventQueue, RngStreams, VirtualTime};
+use specsync_simnet::{
+    DurationSampler, EventQueue, FaultPlan, LinkFaultProfile, MessageClass, RngStreams,
+    SimDuration, VirtualTime,
+};
 
 proptest! {
     /// Events always pop in non-decreasing time order, regardless of the
@@ -65,6 +68,54 @@ proptest! {
         ] {
             let d = sampler.sample(&mut rng);
             prop_assert!(d.as_secs_f64().is_finite());
+        }
+    }
+
+    /// Fault injection never breaks virtual-time ordering: messages routed
+    /// through a duplicate+spike fault plan still pop from the event queue
+    /// in non-decreasing time order, every delivered copy respects
+    /// causality (arrives no earlier than its send), and duplicates of one
+    /// send land at the same instant in FIFO order.
+    #[test]
+    fn fault_injected_deliveries_preserve_virtual_time_order(
+        seed in any::<u64>(),
+        sends in proptest::collection::vec((0u64..1_000_000, 1u64..50_000), 1..100),
+    ) {
+        let streams = RngStreams::new(seed);
+        let mut plan = FaultPlan::new(&streams).with_profile(
+            MessageClass::PushGrad,
+            LinkFaultProfile {
+                drop_prob: 0.0,
+                duplicate_prob: 0.5,
+                spike_prob: 0.5,
+                spike: DurationSampler::Uniform { lo: 0.001, hi: 0.25 },
+            },
+        );
+        let mut q = EventQueue::new();
+        let mut sent_at = Vec::new();
+        for (msg, &(t, base_delay)) in sends.iter().enumerate() {
+            let send = VirtualTime::from_micros(t);
+            let fate = plan.try_fate(MessageClass::PushGrad).unwrap();
+            prop_assert!(!fate.is_drop(), "drop_prob = 0 must never drop");
+            prop_assert!(fate.copies <= 2);
+            let arrive = send + SimDuration::from_micros(base_delay) + fate.extra_delay;
+            for copy in 0..fate.copies {
+                q.schedule(arrive, (msg, copy));
+            }
+            sent_at.push(send);
+        }
+        let mut last = VirtualTime::ZERO;
+        let mut prev: Option<(usize, u8)> = None;
+        while let Some((t, (msg, copy))) = q.pop() {
+            prop_assert!(t >= last, "pops must be time-ordered");
+            prop_assert!(t >= sent_at[msg], "a copy cannot arrive before its send");
+            if let Some((pm, pc)) = prev {
+                if t == last && pm == msg {
+                    prop_assert!(copy > pc, "same-send duplicates pop in FIFO order");
+                }
+            }
+            last = t;
+            prev = Some((msg, copy));
         }
     }
 

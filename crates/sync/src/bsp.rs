@@ -20,12 +20,13 @@ use specsync_simnet::WorkerId;
 pub struct BspBarrier {
     m: usize,
     arrived: Vec<bool>,
+    active: Vec<bool>,
     count: usize,
     generation: u64,
 }
 
 impl BspBarrier {
-    /// Creates a barrier over `m` workers.
+    /// Creates a barrier over `m` workers, all initially active.
     ///
     /// # Panics
     ///
@@ -35,6 +36,7 @@ impl BspBarrier {
         BspBarrier {
             m,
             arrived: vec![false; m],
+            active: vec![true; m],
             count: 0,
             generation: 0,
         }
@@ -50,22 +52,84 @@ impl BspBarrier {
         self.count
     }
 
-    /// Marks `worker` as arrived. Returns `Some(all workers)` when the
+    /// Number of workers the barrier currently waits for.
+    pub fn active_workers(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Whether `worker` participates in the current round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn is_active(&self, worker: WorkerId) -> bool {
+        self.active[worker.index()]
+    }
+
+    /// Marks `worker` as arrived. Returns `Some(active workers)` when the
     /// barrier trips (and resets for the next round), `None` otherwise.
     ///
     /// # Panics
     ///
-    /// Panics if `worker` is out of range or arrives twice in one round.
+    /// Panics if `worker` is out of range, arrives twice in one round, or
+    /// arrives while deactivated.
     pub fn arrive(&mut self, worker: WorkerId) -> Option<Vec<WorkerId>> {
+        assert!(
+            self.active[worker.index()],
+            "{worker} arrived while deactivated"
+        );
         let slot = &mut self.arrived[worker.index()];
         assert!(!*slot, "{worker} arrived twice in one barrier round");
         *slot = true;
         self.count += 1;
-        if self.count == self.m {
+        self.trip_if_complete()
+    }
+
+    /// Removes a (crashed) worker from the barrier. If every remaining
+    /// active worker has already arrived, the barrier trips immediately so
+    /// survivors are never deadlocked waiting on the dead worker; the
+    /// released workers are returned exactly as from [`BspBarrier::arrive`].
+    ///
+    /// Deactivating an already-inactive worker is a no-op returning `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn deactivate(&mut self, worker: WorkerId) -> Option<Vec<WorkerId>> {
+        let i = worker.index();
+        if !self.active[i] {
+            return None;
+        }
+        self.active[i] = false;
+        if self.arrived[i] {
+            self.arrived[i] = false;
+            self.count -= 1;
+        }
+        self.trip_if_complete()
+    }
+
+    /// Re-admits a recovered worker starting with the *next* round: it is
+    /// marked active and not arrived, so the current round now also waits
+    /// for it. Reactivating an active worker is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn reactivate(&mut self, worker: WorkerId) {
+        self.active[worker.index()] = true;
+    }
+
+    fn trip_if_complete(&mut self) -> Option<Vec<WorkerId>> {
+        let needed = self.active_workers();
+        if needed > 0 && self.count == needed {
             self.arrived.fill(false);
             self.count = 0;
             self.generation += 1;
-            Some(WorkerId::all(self.m).collect())
+            Some(
+                WorkerId::all(self.m)
+                    .filter(|w| self.active[w.index()])
+                    .collect(),
+            )
         } else {
             None
         }
@@ -115,5 +179,48 @@ mod tests {
         let mut b = BspBarrier::new(1);
         assert!(b.arrive(w(0)).is_some());
         assert!(b.arrive(w(0)).is_some());
+    }
+
+    #[test]
+    fn deactivating_a_missing_worker_releases_the_waiters() {
+        let mut b = BspBarrier::new(3);
+        assert!(b.arrive(w(0)).is_none());
+        assert!(b.arrive(w(1)).is_none());
+        // w2 crashes before arriving: the round must trip for the survivors.
+        let released = b.deactivate(w(2)).expect("barrier must release survivors");
+        assert_eq!(released, vec![w(0), w(1)]);
+        assert_eq!(b.generation(), 1);
+        assert_eq!(b.active_workers(), 2);
+    }
+
+    #[test]
+    fn deactivating_an_arrived_worker_removes_its_arrival() {
+        let mut b = BspBarrier::new(3);
+        assert!(b.arrive(w(0)).is_none());
+        assert!(b.deactivate(w(0)).is_none());
+        assert_eq!(b.waiting(), 0);
+        // The two survivors now form the whole barrier.
+        assert!(b.arrive(w(1)).is_none());
+        let released = b.arrive(w(2)).unwrap();
+        assert_eq!(released, vec![w(1), w(2)]);
+    }
+
+    #[test]
+    fn reactivation_rejoins_the_next_round() {
+        let mut b = BspBarrier::new(2);
+        b.deactivate(w(1));
+        assert!(b.arrive(w(0)).is_some(), "solo active worker trips alone");
+        b.reactivate(w(1));
+        assert!(b.arrive(w(0)).is_none(), "round now waits for the rejoiner");
+        let released = b.arrive(w(1)).unwrap();
+        assert_eq!(released, vec![w(0), w(1)]);
+    }
+
+    #[test]
+    fn double_deactivate_is_a_noop() {
+        let mut b = BspBarrier::new(2);
+        assert!(b.deactivate(w(0)).is_none());
+        assert!(b.deactivate(w(0)).is_none());
+        assert_eq!(b.active_workers(), 1);
     }
 }

@@ -24,11 +24,13 @@ use specsync_simnet::WorkerId;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SspClock {
     clocks: Vec<u64>,
+    active: Vec<bool>,
     bound: u64,
 }
 
 impl SspClock {
-    /// Creates clocks for `m` workers with the given staleness `bound`.
+    /// Creates clocks for `m` workers (all active) with the given staleness
+    /// `bound`.
     ///
     /// # Panics
     ///
@@ -37,6 +39,7 @@ impl SspClock {
         assert!(m > 0, "need at least one worker");
         SspClock {
             clocks: vec![0; m],
+            active: vec![true; m],
             bound,
         }
     }
@@ -55,10 +58,55 @@ impl SspClock {
         self.clocks[worker.index()]
     }
 
-    /// The slowest worker's clock (zero for an empty clock set, which the
-    /// constructor forbids).
+    /// The slowest *active* worker's clock (zero when no worker is active),
+    /// so a crashed straggler cannot pin the bound forever.
     pub fn min_clock(&self) -> u64 {
-        self.clocks.iter().min().copied().unwrap_or(0)
+        self.clocks
+            .iter()
+            .zip(&self.active)
+            .filter(|&(_, &a)| a)
+            .map(|(&c, _)| c)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Whether `worker` currently participates in the bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn is_active(&self, worker: WorkerId) -> bool {
+        self.active[worker.index()]
+    }
+
+    /// Removes a (crashed) worker from the bound: its clock no longer
+    /// counts toward `min_clock`, so survivors blocked on it become
+    /// eligible again (check with
+    /// [`newly_unblocked`](Self::newly_unblocked)). No-op if already
+    /// inactive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn deactivate(&mut self, worker: WorkerId) {
+        self.active[worker.index()] = false;
+    }
+
+    /// Re-admits a recovered worker at the tail of the pack: its clock is
+    /// reset to the current active minimum so it rejoins without dragging
+    /// `min_clock` (and thus every survivor) backwards. No-op if already
+    /// active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn reactivate(&mut self, worker: WorkerId) {
+        let i = worker.index();
+        if self.active[i] {
+            return;
+        }
+        self.clocks[i] = self.min_clock();
+        self.active[i] = true;
     }
 
     /// Records that `worker` finished an iteration (its clock advances).
@@ -81,10 +129,10 @@ impl SspClock {
         next <= self.min_clock() + self.bound + 1
     }
 
-    /// Workers currently blocked by the bound.
+    /// Active workers currently blocked by the bound.
     pub fn blocked_workers(&self) -> Vec<WorkerId> {
         WorkerId::all(self.clocks.len())
-            .filter(|&w| !self.can_start_next(w))
+            .filter(|&w| self.active[w.index()] && !self.can_start_next(w))
             .collect()
     }
 
@@ -156,5 +204,39 @@ mod tests {
         ssp.complete_iteration(w(2));
         assert_eq!(ssp.min_clock(), 1);
         assert_eq!(ssp.clock_of(w(1)), 1);
+    }
+
+    #[test]
+    fn deactivating_a_dead_straggler_unblocks_survivors() {
+        let mut ssp = SspClock::new(3, 0);
+        ssp.complete_iteration(w(0));
+        ssp.complete_iteration(w(1));
+        // w2 (still at 0) crashes; w0/w1 were blocked on it.
+        let blocked = ssp.blocked_workers();
+        assert_eq!(blocked, vec![w(0), w(1)]);
+        ssp.deactivate(w(2));
+        assert_eq!(ssp.min_clock(), 1);
+        assert_eq!(ssp.newly_unblocked(&blocked), vec![w(0), w(1)]);
+        assert!(ssp.blocked_workers().is_empty());
+    }
+
+    #[test]
+    fn reactivation_rejoins_at_the_active_minimum() {
+        let mut ssp = SspClock::new(3, 1);
+        ssp.deactivate(w(2));
+        for _ in 0..5 {
+            ssp.complete_iteration(w(0));
+            ssp.complete_iteration(w(1));
+        }
+        assert_eq!(ssp.min_clock(), 5);
+        ssp.reactivate(w(2));
+        // Rejoins at the pack's tail, not at its stale pre-crash clock.
+        assert_eq!(ssp.clock_of(w(2)), 5);
+        assert_eq!(ssp.min_clock(), 5);
+        assert!(ssp.can_start_next(w(2)));
+        // Reactivating an active worker must not reset its clock.
+        ssp.complete_iteration(w(2));
+        ssp.reactivate(w(2));
+        assert_eq!(ssp.clock_of(w(2)), 6);
     }
 }

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+use specsync_simnet::{MessageClass, SimDuration, VirtualTime, WorkerId};
 
 /// A trace timestamp: anything that reduces to a monotone microsecond
 /// count from the start of the run.
@@ -43,6 +43,8 @@ pub enum WorkerPhase {
     Computing,
     /// Push in flight.
     Pushing,
+    /// Crashed; not participating until recovery.
+    Dead,
 }
 
 impl WorkerPhase {
@@ -53,6 +55,7 @@ impl WorkerPhase {
             WorkerPhase::Pulling => "pulling",
             WorkerPhase::Computing => "computing",
             WorkerPhase::Pushing => "pushing",
+            WorkerPhase::Dead => "dead",
         }
     }
 
@@ -63,8 +66,31 @@ impl WorkerPhase {
             "pulling" => WorkerPhase::Pulling,
             "computing" => WorkerPhase::Computing,
             "pushing" => WorkerPhase::Pushing,
+            "dead" => WorkerPhase::Dead,
             _ => return None,
         })
+    }
+}
+
+/// What a fault injection did to one message send.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The message was lost.
+    Drop,
+    /// The message was delivered twice.
+    Duplicate,
+    /// Every delivered copy was delayed by the extra duration.
+    DelaySpike(SimDuration),
+}
+
+impl FaultKind {
+    /// Stable lowercase label used in serialized traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::DelaySpike(_) => "delay",
+        }
     }
 }
 
@@ -138,6 +164,88 @@ pub enum Event {
         /// The phase entered.
         state: WorkerPhase,
     },
+    /// The fault plan injected a message-level fault.
+    Fault {
+        /// The worker whose message was hit.
+        worker: WorkerId,
+        /// The traffic class of the message.
+        class: MessageClass,
+        /// What happened to the message.
+        kind: FaultKind,
+    },
+    /// A worker crashed; its in-flight compute is discarded.
+    WorkerCrashed {
+        /// The crashed worker.
+        worker: WorkerId,
+    },
+    /// A crashed worker rejoined the cluster in a fresh epoch.
+    WorkerRecovered {
+        /// The recovered worker.
+        worker: WorkerId,
+        /// The worker's new fencing epoch (pre-crash pushes carry a lower
+        /// epoch and are rejected).
+        epoch: u64,
+    },
+    /// A straggler slowdown window opened for a worker.
+    Straggler {
+        /// The straggling worker.
+        worker: WorkerId,
+        /// Multiplicative compute slowdown inside the window.
+        slowdown: f64,
+        /// How long the window lasts.
+        duration: SimDuration,
+    },
+    /// Cluster membership changed from the scheduler's point of view.
+    Membership {
+        /// The worker marked dead or alive.
+        worker: WorkerId,
+        /// `true` when the worker (re)joined, `false` when it was marked
+        /// dead.
+        alive: bool,
+        /// Active worker count `m` after the change (the value Eq. 6/7 now
+        /// tune against).
+        active: u64,
+    },
+    /// The scheduler detected lost `notify` messages by reconciling its
+    /// own count against the store's applied-push counter and backfilled
+    /// the missing pushes into its history.
+    NotifyLoss {
+        /// The worker whose notifies went missing.
+        worker: WorkerId,
+        /// How many notifies were reconciled away.
+        missing: u64,
+    },
+    /// An abort went unacknowledged past the ack timeout and was re-issued
+    /// (at most once per armed window).
+    AbortReissued {
+        /// The worker being re-instructed to re-sync.
+        worker: WorkerId,
+    },
+    /// A stale push (pre-crash epoch or dead worker) was fenced off
+    /// instead of being applied to the store.
+    PushFenced {
+        /// The worker whose push was fenced.
+        worker: WorkerId,
+        /// The *current* epoch of the worker (the push carried an older
+        /// one).
+        epoch: u64,
+    },
+    /// A dropped data-plane message triggered a deterministic bounded
+    /// retry.
+    RetryScheduled {
+        /// The worker whose message is being retried.
+        worker: WorkerId,
+        /// The traffic class being retried.
+        class: MessageClass,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// The parameter store panicked mid-apply and was restored from the
+    /// last checkpoint.
+    StoreRecovered {
+        /// The store version after restoration.
+        version: u64,
+    },
 }
 
 impl Event {
@@ -149,8 +257,17 @@ impl Event {
             | Event::Notify { worker }
             | Event::AbortIssued { worker }
             | Event::Resync { worker, .. }
-            | Event::WorkerState { worker, .. } => Some(*worker),
-            Event::EpochTuned { .. } | Event::Eval { .. } => None,
+            | Event::WorkerState { worker, .. }
+            | Event::Fault { worker, .. }
+            | Event::WorkerCrashed { worker }
+            | Event::WorkerRecovered { worker, .. }
+            | Event::Straggler { worker, .. }
+            | Event::Membership { worker, .. }
+            | Event::NotifyLoss { worker, .. }
+            | Event::AbortReissued { worker }
+            | Event::PushFenced { worker, .. }
+            | Event::RetryScheduled { worker, .. } => Some(*worker),
+            Event::EpochTuned { .. } | Event::Eval { .. } | Event::StoreRecovered { .. } => None,
         }
     }
 
@@ -165,6 +282,16 @@ impl Event {
             Event::EpochTuned { .. } => "epoch_tuned",
             Event::Eval { .. } => "eval",
             Event::WorkerState { .. } => "state",
+            Event::Fault { .. } => "fault",
+            Event::WorkerCrashed { .. } => "crash",
+            Event::WorkerRecovered { .. } => "recover",
+            Event::Straggler { .. } => "straggler",
+            Event::Membership { .. } => "membership",
+            Event::NotifyLoss { .. } => "notify_loss",
+            Event::AbortReissued { .. } => "abort_reissue",
+            Event::PushFenced { .. } => "push_fenced",
+            Event::RetryScheduled { .. } => "retry",
+            Event::StoreRecovered { .. } => "store_recovered",
         }
     }
 }
@@ -200,6 +327,7 @@ mod tests {
             WorkerPhase::Pulling,
             WorkerPhase::Computing,
             WorkerPhase::Pushing,
+            WorkerPhase::Dead,
         ] {
             assert_eq!(WorkerPhase::from_label(phase.label()), Some(phase));
         }

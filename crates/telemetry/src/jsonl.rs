@@ -19,9 +19,9 @@ use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use parking_lot::Mutex;
-use specsync_simnet::{SimDuration, WorkerId};
+use specsync_simnet::{MessageClass, SimDuration, WorkerId};
 
-use crate::event::{Event, Timestamp, WorkerPhase};
+use crate::event::{Event, FaultKind, Timestamp, WorkerPhase};
 use crate::sink::EventSink;
 
 /// A trace I/O or parse failure.
@@ -131,6 +131,66 @@ pub fn encode_line(micros: u64, event: &Event) -> String {
                 state.label()
             );
         }
+        Event::Fault {
+            worker,
+            class,
+            kind,
+        } => {
+            let _ = write!(
+                s,
+                ",\"w\":{},\"class\":\"{}\",\"kind\":\"{}\"",
+                worker.index(),
+                class.label(),
+                kind.label()
+            );
+            if let FaultKind::DelaySpike(extra) = kind {
+                let _ = write!(s, ",\"extra_us\":{}", extra.as_micros());
+            }
+        }
+        Event::WorkerCrashed { worker } | Event::AbortReissued { worker } => {
+            let _ = write!(s, ",\"w\":{}", worker.index());
+        }
+        Event::WorkerRecovered { worker, epoch } | Event::PushFenced { worker, epoch } => {
+            let _ = write!(s, ",\"w\":{},\"epoch\":{epoch}", worker.index());
+        }
+        Event::Straggler {
+            worker,
+            slowdown,
+            duration,
+        } => {
+            let _ = write!(s, ",\"w\":{},\"slowdown\":", worker.index());
+            push_f64(&mut s, *slowdown);
+            let _ = write!(s, ",\"duration_us\":{}", duration.as_micros());
+        }
+        Event::Membership {
+            worker,
+            alive,
+            active,
+        } => {
+            let _ = write!(
+                s,
+                ",\"w\":{},\"alive\":{alive},\"active\":{active}",
+                worker.index()
+            );
+        }
+        Event::NotifyLoss { worker, missing } => {
+            let _ = write!(s, ",\"w\":{},\"missing\":{missing}", worker.index());
+        }
+        Event::RetryScheduled {
+            worker,
+            class,
+            attempt,
+        } => {
+            let _ = write!(
+                s,
+                ",\"w\":{},\"class\":\"{}\",\"attempt\":{attempt}",
+                worker.index(),
+                class.label()
+            );
+        }
+        Event::StoreRecovered { version } => {
+            let _ = write!(s, ",\"version\":{version}");
+        }
     }
     s.push('}');
     s
@@ -202,6 +262,19 @@ fn parse_worker(pairs: &[(&str, &str)]) -> Result<WorkerId, String> {
         .map_err(|_| format!("worker index {idx} out of range"))
 }
 
+fn parse_bool(pairs: &[(&str, &str)], key: &str) -> Result<bool, String> {
+    match find(pairs, key)? {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("field `{key}` is not a boolean: `{other}`")),
+    }
+}
+
+fn parse_class(pairs: &[(&str, &str)]) -> Result<MessageClass, String> {
+    let label = parse_str(pairs, "class")?;
+    MessageClass::from_label(label).ok_or_else(|| format!("unknown message class `{label}`"))
+}
+
 /// Parses one [`encode_line`] output back into a [`TraceRecord`].
 pub fn parse_trace_line(line: &str) -> Result<TraceRecord, String> {
     let pairs = split_pairs(line)?;
@@ -243,6 +316,58 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, String> {
             worker: parse_worker(&pairs)?,
             state: WorkerPhase::from_label(parse_str(&pairs, "state")?)
                 .ok_or_else(|| "unknown worker phase".to_string())?,
+        },
+        "fault" => {
+            let kind = match parse_str(&pairs, "kind")? {
+                "drop" => FaultKind::Drop,
+                "duplicate" => FaultKind::Duplicate,
+                "delay" => {
+                    FaultKind::DelaySpike(SimDuration::from_micros(parse_u64(&pairs, "extra_us")?))
+                }
+                other => return Err(format!("unknown fault kind `{other}`")),
+            };
+            Event::Fault {
+                worker: parse_worker(&pairs)?,
+                class: parse_class(&pairs)?,
+                kind,
+            }
+        }
+        "crash" => Event::WorkerCrashed {
+            worker: parse_worker(&pairs)?,
+        },
+        "recover" => Event::WorkerRecovered {
+            worker: parse_worker(&pairs)?,
+            epoch: parse_u64(&pairs, "epoch")?,
+        },
+        "straggler" => Event::Straggler {
+            worker: parse_worker(&pairs)?,
+            slowdown: parse_f64(&pairs, "slowdown")?,
+            duration: SimDuration::from_micros(parse_u64(&pairs, "duration_us")?),
+        },
+        "membership" => Event::Membership {
+            worker: parse_worker(&pairs)?,
+            alive: parse_bool(&pairs, "alive")?,
+            active: parse_u64(&pairs, "active")?,
+        },
+        "notify_loss" => Event::NotifyLoss {
+            worker: parse_worker(&pairs)?,
+            missing: parse_u64(&pairs, "missing")?,
+        },
+        "abort_reissue" => Event::AbortReissued {
+            worker: parse_worker(&pairs)?,
+        },
+        "push_fenced" => Event::PushFenced {
+            worker: parse_worker(&pairs)?,
+            epoch: parse_u64(&pairs, "epoch")?,
+        },
+        "retry" => Event::RetryScheduled {
+            worker: parse_worker(&pairs)?,
+            class: parse_class(&pairs)?,
+            attempt: u32::try_from(parse_u64(&pairs, "attempt")?)
+                .map_err(|_| "retry attempt out of range".to_string())?,
+        },
+        "store_recovered" => Event::StoreRecovered {
+            version: parse_u64(&pairs, "version")?,
         },
         other => return Err(format!("unknown event tag `{other}`")),
     };
@@ -421,6 +546,56 @@ mod tests {
             worker: w,
             state: WorkerPhase::Computing,
         });
+        round_trip(Event::Fault {
+            worker: w,
+            class: MessageClass::Notify,
+            kind: FaultKind::Drop,
+        });
+        round_trip(Event::Fault {
+            worker: w,
+            class: MessageClass::PushGrad,
+            kind: FaultKind::Duplicate,
+        });
+        round_trip(Event::Fault {
+            worker: w,
+            class: MessageClass::Resync,
+            kind: FaultKind::DelaySpike(SimDuration::from_millis(40)),
+        });
+        round_trip(Event::WorkerCrashed { worker: w });
+        round_trip(Event::WorkerRecovered {
+            worker: w,
+            epoch: 2,
+        });
+        round_trip(Event::Straggler {
+            worker: w,
+            slowdown: 3.5,
+            duration: SimDuration::from_secs(20),
+        });
+        round_trip(Event::Membership {
+            worker: w,
+            alive: false,
+            active: 4,
+        });
+        round_trip(Event::Membership {
+            worker: w,
+            alive: true,
+            active: 5,
+        });
+        round_trip(Event::NotifyLoss {
+            worker: w,
+            missing: 3,
+        });
+        round_trip(Event::AbortReissued { worker: w });
+        round_trip(Event::PushFenced {
+            worker: w,
+            epoch: 1,
+        });
+        round_trip(Event::RetryScheduled {
+            worker: w,
+            class: MessageClass::PullParams,
+            attempt: 2,
+        });
+        round_trip(Event::StoreRecovered { version: 812 });
     }
 
     #[test]

@@ -57,7 +57,7 @@ mod metrics;
 mod sink;
 
 pub use curve::{LossCurve, LossSample};
-pub use event::{Event, Timestamp, WorkerPhase};
+pub use event::{Event, FaultKind, Timestamp, WorkerPhase};
 pub use jsonl::{parse_trace_line, read_trace, JsonlSink, TraceError, TraceRecord};
 pub use metrics::{Histogram, MetricsSink, MetricsSnapshot, WorkerCounters};
 pub use sink::{EventSink, InMemorySink, NullSink};

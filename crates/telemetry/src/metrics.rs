@@ -129,6 +129,16 @@ pub struct MetricsSnapshot {
     /// the simulator driver's own accumulator bit-for-bit so snapshot
     /// means can be compared exactly against `RunReport::mean_staleness`.
     pub staleness_sum: f64,
+    /// Injected faults observed (message faults and straggler windows).
+    pub faults: u64,
+    /// Worker crashes observed.
+    pub crashes: u64,
+    /// Worker recoveries observed.
+    pub recoveries: u64,
+    /// Graceful-degradation decisions observed (membership changes,
+    /// notify-loss reconciliations, abort re-issues, fenced pushes,
+    /// retries, store recoveries).
+    pub degradations: u64,
 }
 
 impl MetricsSnapshot {
@@ -141,6 +151,10 @@ impl MetricsSnapshot {
             epochs_tuned: 0,
             evals: 0,
             staleness_sum: 0.0,
+            faults: 0,
+            crashes: 0,
+            recoveries: 0,
+            degradations: 0,
         }
     }
 
@@ -272,6 +286,15 @@ impl<T: Timestamp> EventSink<T> for MetricsSink {
             Event::EpochTuned { .. } => state.snapshot.epochs_tuned += 1,
             Event::Eval { .. } => state.snapshot.evals += 1,
             Event::WorkerState { .. } => {}
+            Event::Fault { .. } | Event::Straggler { .. } => state.snapshot.faults += 1,
+            Event::WorkerCrashed { .. } => state.snapshot.crashes += 1,
+            Event::WorkerRecovered { .. } => state.snapshot.recoveries += 1,
+            Event::Membership { .. }
+            | Event::NotifyLoss { .. }
+            | Event::AbortReissued { .. }
+            | Event::PushFenced { .. }
+            | Event::RetryScheduled { .. }
+            | Event::StoreRecovered { .. } => state.snapshot.degradations += 1,
         }
     }
 }

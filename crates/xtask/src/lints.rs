@@ -8,7 +8,8 @@
 //! | lint                | scope          | flags                                             |
 //! |---------------------|----------------|---------------------------------------------------|
 //! | `virtual-time`      | deterministic  | `Instant`, `SystemTime`, `thread_rng`,            |
-//! |                     |                | `from_entropy`, `std::env::var*` branching        |
+//! |                     |                | `from_entropy`, `std::env::var*` branching,       |
+//! |                     |                | `sleep(..)` calls (wall-clock blocking)           |
 //! | `ordered-iteration` | deterministic  | `HashMap` / `HashSet` (iteration order is         |
 //! |                     |                | nondeterministic; use `BTreeMap`/`BTreeSet`)      |
 //! | `no-panic`          | library        | `.unwrap()` / `.expect(..)`                       |
@@ -236,12 +237,27 @@ pub fn analyze_source(
     diags
 }
 
-/// `virtual-time`: wall-clock types, entropy-seeded RNGs, and environment
-/// reads are forbidden in deterministic crates — each one makes two
-/// same-seed runs diverge.
+/// `virtual-time`: wall-clock types, entropy-seeded RNGs, sleeps, and
+/// environment reads are forbidden in deterministic crates — each one
+/// makes two same-seed runs diverge. Fault injection (`simnet::fault`)
+/// falls under the same rule: a chaos schedule must come from seeded
+/// `RngStreams` draws and virtual-time events, never from the host.
 fn virtual_time(file: &str, sanitized: &str, idents: &[Ident<'_>], out: &mut Vec<Diagnostic>) {
     for (k, id) in idents.iter().enumerate() {
         let flagged = match id.text {
+            "sleep" => {
+                // `thread::sleep(..)`, `std::thread::sleep(..)`, or a bare
+                // `sleep(..)` call: blocks on the wall clock. Identifiers
+                // merely *named* sleep (fields, non-call uses) pass.
+                let is_call = lexer::next_nonspace(sanitized, id.offset + id.text.len())
+                    .is_some_and(|(_, b)| b == b'(');
+                is_call.then(|| {
+                    "`sleep(..)` blocks on the wall clock; deterministic code \
+                     advances time through the event queue (real-threaded \
+                     pacing must annotate its sanctioned sleeps)"
+                        .to_string()
+                })
+            }
             "Instant" | "SystemTime" => Some(format!(
                 "`{}` is wall-clock state; deterministic crates must use \
                  `specsync_simnet::VirtualTime`",
@@ -450,6 +466,18 @@ mod tests {
     fn instant_is_flagged_in_deterministic_code() {
         let d = det("use std::time::Instant;\nfn f() { let t = Instant::now(); }\n");
         assert!(d.iter().filter(|d| d.lint == Lint::VirtualTime).count() >= 2);
+    }
+
+    #[test]
+    fn sleep_call_is_flagged_in_deterministic_code() {
+        let d = det("fn f() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n");
+        assert!(d.iter().any(|d| d.lint == Lint::VirtualTime), "{d:?}");
+    }
+
+    #[test]
+    fn sleep_named_but_not_called_is_clean() {
+        let d = det("struct S { sleep: u64 }\nfn f(s: &S) -> u64 { s.sleep }\n");
+        assert!(d.is_empty(), "unexpected: {d:?}");
     }
 
     #[test]

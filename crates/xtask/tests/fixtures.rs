@@ -62,6 +62,39 @@ pub fn seed() -> u64 {
 }
 
 #[test]
+fn virtual_time_fixture_sleep_in_runtime_style_crate() {
+    // The chaos-era scenario: someone paces a retry loop with a real
+    // sleep instead of scheduling a virtual-time event (or the runtime's
+    // annotated, injected-clock pacing).
+    let fixture = r#"
+use std::thread;
+use std::time::Duration;
+
+pub fn retry_with_backoff(attempts: u32) {
+    for k in 0..attempts {
+        thread::sleep(Duration::from_millis(1 << k));
+    }
+}
+"#;
+    let diags = analyze_det(fixture);
+    let lines = lines_of(&diags, Lint::VirtualTime);
+    assert_eq!(lines, vec![7], "expected the sleep call site: {diags:?}");
+
+    // The runtime's sanctioned pattern: same code, annotated with a reason.
+    let annotated = r#"
+use std::thread;
+use std::time::Duration;
+
+pub fn pace() {
+    // specsync-allow(virtual-time): real-threaded pacing on the injected clock
+    thread::sleep(Duration::from_millis(1));
+}
+"#;
+    let diags = analyze_det(annotated);
+    assert!(diags.is_empty(), "annotated sleep must pass: {diags:?}");
+}
+
+#[test]
 fn ordered_iteration_fixture_hashmap_in_core_style_crate() {
     let fixture = r#"
 use std::collections::HashMap;

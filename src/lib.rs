@@ -57,7 +57,7 @@ pub use specsync_sync as sync;
 pub use specsync_telemetry as telemetry;
 
 pub use specsync_cluster::{
-    ClusterSpec, Driver, DriverConfig, InstanceType, LossPoint, RunReport, Trainer,
+    ChaosStats, ClusterSpec, Driver, DriverConfig, InstanceType, LossPoint, RunReport, Trainer,
 };
 pub use specsync_core::{
     AdaptiveTuner, CherrypickGrid, Hyperparams, PapDistribution, PushHistory, Scheduler,
@@ -65,8 +65,13 @@ pub use specsync_core::{
 };
 pub use specsync_ml::{LrSchedule, Model, Workload, WorkloadKind};
 pub use specsync_ps::{ParamSnapshot, ParameterStore};
-pub use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+pub use specsync_runtime::{Backoff, RuntimeChaos, RuntimeConfig};
+pub use specsync_simnet::{
+    CrashEvent, FaultPlan, LinkFaultProfile, MessageFate, SimDuration, StragglerWindow,
+    VirtualTime, WorkerId,
+};
 pub use specsync_sync::{BaseScheme, SchemeKind, TuningMode};
 pub use specsync_telemetry::{
-    Event, EventSink, InMemorySink, JsonlSink, LossCurve, LossSample, MetricsSink, NullSink,
+    Event, EventSink, FaultKind, InMemorySink, JsonlSink, LossCurve, LossSample, MetricsSink,
+    NullSink,
 };
