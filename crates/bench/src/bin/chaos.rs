@@ -10,6 +10,9 @@
 //!   2% duplicated, occasional delay spikes.
 //! - **chaos** — the lossy network plus one straggler window and two
 //!   worker crash/recover cycles.
+//! - **server-failure** — the lossy network plus a parameter-server
+//!   shard crash mid-run: traffic parks, the warm backup is promoted,
+//!   the journal replays, and the crashed node later rejoins as backup.
 //!
 //! Everything is seeded and replayed in virtual time, so every cell of
 //! the table is reproducible (`cargo run -p specsync-bench --bin chaos`).
@@ -19,7 +22,7 @@ use specsync_cluster::{ClusterSpec, InstanceType, Trainer};
 use specsync_ml::Workload;
 use specsync_simnet::{
     CrashEvent, DurationSampler, FaultPlan, LinkFaultProfile, MessageClass, RngStreams,
-    StragglerWindow, VirtualTime, WorkerId,
+    ServerCrashEvent, StragglerWindow, VirtualTime, WorkerId,
 };
 use specsync_sync::SchemeKind;
 
@@ -71,6 +74,18 @@ fn chaos_plan(seed: u64) -> FaultPlan {
         })
 }
 
+/// The server-failure profile: the lossy network plus one parameter-server
+/// shard crash early in the run, with the crashed node rejoining as a warm
+/// backup a few seconds later. Exercises the full failover protocol —
+/// parked traffic, backup promotion, journal replay, scheduler recovery.
+fn server_failure_plan(seed: u64) -> FaultPlan {
+    lossy_plan(seed).with_server_crash(ServerCrashEvent {
+        server: 0,
+        at: VirtualTime::from_secs(2),
+        recover_at: Some(VirtualTime::from_secs(6)),
+    })
+}
+
 fn main() {
     let workload = Workload::tiny_test();
     let target = workload.target_loss;
@@ -78,10 +93,11 @@ fn main() {
         "Chaos: loss-vs-time degradation under fault injection ({WORKERS} workers, target {target})"
     ));
 
-    let profiles: [Profile; 3] = [
+    let profiles: [Profile; 4] = [
         ("fault-free", |_| None),
         ("lossy", |s| Some(lossy_plan(s))),
         ("chaos", |s| Some(chaos_plan(s))),
+        ("server-failure", |s| Some(server_failure_plan(s))),
     ];
     let schemes = [
         ("Original", SchemeKind::Asp),
@@ -120,7 +136,7 @@ fn main() {
     for (profile, _) in profiles {
         println!("\n{profile}:");
         println!(
-            "{:>18} {:>12} {:>12} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8}",
+            "{:>18} {:>12} {:>12} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>7}",
             "scheme",
             "t-target",
             "degrade",
@@ -129,7 +145,9 @@ fn main() {
             "drops",
             "retries",
             "crashes",
-            "reissue"
+            "reissue",
+            "fover",
+            "replay"
         );
         for (label, _) in schemes {
             let report = &reports
@@ -145,7 +163,7 @@ fn main() {
                 _ => "--".to_string(),
             };
             println!(
-                "{:>18} {:>12} {:>12} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8}",
+                "{:>18} {:>12} {:>12} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>7}",
                 label,
                 fmt_time(t),
                 degrade,
@@ -155,6 +173,8 @@ fn main() {
                 report.chaos.retries,
                 report.chaos.crashes,
                 report.chaos.abort_reissues,
+                report.chaos.failovers,
+                report.chaos.journal_replayed,
             );
         }
     }

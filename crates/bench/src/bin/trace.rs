@@ -258,6 +258,11 @@ struct Summary {
     evals: u64,
     final_loss: Option<f64>,
     end_micros: u64,
+    /// Server-side fault-tolerance events (worker-less, counted globally).
+    failovers: u64,
+    journal_replayed: u64,
+    checkpoints: u64,
+    sched_recoveries: u64,
 }
 
 fn reconstruct(records: &[TraceRecord]) -> Summary {
@@ -266,6 +271,10 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
     let mut evals = 0u64;
     let mut final_loss = None;
     let mut end_micros = 0u64;
+    let mut failovers = 0u64;
+    let mut journal_replayed = 0u64;
+    let mut checkpoints = 0u64;
+    let mut sched_recoveries = 0u64;
 
     for rec in records {
         let t = rec.micros;
@@ -291,6 +300,19 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
             Event::Eval { loss, .. } => {
                 evals += 1;
                 final_loss = Some(*loss);
+                continue;
+            }
+            Event::ShardFailover { replayed, .. } => {
+                failovers += 1;
+                journal_replayed += replayed;
+                continue;
+            }
+            Event::CheckpointWritten { .. } => {
+                checkpoints += 1;
+                continue;
+            }
+            Event::SchedulerRecovered { .. } => {
+                sched_recoveries += 1;
                 continue;
             }
             _ => {}
@@ -337,7 +359,12 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
                 | Event::AbortReissued { .. }
                 | Event::PushFenced { .. }
                 | Event::RetryScheduled { .. } => tl.faults += 1,
-                Event::EpochTuned { .. } | Event::Eval { .. } | Event::StoreRecovered { .. } => {}
+                Event::EpochTuned { .. }
+                | Event::Eval { .. }
+                | Event::StoreRecovered { .. }
+                | Event::ShardFailover { .. }
+                | Event::CheckpointWritten { .. }
+                | Event::SchedulerRecovered { .. } => {}
             }
         }
     }
@@ -387,6 +414,10 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
         evals,
         final_loss,
         end_micros,
+        failovers,
+        journal_replayed,
+        checkpoints,
+        sched_recoveries,
     }
 }
 
@@ -416,6 +447,17 @@ fn summarize(path: &str) -> ExitCode {
             None => String::new(),
         }
     );
+
+    if summary.failovers + summary.checkpoints + summary.sched_recoveries > 0 {
+        println!(
+            "server fault tolerance: {} shard failover(s) ({} journaled push(es) replayed), \
+             {} checkpoint(s) written, {} scheduler recovery(ies)",
+            summary.failovers,
+            summary.journal_replayed,
+            summary.checkpoints,
+            summary.sched_recoveries
+        );
+    }
 
     println!("\nper-worker timelines:");
     println!(

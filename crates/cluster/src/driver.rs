@@ -54,7 +54,7 @@ use rand::rngs::StdRng;
 
 use specsync_core::{Scheduler, SpecSyncError};
 use specsync_ml::{BatchSampler, LrSchedule, Model, SparseGrad, Workload};
-use specsync_ps::{MessageSizes, ParameterStore};
+use specsync_ps::{MessageSizes, ParameterStore, ReplicaError, ReplicatedStore};
 use specsync_simnet::{
     DurationSampler, EventQueue, FaultPlan, MessageClass, MessageFate, NetworkModel, RngStreams,
     SimDuration, TransferLedger, VirtualTime, WorkerId,
@@ -88,6 +88,10 @@ pub struct DriverConfig {
     /// How long the scheduler waits for a `re-sync` delivery ack before
     /// re-issuing the abort (at most once per armed window).
     pub abort_ack_timeout: SimDuration,
+    /// How long after a server-shard crash the warm backup is promoted to
+    /// serving. Pulls and pushes arriving inside this window park on
+    /// [`retry_timeout`](Self::retry_timeout) and succeed after promotion.
+    pub failover_delay: SimDuration,
 }
 
 impl Default for DriverConfig {
@@ -101,6 +105,7 @@ impl Default for DriverConfig {
             retry_timeout: SimDuration::from_millis(50),
             max_send_retries: 10,
             abort_ack_timeout: SimDuration::from_millis(200),
+            failover_delay: SimDuration::from_millis(75),
         }
     }
 }
@@ -127,6 +132,17 @@ enum Event {
     NaiveWaitDone(WorkerId),
     WorkerCrash(WorkerId),
     WorkerRecover(WorkerId),
+    /// A pull request parked while a server shard was down retries
+    /// (worker, epoch). Not a message retry — no attempt budget.
+    PullBlocked(WorkerId, u64),
+    /// A parameter-server shard's primary crashes; traffic is refused
+    /// until the backup is promoted.
+    ServerCrash(usize),
+    /// The crashed shard's warm backup is promoted after the failover
+    /// delay: journal replay, then traffic resumes.
+    ServerPromote(usize),
+    /// The crashed node rejoins as the shard's fresh warm backup.
+    ServerRecover(usize),
     /// A straggler window (by index into the plan) opens — telemetry only;
     /// the slowdown itself is sampled per compute start.
     StragglerStart(usize),
@@ -281,6 +297,17 @@ impl Driver {
     }
 }
 
+/// Maps a replication-layer refusal into the workspace error type. Only
+/// reachable through a wiring bug: every store access is guarded by an
+/// availability check that parks the request instead.
+fn replica_to_error(e: ReplicaError) -> SpecSyncError {
+    let server = match e {
+        ReplicaError::UnknownServer(s) | ReplicaError::ServerDown(s) => s,
+        ReplicaError::WrongState { server, .. } => server,
+    };
+    SpecSyncError::ServerUnavailable { server }
+}
+
 /// The mutable simulation state (separate from `Driver` so `run` can
 /// consume the config cleanly).
 struct Simulation {
@@ -296,7 +323,7 @@ struct Simulation {
     sizes: MessageSizes,
     ledger: TransferLedger,
 
-    store: ParameterStore,
+    store: ReplicatedStore,
     scheduler: Scheduler,
     workers: Vec<WorkerCtx>,
     eval: specsync_ml::EvalSet,
@@ -343,6 +370,10 @@ impl Simulation {
         if let Some(clip) = workload.grad_clip {
             store = store.with_grad_clip(clip);
         }
+        // Primary/backup replication with a bounded write-ahead journal;
+        // a fault-free run never crashes a shard, so the wrapper is pure
+        // bookkeeping (zero extra RNG, zero extra events).
+        let store = ReplicatedStore::from_store(store, ReplicatedStore::DEFAULT_JOURNAL_CAPACITY);
         let sizes = MessageSizes::for_model(workload.paper.num_parameters);
 
         let tuning = match scheme {
@@ -517,12 +548,30 @@ impl Simulation {
         if self.workers[worker.index()].state == WorkerState::Dead {
             return Ok(());
         }
+        self.request_pull(worker, now)
+    }
+
+    /// Serves the pull request against the replicated store. While a
+    /// server shard is down awaiting promotion the request parks on the
+    /// retry timer instead — server unavailability is not message loss,
+    /// so no retry budget is spent; promotion bounds the wait.
+    fn request_pull(&mut self, worker: WorkerId, now: VirtualTime) -> Result<(), SpecSyncError> {
+        if !self.store.is_available() {
+            self.chaos.blocked_on_failover += 1;
+            let epoch = self.workers[worker.index()].epoch;
+            self.set_worker_state(worker, WorkerState::Pulling, now);
+            self.queue.schedule(
+                now + self.config.retry_timeout,
+                Event::PullBlocked(worker, epoch),
+            );
+            return Ok(());
+        }
         let staleness = self.store.staleness_of(worker);
         self.staleness_sum += staleness as f64;
         self.staleness_count += 1;
         self.sink
             .record(now, &TraceEvent::Pull { worker, staleness });
-        let snapshot = self.store.pull(worker);
+        let snapshot = self.store.try_pull(worker).map_err(replica_to_error)?;
         self.scheduler.on_pull(worker, now);
         self.workers[worker.index()].pending_params = Some(snapshot.into_shared());
         self.set_worker_state(worker, WorkerState::Pulling, now);
@@ -739,12 +788,14 @@ impl Simulation {
         // Move the gradient out to satisfy the borrow checker, then back.
         if self.workers[worker.index()].grad_is_sparse {
             let grad = std::mem::take(&mut self.workers[worker.index()].sparse_grad);
-            self.store.apply_push_sparse(worker, &grad, lr);
+            let res = self.store.try_apply_push_sparse(worker, &grad, lr);
             self.workers[worker.index()].sparse_grad = grad;
+            res.map_err(replica_to_error)?;
         } else {
             let grad = std::mem::take(&mut self.workers[worker.index()].grad);
-            self.store.apply_push(worker, &grad, lr);
+            let res = self.store.try_apply_push(worker, &grad, lr);
             self.workers[worker.index()].grad = grad;
+            res.map_err(replica_to_error)?;
         }
         self.workers[worker.index()].iterations += 1;
         self.total_pushes += 1;
@@ -913,6 +964,18 @@ impl Simulation {
                 }
             }
             Event::PushArrive(worker, epoch, seq) => {
+                if !self.store.is_available() {
+                    // The receiving shard is mid-failover: the server
+                    // refuses the delivery and the worker retransmits on
+                    // the fixed retry timer. Not message loss — no
+                    // attempt budget is spent; promotion bounds the wait.
+                    self.chaos.blocked_on_failover += 1;
+                    self.queue.schedule(
+                        now + self.config.retry_timeout,
+                        Event::PushArrive(worker, epoch, seq),
+                    );
+                    return Ok(());
+                }
                 self.record_transfer(now, MessageClass::PushGrad);
                 let ctx = &self.workers[worker.index()];
                 if ctx.state == WorkerState::Dead || ctx.epoch != epoch {
@@ -985,6 +1048,51 @@ impl Simulation {
             }
             Event::WorkerCrash(worker) => self.on_crash(worker, now)?,
             Event::WorkerRecover(worker) => self.on_recover(worker, now)?,
+            Event::PullBlocked(worker, epoch) => {
+                let ctx = &self.workers[worker.index()];
+                if ctx.state == WorkerState::Pulling && ctx.epoch == epoch {
+                    self.request_pull(worker, now)?;
+                }
+            }
+            Event::ServerCrash(server) => {
+                // A second crash of an already-down shard (or an unknown
+                // index in a hostile plan) is a no-op.
+                if self.store.crash_server(server).is_ok() {
+                    self.chaos.server_crashes += 1;
+                    self.queue.schedule(
+                        now + self.config.failover_delay,
+                        Event::ServerPromote(server),
+                    );
+                }
+            }
+            Event::ServerPromote(server) => {
+                if let Ok(replayed) = self.store.promote(server) {
+                    self.chaos.failovers += 1;
+                    self.chaos.journal_replayed += replayed;
+                    self.sink.record(
+                        now,
+                        &TraceEvent::ShardFailover {
+                            shard: server as u64,
+                            version: self.store.version(),
+                            replayed,
+                        },
+                    );
+                    // The scheduler co-resides with the server process in
+                    // the paper's deployment: restart it from its state
+                    // snapshot so Eq. 5–7 tuning resumes without a cold
+                    // epoch (armed windows and pending aborts included).
+                    let ckpt = self.scheduler.checkpoint();
+                    self.scheduler = Scheduler::restore(ckpt, Arc::clone(&self.sink), now);
+                    self.chaos.scheduler_recoveries += 1;
+                }
+            }
+            Event::ServerRecover(server) => {
+                // Ignored while the shard is still down (promotion is
+                // already scheduled and will restore service first).
+                if self.store.recover_server(server).is_ok() {
+                    self.chaos.server_recoveries += 1;
+                }
+            }
             Event::StragglerStart(idx) => {
                 if let Some(plan) = &self.faults {
                     if let Some(w) = plan.straggler_windows().get(idx) {
@@ -1009,12 +1117,13 @@ impl Simulation {
         // Replay the chaos timeline into the queue up front so crashes,
         // recoveries and straggler markers interleave with protocol events
         // in virtual-time order.
-        let (windows, crashes) = match &self.faults {
+        let (windows, crashes, server_crashes) = match &self.faults {
             Some(plan) => (
                 plan.straggler_windows().to_vec(),
                 plan.crash_schedule().to_vec(),
+                plan.server_crash_schedule().to_vec(),
             ),
-            None => (Vec::new(), Vec::new()),
+            None => (Vec::new(), Vec::new(), Vec::new()),
         };
         for (idx, w) in windows.iter().enumerate() {
             self.queue.schedule(w.start, Event::StragglerStart(idx));
@@ -1023,6 +1132,12 @@ impl Simulation {
             self.queue.schedule(c.at, Event::WorkerCrash(c.worker));
             if let Some(r) = c.recover_at {
                 self.queue.schedule(r, Event::WorkerRecover(c.worker));
+            }
+        }
+        for c in server_crashes {
+            self.queue.schedule(c.at, Event::ServerCrash(c.server));
+            if let Some(r) = c.recover_at {
+                self.queue.schedule(r, Event::ServerRecover(c.server));
             }
         }
 
@@ -1076,7 +1191,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::instance::InstanceType;
-    use specsync_simnet::{CrashEvent, LinkFaultProfile, StragglerWindow};
+    use specsync_simnet::{CrashEvent, LinkFaultProfile, ServerCrashEvent, StragglerWindow};
 
     fn tiny_cluster(n: usize) -> ClusterSpec {
         ClusterSpec::homogeneous(n, InstanceType::M4Xlarge)
@@ -1556,6 +1671,94 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn server_crash_fails_over_and_the_run_completes() {
+        let plan = FaultPlan::new(&RngStreams::new(31)).with_server_crash(ServerCrashEvent {
+            server: 0,
+            at: VirtualTime::from_secs(20),
+            recover_at: Some(VirtualTime::from_secs(40)),
+        });
+        let report = Driver::new(
+            endless_workload(),
+            SchemeKind::specsync_fixed(SimDuration::from_secs_f64(0.05), 0.5),
+            tiny_cluster(4),
+            horizon_config(60),
+            31,
+        )
+        .with_faults(plan)
+        .run();
+        assert_eq!(report.chaos.server_crashes, 1);
+        assert_eq!(report.chaos.failovers, 1);
+        assert_eq!(report.chaos.server_recoveries, 1);
+        assert_eq!(report.chaos.scheduler_recoveries, 1);
+        assert!(
+            report.chaos.blocked_on_failover > 0,
+            "a mid-epoch crash must park at least one pull/push"
+        );
+        assert!(
+            report.chaos.journal_replayed > 0,
+            "promotion should replay journaled pushes"
+        );
+        // The run kept training after the failover.
+        assert!(report.total_iterations > 100);
+        let total: u64 = report.iterations_per_worker.iter().sum();
+        assert_eq!(total, report.total_iterations, "no push lost or doubled");
+    }
+
+    #[test]
+    fn server_crash_without_recovery_keeps_training_on_the_backup() {
+        let plan = FaultPlan::new(&RngStreams::new(32)).with_server_crash(ServerCrashEvent {
+            server: 3,
+            at: VirtualTime::from_secs(15),
+            recover_at: None,
+        });
+        let report = Driver::new(
+            endless_workload(),
+            SchemeKind::Bsp,
+            tiny_cluster(4),
+            horizon_config(50),
+            32,
+        )
+        .with_faults(plan)
+        .run();
+        assert_eq!(report.chaos.failovers, 1);
+        assert_eq!(report.chaos.server_recoveries, 0);
+        assert!(report.total_iterations > 50, "BSP wedged after failover");
+        // Lockstep still holds through the failover window.
+        let max = report.iterations_per_worker.iter().max().unwrap();
+        let min = report.iterations_per_worker.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn server_failover_runs_are_deterministic() {
+        let run = || {
+            let plan = FaultPlan::new(&RngStreams::new(33))
+                .with_profile(MessageClass::PushGrad, LinkFaultProfile::drop_only(0.1))
+                .with_server_crash(ServerCrashEvent {
+                    server: 0,
+                    at: VirtualTime::from_secs(12),
+                    recover_at: Some(VirtualTime::from_secs(30)),
+                });
+            Driver::new(
+                endless_workload(),
+                SchemeKind::specsync_fixed(SimDuration::from_secs_f64(0.05), 0.5),
+                tiny_cluster(3),
+                horizon_config(45),
+                33,
+            )
+            .with_faults(plan)
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_iterations, b.total_iterations);
+        assert_eq!(a.chaos, b.chaos);
+        assert_eq!(a.iterations_per_worker, b.iterations_per_worker);
+        assert_eq!(a.scheduler_stats, b.scheduler_stats);
+        assert_eq!(a.transfer.total_bytes(), b.transfer.total_bytes());
     }
 
     #[test]

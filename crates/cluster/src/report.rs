@@ -31,6 +31,20 @@ pub struct ChaosStats {
     pub recoveries: u64,
     /// Aborts re-issued after an unacknowledged ack timeout.
     pub abort_reissues: u64,
+    /// Parameter-server shard crashes replayed from the plan.
+    pub server_crashes: u64,
+    /// Shard failovers completed (warm backup promoted to serving).
+    pub failovers: u64,
+    /// Journaled pushes replayed into a backup during promotion.
+    pub journal_replayed: u64,
+    /// Crashed server nodes re-admitted as warm backups.
+    pub server_recoveries: u64,
+    /// Pulls/pushes parked on a fixed timer because the serving shard was
+    /// down awaiting promotion (not message loss; no retry budget spent).
+    pub blocked_on_failover: u64,
+    /// Scheduler restarts recovered from a state snapshot (one per shard
+    /// failover; tuning resumes without a cold epoch).
+    pub scheduler_recoveries: u64,
 }
 
 /// The full outcome of one training run.

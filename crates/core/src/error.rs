@@ -66,6 +66,12 @@ pub enum SpecSyncError {
         /// What was wrong with the retry configuration.
         reason: &'static str,
     },
+    /// The replicated parameter server refused traffic: a shard's server
+    /// is down and its warm backup has not been promoted yet.
+    ServerUnavailable {
+        /// The down server shard.
+        server: usize,
+    },
 }
 
 impl fmt::Display for SpecSyncError {
@@ -97,6 +103,9 @@ impl fmt::Display for SpecSyncError {
             }
             SpecSyncError::InvalidRetryPolicy { reason } => {
                 write!(f, "invalid retry policy: {reason}")
+            }
+            SpecSyncError::ServerUnavailable { server } => {
+                write!(f, "server shard {server} is down awaiting failover")
             }
         }
     }

@@ -26,10 +26,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod checkpoint;
+mod journal;
 mod messages;
+mod replica;
 mod sharding;
 mod store;
 
+pub use checkpoint::{CheckpointError, StoreCheckpoint};
+pub use journal::{JournalEntry, JournalFull, PushJournal, PushPayload};
 pub use messages::MessageSizes;
-pub use sharding::{ShardId, ShardLayout};
+pub use replica::{ReplicaError, ReplicaRole, ReplicatedStore, ShardReplica};
+pub use sharding::{ShardId, ShardLayout, ShardLayoutError};
 pub use store::{ParamSnapshot, ParameterStore};

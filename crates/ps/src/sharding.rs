@@ -7,6 +7,42 @@
 
 use serde::{Deserialize, Serialize};
 
+/// An invalid shard layout request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardLayoutError {
+    /// `num_params == 0`: there is nothing to shard.
+    ZeroParams,
+    /// `num_shards == 0`: at least one server must own the parameters.
+    ZeroShards,
+    /// More shards than parameters: some servers would own empty ranges,
+    /// which silently skews per-server transfer accounting.
+    MoreShardsThanParams {
+        /// The requested parameter count.
+        num_params: usize,
+        /// The requested (too large) shard count.
+        num_shards: usize,
+    },
+}
+
+impl std::fmt::Display for ShardLayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardLayoutError::ZeroParams => write!(f, "cannot shard zero parameters"),
+            ShardLayoutError::ZeroShards => write!(f, "need at least one shard"),
+            ShardLayoutError::MoreShardsThanParams {
+                num_params,
+                num_shards,
+            } => write!(
+                f,
+                "cannot split {num_params} parameters into {num_shards} shards: \
+                 every shard must own at least one parameter"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardLayoutError {}
+
 /// Identifies one parameter shard (one server's slice).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ShardId(usize);
@@ -40,23 +76,46 @@ pub struct ShardLayout {
 impl ShardLayout {
     /// Creates a layout.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `num_params == 0` or `num_shards == 0`.
-    pub fn new(num_params: usize, num_shards: usize) -> Self {
-        assert!(num_params > 0, "cannot shard zero parameters");
-        assert!(num_shards > 0, "need at least one shard");
-        let shards = num_shards.min(num_params);
-        let base = num_params / shards;
-        let extra = num_params % shards;
-        let mut ranges = Vec::with_capacity(shards);
+    /// Returns [`ShardLayoutError`] if either count is zero, or if
+    /// `num_shards > num_params` (which would leave servers owning empty
+    /// ranges).
+    pub fn try_new(num_params: usize, num_shards: usize) -> Result<Self, ShardLayoutError> {
+        if num_params == 0 {
+            return Err(ShardLayoutError::ZeroParams);
+        }
+        if num_shards == 0 {
+            return Err(ShardLayoutError::ZeroShards);
+        }
+        if num_shards > num_params {
+            return Err(ShardLayoutError::MoreShardsThanParams {
+                num_params,
+                num_shards,
+            });
+        }
+        let base = num_params / num_shards;
+        let extra = num_params % num_shards;
+        let mut ranges = Vec::with_capacity(num_shards);
         let mut start = 0;
-        for s in 0..shards {
+        for s in 0..num_shards {
             let len = base + usize::from(s < extra);
             ranges.push((start, start + len));
             start += len;
         }
-        ShardLayout { ranges, num_params }
+        Ok(ShardLayout { ranges, num_params })
+    }
+
+    /// Creates a layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is invalid; see [`ShardLayout::try_new`].
+    pub fn new(num_params: usize, num_shards: usize) -> Self {
+        match ShardLayout::try_new(num_params, num_shards) {
+            Ok(layout) => layout,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Number of shards.
@@ -142,9 +201,25 @@ mod tests {
     }
 
     #[test]
-    fn more_shards_than_params_collapses() {
-        let l = ShardLayout::new(3, 10);
-        assert_eq!(l.num_shards(), 3);
+    fn more_shards_than_params_is_a_typed_error() {
+        assert_eq!(
+            ShardLayout::try_new(3, 10),
+            Err(ShardLayoutError::MoreShardsThanParams {
+                num_params: 3,
+                num_shards: 10,
+            })
+        );
+        assert_eq!(
+            ShardLayout::try_new(0, 1),
+            Err(ShardLayoutError::ZeroParams)
+        );
+        assert_eq!(
+            ShardLayout::try_new(1, 0),
+            Err(ShardLayoutError::ZeroShards)
+        );
+        // Errors render a human-readable description, never a panic.
+        let msg = ShardLayout::try_new(3, 10).unwrap_err().to_string();
+        assert!(msg.contains("3 parameters"), "unexpected message: {msg}");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use specsync_simnet::WorkerId;
 use specsync_tensor::SparseGrad;
 
+use crate::checkpoint::{CheckpointError, StoreCheckpoint};
 use crate::sharding::ShardLayout;
 
 /// A consistent snapshot of the global parameters, as returned by a pull.
@@ -104,7 +105,11 @@ impl ParameterStore {
     /// Panics if `initial` is empty or `num_shards == 0`.
     pub fn new(initial: Vec<f32>, num_shards: usize) -> Self {
         assert!(!initial.is_empty(), "parameter vector cannot be empty");
-        let layout = ShardLayout::new(initial.len(), num_shards);
+        assert!(num_shards > 0, "need at least one shard");
+        // Tiny models can have fewer parameters than the cluster has server
+        // shards; clamp explicitly so every shard owns at least one
+        // parameter ([`ShardLayout::try_new`] rejects empty ranges).
+        let layout = ShardLayout::new(initial.len(), num_shards.min(initial.len()));
         ParameterStore {
             params: initial,
             layout,
@@ -335,6 +340,89 @@ impl ParameterStore {
             params,
             version: self.version,
         }
+    }
+
+    /// The current parameters as a shared immutable block, without any
+    /// per-worker pull bookkeeping. Zero-copy while the store is unchanged:
+    /// the same cached allocation backs every call (and every [`pull`])
+    /// between two pushes.
+    ///
+    /// [`pull`]: Self::pull
+    pub fn shared_params(&mut self) -> Arc<[f32]> {
+        match &self.snapshot {
+            Some(shared) => Arc::clone(shared),
+            None => {
+                self.materialize();
+                let shared: Arc<[f32]> = Arc::from(self.params.as_slice());
+                self.snapshot = Some(Arc::clone(&shared));
+                shared
+            }
+        }
+    }
+
+    /// Captures a crash-consistent [`StoreCheckpoint`]: parameters,
+    /// optimizer state, version and per-worker bookkeeping. Pending lazy
+    /// momentum decay is settled first, so the capture is exact at the
+    /// current version and restoring it resumes bit-identically.
+    pub fn snapshot_for_checkpoint(&mut self) -> StoreCheckpoint {
+        self.materialize();
+        StoreCheckpoint {
+            params: self.params.clone(),
+            num_shards: self.layout.num_shards(),
+            version: self.version,
+            pushes_per_worker: self.pushes_per_worker.clone(),
+            last_pull_version: self.last_pull_version.clone(),
+            momentum: self.momentum,
+            velocity: self.velocity.clone(),
+            grad_clip: self.grad_clip,
+        }
+    }
+
+    /// Rebuilds a store from a checkpoint, resuming exactly where
+    /// [`snapshot_for_checkpoint`](Self::snapshot_for_checkpoint) captured
+    /// it: every subsequent push, pull and staleness query behaves as if
+    /// the original store had never gone away.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] if the checkpoint violates a
+    /// store invariant (possible only for hand-built or corrupted blobs;
+    /// captures of live stores always restore).
+    pub fn restore(checkpoint: StoreCheckpoint) -> Result<Self, CheckpointError> {
+        checkpoint.validate()?;
+        let StoreCheckpoint {
+            params,
+            num_shards,
+            version,
+            pushes_per_worker,
+            last_pull_version,
+            momentum,
+            velocity,
+            grad_clip,
+        } = checkpoint;
+        let layout = ShardLayout::try_new(params.len(), num_shards)
+            .map_err(|_| CheckpointError::Malformed("shard count out of range"))?;
+        // The capture settled all lazy momentum state, so every coordinate
+        // is synced at `version` and nothing is behind.
+        let last_sync = if momentum > 0.0 {
+            vec![version; params.len()]
+        } else {
+            Vec::new()
+        };
+        Ok(ParameterStore {
+            params,
+            layout,
+            version,
+            pushes_per_worker,
+            last_pull_version,
+            momentum,
+            velocity,
+            grad_clip,
+            snapshot: None,
+            last_sync,
+            lazy_lr: 0.0,
+            lazy_behind: false,
+        })
     }
 
     /// How many pushes `worker` has applied.

@@ -1,7 +1,9 @@
 //! Property-based tests of the parameter-store semantics.
 
 use proptest::prelude::*;
-use specsync_ps::{ParameterStore, ShardLayout};
+use specsync_ps::{
+    CheckpointError, ParameterStore, ShardLayout, ShardLayoutError, StoreCheckpoint,
+};
 use specsync_simnet::WorkerId;
 use specsync_tensor::SparseGrad;
 
@@ -123,18 +125,104 @@ proptest! {
         prop_assert!(cross.abs() < 1e-3);
     }
 
-    /// Shard layouts tile the parameter space for any (params, shards).
+    /// Shard layouts tile the parameter space for any valid (params,
+    /// shards) request; oversharded requests are typed errors, never empty
+    /// ranges.
     #[test]
     fn shard_layout_tiles(n in 1usize..10_000, s in 1usize..64) {
-        let layout = ShardLayout::new(n, s);
-        let mut covered = 0;
-        let mut prev_end = 0;
-        for (_, (lo, hi)) in layout.iter() {
-            prop_assert_eq!(lo, prev_end);
-            prop_assert!(hi > lo);
-            covered += hi - lo;
-            prev_end = hi;
+        match ShardLayout::try_new(n, s) {
+            Ok(layout) => {
+                prop_assert!(s <= n);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for (_, (lo, hi)) in layout.iter() {
+                    prop_assert_eq!(lo, prev_end);
+                    prop_assert!(hi > lo);
+                    covered += hi - lo;
+                    prev_end = hi;
+                }
+                prop_assert_eq!(covered, n);
+            }
+            Err(e) => {
+                prop_assert!(s > n);
+                prop_assert_eq!(
+                    e,
+                    ShardLayoutError::MoreShardsThanParams { num_params: n, num_shards: s }
+                );
+            }
         }
-        prop_assert_eq!(covered, n);
+    }
+
+    /// Checkpoint codec round trip: snapshot → bytes → restore is the
+    /// identity on every observable store behaviour, for arbitrary
+    /// optimizer configurations and push histories.
+    #[test]
+    fn checkpoint_round_trip_is_identity(
+        dim in 1usize..16,
+        shards in 1usize..4,
+        momentum in prop_oneof![Just(0.0f32), 0.2f32..0.95],
+        clip in prop_oneof![Just(None), (0.1f32..5.0).prop_map(Some)],
+        pushes in proptest::collection::vec((0usize..4, -1.0f32..1.0), 0..20),
+        next in -1.0f32..1.0,
+    ) {
+        prop_assume!(shards <= dim);
+        let mut store = ParameterStore::new(vec![0.25; dim], shards);
+        if momentum > 0.0 {
+            store = store.with_momentum(momentum);
+        }
+        if let Some(c) = clip {
+            store = store.with_grad_clip(c);
+        }
+        for &(w, g) in &pushes {
+            store.apply_push(WorkerId::new(w), &vec![g; dim], 0.1);
+        }
+        let ckpt = store.snapshot_for_checkpoint();
+        let decoded = StoreCheckpoint::decode(&ckpt.encode());
+        prop_assert_eq!(decoded.as_ref(), Ok(&ckpt));
+        let mut restored = ParameterStore::restore(decoded.unwrap()).unwrap();
+        // Observable equality now, and bit-identical behaviour after.
+        prop_assert_eq!(restored.version(), store.version());
+        store.apply_push(WorkerId::new(1), &vec![next; dim], 0.1);
+        restored.apply_push(WorkerId::new(1), &vec![next; dim], 0.1);
+        prop_assert_eq!(store.params(), restored.params());
+        for w in 0..4 {
+            prop_assert_eq!(store.pushes_by(WorkerId::new(w)), restored.pushes_by(WorkerId::new(w)));
+            prop_assert_eq!(
+                store.staleness_of(WorkerId::new(w)),
+                restored.staleness_of(WorkerId::new(w))
+            );
+        }
+    }
+
+    /// Corrupting any single byte of an encoded checkpoint yields a typed
+    /// error (or, for bits the codec never reads back into state, the
+    /// original checkpoint) — never a panic, never silently wrong state.
+    #[test]
+    fn corrupted_checkpoints_are_typed_errors(
+        dim in 1usize..8,
+        pushes in proptest::collection::vec(-1.0f32..1.0, 0..8),
+        pos_seed in 0usize..4096,
+        flip in 1u16..256,
+    ) {
+        let flip = flip as u8;
+        let mut store = ParameterStore::new(vec![0.5; dim], 1).with_momentum(0.9);
+        for &g in &pushes {
+            store.apply_push(WorkerId::new(0), &vec![g; dim], 0.1);
+        }
+        let ckpt = store.snapshot_for_checkpoint();
+        let bytes = ckpt.encode();
+        let mut bad = bytes.clone();
+        let pos = pos_seed % bad.len();
+        bad[pos] ^= flip;
+        match StoreCheckpoint::decode(&bad) {
+            Ok(decoded) => prop_assert_eq!(decoded, ckpt),
+            Err(
+                CheckpointError::BadMagic
+                | CheckpointError::UnsupportedFormat(_)
+                | CheckpointError::Truncated
+                | CheckpointError::ChecksumMismatch { .. }
+                | CheckpointError::Malformed(_),
+            ) => {}
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use specsync_core::SpecSyncError;
@@ -80,6 +81,13 @@ pub struct RuntimeConfig {
     pub retry_backoff: Duration,
     /// Fault-injection knobs; default injects nothing.
     pub chaos: RuntimeChaos,
+    /// Where to persist a crash-consistent store checkpoint at every eval
+    /// stride. The blob is the versioned, checksummed
+    /// [`StoreCheckpoint`](specsync_ps::StoreCheckpoint) codec, written to
+    /// `<path>.tmp` and atomically renamed into place, so a crash mid-write
+    /// never leaves a torn checkpoint. `None` (the default) persists
+    /// nothing.
+    pub checkpoint_path: Option<PathBuf>,
 }
 
 impl Default for RuntimeConfig {
@@ -98,6 +106,7 @@ impl Default for RuntimeConfig {
             send_retries: 5,
             retry_backoff: Duration::from_millis(1),
             chaos: RuntimeChaos::default(),
+            checkpoint_path: None,
         }
     }
 }

@@ -32,6 +32,10 @@ pub struct RuntimeReport {
     pub dropped_notifies: u64,
     /// Channel sends that needed at least one backoff retry.
     pub send_retries: u64,
+    /// Crash-consistent checkpoints atomically persisted to
+    /// [`checkpoint_path`](crate::RuntimeConfig::checkpoint_path) (zero
+    /// when no path is configured).
+    pub checkpoints_written: u64,
     /// Loss curve over wall time.
     pub loss_curve: LossCurve<Duration>,
     /// Wall time when the run finished.
@@ -67,6 +71,7 @@ mod tests {
             store_recoveries: 0,
             dropped_notifies: 0,
             send_retries: 0,
+            checkpoints_written: 0,
             loss_curve: vec![
                 WallLossPoint {
                     time: Duration::from_millis(1),

@@ -101,6 +101,7 @@ struct ResilienceCounters {
     store_recoveries: AtomicU64,
     dropped_notifies: AtomicU64,
     send_retries: AtomicU64,
+    checkpoints_written: AtomicU64,
 }
 
 /// Runs a workload on real threads and reports the outcome.
@@ -184,6 +185,7 @@ pub fn try_run_with_sink(
         let counters = Arc::clone(&counters);
         let eval_stride = config.eval_stride;
         let poison_at_push = config.chaos.poison_at_push;
+        let checkpoint_path = config.checkpoint_path.clone();
         let clock = Arc::clone(&clock);
         let sink = Arc::clone(&sink);
         let run_start = start;
@@ -191,10 +193,12 @@ pub fn try_run_with_sink(
         thread::spawn(move || {
             let mut per_worker = vec![0u64; workers];
             let mut epochs = 0u64;
-            // Recovery checkpoint: the last eval-stride parameter snapshot.
-            // A poisoned apply restores from here (momentum state is
-            // sacrificed — a degradation, not a correctness loss).
-            let mut checkpoint = initial;
+            // Recovery checkpoint: the last eval-stride parameter snapshot,
+            // shared with the store's pull cache instead of cloned — the
+            // stride costs one `Arc` bump, not an O(n) copy. A poisoned
+            // apply restores from here (momentum state is sacrificed — a
+            // degradation, not a correctness loss).
+            let mut checkpoint: Arc<[f32]> = Arc::from(initial);
             let mut checkpoint_version = 0u64;
             let mut push_attempts = 0u64;
             let mut poison_armed = poison_at_push;
@@ -226,7 +230,7 @@ pub fn try_run_with_sink(
                             // hold a torn write. Restore the checkpoint and
                             // drop this push.
                             let mut fresh =
-                                ParameterStore::new(checkpoint.clone(), 8).with_momentum(momentum);
+                                ParameterStore::new(checkpoint.to_vec(), 8).with_momentum(momentum);
                             if let Some(clip) = grad_clip {
                                 fresh = fresh.with_grad_clip(clip);
                             }
@@ -254,9 +258,30 @@ pub fn try_run_with_sink(
                             epochs = min;
                         }
                         if applied.is_multiple_of(eval_stride) {
-                            checkpoint = store.params().to_vec();
+                            checkpoint = store.shared_params();
                             checkpoint_version = applied;
-                            let loss = eval.loss_of(store.params());
+                            if let Some(path) = &checkpoint_path {
+                                // Crash-consistent persistence: encode the
+                                // full store state (optimizer included),
+                                // write to a temp file, atomically rename.
+                                let blob = store.snapshot_for_checkpoint().encode();
+                                let bytes = blob.len() as u64;
+                                let tmp = path.with_extension("tmp");
+                                let written = std::fs::write(&tmp, &blob)
+                                    .and_then(|()| std::fs::rename(&tmp, path))
+                                    .is_ok();
+                                if written {
+                                    counters.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                                    sink.record(
+                                        elapsed_since(clock.as_ref(), run_start),
+                                        &Event::CheckpointWritten {
+                                            version: applied,
+                                            bytes,
+                                        },
+                                    );
+                                }
+                            }
+                            let loss = eval.loss_of(&checkpoint);
                             let elapsed = elapsed_since(clock.as_ref(), run_start);
                             sink.record(
                                 elapsed,
@@ -709,6 +734,7 @@ pub fn try_run_with_sink(
         store_recoveries: counters.store_recoveries.load(Ordering::Relaxed),
         dropped_notifies: counters.dropped_notifies.load(Ordering::Relaxed),
         send_retries: counters.send_retries.load(Ordering::Relaxed),
+        checkpoints_written: counters.checkpoints_written.load(Ordering::Relaxed),
         loss_curve: LossCurve::from(curve),
         elapsed,
     })

@@ -274,3 +274,31 @@ fn single_worker_degenerates_to_sequential_sgd() {
         "a lone worker has no peers to trigger speculation"
     );
 }
+
+#[test]
+fn checkpoints_are_persisted_atomically_and_restorable() {
+    let path = std::env::temp_dir().join(format!("specsync-ckpt-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let config = RuntimeConfig {
+        checkpoint_path: Some(path.clone()),
+        ..base_config()
+    };
+    let report = run(&Workload::tiny_test(), &config);
+    assert!(
+        report.checkpoints_written > 0,
+        "no checkpoint was ever persisted"
+    );
+    // The persisted blob is a valid, restorable checkpoint — not a torn
+    // write: the temp file was renamed away by the atomic persist.
+    let blob = std::fs::read(&path).expect("checkpoint file must exist");
+    let decoded =
+        specsync_ps::StoreCheckpoint::decode(&blob).expect("persisted blob must decode cleanly");
+    let restored =
+        specsync_ps::ParameterStore::restore(decoded).expect("decoded checkpoint must restore");
+    assert!(restored.version() > 0, "checkpoint captured no progress");
+    assert!(
+        !path.with_extension("tmp").exists(),
+        "temp file should have been renamed into place"
+    );
+    let _ = std::fs::remove_file(&path);
+}

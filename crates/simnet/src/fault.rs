@@ -175,6 +175,22 @@ pub struct CrashEvent {
     pub recover_at: Option<VirtualTime>,
 }
 
+/// A scheduled parameter-server crash, with an optional recovery instant.
+///
+/// The server is named by its shard index: this crate sits below the PS
+/// layer, so the raw `usize` stands in for the PS crate's `ShardId`. The
+/// host decides what a server crash *means* (refuse deliveries, promote a
+/// backup, replay a journal); the plan only schedules it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerCrashEvent {
+    /// Index of the crashing server shard.
+    pub server: usize,
+    /// When the server dies.
+    pub at: VirtualTime,
+    /// When the crashed node rejoins as a warm backup, if it ever does.
+    pub recover_at: Option<VirtualTime>,
+}
+
 /// A deterministic chaos schedule seeded from [`RngStreams`].
 ///
 /// Construct with [`FaultPlan::new`], then layer faults on with the builder
@@ -186,6 +202,7 @@ pub struct FaultPlan {
     profiles: BTreeMap<MessageClass, LinkFaultProfile>,
     stragglers: Vec<StragglerWindow>,
     crashes: Vec<CrashEvent>,
+    server_crashes: Vec<ServerCrashEvent>,
     rng: StdRng,
 }
 
@@ -196,6 +213,7 @@ impl FaultPlan {
             profiles: BTreeMap::new(),
             stragglers: Vec::new(),
             crashes: Vec::new(),
+            server_crashes: Vec::new(),
             rng: streams.stream("faults"),
         }
     }
@@ -286,11 +304,46 @@ impl FaultPlan {
         }
     }
 
+    /// Schedules a parameter-server crash (and optional recovery).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultConfigError`] if the recovery instant does not come
+    /// strictly after the crash.
+    pub fn try_with_server_crash(
+        mut self,
+        crash: ServerCrashEvent,
+    ) -> Result<Self, FaultConfigError> {
+        if let Some(recover) = crash.recover_at {
+            if recover <= crash.at {
+                return Err(FaultConfigError::new(
+                    "server recovery must come after the crash",
+                ));
+            }
+        }
+        self.server_crashes.push(crash);
+        Ok(self)
+    }
+
+    /// Schedules a parameter-server crash (and optional recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is invalid; see
+    /// [`FaultPlan::try_with_server_crash`].
+    pub fn with_server_crash(self, crash: ServerCrashEvent) -> Self {
+        match self.try_with_server_crash(crash) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
     /// True if the plan can never inject anything.
     pub fn is_noop(&self) -> bool {
         self.profiles.values().all(LinkFaultProfile::is_noop)
             && self.stragglers.is_empty()
             && self.crashes.is_empty()
+            && self.server_crashes.is_empty()
     }
 
     /// Decides the fate of one logical send of `class`.
@@ -358,6 +411,11 @@ impl FaultPlan {
     /// All scheduled crash events, in insertion order.
     pub fn crash_schedule(&self) -> &[CrashEvent] {
         &self.crashes
+    }
+
+    /// All scheduled server crash events, in insertion order.
+    pub fn server_crash_schedule(&self) -> &[ServerCrashEvent] {
+        &self.server_crashes
     }
 }
 
@@ -502,6 +560,43 @@ mod tests {
                 recover_at: Some(VirtualTime::from_secs(2)),
             })
             .is_err());
+    }
+
+    #[test]
+    fn server_crash_schedule_is_preserved_and_validated() {
+        let crash = ServerCrashEvent {
+            server: 1,
+            at: VirtualTime::from_secs(10),
+            recover_at: Some(VirtualTime::from_secs(20)),
+        };
+        let p = plan(0).with_server_crash(crash);
+        assert_eq!(p.server_crash_schedule(), &[crash]);
+        assert!(!p.is_noop());
+        assert!(plan(0)
+            .try_with_server_crash(ServerCrashEvent {
+                server: 0,
+                at: VirtualTime::from_secs(5),
+                recover_at: Some(VirtualTime::from_secs(5)),
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn server_crashes_consume_no_randomness() {
+        // Scheduling a server crash must not shift the fault stream: the
+        // profiled fates before and after adding one are identical.
+        let profile = LinkFaultProfile::drop_only(0.5);
+        let mut a = plan(11).with_profile(MessageClass::Notify, profile);
+        let mut b = plan(11)
+            .with_profile(MessageClass::Notify, profile)
+            .with_server_crash(ServerCrashEvent {
+                server: 0,
+                at: VirtualTime::from_secs(1),
+                recover_at: None,
+            });
+        for _ in 0..128 {
+            assert_eq!(a.fate(MessageClass::Notify), b.fate(MessageClass::Notify));
+        }
     }
 
     #[test]

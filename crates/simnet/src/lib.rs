@@ -40,7 +40,8 @@ mod rng;
 mod time;
 
 pub use fault::{
-    CrashEvent, FaultConfigError, FaultPlan, LinkFaultProfile, MessageFate, StragglerWindow,
+    CrashEvent, FaultConfigError, FaultPlan, LinkFaultProfile, MessageFate, ServerCrashEvent,
+    StragglerWindow,
 };
 pub use id::WorkerId;
 pub use network::{MessageClass, NetworkModel, TransferLedger, TransferRecord};

@@ -246,6 +246,32 @@ pub enum Event {
         /// The store version after restoration.
         version: u64,
     },
+    /// A parameter-server shard's primary died and its warm backup was
+    /// promoted after replaying the outstanding push journal.
+    ShardFailover {
+        /// Index of the failed-over server shard.
+        shard: u64,
+        /// Store version at promotion time.
+        version: u64,
+        /// Journaled pushes replayed into the backup during promotion.
+        replayed: u64,
+    },
+    /// A crash-consistent checkpoint was captured (and, in the threaded
+    /// runtime, atomically persisted).
+    CheckpointWritten {
+        /// The store version the checkpoint captured.
+        version: u64,
+        /// Size of the encoded checkpoint blob.
+        bytes: u64,
+    },
+    /// The scheduler was restored from a state snapshot and resumed tuning
+    /// without a cold epoch.
+    SchedulerRecovered {
+        /// The epoch the restored scheduler resumed in.
+        epoch: u64,
+        /// Push-history records carried across the restore.
+        history_len: u64,
+    },
 }
 
 impl Event {
@@ -267,7 +293,12 @@ impl Event {
             | Event::AbortReissued { worker }
             | Event::PushFenced { worker, .. }
             | Event::RetryScheduled { worker, .. } => Some(*worker),
-            Event::EpochTuned { .. } | Event::Eval { .. } | Event::StoreRecovered { .. } => None,
+            Event::EpochTuned { .. }
+            | Event::Eval { .. }
+            | Event::StoreRecovered { .. }
+            | Event::ShardFailover { .. }
+            | Event::CheckpointWritten { .. }
+            | Event::SchedulerRecovered { .. } => None,
         }
     }
 
@@ -292,6 +323,9 @@ impl Event {
             Event::PushFenced { .. } => "push_fenced",
             Event::RetryScheduled { .. } => "retry",
             Event::StoreRecovered { .. } => "store_recovered",
+            Event::ShardFailover { .. } => "shard_failover",
+            Event::CheckpointWritten { .. } => "checkpoint",
+            Event::SchedulerRecovered { .. } => "sched_recovered",
         }
     }
 }

@@ -191,6 +191,22 @@ pub fn encode_line(micros: u64, event: &Event) -> String {
         Event::StoreRecovered { version } => {
             let _ = write!(s, ",\"version\":{version}");
         }
+        Event::ShardFailover {
+            shard,
+            version,
+            replayed,
+        } => {
+            let _ = write!(
+                s,
+                ",\"shard\":{shard},\"version\":{version},\"replayed\":{replayed}"
+            );
+        }
+        Event::CheckpointWritten { version, bytes } => {
+            let _ = write!(s, ",\"version\":{version},\"bytes\":{bytes}");
+        }
+        Event::SchedulerRecovered { epoch, history_len } => {
+            let _ = write!(s, ",\"epoch\":{epoch},\"history_len\":{history_len}");
+        }
     }
     s.push('}');
     s
@@ -368,6 +384,19 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, String> {
         },
         "store_recovered" => Event::StoreRecovered {
             version: parse_u64(&pairs, "version")?,
+        },
+        "shard_failover" => Event::ShardFailover {
+            shard: parse_u64(&pairs, "shard")?,
+            version: parse_u64(&pairs, "version")?,
+            replayed: parse_u64(&pairs, "replayed")?,
+        },
+        "checkpoint" => Event::CheckpointWritten {
+            version: parse_u64(&pairs, "version")?,
+            bytes: parse_u64(&pairs, "bytes")?,
+        },
+        "sched_recovered" => Event::SchedulerRecovered {
+            epoch: parse_u64(&pairs, "epoch")?,
+            history_len: parse_u64(&pairs, "history_len")?,
         },
         other => return Err(format!("unknown event tag `{other}`")),
     };
@@ -596,6 +625,19 @@ mod tests {
             attempt: 2,
         });
         round_trip(Event::StoreRecovered { version: 812 });
+        round_trip(Event::ShardFailover {
+            shard: 2,
+            version: 512,
+            replayed: 17,
+        });
+        round_trip(Event::CheckpointWritten {
+            version: 512,
+            bytes: 4096,
+        });
+        round_trip(Event::SchedulerRecovered {
+            epoch: 5,
+            history_len: 812,
+        });
     }
 
     #[test]

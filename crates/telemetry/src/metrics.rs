@@ -294,7 +294,11 @@ impl<T: Timestamp> EventSink<T> for MetricsSink {
             | Event::AbortReissued { .. }
             | Event::PushFenced { .. }
             | Event::RetryScheduled { .. }
-            | Event::StoreRecovered { .. } => state.snapshot.degradations += 1,
+            | Event::StoreRecovered { .. }
+            | Event::ShardFailover { .. }
+            | Event::SchedulerRecovered { .. } => state.snapshot.degradations += 1,
+            // Checkpoints are routine, not degradations.
+            Event::CheckpointWritten { .. } => {}
         }
     }
 }

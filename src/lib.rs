@@ -21,7 +21,9 @@
 //! - [`cluster`] — the virtual-time cluster harness that trains real models
 //!   under simulated EC2 timing;
 //! - [`ml`] — datasets, models and the three Table-I workloads;
-//! - [`ps`] — the sharded asynchronous parameter server;
+//! - [`ps`] — the sharded asynchronous parameter server, with
+//!   primary/backup replication, push journaling, and a crash-consistent
+//!   checkpoint codec;
 //! - [`runtime`] — a real multi-threaded deployment of the same protocol;
 //! - [`sync`] — ASP/BSP/SSP/naïve-waiting schemes;
 //! - [`telemetry`] — typed protocol event traces and metrics sinks shared
@@ -61,14 +63,17 @@ pub use specsync_cluster::{
 };
 pub use specsync_core::{
     AdaptiveTuner, CherrypickGrid, Hyperparams, PapDistribution, PushHistory, Scheduler,
-    SchedulerStats,
+    SchedulerCheckpoint, SchedulerStats,
 };
 pub use specsync_ml::{LrSchedule, Model, Workload, WorkloadKind};
-pub use specsync_ps::{ParamSnapshot, ParameterStore};
+pub use specsync_ps::{
+    CheckpointError, ParamSnapshot, ParameterStore, PushJournal, ReplicaError, ReplicaRole,
+    ReplicatedStore, StoreCheckpoint,
+};
 pub use specsync_runtime::{Backoff, RuntimeChaos, RuntimeConfig};
 pub use specsync_simnet::{
-    CrashEvent, FaultPlan, LinkFaultProfile, MessageFate, SimDuration, StragglerWindow,
-    VirtualTime, WorkerId,
+    CrashEvent, FaultPlan, LinkFaultProfile, MessageFate, ServerCrashEvent, SimDuration,
+    StragglerWindow, VirtualTime, WorkerId,
 };
 pub use specsync_sync::{BaseScheme, SchemeKind, TuningMode};
 pub use specsync_telemetry::{

@@ -1,15 +1,19 @@
 //! End-to-end fault-injection guarantees (ISSUE acceptance): a seeded
 //! chaos run — ≥10% notify loss, two worker crashes, one straggler
 //! window — must complete without deadlock under every scheme, and two
-//! same-seed replays must serialize byte-identical JSONL traces.
+//! same-seed replays must serialize byte-identical JSONL traces. The
+//! server-failure scenarios extend this to parameter-server shard
+//! crashes: the warm backup must be promoted, journaled pushes replayed
+//! exactly once, the scheduler restarted from its checkpoint, and the
+//! whole failover must replay byte-identically under the same seed.
 
 use std::sync::Arc;
 
 use specsync::telemetry::parse_trace_line;
 use specsync::{
     ClusterSpec, CrashEvent, Event, EventSink, FaultPlan, InstanceType, JsonlSink,
-    LinkFaultProfile, RunReport, SchemeKind, StragglerWindow, Trainer, VirtualTime, WorkerId,
-    Workload,
+    LinkFaultProfile, RunReport, SchemeKind, ServerCrashEvent, StragglerWindow, Trainer,
+    VirtualTime, WorkerId, Workload,
 };
 use specsync_simnet::{DurationSampler, MessageClass, RngStreams};
 
@@ -140,6 +144,102 @@ fn chaos_traces_record_the_fault_lifecycle() {
         faults >= report.chaos.dropped_messages,
         "every drop must appear as a Fault event"
     );
+}
+
+fn server_crash_plan(seed: u64) -> FaultPlan {
+    chaos_plan(seed).with_server_crash(ServerCrashEvent {
+        server: 0,
+        at: VirtualTime::from_secs(2),
+        recover_at: Some(VirtualTime::from_secs(7)),
+    })
+}
+
+fn run_server_crash_traced(scheme: SchemeKind, seed: u64) -> (Vec<u8>, RunReport) {
+    let sink = Arc::new(JsonlSink::new(Vec::new()));
+    let report = Trainer::new(Workload::tiny_test(), scheme)
+        .cluster(ClusterSpec::homogeneous(5, InstanceType::M4Xlarge))
+        .horizon(VirtualTime::from_secs(90))
+        .seed(seed)
+        .faults(server_crash_plan(seed))
+        .sink(Arc::clone(&sink) as Arc<dyn EventSink<VirtualTime>>)
+        .run();
+    let bytes = Arc::try_unwrap(sink)
+        .expect("driver dropped its sink handles")
+        .finish()
+        .expect("in-memory writes cannot fail");
+    (bytes, report)
+}
+
+#[test]
+fn server_crash_fails_over_and_completes_under_every_scheme() {
+    for (name, scheme) in all_schemes() {
+        let (_, report) = run_server_crash_traced(scheme, 71);
+        assert!(
+            report.total_iterations > 50,
+            "{name}: only {} iterations after a server failover",
+            report.total_iterations
+        );
+        assert_eq!(
+            report.chaos.server_crashes, 1,
+            "{name}: the shard crash must fire"
+        );
+        assert_eq!(
+            report.chaos.failovers, 1,
+            "{name}: the warm backup must be promoted exactly once"
+        );
+        assert_eq!(
+            report.chaos.server_recoveries, 1,
+            "{name}: the crashed node must rejoin as backup"
+        );
+        assert_eq!(
+            report.chaos.scheduler_recoveries, 1,
+            "{name}: the scheduler must restart from its checkpoint"
+        );
+        // Exactly-once journal reconciliation: every worker's applied
+        // pushes are accounted for — none double-applied, none lost.
+        let per_worker: u64 = report.iterations_per_worker.iter().sum();
+        assert_eq!(
+            per_worker, report.total_iterations,
+            "{name}: per-worker iteration counts must reconcile with the total"
+        );
+    }
+}
+
+#[test]
+fn same_seed_server_failover_replays_are_byte_identical() {
+    for (name, scheme) in all_schemes() {
+        let (a, ra) = run_server_crash_traced(scheme, 71);
+        let (b, rb) = run_server_crash_traced(scheme, 71);
+        assert_eq!(ra, rb, "{name}: failover reports diverged across replays");
+        assert_eq!(
+            a, b,
+            "{name}: two same-seed failover traces must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn server_failover_traces_record_the_recovery_lifecycle() {
+    let (bytes, report) = run_server_crash_traced(SchemeKind::specsync_adaptive(), 71);
+    let text = String::from_utf8(bytes).expect("traces are UTF-8");
+    let mut failovers = 0u64;
+    let mut sched_recovered = 0u64;
+    for line in text.lines() {
+        let rec = parse_trace_line(line).expect("every emitted line parses");
+        match rec.event {
+            Event::ShardFailover { replayed, .. } => {
+                failovers += 1;
+                assert_eq!(
+                    replayed, report.chaos.journal_replayed,
+                    "the traced replay count must match the report"
+                );
+            }
+            Event::SchedulerRecovered { .. } => sched_recovered += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(failovers, report.chaos.failovers);
+    assert_eq!(sched_recovered, report.chaos.scheduler_recoveries);
 }
 
 #[test]
