@@ -1,0 +1,76 @@
+//! Criterion bench: the scheduler data plane's per-event operations at
+//! cluster scale — `record_push`, the `pushes_by_others_in` range count
+//! on the notify hot path, and a full adaptive `tune` pass — at 1k and
+//! 10k workers, on retention-bounded streaming history.
+//!
+//! Companion to the `sched_sweep` binary: the sweep gates end-to-end
+//! ns/event in CI; this isolates the individual operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specsync_core::{AdaptiveTuner, PushHistory};
+use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+
+/// Builds a retention-bounded history loaded with `epochs` epochs of
+/// round-robin traffic from `m` workers.
+fn loaded_history(m: usize, epochs: u64) -> PushHistory {
+    let mut h = PushHistory::with_retention(8);
+    let mut now = 0u64;
+    for _ in 0..epochs {
+        for i in 0..m {
+            now += 100_000 / m as u64 + 1;
+            let at = VirtualTime::from_micros(now);
+            h.record_pull(at, WorkerId::new(i));
+            h.record_push(at, WorkerId::new(i));
+        }
+        h.mark_epoch();
+    }
+    h
+}
+
+fn bench_event_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_event_ops");
+    group.sample_size(20);
+    for m in [1_000usize, 10_000] {
+        let history = loaded_history(m, 12);
+        let end = VirtualTime::from_micros(history.len() as u64 * (100_000 / m as u64 + 1));
+
+        group.bench_with_input(BenchmarkId::new("record_push", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut h = history.clone();
+                let mut now = end;
+                for i in 0..m {
+                    now += SimDuration::from_micros(7);
+                    h.record_push(now, WorkerId::new(i));
+                }
+                std::hint::black_box(h.len())
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("pushes_by_others_in", m), &m, |b, &m| {
+            let window = SimDuration::from_millis(50);
+            b.iter(|| {
+                let mut total = 0u64;
+                for i in 0..m {
+                    let start = VirtualTime::from_micros(
+                        end.as_micros().saturating_sub((i as u64 % 16) * 10_000),
+                    );
+                    total += history.pushes_by_others_in(
+                        WorkerId::new(i),
+                        std::hint::black_box(start),
+                        window,
+                    );
+                }
+                std::hint::black_box(total)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("tune", m), &m, |b, &m| {
+            let tuner = AdaptiveTuner::default();
+            b.iter(|| tuner.tune(std::hint::black_box(&history), m, end))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_ops);
+criterion_main!(benches);

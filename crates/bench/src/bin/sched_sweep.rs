@@ -1,0 +1,360 @@
+//! Scheduler scalability sweep (fig. 11 style, but for the control plane):
+//! drives the core [`Scheduler`] with deterministic synthetic notify /
+//! pull / check / epoch traffic at 40 → 1,000 → 10,000 workers and
+//! reports nanoseconds per scheduler event and peak history footprint.
+//!
+//! The streaming data plane must keep per-event cost flat as history
+//! accumulates and memory bounded by the retention knob; the sweep proves
+//! both, and doubles as the regression gate for `BENCH_PR6.json`:
+//!
+//! * `sched_sweep`             — full sweep, prints the table
+//! * `sched_sweep --json`      — full sweep, writes `BENCH_PR6.json`
+//! * `sched_sweep --quick`     — reduced sizes/rounds (CI scale)
+//! * `sched_sweep --check BENCH_PR6.json [--threshold R]`
+//!   — reduced sweep, then fails (exit 1) if any matching size's
+//!   ns/event exceeds the checked-in number by more than `R`× (default
+//!   4.0, generous because CI hosts differ), or if per-event cost is not
+//!   flat (second half > 2.5× first half — machine-independent).
+
+use std::path::Path;
+
+use specsync_core::Scheduler;
+use specsync_simnet::{VirtualTime, WorkerId};
+use specsync_sync::TuningMode;
+use specsync_telemetry::{Event, EventSink, MetricsSink};
+
+/// Retention bound (closed epochs) for the bounded run.
+const RETENTION: usize = 8;
+/// Iterations (notify+pull+check triples) per worker per epoch.
+const ROUNDS_PER_EPOCH: u64 = 4;
+/// Every `K`-th event's wall cost feeds the `SchedCost` histogram.
+const COST_SAMPLE_STRIDE: u64 = 64;
+
+struct SweepResult {
+    workers: usize,
+    events: u64,
+    ns_per_event: f64,
+    early_ns: f64,
+    late_ns: f64,
+    peak_history_bytes: usize,
+    evicted_records: u64,
+    resyncs: u64,
+    cost_mean_ns: f64,
+    cost_max_ns: u64,
+}
+
+/// A tiny deterministic LCG; the sweep must not depend on host entropy.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// One pending simulation event: worker `worker` pulls (0), notifies (1),
+/// or checks its speculation deadline (2) at micro-timestamp `at`.
+type Ev = (u64, usize, u8);
+
+/// Drives one scheduler through `epochs` epochs of synthetic traffic and
+/// measures per-event cost in two halves (flatness) plus peak memory.
+///
+/// Traffic shape: each worker loops pull → compute (a heterogeneous span,
+/// ±25% around 100ms from a seeded LCG) → notify; speculation deadlines
+/// returned by notify are checked when they fall due. A min-heap feeds
+/// every event to the scheduler in global time order — the history's
+/// chronological invariant. An epoch closes when the slowest worker
+/// finishes another [`ROUNDS_PER_EPOCH`] iterations, which drives the
+/// adaptive tuner and — on the bounded run — eviction.
+fn run_sweep(
+    m: usize,
+    epochs: u64,
+    retention: Option<usize>,
+    costs: Option<&MetricsSink>,
+) -> SweepResult {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    // specsync-allow(virtual-time): harness-side wall timing of the sweep
+    use std::time::Instant;
+
+    let mut sched = Scheduler::new(m, TuningMode::Adaptive);
+    if let Some(r) = retention {
+        sched = sched.with_history_retention(r);
+    }
+    let mut rng = Lcg(0x5eed_5eed ^ m as u64);
+    let spans: Vec<u64> = (0..m).map(|_| 75_000 + rng.next() % 50_000).collect();
+
+    let rounds = epochs * ROUNDS_PER_EPOCH;
+    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::with_capacity(2 * m);
+    for (i, span) in spans.iter().enumerate() {
+        // Stagger iteration starts so pushes interleave across workers.
+        heap.push(Reverse((span / 7 + (i as u64 * 100_000) / m as u64, i, 0)));
+    }
+    let mut pushes_done = vec![0u64; m];
+    let mut at_target = 0usize;
+    let mut epoch = 0u64;
+    let mut events = 0u64;
+    let mut peak_bytes = 0usize;
+    // (elapsed, events) snapshot taken when half the epochs have closed.
+    let mut half_mark: Option<(u128, u64)> = None;
+
+    let run_start = Instant::now();
+    while let Some(Reverse((at, i, kind))) = heap.pop() {
+        let now = VirtualTime::from_micros(at);
+        let w = WorkerId::new(i);
+        let sample = costs
+            .filter(|_| events.is_multiple_of(COST_SAMPLE_STRIDE))
+            .map(|s| (s, Instant::now()));
+        match kind {
+            0 => {
+                sched.on_pull(w, now);
+                heap.push(Reverse((at + spans[i], i, 1)));
+            }
+            1 => {
+                if let Some(d) = sched.on_notify(w, now) {
+                    heap.push(Reverse((d.as_micros(), i, 2)));
+                }
+                pushes_done[i] += 1;
+                if pushes_done[i] == (epoch + 1) * ROUNDS_PER_EPOCH {
+                    at_target += 1;
+                    if at_target == m {
+                        epoch += 1;
+                        sched.on_epoch_complete(now);
+                        peak_bytes = peak_bytes.max(sched.history().approx_bytes());
+                        let next = (epoch + 1) * ROUNDS_PER_EPOCH;
+                        at_target = pushes_done.iter().filter(|&&p| p >= next).count();
+                        if epoch == epochs / 2 {
+                            half_mark = Some((run_start.elapsed().as_nanos(), events));
+                        }
+                    }
+                }
+                if pushes_done[i] < rounds {
+                    heap.push(Reverse((at + spans[i] / 11 + 1, i, 0)));
+                }
+            }
+            _ => {
+                sched.on_check(w, now);
+            }
+        }
+        events += 1;
+        if let Some((sink, start)) = sample {
+            let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            sink.record(now, &Event::SchedCost { nanos });
+        }
+    }
+    let total = run_start.elapsed().as_nanos();
+    peak_bytes = peak_bytes.max(sched.history().approx_bytes());
+
+    let (half_ns, half_events) = half_mark.unwrap_or((total / 2, events / 2));
+    let late_events = events.saturating_sub(half_events).max(1);
+    let stats = sched.stats();
+    let history = sched.history();
+    let evicted = history.evicted_pushes() + history.evicted_pulls();
+    let snapshot = costs.map(|s| s.snapshot());
+    SweepResult {
+        workers: m,
+        events,
+        ns_per_event: total as f64 / events.max(1) as f64,
+        early_ns: half_ns as f64 / half_events.max(1) as f64,
+        late_ns: (total - half_ns) as f64 / late_events as f64,
+        peak_history_bytes: peak_bytes,
+        evicted_records: evicted,
+        resyncs: stats.resyncs,
+        cost_mean_ns: snapshot
+            .as_ref()
+            .and_then(|s| s.sched_cost.mean())
+            .unwrap_or(0.0),
+        cost_max_ns: snapshot.as_ref().map_or(0, |s| s.sched_cost.max()),
+    }
+}
+
+/// Bounded and unbounded schedulers must reach identical decisions on the
+/// same traffic — retention is a memory knob, never a behavior knob.
+fn assert_decision_identity(m: usize, epochs: u64) {
+    let bounded = run_sweep(m, epochs, Some(RETENTION), None);
+    let unbounded = run_sweep(m, epochs, None, None);
+    assert_eq!(
+        bounded.resyncs, unbounded.resyncs,
+        "bounded history changed scheduling decisions"
+    );
+    assert_eq!(bounded.events, unbounded.events);
+    assert!(
+        bounded.evicted_records > 0,
+        "retention never evicted — the identity check is vacuous"
+    );
+    println!(
+        "  decision identity @ {m} workers: {} resyncs either way, {} records evicted",
+        bounded.resyncs, bounded.evicted_records
+    );
+}
+
+fn write_json(path: &Path, retention: usize, results: &[SweepResult]) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"generated_by\": \"sched_sweep --json\",\n");
+    s.push_str(&format!("  \"retention_epochs\": {retention},\n"));
+    s.push_str("  \"sizes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{ \"workers\": {}, \"events\": {}, \"ns_per_event\": {:.1}, \
+             \"early_ns\": {:.1}, \"late_ns\": {:.1}, \"peak_history_bytes\": {}, \
+             \"evicted_records\": {} }}{comma}\n",
+            r.workers,
+            r.events,
+            r.ns_per_event,
+            r.early_ns,
+            r.late_ns,
+            r.peak_history_bytes,
+            r.evicted_records
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    std::fs::write(path, s).expect("write BENCH_PR6.json");
+    eprintln!(">>> wrote {}", path.display());
+}
+
+/// Pulls `"ns_per_event": X` out of each `"workers": N` block of a
+/// checked-in report. Hand-rolled on purpose: the workspace has no JSON
+/// dependency, and the format is our own fixed emitter above.
+fn parse_baseline(text: &str) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(w) = field(line, "\"workers\":") else {
+            continue;
+        };
+        let Some(ns) = field(line, "\"ns_per_event\":") else {
+            continue;
+        };
+        if let (Ok(w), Ok(ns)) = (w.parse::<usize>(), ns.parse::<f64>()) {
+            out.push((w, ns));
+        }
+    }
+    out
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    Some(&rest[..end])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1).cloned());
+    let threshold = args
+        .iter()
+        .position(|a| a == "--threshold")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(4.0);
+
+    let reduced = quick || check.is_some();
+    let sizes: &[(usize, u64)] = if reduced {
+        // (workers, epochs) — small enough for CI, large enough that the
+        // bounded run evicts and the flatness halves are meaningful.
+        &[(40, 60), (1_000, 30)]
+    } else {
+        &[(40, 120), (1_000, 60), (10_000, 30)]
+    };
+
+    println!("scheduler data-plane sweep (retention {RETENTION} epochs)");
+    assert_decision_identity(40, 40);
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>9} {:>14} {:>10} | {:>10} {:>9}",
+        "workers",
+        "events",
+        "ns/event",
+        "early ns",
+        "late ns",
+        "flatness",
+        "peak history",
+        "evicted",
+        "cost mean",
+        "cost max"
+    );
+
+    let mut results = Vec::new();
+    for &(m, epochs) in sizes {
+        let costs = MetricsSink::new();
+        let r = run_sweep(m, epochs, Some(RETENTION), Some(&costs));
+        println!(
+            "{:>8} {:>12} {:>12.1} {:>10.1} {:>10.1} {:>8.2}x {:>13}B {:>10} | {:>8.1}ns {:>7}ns",
+            r.workers,
+            r.events,
+            r.ns_per_event,
+            r.early_ns,
+            r.late_ns,
+            r.late_ns / r.early_ns.max(f64::MIN_POSITIVE),
+            r.peak_history_bytes,
+            r.evicted_records,
+            r.cost_mean_ns,
+            r.cost_max_ns
+        );
+        results.push(r);
+    }
+    println!("(flat late/early and bounded peak history = streaming data plane holding up)");
+
+    if json {
+        write_json(Path::new("BENCH_PR6.json"), RETENTION, &results);
+    }
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+        let baseline = parse_baseline(&text);
+        assert!(
+            !baseline.is_empty(),
+            "no ns_per_event entries found in {baseline_path}"
+        );
+        let mut failed = false;
+        for r in &results {
+            // Machine-independent gate first: per-event cost must stay
+            // flat as history accumulates. Only meaningful once the run is
+            // long enough that timing noise and the speculation phase-in
+            // (the tuner enables aborts after the first tuned epoch) stop
+            // dominating.
+            let flatness = r.late_ns / r.early_ns.max(f64::MIN_POSITIVE);
+            if r.events >= 100_000 && flatness > 2.5 {
+                eprintln!(
+                    "FAIL {} workers: per-event cost grew {:.2}x from first to second half",
+                    r.workers, flatness
+                );
+                failed = true;
+            }
+            // Absolute gate vs the checked-in number, for matching sizes.
+            if let Some(&(_, base_ns)) = baseline.iter().find(|&&(w, _)| w == r.workers) {
+                let ratio = r.ns_per_event / base_ns;
+                if ratio > threshold {
+                    eprintln!(
+                        "FAIL {} workers: {:.1} ns/event vs baseline {:.1} ({:.2}x > {:.2}x)",
+                        r.workers, r.ns_per_event, base_ns, ratio, threshold
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "  check @ {} workers: {:.1} ns/event vs baseline {:.1} ({:.2}x <= {:.2}x)",
+                        r.workers, r.ns_per_event, base_ns, ratio, threshold
+                    );
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("regression gate passed (threshold {threshold:.2}x)");
+    }
+}

@@ -263,6 +263,13 @@ struct Summary {
     journal_replayed: u64,
     checkpoints: u64,
     sched_recoveries: u64,
+    /// Scheduler data-plane events (worker-less, counted globally).
+    eviction_passes: u64,
+    evicted_records: u64,
+    last_retained: Option<u64>,
+    sched_cost_samples: u64,
+    sched_cost_sum_ns: u64,
+    sched_cost_max_ns: u64,
 }
 
 fn reconstruct(records: &[TraceRecord]) -> Summary {
@@ -275,6 +282,12 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
     let mut journal_replayed = 0u64;
     let mut checkpoints = 0u64;
     let mut sched_recoveries = 0u64;
+    let mut eviction_passes = 0u64;
+    let mut evicted_records = 0u64;
+    let mut last_retained = None;
+    let mut sched_cost_samples = 0u64;
+    let mut sched_cost_sum_ns = 0u64;
+    let mut sched_cost_max_ns = 0u64;
 
     for rec in records {
         let t = rec.micros;
@@ -313,6 +326,22 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
             }
             Event::SchedulerRecovered { .. } => {
                 sched_recoveries += 1;
+                continue;
+            }
+            Event::HistoryEvicted {
+                pushes,
+                pulls,
+                retained,
+            } => {
+                eviction_passes += 1;
+                evicted_records += pushes + pulls;
+                last_retained = Some(*retained);
+                continue;
+            }
+            Event::SchedCost { nanos } => {
+                sched_cost_samples += 1;
+                sched_cost_sum_ns += nanos;
+                sched_cost_max_ns = sched_cost_max_ns.max(*nanos);
                 continue;
             }
             _ => {}
@@ -364,7 +393,9 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
                 | Event::StoreRecovered { .. }
                 | Event::ShardFailover { .. }
                 | Event::CheckpointWritten { .. }
-                | Event::SchedulerRecovered { .. } => {}
+                | Event::SchedulerRecovered { .. }
+                | Event::HistoryEvicted { .. }
+                | Event::SchedCost { .. } => {}
             }
         }
     }
@@ -418,6 +449,12 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
         journal_replayed,
         checkpoints,
         sched_recoveries,
+        eviction_passes,
+        evicted_records,
+        last_retained,
+        sched_cost_samples,
+        sched_cost_sum_ns,
+        sched_cost_max_ns,
     }
 }
 
@@ -457,6 +494,29 @@ fn summarize(path: &str) -> ExitCode {
             summary.checkpoints,
             summary.sched_recoveries
         );
+    }
+
+    if summary.eviction_passes > 0 || summary.sched_cost_samples > 0 {
+        let mut parts = Vec::new();
+        if summary.eviction_passes > 0 {
+            parts.push(format!(
+                "{} record(s) evicted over {} epoch boundary(ies){}",
+                summary.evicted_records,
+                summary.eviction_passes,
+                summary
+                    .last_retained
+                    .map_or(String::new(), |r| format!(", {r} push(es) retained")),
+            ));
+        }
+        if summary.sched_cost_samples > 0 {
+            parts.push(format!(
+                "per-event cost mean {:.0}ns / max {}ns over {} sample(s)",
+                summary.sched_cost_sum_ns as f64 / summary.sched_cost_samples as f64,
+                summary.sched_cost_max_ns,
+                summary.sched_cost_samples
+            ));
+        }
+        println!("scheduler data plane: {}", parts.join("; "));
     }
 
     println!("\nper-worker timelines:");
@@ -572,6 +632,23 @@ mod tests {
         assert_eq!(s.spans[1].estimated, Some(1.5));
         // The re-sync happened in the warm-up span.
         assert_eq!(s.spans[0].workers[&0].resyncs, 1);
+    }
+
+    #[test]
+    fn reconstruct_counts_evictions_and_sched_cost() {
+        let records = vec![
+            rec(r#"{"t":10,"ev":"history_evicted","pushes":100,"pulls":60,"retained":400}"#),
+            rec(r#"{"t":20,"ev":"history_evicted","pushes":50,"pulls":30,"retained":380}"#),
+            rec(r#"{"t":30,"ev":"sched_cost","nanos":200}"#),
+            rec(r#"{"t":40,"ev":"sched_cost","nanos":600}"#),
+        ];
+        let s = reconstruct(&records);
+        assert_eq!(s.eviction_passes, 2);
+        assert_eq!(s.evicted_records, 240);
+        assert_eq!(s.last_retained, Some(380));
+        assert_eq!(s.sched_cost_samples, 2);
+        assert_eq!(s.sched_cost_sum_ns, 800);
+        assert_eq!(s.sched_cost_max_ns, 600);
     }
 
     #[test]

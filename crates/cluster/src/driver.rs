@@ -92,6 +92,11 @@ pub struct DriverConfig {
     /// serving. Pulls and pushes arriving inside this window park on
     /// [`retry_timeout`](Self::retry_timeout) and succeed after promotion.
     pub failover_delay: SimDuration,
+    /// Bound the scheduler's push history to the last `r` closed epochs
+    /// (clamped up to the tuner's window so decisions never change).
+    /// `None` keeps the full history — byte-identical to the unbounded
+    /// seed behavior.
+    pub history_retention: Option<usize>,
 }
 
 impl Default for DriverConfig {
@@ -106,6 +111,7 @@ impl Default for DriverConfig {
             max_send_retries: 10,
             abort_ack_timeout: SimDuration::from_millis(200),
             failover_delay: SimDuration::from_millis(75),
+            history_retention: None,
         }
     }
 }
@@ -388,7 +394,10 @@ impl Simulation {
         // The scheduler emits its own decisions (notify, abort-issued,
         // epoch-tuned) through the same sink as the driver's data-plane
         // events, so a trace interleaves both sides of the protocol.
-        let scheduler = Scheduler::new(m, tuning).with_sink(Arc::clone(&sink));
+        let mut scheduler = Scheduler::new(m, tuning).with_sink(Arc::clone(&sink));
+        if let Some(epochs) = config.history_retention {
+            scheduler = scheduler.with_history_retention(epochs);
+        }
 
         let workers = bundle
             .workers

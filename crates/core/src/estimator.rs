@@ -38,8 +38,10 @@ impl EpochView {
         let range = history.recent_epoch_range(epochs);
         let mut pulls: Vec<Vec<VirtualTime>> = vec![Vec::new(); m];
         if let Some((start, end)) = range {
-            for p in history.pulls() {
-                if p.time >= start && p.time <= end && p.worker.index() < m {
+            // Binary-searched range scan: touches only the window's pulls
+            // instead of the whole history.
+            for p in history.pulls_in_range(start, end) {
+                if p.worker.index() < m {
                     pulls[p.worker.index()].push(p.time);
                 }
             }

@@ -49,9 +49,8 @@ pub fn exact_freshness(history: &PushHistory, delta: SimDuration) -> FreshnessOu
         // delta.
         let end = push.time + delta;
         loss += history
-            .pulls()
-            .iter()
-            .filter(|p| p.worker != push.worker && p.time > push.time && p.time <= end)
+            .pulls_in_range(push.time, end)
+            .filter(|p| p.worker != push.worker && p.time > push.time)
             .count() as u64;
     }
     FreshnessOutcome { gain, loss }

@@ -49,7 +49,7 @@ mod tuner;
 
 pub use error::SpecSyncError;
 pub use freshness::{exact_freshness, mean_missed_updates, oracle_best_window, FreshnessOutcome};
-pub use history::{PullRecord, PushHistory, PushRecord};
+pub use history::{EvictionCounts, PullRecord, PushHistory, PushRecord};
 pub use hyper::Hyperparams;
 pub use pap::{pap_distribution, uniform_trace, BoxStats, PapDistribution};
 pub use scheduler::{Scheduler, SchedulerCheckpoint, SchedulerStats};

@@ -20,7 +20,7 @@ use specsync_sync::TuningMode;
 use specsync_telemetry::{Event, EventSink, NullSink};
 
 use crate::error::SpecSyncError;
-use crate::history::PushHistory;
+use crate::history::{EvictionCounts, PushHistory};
 use crate::hyper::Hyperparams;
 use crate::tuner::{AdaptiveTuner, TuneOutcome};
 
@@ -55,6 +55,8 @@ pub struct SchedulerStats {
     pub stale_notifies: u64,
     /// Dead/alive membership transitions observed.
     pub membership_changes: u64,
+    /// History records (pushes + pulls) evicted past the retention horizon.
+    pub history_evictions: u64,
 }
 
 /// An abort awaiting its `re-sync` acknowledgement.
@@ -145,6 +147,9 @@ pub struct Scheduler {
     notify_counts: Vec<u64>,
     /// Aborts awaiting acknowledgement, per worker.
     pending_abort: Vec<Option<PendingAbort>>,
+    /// `hyper.threshold(active)` cached so the notify hot path does no
+    /// recomputation; refreshed whenever `hyper` or `active` changes.
+    threshold: u64,
     sink: Arc<dyn EventSink<VirtualTime>>,
 }
 
@@ -182,8 +187,29 @@ impl Scheduler {
             active: m,
             notify_counts: vec![0; m],
             pending_abort: vec![None; m],
+            threshold: hyper.threshold(m.max(1)),
             sink: Arc::new(NullSink),
         }
+    }
+
+    /// Bounds the push/pull history to the last `epochs` closed epochs:
+    /// older records are evicted at each epoch boundary, keeping scheduler
+    /// memory flat over arbitrarily long runs.
+    ///
+    /// The bound is clamped up to the adaptive tuner's lookback window, so
+    /// every live query (abort windows, Eq. 5–7 tuning) still sees exactly
+    /// the records the unbounded history would give it — decisions are
+    /// byte-identical; only memory changes.
+    pub fn with_history_retention(mut self, epochs: usize) -> Self {
+        self.history
+            .set_retention(Some(epochs.max(self.tuner.window_epochs())));
+        self
+    }
+
+    /// Recomputes the cached abort threshold from the installed
+    /// hyperparameters and the live membership.
+    fn refresh_threshold(&mut self) {
+        self.threshold = self.hyper.threshold(self.active.max(1));
     }
 
     /// Routes the scheduler's protocol events ([`Event::Notify`],
@@ -242,6 +268,7 @@ impl Scheduler {
         }
         self.alive[i] = false;
         self.active -= 1;
+        self.refresh_threshold();
         self.spec[i] = SpecState::default();
         self.pending_abort[i] = None;
         self.stats.membership_changes += 1;
@@ -274,6 +301,7 @@ impl Scheduler {
         }
         self.alive[i] = true;
         self.active += 1;
+        self.refresh_threshold();
         self.stats.membership_changes += 1;
         self.sink.record(
             now,
@@ -409,7 +437,7 @@ impl Scheduler {
         if self.hyper.is_disabled() {
             return None;
         }
-        let threshold = self.hyper.threshold(self.active.max(1));
+        let threshold = self.threshold;
         let state = &mut self.spec[worker.index()];
         state.window_start = Some(now);
         state.window = self.hyper.abort_time();
@@ -581,6 +609,7 @@ impl Scheduler {
             active,
             notify_counts,
             pending_abort,
+            threshold: hyper.threshold(active.max(1)),
             sink,
         };
         restored.sink.record(
@@ -602,7 +631,7 @@ impl Scheduler {
     /// adaptive passes return `None`.
     pub fn on_epoch_complete(&mut self, now: VirtualTime) -> Option<TuneOutcome> {
         self.epoch += 1;
-        self.history.mark_epoch();
+        let evicted = self.history.mark_epoch();
         let mut tuned = None;
         if matches!(self.tuning, TuningMode::Adaptive) {
             // Tune against the *effective* cluster size: dead workers push
@@ -617,6 +646,7 @@ impl Scheduler {
                 // off rather than aborting on stale evidence.
                 self.hyper = Hyperparams::disabled();
             }
+            self.refresh_threshold();
         }
         self.sink.record(
             now,
@@ -627,7 +657,25 @@ impl Scheduler {
                 estimated_gain: tuned.as_ref().map(|o| o.estimated_improvement),
             },
         );
+        self.account_evictions(evicted, now);
         tuned
+    }
+
+    /// Books an epoch boundary's evictions into the stats and the trace.
+    /// A no-op on unbounded histories, so default traces are unchanged.
+    fn account_evictions(&mut self, evicted: EvictionCounts, now: VirtualTime) {
+        if evicted.is_zero() {
+            return;
+        }
+        self.stats.history_evictions += evicted.total();
+        self.sink.record(
+            now,
+            &Event::HistoryEvicted {
+                pushes: evicted.pushes,
+                pulls: evicted.pulls,
+                retained: self.history.retained_pushes() as u64,
+            },
+        );
     }
 }
 
@@ -946,5 +994,57 @@ mod tests {
         // the second abort's pending slot.
         assert!(!s.try_on_ack_timeout(w(0), d1, t(5.0)).unwrap());
         assert!(s.try_on_ack_timeout(w(0), d2, t(5.0)).unwrap());
+    }
+
+    #[test]
+    fn bounded_history_makes_identical_decisions() {
+        // Retention bounds memory, never behavior: drive a bounded and an
+        // unbounded adaptive scheduler through the same many-epoch
+        // schedule and require every decision and tuned hyperparameter to
+        // match exactly.
+        let mut bounded = Scheduler::new(4, TuningMode::Adaptive).with_history_retention(1);
+        let mut unbounded = Scheduler::new(4, TuningMode::Adaptive);
+        for round in 0..24u64 {
+            for i in 0..4usize {
+                let base = round as f64 * 4.0 + i as f64;
+                bounded.on_pull(w(i), t(base));
+                unbounded.on_pull(w(i), t(base));
+                let push_at = t(base + 3.7 + (i as f64) * 0.11);
+                let da = bounded.on_notify(w(i), push_at);
+                let db = unbounded.on_notify(w(i), push_at);
+                assert_eq!(da, db, "round {round} worker {i}");
+                if let (Some(da), Some(db)) = (da, db) {
+                    assert_eq!(
+                        bounded.on_check(w(i), da),
+                        unbounded.on_check(w(i), db),
+                        "round {round} worker {i}"
+                    );
+                }
+            }
+            let end = t((round + 1) as f64 * 4.0);
+            let a = bounded.on_epoch_complete(end);
+            let b = unbounded.on_epoch_complete(end);
+            assert_eq!(a.is_some(), b.is_some(), "round {round}");
+            assert_eq!(
+                bounded.hyperparams(),
+                unbounded.hyperparams(),
+                "round {round}"
+            );
+        }
+        let mut sa = bounded.stats();
+        let sb = unbounded.stats();
+        assert!(sa.history_evictions > 0, "retention must have evicted");
+        assert!(bounded.history().retained_pushes() < unbounded.history().retained_pushes());
+        sa.history_evictions = 0;
+        assert_eq!(sa, sb, "all decision counters must match");
+    }
+
+    #[test]
+    fn retention_is_clamped_to_the_tuner_window() {
+        // A retention bound below the tuner's lookback would starve the
+        // candidate enumeration; the builder clamps it up.
+        let s = Scheduler::new(4, TuningMode::Adaptive).with_history_retention(0);
+        let r = s.history().retention().unwrap();
+        assert!(r >= 1);
     }
 }

@@ -48,24 +48,39 @@ impl AdaptiveTuner {
         }
     }
 
+    /// The tuner's lookback in closed epochs — the minimum history
+    /// retention that keeps adaptive tuning exact.
+    pub fn window_epochs(&self) -> usize {
+        self.window_epochs
+    }
+
     /// Enumerates candidate windows from the last closed epoch: the sorted,
     /// deduplicated pairwise differences of push timestamps.
+    ///
+    /// Streaming enumeration: instead of materializing the whole window,
+    /// the sampler fetches only `O(√max_candidates)` pushes by absolute
+    /// sequence number ([`PushHistory::push_at`]), so each epoch's pass
+    /// costs `O(max_candidates)` regardless of how many pushes the window
+    /// holds. The sampled indices (and therefore the candidate set) are
+    /// identical to the seed's collect-then-subsample enumeration.
     pub fn candidate_windows(&self, history: &PushHistory) -> Vec<SimDuration> {
-        let Some(pushes) = history.recent_epoch_pushes(self.window_epochs) else {
+        let Some((start_seq, end_seq)) = history.recent_epoch_seq_range(self.window_epochs) else {
             return Vec::new();
         };
-        if pushes.len() < 2 {
+        let len = (end_seq - start_seq) as usize;
+        if len < 2 {
             return Vec::new();
         }
-        // Pairwise diffs of sorted times = diffs of all ordered pairs; with
-        // chronological history, iterate pairs (i < j).
-        let times: Vec<u64> = pushes.iter().map(|p| p.time.as_micros()).collect();
         let mut diffs: Vec<u64> = Vec::new();
         // Cap the quadratic enumeration: subsample the push list first if
         // its pair count would exceed the candidate budget by too much.
         let max_pushes = (2.0 * (self.max_candidates as f64)).sqrt().ceil() as usize + 2;
-        let stride = times.len().div_ceil(max_pushes).max(1);
-        let sampled: Vec<u64> = times.iter().copied().step_by(stride).collect();
+        let stride = len.div_ceil(max_pushes).max(1);
+        let sampled: Vec<u64> = (start_seq..end_seq)
+            .step_by(stride)
+            .filter_map(|seq| history.push_at(seq))
+            .map(|p| p.time.as_micros())
+            .collect();
         for i in 0..sampled.len() {
             for j in (i + 1)..sampled.len() {
                 let d = sampled[j] - sampled[i];

@@ -1,0 +1,241 @@
+//! Property-based equivalence of the streaming [`PushHistory`] against
+//! the seed `Vec` implementation it replaced.
+//!
+//! `SeedHistory` below is a line-for-line copy of the pre-streaming data
+//! plane (flat `Vec`s, linear scans). The properties drive both through
+//! identical random schedules and require:
+//!
+//! * an **unbounded** streaming history to agree on every query at every
+//!   probe point — the default must be byte-identical to the seed;
+//! * a **retention-bounded** streaming history to agree on every query
+//!   whose window lies at or after the retention horizon, plus the
+//!   always-exact aggregates (`iteration_span_of`, `len`).
+
+use proptest::prelude::*;
+use specsync_core::PushHistory;
+use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+
+/// The seed data plane, verbatim: flat vectors + linear scans.
+#[derive(Default)]
+struct SeedHistory {
+    pushes: Vec<(VirtualTime, WorkerId)>,
+    pulls: Vec<(VirtualTime, WorkerId)>,
+    epoch_marks: Vec<usize>,
+}
+
+impl SeedHistory {
+    fn record_push(&mut self, time: VirtualTime, worker: WorkerId) {
+        self.pushes.push((time, worker));
+    }
+
+    fn record_pull(&mut self, time: VirtualTime, worker: WorkerId) {
+        self.pulls.push((time, worker));
+    }
+
+    fn mark_epoch(&mut self) {
+        self.epoch_marks.push(self.pushes.len());
+    }
+
+    fn recent_epoch_pushes(&self, epochs: usize) -> Option<&[(VirtualTime, WorkerId)]> {
+        let end = *self.epoch_marks.last()?;
+        let n = self.epoch_marks.len();
+        let start = if n > epochs {
+            self.epoch_marks[n - 1 - epochs]
+        } else {
+            0
+        };
+        Some(&self.pushes[start..end])
+    }
+
+    fn recent_epoch_range(&self, epochs: usize) -> Option<(VirtualTime, VirtualTime)> {
+        let pushes = self.recent_epoch_pushes(epochs)?;
+        Some((pushes.first()?.0, pushes.last()?.0))
+    }
+
+    fn pushes_by_others_in(
+        &self,
+        worker: WorkerId,
+        start: VirtualTime,
+        window: SimDuration,
+    ) -> u64 {
+        let end = start + window;
+        self.pushes
+            .iter()
+            .filter(|&&(t, w)| t > start && t <= end && w != worker)
+            .count() as u64
+    }
+
+    fn last_pull_of(&self, worker: WorkerId, cutoff: VirtualTime) -> Option<VirtualTime> {
+        self.pulls
+            .iter()
+            .rev()
+            .find(|&&(t, w)| w == worker && t <= cutoff)
+            .map(|&(t, _)| t)
+    }
+
+    fn iteration_span_of(&self, worker: WorkerId) -> Option<SimDuration> {
+        let from_records = |records: &[(VirtualTime, WorkerId)]| -> Option<SimDuration> {
+            let times: Vec<VirtualTime> = records
+                .iter()
+                .filter(|&&(_, w)| w == worker)
+                .map(|&(t, _)| t)
+                .collect();
+            if times.len() < 2 {
+                return None;
+            }
+            Some(times.last()?.since(*times.first()?) / (times.len() as u64 - 1))
+        };
+        self.recent_epoch_pushes(1)
+            .and_then(from_records)
+            .or_else(|| from_records(&self.pushes))
+    }
+}
+
+/// One step of a random schedule: advance time, then push / pull / close
+/// an epoch.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push { dt: u64, worker: usize },
+    Pull { dt: u64, worker: usize },
+    MarkEpoch,
+}
+
+fn op_strategy(workers: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..2_000_000, 0..workers).prop_map(|(dt, worker)| Op::Push { dt, worker }),
+        (0u64..2_000_000, 0..workers).prop_map(|(dt, worker)| Op::Pull { dt, worker }),
+        (0u64..2_000_000, 0..workers).prop_map(|(dt, worker)| Op::Push { dt, worker }),
+        (0u64..2_000_000, 0..workers).prop_map(|(dt, worker)| Op::Pull { dt, worker }),
+        Just(Op::MarkEpoch),
+    ]
+}
+
+struct Replayed {
+    seed: SeedHistory,
+    streaming: PushHistory,
+    bounded: PushHistory,
+    last_time: VirtualTime,
+}
+
+fn replay(ops: &[Op], retain: usize) -> Replayed {
+    let mut seed = SeedHistory::default();
+    let mut streaming = PushHistory::new();
+    let mut bounded = PushHistory::with_retention(retain);
+    let mut now = VirtualTime::ZERO;
+    for &op in ops {
+        match op {
+            Op::Push { dt, worker } => {
+                now += SimDuration::from_micros(dt);
+                let w = WorkerId::new(worker);
+                seed.record_push(now, w);
+                streaming.record_push(now, w);
+                bounded.record_push(now, w);
+            }
+            Op::Pull { dt, worker } => {
+                now += SimDuration::from_micros(dt);
+                let w = WorkerId::new(worker);
+                seed.record_pull(now, w);
+                streaming.record_pull(now, w);
+                bounded.record_pull(now, w);
+            }
+            Op::MarkEpoch => {
+                seed.mark_epoch();
+                streaming.mark_epoch();
+                bounded.mark_epoch();
+            }
+        }
+    }
+    Replayed {
+        seed,
+        streaming,
+        bounded,
+        last_time: now,
+    }
+}
+
+const WORKERS: usize = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The unbounded streaming history answers every query exactly as the
+    /// seed implementation — at every probe point, for every worker.
+    #[test]
+    fn unbounded_streaming_matches_seed_everywhere(
+        ops in proptest::collection::vec(op_strategy(WORKERS), 1..120),
+        window_us in 1u64..5_000_000,
+        epochs in 1usize..5,
+    ) {
+        let r = replay(&ops, 2);
+        let h = &r.streaming;
+
+        prop_assert_eq!(h.len() as usize, r.seed.pushes.len());
+        let collected: Vec<_> = h.pushes().map(|p| (p.time, p.worker)).collect();
+        prop_assert_eq!(&collected, &r.seed.pushes);
+        let collected: Vec<_> = h.pulls().map(|p| (p.time, p.worker)).collect();
+        prop_assert_eq!(&collected, &r.seed.pulls);
+        prop_assert_eq!(h.recent_epoch_range(epochs), r.seed.recent_epoch_range(epochs));
+
+        let window = SimDuration::from_micros(window_us);
+        let horizon_us = r.last_time.as_micros();
+        for probe in 0..8u64 {
+            let start = VirtualTime::from_micros(horizon_us * probe / 8);
+            for w in 0..WORKERS {
+                let w = WorkerId::new(w);
+                prop_assert_eq!(
+                    h.pushes_by_others_in(w, start, window),
+                    r.seed.pushes_by_others_in(w, start, window)
+                );
+                prop_assert_eq!(h.last_pull_of(w, start), r.seed.last_pull_of(w, start));
+                prop_assert_eq!(h.iteration_span_of(w), r.seed.iteration_span_of(w));
+            }
+        }
+    }
+
+    /// A retention-bounded streaming history still answers exactly like
+    /// the seed for every query at or after the retention horizon, and its
+    /// never-evicted aggregates stay exact regardless of horizon.
+    #[test]
+    fn bounded_streaming_matches_seed_within_horizon(
+        ops in proptest::collection::vec(op_strategy(WORKERS), 1..160),
+        retain in 1usize..4,
+        window_us in 1u64..5_000_000,
+    ) {
+        let r = replay(&ops, retain);
+        let h = &r.bounded;
+
+        // Aggregates survive eviction unconditionally.
+        prop_assert_eq!(h.len() as usize, r.seed.pushes.len());
+        for w in 0..WORKERS {
+            let w = WorkerId::new(w);
+            prop_assert_eq!(h.iteration_span_of(w), r.seed.iteration_span_of(w));
+        }
+
+        // The tuner's lookback stays exact as long as it fits in the
+        // retention bound.
+        for epochs in 1..=retain {
+            prop_assert_eq!(h.recent_epoch_range(epochs), r.seed.recent_epoch_range(epochs));
+        }
+
+        // Point queries are exact from the horizon on.
+        let from = h.retention_horizon().unwrap_or(VirtualTime::ZERO).as_micros();
+        let to = r.last_time.as_micros().max(from);
+        let window = SimDuration::from_micros(window_us);
+        for probe in 0..8u64 {
+            let start = VirtualTime::from_micros(from + (to - from) * probe / 8);
+            for w in 0..WORKERS {
+                let w = WorkerId::new(w);
+                prop_assert_eq!(
+                    h.pushes_by_others_in(w, start, window),
+                    r.seed.pushes_by_others_in(w, start, window),
+                    "retain={} start={}", retain, start.as_micros()
+                );
+                prop_assert_eq!(
+                    h.last_pull_of(w, start),
+                    r.seed.last_pull_of(w, start),
+                    "retain={} start={}", retain, start.as_micros()
+                );
+            }
+        }
+    }
+}

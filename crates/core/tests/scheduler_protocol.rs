@@ -89,7 +89,7 @@ proptest! {
             expected.push((now, w));
         }
         let got: Vec<(VirtualTime, usize)> =
-            sched.history().pushes().iter().map(|p| (p.time, p.worker.index())).collect();
+            sched.history().pushes().map(|p| (p.time, p.worker.index())).collect();
         prop_assert_eq!(got, expected);
     }
 

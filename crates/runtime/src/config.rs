@@ -88,6 +88,10 @@ pub struct RuntimeConfig {
     /// never leaves a torn checkpoint. `None` (the default) persists
     /// nothing.
     pub checkpoint_path: Option<PathBuf>,
+    /// Bound the scheduler's push history to the last `r` closed epochs
+    /// (clamped up to the tuner's window so decisions never change).
+    /// `None` keeps the full history.
+    pub history_retention: Option<usize>,
 }
 
 impl Default for RuntimeConfig {
@@ -107,6 +111,7 @@ impl Default for RuntimeConfig {
             retry_backoff: Duration::from_millis(1),
             chaos: RuntimeChaos::default(),
             checkpoint_path: None,
+            history_retention: None,
         }
     }
 }

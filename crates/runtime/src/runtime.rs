@@ -324,6 +324,9 @@ pub fn try_run_with_sink(
         // VirtualTime, while this host's trace runs on wall Duration. The
         // thread re-emits the scheduler's decisions with wall timestamps.
         let mut core = Scheduler::new(m, tuning);
+        if let Some(epochs) = config.history_retention {
+            core = core.with_history_retention(epochs);
+        }
         let resync_txs = resync_txs.clone();
         let counters = Arc::clone(&counters);
         let hb_interval = config.heartbeat_interval;
@@ -343,6 +346,11 @@ pub fn try_run_with_sink(
             let mut resync_retries: Vec<(VirtualTime, WorkerId, u32)> = Vec::new();
             let mut per_worker = vec![0u64; m];
             let mut epochs = 0u64;
+            // Scheduler-cost sampling (every 16th notify) and eviction
+            // re-emission state; the core keeps a NullSink here, so this
+            // thread republishes its data-plane telemetry on wall time.
+            let mut notify_count = 0u64;
+            let mut seen_evicted = (0u64, 0u64);
             let mut last_beat = vec![VirtualTime::ZERO; m];
             let mut dead = vec![false; m];
             let mut rejoin_epochs = vec![0u64; m];
@@ -482,6 +490,7 @@ pub fn try_run_with_sink(
                     }
                     Ok(SchedMsg::Notify { worker, pushes }) => {
                         let now = now_vt();
+                        let cost_start = clock.now();
                         beat(
                             worker,
                             now,
@@ -521,6 +530,31 @@ pub fn try_run_with_sink(
                                     abort_time: hyper.abort_time(),
                                     abort_rate: hyper.abort_rate(),
                                     estimated_gain: tuned.as_ref().map(|o| o.estimated_improvement),
+                                },
+                            );
+                            let evicted = (
+                                core.history().evicted_pushes(),
+                                core.history().evicted_pulls(),
+                            );
+                            if evicted != seen_evicted {
+                                sink.record(
+                                    elapsed_since(clock.as_ref(), run_start),
+                                    &Event::HistoryEvicted {
+                                        pushes: evicted.0 - seen_evicted.0,
+                                        pulls: evicted.1 - seen_evicted.1,
+                                        retained: core.history().retained_pushes() as u64,
+                                    },
+                                );
+                                seen_evicted = evicted;
+                            }
+                        }
+                        notify_count += 1;
+                        if notify_count.is_multiple_of(16) {
+                            let cost = clock.now().saturating_sub(cost_start);
+                            sink.record(
+                                elapsed_since(clock.as_ref(), run_start),
+                                &Event::SchedCost {
+                                    nanos: cost.as_nanos().min(u64::MAX as u128) as u64,
                                 },
                             );
                         }

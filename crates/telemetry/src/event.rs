@@ -272,6 +272,25 @@ pub enum Event {
         /// Push-history records carried across the restore.
         history_len: u64,
     },
+    /// The scheduler's retention-bounded history evicted records past the
+    /// horizon at an epoch boundary (only emitted when a retention bound is
+    /// configured — unbounded runs never see this event).
+    HistoryEvicted {
+        /// Push records evicted at this boundary.
+        pushes: u64,
+        /// Pull records evicted at this boundary.
+        pulls: u64,
+        /// Push records still retained after eviction.
+        retained: u64,
+    },
+    /// Host-measured cost of one scheduler event-handler invocation
+    /// (notify/check/pull/epoch). Recorded by wall-clock hosts such as the
+    /// scalability sweep; the deterministic simulator never emits it, so
+    /// virtual-time traces are unaffected.
+    SchedCost {
+        /// Wall-clock nanoseconds the invocation took.
+        nanos: u64,
+    },
 }
 
 impl Event {
@@ -298,7 +317,9 @@ impl Event {
             | Event::StoreRecovered { .. }
             | Event::ShardFailover { .. }
             | Event::CheckpointWritten { .. }
-            | Event::SchedulerRecovered { .. } => None,
+            | Event::SchedulerRecovered { .. }
+            | Event::HistoryEvicted { .. }
+            | Event::SchedCost { .. } => None,
         }
     }
 
@@ -326,6 +347,8 @@ impl Event {
             Event::ShardFailover { .. } => "shard_failover",
             Event::CheckpointWritten { .. } => "checkpoint",
             Event::SchedulerRecovered { .. } => "sched_recovered",
+            Event::HistoryEvicted { .. } => "history_evicted",
+            Event::SchedCost { .. } => "sched_cost",
         }
     }
 }

@@ -207,6 +207,19 @@ pub fn encode_line(micros: u64, event: &Event) -> String {
         Event::SchedulerRecovered { epoch, history_len } => {
             let _ = write!(s, ",\"epoch\":{epoch},\"history_len\":{history_len}");
         }
+        Event::HistoryEvicted {
+            pushes,
+            pulls,
+            retained,
+        } => {
+            let _ = write!(
+                s,
+                ",\"pushes\":{pushes},\"pulls\":{pulls},\"retained\":{retained}"
+            );
+        }
+        Event::SchedCost { nanos } => {
+            let _ = write!(s, ",\"nanos\":{nanos}");
+        }
     }
     s.push('}');
     s
@@ -397,6 +410,14 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, String> {
         "sched_recovered" => Event::SchedulerRecovered {
             epoch: parse_u64(&pairs, "epoch")?,
             history_len: parse_u64(&pairs, "history_len")?,
+        },
+        "history_evicted" => Event::HistoryEvicted {
+            pushes: parse_u64(&pairs, "pushes")?,
+            pulls: parse_u64(&pairs, "pulls")?,
+            retained: parse_u64(&pairs, "retained")?,
+        },
+        "sched_cost" => Event::SchedCost {
+            nanos: parse_u64(&pairs, "nanos")?,
         },
         other => return Err(format!("unknown event tag `{other}`")),
     };
@@ -638,6 +659,12 @@ mod tests {
             epoch: 5,
             history_len: 812,
         });
+        round_trip(Event::HistoryEvicted {
+            pushes: 640,
+            pulls: 512,
+            retained: 1280,
+        });
+        round_trip(Event::SchedCost { nanos: 1_850 });
     }
 
     #[test]

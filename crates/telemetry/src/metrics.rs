@@ -139,6 +139,14 @@ pub struct MetricsSnapshot {
     /// notify-loss reconciliations, abort re-issues, fenced pushes,
     /// retries, store recoveries).
     pub degradations: u64,
+    /// History records (pushes + pulls) evicted past the scheduler's
+    /// retention horizon.
+    pub history_evicted: u64,
+    /// Eviction passes observed (`HistoryEvicted` events).
+    pub eviction_passes: u64,
+    /// Wall-clock nanoseconds per scheduler event-handler invocation
+    /// (`SchedCost` events; only wall-clock hosts emit them).
+    pub sched_cost: Histogram,
 }
 
 impl MetricsSnapshot {
@@ -155,6 +163,9 @@ impl MetricsSnapshot {
             crashes: 0,
             recoveries: 0,
             degradations: 0,
+            history_evicted: 0,
+            eviction_passes: 0,
+            sched_cost: Histogram::new(),
         }
     }
 
@@ -299,6 +310,11 @@ impl<T: Timestamp> EventSink<T> for MetricsSink {
             | Event::SchedulerRecovered { .. } => state.snapshot.degradations += 1,
             // Checkpoints are routine, not degradations.
             Event::CheckpointWritten { .. } => {}
+            Event::HistoryEvicted { pushes, pulls, .. } => {
+                state.snapshot.history_evicted += pushes + pulls;
+                state.snapshot.eviction_passes += 1;
+            }
+            Event::SchedCost { nanos } => state.snapshot.sched_cost.record(*nanos),
         }
     }
 }
@@ -394,6 +410,33 @@ mod tests {
         assert_eq!(snap.abort_latency.count(), 1);
         assert_eq!(snap.abort_latency.sum(), 45);
         assert_eq!(snap.wasted_compute.sum(), 40);
+    }
+
+    #[test]
+    fn sink_tracks_evictions_and_sched_cost() {
+        let sink = MetricsSink::new();
+        sink.record(
+            VirtualTime::from_micros(10),
+            &Event::HistoryEvicted {
+                pushes: 100,
+                pulls: 80,
+                retained: 400,
+            },
+        );
+        sink.record(
+            VirtualTime::from_micros(11),
+            &Event::SchedCost { nanos: 250 },
+        );
+        sink.record(
+            VirtualTime::from_micros(12),
+            &Event::SchedCost { nanos: 750 },
+        );
+        let snap = sink.snapshot();
+        assert_eq!(snap.history_evicted, 180);
+        assert_eq!(snap.eviction_passes, 1);
+        assert_eq!(snap.sched_cost.count(), 2);
+        assert_eq!(snap.sched_cost.sum(), 1000);
+        assert_eq!(snap.sched_cost.max(), 750);
     }
 
     #[test]

@@ -26,8 +26,8 @@ fn assert_identical(a: &RunReport, b: &RunReport) {
             "loss values must be bit-identical"
         );
     }
-    assert_eq!(a.history.pushes(), b.history.pushes());
-    assert_eq!(a.history.pulls(), b.history.pulls());
+    assert!(a.history.pushes().eq(b.history.pushes()));
+    assert!(a.history.pulls().eq(b.history.pulls()));
 }
 
 /// Serializes everything observable about a run into one canonical text
@@ -99,8 +99,8 @@ fn different_seeds_produce_different_trajectories() {
     let a = run(SchemeKind::Asp, 1);
     let b = run(SchemeKind::Asp, 2);
     assert_ne!(
-        a.history.pushes().first().map(|p| p.time),
-        b.history.pushes().first().map(|p| p.time),
+        a.history.pushes().next().map(|p| p.time),
+        b.history.pushes().next().map(|p| p.time),
         "timing should differ across seeds"
     );
 }

@@ -46,9 +46,9 @@ proptest! {
         prop_assert_eq!(per_worker, report.total_iterations);
 
         // History is chronological.
-        let pushes = report.history.pushes();
+        let pushes: Vec<_> = report.history.pushes().collect();
         prop_assert!(pushes.windows(2).all(|w| w[0].time <= w[1].time));
-        let pulls = report.history.pulls();
+        let pulls: Vec<_> = report.history.pulls().collect();
         prop_assert!(pulls.windows(2).all(|w| w[0].time <= w[1].time));
 
         // Pushes recorded by the scheduler match applied iterations.
