@@ -263,6 +263,7 @@ struct Summary {
     journal_replayed: u64,
     checkpoints: u64,
     sched_recoveries: u64,
+    store_recoveries: u64,
     /// Scheduler data-plane events (worker-less, counted globally).
     eviction_passes: u64,
     evicted_records: u64,
@@ -282,6 +283,7 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
     let mut journal_replayed = 0u64;
     let mut checkpoints = 0u64;
     let mut sched_recoveries = 0u64;
+    let mut store_recoveries = 0u64;
     let mut eviction_passes = 0u64;
     let mut evicted_records = 0u64;
     let mut last_retained = None;
@@ -328,6 +330,10 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
                 sched_recoveries += 1;
                 continue;
             }
+            Event::StoreRecovered { .. } => {
+                store_recoveries += 1;
+                continue;
+            }
             Event::HistoryEvicted {
                 pushes,
                 pulls,
@@ -344,6 +350,7 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
                 sched_cost_max_ns = sched_cost_max_ns.max(*nanos);
                 continue;
             }
+            // specsync-allow(event-exhaustiveness): every remaining variant is worker-scoped and falls through to the per-worker dispatch below
             _ => {}
         }
         let Some(worker) = rec.event.worker() else {
@@ -432,6 +439,7 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
                     tl.fresh_gained += fresh;
                 }
             }
+            // specsync-allow(event-exhaustiveness): gain attribution only needs the pull/push/resync triple; everything else was tallied in the first pass
             _ => {}
         }
     }
@@ -449,6 +457,7 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
         journal_replayed,
         checkpoints,
         sched_recoveries,
+        store_recoveries,
         eviction_passes,
         evicted_records,
         last_retained,
@@ -485,14 +494,17 @@ fn summarize(path: &str) -> ExitCode {
         }
     );
 
-    if summary.failovers + summary.checkpoints + summary.sched_recoveries > 0 {
+    if summary.failovers + summary.checkpoints + summary.sched_recoveries + summary.store_recoveries
+        > 0
+    {
         println!(
             "server fault tolerance: {} shard failover(s) ({} journaled push(es) replayed), \
-             {} checkpoint(s) written, {} scheduler recovery(ies)",
+             {} checkpoint(s) written, {} scheduler recovery(ies), {} store recovery(ies)",
             summary.failovers,
             summary.journal_replayed,
             summary.checkpoints,
-            summary.sched_recoveries
+            summary.sched_recoveries,
+            summary.store_recoveries
         );
     }
 

@@ -443,15 +443,42 @@ pub fn read_trace(path: &Path) -> Result<Vec<TraceRecord>, TraceError> {
     Ok(out)
 }
 
+/// Buffered bytes held before one `write_all` hands them to the writer.
+/// Keeps syscalls out of the hot `record` path: the state lock protects a
+/// memcpy, not I/O, except at one annotated drain site per 64 KiB.
+const DRAIN_BYTES: usize = 64 * 1024;
+
 struct JsonlState<W> {
     writer: W,
+    /// Encoded lines accepted but not yet handed to `writer`. Drained at
+    /// [`DRAIN_BYTES`], on `flush`, and on `finish`.
+    pending: Vec<u8>,
     lines: u64,
     /// First write failure; once set, further records are dropped and the
     /// error surfaces on [`JsonlSink::finish`].
     error: Option<String>,
 }
 
+/// Hands the buffered bytes to the writer. Every caller holds the state
+/// lock — this free function is the analyzer-visible blocking site that
+/// call sites must annotate (`blocking-under-lock`).
+fn drain_locked<W: Write>(state: &mut JsonlState<W>) {
+    if state.error.is_some() || state.pending.is_empty() {
+        return;
+    }
+    let res = state.writer.write_all(&state.pending);
+    state.pending.clear();
+    if let Err(e) = res {
+        state.error = Some(e.to_string());
+    }
+}
+
 /// Streams events to a writer as JSON lines.
+///
+/// Events are encoded outside the sink lock and buffered; the writer only
+/// sees I/O on the amortized drain, on [`flush`](EventSink::flush), and on
+/// [`finish`](Self::finish) — so concurrent recorders never stall on the
+/// kernel, only on a short memcpy.
 ///
 /// Write failures do not panic (sinks are called from library code): the
 /// first error is remembered, subsequent events are dropped, and
@@ -488,20 +515,25 @@ impl<W: Write + Send> JsonlSink<W> {
         JsonlSink {
             state: Mutex::new(JsonlState {
                 writer,
+                pending: Vec::new(),
                 lines: 0,
                 error: None,
             }),
         }
     }
 
-    /// Number of lines successfully written so far.
+    /// Number of lines accepted into the trace so far (buffered or
+    /// written). A line lost to a later write failure still counts here;
+    /// the failure itself surfaces on [`finish`](Self::finish).
     pub fn lines_written(&self) -> u64 {
         self.state.lock().lines
     }
 
-    /// Flushes and returns the inner writer, or the first write error.
+    /// Drains, flushes, and returns the inner writer, or the first write
+    /// error. No lock is held here — the sink has been consumed.
     pub fn finish(self) -> Result<W, TraceError> {
         let mut state = self.state.into_inner();
+        drain_locked(&mut state);
         if let Some(msg) = state.error {
             return Err(TraceError::Io(msg));
         }
@@ -522,24 +554,28 @@ impl<W> std::fmt::Debug for JsonlSink<W> {
 
 impl<T: Timestamp, W: Write + Send> EventSink<T> for JsonlSink<W> {
     fn record(&self, at: T, event: &Event) {
+        // Encoding happens before the lock: the critical section is an
+        // append plus, once per DRAIN_BYTES, the sanctioned drain.
         let line = encode_line(at.as_trace_micros(), event);
         let mut state = self.state.lock();
         if state.error.is_some() {
             return;
         }
-        let res = state
-            .writer
-            .write_all(line.as_bytes())
-            .and_then(|()| state.writer.write_all(b"\n"));
-        match res {
-            Ok(()) => state.lines += 1,
-            Err(e) => state.error = Some(e.to_string()),
+        state.pending.extend_from_slice(line.as_bytes());
+        state.pending.push(b'\n');
+        state.lines += 1;
+        if state.pending.len() >= DRAIN_BYTES {
+            // specsync-allow(blocking-under-lock): amortized drain — one write_all per 64 KiB of trace is the sanctioned I/O-under-lock site
+            drain_locked(&mut state);
         }
     }
 
     fn flush(&self) {
         let mut state = self.state.lock();
+        // specsync-allow(blocking-under-lock): an explicit flush is a sanctioned stall; drain the buffer first
+        drain_locked(&mut state);
         if state.error.is_none() {
+            // specsync-allow(blocking-under-lock): syncing the inner writer is the point of this method
             if let Err(e) = state.writer.flush() {
                 state.error = Some(e.to_string());
             }
@@ -733,10 +769,45 @@ mod tests {
                 worker: WorkerId::new(0),
             },
         );
-        assert_eq!(sink.lines_written(), 0);
+        // The line is accepted into the buffer; the failure only shows up
+        // when the drain on `finish` actually touches the writer.
+        assert_eq!(sink.lines_written(), 1);
         match sink.finish() {
             Err(TraceError::Io(msg)) => assert!(msg.contains("disk on fire")),
             other => panic!("expected io error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn flush_surfaces_write_errors_early() {
+        #[derive(Debug)]
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Failing);
+        EventSink::record(
+            &sink,
+            VirtualTime::ZERO,
+            &Event::Notify {
+                worker: WorkerId::new(0),
+            },
+        );
+        EventSink::<VirtualTime>::flush(&sink);
+        // Once the drain has failed, later records are dropped.
+        EventSink::record(
+            &sink,
+            VirtualTime::ZERO,
+            &Event::Notify {
+                worker: WorkerId::new(0),
+            },
+        );
+        assert_eq!(sink.lines_written(), 1);
+        assert!(matches!(sink.finish(), Err(TraceError::Io(_))));
     }
 }

@@ -1,0 +1,410 @@
+//! Symbol table, intra-workspace call resolution, and transitive
+//! summaries over [`parser::ParsedFile`]s.
+//!
+//! Resolution trades recall for precision (DESIGN.md §15): `self.m()` and
+//! `Self::m()` resolve within the enclosing impl type, `Type::m()`
+//! resolves to that type's impls (by type *name* — the workspace has no
+//! real type system), and bare `f()` / `path::f()` resolve to free
+//! functions named `f`. Method calls on any other receiver stay
+//! unresolved. When several candidates match, same-file candidates win;
+//! otherwise all candidates are kept (an over-approximation).
+//!
+//! Three summaries are propagated to a fixpoint along resolved call
+//! edges, each answering one pass's question about a function and
+//! everything it can reach:
+//!
+//! * **acquires** — every lock class it may take;
+//! * **blocks** — every blocking primitive it may hit, tagged with the
+//!   function that contains it (for diagnostics);
+//! * **variant_refs** — every `Enum::Variant` of a workspace enum it
+//!   references (how `JsonlSink::record` gets credit for the exhaustive
+//!   match inside `encode_line`).
+//!
+//! Functions in test regions are invisible: they are neither resolution
+//! targets nor summary sources.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parser::{Callee, Op, ParsedFile};
+
+/// `(file index, function index)` into the parsed model.
+pub type FnId = (usize, usize);
+
+/// The workspace model: symbol tables plus fixpoint summaries.
+#[derive(Debug)]
+pub struct Graph {
+    /// Free functions (no enclosing impl) by name.
+    free_fns: BTreeMap<String, Vec<FnId>>,
+    /// Methods by `(self type name, method name)`.
+    methods: BTreeMap<(String, String), Vec<FnId>>,
+    /// Workspace enums by name → `(file index, enum index)`. On a name
+    /// collision across crates the first (label-sorted) file wins.
+    pub enums: BTreeMap<String, (usize, usize)>,
+    /// Transitive lock-class acquisitions per function.
+    pub acquires: BTreeMap<FnId, BTreeSet<String>>,
+    /// Transitive blocking primitives per function, as
+    /// `(what, qualified name of the function containing the site)`.
+    pub blocks: BTreeMap<FnId, BTreeSet<(String, String)>>,
+    /// Transitive `(enum, variant)` references per function, filtered to
+    /// enums defined in the workspace.
+    pub variant_refs: BTreeMap<FnId, BTreeSet<(String, String)>>,
+}
+
+impl Graph {
+    /// Builds symbol tables and runs the summary fixpoint.
+    pub fn build(files: &[ParsedFile]) -> Graph {
+        let mut g = Graph {
+            free_fns: BTreeMap::new(),
+            methods: BTreeMap::new(),
+            enums: BTreeMap::new(),
+            acquires: BTreeMap::new(),
+            blocks: BTreeMap::new(),
+            variant_refs: BTreeMap::new(),
+        };
+
+        let mut enum_variants: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (ei, e) in file.enums.iter().enumerate() {
+                g.enums.entry(e.name.clone()).or_insert((fi, ei));
+                enum_variants
+                    .entry(e.name.clone())
+                    .or_default()
+                    .extend(e.variants.iter().map(|(v, _)| v.clone()));
+            }
+            for (fni, f) in file.functions.iter().enumerate() {
+                if f.in_test {
+                    continue;
+                }
+                let id = (fi, fni);
+                match &f.self_type {
+                    Some(ty) => g
+                        .methods
+                        .entry((ty.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id),
+                    None => g.free_fns.entry(f.name.clone()).or_default().push(id),
+                }
+            }
+        }
+
+        // Direct summaries and resolved call targets.
+        let mut targets: BTreeMap<FnId, BTreeSet<FnId>> = BTreeMap::new();
+        let ids: Vec<FnId> = files
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, file)| {
+                file.functions
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| !f.in_test)
+                    .map(move |(fni, _)| (fi, fni))
+            })
+            .collect();
+        for &id in &ids {
+            let f = &files[id.0].functions[id.1];
+            let mut acq = BTreeSet::new();
+            let mut blk = BTreeSet::new();
+            let mut tgt = BTreeSet::new();
+            for op in &f.ops {
+                match op {
+                    Op::Acquire { class, .. } => {
+                        acq.insert(class.clone());
+                    }
+                    Op::Block { what, .. } => {
+                        blk.insert((what.to_string(), f.qual.clone()));
+                    }
+                    Op::Call { callee, .. } => {
+                        tgt.extend(g.resolve(files, id, callee));
+                    }
+                }
+            }
+            let refs: BTreeSet<(String, String)> = f
+                .path_refs
+                .iter()
+                .filter(|(e, v, _)| enum_variants.get(e).is_some_and(|vs| vs.contains(v)))
+                .map(|(e, v, _)| (e.clone(), v.clone()))
+                .collect();
+            g.acquires.insert(id, acq);
+            g.blocks.insert(id, blk);
+            g.variant_refs.insert(id, refs);
+            targets.insert(id, tgt);
+        }
+
+        // Fixpoint: union callee summaries into callers until stable.
+        // Terminates because sets only grow and the universe is finite.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &id in &ids {
+                let mut add_acq = BTreeSet::new();
+                let mut add_blk = BTreeSet::new();
+                let mut add_refs = BTreeSet::new();
+                for t in &targets[&id] {
+                    if let Some(s) = g.acquires.get(t) {
+                        add_acq.extend(s.iter().cloned());
+                    }
+                    if let Some(s) = g.blocks.get(t) {
+                        add_blk.extend(s.iter().cloned());
+                    }
+                    if let Some(s) = g.variant_refs.get(t) {
+                        add_refs.extend(s.iter().cloned());
+                    }
+                }
+                let acq = g.acquires.get_mut(&id).expect("seeded above");
+                for x in add_acq {
+                    changed |= acq.insert(x);
+                }
+                let blk = g.blocks.get_mut(&id).expect("seeded above");
+                for x in add_blk {
+                    changed |= blk.insert(x);
+                }
+                let refs = g.variant_refs.get_mut(&id).expect("seeded above");
+                for x in add_refs {
+                    changed |= refs.insert(x);
+                }
+            }
+        }
+        g
+    }
+
+    /// Resolves one call site to candidate workspace functions.
+    pub fn resolve(&self, files: &[ParsedFile], caller: FnId, callee: &Callee) -> Vec<FnId> {
+        let candidates: &[FnId] = match callee {
+            Callee::Bare(name) => self.free_fns.get(name).map_or(&[][..], Vec::as_slice),
+            Callee::SelfMethod(name) => {
+                let Some(ty) = &files[caller.0].functions[caller.1].self_type else {
+                    return Vec::new();
+                };
+                self.methods
+                    .get(&(ty.clone(), name.clone()))
+                    .map_or(&[][..], Vec::as_slice)
+            }
+            Callee::TypeMethod(ty, name) => self
+                .methods
+                .get(&(ty.clone(), name.clone()))
+                .map_or(&[][..], Vec::as_slice),
+            Callee::Unresolved(_) => &[],
+        };
+        let same_file: Vec<FnId> = candidates
+            .iter()
+            .copied()
+            .filter(|id| id.0 == caller.0)
+            .collect();
+        if !same_file.is_empty() {
+            same_file
+        } else {
+            candidates.to_vec()
+        }
+    }
+
+    /// The qualified display name of a function.
+    pub fn qual<'a>(&self, files: &'a [ParsedFile], id: FnId) -> &'a str {
+        &files[id.0].functions[id.1].qual
+    }
+}
+
+/// Strongly connected components with ≥ 2 nodes in a class graph, each
+/// sorted, the list sorted by first element — a deterministic rendering
+/// of every lock-order cycle.
+pub fn cycles(adj: &BTreeMap<String, BTreeSet<String>>) -> Vec<Vec<String>> {
+    // Iterative Tarjan. Node order (and thus SCC discovery order) follows
+    // the BTreeMap, so output is stable.
+    let nodes: Vec<&String> = adj.keys().collect();
+    let index_of: BTreeMap<&str, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let n = nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out: Vec<Vec<String>> = Vec::new();
+
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize),
+    }
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut work = vec![Frame::Enter(start)];
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    work.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, child) => {
+                    let succs: Vec<usize> = adj[nodes[v]]
+                        .iter()
+                        .filter_map(|s| index_of.get(s.as_str()).copied())
+                        .collect();
+                    let mut advanced = false;
+                    for (k, &w) in succs.iter().enumerate().skip(child) {
+                        if index[w] == usize::MAX {
+                            work.push(Frame::Resume(v, k + 1));
+                            work.push(Frame::Enter(w));
+                            advanced = true;
+                            break;
+                        }
+                        if on_stack[w] {
+                            low[v] = low[v].min(index[w]);
+                        }
+                    }
+                    if advanced {
+                        continue;
+                    }
+                    // All successors done: pop an SCC if v is a root.
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(nodes[w].clone());
+                            if w == v {
+                                break;
+                            }
+                        }
+                        if comp.len() >= 2 {
+                            comp.sort();
+                            out.push(comp);
+                        }
+                    }
+                    // Propagate lowlink to the parent Resume frame.
+                    if let Some(Frame::Resume(p, _)) = work.last() {
+                        let p = *p;
+                        low[p] = low[p].min(low[v]);
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::parser::parse_file;
+    use crate::workspace::CrateClass;
+
+    fn model(sources: &[(&str, &str)]) -> Vec<ParsedFile> {
+        sources
+            .iter()
+            .map(|(label, src)| {
+                let scanned = lexer::scan(src);
+                let regions = lexer::test_regions(&scanned.sanitized);
+                parse_file(
+                    label,
+                    &scanned.sanitized,
+                    CrateClass::Deterministic,
+                    false,
+                    &regions,
+                )
+            })
+            .collect()
+    }
+
+    fn id_of(files: &[ParsedFile], qual: &str) -> FnId {
+        for (fi, f) in files.iter().enumerate() {
+            for (fni, func) in f.functions.iter().enumerate() {
+                if func.qual == qual {
+                    return (fi, fni);
+                }
+            }
+        }
+        panic!("no fn {qual}");
+    }
+
+    #[test]
+    fn transitive_acquires_cross_files() {
+        let files = model(&[
+            (
+                "a.rs",
+                "struct A { m: M }\nimpl A {\n fn outer(&self) { helper(); }\n}\n",
+            ),
+            (
+                "b.rs",
+                "struct B { n: M }\nfn helper() { B_INSTANCE.with(|b| ()); inner(); }\nfn inner() { other_lock.lock(); }\n",
+            ),
+        ]);
+        let g = Graph::build(&files);
+        let outer = id_of(&files, "A::outer");
+        assert!(
+            g.acquires[&outer].iter().any(|c| c.contains("other_lock")),
+            "{:?}",
+            g.acquires[&outer]
+        );
+    }
+
+    #[test]
+    fn transitive_blocks_carry_the_owning_fn() {
+        let files = model(&[(
+            "a.rs",
+            "fn outer() { middle(); }\nfn middle() { leaf(); }\nfn leaf() { handle.join(); }\n",
+        )]);
+        let g = Graph::build(&files);
+        let outer = id_of(&files, "outer");
+        assert!(
+            g.blocks[&outer].contains(&("JoinHandle::join".to_string(), "leaf".to_string())),
+            "{:?}",
+            g.blocks[&outer]
+        );
+    }
+
+    #[test]
+    fn variant_refs_filter_to_workspace_enums() {
+        let files = model(&[(
+            "a.rs",
+            "enum Event { A, B }\nfn f() { let _ = Event::A; let _ = Other::X; }\n",
+        )]);
+        let g = Graph::build(&files);
+        let f = id_of(&files, "f");
+        assert_eq!(
+            g.variant_refs[&f],
+            [("Event".to_string(), "A".to_string())]
+                .into_iter()
+                .collect()
+        );
+    }
+
+    #[test]
+    fn test_fns_are_not_resolution_targets() {
+        let files = model(&[(
+            "a.rs",
+            "fn outer() { helper(); }\n#[cfg(test)]\nmod tests {\n    fn helper() { x.lock(); }\n}\n",
+        )]);
+        let g = Graph::build(&files);
+        let outer = id_of(&files, "outer");
+        assert!(g.acquires[&outer].is_empty(), "{:?}", g.acquires[&outer]);
+    }
+
+    #[test]
+    fn cycles_finds_two_node_loop() {
+        let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        adj.entry("a".into()).or_default().insert("b".into());
+        adj.entry("b".into()).or_default().insert("a".into());
+        adj.entry("c".into()).or_default().insert("a".into());
+        let sccs = cycles(&adj);
+        assert_eq!(sccs, vec![vec!["a".to_string(), "b".to_string()]]);
+    }
+
+    #[test]
+    fn cycles_is_empty_for_a_dag() {
+        let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        adj.entry("a".into()).or_default().insert("b".into());
+        adj.entry("b".into()).or_default().insert("c".into());
+        adj.entry("c".into()).or_default();
+        assert!(cycles(&adj).is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Machine-readable diagnostics (`--format json`) and the baseline
+//! filter (`--baseline <file>`).
+//!
+//! One diagnostic per line, keys always in the same order:
+//!
+//! ```text
+//! {"lint":"lock-order","level":"deny","file":"crates/ps/src/store.rs","line":42,"message":"..."}
+//! ```
+//!
+//! A baseline file is exactly that output saved to disk (blank lines and
+//! `#` comments allowed), so bootstrapping is
+//! `cargo xtask analyze --format json > analyze-baseline.jsonl`.
+//! Matching deliberately ignores `line` — diagnostics drift with
+//! unrelated edits; `(lint, file, message)` identifies the finding.
+//!
+//! Hand-rolled (de)serialization: xtask is dependency-free by design.
+
+use std::collections::BTreeSet;
+
+use crate::lints::Diagnostic;
+
+/// Renders one diagnostic as a single JSON line (no trailing newline).
+pub fn to_json_line(d: &Diagnostic) -> String {
+    let level = if d.lint.is_deny() { "deny" } else { "advisory" };
+    format!(
+        "{{\"lint\":{},\"level\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+        escape(d.lint.name()),
+        escape(level),
+        escape(&d.file),
+        d.line,
+        escape(&d.message)
+    )
+}
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A set of known diagnostics to ignore, keyed by `(lint, file, message)`.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    keys: BTreeSet<(String, String, String)>,
+}
+
+impl Baseline {
+    /// Parses baseline text (JSONL as emitted by `--format json`).
+    /// Malformed entries are hard errors — a baseline that silently
+    /// matches nothing would let regressions through.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut keys = BTreeSet::new();
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let entry = (
+                json_string_field(line, "lint")
+                    .ok_or_else(|| format!("baseline line {}: missing `lint`", n + 1))?,
+                json_string_field(line, "file")
+                    .ok_or_else(|| format!("baseline line {}: missing `file`", n + 1))?,
+                json_string_field(line, "message")
+                    .ok_or_else(|| format!("baseline line {}: missing `message`", n + 1))?,
+            );
+            keys.insert(entry);
+        }
+        Ok(Baseline { keys })
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    pub fn contains(&self, d: &Diagnostic) -> bool {
+        self.keys
+            .contains(&(d.lint.name().to_string(), d.file.clone(), d.message.clone()))
+    }
+}
+
+/// Extracts the string value of `"key":"..."` from one JSON line,
+/// unescaping as it goes. Tolerates whitespace after the colon but
+/// expects string-typed values (all baseline keys are strings).
+fn json_string_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\"");
+    let mut search_from = 0;
+    loop {
+        let at = line[search_from..].find(&marker)? + search_from;
+        let mut rest = line[at + marker.len()..].trim_start();
+        if let Some(r) = rest.strip_prefix(':') {
+            rest = r.trim_start();
+            let body = rest.strip_prefix('"')?;
+            return unescape_prefix(body);
+        }
+        // A value that *contains* `"key"` — keep searching.
+        search_from = at + marker.len();
+    }
+}
+
+/// Unescapes a JSON string up to its closing quote.
+fn unescape_prefix(body: &str) -> Option<String> {
+    let mut out = String::new();
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'b' => out.push('\u{8}'),
+                'f' => out.push('\u{c}'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Lint;
+
+    fn diag(lint: Lint, file: &str, line: usize, message: &str) -> Diagnostic {
+        Diagnostic {
+            lint,
+            file: file.to_string(),
+            line,
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn json_line_has_stable_key_order() {
+        let d = diag(Lint::LockOrder, "a.rs", 7, "cycle `x` and `y`");
+        assert_eq!(
+            to_json_line(&d),
+            r#"{"lint":"lock-order","level":"deny","file":"a.rs","line":7,"message":"cycle `x` and `y`"}"#
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let d = diag(Lint::NoPanic, "a\\b.rs", 1, "say \"no\"\n");
+        let line = to_json_line(&d);
+        assert!(line.contains(r#""file":"a\\b.rs""#), "{line}");
+        assert!(line.contains(r#""message":"say \"no\"\n""#), "{line}");
+        // And it round-trips through the baseline parser.
+        let b = Baseline::parse(&line).unwrap();
+        assert!(b.contains(&d));
+    }
+
+    #[test]
+    fn baseline_matches_ignore_line_numbers() {
+        let d = diag(
+            Lint::VirtualTime,
+            "a.rs",
+            10,
+            "`Instant` is wall-clock state",
+        );
+        let b = Baseline::parse(&to_json_line(&d)).unwrap();
+        let drifted = diag(
+            Lint::VirtualTime,
+            "a.rs",
+            99,
+            "`Instant` is wall-clock state",
+        );
+        assert!(b.contains(&drifted));
+        let other = diag(
+            Lint::VirtualTime,
+            "b.rs",
+            10,
+            "`Instant` is wall-clock state",
+        );
+        assert!(!b.contains(&other));
+    }
+
+    #[test]
+    fn baseline_skips_blanks_and_comments() {
+        let text = "# known findings\n\n{\"lint\":\"no-panic\",\"level\":\"deny\",\"file\":\"a.rs\",\"line\":1,\"message\":\"m\"}\n";
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baseline_lines_are_errors() {
+        assert!(Baseline::parse("{\"file\":\"a.rs\"}").is_err());
+        assert!(Baseline::parse("not json at all").is_err());
+    }
+}

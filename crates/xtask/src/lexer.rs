@@ -113,10 +113,15 @@ pub fn scan(source: &str) -> SourceScan {
                     i += 1;
                 }
             }
-            b'r' if is_raw_string_start(bytes, i) => {
-                // Raw string r"..." or r#"..."# (any number of #).
-                out.push(b'r');
-                i += 1;
+            b'r' | b'b' if raw_string_prefix_len(bytes, i).is_some() => {
+                // Raw string r"..." / r#"..."# (any number of #), or the
+                // byte-string variants br"..." / br#"..."#. The prefix is
+                // kept verbatim so offsets stay aligned.
+                let prefix = raw_string_prefix_len(bytes, i).unwrap_or(1);
+                for _ in 0..prefix {
+                    out.push(bytes[i]);
+                    i += 1;
+                }
                 let mut hashes = 0usize;
                 while i < bytes.len() && bytes[i] == b'#' {
                     hashes += 1;
@@ -196,21 +201,28 @@ pub fn scan(source: &str) -> SourceScan {
     }
 }
 
-/// Whether the `r` at `i` starts a raw string (`r"`, `r#"`). Guards against
-/// identifiers ending in `r` by requiring the previous byte to be a
-/// non-identifier character.
-fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+/// If a raw-string prefix starts at `i`, returns its length in bytes: 1
+/// for `r"`/`r#"`, 2 for `br"`/`br#"`. Guards against identifiers ending
+/// in `r`/`br` by requiring the previous byte to be a non-identifier
+/// character, and against raw identifiers (`r#match`) by requiring a `"`
+/// right after the hashes.
+fn raw_string_prefix_len(bytes: &[u8], i: usize) -> Option<usize> {
     if i > 0 {
         let p = bytes[i - 1];
         if p.is_ascii_alphanumeric() || p == b'_' {
-            return false;
+            return None;
         }
     }
-    let mut j = i + 1;
+    let prefix = match bytes[i] {
+        b'r' => 1,
+        b'b' if bytes.get(i + 1) == Some(&b'r') => 2,
+        _ => return None,
+    };
+    let mut j = i + prefix;
     while j < bytes.len() && bytes[j] == b'#' {
         j += 1;
     }
-    j < bytes.len() && bytes[j] == b'"'
+    (j < bytes.len() && bytes[j] == b'"').then_some(prefix)
 }
 
 /// If a non-escape char literal starts at `i` (which holds `'`), returns
@@ -419,6 +431,48 @@ let y = 1;"#;
         let s = scan(src);
         assert!(!s.sanitized.contains("HashMap"));
         assert!(s.sanitized.contains("let z = 2;"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_blanked() {
+        let src = r##"let a = b"Instant"; let b = br#"HashMap"#; let c = 3;"##;
+        let s = scan(src);
+        assert!(!s.sanitized.contains("Instant"), "{}", s.sanitized);
+        assert!(!s.sanitized.contains("HashMap"), "{}", s.sanitized);
+        assert!(s.sanitized.contains("let c = 3;"));
+        // Blanking is span-correct: byte offsets are unchanged.
+        assert_eq!(s.sanitized.len(), src.len());
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_keep_spans_and_swallow_fake_closers() {
+        // `"#` inside an `r##` string must not close it; `//` inside must
+        // not read as a comment.
+        let src = r###"let x = r##"tail"# // unwrap()"##; let y = 1;"###;
+        let s = scan(src);
+        assert!(!s.sanitized.contains("unwrap"), "{}", s.sanitized);
+        assert!(s.sanitized.contains("let y = 1;"), "{}", s.sanitized);
+        assert!(s.comments.is_empty(), "{:?}", s.comments);
+        assert_eq!(s.sanitized.len(), src.len());
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let s = scan("let r#match = 1; let y = r#match;");
+        assert!(s.sanitized.contains("let y = r#match;"));
+    }
+
+    #[test]
+    fn nested_block_comments_blank_as_one_span() {
+        let src = "a\n/* outer /* inner\n*/ tail */\nb = 2;";
+        let s = scan(src);
+        assert!(!s.sanitized.contains("tail"), "{}", s.sanitized);
+        assert!(s.sanitized.contains("b = 2;"));
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].1.contains("inner"));
+        // Line numbers survive the multi-line blanking.
+        let ids = idents(&s.sanitized);
+        assert_eq!(ids.last().map(|i| (i.text, i.line)), Some(("b", 4)));
     }
 
     #[test]

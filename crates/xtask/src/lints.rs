@@ -34,7 +34,7 @@ use crate::lexer::{self, Ident, SourceScan};
 use crate::workspace::CrateClass;
 
 /// The lint classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Lint {
     VirtualTime,
     OrderedIteration,
@@ -43,6 +43,9 @@ pub enum Lint {
     UncheckedIndexing,
     MalformedAllow,
     UnusedAllow,
+    LockOrder,
+    BlockingUnderLock,
+    EventExhaustiveness,
 }
 
 impl Lint {
@@ -56,6 +59,9 @@ impl Lint {
             Lint::UncheckedIndexing => "unchecked-indexing",
             Lint::MalformedAllow => "malformed-allow",
             Lint::UnusedAllow => "unused-allow",
+            Lint::LockOrder => "lock-order",
+            Lint::BlockingUnderLock => "blocking-under-lock",
+            Lint::EventExhaustiveness => "event-exhaustiveness",
         }
     }
 
@@ -66,6 +72,9 @@ impl Lint {
             "no-panic" => Lint::NoPanic,
             "f32-accumulation" => Lint::F32Accumulation,
             "unchecked-indexing" => Lint::UncheckedIndexing,
+            "lock-order" => Lint::LockOrder,
+            "blocking-under-lock" => Lint::BlockingUnderLock,
+            "event-exhaustiveness" => Lint::EventExhaustiveness,
             _ => return None,
         })
     }
@@ -73,6 +82,15 @@ impl Lint {
     /// Whether a diagnostic of this lint fails the analysis run.
     pub fn is_deny(self) -> bool {
         !matches!(self, Lint::UncheckedIndexing | Lint::UnusedAllow)
+    }
+
+    /// Whether this lint comes from the semantic (call-graph) stage
+    /// rather than the per-file scanner.
+    pub fn is_semantic(self) -> bool {
+        matches!(
+            self,
+            Lint::LockOrder | Lint::BlockingUnderLock | Lint::EventExhaustiveness
+        )
     }
 }
 
@@ -101,11 +119,13 @@ impl fmt::Display for Diagnostic {
 
 /// A parsed `specsync-allow` annotation.
 #[derive(Debug)]
-struct Allow {
-    lint: Lint,
+pub(crate) struct Allow {
+    pub(crate) lint: Lint,
+    /// File the annotation sits in (diagnostic label).
+    pub(crate) file: String,
     /// Line the annotation sits on; it suppresses this line and the next.
-    line: usize,
-    used: bool,
+    pub(crate) line: usize,
+    pub(crate) used: bool,
 }
 
 const ALLOW_MARKER: &str = "specsync-allow(";
@@ -113,7 +133,11 @@ const ALLOW_MARKER: &str = "specsync-allow(";
 /// Extracts allow annotations from a file's comments. Malformed
 /// annotations (unknown lint, missing `: reason`) become diagnostics —
 /// a suppression that silently fails open would defeat the pass.
-fn parse_allows(scanned: &SourceScan, file: &str, diags: &mut Vec<Diagnostic>) -> Vec<Allow> {
+pub(crate) fn parse_allows(
+    scanned: &SourceScan,
+    file: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Allow> {
     let mut allows = Vec::new();
     for (line, text) in &scanned.comments {
         let mut rest = text.as_str();
@@ -136,6 +160,7 @@ fn parse_allows(scanned: &SourceScan, file: &str, diags: &mut Vec<Diagnostic>) -
                     match reason {
                         Some(r) if !r.is_empty() => allows.push(Allow {
                             lint,
+                            file: file.to_string(),
                             line: *line,
                             used: false,
                         }),
@@ -188,11 +213,26 @@ pub fn analyze_source(
     let scanned = lexer::scan(source);
     let mut allows = parse_allows(&scanned, file, &mut diags);
     let test_regions = lexer::test_regions(&scanned.sanitized);
-    let in_test = |line: usize| test_regions.iter().any(|&(a, b)| line >= a && line <= b);
 
-    let idents = lexer::idents(&scanned.sanitized);
+    let raw = raw_file_lints(file, &scanned, class, opts);
+    apply_allows(raw, &mut allows, &test_regions, &mut diags);
+    report_unused_allows(&allows, &test_regions, &mut diags);
+    diags.sort_by(|a, b| (a.line, a.lint.name()).cmp(&(b.line, b.lint.name())));
+    diags
+}
 
+/// Runs the per-file (scanner) lints without any allow suppression.
+pub(crate) fn raw_file_lints(
+    file: &str,
+    scanned: &SourceScan,
+    class: CrateClass,
+    opts: Options,
+) -> Vec<Diagnostic> {
     let mut raw: Vec<Diagnostic> = Vec::new();
+    if class == CrateClass::Harness {
+        return raw;
+    }
+    let idents = lexer::idents(&scanned.sanitized);
     no_panic(file, &scanned.sanitized, &idents, &mut raw);
     if class == CrateClass::Deterministic {
         virtual_time(file, &scanned.sanitized, &idents, &mut raw);
@@ -202,9 +242,18 @@ pub fn analyze_source(
     if opts.index_audit {
         unchecked_indexing(file, &scanned.sanitized, &idents, &mut raw);
     }
+    raw
+}
 
-    // Apply suppressions: an allow on line L covers findings of its lint
-    // on lines L and L+1.
+/// Applies suppressions: an allow on line L covers findings of its lint
+/// on lines L and L+1; findings in test regions are dropped outright.
+pub(crate) fn apply_allows(
+    raw: Vec<Diagnostic>,
+    allows: &mut [Allow],
+    test_regions: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let in_test = |line: usize| test_regions.iter().any(|&(a, b)| line >= a && line <= b);
     for d in raw {
         if in_test(d.line) {
             continue;
@@ -217,14 +266,23 @@ pub fn analyze_source(
             }
         }
         if !suppressed {
-            diags.push(d);
+            out.push(d);
         }
     }
-    for a in &allows {
+}
+
+/// Reports allows that suppressed nothing (advisory).
+pub(crate) fn report_unused_allows(
+    allows: &[Allow],
+    test_regions: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let in_test = |line: usize| test_regions.iter().any(|&(a, b)| line >= a && line <= b);
+    for a in allows {
         if !a.used && !in_test(a.line) {
-            diags.push(Diagnostic {
+            out.push(Diagnostic {
                 lint: Lint::UnusedAllow,
-                file: file.to_string(),
+                file: a.file.clone(),
                 line: a.line,
                 message: format!(
                     "specsync-allow({}) suppresses nothing — remove it",
@@ -233,8 +291,6 @@ pub fn analyze_source(
             });
         }
     }
-    diags.sort_by(|a, b| (a.line, a.lint.name()).cmp(&(b.line, b.lint.name())));
-    diags
 }
 
 /// `virtual-time`: wall-clock types, entropy-seeded RNGs, sleeps, and

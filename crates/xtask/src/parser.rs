@@ -1,0 +1,1271 @@
+//! A lightweight item-level parser on top of the [`lexer`](crate::lexer).
+//!
+//! The semantic passes (DESIGN.md §15) need more than tokens but far less
+//! than `syn`: which functions exist, which impl block they live in, what
+//! each body *does* in four narrow respects — lock-guard acquisitions,
+//! blocking operations, calls to other workspace functions, and
+//! `Enum::Variant` path references (plus `match` regions and their
+//! wildcard arms). Everything else in a body is skipped.
+//!
+//! ### Guard model
+//!
+//! A guard born from `.lock()` / `.read()` / `.write()` (empty argument
+//! list, so `io::Write::write(buf)` never matches) is live:
+//!
+//! * bound by a `let` — until its enclosing block closes or `drop(name)`;
+//! * as a `match` scrutinee or `if let` / `while let` / `for` head — until
+//!   the construct's block closes (Rust extends those temporaries);
+//! * in a plain `if` / `while` condition — until the condition's `{`;
+//! * in any other expression statement — until the statement's `;`.
+//!
+//! This over-approximates `let` bindings dropped early by NLL-style dead
+//! scopes and under-approximates guards returned from helper functions;
+//! both are documented pass contracts, not bugs.
+
+use std::collections::BTreeSet;
+
+use crate::workspace::CrateClass;
+
+/// One parsed source file, ready for model building.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative label used in diagnostics.
+    pub label: String,
+    pub class: CrateClass,
+    /// When set, the file only participates in the event-exhaustiveness
+    /// pass (the designated trace summarizer rides along this way).
+    pub event_only: bool,
+    pub enums: Vec<EnumDef>,
+    pub functions: Vec<FnDef>,
+}
+
+/// An `enum` item and its variants.
+#[derive(Debug)]
+pub struct EnumDef {
+    pub name: String,
+    pub line: usize,
+    /// `(variant name, 1-based line)` in declaration order.
+    pub variants: Vec<(String, usize)>,
+}
+
+/// How a call site names its callee — this decides resolution precision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `foo(..)` or `module::foo(..)`: resolves to free functions named
+    /// `foo` anywhere in the workspace.
+    Bare(String),
+    /// `self.foo(..)` / `Self::foo(..)`: resolves within the enclosing
+    /// impl type's methods.
+    SelfMethod(String),
+    /// `Type::foo(..)`: resolves to `Type`'s methods.
+    TypeMethod(String, String),
+    /// `expr.foo(..)` on a non-`self` receiver: never resolved (we have
+    /// no types). A documented under-approximation.
+    Unresolved(String),
+}
+
+/// One interesting operation inside a function body, in source order.
+#[derive(Debug)]
+pub enum Op {
+    /// A lock guard was acquired. `held` is the set of classes already
+    /// live at this point (excluding the new one).
+    Acquire {
+        class: String,
+        line: usize,
+        held: Vec<String>,
+    },
+    /// A blocking primitive was reached directly.
+    Block {
+        what: &'static str,
+        line: usize,
+        held: Vec<String>,
+    },
+    /// A call that may resolve to another workspace function.
+    Call {
+        callee: Callee,
+        line: usize,
+        held: Vec<String>,
+    },
+}
+
+/// A `match` whose arm heads name variants of some enum.
+#[derive(Debug)]
+pub struct MatchInfo {
+    pub line: usize,
+    /// Variants referenced anywhere inside the match region, per enum.
+    pub refs: Vec<(String, String)>,
+    /// Variants referenced at arm-head depth, per enum (what the match
+    /// itself dispatches on).
+    pub arm_refs: Vec<(String, String)>,
+    /// Line of a `_ =>` or bare-binding catch-all arm, if present.
+    pub wildcard_line: Option<usize>,
+}
+
+/// One function (or method) with its extracted body facts.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Bare name, e.g. `record`.
+    pub name: String,
+    /// Qualified name for messages, e.g. `JsonlSink::record`.
+    pub qual: String,
+    /// The impl block's self type, if any.
+    pub self_type: Option<String>,
+    /// The implemented trait, when inside `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    pub line: usize,
+    /// Whether the item sits inside a `#[cfg(test)]` / `#[test]` region.
+    pub in_test: bool,
+    pub ops: Vec<Op>,
+    /// All `Enum::Variant`-shaped path references in the body (enum names
+    /// are filtered against parsed enums later).
+    pub path_refs: Vec<(String, String, usize)>,
+    pub matches: Vec<MatchInfo>,
+}
+
+// ---------------------------------------------------------------------------
+// Tokenization
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tok<'a> {
+    Ident(&'a str),
+    Punct(u8),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Token<'a> {
+    tok: Tok<'a>,
+    line: usize,
+}
+
+/// Tokenizes sanitized source into identifiers and single-byte punctuation,
+/// skipping whitespace and numeric literals (like [`lexer::idents`]).
+fn tokenize(sanitized: &str) -> Vec<Token<'_>> {
+    let bytes = sanitized.as_bytes();
+    let mut out = Vec::with_capacity(sanitized.len() / 4);
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(Token {
+                tok: Tok::Ident(&sanitized[start..i]),
+                line,
+            });
+            continue;
+        }
+        if b.is_ascii_digit() {
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+            {
+                if bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if b.is_ascii() {
+            out.push(Token {
+                tok: Tok::Punct(b),
+                line,
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Item parsing
+
+struct Parser<'a> {
+    toks: &'a [Token<'a>],
+    pos: usize,
+    test_regions: &'a [(usize, usize)],
+    out_fns: Vec<FnDef>,
+    out_enums: Vec<EnumDef>,
+}
+
+/// Blocking primitives reached through a method call (`.name(`).
+const BLOCKING_METHODS: &[(&str, &str)] = &[
+    ("join", "JoinHandle::join"),
+    ("send", "channel send"),
+    ("recv", "channel recv"),
+    ("recv_timeout", "channel recv_timeout"),
+    ("write_all", "file/socket write"),
+    ("write_fmt", "file/socket write"),
+    ("read_to_string", "file/socket read"),
+    ("read_to_end", "file/socket read"),
+    ("read_exact", "file/socket read"),
+    ("flush", "writer flush"),
+    ("sync_all", "file sync"),
+    ("sync_data", "file sync"),
+];
+
+/// Blocking primitives reached through a `Qualifier::name` path call.
+const BLOCKING_PATHS: &[(&str, &str)] = &[
+    ("fs", "std::fs i/o"),
+    ("File", "file open/create"),
+    ("OpenOptions", "file open"),
+    ("TcpStream", "socket i/o"),
+    ("TcpListener", "socket i/o"),
+    ("UdpSocket", "socket i/o"),
+    ("Instant", "wall-clock read"),
+    ("SystemTime", "wall-clock read"),
+];
+
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+];
+
+impl<'a> Parser<'a> {
+    fn peek(&self, k: usize) -> Option<Tok<'a>> {
+        self.toks.get(self.pos + k).map(|t| t.tok)
+    }
+
+    fn line_at(&self, pos: usize) -> usize {
+        self.toks
+            .get(pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(1, |t| t.line)
+    }
+
+    fn in_test(&self, line: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// Advances past a balanced `<...>` group if one starts here. Angle
+    /// brackets in generics never contain stray `<`/`>` operators at item
+    /// position, which is the only place this is called.
+    fn skip_generics(&mut self) {
+        if self.peek(0) != Some(Tok::Punct(b'<')) {
+            return;
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.peek(0) {
+            match t {
+                Tok::Punct(b'<') => depth += 1,
+                Tok::Punct(b'>') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                }
+                // `->` inside a generic bound (`Fn() -> T`): the `-`
+                // guards the `>` from closing the group.
+                Tok::Punct(b'-') if self.peek(1) == Some(Tok::Punct(b'>')) => {
+                    self.pos += 1;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Advances past one balanced bracket group starting at `open`.
+    fn skip_balanced(&mut self, open: u8, close: u8) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek(0) {
+            if t == Tok::Punct(open) {
+                depth += 1;
+            } else if t == Tok::Punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.pos += 1;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Parses items until `end` (exclusive) with the given impl context.
+    fn parse_items(&mut self, end: usize, self_type: Option<&str>, trait_name: Option<&str>) {
+        while self.pos < end {
+            match self.peek(0) {
+                Some(Tok::Ident("impl")) => {
+                    self.pos += 1;
+                    self.skip_generics();
+                    // First path segment: trait name or self type.
+                    let mut first = None;
+                    let mut for_type = None;
+                    let mut seen_for = false;
+                    while self.pos < end {
+                        match self.peek(0) {
+                            Some(Tok::Punct(b'{')) => break,
+                            Some(Tok::Ident("for")) => seen_for = true,
+                            Some(Tok::Ident(id)) if !KEYWORDS.contains(&id) => {
+                                if seen_for {
+                                    if for_type.is_none() {
+                                        for_type = Some(id.to_string());
+                                    }
+                                } else if first.is_none() {
+                                    first = Some(id.to_string());
+                                }
+                            }
+                            Some(Tok::Punct(b'<')) => {
+                                self.skip_generics();
+                                continue;
+                            }
+                            _ => {}
+                        }
+                        self.pos += 1;
+                    }
+                    let (ty, tr) = match (for_type, first) {
+                        (Some(ty), tr) => (Some(ty), tr),
+                        (None, ty) => (ty, None),
+                    };
+                    let body_end = self.block_extent(end);
+                    self.pos += 1; // the `{`
+                    self.parse_items(body_end, ty.as_deref(), tr.as_deref());
+                }
+                Some(Tok::Ident("trait")) => {
+                    self.pos += 1;
+                    let tr = match self.peek(0) {
+                        Some(Tok::Ident(id)) => Some(id.to_string()),
+                        _ => None,
+                    };
+                    while self.pos < end && self.peek(0) != Some(Tok::Punct(b'{')) {
+                        // A `;`-terminated form (`trait A = B;`) has no body.
+                        if self.peek(0) == Some(Tok::Punct(b';')) {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek(0) == Some(Tok::Punct(b'{')) {
+                        let body_end = self.block_extent(end);
+                        self.pos += 1;
+                        self.parse_items(body_end, None, tr.as_deref());
+                    }
+                }
+                Some(Tok::Ident("mod")) => {
+                    self.pos += 1;
+                    // `mod name;` or `mod name { items }`; items inside are
+                    // parsed in the outer context.
+                    while self.pos < end
+                        && !matches!(self.peek(0), Some(Tok::Punct(b'{') | Tok::Punct(b';')))
+                    {
+                        self.pos += 1;
+                    }
+                    if self.peek(0) == Some(Tok::Punct(b'{')) {
+                        self.pos += 1; // descend; the closing brace is inert
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+                Some(Tok::Ident("enum")) => {
+                    self.pos += 1;
+                    self.parse_enum(end);
+                }
+                Some(Tok::Ident("fn")) => {
+                    self.parse_fn(end, self_type, trait_name);
+                }
+                Some(Tok::Ident("struct")) | Some(Tok::Ident("union")) => {
+                    // Skip to the `;` or the end of the braced body so field
+                    // types never read as items.
+                    self.pos += 1;
+                    while self.pos < end {
+                        match self.peek(0) {
+                            Some(Tok::Punct(b';')) => {
+                                self.pos += 1;
+                                break;
+                            }
+                            Some(Tok::Punct(b'{')) => {
+                                self.skip_balanced(b'{', b'}');
+                                break;
+                            }
+                            Some(Tok::Punct(b'(')) => {
+                                self.skip_balanced(b'(', b')');
+                                continue;
+                            }
+                            _ => self.pos += 1,
+                        }
+                    }
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.pos.max(end);
+    }
+
+    /// From a position at or before a `{`, returns the index of its
+    /// matching `}` (bounded by `end`), leaving `pos` at the `{`.
+    fn block_extent(&mut self, end: usize) -> usize {
+        while self.pos < end && self.peek(0) != Some(Tok::Punct(b'{')) {
+            self.pos += 1;
+        }
+        let mut depth = 0i32;
+        let mut k = self.pos;
+        while k < end {
+            match self.toks[k].tok {
+                Tok::Punct(b'{') => depth += 1,
+                Tok::Punct(b'}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        end
+    }
+
+    fn parse_enum(&mut self, end: usize) {
+        let (name, line) = match self.peek(0) {
+            Some(Tok::Ident(id)) => (id.to_string(), self.line_at(self.pos)),
+            _ => return,
+        };
+        self.pos += 1;
+        self.skip_generics();
+        while self.pos < end && !matches!(self.peek(0), Some(Tok::Punct(b'{') | Tok::Punct(b';'))) {
+            self.pos += 1;
+        }
+        if self.peek(0) != Some(Tok::Punct(b'{')) {
+            return;
+        }
+        let body_end = self.block_extent(end);
+        self.pos += 1;
+        let mut variants = Vec::new();
+        let mut expecting = true;
+        while self.pos < body_end {
+            match self.peek(0) {
+                Some(Tok::Punct(b'#')) => {
+                    // Attribute: skip `#[ ... ]`.
+                    self.pos += 1;
+                    if self.peek(0) == Some(Tok::Punct(b'[')) {
+                        self.skip_balanced(b'[', b']');
+                    }
+                }
+                Some(Tok::Ident(id)) if expecting => {
+                    variants.push((id.to_string(), self.line_at(self.pos)));
+                    expecting = false;
+                    self.pos += 1;
+                }
+                Some(Tok::Punct(b'{')) => self.skip_balanced(b'{', b'}'),
+                Some(Tok::Punct(b'(')) => self.skip_balanced(b'(', b')'),
+                Some(Tok::Punct(b',')) => {
+                    expecting = true;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = body_end + 1;
+        self.out_enums.push(EnumDef {
+            name,
+            line,
+            variants,
+        });
+    }
+
+    fn parse_fn(&mut self, end: usize, self_type: Option<&str>, trait_name: Option<&str>) {
+        let fn_line = self.line_at(self.pos);
+        self.pos += 1; // `fn`
+        let name = match self.peek(0) {
+            Some(Tok::Ident(id)) => id.to_string(),
+            _ => return,
+        };
+        self.pos += 1;
+        self.skip_generics();
+        if self.peek(0) == Some(Tok::Punct(b'(')) {
+            self.skip_balanced(b'(', b')');
+        }
+        // Return type / where clause: the body `{` is the first brace at
+        // bracket depth zero; a `;` first means a bodiless declaration.
+        loop {
+            match self.peek(0) {
+                None => return,
+                Some(Tok::Punct(b';')) => {
+                    self.pos += 1;
+                    return;
+                }
+                Some(Tok::Punct(b'{')) => break,
+                Some(Tok::Punct(b'(')) => self.skip_balanced(b'(', b')'),
+                Some(Tok::Punct(b'<')) => self.skip_generics(),
+                Some(Tok::Punct(b'[')) => self.skip_balanced(b'[', b']'),
+                _ => self.pos += 1,
+            }
+            if self.pos >= end {
+                return;
+            }
+        }
+        let body_end = self.block_extent(end);
+        let body_start = self.pos;
+        let qual = match self_type {
+            Some(ty) => format!("{ty}::{name}"),
+            None => name.clone(),
+        };
+        let mut fd = FnDef {
+            name,
+            qual,
+            self_type: self_type.map(str::to_string),
+            trait_name: trait_name.map(str::to_string),
+            line: fn_line,
+            in_test: self.in_test(fn_line),
+            ops: Vec::new(),
+            path_refs: Vec::new(),
+            matches: Vec::new(),
+        };
+        let mut walker = BodyWalker::new(self.toks, body_start, body_end, &mut fd, self_type);
+        walker.walk();
+        self.out_fns.push(fd);
+        self.pos = body_end + 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Body walking
+
+/// What ends a live guard.
+#[derive(Debug, Clone, PartialEq)]
+enum GuardEnd {
+    /// `let`-bound: dies when brace depth drops below this.
+    DepthBelow(i32),
+    /// Statement temporary: dies at the next `;` at its depth, or at a
+    /// plain-`if`/`while` condition's `{`.
+    Semi { depth: i32 },
+    /// `match`/`if let`/`while let`/`for` head temporary: becomes
+    /// `DepthBelow` once the construct's block opens.
+    PendingBlock,
+}
+
+#[derive(Debug, Clone)]
+struct Guard {
+    class: String,
+    name: Option<String>,
+    end: GuardEnd,
+}
+
+#[derive(Debug)]
+struct OpenMatch {
+    line: usize,
+    /// Brace depth of the match's own `{`; arm heads live at depth + 1.
+    open_depth: i32,
+    refs: BTreeSet<(String, String)>,
+    arm_refs: BTreeSet<(String, String)>,
+    wildcard_line: Option<usize>,
+    pending_open: bool,
+}
+
+/// One of Rust's statement-head keywords that extends scrutinee/head
+/// temporaries to the full construct.
+fn extends_temporaries(kw: &str) -> bool {
+    matches!(kw, "match" | "for")
+}
+
+struct BodyWalker<'a, 'f> {
+    toks: &'a [Token<'a>],
+    pos: usize,
+    end: usize,
+    fd: &'f mut FnDef,
+    self_type: Option<&'a str>,
+    depth: i32,
+    guards: Vec<Guard>,
+    matches: Vec<OpenMatch>,
+    /// Statement-head keyword of the current statement, if interesting.
+    stmt_kw: Option<&'a str>,
+    /// Whether the current statement began with `let` (incl. `if let`).
+    stmt_has_let: bool,
+    stmt_depth: i32,
+    /// First ident after a statement-opening `let`, for `drop()` matching.
+    stmt_let_name: Option<String>,
+    at_stmt_start: bool,
+}
+
+impl<'a, 'f> BodyWalker<'a, 'f> {
+    fn new(
+        toks: &'a [Token<'a>],
+        body_start: usize,
+        body_end: usize,
+        fd: &'f mut FnDef,
+        self_type: Option<&'a str>,
+    ) -> Self {
+        BodyWalker {
+            toks,
+            pos: body_start,
+            end: body_end,
+            fd,
+            self_type,
+            depth: 0,
+            guards: Vec::new(),
+            matches: Vec::new(),
+            stmt_kw: None,
+            stmt_has_let: false,
+            stmt_depth: 0,
+            stmt_let_name: None,
+            at_stmt_start: false,
+        }
+    }
+
+    fn tok(&self, k: isize) -> Option<Tok<'a>> {
+        let idx = self.pos as isize + k;
+        if idx < 0 {
+            return None;
+        }
+        self.toks.get(idx as usize).map(|t| t.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.toks.get(self.pos).map_or(1, |t| t.line)
+    }
+
+    fn held(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        self.guards
+            .iter()
+            .filter(|g| seen.insert(g.class.clone()))
+            .map(|g| g.class.clone())
+            .collect()
+    }
+
+    fn begin_statement(&mut self) {
+        self.at_stmt_start = true;
+        self.stmt_kw = None;
+        self.stmt_has_let = false;
+        self.stmt_let_name = None;
+        self.stmt_depth = self.depth;
+    }
+
+    fn walk(&mut self) {
+        self.begin_statement();
+        while self.pos <= self.end {
+            let t = match self.toks.get(self.pos) {
+                Some(t) => t.tok,
+                None => break,
+            };
+            match t {
+                Tok::Punct(b'{') => {
+                    self.depth += 1;
+                    // A pending match/for head temporary binds to this block.
+                    for g in &mut self.guards {
+                        if g.end == GuardEnd::PendingBlock {
+                            g.end = GuardEnd::DepthBelow(self.depth);
+                        }
+                    }
+                    for m in &mut self.matches {
+                        if m.pending_open {
+                            m.pending_open = false;
+                            m.open_depth = self.depth;
+                        }
+                    }
+                    // Plain `if`/`while` condition temporaries die here.
+                    let kw = self.stmt_kw;
+                    if matches!(kw, Some("if" | "while")) && !self.stmt_has_let {
+                        let d = self.stmt_depth;
+                        self.guards
+                            .retain(|g| !matches!(g.end, GuardEnd::Semi { depth } if depth == d));
+                    }
+                    self.pos += 1;
+                    self.begin_statement();
+                    continue;
+                }
+                Tok::Punct(b'}') => {
+                    self.depth -= 1;
+                    let d = self.depth;
+                    self.guards.retain(|g| match g.end {
+                        GuardEnd::DepthBelow(bind) => d >= bind,
+                        GuardEnd::Semi { depth } => d >= depth,
+                        GuardEnd::PendingBlock => true,
+                    });
+                    self.close_matches();
+                    self.pos += 1;
+                    self.begin_statement();
+                    continue;
+                }
+                Tok::Punct(b';') => {
+                    let d = self.depth;
+                    self.guards
+                        .retain(|g| !matches!(g.end, GuardEnd::Semi { depth } if depth >= d));
+                    self.pos += 1;
+                    self.begin_statement();
+                    continue;
+                }
+                Tok::Ident(id) => {
+                    if self.at_stmt_start {
+                        if self.stmt_kw.is_none()
+                            && matches!(id, "let" | "if" | "while" | "match" | "for" | "else")
+                        {
+                            self.stmt_kw = Some(id);
+                            if id == "let" {
+                                self.stmt_has_let = true;
+                            }
+                        } else {
+                            self.at_stmt_start = false;
+                        }
+                        // `if let` / `while let`.
+                        if id == "let" && matches!(self.stmt_kw, Some("if" | "while")) {
+                            self.stmt_has_let = true;
+                        }
+                    } else if id == "let" && matches!(self.stmt_kw, Some("if" | "while")) {
+                        self.stmt_has_let = true;
+                    }
+                    if id == "match" {
+                        self.matches.push(OpenMatch {
+                            line: self.line(),
+                            open_depth: 0,
+                            refs: BTreeSet::new(),
+                            arm_refs: BTreeSet::new(),
+                            wildcard_line: None,
+                            pending_open: true,
+                        });
+                    }
+                    if self.stmt_has_let
+                        && self.stmt_let_name.is_none()
+                        && id != "let"
+                        && id != "mut"
+                    {
+                        self.stmt_let_name = Some(id.to_string());
+                    }
+                    self.handle_ident(id);
+                    self.pos += 1;
+                    continue;
+                }
+                _ => {
+                    if t != Tok::Punct(b'#') {
+                        self.at_stmt_start = false;
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+        self.depth = -1;
+        self.close_matches();
+    }
+
+    fn close_matches(&mut self) {
+        while let Some(m) = self.matches.last() {
+            if !m.pending_open && self.depth < m.open_depth {
+                let m = self.matches.pop().expect("checked non-empty");
+                let refs: Vec<_> = m.refs.into_iter().collect();
+                // A closing inner match folds its refs into the enclosing
+                // regions too: arms of the outer match contain them.
+                if let Some(outer) = self.matches.last_mut() {
+                    outer.refs.extend(refs.iter().cloned());
+                }
+                self.fd.matches.push(MatchInfo {
+                    line: m.line,
+                    refs,
+                    arm_refs: m.arm_refs.into_iter().collect(),
+                    wildcard_line: m.wildcard_line,
+                });
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The chain of identifiers joined by `.` ending just before `pos`
+    /// (which holds the method name): `self.state.lock` → `[self, state]`.
+    fn receiver_chain(&self) -> Vec<&'a str> {
+        let mut chain = Vec::new();
+        let mut k = -1isize; // token before the method name: expect `.`
+        loop {
+            if self.tok(k) != Some(Tok::Punct(b'.')) {
+                break;
+            }
+            match self.tok(k - 1) {
+                Some(Tok::Ident(id)) => {
+                    chain.push(id);
+                    k -= 2;
+                }
+                _ => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Whether the call at `pos` has an empty argument list `()`.
+    fn empty_args(&self) -> bool {
+        self.tok(1) == Some(Tok::Punct(b'(')) && self.tok(2) == Some(Tok::Punct(b')'))
+    }
+
+    fn handle_ident(&mut self, id: &'a str) {
+        let line = self.line();
+
+        // `Enum::Variant` path references (uppercase base, path `::`).
+        if id.starts_with(char::is_uppercase)
+            && self.tok(1) == Some(Tok::Punct(b':'))
+            && self.tok(2) == Some(Tok::Punct(b':'))
+        {
+            if let Some(Tok::Ident(item)) = self.tok(3) {
+                if item.starts_with(char::is_uppercase) {
+                    self.fd
+                        .path_refs
+                        .push((id.to_string(), item.to_string(), line));
+                    for m in &mut self.matches {
+                        if !m.pending_open {
+                            m.refs.insert((id.to_string(), item.to_string()));
+                        }
+                    }
+                    if let Some(m) = self.matches.last_mut() {
+                        if !m.pending_open && self.depth == m.open_depth {
+                            m.arm_refs.insert((id.to_string(), item.to_string()));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Wildcard / catch-all arms: `_ =>` or a bare binding `other =>`
+        // at arm depth of the innermost open match.
+        let arrow_next = self.tok(1) == Some(Tok::Punct(b'='))
+            && self.tok(2) == Some(Tok::Punct(b'>'))
+            && !id.starts_with(char::is_uppercase);
+        if arrow_next {
+            let prev_ok = matches!(
+                self.tok(-1),
+                None | Some(Tok::Punct(b',')) | Some(Tok::Punct(b'{')) | Some(Tok::Punct(b'}'))
+            );
+            if prev_ok {
+                if let Some(m) = self.matches.last_mut() {
+                    if !m.pending_open && self.depth == m.open_depth {
+                        m.wildcard_line.get_or_insert(line);
+                    }
+                }
+            }
+        }
+
+        // `drop(name)` releases a named guard.
+        if id == "drop" && self.tok(1) == Some(Tok::Punct(b'(')) {
+            if let Some(Tok::Ident(victim)) = self.tok(2) {
+                self.guards.retain(|g| g.name.as_deref() != Some(victim));
+            }
+            return;
+        }
+
+        let is_method = self.tok(-1) == Some(Tok::Punct(b'.'));
+        let is_path =
+            self.tok(-1) == Some(Tok::Punct(b':')) && self.tok(-2) == Some(Tok::Punct(b':'));
+        let is_call = self.tok(1) == Some(Tok::Punct(b'('));
+        let is_macro = self.tok(1) == Some(Tok::Punct(b'!'));
+        // Skip definitions (`fn name(` never reaches here: parse_fn owns it)
+        // and macro invocations.
+        if is_macro {
+            return;
+        }
+
+        // Guard acquisition: `.lock()` / `.read()` / `.write()` with an
+        // empty argument list (RwLock/Mutex take no arguments; io traits
+        // always pass a buffer).
+        if is_method && matches!(id, "lock" | "read" | "write") && self.empty_args() {
+            let chain = self.receiver_chain();
+            let class = self.lock_class(&chain, line);
+            let held = self.held();
+            self.fd.ops.push(Op::Acquire {
+                class: class.clone(),
+                line,
+                held,
+            });
+            let end = if self.stmt_has_let {
+                GuardEnd::DepthBelow(self.stmt_depth)
+            } else if matches!(self.stmt_kw, Some(kw) if extends_temporaries(kw)) {
+                GuardEnd::PendingBlock
+            } else {
+                GuardEnd::Semi {
+                    depth: self.stmt_depth,
+                }
+            };
+            self.guards.push(Guard {
+                class,
+                name: self.stmt_let_name.clone(),
+                end,
+            });
+            return;
+        }
+
+        // Blocking primitives.
+        if is_method && is_call {
+            if let Some(&(_, what)) = BLOCKING_METHODS.iter().find(|(m, _)| *m == id) {
+                // `join`/`recv` must have empty args to avoid
+                // `Vec::join(sep)`-style false positives.
+                let ok = match id {
+                    "join" | "recv" | "flush" | "sync_all" | "sync_data" => self.empty_args(),
+                    _ => true,
+                };
+                if ok {
+                    let held = self.held();
+                    self.fd.ops.push(Op::Block { what, line, held });
+                    return;
+                }
+            }
+        }
+        if id == "sleep" && is_call && !is_method {
+            let held = self.held();
+            self.fd.ops.push(Op::Block {
+                what: "sleep",
+                line,
+                held,
+            });
+            return;
+        }
+        if self.tok(1) == Some(Tok::Punct(b':')) && self.tok(2) == Some(Tok::Punct(b':')) {
+            if let Some(&(_, what)) = BLOCKING_PATHS.iter().find(|(p, _)| *p == id) {
+                // `fs::write(..)`, `File::create(..)`, `Instant::now()` —
+                // only when the next path segment is actually called.
+                if let Some(Tok::Ident(_)) = self.tok(3) {
+                    if self.tok(4) == Some(Tok::Punct(b'(')) {
+                        let held = self.held();
+                        self.fd.ops.push(Op::Block { what, line, held });
+                        return;
+                    }
+                }
+            }
+        }
+
+        // Calls that may resolve into the workspace.
+        if is_call && !KEYWORDS.contains(&id) {
+            let callee = if is_method {
+                let chain = self.receiver_chain();
+                if chain.first() == Some(&"self") {
+                    Callee::SelfMethod(id.to_string())
+                } else {
+                    Callee::Unresolved(id.to_string())
+                }
+            } else if is_path {
+                match self.tok(-3) {
+                    Some(Tok::Ident("self")) | Some(Tok::Ident("Self")) => {
+                        Callee::SelfMethod(id.to_string())
+                    }
+                    Some(Tok::Ident(q)) if q.starts_with(char::is_uppercase) => {
+                        Callee::TypeMethod(q.to_string(), id.to_string())
+                    }
+                    Some(Tok::Ident(_)) => Callee::Bare(id.to_string()),
+                    _ => Callee::Unresolved(id.to_string()),
+                }
+            } else {
+                Callee::Bare(id.to_string())
+            };
+            let held = self.held();
+            self.fd.ops.push(Op::Call { callee, line, held });
+        }
+    }
+
+    /// Names the lock class for a receiver chain. Fields reached through
+    /// `self` are keyed by the impl type so the class is stable across all
+    /// the type's methods; everything else is function-local state.
+    fn lock_class(&self, chain: &[&str], line: usize) -> String {
+        match chain {
+            [] => format!("{}::<expr@{line}>", self.fd.qual),
+            ["self"] => match self.self_type {
+                Some(ty) => format!("{ty}(self)"),
+                None => format!("{}::self", self.fd.qual),
+            },
+            [head @ .., last] => {
+                if head.first() == Some(&"self") || *last == "self" {
+                    match self.self_type {
+                        Some(ty) => format!("{ty}.{last}"),
+                        None => format!("{}.{last}", self.fd.qual),
+                    }
+                } else if head.is_empty() {
+                    format!("{}::{last}", self.fd.qual)
+                } else {
+                    // `a.b.lock()` on a non-self chain: key by the owning
+                    // local so `a.x`/`a.y` stay distinct classes.
+                    format!("{}::{}.{last}", self.fd.qual, head.join("."))
+                }
+            }
+        }
+    }
+}
+
+/// Parses one sanitized file into items. `test_regions` comes from
+/// [`lexer::test_regions`] over the same sanitized text.
+pub fn parse_file(
+    label: &str,
+    sanitized: &str,
+    class: CrateClass,
+    event_only: bool,
+    test_regions: &[(usize, usize)],
+) -> ParsedFile {
+    let toks = tokenize(sanitized);
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+        test_regions,
+        out_fns: Vec::new(),
+        out_enums: Vec::new(),
+    };
+    let end = toks.len();
+    p.parse_items(end, None, None);
+    ParsedFile {
+        label: label.to_string(),
+        class,
+        event_only,
+        enums: p.out_enums,
+        functions: p.out_fns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn parse(src: &str) -> ParsedFile {
+        let scanned = lexer::scan(src);
+        let regions = lexer::test_regions(&scanned.sanitized);
+        parse_file(
+            "fixture.rs",
+            &scanned.sanitized,
+            CrateClass::Deterministic,
+            false,
+            &regions,
+        )
+    }
+
+    fn fn_named<'a>(pf: &'a ParsedFile, name: &str) -> &'a FnDef {
+        pf.functions
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}: {:?}", pf.functions))
+    }
+
+    #[test]
+    fn functions_and_impls_are_qualified() {
+        let pf = parse(
+            "struct S;\nimpl S { fn a(&self) {} }\nimpl Clone for S { fn clone(&self) -> S { S } }\nfn free() {}\n",
+        );
+        assert_eq!(fn_named(&pf, "a").qual, "S::a");
+        assert_eq!(fn_named(&pf, "clone").trait_name.as_deref(), Some("Clone"));
+        assert_eq!(fn_named(&pf, "clone").self_type.as_deref(), Some("S"));
+        assert!(fn_named(&pf, "free").self_type.is_none());
+    }
+
+    #[test]
+    fn enum_variants_are_collected() {
+        let pf = parse("pub enum E {\n    A,\n    B { x: u32 },\n    C(u8, u8),\n}\n");
+        let e = &pf.enums[0];
+        assert_eq!(e.name, "E");
+        let names: Vec<&str> = e.variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn let_guard_is_held_for_the_block() {
+        let pf = parse(
+            "struct S { m: M }\nimpl S {\n fn f(&self) {\n    let g = self.m.lock();\n    helper();\n }\n fn g(&self) {\n    helper();\n }\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        let call = f
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Call {
+                    callee: Callee::Bare(n),
+                    held,
+                    ..
+                } if n == "helper" => Some(held),
+                _ => None,
+            })
+            .expect("helper call");
+        assert_eq!(call, &vec!["S.m".to_string()]);
+        let g = fn_named(&pf, "g");
+        let call = g
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Call { held, .. } => Some(held),
+                _ => None,
+            })
+            .expect("helper call");
+        assert!(call.is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let pf = parse(
+            "struct S { m: M }\nimpl S {\n fn f(&self) {\n    self.m.lock().push(1);\n    helper();\n }\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        let helper_held = f
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Call {
+                    callee: Callee::Bare(n),
+                    held,
+                    ..
+                } if n == "helper" => Some(held),
+                _ => None,
+            })
+            .expect("helper call");
+        assert!(helper_held.is_empty(), "{helper_held:?}");
+    }
+
+    #[test]
+    fn match_scrutinee_guard_extends_over_the_match() {
+        let pf = parse(
+            "struct S { m: M }\nimpl S {\n fn f(&self) {\n    match self.m.lock().kind {\n        1 => helper(),\n        _ => {}\n    }\n}\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        let helper_held = f
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Call {
+                    callee: Callee::Bare(n),
+                    held,
+                    ..
+                } if n == "helper" => Some(held),
+                _ => None,
+            })
+            .expect("helper call");
+        assert_eq!(helper_held, &vec!["S.m".to_string()]);
+    }
+
+    #[test]
+    fn plain_if_condition_guard_dies_at_block_open() {
+        let pf = parse(
+            "struct S { m: M }\nimpl S {\n fn f(&self) {\n    if self.m.lock().is_empty() {\n        helper();\n    }\n}\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        let helper_held = f
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Call {
+                    callee: Callee::Bare(n),
+                    held,
+                    ..
+                } if n == "helper" => Some(held),
+                _ => None,
+            })
+            .expect("helper call");
+        assert!(helper_held.is_empty(), "{helper_held:?}");
+    }
+
+    #[test]
+    fn drop_releases_a_named_guard() {
+        let pf = parse(
+            "struct S { m: M }\nimpl S {\n fn f(&self) {\n    let g = self.m.lock();\n    drop(g);\n    helper();\n }\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        let helper_held = f
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Call {
+                    callee: Callee::Bare(n),
+                    held,
+                    ..
+                } if n == "helper" => Some(held),
+                _ => None,
+            })
+            .expect("helper call");
+        assert!(helper_held.is_empty(), "{helper_held:?}");
+    }
+
+    #[test]
+    fn blocking_ops_and_held_sets() {
+        let pf = parse(
+            "struct S { m: M }\nimpl S {\n fn f(&self) {\n    let g = self.m.lock();\n    g.writer.write_all(b\"x\");\n }\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        let blocked = f
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Block { what, held, .. } => Some((what, held)),
+                _ => None,
+            })
+            .expect("blocking op");
+        assert_eq!(*blocked.0, "file/socket write");
+        assert_eq!(blocked.1, &vec!["S.m".to_string()]);
+    }
+
+    #[test]
+    fn io_write_with_args_is_not_a_guard() {
+        let pf = parse("fn f(w: &mut W) {\n    w.write(buf);\n    w.read(buf);\n}\n");
+        let f = fn_named(&pf, "f");
+        assert!(
+            !f.ops.iter().any(|o| matches!(o, Op::Acquire { .. })),
+            "{:?}",
+            f.ops
+        );
+    }
+
+    #[test]
+    fn match_wildcard_and_variant_refs_are_recorded() {
+        let pf = parse(
+            "fn f(e: &E) {\n    match e {\n        E::A { .. } => {}\n        E::B(_) => helper(),\n        _ => {}\n    }\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        assert_eq!(f.matches.len(), 1);
+        let m = &f.matches[0];
+        assert!(m.wildcard_line.is_some());
+        assert!(m.arm_refs.contains(&("E".into(), "A".into())));
+        assert!(m.arm_refs.contains(&("E".into(), "B".into())));
+    }
+
+    #[test]
+    fn nested_match_wildcard_does_not_leak_to_outer() {
+        let pf = parse(
+            "fn f(e: &E, o: Option<u32>) {\n    match e {\n        E::A { .. } => match o {\n            Some(_) => {}\n            _ => {}\n        },\n        E::B(_) => {}\n    }\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        let outer = f
+            .matches
+            .iter()
+            .find(|m| m.arm_refs.iter().any(|(e, _)| e == "E"))
+            .expect("outer match");
+        assert!(outer.wildcard_line.is_none(), "{outer:?}");
+    }
+
+    #[test]
+    fn binding_catch_all_counts_as_wildcard() {
+        let pf = parse(
+            "fn f(e: &E) {\n    match e {\n        E::A { .. } => {}\n        other => helper(other),\n    }\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        assert!(f.matches[0].wildcard_line.is_some(), "{:?}", f.matches);
+    }
+
+    #[test]
+    fn call_classification() {
+        let pf = parse(
+            "struct S;\nimpl S {\n fn f(&self) {\n    self.a();\n    Self::b();\n    T::c();\n    free();\n    other.d();\n    mem::take(x);\n }\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        let callees: Vec<&Callee> = f
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Call { callee, .. } => Some(callee),
+                _ => None,
+            })
+            .collect();
+        assert!(callees.contains(&&Callee::SelfMethod("a".into())));
+        assert!(callees.contains(&&Callee::SelfMethod("b".into())));
+        assert!(callees.contains(&&Callee::TypeMethod("T".into(), "c".into())));
+        assert!(callees.contains(&&Callee::Bare("free".into())));
+        assert!(callees.contains(&&Callee::Unresolved("d".into())));
+        assert!(callees.contains(&&Callee::Bare("take".into())));
+    }
+
+    #[test]
+    fn test_region_functions_are_marked() {
+        let pf = parse("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { helper(); }\n}\n");
+        assert!(!fn_named(&pf, "lib").in_test);
+        assert!(fn_named(&pf, "t").in_test);
+    }
+}

@@ -1,0 +1,343 @@
+//! The three semantic passes: lock-order, blocking-under-lock, and
+//! event-exhaustiveness (DESIGN.md §15).
+//!
+//! All three run over the whole-workspace model built by
+//! [`parser`](crate::parser) + [`graph`](crate::graph) and return *raw*
+//! diagnostics — `specsync-allow` suppression happens in the shared
+//! driver, exactly as for the per-file lints.
+//!
+//! Scope rules: functions in test regions are skipped everywhere;
+//! `event_only` files (the designated trace summarizer) participate only
+//! in event-exhaustiveness.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::{cycles, FnId, Graph};
+use crate::lints::{Diagnostic, Lint};
+use crate::parser::{Op, ParsedFile};
+
+/// The enum whose variants every sink and summarizer must handle, with
+/// the crate-path hint that disambiguates it from same-named enums
+/// elsewhere in the workspace (simnet has its own `Event`).
+const EVENT_ENUM: &str = "Event";
+const EVENT_ENUM_HINT: &str = "telemetry";
+/// The sink trait whose `record` impls must be variant-exhaustive.
+const SINK_TRAIT: &str = "EventSink";
+/// Enums that must have no dead (never-referenced) variants, with their
+/// crate-path hints.
+const NO_DEAD_VARIANTS: &[(&str, &str)] = &[("SpecSyncError", "core")];
+
+/// Locates an enum by name, preferring a defining file whose label
+/// contains `hint` (fixtures have no crate paths, so any match is the
+/// fallback).
+fn find_enum(files: &[ParsedFile], name: &str, hint: &str) -> Option<(usize, usize)> {
+    let mut fallback = None;
+    for (fi, pf) in files.iter().enumerate() {
+        for (ei, e) in pf.enums.iter().enumerate() {
+            if e.name != name {
+                continue;
+            }
+            if pf.label.contains(hint) {
+                return Some((fi, ei));
+            }
+            fallback.get_or_insert((fi, ei));
+        }
+    }
+    fallback
+}
+
+/// Runs all semantic passes over the model.
+pub fn run(files: &[ParsedFile], graph: &Graph) -> Vec<Diagnostic> {
+    let mut out = BTreeSet::new();
+    lock_order(files, graph, &mut out);
+    blocking_under_lock(files, graph, &mut out);
+    event_exhaustiveness(files, graph, &mut out);
+    dead_variants(files, graph, &mut out);
+    out.into_iter()
+        .map(|(file, line, lint, message)| Diagnostic {
+            lint,
+            file,
+            line,
+            message,
+        })
+        .collect()
+}
+
+type RawSet = BTreeSet<(String, usize, Lint, String)>;
+
+/// Iterates the non-test functions that the lock passes cover.
+fn lock_scope(
+    files: &[ParsedFile],
+) -> impl Iterator<Item = (FnId, &ParsedFile, &crate::parser::FnDef)> {
+    files
+        .iter()
+        .enumerate()
+        .filter(|(_, pf)| !pf.event_only)
+        .flat_map(|(fi, pf)| {
+            pf.functions
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.in_test)
+                .map(move |(fni, f)| ((fi, fni), pf, f))
+        })
+}
+
+fn fmt_held(held: &[String]) -> String {
+    held.join("`, `")
+}
+
+/// Pass 1: double-acquisition on one path, and cycles in the lock-order
+/// graph (edge `a → b` whenever `b` is acquired — directly or through a
+/// resolvable call — while `a` is held).
+fn lock_order(files: &[ParsedFile], graph: &Graph, out: &mut RawSet) {
+    // Edge → first example site, for anchoring cycle diagnostics.
+    let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+
+    for (id, pf, f) in lock_scope(files) {
+        for op in &f.ops {
+            match op {
+                Op::Acquire { class, line, held } => {
+                    if held.contains(class) {
+                        out.insert((
+                            pf.label.clone(),
+                            *line,
+                            Lint::LockOrder,
+                            format!(
+                                "`{}` acquires lock class `{class}` while already \
+                                 holding it — self-deadlock on one path",
+                                f.qual
+                            ),
+                        ));
+                    }
+                    for h in held {
+                        if h != class {
+                            edges
+                                .entry((h.clone(), class.clone()))
+                                .or_insert_with(|| (pf.label.clone(), *line));
+                        }
+                    }
+                }
+                Op::Call { callee, line, held } if !held.is_empty() => {
+                    for target in graph.resolve(files, id, callee) {
+                        for acquired in &graph.acquires[&target] {
+                            if held.contains(acquired) {
+                                out.insert((
+                                    pf.label.clone(),
+                                    *line,
+                                    Lint::LockOrder,
+                                    format!(
+                                        "`{}` calls `{}` which re-acquires lock class \
+                                         `{acquired}` already held here",
+                                        f.qual,
+                                        graph.qual(files, target)
+                                    ),
+                                ));
+                            } else {
+                                for h in held {
+                                    edges
+                                        .entry((h.clone(), acquired.clone()))
+                                        .or_insert_with(|| (pf.label.clone(), *line));
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.clone()).or_default().insert(b.clone());
+        adj.entry(b.clone()).or_default();
+    }
+    for scc in cycles(&adj) {
+        // Anchor the cycle at the example site of its least intra-SCC edge.
+        let anchor = edges
+            .iter()
+            .find(|((a, b), _)| scc.contains(a) && scc.contains(b))
+            .map(|(_, site)| site.clone());
+        let (file, line) = anchor.unwrap_or_else(|| ("<workspace>".into(), 0));
+        out.insert((
+            file,
+            line,
+            Lint::LockOrder,
+            format!(
+                "lock-order cycle between classes `{}` — two threads taking \
+                 them in opposite orders can deadlock",
+                scc.join("`, `")
+            ),
+        ));
+    }
+}
+
+/// Pass 2: blocking primitives reached (directly or transitively) while a
+/// lock guard is live.
+fn blocking_under_lock(files: &[ParsedFile], graph: &Graph, out: &mut RawSet) {
+    for (id, pf, f) in lock_scope(files) {
+        for op in &f.ops {
+            match op {
+                Op::Block { what, line, held } if !held.is_empty() => {
+                    out.insert((
+                        pf.label.clone(),
+                        *line,
+                        Lint::BlockingUnderLock,
+                        format!(
+                            "{what} while holding lock class(es) `{}` — blocks \
+                             every thread contending on them",
+                            fmt_held(held)
+                        ),
+                    ));
+                }
+                Op::Call { callee, line, held } if !held.is_empty() => {
+                    for target in graph.resolve(files, id, callee) {
+                        if let Some((what, site)) = graph.blocks[&target].iter().next() {
+                            out.insert((
+                                pf.label.clone(),
+                                *line,
+                                Lint::BlockingUnderLock,
+                                format!(
+                                    "call into `{}` may reach {what} (in `{site}`) \
+                                     while holding lock class(es) `{}`",
+                                    graph.qual(files, target),
+                                    fmt_held(held)
+                                ),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Pass 3a/3b: every `Event` variant handled in every `EventSink::record`
+/// impl (transitively, so encoding helpers count), and no wildcard arm
+/// that silently drops variants in sinks or the trace summarizer.
+fn event_exhaustiveness(files: &[ParsedFile], graph: &Graph, out: &mut RawSet) {
+    let Some((efi, eei)) = find_enum(files, EVENT_ENUM, EVENT_ENUM_HINT) else {
+        return;
+    };
+    let all: BTreeSet<&str> = files[efi].enums[eei]
+        .variants
+        .iter()
+        .map(|(v, _)| v.as_str())
+        .collect();
+    let total = all.len();
+
+    for (fi, pf) in files.iter().enumerate() {
+        for (fni, f) in pf.functions.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            let in_sink = f.trait_name.as_deref() == Some(SINK_TRAIT);
+
+            // (a) `record` impls must reference every variant somewhere in
+            // their call tree — or carry an allow saying why they are
+            // variant-agnostic (e.g. they clone the whole event).
+            if in_sink && f.name == "record" {
+                let id: FnId = (fi, fni);
+                let seen: BTreeSet<&str> = graph.variant_refs[&id]
+                    .iter()
+                    .filter(|(e, _)| e == EVENT_ENUM)
+                    .map(|(_, v)| v.as_str())
+                    .collect();
+                let missing: Vec<&str> = all.difference(&seen).copied().collect();
+                if !missing.is_empty() {
+                    out.insert((
+                        pf.label.clone(),
+                        f.line,
+                        Lint::EventExhaustiveness,
+                        format!(
+                            "`{}` handles {}/{} `Event` variants; unhandled: `{}`",
+                            f.qual,
+                            total - missing.len(),
+                            total,
+                            missing.join("`, `")
+                        ),
+                    ));
+                }
+            }
+
+            // (b) wildcard arms in Event dispatches (sinks + summarizer)
+            // must not hide unlisted variants.
+            if !(in_sink || pf.event_only) {
+                continue;
+            }
+            for m in &f.matches {
+                let Some(wline) = m.wildcard_line else {
+                    continue;
+                };
+                let dispatched = m.arm_refs.iter().filter(|(e, _)| e == EVENT_ENUM).count();
+                if dispatched < 2 {
+                    continue;
+                }
+                let covered: BTreeSet<&str> = m
+                    .refs
+                    .iter()
+                    .filter(|(e, _)| e == EVENT_ENUM)
+                    .map(|(_, v)| v.as_str())
+                    .collect();
+                let missing: Vec<&str> = all.difference(&covered).copied().collect();
+                if !missing.is_empty() {
+                    out.insert((
+                        pf.label.clone(),
+                        wline,
+                        Lint::EventExhaustiveness,
+                        format!(
+                            "wildcard arm in `{}` silently drops `Event` \
+                             variant(s) `{}`",
+                            f.qual,
+                            missing.join("`, `")
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Pass 3c: no dead variants — every variant of the enums in
+/// [`NO_DEAD_VARIANTS`] must be referenced from non-test code outside the
+/// defining file's `fmt`/`source` impls (a variant only ever *displayed*
+/// is still dead).
+fn dead_variants(files: &[ParsedFile], _graph: &Graph, out: &mut RawSet) {
+    for &(ename, hint) in NO_DEAD_VARIANTS {
+        let Some((efi, eei)) = find_enum(files, ename, hint) else {
+            continue;
+        };
+        let edef = &files[efi].enums[eei];
+        let mut referenced: BTreeSet<&str> = BTreeSet::new();
+        for (fi, pf) in files.iter().enumerate() {
+            for f in &pf.functions {
+                if f.in_test {
+                    continue;
+                }
+                if fi == efi && matches!(f.name.as_str(), "fmt" | "source") {
+                    continue;
+                }
+                referenced.extend(
+                    f.path_refs
+                        .iter()
+                        .filter(|(e, _, _)| e == ename)
+                        .map(|(_, v, _)| v.as_str()),
+                );
+            }
+        }
+        for (variant, line) in &edef.variants {
+            if !referenced.contains(variant.as_str()) {
+                out.insert((
+                    files[efi].label.clone(),
+                    *line,
+                    Lint::EventExhaustiveness,
+                    format!(
+                        "`{ename}::{variant}` is never referenced outside tests \
+                         and `fmt`/`source` — dead variant"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -231,6 +231,9 @@ fn deny_and_advisory_levels_are_stable() {
     assert!(Lint::NoPanic.is_deny());
     assert!(Lint::F32Accumulation.is_deny());
     assert!(Lint::MalformedAllow.is_deny());
+    assert!(Lint::LockOrder.is_deny());
+    assert!(Lint::BlockingUnderLock.is_deny());
+    assert!(Lint::EventExhaustiveness.is_deny());
     assert!(!Lint::UncheckedIndexing.is_deny());
     assert!(!Lint::UnusedAllow.is_deny());
 }
@@ -241,7 +244,8 @@ fn the_real_workspace_analyzes_clean() {
         .parent()
         .and_then(Path::parent)
         .expect("workspace root");
-    let analysis = xtask::analyze_workspace(root, Options::default()).expect("workspace readable");
+    let analysis = xtask::analyze_workspace(root, Options::default(), xtask::Passes::All)
+        .expect("workspace readable");
     assert!(
         analysis.files_scanned > 40,
         "suspiciously few files scanned"
