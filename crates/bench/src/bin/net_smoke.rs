@@ -1,0 +1,374 @@
+//! Multi-process smoke test for the TCP wire: one scheduler process, a
+//! primary + warm-backup shard pair, and four worker processes training
+//! the tiny matrix-factorization workload over real loopback sockets —
+//! then `kill -9` the primary mid-run and require the run to *finish
+//! anyway* through warm-backup promotion.
+//!
+//! With no arguments the binary is the orchestrator: it re-spawns itself
+//! (`current_exe()`) once per role, coordinates ports by reading each
+//! child's `LISTENING <addr>` line, SIGKILLs the primary shard about a
+//! second in, and asserts the scheduler's final stats report at least one
+//! promotion and a completed push target. Exit code 0 is the smoke
+//! passing; anything else is a failure with the reason on stderr.
+//!
+//! Role invocations (spawned by the orchestrator, usable by hand too):
+//!
+//! * `net_smoke --role scheduler --workers 4 --pushes 2000`
+//! * `net_smoke --role shard --id 0 --sched ADDR [--backup] [--relay ADDR]`
+//! * `net_smoke --role worker --id 0 --workers 4 --shard ADDR --sched ADDR`
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use specsync_ml::Workload;
+use specsync_net::{
+    NetConfig, SchedulerConfig, SchedulerServer, ShardHost, ShardServer, TcpTransport,
+};
+use specsync_ps::{ParameterStore, ReplicatedStore};
+use specsync_runtime::{ClockSource, WallClock, WorkerHarness};
+use specsync_simnet::WorkerId;
+use specsync_sync::SchemeKind;
+use specsync_telemetry::NullSink;
+
+/// Worker processes in the run.
+const WORKERS: usize = 4;
+/// Total notified pushes at which the scheduler declares the run done.
+const PUSH_TARGET: u64 = 2_000;
+/// Deterministic workload seed shared by every process.
+const SEED: u64 = 11;
+/// How long the primary shard is allowed to live.
+const KILL_AFTER: Duration = Duration::from_millis(900);
+/// Hard budget for the whole smoke (the scheduler enforces its own).
+const ORCHESTRATOR_BUDGET: Duration = Duration::from_secs(60);
+
+/// Wire knobs tightened for a smoke run: fast failure detection, short
+/// I/O timeouts so a dead peer never stalls a role for long.
+fn net_config() -> NetConfig {
+    NetConfig::builder()
+        .heartbeat_interval(Duration::from_millis(25))
+        .heartbeat_timeout(Duration::from_millis(400))
+        .io_timeout(Duration::from_secs(3))
+        .try_build()
+        .expect("valid smoke net configuration")
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn required(args: &[String], flag: &str) -> String {
+    arg_value(args, flag).unwrap_or_else(|| panic!("missing required flag {flag}"))
+}
+
+/// Prints a line and flushes immediately: the orchestrator reads child
+/// stdout line-by-line for port coordination, so buffering would hang it.
+fn emit(line: &str) {
+    println!("{line}");
+    std::io::stdout().flush().ok();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match arg_value(&args, "--role").as_deref() {
+        None => orchestrate(),
+        Some("scheduler") => run_scheduler(&args),
+        Some("shard") => run_shard(&args),
+        Some("worker") => run_worker(&args),
+        Some(other) => panic!("unknown role {other:?}"),
+    }
+}
+
+// ------------------------------------------------------------ scheduler
+
+fn run_scheduler(args: &[String]) {
+    let workers: usize = required(args, "--workers").parse().expect("--workers");
+    let pushes: u64 = required(args, "--pushes").parse().expect("--pushes");
+    let server = SchedulerServer::bind(
+        "127.0.0.1:0",
+        SchedulerConfig {
+            scheme: SchemeKind::specsync_adaptive(),
+            workers,
+            net: net_config(),
+            stop_after_pushes: Some(pushes),
+            max_duration: Duration::from_secs(45),
+        },
+    )
+    .expect("bind scheduler");
+    emit(&format!("LISTENING {}", server.local_addr()));
+    let stats = server.run().expect("scheduler run");
+    emit(&format!(
+        "STATS promotions={} completed={} total_pushes={} aborts={} dead_workers={}",
+        stats.promotions,
+        stats.completed,
+        stats.total_pushes,
+        stats.aborts_issued,
+        stats.workers_marked_dead,
+    ));
+}
+
+// ---------------------------------------------------------------- shard
+
+fn run_shard(args: &[String]) {
+    let id: u64 = required(args, "--id").parse().expect("--id");
+    let sched = required(args, "--sched");
+    let backup = args.iter().any(|a| a == "--backup");
+    let relay = arg_value(args, "--relay");
+
+    // Every process derives the identical initial parameter block from
+    // the same deterministic workload build.
+    let workload = Workload::tiny_test();
+    let bundle = workload.build(WORKERS, SEED);
+    let initial = bundle.workers[0].params().to_vec();
+    let host = ShardHost::new(ReplicatedStore::from_store(
+        ParameterStore::new(initial, 8),
+        ReplicatedStore::DEFAULT_JOURNAL_CAPACITY,
+    ))
+    .with_workers(WORKERS);
+
+    let mut server = ShardServer::bind(id, "127.0.0.1:0", host, net_config()).expect("bind shard");
+    if backup {
+        server = server.as_backup();
+    }
+    if let Some(addr) = &relay {
+        server = server.with_backup_relay(addr);
+    }
+    server = server.with_scheduler(&sched);
+    emit(&format!("LISTENING {}", server.local_addr()));
+    let stats = server.run().expect("shard run");
+    emit(&format!(
+        "STATS shard={} pulls={} pushes={} relayed={} serving={} version={}",
+        id, stats.pulls_served, stats.pushes_applied, stats.relayed, stats.serving, stats.version,
+    ));
+}
+
+// --------------------------------------------------------------- worker
+
+fn run_worker(args: &[String]) {
+    let id: usize = required(args, "--id").parse().expect("--id");
+    let workers: usize = required(args, "--workers").parse().expect("--workers");
+    let shard = required(args, "--shard");
+    let sched = required(args, "--sched");
+
+    let workload = Workload::tiny_test();
+    let mut bundle = workload.build(workers, SEED);
+    let model = bundle.workers.swap_remove(id);
+    let sampler = workload.sampler_for(model.as_ref(), id, SEED ^ 0xBA7C);
+
+    let worker = WorkerId::new(id);
+    let sink = Arc::new(NullSink);
+    let mut transport = TcpTransport::connect(worker, &shard, &sched, net_config(), sink.clone())
+        .expect("worker connect");
+    let clock: Arc<dyn ClockSource> = Arc::new(WallClock::new());
+    let harness = WorkerHarness {
+        worker,
+        model,
+        sampler,
+        compute_pad: Duration::from_millis(5),
+        abort_poll: Duration::from_millis(1),
+        heartbeat_interval: Duration::from_millis(25),
+        mute_after: None,
+        drop_notify_every: None,
+        clock: Arc::clone(&clock),
+        sink,
+        run_start: clock.now(),
+        stop: Arc::new(AtomicBool::new(false)),
+    };
+    let outcome = harness.run(&mut transport);
+    emit(&format!(
+        "STATS worker={} pushes={} aborts={}",
+        id, outcome.pushes, outcome.aborts,
+    ));
+}
+
+// ---------------------------------------------------------- orchestrator
+
+struct Role {
+    name: &'static str,
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Role {
+    fn spawn(name: &'static str, extra: &[&str]) -> Role {
+        let exe = std::env::current_exe().expect("current_exe");
+        let mut child = Command::new(exe)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Role {
+            name,
+            child,
+            stdout,
+        }
+    }
+
+    /// Reads the child's `LISTENING <addr>` coordination line.
+    fn listening_addr(&mut self) -> String {
+        let mut line = String::new();
+        self.stdout
+            .read_line(&mut line)
+            .unwrap_or_else(|e| panic!("read {} stdout: {e}", self.name));
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("{} printed {line:?}, want LISTENING", self.name))
+            .to_string();
+        eprintln!("[orchestrator] {} listening on {addr}", self.name);
+        addr
+    }
+
+    /// Waits until exit or `deadline`, then SIGKILLs. Returns remaining
+    /// stdout lines.
+    fn finish(mut self, deadline: Instant) -> Vec<String> {
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() >= deadline => {
+                    eprintln!("[orchestrator] {} overran its budget; killing", self.name);
+                    self.child.kill().ok();
+                    self.child.wait().ok();
+                    break;
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                Err(e) => panic!("wait {}: {e}", self.name),
+            }
+        }
+        self.stdout.lines().map_while(Result::ok).collect()
+    }
+}
+
+/// Pulls `key=value` integers out of a child's `STATS ...` line.
+fn stat(lines: &[String], key: &str) -> Option<String> {
+    lines
+        .iter()
+        .filter(|l| l.starts_with("STATS"))
+        .flat_map(|l| l.split_whitespace())
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")).map(str::to_string))
+}
+
+fn orchestrate() {
+    let deadline = Instant::now() + ORCHESTRATOR_BUDGET;
+    let workers_flag = WORKERS.to_string();
+    let pushes_flag = PUSH_TARGET.to_string();
+
+    let mut scheduler = Role::spawn(
+        "scheduler",
+        &[
+            "--role",
+            "scheduler",
+            "--workers",
+            &workers_flag,
+            "--pushes",
+            &pushes_flag,
+        ],
+    );
+    let sched_addr = scheduler.listening_addr();
+
+    // Backup first (the primary's relay target must exist), then primary.
+    let mut backup = Role::spawn(
+        "backup",
+        &[
+            "--role",
+            "shard",
+            "--id",
+            "1",
+            "--backup",
+            "--sched",
+            &sched_addr,
+        ],
+    );
+    let backup_addr = backup.listening_addr();
+    let mut primary = Role::spawn(
+        "primary",
+        &[
+            "--role",
+            "shard",
+            "--id",
+            "0",
+            "--relay",
+            &backup_addr,
+            "--sched",
+            &sched_addr,
+        ],
+    );
+    let primary_addr = primary.listening_addr();
+
+    let worker_roles: Vec<Role> = (0..WORKERS)
+        .map(|i| {
+            Role::spawn(
+                "worker",
+                &[
+                    "--role",
+                    "worker",
+                    "--id",
+                    &i.to_string(),
+                    "--workers",
+                    &workers_flag,
+                    "--shard",
+                    &primary_addr,
+                    "--sched",
+                    &sched_addr,
+                ],
+            )
+        })
+        .collect();
+
+    // Let the run get going, then kill -9 the primary mid-flight. The
+    // scheduler must promote the warm backup; the workers must ride the
+    // failover out via QueryPrimary and still reach the push target.
+    std::thread::sleep(KILL_AFTER);
+    eprintln!("[orchestrator] SIGKILL primary shard");
+    primary.child.kill().expect("kill primary");
+    primary.child.wait().expect("reap primary");
+
+    let sched_lines = scheduler.finish(deadline);
+    let promotions: u64 = stat(&sched_lines, "promotions")
+        .expect("scheduler STATS line")
+        .parse()
+        .expect("promotions");
+    let completed = stat(&sched_lines, "completed").expect("completed field");
+    let total_pushes: u64 = stat(&sched_lines, "total_pushes")
+        .expect("total_pushes field")
+        .parse()
+        .expect("total_pushes");
+
+    let backup_lines = backup.finish(deadline);
+    let backup_serving = stat(&backup_lines, "serving");
+    let mut worker_pushes = 0u64;
+    for role in worker_roles {
+        let lines = role.finish(deadline);
+        worker_pushes += stat(&lines, "pushes")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+    }
+
+    eprintln!(
+        "[orchestrator] promotions={promotions} completed={completed} \
+         total_pushes={total_pushes} worker_pushes={worker_pushes} \
+         backup_serving={backup_serving:?}"
+    );
+    assert!(
+        promotions >= 1,
+        "the killed primary must trigger a warm-backup promotion"
+    );
+    assert_eq!(completed, "true", "the run must reach its push target");
+    assert!(
+        total_pushes >= PUSH_TARGET,
+        "scheduler saw {total_pushes} pushes, want >= {PUSH_TARGET}"
+    );
+    assert_eq!(
+        backup_serving.as_deref(),
+        Some("true"),
+        "the backup must end the run as the serving primary"
+    );
+    println!("net_smoke: OK (promotions={promotions}, total_pushes={total_pushes})");
+}

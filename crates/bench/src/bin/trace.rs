@@ -158,6 +158,12 @@ struct WorkerTimeline {
     last_pull_at: Option<u64>,
     /// Σ over re-syncs of pushes-by-others since the worker's last pull.
     fresh_gained: u64,
+    /// Wire bytes sent on the worker's behalf (wall-clock transports only).
+    bytes_sent: u64,
+    /// Wire bytes received on the worker's behalf.
+    bytes_received: u64,
+    /// Transport reconnect attempts.
+    conn_retries: u64,
 }
 
 fn phase_index(p: WorkerPhase) -> usize {
@@ -395,6 +401,13 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
                 | Event::AbortReissued { .. }
                 | Event::PushFenced { .. }
                 | Event::RetryScheduled { .. } => tl.faults += 1,
+                Event::FrameSent { bytes, .. } => {
+                    tl.bytes_sent = tl.bytes_sent.saturating_add(*bytes);
+                }
+                Event::FrameReceived { bytes, .. } => {
+                    tl.bytes_received = tl.bytes_received.saturating_add(*bytes);
+                }
+                Event::ConnRetry { .. } => tl.conn_retries += 1,
                 Event::EpochTuned { .. }
                 | Event::Eval { .. }
                 | Event::StoreRecovered { .. }
@@ -574,6 +587,29 @@ fn summarize(path: &str) -> ExitCode {
         );
     }
 
+    // Wire-traffic columns only appear for wall-clock transport traces —
+    // the deterministic simulator never emits frame events.
+    if summary
+        .overall
+        .values()
+        .any(|tl| tl.bytes_sent > 0 || tl.bytes_received > 0 || tl.conn_retries > 0)
+    {
+        println!("\nper-worker wire traffic:");
+        println!(
+            "{:>3} {:>12} {:>12} {:>8}",
+            "w", "tx(KiB)", "rx(KiB)", "retries"
+        );
+        for (&w, tl) in &summary.overall {
+            println!(
+                "{:>3} {:>12.1} {:>12.1} {:>8}",
+                w,
+                tl.bytes_sent as f64 / 1024.0,
+                tl.bytes_received as f64 / 1024.0,
+                tl.conn_retries
+            );
+        }
+    }
+
     println!("\nestimated vs realized freshness gain per epoch (Eq. 7 check):");
     println!(
         "{:>5} {:>10} {:>10} {:>8} {:>8} {:>11} {:>11}",
@@ -661,6 +697,21 @@ mod tests {
         assert_eq!(s.sched_cost_samples, 2);
         assert_eq!(s.sched_cost_sum_ns, 800);
         assert_eq!(s.sched_cost_max_ns, 600);
+    }
+
+    #[test]
+    fn reconstruct_accumulates_wire_traffic() {
+        let records = vec![
+            rec(r#"{"t":0,"ev":"frame_sent","w":0,"class":"pull","bytes":64}"#),
+            rec(r#"{"t":5,"ev":"frame_recv","w":0,"class":"pull","bytes":4096}"#),
+            rec(r#"{"t":9,"ev":"frame_sent","w":0,"class":"push","bytes":2052}"#),
+            rec(r#"{"t":20,"ev":"conn_retry","w":1,"attempt":1}"#),
+            rec(r#"{"t":40,"ev":"conn_retry","w":1,"attempt":2}"#),
+        ];
+        let s = reconstruct(&records);
+        assert_eq!(s.overall[&0].bytes_sent, 64 + 2052);
+        assert_eq!(s.overall[&0].bytes_received, 4096);
+        assert_eq!(s.overall[&1].conn_retries, 2);
     }
 
     #[test]

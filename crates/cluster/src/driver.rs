@@ -54,7 +54,8 @@ use rand::rngs::StdRng;
 
 use specsync_core::{Scheduler, SpecSyncError};
 use specsync_ml::{BatchSampler, LrSchedule, Model, SparseGrad, Workload};
-use specsync_ps::{MessageSizes, ParameterStore, ReplicaError, ReplicatedStore};
+use specsync_net::{FailoverControl, MessageSizes, ShardHost};
+use specsync_ps::{ParameterStore, ReplicaError, ReplicatedStore};
 use specsync_simnet::{
     DurationSampler, EventQueue, FaultPlan, MessageClass, MessageFate, NetworkModel, RngStreams,
     SimDuration, TransferLedger, VirtualTime, WorkerId,
@@ -329,7 +330,7 @@ struct Simulation {
     sizes: MessageSizes,
     ledger: TransferLedger,
 
-    store: ReplicatedStore,
+    host: ShardHost,
     scheduler: Scheduler,
     workers: Vec<WorkerCtx>,
     eval: specsync_ml::EvalSet,
@@ -450,7 +451,7 @@ impl Simulation {
             sizes,
             ledger: TransferLedger::new(),
             queue: EventQueue::new(),
-            store,
+            host: ShardHost::new(store),
             scheduler,
             workers,
             eval: bundle.eval,
@@ -565,7 +566,7 @@ impl Simulation {
     /// retry timer instead — server unavailability is not message loss,
     /// so no retry budget is spent; promotion bounds the wait.
     fn request_pull(&mut self, worker: WorkerId, now: VirtualTime) -> Result<(), SpecSyncError> {
-        if !self.store.is_available() {
+        if !self.host.is_available() {
             self.chaos.blocked_on_failover += 1;
             let epoch = self.workers[worker.index()].epoch;
             self.set_worker_state(worker, WorkerState::Pulling, now);
@@ -575,14 +576,16 @@ impl Simulation {
             );
             return Ok(());
         }
-        let staleness = self.store.staleness_of(worker);
+        // The host observes staleness before registering the pull — the
+        // same store-call order this code had before the verb extraction.
+        let grant = self.host.pull(worker).map_err(replica_to_error)?;
+        let staleness = grant.staleness;
         self.staleness_sum += staleness as f64;
         self.staleness_count += 1;
         self.sink
             .record(now, &TraceEvent::Pull { worker, staleness });
-        let snapshot = self.store.try_pull(worker).map_err(replica_to_error)?;
         self.scheduler.on_pull(worker, now);
-        self.workers[worker.index()].pending_params = Some(snapshot.into_shared());
+        self.workers[worker.index()].pending_params = Some(grant.snapshot.into_shared());
         self.set_worker_state(worker, WorkerState::Pulling, now);
         self.send_pull(worker, 0, now)
     }
@@ -773,7 +776,7 @@ impl Simulation {
         if !self.total_pushes.is_multiple_of(self.config.eval_stride) {
             return;
         }
-        let loss = self.eval.loss_of(self.store.params());
+        let loss = self.eval.loss_of(self.host.replica_mut().params());
         self.sink.record(
             now,
             &TraceEvent::Eval {
@@ -795,17 +798,17 @@ impl Simulation {
     fn on_push_arrive(&mut self, worker: WorkerId, now: VirtualTime) -> Result<(), SpecSyncError> {
         let lr = self.lr.lr_at(self.epochs_done) as f32;
         // Move the gradient out to satisfy the borrow checker, then back.
-        if self.workers[worker.index()].grad_is_sparse {
+        let receipt = if self.workers[worker.index()].grad_is_sparse {
             let grad = std::mem::take(&mut self.workers[worker.index()].sparse_grad);
-            let res = self.store.try_apply_push_sparse(worker, &grad, lr);
+            let res = self.host.push_sparse(worker, &grad, lr);
             self.workers[worker.index()].sparse_grad = grad;
-            res.map_err(replica_to_error)?;
+            res.map_err(replica_to_error)?
         } else {
             let grad = std::mem::take(&mut self.workers[worker.index()].grad);
-            let res = self.store.try_apply_push(worker, &grad, lr);
+            let res = self.host.push_dense(worker, &grad, lr);
             self.workers[worker.index()].grad = grad;
-            res.map_err(replica_to_error)?;
-        }
+            res.map_err(replica_to_error)?
+        };
         self.workers[worker.index()].iterations += 1;
         self.total_pushes += 1;
         self.sink.record(
@@ -825,7 +828,7 @@ impl Simulation {
         // not see (dropped, or still in flight when the horizon cuts the
         // run short). Dropped notifies are deliberately not retried: the
         // next delivered notify's counter heals the gap.
-        let applied = self.store.pushes_by(worker);
+        let applied = receipt.pushes_by_worker;
         let fate = self.fate_for(worker, MessageClass::Notify, now)?;
         for _ in 0..fate.copies {
             let notify_delay = self.delay(MessageClass::Notify) + fate.extra_delay;
@@ -973,7 +976,7 @@ impl Simulation {
                 }
             }
             Event::PushArrive(worker, epoch, seq) => {
-                if !self.store.is_available() {
+                if !self.host.is_available() {
                     // The receiving shard is mid-failover: the server
                     // refuses the delivery and the worker retransmits on
                     // the fixed retry timer. Not message loss — no
@@ -1066,7 +1069,10 @@ impl Simulation {
             Event::ServerCrash(server) => {
                 // A second crash of an already-down shard (or an unknown
                 // index in a hostile plan) is a no-op.
-                if self.store.crash_server(server).is_ok() {
+                let crash = FailoverControl::Crash {
+                    server: server as u64,
+                };
+                if self.host.failover(&crash).is_ok() {
                     self.chaos.server_crashes += 1;
                     self.queue.schedule(
                         now + self.config.failover_delay,
@@ -1075,14 +1081,20 @@ impl Simulation {
                 }
             }
             Event::ServerPromote(server) => {
-                if let Ok(replayed) = self.store.promote(server) {
+                let promote = FailoverControl::Promote {
+                    server: server as u64,
+                };
+                if let Ok(FailoverControl::Promoted {
+                    version, replayed, ..
+                }) = self.host.failover(&promote)
+                {
                     self.chaos.failovers += 1;
                     self.chaos.journal_replayed += replayed;
                     self.sink.record(
                         now,
                         &TraceEvent::ShardFailover {
                             shard: server as u64,
-                            version: self.store.version(),
+                            version,
                             replayed,
                         },
                     );
@@ -1098,7 +1110,10 @@ impl Simulation {
             Event::ServerRecover(server) => {
                 // Ignored while the shard is still down (promotion is
                 // already scheduled and will restore service first).
-                if self.store.recover_server(server).is_ok() {
+                let recover = FailoverControl::Recover {
+                    server: server as u64,
+                };
+                if self.host.failover(&recover).is_ok() {
                     self.chaos.server_recoveries += 1;
                 }
             }

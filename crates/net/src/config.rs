@@ -1,0 +1,209 @@
+//! Wire-layer configuration, with the same builder idiom as
+//! [`RuntimeConfig::builder`] so both deployment configs read alike.
+//!
+//! [`RuntimeConfig::builder`]: https://docs.rs/specsync-runtime
+
+use std::time::Duration;
+
+use specsync_core::SpecSyncError;
+
+/// Configuration of the TCP transport and its hosts.
+///
+/// Construct with [`NetConfig::builder`]; the builder's
+/// [`try_build`](NetConfigBuilder::try_build) validates every invariant and
+/// returns a typed error, so an impossible wiring never reaches a socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Attempts a client spends connecting (or reconnecting after a shard
+    /// death) before giving up.
+    pub connect_retries: u32,
+    /// Base delay of the exponential reconnect backoff (doubles per
+    /// attempt, capped at one second).
+    pub retry_backoff: Duration,
+    /// How often clients and shard processes heartbeat the scheduler.
+    pub heartbeat_interval: Duration,
+    /// Silence after which the scheduler declares a peer dead — for a
+    /// primary shard, this triggers warm-backup promotion. Must exceed
+    /// [`heartbeat_interval`](Self::heartbeat_interval).
+    pub heartbeat_timeout: Duration,
+    /// Read timeout for request/response exchanges.
+    pub io_timeout: Duration,
+    /// Granularity of the scheduler server's timer loop (abort deadlines,
+    /// liveness sweeps).
+    pub tick: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            connect_retries: 20,
+            retry_backoff: Duration::from_millis(25),
+            heartbeat_interval: Duration::from_millis(50),
+            heartbeat_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(10),
+            tick: Duration::from_millis(5),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Starts a builder seeded with the defaults.
+    pub fn builder() -> NetConfigBuilder {
+        NetConfigBuilder {
+            config: NetConfig::default(),
+        }
+    }
+
+    /// Validates the configuration, reporting the first problem as a
+    /// typed error.
+    pub fn try_validate(&self) -> Result<(), SpecSyncError> {
+        if self.connect_retries == 0 {
+            return Err(SpecSyncError::InvalidRetryPolicy {
+                reason: "connect retry budget must be positive",
+            });
+        }
+        if self.retry_backoff.is_zero() {
+            return Err(SpecSyncError::InvalidRetryPolicy {
+                reason: "retry backoff base must be positive",
+            });
+        }
+        if self.heartbeat_interval.is_zero() {
+            return Err(SpecSyncError::InvalidHeartbeat {
+                reason: "heartbeat interval must be positive",
+            });
+        }
+        if self.heartbeat_timeout <= self.heartbeat_interval {
+            return Err(SpecSyncError::InvalidHeartbeat {
+                reason: "heartbeat timeout must exceed the interval",
+            });
+        }
+        if self.io_timeout.is_zero() {
+            return Err(SpecSyncError::InvalidConfig(
+                "i/o timeout must be positive".to_string(),
+            ));
+        }
+        if self.tick.is_zero() {
+            return Err(SpecSyncError::InvalidConfig(
+                "scheduler tick must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The reconnect backoff delay for 0-based `attempt`: doubles per
+    /// attempt from [`retry_backoff`](Self::retry_backoff), capped at one
+    /// second.
+    pub fn backoff_delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(16);
+        (self.retry_backoff * factor).min(Duration::from_secs(1))
+    }
+}
+
+/// Builder for [`NetConfig`] — see [`NetConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct NetConfigBuilder {
+    config: NetConfig,
+}
+
+impl NetConfigBuilder {
+    /// Sets the connect/reconnect retry budget.
+    pub fn connect_retries(mut self, retries: u32) -> Self {
+        self.config.connect_retries = retries;
+        self
+    }
+
+    /// Sets the base reconnect backoff delay.
+    pub fn retry_backoff(mut self, backoff: Duration) -> Self {
+        self.config.retry_backoff = backoff;
+        self
+    }
+
+    /// Sets the heartbeat interval.
+    pub fn heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.config.heartbeat_interval = interval;
+        self
+    }
+
+    /// Sets the heartbeat silence timeout.
+    pub fn heartbeat_timeout(mut self, timeout: Duration) -> Self {
+        self.config.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Sets the request/response read timeout.
+    pub fn io_timeout(mut self, timeout: Duration) -> Self {
+        self.config.io_timeout = timeout;
+        self
+    }
+
+    /// Sets the scheduler timer granularity.
+    pub fn tick(mut self, tick: Duration) -> Self {
+        self.config.tick = tick;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn try_build(self) -> Result<NetConfig, SpecSyncError> {
+        self.config.try_validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builds() {
+        let cfg = NetConfig::builder().try_build().unwrap();
+        assert_eq!(cfg, NetConfig::default());
+    }
+
+    #[test]
+    fn builder_overrides_and_validates() {
+        let cfg = NetConfig::builder()
+            .connect_retries(3)
+            .retry_backoff(Duration::from_millis(10))
+            .heartbeat_interval(Duration::from_millis(20))
+            .heartbeat_timeout(Duration::from_millis(100))
+            .io_timeout(Duration::from_secs(1))
+            .tick(Duration::from_millis(2))
+            .try_build()
+            .unwrap();
+        assert_eq!(cfg.connect_retries, 3);
+        assert_eq!(cfg.heartbeat_timeout, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn degenerate_heartbeat_rejected() {
+        let err = NetConfig::builder()
+            .heartbeat_interval(Duration::from_millis(100))
+            .heartbeat_timeout(Duration::from_millis(100))
+            .try_build()
+            .unwrap_err();
+        assert!(
+            matches!(err, SpecSyncError::InvalidHeartbeat { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_retries_rejected() {
+        let err = NetConfig::builder()
+            .connect_retries(0)
+            .try_build()
+            .unwrap_err();
+        assert!(
+            matches!(err, SpecSyncError::InvalidRetryPolicy { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = NetConfig::default();
+        assert_eq!(cfg.backoff_delay(0), Duration::from_millis(25));
+        assert_eq!(cfg.backoff_delay(1), Duration::from_millis(50));
+        assert_eq!(cfg.backoff_delay(30), Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,418 @@
+//! The shard-side protocol handler: one [`ShardHost`] owns the
+//! [`ReplicatedStore`] and answers every [`WireMessage`] a shard can
+//! receive.
+//!
+//! Both deployments route through it:
+//!
+//! - the virtual-time **simulator driver** calls the typed verbs
+//!   ([`pull`](ShardHost::pull), [`push_dense`](ShardHost::push_dense),
+//!   [`push_sparse`](ShardHost::push_sparse),
+//!   [`failover`](ShardHost::failover)) directly — borrowed gradients, no
+//!   frame encode on the hot path, store-call order identical to the
+//!   pre-wire seed so golden traces stay byte-identical;
+//! - the **TCP shard server** (and any in-process frame loop) routes
+//!   decoded frames through [`handle`](ShardHost::handle), which calls the
+//!   same verbs.
+//!
+//! Pull serving is read-mostly: the host serializes each store version's
+//! `PullReply` frame **once** and shares the encoded bytes (`Arc<[u8]>`)
+//! across every concurrent client until the next push bumps the version —
+//! the wire-side twin of [`ParameterStore`]'s `Arc<[f32]>` snapshot cache.
+//!
+//! [`ParameterStore`]: specsync_ps::ParameterStore
+
+use std::fmt;
+use std::sync::Arc;
+
+use specsync_ps::{ParamSnapshot, PushPayload, ReplicaError, ReplicatedStore};
+use specsync_simnet::WorkerId;
+use specsync_tensor::SparseGrad;
+
+use crate::error::NetError;
+use crate::frame::encode_frame;
+use crate::wire::{FailoverControl, WireMessage};
+
+/// Learning rate the frame path uses when no schedule is installed (the
+/// driver's verb path always supplies its own per-push rate).
+pub const DEFAULT_FRAME_LR: f32 = 0.05;
+
+/// A served pull: the snapshot plus the staleness the request observed.
+#[derive(Debug, Clone)]
+pub struct PullGrant {
+    /// The parameter snapshot (shared block + version).
+    pub snapshot: ParamSnapshot,
+    /// Versions the puller was behind at request time.
+    pub staleness: u64,
+}
+
+/// An applied push: what the shard acknowledges back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushReceipt {
+    /// Store version after the apply.
+    pub version: u64,
+    /// Cumulative applied pushes by the pushing worker.
+    pub pushes_by_worker: u64,
+}
+
+type LrFn = Box<dyn Fn(u64) -> f32 + Send>;
+
+/// The shard protocol handler. See the module docs.
+pub struct ShardHost {
+    store: ReplicatedStore,
+    lr_fn: Option<LrFn>,
+    /// Applied pushes per worker index, for the frame path's epoch
+    /// estimate (an epoch completes when every tracked worker has one
+    /// more push — same rule as the threaded runtime's server thread).
+    per_worker: Vec<u64>,
+    epochs: u64,
+    /// Encoded `PullReply` frame for `(version, bytes)` — rebuilt once
+    /// per store version, shared across clients.
+    encoded: Option<(u64, Arc<[u8]>)>,
+}
+
+impl fmt::Debug for ShardHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardHost")
+            .field("version", &self.store.version())
+            .field("available", &self.store.is_available())
+            .field("epochs", &self.epochs)
+            .field("has_lr_fn", &self.lr_fn.is_some())
+            .finish()
+    }
+}
+
+impl ShardHost {
+    /// Wraps a replicated store.
+    pub fn new(store: ReplicatedStore) -> Self {
+        ShardHost {
+            store,
+            lr_fn: None,
+            per_worker: Vec::new(),
+            epochs: 0,
+            encoded: None,
+        }
+    }
+
+    /// Installs the learning-rate schedule the *frame* path applies
+    /// (epochs → rate). Without one, frame pushes use
+    /// [`DEFAULT_FRAME_LR`]; the verb path is unaffected either way.
+    pub fn with_lr_fn(mut self, lr_fn: impl Fn(u64) -> f32 + Send + 'static) -> Self {
+        self.lr_fn = Some(Box::new(lr_fn));
+        self
+    }
+
+    /// Pre-registers `m` workers so the epoch estimate counts silent ones
+    /// from the start (otherwise workers are tracked on first push).
+    pub fn with_workers(mut self, m: usize) -> Self {
+        self.per_worker = vec![0; m];
+        self
+    }
+
+    /// The wrapped store, for reads the protocol does not cover
+    /// (evaluation, checkpointing).
+    pub fn replica(&self) -> &ReplicatedStore {
+        &self.store
+    }
+
+    /// Mutable access to the wrapped store.
+    pub fn replica_mut(&mut self) -> &mut ReplicatedStore {
+        &mut self.store
+    }
+
+    /// Whether the serving replica is up.
+    pub fn is_available(&self) -> bool {
+        self.store.is_available()
+    }
+
+    /// Epochs completed under the frame path's estimate.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Serves a pull: staleness is observed first, then the pull is
+    /// registered — the exact store-call order of the seed driver.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::ServerDown`] while the shard is failing over.
+    pub fn pull(&mut self, worker: WorkerId) -> Result<PullGrant, ReplicaError> {
+        let staleness = self.store.staleness_of(worker);
+        let snapshot = self.store.try_pull(worker)?;
+        Ok(PullGrant {
+            snapshot,
+            staleness,
+        })
+    }
+
+    /// Applies a dense push.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::ServerDown`] while the shard is failing over.
+    pub fn push_dense(
+        &mut self,
+        worker: WorkerId,
+        grad: &[f32],
+        lr: f32,
+    ) -> Result<PushReceipt, ReplicaError> {
+        let version = self.store.try_apply_push(worker, grad, lr)?;
+        Ok(self.receipt(worker, version))
+    }
+
+    /// Applies a sparse push.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::ServerDown`] while the shard is failing over.
+    pub fn push_sparse(
+        &mut self,
+        worker: WorkerId,
+        grad: &SparseGrad,
+        lr: f32,
+    ) -> Result<PushReceipt, ReplicaError> {
+        let version = self.store.try_apply_push_sparse(worker, grad, lr)?;
+        Ok(self.receipt(worker, version))
+    }
+
+    fn receipt(&mut self, worker: WorkerId, version: u64) -> PushReceipt {
+        let pushes_by_worker = self.store.pushes_by(worker);
+        let idx = worker.index();
+        if idx >= self.per_worker.len() {
+            self.per_worker.resize(idx + 1, 0);
+        }
+        self.per_worker[idx] = self.per_worker[idx].max(pushes_by_worker);
+        let min = self.per_worker.iter().min().copied().unwrap_or(0);
+        if min > self.epochs {
+            self.epochs = min;
+        }
+        PushReceipt {
+            version,
+            pushes_by_worker,
+        }
+    }
+
+    /// Executes a failover control verb against the replica pair.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Replica`] when the store refuses (unknown server,
+    /// wrong state); [`NetError::Unhandled`] for reply-only or
+    /// scheduler-plane verbs.
+    pub fn failover(&mut self, control: &FailoverControl) -> Result<FailoverControl, NetError> {
+        match control {
+            FailoverControl::Crash { server } => {
+                self.store.crash_server(*server as usize)?;
+                Ok(FailoverControl::Ack { server: *server })
+            }
+            FailoverControl::Promote { server } => {
+                let replayed = self.store.promote(*server as usize)?;
+                Ok(FailoverControl::Promoted {
+                    server: *server,
+                    version: self.store.version(),
+                    replayed,
+                })
+            }
+            FailoverControl::Recover { server } => {
+                self.store.recover_server(*server as usize)?;
+                Ok(FailoverControl::Ack { server: *server })
+            }
+            FailoverControl::Promoted { .. } | FailoverControl::Ack { .. } => {
+                Err(NetError::Unhandled {
+                    what: "failover reply sent to a shard host",
+                })
+            }
+            FailoverControl::Register { .. }
+            | FailoverControl::QueryPrimary
+            | FailoverControl::Primary { .. } => Err(NetError::Unhandled {
+                what: "scheduler-plane failover verb sent to a shard host",
+            }),
+        }
+    }
+
+    /// Handles one decoded frame, returning the reply frame (if the verb
+    /// has one). This is the uniform entry the socket servers use; it
+    /// calls the same verbs the simulator driver calls directly.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Replica`] when the store refuses;
+    /// [`NetError::Unhandled`] for frames a shard never receives.
+    pub fn handle(&mut self, frame: WireMessage) -> Result<Option<WireMessage>, NetError> {
+        match frame {
+            WireMessage::Pull { worker } => {
+                let grant = self.pull(worker)?;
+                Ok(Some(WireMessage::PullReply {
+                    version: grant.snapshot.version(),
+                    params: grant.snapshot.into_shared(),
+                }))
+            }
+            WireMessage::Push { worker, payload } => {
+                let lr = match &self.lr_fn {
+                    Some(f) => f(self.epochs),
+                    None => DEFAULT_FRAME_LR,
+                };
+                let receipt = match &payload {
+                    PushPayload::Dense(grad) => self.push_dense(worker, grad, lr)?,
+                    PushPayload::Sparse(grad) => self.push_sparse(worker, grad, lr)?,
+                };
+                Ok(Some(WireMessage::PushAck {
+                    version: receipt.version,
+                    pushes_by_worker: receipt.pushes_by_worker,
+                }))
+            }
+            WireMessage::Failover(control) => {
+                Ok(Some(WireMessage::Failover(self.failover(&control)?)))
+            }
+            WireMessage::Shutdown => Ok(None),
+            WireMessage::PullReply { .. } | WireMessage::PushAck { .. } => {
+                Err(NetError::Unhandled {
+                    what: "reply frame sent to a shard host",
+                })
+            }
+            WireMessage::Notify { .. }
+            | WireMessage::Check { .. }
+            | WireMessage::Abort { .. }
+            | WireMessage::Heartbeat { .. } => Err(NetError::Unhandled {
+                what: "scheduler-plane frame sent to a shard host",
+            }),
+        }
+    }
+
+    /// Serves a pull as pre-encoded frame bytes: the `PullReply` frame for
+    /// the current version is serialized once and shared (`Arc`) across
+    /// every concurrent client until a push bumps the version. Returns the
+    /// bytes and the observed staleness.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::ServerDown`] while the shard is failing over.
+    pub fn encoded_pull_reply(
+        &mut self,
+        worker: WorkerId,
+    ) -> Result<(Arc<[u8]>, u64), ReplicaError> {
+        let grant = self.pull(worker)?;
+        let version = grant.snapshot.version();
+        if let Some((cached_version, bytes)) = &self.encoded {
+            if *cached_version == version {
+                return Ok((Arc::clone(bytes), grant.staleness));
+            }
+        }
+        let bytes: Arc<[u8]> = Arc::from(encode_frame(&WireMessage::PullReply {
+            version,
+            params: grant.snapshot.into_shared(),
+        }));
+        self.encoded = Some((version, Arc::clone(&bytes)));
+        Ok((bytes, grant.staleness))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::decode_frame;
+    use specsync_ps::ParameterStore;
+
+    fn host() -> ShardHost {
+        let store = ParameterStore::new(vec![0.0; 8], 2);
+        ShardHost::new(ReplicatedStore::from_store(
+            store,
+            ReplicatedStore::DEFAULT_JOURNAL_CAPACITY,
+        ))
+        .with_workers(2)
+    }
+
+    #[test]
+    fn pull_after_push_sees_new_version() {
+        let mut h = host();
+        let w = WorkerId::new(0);
+        let r = h.push_dense(w, &[1.0; 8], 0.1).unwrap();
+        assert_eq!(r.version, 1);
+        assert_eq!(r.pushes_by_worker, 1);
+        let grant = h.pull(w).unwrap();
+        assert_eq!(grant.snapshot.version(), 1);
+    }
+
+    #[test]
+    fn frame_path_matches_verb_path() {
+        let mut h = host();
+        let w = WorkerId::new(1);
+        let reply = h
+            .handle(WireMessage::Push {
+                worker: w,
+                payload: PushPayload::Dense(vec![0.5; 8]),
+            })
+            .unwrap();
+        assert_eq!(
+            reply,
+            Some(WireMessage::PushAck {
+                version: 1,
+                pushes_by_worker: 1
+            })
+        );
+        let reply = h.handle(WireMessage::Pull { worker: w }).unwrap();
+        let Some(WireMessage::PullReply { version, params }) = reply else {
+            panic!("want PullReply, got {reply:?}");
+        };
+        assert_eq!(version, 1);
+        assert_eq!(params.len(), 8);
+    }
+
+    #[test]
+    fn encoded_reply_is_shared_until_version_bumps() {
+        let mut h = host();
+        let w0 = WorkerId::new(0);
+        let w1 = WorkerId::new(1);
+        h.push_dense(w0, &[1.0; 8], 0.1).unwrap();
+        let (a, _) = h.encoded_pull_reply(w0).unwrap();
+        let (b, _) = h.encoded_pull_reply(w1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same version must share bytes");
+        let decoded = decode_frame(&a).unwrap();
+        assert!(matches!(decoded, WireMessage::PullReply { version: 1, .. }));
+        h.push_dense(w1, &[1.0; 8], 0.1).unwrap();
+        let (c, _) = h.encoded_pull_reply(w0).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "new version must re-serialize");
+    }
+
+    #[test]
+    fn staleness_observed_before_pull_registers() {
+        let mut h = host();
+        let w = WorkerId::new(0);
+        h.pull(w).unwrap();
+        h.push_dense(WorkerId::new(1), &[1.0; 8], 0.1).unwrap();
+        let grant = h.pull(w).unwrap();
+        assert_eq!(grant.staleness, 1, "one version behind at request time");
+    }
+
+    #[test]
+    fn failover_round_trip() {
+        let mut h = host();
+        let w = WorkerId::new(0);
+        h.push_dense(w, &[1.0; 8], 0.1).unwrap();
+        let ack = h.failover(&FailoverControl::Crash { server: 0 }).unwrap();
+        assert_eq!(ack, FailoverControl::Ack { server: 0 });
+        assert!(!h.is_available());
+        assert!(matches!(h.pull(w), Err(ReplicaError::ServerDown { .. })));
+        let promoted = h.failover(&FailoverControl::Promote { server: 0 }).unwrap();
+        let FailoverControl::Promoted {
+            version, replayed, ..
+        } = promoted
+        else {
+            panic!("want Promoted, got {promoted:?}");
+        };
+        assert_eq!(version, 1);
+        assert_eq!(replayed, 1, "promotion replays the journaled push");
+        assert!(h.is_available());
+    }
+
+    #[test]
+    fn scheduler_plane_frames_are_refused() {
+        let mut h = host();
+        let err = h
+            .handle(WireMessage::Notify {
+                worker: WorkerId::new(0),
+                pushes: 1,
+            })
+            .unwrap_err();
+        assert!(matches!(err, NetError::Unhandled { .. }));
+    }
+}

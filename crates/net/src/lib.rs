@@ -1,0 +1,52 @@
+//! `specsync-net`: a real wire for SpecSync — the length-prefixed frame
+//! codec, the [`Transport`] abstraction, and the TCP servers that let the
+//! parameter-server shards, the scheduler, and the workers of the paper's
+//! architecture (Fig. 7) run as separate OS processes on one host.
+//!
+//! # Layers
+//!
+//! * [`wire`] — the consolidated [`WireMessage`] vocabulary: every frame
+//!   any SpecSync role can send, in one enum, shared by the in-process
+//!   runtime, the virtual-time simulator's accounting, and the TCP path.
+//! * [`frame`] — the binary codec: `"SSNF"` magic, format version,
+//!   length prefix, FNV-1a checksum, then a tagged payload. Decoding is
+//!   exact-fit: any flipped, missing, or trailing byte rejects.
+//! * [`transport`] — the [`Transport`] trait a worker drives its run
+//!   through, with two interchangeable implementations:
+//!   [`InProcTransport`] (channels; byte-identical to the pre-wire
+//!   runtime) and [`TcpTransport`] (sockets, reconnect-on-failover).
+//! * [`host`] — [`ShardHost`], the transport-agnostic shard brain: a
+//!   replicated store plus the per-version encoded-frame cache that lets
+//!   one serialization serve every concurrent puller of a version.
+//! * [`server`] — the process-level hosts: [`ShardServer`] and
+//!   [`SchedulerServer`], including warm-backup promotion over TCP when
+//!   a primary shard process dies.
+//!
+//! # The same protocol, two wires
+//!
+//! The point of the redesign is that `WireMessage` + [`Transport`] is
+//! the *only* vocabulary: the threaded runtime's worker loop sends the
+//! exact same frames whether its transport is a channel pair in one
+//! process or a socket to another. Chaos knobs, failover, and telemetry
+//! all act on that shared vocabulary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod frame;
+pub mod host;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use config::{NetConfig, NetConfigBuilder};
+pub use error::NetError;
+pub use frame::{
+    decode_frame, encode_frame, read_frame, write_frame, FrameError, FrameReadError, ReadOutcome,
+};
+pub use host::{PullGrant, PushReceipt, ShardHost};
+pub use server::{SchedulerConfig, SchedulerRunStats, SchedulerServer, ShardServer, ShardStats};
+pub use transport::{Endpoint, FrameConn, InProcTransport, ServerFrame, TcpTransport, Transport};
+pub use wire::{FailoverControl, MessageSizes, WireMessage};

@@ -1,0 +1,1220 @@
+//! The process-level hosts: a TCP shard server fronting a [`ShardHost`]
+//! and a TCP scheduler server fronting the core SpecSync [`Scheduler`] —
+//! together they let the roles of the paper's Fig. 7 run as separate OS
+//! processes on one host.
+//!
+//! # Shard server
+//!
+//! A blocking accept loop hands each connection to its own thread.
+//! Pulls are served from the host's per-version encoded-frame cache
+//! (serialize once, share the bytes across every concurrent client);
+//! pushes funnel through a **single apply thread**, which write-ahead
+//! relays each `Push` frame to the warm-backup process *before* applying
+//! it locally — one thread doing both means relay order equals apply
+//! order, so the backup replays the primary's exact sequence. Push
+//! delivery to the backup is at-least-once: a push relayed but not yet
+//! locally acked when the primary dies may be applied only on the backup,
+//! which is the safe side for SGD-style updates.
+//!
+//! # Scheduler server
+//!
+//! One central loop owns every connection's writer and all protocol
+//! state, exactly like the threaded runtime's scheduler thread — frames
+//! arrive over a channel from per-connection reader threads, and timer
+//! deadlines re-enter through [`WireMessage::Check`] so a speculation
+//! window fires through the same handler whether a socket or a clock woke
+//! it. The loop detects a dead primary shard two ways (its connection
+//! closing, or heartbeat silence past the timeout) and promotes the warm
+//! backup by sending `Failover(Promote)` down the backup's registered
+//! connection; the backup's `Promoted` reply flips the advertised primary
+//! address and bumps the promotion epoch that reconnecting workers see.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use specsync_core::Scheduler;
+use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
+use specsync_sync::{SchemeKind, TuningMode};
+use specsync_telemetry::{Event, EventSink, NullSink};
+
+use crate::config::NetConfig;
+use crate::error::NetError;
+use crate::frame::{read_frame, write_frame, ReadOutcome};
+use crate::host::ShardHost;
+use crate::transport::FrameConn;
+use crate::transport::WallElapsed;
+use crate::wire::{FailoverControl, WireMessage};
+
+// ---------------------------------------------------------------- shard
+
+/// Counters a [`ShardServer`] accumulates; cheap atomics shared across
+/// connection threads.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    pulls_served: AtomicU64,
+    pushes_applied: AtomicU64,
+    relayed: AtomicU64,
+    /// Pushes absorbed via the write-ahead relay while still a backup —
+    /// reported as `replayed` in the `Promoted` frame.
+    absorbed: AtomicU64,
+}
+
+/// What a [`ShardServer::run`] did, reported when the server stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Pull requests answered.
+    pub pulls_served: u64,
+    /// Pushes applied to the local store.
+    pub pushes_applied: u64,
+    /// Pushes write-ahead relayed to the warm backup.
+    pub relayed: u64,
+    /// Whether this process ended the run as the serving primary.
+    pub serving: bool,
+    /// Final store version.
+    pub version: u64,
+}
+
+/// A parameter-server shard as an OS process: a [`ShardHost`] behind a
+/// TCP listener. See the module docs for the threading model.
+pub struct ShardServer {
+    shard_id: u64,
+    listener: TcpListener,
+    local_addr: String,
+    host: Arc<Mutex<ShardHost>>,
+    config: NetConfig,
+    /// Whether this process currently serves workers (primaries start
+    /// `true`, warm backups `false` until promoted).
+    serving: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ShardCounters>,
+    backup_addr: Option<String>,
+    sched_addr: Option<String>,
+}
+
+impl std::fmt::Debug for ShardServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardServer")
+            .field("shard_id", &self.shard_id)
+            .field("addr", &self.local_addr)
+            .field("serving", &self.serving.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardServer {
+    /// Binds a shard listener (use port 0 for an OS-assigned port).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn bind(
+        shard_id: u64,
+        addr: &str,
+        host: ShardHost,
+        config: NetConfig,
+    ) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?.to_string();
+        Ok(ShardServer {
+            shard_id,
+            listener,
+            local_addr,
+            host: Arc::new(Mutex::new(host)),
+            config,
+            serving: Arc::new(AtomicBool::new(true)),
+            stop: Arc::new(AtomicBool::new(false)),
+            counters: Arc::new(ShardCounters::default()),
+            backup_addr: None,
+            sched_addr: None,
+        })
+    }
+
+    /// The address the shard actually listens on.
+    pub fn local_addr(&self) -> &str {
+        &self.local_addr
+    }
+
+    /// Starts as the warm backup: refuse worker pulls, absorb relayed
+    /// pushes, and wait for the scheduler's `Promote`.
+    pub fn as_backup(self) -> Self {
+        self.serving.store(false, Ordering::SeqCst);
+        self
+    }
+
+    /// Write-ahead relay target: the warm-backup process's address. Set
+    /// on the primary.
+    pub fn with_backup_relay(mut self, addr: &str) -> Self {
+        self.backup_addr = Some(addr.to_string());
+        self
+    }
+
+    /// Registers with a scheduler: the shard connects, announces its
+    /// address and role, heartbeats, and obeys `Promote`/`Shutdown` sent
+    /// back down the same connection.
+    pub fn with_scheduler(mut self, addr: &str) -> Self {
+        self.sched_addr = Some(addr.to_string());
+        self
+    }
+
+    /// A handle that flips this server's stop flag (for embedding in
+    /// tests; shard processes normally stop on the scheduler's
+    /// `Shutdown`).
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Serves until shutdown. Blocking; returns the run's counters.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors reaching the scheduler or the backup relay at
+    /// startup. Per-connection errors after startup drop the connection,
+    /// never the server.
+    pub fn run(self) -> Result<ShardStats, NetError> {
+        let ShardServer {
+            shard_id,
+            listener,
+            local_addr,
+            host,
+            config,
+            serving,
+            stop,
+            counters,
+            backup_addr,
+            sched_addr,
+        } = self;
+
+        // Write-ahead relay to the warm backup, handed to the apply
+        // thread (relay-then-apply in one thread keeps the orders equal).
+        let relay = match &backup_addr {
+            Some(addr) => Some(FrameConn::connect_with_retries(addr, &config, |_| {})?),
+            None => None,
+        };
+
+        // Single apply thread: every push (from any connection) funnels
+        // through here in channel order.
+        let (apply_tx, apply_rx) = unbounded::<(WireMessage, Sender<WireMessage>)>();
+        {
+            let host = Arc::clone(&host);
+            let counters = Arc::clone(&counters);
+            let serving = Arc::clone(&serving);
+            let mut relay = relay;
+            std::thread::spawn(move || {
+                while let Ok((frame, reply_tx)) = apply_rx.recv() {
+                    if let Some(conn) = relay.as_mut() {
+                        // Write-ahead: the backup holds the push before the
+                        // primary applies it. A dead relay degrades to
+                        // unreplicated serving rather than stalling the run.
+                        if conn.exchange(&frame).is_err() {
+                            relay = None;
+                        } else {
+                            counters.relayed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    let applied = {
+                        let mut locked = host.lock();
+                        locked.handle(frame)
+                    };
+                    if let Ok(Some(ack)) = applied {
+                        counters.pushes_applied.fetch_add(1, Ordering::Relaxed);
+                        if !serving.load(Ordering::SeqCst) {
+                            counters.absorbed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let _ = reply_tx.send(ack);
+                    }
+                }
+            });
+        }
+
+        // Scheduler link: register, heartbeat, obey control frames.
+        if let Some(addr) = &sched_addr {
+            let conn = FrameConn::connect_with_retries(addr, &config, |_| {})?;
+            let mut writer = conn.into_stream();
+            let mut reader = writer.try_clone()?;
+            reader.set_read_timeout(None).ok();
+            write_frame(
+                &mut writer,
+                &WireMessage::Failover(FailoverControl::Register {
+                    server: shard_id,
+                    backup: !serving.load(Ordering::SeqCst),
+                    addr: local_addr.clone(),
+                }),
+            )?;
+            // Outbound frames (heartbeats + control replies) leave through
+            // one writer thread, so no lock ever spans a socket write.
+            let (out_tx, out_rx) = unbounded::<WireMessage>();
+            {
+                let stop = Arc::clone(&stop);
+                let interval = config.heartbeat_interval;
+                let beat = WireMessage::Heartbeat {
+                    worker: WorkerId::new(shard_id as usize),
+                };
+                std::thread::spawn(move || loop {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let frame = match out_rx.recv_timeout(interval) {
+                        Ok(frame) => frame,
+                        Err(RecvTimeoutError::Timeout) => beat.clone(),
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    };
+                    if write_frame(&mut writer, &frame).is_err() {
+                        break;
+                    }
+                });
+            }
+            {
+                let stop = Arc::clone(&stop);
+                let serving = Arc::clone(&serving);
+                let host = Arc::clone(&host);
+                let counters = Arc::clone(&counters);
+                std::thread::spawn(move || loop {
+                    match read_frame(&mut reader) {
+                        Ok(ReadOutcome::Frame(WireMessage::Failover(fc), _)) => match fc {
+                            FailoverControl::Promote { server } => {
+                                serving.store(true, Ordering::SeqCst);
+                                let version = {
+                                    let locked = host.lock();
+                                    locked.replica().version()
+                                };
+                                let _ =
+                                    out_tx.send(WireMessage::Failover(FailoverControl::Promoted {
+                                        server,
+                                        version,
+                                        replayed: counters.absorbed.load(Ordering::Relaxed),
+                                    }));
+                            }
+                            FailoverControl::Crash { server } => {
+                                serving.store(false, Ordering::SeqCst);
+                                let _ = out_tx
+                                    .send(WireMessage::Failover(FailoverControl::Ack { server }));
+                            }
+                            FailoverControl::Recover { server } => {
+                                serving.store(true, Ordering::SeqCst);
+                                let _ = out_tx
+                                    .send(WireMessage::Failover(FailoverControl::Ack { server }));
+                            }
+                            // Replies and worker-plane queries carry no
+                            // instruction for a shard.
+                            FailoverControl::Promoted { .. }
+                            | FailoverControl::Ack { .. }
+                            | FailoverControl::Register { .. }
+                            | FailoverControl::QueryPrimary
+                            | FailoverControl::Primary { .. } => {}
+                        },
+                        Ok(ReadOutcome::Frame(WireMessage::Shutdown, _))
+                        | Ok(ReadOutcome::Closed)
+                        | Err(_) => {
+                            // Scheduler gone or told us to stop: either
+                            // way the run is over for this process.
+                            stop.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                        Ok(ReadOutcome::Frame(_, _)) => {}
+                    }
+                });
+            }
+        }
+
+        // Accept loop: non-blocking accept so the stop flag is honored.
+        listener.set_nonblocking(true)?;
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    stream.set_nodelay(true).ok();
+                    stream.set_nonblocking(false).ok();
+                    let host = Arc::clone(&host);
+                    let serving = Arc::clone(&serving);
+                    let stop = Arc::clone(&stop);
+                    let counters = Arc::clone(&counters);
+                    let apply_tx = apply_tx.clone();
+                    let peer = peer.to_string();
+                    std::thread::spawn(move || {
+                        serve_shard_conn(
+                            FrameConn::from_stream(stream, peer),
+                            &host,
+                            &serving,
+                            &stop,
+                            &counters,
+                            &apply_tx,
+                        );
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(config.tick);
+                }
+                Err(_) => break,
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+
+        let mut host = host.lock();
+        Ok(ShardStats {
+            pulls_served: counters.pulls_served.load(Ordering::Relaxed),
+            pushes_applied: counters.pushes_applied.load(Ordering::Relaxed),
+            relayed: counters.relayed.load(Ordering::Relaxed),
+            serving: serving.load(Ordering::SeqCst),
+            version: host.replica_mut().version(),
+        })
+    }
+}
+
+/// One worker (or relay) connection to a shard: blocking frame loop, one
+/// thread. Returning drops the connection; the server survives.
+fn serve_shard_conn(
+    mut conn: FrameConn,
+    host: &Arc<Mutex<ShardHost>>,
+    serving: &AtomicBool,
+    stop: &AtomicBool,
+    counters: &ShardCounters,
+    apply_tx: &Sender<(WireMessage, Sender<WireMessage>)>,
+) {
+    loop {
+        let frame = match conn.recv() {
+            Ok((frame, _)) => frame,
+            Err(_) => return,
+        };
+        match frame {
+            WireMessage::Pull { worker } => {
+                // A backup refuses worker pulls: dropping the connection
+                // sends the worker back to the scheduler's QueryPrimary.
+                if !serving.load(Ordering::SeqCst) {
+                    return;
+                }
+                let encoded = {
+                    let mut locked = host.lock();
+                    locked.encoded_pull_reply(worker)
+                };
+                let Ok((bytes, _staleness)) = encoded else {
+                    return;
+                };
+                // The serialized reply is written outside the host lock;
+                // concurrent pullers of the same version share `bytes`.
+                if conn.write_encoded(&bytes).is_err() {
+                    return;
+                }
+                counters.pulls_served.fetch_add(1, Ordering::Relaxed);
+            }
+            frame @ WireMessage::Push { .. } => {
+                let (reply_tx, reply_rx) = bounded(1);
+                if apply_tx.send((frame, reply_tx)).is_err() {
+                    return;
+                }
+                let Ok(ack) = reply_rx.recv() else {
+                    return;
+                };
+                if conn.write(&ack).is_err() {
+                    return;
+                }
+            }
+            WireMessage::Shutdown => {
+                stop.store(true, Ordering::SeqCst);
+                return;
+            }
+            // Tolerated no-ops on a data connection.
+            WireMessage::Heartbeat { .. } => {}
+            // Process-level failover is driven over the scheduler link;
+            // a data connection carrying control frames is a protocol
+            // error, as are reply/scheduler-plane frames.
+            WireMessage::Failover(_)
+            | WireMessage::PullReply { .. }
+            | WireMessage::PushAck { .. }
+            | WireMessage::Notify { .. }
+            | WireMessage::Check { .. }
+            | WireMessage::Abort { .. } => return,
+        }
+    }
+}
+
+// ------------------------------------------------------------ scheduler
+
+/// What drives a [`SchedulerServer`] besides the wire config.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Synchronization scheme (`Asp`, or `SpecSync` for speculation).
+    pub scheme: SchemeKind,
+    /// Expected worker count `m`.
+    pub workers: usize,
+    /// Wire-level knobs (tick, heartbeat interval/timeout, I/O timeouts).
+    pub net: NetConfig,
+    /// Stop once this many total pushes have been notified (`None`: run
+    /// until `max_duration`).
+    pub stop_after_pushes: Option<u64>,
+    /// Hard wall-clock budget for the run.
+    pub max_duration: Duration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            scheme: SchemeKind::specsync_adaptive(),
+            workers: 4,
+            net: NetConfig::default(),
+            stop_after_pushes: None,
+            max_duration: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What a [`SchedulerServer::run`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerRunStats {
+    /// Aborts (re-sync instructions) issued to workers.
+    pub aborts_issued: u64,
+    /// Warm-backup promotions completed.
+    pub promotions: u64,
+    /// Total pushes notified across workers.
+    pub total_pushes: u64,
+    /// Workers declared dead by heartbeat silence.
+    pub workers_marked_dead: u64,
+    /// Whether the push target was reached (vs the duration budget).
+    pub completed: bool,
+}
+
+/// Which kind of peer a scheduler connection turned out to be.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Peer {
+    Worker(WorkerId),
+    Shard {
+        server: u64,
+        backup: bool,
+        addr: String,
+    },
+}
+
+enum ConnEvent {
+    Opened { id: usize, writer: TcpStream },
+    Frame { id: usize, frame: WireMessage },
+    Closed { id: usize },
+}
+
+/// The SpecSync scheduler as an OS process: the core [`Scheduler`] behind
+/// a TCP listener. See the module docs for the event flow.
+pub struct SchedulerServer {
+    listener: TcpListener,
+    local_addr: String,
+    cfg: SchedulerConfig,
+    sink: Arc<dyn EventSink<Duration>>,
+}
+
+impl std::fmt::Debug for SchedulerServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerServer")
+            .field("addr", &self.local_addr)
+            .field("workers", &self.cfg.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SchedulerServer {
+    /// Binds the scheduler listener (use port 0 for an OS-assigned port).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding, or an invalid configuration.
+    pub fn bind(addr: &str, cfg: SchedulerConfig) -> Result<Self, NetError> {
+        cfg.net.try_validate().map_err(|_| NetError::Unhandled {
+            what: "invalid scheduler net configuration",
+        })?;
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?.to_string();
+        Ok(SchedulerServer {
+            listener,
+            local_addr,
+            cfg,
+            sink: Arc::new(NullSink),
+        })
+    }
+
+    /// Routes protocol events (aborts, failovers, crashes) to `sink`.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink<Duration>>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The address the scheduler actually listens on.
+    pub fn local_addr(&self) -> &str {
+        &self.local_addr
+    }
+
+    /// Serves until the push target or the duration budget is reached,
+    /// then broadcasts `Shutdown` to every connection. Blocking.
+    ///
+    /// # Errors
+    ///
+    /// Listener I/O errors at startup.
+    pub fn run(self) -> Result<SchedulerRunStats, NetError> {
+        let SchedulerServer {
+            listener,
+            local_addr: _,
+            cfg,
+            sink,
+        } = self;
+        let clock = WallElapsed::start();
+        let (events_tx, events_rx) = unbounded::<ConnEvent>();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Accept thread: one reader thread per connection, all frames
+        // funneled into the central loop's channel.
+        {
+            let events_tx = events_tx.clone();
+            let stop = Arc::clone(&stop);
+            let tick = cfg.net.tick;
+            listener.set_nonblocking(true)?;
+            std::thread::spawn(move || {
+                let mut next_id = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nodelay(true).ok();
+                            stream.set_nonblocking(false).ok();
+                            let id = next_id;
+                            next_id += 1;
+                            let Ok(writer) = stream.try_clone() else {
+                                continue;
+                            };
+                            if events_tx.send(ConnEvent::Opened { id, writer }).is_err() {
+                                return;
+                            }
+                            let events_tx = events_tx.clone();
+                            let mut reader = stream;
+                            std::thread::spawn(move || loop {
+                                match read_frame(&mut reader) {
+                                    Ok(ReadOutcome::Frame(frame, _)) => {
+                                        if events_tx.send(ConnEvent::Frame { id, frame }).is_err() {
+                                            return;
+                                        }
+                                    }
+                                    Ok(ReadOutcome::Closed) | Err(_) => {
+                                        let _ = events_tx.send(ConnEvent::Closed { id });
+                                        return;
+                                    }
+                                }
+                            });
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(tick);
+                        }
+                        Err(_) => return,
+                    }
+                }
+            });
+        }
+
+        let stats = central_loop(&cfg, &clock, &sink, &events_rx);
+        stop.store(true, Ordering::SeqCst);
+        Ok(stats)
+    }
+}
+
+/// All scheduler state, owned by the one central loop — including every
+/// connection's writer, so no socket write ever happens under a lock.
+struct Central<'a> {
+    cfg: &'a SchedulerConfig,
+    clock: &'a WallElapsed,
+    sink: &'a Arc<dyn EventSink<Duration>>,
+    core: Scheduler,
+    writers: BTreeMap<usize, TcpStream>,
+    peers: BTreeMap<usize, Peer>,
+    worker_conn: BTreeMap<usize, usize>,
+    /// Registered shards by id.
+    shards: BTreeMap<u64, (usize, bool, String)>,
+    primary: Option<u64>,
+    epoch: u64,
+    promotion_pending: bool,
+    timers: Vec<(VirtualTime, WorkerId)>,
+    per_worker: Vec<u64>,
+    epochs: u64,
+    last_worker_beat: Vec<VirtualTime>,
+    worker_dead: Vec<bool>,
+    last_shard_beat: BTreeMap<u64, VirtualTime>,
+    stats: SchedulerRunStats,
+}
+
+impl Central<'_> {
+    fn now_vt(&self) -> VirtualTime {
+        VirtualTime::from_micros(self.clock.elapsed().as_micros().min(u64::MAX as u128) as u64)
+    }
+
+    fn write_to(&mut self, conn: usize, frame: &WireMessage) {
+        if let Some(stream) = self.writers.get_mut(&conn) {
+            if write_frame(stream, frame).is_err() {
+                self.writers.remove(&conn);
+            }
+        }
+    }
+
+    fn write_to_worker(&mut self, worker: WorkerId, frame: &WireMessage) {
+        if let Some(&conn) = self.worker_conn.get(&worker.index()) {
+            self.write_to(conn, frame);
+        }
+    }
+
+    /// The shared decision path for a speculation-window check, entered
+    /// by timer firings (routed through `WireMessage::Check`) and by any
+    /// future wire-delivered `Check`.
+    fn on_check_frame(&mut self, worker: WorkerId, deadline: VirtualTime) {
+        if self.core.on_check(worker, deadline) {
+            self.stats.aborts_issued += 1;
+            self.sink
+                .record(self.clock.elapsed(), &Event::AbortIssued { worker });
+            self.write_to_worker(worker, &WireMessage::Abort { worker });
+        }
+    }
+
+    fn worker_beat(&mut self, worker: WorkerId, now: VirtualTime) {
+        let w = worker.index();
+        if w >= self.last_worker_beat.len() {
+            return;
+        }
+        self.last_worker_beat[w] = now;
+        if self.worker_dead[w] && matches!(self.core.try_mark_alive(worker, now), Ok(true)) {
+            self.worker_dead[w] = false;
+            self.sink.record(
+                self.clock.elapsed(),
+                &Event::WorkerRecovered { worker, epoch: 0 },
+            );
+        }
+    }
+
+    /// Starts warm-backup promotion (at most one in flight): tell the
+    /// registered backup to take over.
+    fn initiate_promotion(&mut self) {
+        if self.promotion_pending {
+            return;
+        }
+        let backup = self
+            .shards
+            .iter()
+            .find(|(id, (_, is_backup, _))| *is_backup && Some(**id) != self.primary)
+            .map(|(id, (conn, _, _))| (*id, *conn));
+        if let Some((server, conn)) = backup {
+            self.promotion_pending = true;
+            self.write_to(
+                conn,
+                &WireMessage::Failover(FailoverControl::Promote { server }),
+            );
+        }
+    }
+
+    fn handle_frame(&mut self, conn: usize, frame: WireMessage) {
+        let now = self.now_vt();
+        // Bind an unidentified connection to the worker its first frame
+        // names (shard connections identify themselves via Register).
+        if let std::collections::btree_map::Entry::Vacant(entry) = self.peers.entry(conn) {
+            if let Some(worker) = frame.worker() {
+                entry.insert(Peer::Worker(worker));
+                self.worker_conn.insert(worker.index(), conn);
+            }
+        }
+        let from_shard = matches!(self.peers.get(&conn), Some(Peer::Shard { .. }));
+        match frame {
+            WireMessage::Failover(fc) => match fc {
+                FailoverControl::Register {
+                    server,
+                    backup,
+                    addr,
+                } => {
+                    self.peers.insert(
+                        conn,
+                        Peer::Shard {
+                            server,
+                            backup,
+                            addr: addr.clone(),
+                        },
+                    );
+                    self.shards.insert(server, (conn, backup, addr));
+                    self.last_shard_beat.insert(server, now);
+                    if !backup {
+                        self.primary = Some(server);
+                    }
+                }
+                FailoverControl::Promoted {
+                    server,
+                    version,
+                    replayed,
+                } => {
+                    if let Some((_, backup_flag, _)) = self.shards.get_mut(&server) {
+                        *backup_flag = false;
+                    }
+                    self.primary = Some(server);
+                    self.epoch += 1;
+                    self.promotion_pending = false;
+                    self.stats.promotions += 1;
+                    self.sink.record(
+                        self.clock.elapsed(),
+                        &Event::ShardFailover {
+                            shard: server,
+                            version,
+                            replayed,
+                        },
+                    );
+                }
+                FailoverControl::QueryPrimary => {
+                    let answer = self
+                        .primary
+                        .and_then(|id| self.shards.get(&id))
+                        .map(|(_, _, addr)| addr.clone());
+                    if let Some(addr) = answer {
+                        let epoch = self.epoch;
+                        self.write_to(
+                            conn,
+                            &WireMessage::Failover(FailoverControl::Primary { addr, epoch }),
+                        );
+                    }
+                }
+                // Acks and verbs the scheduler sends, not receives.
+                FailoverControl::Ack { .. }
+                | FailoverControl::Crash { .. }
+                | FailoverControl::Promote { .. }
+                | FailoverControl::Recover { .. }
+                | FailoverControl::Primary { .. } => {}
+            },
+            WireMessage::Heartbeat { worker } => {
+                if from_shard {
+                    if let Some(Peer::Shard { server, .. }) = self.peers.get(&conn) {
+                        self.last_shard_beat.insert(*server, now);
+                    }
+                } else {
+                    self.worker_beat(worker, now);
+                }
+            }
+            WireMessage::Pull { worker } => {
+                self.worker_beat(worker, now);
+                self.core.on_pull(worker, now);
+            }
+            WireMessage::Notify { worker, pushes } => {
+                self.worker_beat(worker, now);
+                self.sink
+                    .record(self.clock.elapsed(), &Event::Notify { worker });
+                let w = worker.index();
+                if w < self.per_worker.len() {
+                    let missing = pushes.saturating_sub(self.per_worker[w] + 1);
+                    if missing > 0 {
+                        self.sink
+                            .record(self.clock.elapsed(), &Event::NotifyLoss { worker, missing });
+                    }
+                    if let Ok(Some(deadline)) =
+                        self.core.try_on_notify_reconciled(worker, pushes, now)
+                    {
+                        self.timers.push((deadline, worker));
+                    }
+                    self.per_worker[w] = self.per_worker[w].max(pushes);
+                    let min = self.per_worker.iter().min().copied().unwrap_or(0);
+                    while min > self.epochs {
+                        self.epochs += 1;
+                        let tuned = self.core.on_epoch_complete(now);
+                        let hyper = self.core.hyperparams();
+                        self.sink.record(
+                            self.clock.elapsed(),
+                            &Event::EpochTuned {
+                                epoch: self.epochs,
+                                abort_time: hyper.abort_time(),
+                                abort_rate: hyper.abort_rate(),
+                                estimated_gain: tuned.as_ref().map(|o| o.estimated_improvement),
+                            },
+                        );
+                    }
+                }
+            }
+            WireMessage::Check { worker } => self.on_check_frame(worker, now),
+            // Data-plane and reply frames have no scheduler-side meaning;
+            // tolerate them rather than dropping the connection.
+            WireMessage::Push { .. }
+            | WireMessage::PullReply { .. }
+            | WireMessage::PushAck { .. }
+            | WireMessage::Abort { .. }
+            | WireMessage::Shutdown => {}
+        }
+    }
+
+    fn handle_closed(&mut self, conn: usize) {
+        self.writers.remove(&conn);
+        match self.peers.remove(&conn) {
+            Some(Peer::Worker(worker)) => {
+                self.worker_conn.remove(&worker.index());
+                let now = self.now_vt();
+                let w = worker.index();
+                if w < self.worker_dead.len()
+                    && !self.worker_dead[w]
+                    && matches!(self.core.try_mark_dead(worker, now), Ok(true))
+                {
+                    self.worker_dead[w] = true;
+                    self.stats.workers_marked_dead += 1;
+                    self.sink
+                        .record(self.clock.elapsed(), &Event::WorkerCrashed { worker });
+                }
+            }
+            Some(Peer::Shard { server, .. }) => {
+                self.last_shard_beat.remove(&server);
+                // A dying primary's socket closing is the fast detection
+                // path (kill -9 sends RST on the open connection).
+                if self.primary == Some(server) {
+                    self.initiate_promotion();
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn sweep_liveness(&mut self) {
+        let now = self.now_vt();
+        let timeout = SimDuration::from_micros(
+            self.cfg
+                .net
+                .heartbeat_timeout
+                .as_micros()
+                .min(u64::MAX as u128) as u64,
+        );
+        for w in 0..self.cfg.workers {
+            if !self.worker_dead[w] && now.saturating_since(self.last_worker_beat[w]) > timeout {
+                let worker = WorkerId::new(w);
+                if matches!(self.core.try_mark_dead(worker, now), Ok(true)) {
+                    self.worker_dead[w] = true;
+                    self.stats.workers_marked_dead += 1;
+                    self.sink
+                        .record(self.clock.elapsed(), &Event::WorkerCrashed { worker });
+                }
+            }
+        }
+        // Heartbeat-silence fallback for a primary whose socket did not
+        // close visibly.
+        if let Some(primary) = self.primary {
+            if let Some(&beat) = self.last_shard_beat.get(&primary) {
+                if now.saturating_since(beat) > timeout {
+                    self.last_shard_beat.remove(&primary);
+                    self.initiate_promotion();
+                }
+            }
+        }
+    }
+
+    fn fire_timers(&mut self) {
+        let now = self.now_vt();
+        let mut i = 0;
+        while i < self.timers.len() {
+            if self.timers[i].0 <= now {
+                let (deadline, worker) = self.timers.swap_remove(i);
+                // Timer deadlines re-enter through the frame vocabulary.
+                let _ = deadline;
+                self.handle_frame_local(WireMessage::Check { worker }, deadline);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Frame dispatch for locally-generated frames (timer firings): same
+    /// handler, no connection.
+    fn handle_frame_local(&mut self, frame: WireMessage, deadline: VirtualTime) {
+        if let WireMessage::Check { worker } = frame {
+            self.on_check_frame(worker, deadline);
+        }
+    }
+
+    fn total_pushes(&self) -> u64 {
+        self.per_worker.iter().sum()
+    }
+
+    fn broadcast_shutdown(&mut self) {
+        let conns: Vec<usize> = self.writers.keys().copied().collect();
+        for conn in conns {
+            self.write_to(conn, &WireMessage::Shutdown);
+        }
+    }
+}
+
+fn central_loop(
+    cfg: &SchedulerConfig,
+    clock: &WallElapsed,
+    sink: &Arc<dyn EventSink<Duration>>,
+    events_rx: &Receiver<ConnEvent>,
+) -> SchedulerRunStats {
+    let tuning = match cfg.scheme {
+        SchemeKind::SpecSync { tuning, .. } => tuning,
+        // Any non-SpecSync scheme keeps the scheduler as a pure history
+        // recorder: speculation disabled.
+        _ => TuningMode::Fixed {
+            abort_time: SimDuration::ZERO,
+            abort_rate: f64::MAX,
+        },
+    };
+    let m = cfg.workers;
+    let mut central = Central {
+        cfg,
+        clock,
+        sink,
+        core: Scheduler::new(m, tuning),
+        writers: BTreeMap::new(),
+        peers: BTreeMap::new(),
+        worker_conn: BTreeMap::new(),
+        shards: BTreeMap::new(),
+        primary: None,
+        epoch: 0,
+        promotion_pending: false,
+        timers: Vec::new(),
+        per_worker: vec![0; m],
+        epochs: 0,
+        last_worker_beat: vec![VirtualTime::ZERO; m],
+        worker_dead: vec![false; m],
+        last_shard_beat: BTreeMap::new(),
+        stats: SchedulerRunStats {
+            aborts_issued: 0,
+            promotions: 0,
+            total_pushes: 0,
+            workers_marked_dead: 0,
+            completed: false,
+        },
+    };
+
+    loop {
+        central.fire_timers();
+        central.sweep_liveness();
+        if clock.elapsed() >= cfg.max_duration {
+            break;
+        }
+        if let Some(target) = cfg.stop_after_pushes {
+            if central.total_pushes() >= target {
+                central.stats.completed = true;
+                break;
+            }
+        }
+        match events_rx.recv_timeout(cfg.net.tick) {
+            Ok(ConnEvent::Opened { id, writer }) => {
+                central.writers.insert(id, writer);
+            }
+            Ok(ConnEvent::Frame { id, frame }) => central.handle_frame(id, frame),
+            Ok(ConnEvent::Closed { id }) => central.handle_closed(id),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    central.stats.total_pushes = central.total_pushes();
+    central.broadcast_shutdown();
+    central.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::MessageSizes;
+    use specsync_ps::{ParameterStore, PushPayload, ReplicatedStore};
+
+    fn shard(id: u64, dim: usize) -> ShardServer {
+        let store = ParameterStore::new(vec![0.0; dim], 2);
+        let host = ShardHost::new(ReplicatedStore::from_store(
+            store,
+            ReplicatedStore::DEFAULT_JOURNAL_CAPACITY,
+        ));
+        ShardServer::bind(id, "127.0.0.1:0", host, NetConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn shard_serves_pull_and_push_over_tcp() {
+        let server = shard(0, 8);
+        let addr = server.local_addr().to_string();
+        let stop = server.stop_handle();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let cfg = NetConfig::default();
+        let mut conn = FrameConn::connect_with_retries(&addr, &cfg, |_| {}).unwrap();
+        let w = WorkerId::new(0);
+        let (reply, _, _) = conn
+            .exchange(&WireMessage::Push {
+                worker: w,
+                payload: PushPayload::Dense(vec![1.0; 8]),
+            })
+            .unwrap();
+        assert_eq!(
+            reply,
+            WireMessage::PushAck {
+                version: 1,
+                pushes_by_worker: 1
+            }
+        );
+        let (reply, _, _) = conn.exchange(&WireMessage::Pull { worker: w }).unwrap();
+        let WireMessage::PullReply { version, params } = reply else {
+            panic!("want PullReply, got {reply:?}");
+        };
+        assert_eq!(version, 1);
+        assert_eq!(params.len(), 8);
+        drop(conn);
+
+        stop.store(true, Ordering::SeqCst);
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.pulls_served, 1);
+        assert_eq!(stats.pushes_applied, 1);
+        assert_eq!(stats.version, 1);
+        assert!(stats.serving);
+    }
+
+    #[test]
+    fn primary_relays_pushes_to_backup_before_applying() {
+        let backup = shard(1, 4).as_backup();
+        let backup_addr = backup.local_addr().to_string();
+        let backup_stop = backup.stop_handle();
+        let backup_handle = std::thread::spawn(move || backup.run().unwrap());
+
+        let primary = shard(0, 4).with_backup_relay(&backup_addr);
+        let primary_addr = primary.local_addr().to_string();
+        let primary_stop = primary.stop_handle();
+        let primary_handle = std::thread::spawn(move || primary.run().unwrap());
+
+        let cfg = NetConfig::default();
+        let mut conn = FrameConn::connect_with_retries(&primary_addr, &cfg, |_| {}).unwrap();
+        let w = WorkerId::new(0);
+        for i in 1..=3u64 {
+            let (reply, _, _) = conn
+                .exchange(&WireMessage::Push {
+                    worker: w,
+                    payload: PushPayload::Dense(vec![1.0; 4]),
+                })
+                .unwrap();
+            assert_eq!(
+                reply,
+                WireMessage::PushAck {
+                    version: i,
+                    pushes_by_worker: i
+                }
+            );
+        }
+        // A pull against the backup is refused while it is not serving:
+        // the connection just closes.
+        let mut bconn = FrameConn::connect_with_retries(&backup_addr, &cfg, |_| {}).unwrap();
+        bconn.write(&WireMessage::Pull { worker: w }).unwrap();
+        assert!(bconn.recv().is_err());
+        drop(conn);
+
+        primary_stop.store(true, Ordering::SeqCst);
+        backup_stop.store(true, Ordering::SeqCst);
+        let pstats = primary_handle.join().unwrap();
+        let bstats = backup_handle.join().unwrap();
+        assert_eq!(pstats.relayed, 3);
+        assert_eq!(pstats.version, 3);
+        // The backup absorbed the same three pushes, in order.
+        assert_eq!(bstats.pushes_applied, 3);
+        assert_eq!(bstats.version, 3);
+        assert!(!bstats.serving);
+    }
+
+    #[test]
+    fn scheduler_answers_query_primary_and_promotes_on_close() {
+        let sched = SchedulerServer::bind(
+            "127.0.0.1:0",
+            SchedulerConfig {
+                workers: 1,
+                stop_after_pushes: Some(1),
+                max_duration: Duration::from_secs(20),
+                net: NetConfig::builder()
+                    .heartbeat_interval(Duration::from_millis(10))
+                    .heartbeat_timeout(Duration::from_millis(100))
+                    .try_build()
+                    .unwrap(),
+                ..SchedulerConfig::default()
+            },
+        )
+        .unwrap();
+        let sched_addr = sched.local_addr().to_string();
+        let handle = std::thread::spawn(move || sched.run().unwrap());
+        let cfg = NetConfig::default();
+
+        // A fake primary registers, then a fake backup.
+        let mut primary = FrameConn::connect_with_retries(&sched_addr, &cfg, |_| {}).unwrap();
+        primary
+            .write(&WireMessage::Failover(FailoverControl::Register {
+                server: 0,
+                backup: false,
+                addr: "127.0.0.1:7000".into(),
+            }))
+            .unwrap();
+        let mut backup = FrameConn::connect_with_retries(&sched_addr, &cfg, |_| {}).unwrap();
+        backup
+            .write(&WireMessage::Failover(FailoverControl::Register {
+                server: 1,
+                backup: true,
+                addr: "127.0.0.1:7001".into(),
+            }))
+            .unwrap();
+
+        // A worker asks where the primary is.
+        let mut worker = FrameConn::connect_with_retries(&sched_addr, &cfg, |_| {}).unwrap();
+        worker
+            .write(&WireMessage::Failover(FailoverControl::QueryPrimary))
+            .unwrap();
+        let (answer, _) = worker.recv().unwrap();
+        assert_eq!(
+            answer,
+            WireMessage::Failover(FailoverControl::Primary {
+                addr: "127.0.0.1:7000".into(),
+                epoch: 0
+            })
+        );
+
+        // The primary dies: its connection closes, the scheduler sends
+        // Promote to the backup, the backup answers Promoted.
+        drop(primary);
+        let (promote, _) = backup.recv().unwrap();
+        assert_eq!(
+            promote,
+            WireMessage::Failover(FailoverControl::Promote { server: 1 })
+        );
+        backup
+            .write(&WireMessage::Failover(FailoverControl::Promoted {
+                server: 1,
+                version: 42,
+                replayed: 5,
+            }))
+            .unwrap();
+
+        // The worker re-queries and sees the new primary at epoch 1.
+        // (Poll until the Promoted frame has been processed.)
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            worker
+                .write(&WireMessage::Failover(FailoverControl::QueryPrimary))
+                .unwrap();
+            let (answer, _) = worker.recv().unwrap();
+            if answer
+                == WireMessage::Failover(FailoverControl::Primary {
+                    addr: "127.0.0.1:7001".into(),
+                    epoch: 1,
+                })
+            {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "promotion never landed"
+            );
+        }
+
+        // Tear down: one notified push reaches the stop target, and the
+        // central loop broadcasts Shutdown and returns.
+        drop(backup);
+        drop(worker);
+        let mut closer = FrameConn::connect_with_retries(&sched_addr, &cfg, |_| {}).unwrap();
+        closer
+            .write(&WireMessage::Notify {
+                worker: WorkerId::new(0),
+                pushes: 1,
+            })
+            .unwrap();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.promotions, 1);
+        assert!(stats.completed);
+    }
+
+    #[test]
+    fn message_sizes_reexport_is_reachable() {
+        // Guard the consolidated location: transfer accounting now lives
+        // beside the wire vocabulary.
+        let sizes = MessageSizes::for_model(1_000);
+        assert_eq!(sizes.pull_bytes, 4_000);
+    }
+}

@@ -1,0 +1,768 @@
+//! The unified [`Transport`] API: one worker-side interface over the
+//! SpecSync protocol, with two implementations.
+//!
+//! - [`InProcTransport`] carries frames over in-process channels — the
+//!   default, byte-identical to the pre-wire runtime's direct calls;
+//! - [`TcpTransport`] carries the same frames over real sockets, so
+//!   workers run as separate OS processes and ride out a shard death via
+//!   the scheduler's where-is-the-primary exchange.
+//!
+//! A worker names the plane it is talking to with [`Endpoint`]: the shard
+//! serves the data plane (`Pull`/`Push`), the scheduler the control plane
+//! (pull notices, `Notify`, `Heartbeat`, failover queries). Asynchronous
+//! instructions *from* the scheduler (`Abort`, `Shutdown`) arrive through
+//! [`Transport::poll_control`], mirroring the simulator's re-sync
+//! delivery.
+//!
+//! Both implementations match every [`WireMessage`] variant explicitly —
+//! the `cargo xtask analyze` exhaustiveness pass holds them to it — so a
+//! new protocol frame cannot be silently dropped by one transport and
+//! handled by the other.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use specsync_simnet::WorkerId;
+use specsync_telemetry::{Event, EventSink};
+
+use crate::config::NetConfig;
+use crate::error::NetError;
+use crate::frame::{read_frame, write_frame, ReadOutcome};
+use crate::wire::{FailoverControl, WireMessage};
+
+/// Which peer a [`Transport::send`] addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// The parameter-server shard (data plane: snapshots and gradients).
+    Shard,
+    /// The scheduler (control plane: notices, notifies, heartbeats,
+    /// failover queries).
+    Scheduler,
+}
+
+/// A worker's connection to the SpecSync protocol, independent of whether
+/// the peers live in this process or across sockets.
+pub trait Transport: Send {
+    /// Sends one frame to `to`, returning the peer's reply when the verb
+    /// has one (`Pull` → `PullReply`, `Push` → `PushAck` on request/
+    /// response transports, `QueryPrimary` → `Primary`).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Unhandled`] for frames a worker never sends (replies,
+    /// scheduler-internal verbs); [`NetError::Disconnected`] /
+    /// [`NetError::Io`] when the peer is gone and reconnection failed.
+    fn send(&mut self, to: Endpoint, msg: WireMessage) -> Result<Option<WireMessage>, NetError>;
+
+    /// Non-blocking poll for an asynchronous instruction from the
+    /// scheduler (`Abort`, `Shutdown`). `None` when nothing is pending.
+    fn poll_control(&mut self) -> Option<WireMessage>;
+}
+
+/// A frame paired with an optional rendezvous channel for the reply —
+/// what [`InProcTransport`] puts on the server channel, so request/
+/// response verbs work over plain mpsc.
+pub type ServerFrame = (WireMessage, Option<Sender<WireMessage>>);
+
+/// The in-process transport: frames over crossbeam channels, one hop,
+/// no serialization. The default deployment — its behavior (channel per
+/// role, rendezvous reply for pulls, fire-and-forget pushes) is exactly
+/// the seed runtime's, so existing golden traces stay byte-identical.
+#[derive(Debug)]
+pub struct InProcTransport {
+    worker: WorkerId,
+    server_tx: Sender<ServerFrame>,
+    sched_tx: Sender<WireMessage>,
+    control_rx: Receiver<WireMessage>,
+}
+
+impl InProcTransport {
+    /// Wires a worker to in-process server and scheduler loops. The
+    /// caller owns the receiving ends; `control_rx` delivers the
+    /// scheduler's `Abort` instructions (a bounded(1) channel reproduces
+    /// the seed's at-most-one-pending re-sync semantics).
+    pub fn new(
+        worker: WorkerId,
+        server_tx: Sender<ServerFrame>,
+        sched_tx: Sender<WireMessage>,
+        control_rx: Receiver<WireMessage>,
+    ) -> Self {
+        InProcTransport {
+            worker,
+            server_tx,
+            sched_tx,
+            control_rx,
+        }
+    }
+
+    /// The worker this transport belongs to.
+    pub fn worker(&self) -> WorkerId {
+        self.worker
+    }
+}
+
+impl Transport for InProcTransport {
+    fn send(&mut self, to: Endpoint, msg: WireMessage) -> Result<Option<WireMessage>, NetError> {
+        match (&msg, to) {
+            // Data plane, request/response: rendezvous on a bounded(1)
+            // channel, exactly the seed's pull shape.
+            (WireMessage::Pull { .. }, Endpoint::Shard) => {
+                let (reply_tx, reply_rx) = bounded(1);
+                self.server_tx
+                    .send((msg, Some(reply_tx)))
+                    .map_err(|_| NetError::Disconnected)?;
+                let reply = reply_rx.recv().map_err(|_| NetError::Disconnected)?;
+                Ok(Some(reply))
+            }
+            // Data plane, fire-and-forget: the seed runtime never acked
+            // pushes in-process, and keeping that shape keeps its timing.
+            (WireMessage::Push { .. }, Endpoint::Shard) => {
+                self.server_tx
+                    .send((msg, None))
+                    .map_err(|_| NetError::Disconnected)?;
+                Ok(None)
+            }
+            (WireMessage::Shutdown, Endpoint::Shard) => {
+                self.server_tx
+                    .send((msg, None))
+                    .map_err(|_| NetError::Disconnected)?;
+                Ok(None)
+            }
+            // Control plane: notices and beats, no replies.
+            (
+                WireMessage::Pull { .. }
+                | WireMessage::Notify { .. }
+                | WireMessage::Heartbeat { .. }
+                | WireMessage::Shutdown,
+                Endpoint::Scheduler,
+            ) => {
+                self.sched_tx
+                    .send(msg)
+                    .map_err(|_| NetError::Disconnected)?;
+                Ok(None)
+            }
+            // In-process there is no remote primary to rediscover.
+            (WireMessage::Failover(_), _) => Err(NetError::Unhandled {
+                what: "failover control has no in-process recipient",
+            }),
+            // Frames a worker receives but never sends.
+            (WireMessage::PullReply { .. } | WireMessage::PushAck { .. }, _) => {
+                Err(NetError::Unhandled {
+                    what: "reply frame sent from a worker transport",
+                })
+            }
+            (WireMessage::Abort { .. } | WireMessage::Check { .. }, _) => {
+                Err(NetError::Unhandled {
+                    what: "scheduler-originated frame sent from a worker transport",
+                })
+            }
+            // Remaining cross-plane pairings (e.g. Push to the scheduler).
+            (WireMessage::Push { .. } | WireMessage::Notify { .. }, _)
+            | (WireMessage::Heartbeat { .. }, Endpoint::Shard) => Err(NetError::Unhandled {
+                what: "frame addressed to the wrong endpoint",
+            }),
+        }
+    }
+
+    fn poll_control(&mut self) -> Option<WireMessage> {
+        self.control_rx.try_recv().ok()
+    }
+}
+
+/// Elapsed-time origin for wall-clock trace timestamps: wraps the one
+/// `Instant` a TCP process reads, so every frame event is stamped with
+/// the [`Duration`] since transport creation (the same timestamp type the
+/// threaded runtime traces use).
+#[derive(Debug, Clone, Copy)]
+pub struct WallElapsed {
+    origin: Instant,
+}
+
+impl WallElapsed {
+    /// Starts the clock now.
+    pub fn start() -> Self {
+        WallElapsed {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since the origin.
+    pub fn elapsed(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// One request/response socket with framed reads and writes.
+#[derive(Debug)]
+pub struct FrameConn {
+    stream: TcpStream,
+    /// Peer address, kept for error reporting and reconnect targeting.
+    addr: String,
+}
+
+impl FrameConn {
+    /// Connects with bounded retries and exponential backoff. `retry`
+    /// observes each failed attempt (1-based) before the backoff sleep.
+    pub fn connect_with_retries(
+        addr: &str,
+        config: &NetConfig,
+        mut retry: impl FnMut(u32),
+    ) -> Result<Self, NetError> {
+        let mut attempt = 0u32;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    stream.set_read_timeout(Some(config.io_timeout)).ok();
+                    return Ok(FrameConn {
+                        stream,
+                        addr: addr.to_string(),
+                    });
+                }
+                Err(_) if attempt + 1 < config.connect_retries => {
+                    retry(attempt + 1);
+                    std::thread::sleep(config.backoff_delay(attempt));
+                    attempt += 1;
+                }
+                Err(_) => {
+                    return Err(NetError::ConnectFailed {
+                        addr: addr.to_string(),
+                        attempts: attempt + 1,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Wraps an accepted stream (server side).
+    pub fn from_stream(stream: TcpStream, addr: String) -> Self {
+        FrameConn { stream, addr }
+    }
+
+    /// The peer address this connection targets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Unwraps the underlying stream (for split reader/writer setups).
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+
+    /// Writes one frame, returning its encoded size.
+    pub fn write(&mut self, msg: &WireMessage) -> Result<usize, NetError> {
+        Ok(write_frame(&mut self.stream, msg)?)
+    }
+
+    /// Writes pre-encoded frame bytes (the shard's per-version cached
+    /// `PullReply`), skipping re-serialization.
+    pub fn write_encoded(&mut self, bytes: &[u8]) -> Result<usize, NetError> {
+        self.stream.write_all(bytes)?;
+        Ok(bytes.len())
+    }
+
+    /// Receives one frame, returning it with its wire size.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] on clean EOF between frames.
+    pub fn recv(&mut self) -> Result<(WireMessage, usize), NetError> {
+        match read_frame(&mut self.stream)? {
+            ReadOutcome::Frame(msg, bytes) => Ok((msg, bytes)),
+            ReadOutcome::Closed => Err(NetError::Disconnected),
+        }
+    }
+
+    /// One request/response round trip.
+    pub fn exchange(&mut self, msg: &WireMessage) -> Result<(WireMessage, usize, usize), NetError> {
+        let sent = self.write(msg)?;
+        let (reply, received) = self.recv()?;
+        Ok((reply, sent, received))
+    }
+}
+
+/// The worker's scheduler link: a persistent connection whose reader
+/// thread demultiplexes asynchronous scheduler pushes (`Abort`,
+/// `Shutdown`) from request replies (`Primary`).
+#[derive(Debug)]
+struct SchedLink {
+    writer: TcpStream,
+    control_rx: Receiver<WireMessage>,
+    reply_rx: Receiver<FailoverControl>,
+}
+
+impl SchedLink {
+    fn connect(
+        addr: &str,
+        config: &NetConfig,
+        mut retry: impl FnMut(u32),
+    ) -> Result<Self, NetError> {
+        let conn = FrameConn::connect_with_retries(addr, config, &mut retry)?;
+        let writer = conn.stream.try_clone()?;
+        let mut reader = conn.stream;
+        // The reader blocks between scheduler pushes; no per-read timeout.
+        reader.set_read_timeout(None).ok();
+        let (control_tx, control_rx) = bounded::<WireMessage>(16);
+        let (reply_tx, reply_rx) = bounded::<FailoverControl>(1);
+        std::thread::spawn(move || loop {
+            match read_frame(&mut reader) {
+                Ok(ReadOutcome::Frame(
+                    WireMessage::Failover(fc @ FailoverControl::Primary { .. }),
+                    _,
+                )) => {
+                    let _ = reply_tx.send(fc);
+                }
+                Ok(ReadOutcome::Frame(
+                    msg @ (WireMessage::Abort { .. } | WireMessage::Shutdown),
+                    _,
+                )) => {
+                    if control_tx.send(msg).is_err() {
+                        break;
+                    }
+                }
+                // Any other frame on this link is protocol noise; keep
+                // reading so one stray frame cannot wedge the worker.
+                Ok(ReadOutcome::Frame(_, _)) => {}
+                Ok(ReadOutcome::Closed) | Err(_) => break,
+            }
+        });
+        Ok(SchedLink {
+            writer,
+            control_rx,
+            reply_rx,
+        })
+    }
+
+    fn send(&mut self, msg: &WireMessage) -> Result<usize, NetError> {
+        Ok(write_frame(&mut self.writer, msg)?)
+    }
+
+    /// Asks the scheduler where the primary shard lives.
+    fn query_primary(&mut self, io_timeout: Duration) -> Result<FailoverControl, NetError> {
+        // Drain a stale answer from a previous query before asking again.
+        while self.reply_rx.try_recv().is_ok() {}
+        self.send(&WireMessage::Failover(FailoverControl::QueryPrimary))?;
+        self.reply_rx
+            .recv_timeout(io_timeout)
+            .map_err(|_| NetError::Disconnected)
+    }
+}
+
+/// The TCP transport: the same protocol over real sockets. Holds one
+/// request/response connection to the serving shard and one persistent
+/// demultiplexed link to the scheduler; a shard-connection failure
+/// triggers the `QueryPrimary` → reconnect dance with [`Event::ConnRetry`]
+/// breadcrumbs, which is how a worker rides out a `kill -9`'d primary.
+pub struct TcpTransport {
+    worker: WorkerId,
+    shard: FrameConn,
+    sched: SchedLink,
+    config: NetConfig,
+    sink: Arc<dyn EventSink<Duration>>,
+    clock: WallElapsed,
+    /// Promotion epoch of the primary we are connected to; a `Primary`
+    /// answer with a lower epoch is stale and retried.
+    epoch: u64,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("worker", &self.worker)
+            .field("shard_addr", &self.shard.addr())
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpTransport {
+    /// Connects a worker to a shard and a scheduler, emitting
+    /// [`Event::ConnRetry`] for every failed attempt.
+    pub fn connect(
+        worker: WorkerId,
+        shard_addr: &str,
+        sched_addr: &str,
+        config: NetConfig,
+        sink: Arc<dyn EventSink<Duration>>,
+    ) -> Result<Self, NetError> {
+        let clock = WallElapsed::start();
+        let retry = |sink: &Arc<dyn EventSink<Duration>>, clock: &WallElapsed, attempt: u32| {
+            sink.record(clock.elapsed(), &Event::ConnRetry { worker, attempt });
+        };
+        let sched = SchedLink::connect(sched_addr, &config, |a| retry(&sink, &clock, a))?;
+        let shard =
+            FrameConn::connect_with_retries(shard_addr, &config, |a| retry(&sink, &clock, a))?;
+        Ok(TcpTransport {
+            worker,
+            shard,
+            sched,
+            config,
+            sink,
+            clock,
+            epoch: 0,
+        })
+    }
+
+    /// The worker this transport belongs to.
+    pub fn worker(&self) -> WorkerId {
+        self.worker
+    }
+
+    fn note_sent(&self, msg_class: specsync_simnet::MessageClass, bytes: usize) {
+        self.sink.record(
+            self.clock.elapsed(),
+            &Event::FrameSent {
+                worker: self.worker,
+                class: msg_class,
+                bytes: bytes as u64,
+            },
+        );
+    }
+
+    fn note_received(&self, msg_class: specsync_simnet::MessageClass, bytes: usize) {
+        self.sink.record(
+            self.clock.elapsed(),
+            &Event::FrameReceived {
+                worker: self.worker,
+                class: msg_class,
+                bytes: bytes as u64,
+            },
+        );
+    }
+
+    /// Re-resolves the primary through the scheduler and reconnects,
+    /// with `ConnRetry` telemetry per attempt. Loops until the scheduler
+    /// names a primary with a fresh promotion epoch the transport can
+    /// actually reach, or the per-connect retry budget runs dry.
+    fn reconnect_to_primary(&mut self) -> Result<(), NetError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            self.sink.record(
+                self.clock.elapsed(),
+                &Event::ConnRetry {
+                    worker: self.worker,
+                    attempt,
+                },
+            );
+            if attempt > 1 {
+                std::thread::sleep(self.config.backoff_delay(attempt - 2));
+            }
+            if attempt > self.config.connect_retries {
+                return Err(NetError::ConnectFailed {
+                    addr: self.shard.addr().to_string(),
+                    attempts: attempt,
+                });
+            }
+            let Ok(FailoverControl::Primary { addr, epoch }) =
+                self.sched.query_primary(self.config.io_timeout)
+            else {
+                continue;
+            };
+            // An answer naming the address we just lost, at the epoch we
+            // already had, means the scheduler has not noticed the death
+            // yet — back off and ask again.
+            if epoch <= self.epoch && addr == self.shard.addr() {
+                continue;
+            }
+            let worker = self.worker;
+            let sink = Arc::clone(&self.sink);
+            let clock = self.clock;
+            match FrameConn::connect_with_retries(&addr, &self.config, |a| {
+                sink.record(clock.elapsed(), &Event::ConnRetry { worker, attempt: a });
+            }) {
+                Ok(conn) => {
+                    self.shard = conn;
+                    self.epoch = epoch;
+                    return Ok(());
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// One shard round trip with failover: an I/O failure (the primary
+    /// died mid-exchange) triggers primary re-resolution and a retry of
+    /// the same frame on the new connection.
+    fn shard_exchange(&mut self, msg: &WireMessage) -> Result<WireMessage, NetError> {
+        let class = msg.class();
+        loop {
+            match self.shard.exchange(msg) {
+                Ok((reply, sent, received)) => {
+                    self.note_sent(class, sent);
+                    self.note_received(reply.class(), received);
+                    return Ok(reply);
+                }
+                Err(NetError::Io(_) | NetError::Disconnected) => {
+                    self.reconnect_to_primary()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, to: Endpoint, msg: WireMessage) -> Result<Option<WireMessage>, NetError> {
+        match (&msg, to) {
+            // Data plane: both verbs are request/response over TCP — the
+            // ack doubles as flow control, so a worker cannot flood a
+            // shard faster than it applies.
+            (WireMessage::Pull { .. } | WireMessage::Push { .. }, Endpoint::Shard) => {
+                let reply = self.shard_exchange(&msg)?;
+                match reply {
+                    WireMessage::PullReply { .. } | WireMessage::PushAck { .. } => Ok(Some(reply)),
+                    WireMessage::Pull { .. }
+                    | WireMessage::Push { .. }
+                    | WireMessage::Notify { .. }
+                    | WireMessage::Check { .. }
+                    | WireMessage::Abort { .. }
+                    | WireMessage::Heartbeat { .. }
+                    | WireMessage::Shutdown
+                    | WireMessage::Failover(_) => Err(NetError::UnexpectedReply {
+                        want: "PullReply or PushAck",
+                    }),
+                }
+            }
+            (WireMessage::Shutdown, Endpoint::Shard) => {
+                let bytes = self.shard.write(&msg)?;
+                self.note_sent(msg.class(), bytes);
+                Ok(None)
+            }
+            // Control plane: one-way frames on the persistent link.
+            (
+                WireMessage::Pull { .. }
+                | WireMessage::Notify { .. }
+                | WireMessage::Heartbeat { .. }
+                | WireMessage::Shutdown,
+                Endpoint::Scheduler,
+            ) => {
+                let class = msg.class();
+                let bytes = self.sched.send(&msg)?;
+                self.note_sent(class, bytes);
+                Ok(None)
+            }
+            (WireMessage::Failover(FailoverControl::QueryPrimary), Endpoint::Scheduler) => {
+                let answer = self.sched.query_primary(self.config.io_timeout)?;
+                Ok(Some(WireMessage::Failover(answer)))
+            }
+            (WireMessage::Failover(_), _) => Err(NetError::Unhandled {
+                what: "workers only send QueryPrimary on the failover plane",
+            }),
+            (WireMessage::PullReply { .. } | WireMessage::PushAck { .. }, _) => {
+                Err(NetError::Unhandled {
+                    what: "reply frame sent from a worker transport",
+                })
+            }
+            (WireMessage::Abort { .. } | WireMessage::Check { .. }, _) => {
+                Err(NetError::Unhandled {
+                    what: "scheduler-originated frame sent from a worker transport",
+                })
+            }
+            (WireMessage::Push { .. } | WireMessage::Notify { .. }, _)
+            | (WireMessage::Heartbeat { .. }, Endpoint::Shard) => Err(NetError::Unhandled {
+                what: "frame addressed to the wrong endpoint",
+            }),
+        }
+    }
+
+    fn poll_control(&mut self) -> Option<WireMessage> {
+        match self.sched.control_rx.try_recv() {
+            Ok(msg) => {
+                self.note_received(msg.class(), 0);
+                Some(msg)
+            }
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::encode_frame;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn in_proc_pull_round_trips() {
+        let (server_tx, server_rx) = unbounded::<ServerFrame>();
+        let (sched_tx, sched_rx) = unbounded::<WireMessage>();
+        let (_control_tx, control_rx) = bounded(1);
+        let w = WorkerId::new(0);
+        let mut t = InProcTransport::new(w, server_tx, sched_tx, control_rx);
+
+        let server = std::thread::spawn(move || {
+            let (msg, reply) = server_rx.recv().unwrap();
+            assert!(matches!(msg, WireMessage::Pull { .. }));
+            reply
+                .unwrap()
+                .send(WireMessage::PullReply {
+                    version: 7,
+                    params: Arc::from(vec![1.0f32; 4].as_slice()),
+                })
+                .unwrap();
+        });
+        let reply = t
+            .send(Endpoint::Shard, WireMessage::Pull { worker: w })
+            .unwrap();
+        assert!(matches!(
+            reply,
+            Some(WireMessage::PullReply { version: 7, .. })
+        ));
+        server.join().unwrap();
+
+        t.send(
+            Endpoint::Scheduler,
+            WireMessage::Notify {
+                worker: w,
+                pushes: 3,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            sched_rx.recv().unwrap(),
+            WireMessage::Notify { pushes: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn in_proc_control_polls_aborts() {
+        let (server_tx, _server_rx) = unbounded::<ServerFrame>();
+        let (sched_tx, _sched_rx) = unbounded::<WireMessage>();
+        let (control_tx, control_rx) = bounded(1);
+        let w = WorkerId::new(2);
+        let mut t = InProcTransport::new(w, server_tx, sched_tx, control_rx);
+        assert!(t.poll_control().is_none());
+        control_tx.send(WireMessage::Abort { worker: w }).unwrap();
+        assert_eq!(t.poll_control(), Some(WireMessage::Abort { worker: w }));
+        assert!(t.poll_control().is_none());
+    }
+
+    #[test]
+    fn in_proc_refuses_frames_workers_never_send() {
+        let (server_tx, _server_rx) = unbounded::<ServerFrame>();
+        let (sched_tx, _sched_rx) = unbounded::<WireMessage>();
+        let (_control_tx, control_rx) = bounded(1);
+        let w = WorkerId::new(0);
+        let mut t = InProcTransport::new(w, server_tx, sched_tx, control_rx);
+        for (frame, ep) in [
+            (
+                WireMessage::PushAck {
+                    version: 0,
+                    pushes_by_worker: 0,
+                },
+                Endpoint::Shard,
+            ),
+            (WireMessage::Abort { worker: w }, Endpoint::Scheduler),
+            (WireMessage::Check { worker: w }, Endpoint::Scheduler),
+            (
+                WireMessage::Failover(FailoverControl::QueryPrimary),
+                Endpoint::Scheduler,
+            ),
+            (
+                WireMessage::Push {
+                    worker: w,
+                    payload: specsync_ps::PushPayload::Dense(vec![0.0]),
+                },
+                Endpoint::Scheduler,
+            ),
+            (WireMessage::Heartbeat { worker: w }, Endpoint::Shard),
+        ] {
+            let err = t.send(ep, frame).unwrap_err();
+            assert!(matches!(err, NetError::Unhandled { .. }));
+        }
+    }
+
+    #[test]
+    fn disconnected_server_surfaces() {
+        let (server_tx, server_rx) = unbounded::<ServerFrame>();
+        let (sched_tx, _sched_rx) = unbounded::<WireMessage>();
+        let (_control_tx, control_rx) = bounded(1);
+        drop(server_rx);
+        let w = WorkerId::new(0);
+        let mut t = InProcTransport::new(w, server_tx, sched_tx, control_rx);
+        assert!(matches!(
+            t.send(Endpoint::Shard, WireMessage::Pull { worker: w }),
+            Err(NetError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn frame_conn_round_trips_over_loopback() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, peer) = listener.accept().unwrap();
+            let mut conn = FrameConn::from_stream(stream, peer.to_string());
+            let (msg, _) = conn.recv().unwrap();
+            assert!(matches!(msg, WireMessage::Heartbeat { .. }));
+            conn.write(&WireMessage::PushAck {
+                version: 9,
+                pushes_by_worker: 2,
+            })
+            .unwrap();
+        });
+        let cfg = NetConfig::default();
+        let mut conn = FrameConn::connect_with_retries(&addr, &cfg, |_| {}).unwrap();
+        let (reply, sent, received) = conn
+            .exchange(&WireMessage::Heartbeat {
+                worker: WorkerId::new(1),
+            })
+            .unwrap();
+        assert!(sent > 0 && received > 0);
+        assert_eq!(
+            reply,
+            WireMessage::PushAck {
+                version: 9,
+                pushes_by_worker: 2
+            }
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn write_encoded_matches_write() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let msg = WireMessage::PullReply {
+            version: 3,
+            params: Arc::from(vec![0.5f32; 16].as_slice()),
+        };
+        let expect = msg.clone();
+        let server = std::thread::spawn(move || {
+            let (stream, peer) = listener.accept().unwrap();
+            let mut conn = FrameConn::from_stream(stream, peer.to_string());
+            let bytes: Arc<[u8]> = Arc::from(encode_frame(&msg));
+            conn.write_encoded(&bytes).unwrap();
+        });
+        let cfg = NetConfig::default();
+        let mut conn = FrameConn::connect_with_retries(&addr, &cfg, |_| {}).unwrap();
+        let (got, _) = conn.recv().unwrap();
+        assert_eq!(got, expect);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connect_retries_exhaust_into_typed_error() {
+        // A port nothing listens on: bind, note the port, drop the socket.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let cfg = NetConfig::builder()
+            .connect_retries(2)
+            .retry_backoff(Duration::from_millis(1))
+            .try_build()
+            .unwrap();
+        let mut attempts_seen = 0;
+        let err = FrameConn::connect_with_retries(&format!("127.0.0.1:{port}"), &cfg, |_| {
+            attempts_seen += 1;
+        })
+        .unwrap_err();
+        assert!(matches!(err, NetError::ConnectFailed { attempts: 2, .. }));
+        assert_eq!(attempts_seen, 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! The consolidated wire vocabulary: every message the SpecSync protocol
+//! puts between processes, plus the byte-size model used for transfer
+//! accounting.
+//!
+//! One enum, [`WireMessage`], covers the whole protocol — the worker↔shard
+//! data plane (`Pull`/`PullReply`/`Push`/`PushAck`), the worker↔scheduler
+//! control plane (`Notify`/`Check`/`Abort`/`Heartbeat`) and the failover
+//! control frames ([`FailoverControl`]). Every transport impl and every
+//! host handler speaks exactly this vocabulary; the `cargo xtask analyze`
+//! event-exhaustiveness pass enforces that no transport silently drops a
+//! variant.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use specsync_ps::PushPayload;
+use specsync_simnet::{MessageClass, WorkerId};
+
+/// One SpecSync protocol message, as carried by any [`Transport`]
+/// (in-process channels or TCP frames alike).
+///
+/// Replies embed shared `Arc` parameter blocks so a snapshot served to
+/// hundreds of concurrent clients is stored once ([`ParamSnapshot`]
+/// semantics carried onto the wire).
+///
+/// [`Transport`]: crate::Transport
+/// [`ParamSnapshot`]: specsync_ps::ParamSnapshot
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage {
+    /// Worker → shard: request the current parameter snapshot. Also sent
+    /// worker → scheduler as the pull *notice* that feeds push-history
+    /// freshness accounting (paper §IV-B).
+    Pull {
+        /// The requesting worker.
+        worker: WorkerId,
+    },
+    /// Shard → worker: the snapshot. The parameter block is shared, not
+    /// copied — the shard serializes each store version once and every
+    /// concurrent client reply clones the `Arc`, not the floats.
+    PullReply {
+        /// Store version (total applied pushes) of the snapshot.
+        version: u64,
+        /// The full parameter vector.
+        params: Arc<[f32]>,
+    },
+    /// Worker → shard: a gradient push (dense or sparse). The learning
+    /// rate is the shard's business — it owns the schedule and the epoch
+    /// counter, exactly like the in-process server thread.
+    Push {
+        /// The pushing worker.
+        worker: WorkerId,
+        /// The gradient.
+        payload: PushPayload,
+    },
+    /// Shard → worker: push applied. `version` is the store version after
+    /// the apply; `pushes_by_worker` the shard's cumulative applied-push
+    /// count for this worker (the reconciliation counter a notify
+    /// piggybacks).
+    PushAck {
+        /// Store version after this push.
+        version: u64,
+        /// Cumulative pushes the shard has applied for this worker.
+        pushes_by_worker: u64,
+    },
+    /// Worker → scheduler: iteration complete. `pushes` is the worker's
+    /// cumulative push count, letting the scheduler reconcile away lost
+    /// notifies (paper §IV-C).
+    Notify {
+        /// The notifying worker.
+        worker: WorkerId,
+        /// Cumulative pushes by this worker.
+        pushes: u64,
+    },
+    /// Scheduler-internal: evaluate the speculation window for `worker`
+    /// now. Timer machinery routes deadline firings through the same
+    /// frame handler as remote messages, so the decision path is one code
+    /// path regardless of what woke it.
+    Check {
+        /// The worker whose window is due.
+        worker: WorkerId,
+    },
+    /// Scheduler → worker: abort the speculative iteration and re-pull
+    /// (the paper's `re-sync` instruction).
+    Abort {
+        /// The worker being re-synced.
+        worker: WorkerId,
+    },
+    /// Liveness beat. Workers beat the scheduler; shard processes beat it
+    /// too (identified by their registered connection, with the shard id
+    /// in the `worker` field), so one silence detector covers both.
+    Heartbeat {
+        /// Sender id (worker index, or shard id on a shard connection).
+        worker: WorkerId,
+    },
+    /// Failover control plane: crash/promote/recover plus the
+    /// where-is-the-primary exchange workers use to ride out a shard
+    /// death. See [`FailoverControl`].
+    Failover(FailoverControl),
+    /// Graceful shutdown of the receiving host loop.
+    Shutdown,
+}
+
+impl WireMessage {
+    /// The transfer-accounting class of this message, tying the wire
+    /// vocabulary to the simulator's [`MessageSizes`] model: snapshots and
+    /// gradients are bulk, everything else is control traffic.
+    pub fn class(&self) -> MessageClass {
+        match self {
+            WireMessage::Pull { .. } | WireMessage::PullReply { .. } => MessageClass::PullParams,
+            WireMessage::Push { .. } | WireMessage::PushAck { .. } => MessageClass::PushGrad,
+            WireMessage::Notify { .. } => MessageClass::Notify,
+            WireMessage::Abort { .. } => MessageClass::Resync,
+            WireMessage::Check { .. }
+            | WireMessage::Heartbeat { .. }
+            | WireMessage::Failover(_)
+            | WireMessage::Shutdown => MessageClass::Control,
+        }
+    }
+
+    /// The worker a message concerns, when it names one.
+    pub fn worker(&self) -> Option<WorkerId> {
+        match self {
+            WireMessage::Pull { worker }
+            | WireMessage::Push { worker, .. }
+            | WireMessage::Notify { worker, .. }
+            | WireMessage::Check { worker }
+            | WireMessage::Abort { worker }
+            | WireMessage::Heartbeat { worker } => Some(*worker),
+            WireMessage::PullReply { .. }
+            | WireMessage::PushAck { .. }
+            | WireMessage::Failover(_)
+            | WireMessage::Shutdown => None,
+        }
+    }
+}
+
+/// The failover control vocabulary, nested under
+/// [`WireMessage::Failover`].
+///
+/// In the simulator these verbs drive the in-process
+/// [`ReplicatedStore`](specsync_ps::ReplicatedStore) pair; over TCP the
+/// scheduler uses them to promote a warm-backup *process* and to tell
+/// reconnecting workers where the primary now lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailoverControl {
+    /// A shard replica crashed (fault injection, or declared dead by the
+    /// scheduler's heartbeat silence detector).
+    Crash {
+        /// Replica index.
+        server: u64,
+    },
+    /// Promote the warm backup of `server`'s pair to primary.
+    Promote {
+        /// Replica index of the crashed node whose backup takes over.
+        server: u64,
+    },
+    /// Promotion reply: the backup now serves, at `version`, after
+    /// replaying `replayed` journalled pushes.
+    Promoted {
+        /// Replica index that was promoted.
+        server: u64,
+        /// Store version after promotion.
+        version: u64,
+        /// Journalled pushes replayed to catch up.
+        replayed: u64,
+    },
+    /// Re-admit a recovered node as the new warm backup.
+    Recover {
+        /// Replica index rejoining.
+        server: u64,
+    },
+    /// Generic acknowledgement for `Crash`/`Recover`.
+    Ack {
+        /// Replica index the ack concerns.
+        server: u64,
+    },
+    /// Shard process → scheduler, on connect: here is my listen address.
+    /// `backup` marks the warm standby.
+    Register {
+        /// Shard id.
+        server: u64,
+        /// Whether this process is the warm backup.
+        backup: bool,
+        /// The address the shard serves workers on.
+        addr: String,
+    },
+    /// Worker → scheduler: which address is the primary shard right now?
+    /// (Sent after a connection failure, before reconnecting.)
+    QueryPrimary,
+    /// Scheduler → worker: the current primary address. `epoch` counts
+    /// promotions, so a worker can tell a stale answer from a fresh one.
+    Primary {
+        /// Address of the serving primary.
+        addr: String,
+        /// Promotion epoch (0 until the first failover).
+        epoch: u64,
+    },
+}
+
+/// Byte sizes of each PS message class for one workload.
+///
+/// The experiment harness accounts transfer volume at the *paper's* model
+/// scale (millions of parameters, 4 bytes each), even though the trained
+/// model is smaller — this keeps Fig. 12/13 magnitudes comparable to the
+/// paper's TB-scale numbers. Control messages (`notify`/`re-sync`) carry a
+/// sender id and a timestamp, "a short list of numbers" per §V-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageSizes {
+    /// Bytes for one full parameter pull.
+    pub pull_bytes: u64,
+    /// Bytes for one gradient push (same dimensionality as a pull).
+    pub push_bytes: u64,
+    /// Bytes for a `notify` control message.
+    pub notify_bytes: u64,
+    /// Bytes for a `re-sync` control message.
+    pub resync_bytes: u64,
+    /// Bytes for other control traffic.
+    pub control_bytes: u64,
+}
+
+impl MessageSizes {
+    /// Sizes for a model of `num_parameters` parameters at 4 bytes each,
+    /// with 16-byte control messages (id + timestamp).
+    pub fn for_model(num_parameters: u64) -> Self {
+        MessageSizes {
+            pull_bytes: num_parameters * 4,
+            push_bytes: num_parameters * 4,
+            notify_bytes: 16,
+            resync_bytes: 16,
+            control_bytes: 16,
+        }
+    }
+
+    /// The byte size of a message of the given class.
+    pub fn bytes_for(&self, class: MessageClass) -> u64 {
+        match class {
+            MessageClass::PullParams => self.pull_bytes,
+            MessageClass::PushGrad => self.push_bytes,
+            MessageClass::Notify => self.notify_bytes,
+            MessageClass::Resync => self.resync_bytes,
+            MessageClass::Control => self.control_bytes,
+        }
+    }
+
+    /// The modelled byte size of a wire message, via its class.
+    pub fn bytes_for_frame(&self, frame: &WireMessage) -> u64 {
+        self.bytes_for(frame.class())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_sizes_scale_with_parameter_count() {
+        let s = MessageSizes::for_model(2_500_000);
+        assert_eq!(s.pull_bytes, 10_000_000);
+        assert_eq!(s.push_bytes, 10_000_000);
+        assert_eq!(s.notify_bytes, 16);
+    }
+
+    #[test]
+    fn bytes_for_covers_every_class() {
+        let s = MessageSizes::for_model(100);
+        for class in MessageClass::ALL {
+            assert!(s.bytes_for(class) > 0);
+        }
+        assert_eq!(s.bytes_for(MessageClass::PullParams), 400);
+        assert_eq!(s.bytes_for(MessageClass::Resync), 16);
+    }
+
+    #[test]
+    fn every_frame_maps_to_a_class() {
+        let w = WorkerId::new(3);
+        let frames = [
+            (WireMessage::Pull { worker: w }, MessageClass::PullParams),
+            (
+                WireMessage::PullReply {
+                    version: 1,
+                    params: Arc::from(vec![0.0f32].as_slice()),
+                },
+                MessageClass::PullParams,
+            ),
+            (
+                WireMessage::Push {
+                    worker: w,
+                    payload: PushPayload::Dense(vec![1.0]),
+                },
+                MessageClass::PushGrad,
+            ),
+            (
+                WireMessage::PushAck {
+                    version: 2,
+                    pushes_by_worker: 1,
+                },
+                MessageClass::PushGrad,
+            ),
+            (
+                WireMessage::Notify {
+                    worker: w,
+                    pushes: 4,
+                },
+                MessageClass::Notify,
+            ),
+            (WireMessage::Check { worker: w }, MessageClass::Control),
+            (WireMessage::Abort { worker: w }, MessageClass::Resync),
+            (WireMessage::Heartbeat { worker: w }, MessageClass::Control),
+            (
+                WireMessage::Failover(FailoverControl::QueryPrimary),
+                MessageClass::Control,
+            ),
+            (WireMessage::Shutdown, MessageClass::Control),
+        ];
+        let sizes = MessageSizes::for_model(100);
+        for (frame, class) in frames {
+            assert_eq!(frame.class(), class, "{frame:?}");
+            assert_eq!(sizes.bytes_for_frame(&frame), sizes.bytes_for(class));
+        }
+    }
+
+    #[test]
+    fn worker_extraction() {
+        let w = WorkerId::new(7);
+        assert_eq!(WireMessage::Pull { worker: w }.worker(), Some(w));
+        assert_eq!(WireMessage::Shutdown.worker(), None);
+        assert_eq!(
+            WireMessage::PushAck {
+                version: 0,
+                pushes_by_worker: 0
+            }
+            .worker(),
+            None
+        );
+    }
+}

@@ -13,7 +13,7 @@ use specsync_tensor::SparseGrad;
 use std::collections::VecDeque;
 
 /// The gradient payload of one journaled push.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PushPayload {
     /// A full dense gradient.
     Dense(Vec<f32>),

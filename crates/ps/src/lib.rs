@@ -2,8 +2,9 @@
 //!
 //! Implements the server side of the PS architecture the paper builds on
 //! (Fig. 1): a sharded, versioned [`ParameterStore`] with asynchronous
-//! push/pull semantics matching MXNet's `dist_async` kvstore, plus the
-//! wire-size model ([`MessageSizes`]) used for transfer accounting.
+//! push/pull semantics matching MXNet's `dist_async` kvstore. (The
+//! wire-size model used for transfer accounting lives with the rest of
+//! the wire vocabulary in `specsync-net`.)
 //!
 //! The store is deliberately *policy-free*: ASP/BSP/SSP/SpecSync behaviour
 //! is decided by the scheme and scheduler layers (`specsync-sync`,
@@ -28,14 +29,12 @@
 
 mod checkpoint;
 mod journal;
-mod messages;
 mod replica;
 mod sharding;
 mod store;
 
 pub use checkpoint::{CheckpointError, StoreCheckpoint};
 pub use journal::{JournalEntry, JournalFull, PushJournal, PushPayload};
-pub use messages::MessageSizes;
 pub use replica::{ReplicaError, ReplicaRole, ReplicatedStore, ShardReplica};
 pub use sharding::{ShardId, ShardLayout, ShardLayoutError};
 pub use store::{ParamSnapshot, ParameterStore};

@@ -48,10 +48,12 @@ mod clock;
 mod config;
 mod report;
 mod runtime;
+mod worker;
 
 pub use backoff::Backoff;
 pub use clock::{ClockSource, ManualClock, WallClock};
-pub use config::{RuntimeChaos, RuntimeConfig};
+pub use config::{RuntimeChaos, RuntimeConfig, RuntimeConfigBuilder};
 pub use report::{RuntimeReport, WallLossPoint};
 pub use runtime::{run, try_run, try_run_with_clock, try_run_with_sink};
 pub use specsync_sync::SchemeKind;
+pub use worker::{WorkerHarness, WorkerOutcome};

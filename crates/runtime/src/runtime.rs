@@ -2,6 +2,12 @@
 //! worker threads, wired with channels — the same roles as the paper's
 //! Fig. 7, inside one process.
 //!
+//! Every message between roles is a [`WireMessage`], the same vocabulary
+//! the TCP deployment in `specsync-net` puts on real sockets; the worker
+//! threads run the shared [`WorkerHarness`](crate::WorkerHarness) loop
+//! over an [`InProcTransport`]. Switching a worker to another process is
+//! a transport swap, not a rewrite.
+//!
 //! Unlike the virtual-time simulator in `specsync-cluster` (deterministic,
 //! used for all paper experiments), this runtime exercises the SpecSync
 //! protocol under *real* concurrency: real wall-clock speculation windows,
@@ -50,43 +56,17 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender,
 use parking_lot::Mutex;
 use specsync_core::{Scheduler, SpecSyncError};
 use specsync_ml::{ConvergenceDetector, Workload};
-use specsync_ps::ParameterStore;
+use specsync_net::{InProcTransport, ServerFrame, WireMessage};
+use specsync_ps::{ParameterStore, PushPayload};
 use specsync_simnet::{MessageClass, SimDuration, VirtualTime, WorkerId};
 use specsync_sync::{SchemeKind, TuningMode};
-use specsync_telemetry::{Event, EventSink, LossCurve, NullSink, WorkerPhase};
+use specsync_telemetry::{Event, EventSink, LossCurve, NullSink};
 
 use crate::backoff::Backoff;
 use crate::clock::{ClockSource, WallClock};
 use crate::config::RuntimeConfig;
 use crate::report::{RuntimeReport, WallLossPoint};
-
-enum ServerMsg {
-    Pull {
-        worker: WorkerId,
-        reply: Sender<Arc<[f32]>>,
-    },
-    Push {
-        worker: WorkerId,
-        grad: Vec<f32>,
-    },
-    Shutdown,
-}
-
-enum SchedMsg {
-    Pull {
-        worker: WorkerId,
-    },
-    /// `pushes` is the sender's cumulative push count, the reconciliation
-    /// counter that lets the scheduler detect lost notifies.
-    Notify {
-        worker: WorkerId,
-        pushes: u64,
-    },
-    Heartbeat {
-        worker: WorkerId,
-    },
-    Shutdown,
-}
+use crate::worker::WorkerHarness;
 
 /// Elapsed run time on the injected clock — the runtime's trace timestamp.
 fn elapsed_since(clock: &dyn ClockSource, start: Duration) -> Duration {
@@ -158,11 +138,15 @@ pub fn try_run_with_sink(
     let mut bundle = workload.build(m, config.seed);
     let initial = bundle.workers[0].params().to_vec();
 
-    // Channels.
-    let (server_tx, server_rx) = unbounded::<ServerMsg>();
-    let (sched_tx, sched_rx) = unbounded::<SchedMsg>();
-    let resync_channels: Vec<(Sender<()>, Receiver<()>)> = (0..m).map(|_| bounded(1)).collect();
-    let resync_txs: Vec<Sender<()>> = resync_channels.iter().map(|(tx, _)| tx.clone()).collect();
+    // Channels — all carrying the shared wire vocabulary. The bounded(1)
+    // control channel per worker keeps the seed's semantics: a full
+    // channel already holds an undelivered re-sync for that worker.
+    let (server_tx, server_rx) = unbounded::<ServerFrame>();
+    let (sched_tx, sched_rx) = unbounded::<WireMessage>();
+    let resync_channels: Vec<(Sender<WireMessage>, Receiver<WireMessage>)> =
+        (0..m).map(|_| bounded(1)).collect();
+    let resync_txs: Vec<Sender<WireMessage>> =
+        resync_channels.iter().map(|(tx, _)| tx.clone()).collect();
 
     // ---- Server thread: owns the store, applies pushes, evaluates. ----
     let loss_curve = Arc::new(Mutex::new(Vec::<WallLossPoint>::new()));
@@ -202,18 +186,25 @@ pub fn try_run_with_sink(
             let mut checkpoint_version = 0u64;
             let mut push_attempts = 0u64;
             let mut poison_armed = poison_at_push;
-            while let Ok(msg) = server_rx.recv() {
-                match msg {
-                    ServerMsg::Pull { worker, reply } => {
+            while let Ok((frame, reply)) = server_rx.recv() {
+                match frame {
+                    WireMessage::Pull { worker } => {
                         let staleness = store.staleness_of(worker);
                         sink.record(
                             elapsed_since(clock.as_ref(), run_start),
                             &Event::Pull { worker, staleness },
                         );
+                        let snapshot = store.pull(worker);
+                        let answer = WireMessage::PullReply {
+                            version: snapshot.version(),
+                            params: snapshot.into_shared(),
+                        };
                         // A send fails only if the worker already exited.
-                        let _ = reply.send(store.pull(worker).into_shared());
+                        if let Some(reply) = reply {
+                            let _ = reply.send(answer);
+                        }
                     }
-                    ServerMsg::Push { worker, grad } => {
+                    WireMessage::Push { worker, payload } => {
                         let lr = lr_schedule.lr_at(epochs) as f32;
                         push_attempts += 1;
                         let poison = poison_armed == Some(push_attempts);
@@ -222,7 +213,14 @@ pub fn try_run_with_sink(
                         }
                         let applied_ok = catch_unwind(AssertUnwindSafe(|| {
                             assert!(!poison, "injected store poison");
-                            store.apply_push(worker, &grad, lr);
+                            match &payload {
+                                PushPayload::Dense(grad) => {
+                                    store.apply_push(worker, grad, lr);
+                                }
+                                PushPayload::Sparse(grad) => {
+                                    store.apply_push_sparse(worker, grad, lr);
+                                }
+                            }
                         }))
                         .is_ok();
                         if !applied_ok {
@@ -302,8 +300,21 @@ pub fn try_run_with_sink(
                                 }
                             }
                         }
+                        // In-process pushes are fire-and-forget (`reply`
+                        // is `None`); a rendezvous push still gets the
+                        // same ack frame the TCP shard would send.
+                        if let Some(reply) = reply {
+                            let _ = reply.send(WireMessage::PushAck {
+                                version: store.version(),
+                                pushes_by_worker: per_worker[worker.index()],
+                            });
+                        }
                     }
-                    ServerMsg::Shutdown => break,
+                    WireMessage::Shutdown => break,
+                    // No other frame reaches the in-process shard; the
+                    // transport refuses them with a typed error before
+                    // they can be sent.
+                    _ => {}
                 }
             }
         })
@@ -363,9 +374,9 @@ pub fn try_run_with_sink(
                  attempt: u32,
                  now: VirtualTime,
                  retries: &mut Vec<(VirtualTime, WorkerId, u32)>| {
-                    match resync_txs[worker.index()].try_send(()) {
+                    match resync_txs[worker.index()].try_send(WireMessage::Abort { worker }) {
                         Ok(()) => {}
-                        Err(TrySendError::Full(())) => {
+                        Err(TrySendError::Full(_)) => {
                             if let Some(delay) = backoff.delay(attempt) {
                                 counters.send_retries.fetch_add(1, Ordering::Relaxed);
                                 sink.record(
@@ -384,7 +395,7 @@ pub fn try_run_with_sink(
                             }
                         }
                         // The worker exited; nothing to deliver to.
-                        Err(TrySendError::Disconnected(())) => {}
+                        Err(TrySendError::Disconnected(_)) => {}
                     }
                 };
             // Re-admission shared by every message a live worker sends.
@@ -466,7 +477,7 @@ pub fn try_run_with_sink(
                 }
                 .min(hb_interval);
                 match sched_rx.recv_timeout(timeout.max(Duration::from_micros(100))) {
-                    Ok(SchedMsg::Pull { worker }) => {
+                    Ok(WireMessage::Pull { worker }) => {
                         let now = now_vt();
                         beat(
                             worker,
@@ -478,7 +489,7 @@ pub fn try_run_with_sink(
                         );
                         core.on_pull(worker, now);
                     }
-                    Ok(SchedMsg::Heartbeat { worker }) => {
+                    Ok(WireMessage::Heartbeat { worker }) => {
                         beat(
                             worker,
                             now_vt(),
@@ -488,7 +499,7 @@ pub fn try_run_with_sink(
                             &mut rejoin_epochs,
                         );
                     }
-                    Ok(SchedMsg::Notify { worker, pushes }) => {
+                    Ok(WireMessage::Notify { worker, pushes }) => {
                         let now = now_vt();
                         let cost_start = clock.now();
                         beat(
@@ -559,7 +570,10 @@ pub fn try_run_with_sink(
                             );
                         }
                     }
-                    Ok(SchedMsg::Shutdown) => break,
+                    Ok(WireMessage::Shutdown) => break,
+                    // No other frame reaches the in-process scheduler;
+                    // the transport refuses them before sending.
+                    Ok(_) => {}
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
@@ -567,159 +581,43 @@ pub fn try_run_with_sink(
         })
     };
 
-    // ---- Worker threads. ----
+    // ---- Worker threads: the shared harness over InProcTransport. ----
     let mut worker_handles = Vec::with_capacity(m);
-    for (i, mut model) in bundle.workers.drain(..).enumerate() {
+    for (i, model) in bundle.workers.drain(..).enumerate() {
         let worker = WorkerId::new(i);
-        let server_tx = server_tx.clone();
-        let sched_tx = sched_tx.clone();
-        let resync_rx = resync_channels[i].1.clone();
-        let stop = Arc::clone(&stop);
+        let mut transport = InProcTransport::new(
+            worker,
+            server_tx.clone(),
+            sched_tx.clone(),
+            resync_channels[i].1.clone(),
+        );
+        let sampler = workload.sampler_for(model.as_ref(), i, config.seed ^ 0xBA7C);
+        let harness = WorkerHarness {
+            worker,
+            model,
+            sampler,
+            compute_pad: config.compute_pad,
+            abort_poll: config.abort_poll,
+            heartbeat_interval: config.heartbeat_interval,
+            mute_after: config
+                .chaos
+                .mute_worker_after
+                .filter(|&(idx, _)| idx == i)
+                .map(|(_, after)| after),
+            drop_notify_every: config.chaos.drop_notify_every,
+            clock: Arc::clone(&clock),
+            sink: Arc::clone(&sink),
+            run_start: start,
+            stop: Arc::clone(&stop),
+        };
         let aborts = Arc::clone(&aborts);
         let counters = Arc::clone(&counters);
-        let clock = Arc::clone(&clock);
-        let sink = Arc::clone(&sink);
-        let run_start = start;
-        let mut sampler = workload.sampler_for(model.as_ref(), i, config.seed ^ 0xBA7C);
-        let pad = config.compute_pad;
-        let poll = config.abort_poll;
-        let hb_interval = config.heartbeat_interval;
-        let drop_notify_every = config.chaos.drop_notify_every;
-        let mute_after = config
-            .chaos
-            .mute_worker_after
-            .filter(|&(idx, _)| idx == i)
-            .map(|(_, after)| after);
         worker_handles.push(thread::spawn(move || {
-            let state = |phase: WorkerPhase| {
-                sink.record(
-                    elapsed_since(clock.as_ref(), run_start),
-                    &Event::WorkerState {
-                        worker,
-                        state: phase,
-                    },
-                );
-            };
-            let mut grad = vec![0.0f32; model.num_params()];
-            let mut my_pushes = 0u64;
-            let mut notify_seq = 0u64;
-            let mut last_beat = clock.now();
-            // The chaos partition: past the configured elapsed time this
-            // worker's entire scheduler link goes silent (heartbeats,
-            // pull notices, notifies), so the scheduler's liveness
-            // detector fires and the detection sticks.
-            let muted =
-                || mute_after.is_some_and(|after| clock.now().saturating_sub(run_start) >= after);
-            // Heartbeat, paced by the interval.
-            let beat = |last: &mut Duration| {
-                let now = clock.now();
-                if now.saturating_sub(*last) < hb_interval {
-                    return;
-                }
-                *last = now;
-                if !muted() {
-                    let _ = sched_tx.send(SchedMsg::Heartbeat { worker });
-                }
-            };
-            'training: while !stop.load(Ordering::SeqCst) {
-                beat(&mut last_beat);
-                // Pull.
-                state(WorkerPhase::Pulling);
-                let (reply_tx, reply_rx) = bounded(1);
-                if server_tx
-                    .send(ServerMsg::Pull {
-                        worker,
-                        reply: reply_tx,
-                    })
-                    .is_err()
-                {
-                    break;
-                }
-                let Ok(params) = reply_rx.recv() else { break };
-                if !muted() {
-                    let _ = sched_tx.send(SchedMsg::Pull { worker });
-                }
-                // Discard any stale re-sync from a previous iteration.
-                while resync_rx.try_recv().is_ok() {}
-
-                // Compute (abortable during the padded span).
-                state(WorkerPhase::Computing);
-                'attempt: loop {
-                    model.set_params(&params);
-                    let batch = sampler.next_batch();
-                    model.gradient(&batch, &mut grad);
-                    let compute_start = clock.now();
-                    while clock.now().saturating_sub(compute_start) < pad {
-                        // specsync-allow(virtual-time): real-threaded compute pacing; progress is still measured on the injected clock
-                        thread::sleep(poll.min(pad));
-                        beat(&mut last_beat);
-                        if stop.load(Ordering::SeqCst) {
-                            break 'training;
-                        }
-                        if resync_rx.try_recv().is_ok() {
-                            // Abort: re-pull fresh parameters and restart.
-                            aborts.fetch_add(1, Ordering::Relaxed);
-                            let wasted = clock.now().saturating_sub(compute_start);
-                            sink.record(
-                                elapsed_since(clock.as_ref(), run_start),
-                                &Event::Resync {
-                                    worker,
-                                    wasted: SimDuration::from_micros(
-                                        wasted.as_micros().min(u64::MAX as u128) as u64,
-                                    ),
-                                },
-                            );
-                            state(WorkerPhase::Pulling);
-                            let (reply_tx, reply_rx) = bounded(1);
-                            if server_tx
-                                .send(ServerMsg::Pull {
-                                    worker,
-                                    reply: reply_tx,
-                                })
-                                .is_err()
-                            {
-                                break 'training;
-                            }
-                            let Ok(fresh) = reply_rx.recv() else {
-                                break 'training;
-                            };
-                            if !muted() {
-                                let _ = sched_tx.send(SchedMsg::Pull { worker });
-                            }
-                            state(WorkerPhase::Computing);
-                            model.set_params(&fresh);
-                            let batch = sampler.next_batch();
-                            model.gradient(&batch, &mut grad);
-                            continue 'attempt;
-                        }
-                    }
-                    break 'attempt;
-                }
-
-                // Push + notify (the notify carries the push counter for
-                // loss reconciliation; the chaos knob may eat it).
-                state(WorkerPhase::Pushing);
-                if server_tx
-                    .send(ServerMsg::Push {
-                        worker,
-                        grad: grad.clone(),
-                    })
-                    .is_err()
-                {
-                    break;
-                }
-                my_pushes += 1;
-                notify_seq += 1;
-                let dropped = drop_notify_every.is_some_and(|n| notify_seq.is_multiple_of(n));
-                if dropped {
-                    counters.dropped_notifies.fetch_add(1, Ordering::Relaxed);
-                } else if !muted() {
-                    let _ = sched_tx.send(SchedMsg::Notify {
-                        worker,
-                        pushes: my_pushes,
-                    });
-                }
-            }
+            let outcome = harness.run(&mut transport);
+            aborts.fetch_add(outcome.aborts, Ordering::Relaxed);
+            counters
+                .dropped_notifies
+                .fetch_add(outcome.dropped_notifies, Ordering::Relaxed);
         }));
     }
 
@@ -734,8 +632,8 @@ pub fn try_run_with_sink(
     for h in worker_handles {
         worker_panicked |= h.join().is_err();
     }
-    let _ = sched_tx.send(SchedMsg::Shutdown);
-    let _ = server_tx.send(ServerMsg::Shutdown);
+    let _ = sched_tx.send(WireMessage::Shutdown);
+    let _ = server_tx.send((WireMessage::Shutdown, None));
     // Drain the remaining threads before reporting any failure, so a
     // worker panic cannot leave the server/scheduler running detached.
     let scheduler_panicked = scheduler.join().is_err();

@@ -291,6 +291,37 @@ pub enum Event {
         /// Wall-clock nanoseconds the invocation took.
         nanos: u64,
     },
+    /// A wire frame left a transport (wall-clock hosts only — the
+    /// deterministic simulator accounts transfer through its network
+    /// model instead, so virtual-time traces never carry this).
+    FrameSent {
+        /// The worker the frame concerns (`WorkerId::new(0)` for frames
+        /// that name none, such as failover control).
+        worker: WorkerId,
+        /// The traffic class of the frame.
+        class: MessageClass,
+        /// Encoded frame size on the wire, header included.
+        bytes: u64,
+    },
+    /// A wire frame arrived on a transport (wall-clock hosts only).
+    FrameReceived {
+        /// The worker the frame concerns (`WorkerId::new(0)` when it
+        /// names none).
+        worker: WorkerId,
+        /// The traffic class of the frame.
+        class: MessageClass,
+        /// Encoded frame size on the wire, header included.
+        bytes: u64,
+    },
+    /// A transport connection attempt failed and is being retried with
+    /// backoff (wall-clock hosts only) — the visible trail of a worker
+    /// riding out a shard death.
+    ConnRetry {
+        /// The reconnecting worker.
+        worker: WorkerId,
+        /// 1-based reconnect attempt number.
+        attempt: u32,
+    },
 }
 
 impl Event {
@@ -311,7 +342,10 @@ impl Event {
             | Event::NotifyLoss { worker, .. }
             | Event::AbortReissued { worker }
             | Event::PushFenced { worker, .. }
-            | Event::RetryScheduled { worker, .. } => Some(*worker),
+            | Event::RetryScheduled { worker, .. }
+            | Event::FrameSent { worker, .. }
+            | Event::FrameReceived { worker, .. }
+            | Event::ConnRetry { worker, .. } => Some(*worker),
             Event::EpochTuned { .. }
             | Event::Eval { .. }
             | Event::StoreRecovered { .. }
@@ -349,6 +383,9 @@ impl Event {
             Event::SchedulerRecovered { .. } => "sched_recovered",
             Event::HistoryEvicted { .. } => "history_evicted",
             Event::SchedCost { .. } => "sched_cost",
+            Event::FrameSent { .. } => "frame_sent",
+            Event::FrameReceived { .. } => "frame_recv",
+            Event::ConnRetry { .. } => "conn_retry",
         }
     }
 }

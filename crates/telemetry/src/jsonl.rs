@@ -220,6 +220,26 @@ pub fn encode_line(micros: u64, event: &Event) -> String {
         Event::SchedCost { nanos } => {
             let _ = write!(s, ",\"nanos\":{nanos}");
         }
+        Event::FrameSent {
+            worker,
+            class,
+            bytes,
+        }
+        | Event::FrameReceived {
+            worker,
+            class,
+            bytes,
+        } => {
+            let _ = write!(
+                s,
+                ",\"w\":{},\"class\":\"{}\",\"bytes\":{bytes}",
+                worker.index(),
+                class.label()
+            );
+        }
+        Event::ConnRetry { worker, attempt } => {
+            let _ = write!(s, ",\"w\":{},\"attempt\":{attempt}", worker.index());
+        }
     }
     s.push('}');
     s
@@ -418,6 +438,21 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, String> {
         },
         "sched_cost" => Event::SchedCost {
             nanos: parse_u64(&pairs, "nanos")?,
+        },
+        "frame_sent" => Event::FrameSent {
+            worker: parse_worker(&pairs)?,
+            class: parse_class(&pairs)?,
+            bytes: parse_u64(&pairs, "bytes")?,
+        },
+        "frame_recv" => Event::FrameReceived {
+            worker: parse_worker(&pairs)?,
+            class: parse_class(&pairs)?,
+            bytes: parse_u64(&pairs, "bytes")?,
+        },
+        "conn_retry" => Event::ConnRetry {
+            worker: parse_worker(&pairs)?,
+            attempt: u32::try_from(parse_u64(&pairs, "attempt")?)
+                .map_err(|_| "conn retry attempt out of range".to_string())?,
         },
         other => return Err(format!("unknown event tag `{other}`")),
     };
@@ -701,6 +736,20 @@ mod tests {
             retained: 1280,
         });
         round_trip(Event::SchedCost { nanos: 1_850 });
+        round_trip(Event::FrameSent {
+            worker: w,
+            class: MessageClass::PullParams,
+            bytes: 4_096,
+        });
+        round_trip(Event::FrameReceived {
+            worker: w,
+            class: MessageClass::PushGrad,
+            bytes: 2_052,
+        });
+        round_trip(Event::ConnRetry {
+            worker: w,
+            attempt: 3,
+        });
     }
 
     #[test]

@@ -106,6 +106,13 @@ pub struct WorkerCounters {
     pub resyncs: u64,
     /// Total compute microseconds the worker threw away across re-syncs.
     pub wasted_micros: u64,
+    /// Wire bytes sent on the worker's behalf (`FrameSent`; wall-clock
+    /// transports only — zero in simulator traces).
+    pub bytes_sent: u64,
+    /// Wire bytes received on the worker's behalf (`FrameReceived`).
+    pub bytes_received: u64,
+    /// Reconnect attempts the worker's transport made (`ConnRetry`).
+    pub conn_retries: u64,
 }
 
 /// Aggregated totals captured by a [`MetricsSink`].
@@ -315,6 +322,18 @@ impl<T: Timestamp> EventSink<T> for MetricsSink {
                 state.snapshot.eviction_passes += 1;
             }
             Event::SchedCost { nanos } => state.snapshot.sched_cost.record(*nanos),
+            Event::FrameSent { worker, bytes, .. } => {
+                let counters = state.worker_mut(worker.index());
+                counters.bytes_sent = counters.bytes_sent.saturating_add(*bytes);
+            }
+            Event::FrameReceived { worker, bytes, .. } => {
+                let counters = state.worker_mut(worker.index());
+                counters.bytes_received = counters.bytes_received.saturating_add(*bytes);
+            }
+            Event::ConnRetry { worker, .. } => {
+                state.worker_mut(worker.index()).conn_retries += 1;
+                state.snapshot.degradations += 1;
+            }
         }
     }
 }

@@ -134,7 +134,7 @@ impl SparseVector {
 /// g.finish();
 /// assert_eq!(g.iter().collect::<Vec<_>>(), vec![(1, 2.0), (4, 1.5)]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SparseGrad {
     dim: usize,
     /// Scratch values; zero except at `touched` indices.

@@ -16,13 +16,46 @@ use crate::graph::{cycles, FnId, Graph};
 use crate::lints::{Diagnostic, Lint};
 use crate::parser::{Op, ParsedFile};
 
-/// The enum whose variants every sink and summarizer must handle, with
-/// the crate-path hint that disambiguates it from same-named enums
-/// elsewhere in the workspace (simnet has its own `Event`).
-const EVENT_ENUM: &str = "Event";
-const EVENT_ENUM_HINT: &str = "telemetry";
-/// The sink trait whose `record` impls must be variant-exhaustive.
-const SINK_TRAIT: &str = "EventSink";
+/// One enum-dispatch contract the exhaustiveness pass enforces: every
+/// variant of `enum_name` must be referenced (transitively) by every
+/// `method` impl of `trait_name`, and no wildcard arm in those impls may
+/// silently drop variants.
+struct DispatchContract {
+    /// The dispatched enum.
+    enum_name: &'static str,
+    /// Crate-path hint disambiguating same-named enums elsewhere in the
+    /// workspace (simnet has its own `Event`).
+    hint: &'static str,
+    /// The trait whose impls must be variant-exhaustive.
+    trait_name: &'static str,
+    /// The trait method carrying the dispatch.
+    method: &'static str,
+    /// Whether the designated `event_only` summarizer files also
+    /// participate in the wildcard check for this enum.
+    include_event_only: bool,
+}
+
+/// The enforced contracts: every telemetry `Event` variant handled by
+/// every `EventSink::record` impl (and the trace summarizer), and every
+/// `WireMessage` protocol frame handled by every `Transport::send` impl —
+/// a new frame cannot be silently dropped by one transport and handled by
+/// the other.
+const DISPATCH_CONTRACTS: &[DispatchContract] = &[
+    DispatchContract {
+        enum_name: "Event",
+        hint: "telemetry",
+        trait_name: "EventSink",
+        method: "record",
+        include_event_only: true,
+    },
+    DispatchContract {
+        enum_name: "WireMessage",
+        hint: "net",
+        trait_name: "Transport",
+        method: "send",
+        include_event_only: false,
+    },
+];
 /// Enums that must have no dead (never-referenced) variants, with their
 /// crate-path hints.
 const NO_DEAD_VARIANTS: &[(&str, &str)] = &[("SpecSyncError", "core")];
@@ -213,86 +246,96 @@ fn blocking_under_lock(files: &[ParsedFile], graph: &Graph, out: &mut RawSet) {
     }
 }
 
-/// Pass 3a/3b: every `Event` variant handled in every `EventSink::record`
-/// impl (transitively, so encoding helpers count), and no wildcard arm
-/// that silently drops variants in sinks or the trace summarizer.
+/// Pass 3a/3b, once per [`DispatchContract`]: every variant of the
+/// contract's enum handled in every `trait::method` impl (transitively,
+/// so encoding helpers count), and no wildcard arm that silently drops
+/// variants in those impls (plus the trace summarizer, for `Event`).
 fn event_exhaustiveness(files: &[ParsedFile], graph: &Graph, out: &mut RawSet) {
-    let Some((efi, eei)) = find_enum(files, EVENT_ENUM, EVENT_ENUM_HINT) else {
-        return;
-    };
-    let all: BTreeSet<&str> = files[efi].enums[eei]
-        .variants
-        .iter()
-        .map(|(v, _)| v.as_str())
-        .collect();
-    let total = all.len();
+    for contract in DISPATCH_CONTRACTS {
+        let Some((efi, eei)) = find_enum(files, contract.enum_name, contract.hint) else {
+            continue;
+        };
+        let all: BTreeSet<&str> = files[efi].enums[eei]
+            .variants
+            .iter()
+            .map(|(v, _)| v.as_str())
+            .collect();
+        let total = all.len();
 
-    for (fi, pf) in files.iter().enumerate() {
-        for (fni, f) in pf.functions.iter().enumerate() {
-            if f.in_test {
-                continue;
-            }
-            let in_sink = f.trait_name.as_deref() == Some(SINK_TRAIT);
-
-            // (a) `record` impls must reference every variant somewhere in
-            // their call tree — or carry an allow saying why they are
-            // variant-agnostic (e.g. they clone the whole event).
-            if in_sink && f.name == "record" {
-                let id: FnId = (fi, fni);
-                let seen: BTreeSet<&str> = graph.variant_refs[&id]
-                    .iter()
-                    .filter(|(e, _)| e == EVENT_ENUM)
-                    .map(|(_, v)| v.as_str())
-                    .collect();
-                let missing: Vec<&str> = all.difference(&seen).copied().collect();
-                if !missing.is_empty() {
-                    out.insert((
-                        pf.label.clone(),
-                        f.line,
-                        Lint::EventExhaustiveness,
-                        format!(
-                            "`{}` handles {}/{} `Event` variants; unhandled: `{}`",
-                            f.qual,
-                            total - missing.len(),
-                            total,
-                            missing.join("`, `")
-                        ),
-                    ));
-                }
-            }
-
-            // (b) wildcard arms in Event dispatches (sinks + summarizer)
-            // must not hide unlisted variants.
-            if !(in_sink || pf.event_only) {
-                continue;
-            }
-            for m in &f.matches {
-                let Some(wline) = m.wildcard_line else {
-                    continue;
-                };
-                let dispatched = m.arm_refs.iter().filter(|(e, _)| e == EVENT_ENUM).count();
-                if dispatched < 2 {
+        for (fi, pf) in files.iter().enumerate() {
+            for (fni, f) in pf.functions.iter().enumerate() {
+                if f.in_test {
                     continue;
                 }
-                let covered: BTreeSet<&str> = m
-                    .refs
-                    .iter()
-                    .filter(|(e, _)| e == EVENT_ENUM)
-                    .map(|(_, v)| v.as_str())
-                    .collect();
-                let missing: Vec<&str> = all.difference(&covered).copied().collect();
-                if !missing.is_empty() {
-                    out.insert((
-                        pf.label.clone(),
-                        wline,
-                        Lint::EventExhaustiveness,
-                        format!(
-                            "wildcard arm in `{}` silently drops `Event` \
-                             variant(s) `{}`",
-                            f.qual,
-                            missing.join("`, `")
-                        ),
-                    ));
+                let in_impl = f.trait_name.as_deref() == Some(contract.trait_name);
+
+                // (a) the dispatch method must reference every variant
+                // somewhere in its call tree — or carry an allow saying
+                // why it is variant-agnostic (e.g. it clones the whole
+                // event).
+                if in_impl && f.name == contract.method {
+                    let id: FnId = (fi, fni);
+                    let seen: BTreeSet<&str> = graph.variant_refs[&id]
+                        .iter()
+                        .filter(|(e, _)| e == contract.enum_name)
+                        .map(|(_, v)| v.as_str())
+                        .collect();
+                    let missing: Vec<&str> = all.difference(&seen).copied().collect();
+                    if !missing.is_empty() {
+                        out.insert((
+                            pf.label.clone(),
+                            f.line,
+                            Lint::EventExhaustiveness,
+                            format!(
+                                "`{}` handles {}/{} `{}` variants; unhandled: `{}`",
+                                f.qual,
+                                total - missing.len(),
+                                total,
+                                contract.enum_name,
+                                missing.join("`, `")
+                            ),
+                        ));
+                    }
+                }
+
+                // (b) wildcard arms in the enum's dispatches must not hide
+                // unlisted variants.
+                if !(in_impl || (contract.include_event_only && pf.event_only)) {
+                    continue;
+                }
+                for m in &f.matches {
+                    let Some(wline) = m.wildcard_line else {
+                        continue;
+                    };
+                    let dispatched = m
+                        .arm_refs
+                        .iter()
+                        .filter(|(e, _)| e == contract.enum_name)
+                        .count();
+                    if dispatched < 2 {
+                        continue;
+                    }
+                    let covered: BTreeSet<&str> = m
+                        .refs
+                        .iter()
+                        .filter(|(e, _)| e == contract.enum_name)
+                        .map(|(_, v)| v.as_str())
+                        .collect();
+                    let missing: Vec<&str> = all.difference(&covered).copied().collect();
+                    if !missing.is_empty() {
+                        out.insert((
+                            pf.label.clone(),
+                            wline,
+                            Lint::EventExhaustiveness,
+                            format!(
+                                "wildcard arm in `{}` silently drops `{}` \
+                                 variant(s) `{}`",
+                                f.qual,
+                                contract.enum_name,
+                                missing.join("`, `")
+                            ),
+                        ));
+                    }
                 }
             }
         }

@@ -11,7 +11,11 @@
 //!   the crate must stay clock-free. `telemetry` timestamps come from the
 //!   host's injected clock, never an ambient one — the same-seed
 //!   byte-identical-trace guarantee depends on it.)
-//! * **Library** — the facade crate (`src/`): `no-panic` only.
+//! * **Library** — the facade crate (`src/`) and `net`: `no-panic` only.
+//!   The wire layer is wall-clock and socket-bound by nature (its sleeps
+//!   and I/O are the product), so the determinism lints do not apply —
+//!   but the semantic passes (lock-order, blocking-under-lock,
+//!   event-exhaustiveness over `WireMessage`) still do.
 //! * **Harness** — `bench` (experiment binaries + their helpers) and
 //!   `xtask` itself: exempt. These are leaf executables whose panics and
 //!   env-var switches never run inside a simulation.
@@ -40,6 +44,7 @@ pub fn classify(crate_name: &str) -> CrateClass {
         "simnet" | "tensor" | "ml" | "ps" | "sync" | "core" | "telemetry" | "cluster"
         | "runtime" => CrateClass::Deterministic,
         "bench" | "xtask" => CrateClass::Harness,
+        "net" => CrateClass::Library,
         _ => CrateClass::Library,
     }
 }
@@ -164,6 +169,7 @@ mod tests {
         }
         assert_eq!(classify("bench"), CrateClass::Harness);
         assert_eq!(classify("xtask"), CrateClass::Harness);
+        assert_eq!(classify("net"), CrateClass::Library);
         assert_eq!(classify("something-else"), CrateClass::Library);
     }
 }

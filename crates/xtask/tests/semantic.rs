@@ -353,6 +353,93 @@ impl EventSink for DropSink {
 }
 
 #[test]
+fn transport_send_missing_a_wire_variant_is_caught() {
+    let wire = r#"
+pub enum WireMessage {
+    Pull { worker: u64 },
+    Push { worker: u64 },
+    Shutdown,
+}
+"#;
+    let transport = r#"
+struct InProc;
+impl Transport for InProc {
+    fn send(&mut self, msg: WireMessage) {
+        match msg {
+            WireMessage::Pull { .. } => {}
+            WireMessage::Push { .. } => {}
+            WireMessage::Shutdown => {}
+        }
+    }
+}
+struct Tcp;
+impl Transport for Tcp {
+    fn send(&mut self, msg: WireMessage) {
+        match msg {
+            WireMessage::Pull { .. } => {}
+            WireMessage::Push { .. } => {}
+        }
+    }
+}
+"#;
+    let diags = run(&[
+        spec("fix/wire.rs", wire),
+        spec("fix/transports.rs", transport),
+    ]);
+    let hits = only_lint(&diags, Lint::EventExhaustiveness);
+    assert_eq!(hits.len(), 1, "got: {diags:?}");
+    assert!(
+        hits[0].message.contains("2/3")
+            && hits[0].message.contains("WireMessage")
+            && hits[0].message.contains("`Shutdown`"),
+        "got: {}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn transport_wildcard_arm_dropping_wire_variants_is_caught() {
+    let wire = r#"
+pub enum WireMessage {
+    Pull { worker: u64 },
+    Push { worker: u64 },
+    Shutdown,
+}
+"#;
+    let transport = r#"
+struct Lossy;
+impl Transport for Lossy {
+    fn send(&mut self, msg: WireMessage) {
+        match msg {
+            WireMessage::Pull { .. } => {}
+            WireMessage::Push { .. } => {}
+            WireMessage::Shutdown => {}
+        }
+        match msg {
+            WireMessage::Pull { .. } => {}
+            WireMessage::Push { .. } => {}
+            _ => {}
+        }
+    }
+}
+"#;
+    let diags = run(&[
+        spec("fix/wire.rs", wire),
+        spec("fix/lossy-transport.rs", transport),
+    ]);
+    let hits = only_lint(&diags, Lint::EventExhaustiveness);
+    assert_eq!(hits.len(), 1, "got: {diags:?}");
+    assert_eq!(hits[0].line, line_of(transport, "_ =>"));
+    assert!(
+        hits[0].message.contains("silently drops")
+            && hits[0].message.contains("WireMessage")
+            && hits[0].message.contains("`Shutdown`"),
+        "got: {}",
+        hits[0].message
+    );
+}
+
+#[test]
 fn wildcard_arm_dropping_variants_in_the_summarizer_is_caught() {
     let summarizer = r#"
 fn summarize(event: &Event) {

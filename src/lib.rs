@@ -24,6 +24,10 @@
 //! - [`ps`] — the sharded asynchronous parameter server, with
 //!   primary/backup replication, push journaling, and a crash-consistent
 //!   checkpoint codec;
+//! - [`net`] — the wire: a checksummed binary frame codec, the unified
+//!   [`Transport`] API over the consolidated [`WireMessage`] vocabulary,
+//!   and TCP servers that run the shards, scheduler and workers as
+//!   separate OS processes;
 //! - [`runtime`] — a real multi-threaded deployment of the same protocol;
 //! - [`sync`] — ASP/BSP/SSP/naïve-waiting schemes;
 //! - [`telemetry`] — typed protocol event traces and metrics sinks shared
@@ -52,11 +56,13 @@
 pub use specsync_cluster as cluster;
 pub use specsync_core as core;
 pub use specsync_ml as ml;
+pub use specsync_net as net;
 pub use specsync_ps as ps;
 pub use specsync_runtime as runtime;
 pub use specsync_simnet as simnet;
 pub use specsync_sync as sync;
 pub use specsync_telemetry as telemetry;
+pub use specsync_tensor as tensor;
 
 pub use specsync_cluster::{
     ChaosStats, ClusterSpec, Driver, DriverConfig, InstanceType, LossPoint, RunReport, Trainer,
@@ -66,11 +72,15 @@ pub use specsync_core::{
     SchedulerCheckpoint, SchedulerStats,
 };
 pub use specsync_ml::{LrSchedule, Model, Workload, WorkloadKind};
+pub use specsync_net::{
+    Endpoint, FailoverControl, InProcTransport, MessageSizes, NetConfig, NetError, SchedulerServer,
+    ShardHost, ShardServer, TcpTransport, Transport, WireMessage,
+};
 pub use specsync_ps::{
     CheckpointError, ParamSnapshot, ParameterStore, PushJournal, ReplicaError, ReplicaRole,
     ReplicatedStore, StoreCheckpoint,
 };
-pub use specsync_runtime::{Backoff, RuntimeChaos, RuntimeConfig};
+pub use specsync_runtime::{Backoff, RuntimeChaos, RuntimeConfig, RuntimeConfigBuilder};
 pub use specsync_simnet::{
     CrashEvent, FaultPlan, LinkFaultProfile, MessageFate, ServerCrashEvent, SimDuration,
     StragglerWindow, VirtualTime, WorkerId,

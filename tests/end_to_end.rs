@@ -124,7 +124,7 @@ fn transfer_accounting_matches_iteration_counts() {
         .horizon(VirtualTime::from_secs(60))
         .seed(2)
         .run();
-    let sizes = specsync::ps::MessageSizes::for_model(1_000);
+    let sizes = specsync::net::MessageSizes::for_model(1_000);
     // Every completed iteration pushed exactly once.
     let push_bytes = report
         .transfer

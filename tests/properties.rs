@@ -71,7 +71,7 @@ proptest! {
     #[test]
     fn transfer_accounting_is_consistent(scheme in scheme_strategy(), seed in 0u64..1000) {
         let report = quick_run(scheme, 4, seed);
-        let sizes = specsync::ps::MessageSizes::for_model(1_000);
+        let sizes = specsync::net::MessageSizes::for_model(1_000);
         prop_assert_eq!(
             report.transfer.bytes_for(MessageClass::PushGrad),
             report.total_iterations * sizes.push_bytes

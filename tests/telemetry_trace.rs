@@ -32,6 +32,49 @@ fn run_traced(scheme: SchemeKind, seed: u64) -> (Vec<u8>, RunReport) {
     (bytes, report)
 }
 
+/// FNV-1a over a byte slice — the same hash the wire codec uses for
+/// frame checksums, reused here to pin whole traces.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The golden traces, pinned to the exact bytes the seed (pre-wire)
+/// driver emitted. The `Transport`/`ShardHost` extraction must not move
+/// a single byte of any virtual-time trace: the in-process paths are the
+/// default, and their behavior is the contract.
+#[test]
+fn golden_traces_stay_byte_identical_to_seed() {
+    let cases: [(SchemeKind, u64, usize, u64); 3] = [
+        (
+            SchemeKind::specsync_adaptive(),
+            31,
+            134_528,
+            0x928c_0096_7a6a_f20f,
+        ),
+        (SchemeKind::Asp, 5, 95_035, 0x8127_d1e0_4b90_0ed7),
+        (
+            SchemeKind::specsync_adaptive(),
+            7,
+            74_887,
+            0x2b41_f99e_da09_7628,
+        ),
+    ];
+    for (scheme, seed, want_len, want_hash) in cases {
+        let (bytes, _) = run_traced(scheme, seed);
+        assert_eq!(
+            (bytes.len(), fnv1a(&bytes)),
+            (want_len, want_hash),
+            "golden trace drifted for {} seed {seed}",
+            scheme.label(),
+        );
+    }
+}
+
 #[test]
 fn same_seed_traces_are_byte_identical() {
     let scheme = SchemeKind::specsync_adaptive();
