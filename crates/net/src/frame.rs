@@ -38,6 +38,12 @@ pub const HEADER_LEN: usize = 20;
 /// Upper bound on a payload a peer may ask us to buffer (256 MiB — far
 /// above any model this repo trains, far below a hostile length field).
 pub const PAYLOAD_LIMIT: usize = 256 << 20;
+/// Upper bound on a sparse gradient's declared dimension: the dimension
+/// of the largest dense gradient a frame can carry (`PAYLOAD_LIMIT` / 4
+/// bytes per f32). `dim` sizes decoder-side scratch without contributing
+/// bytes to the payload, so the usual remaining-bytes bound on length
+/// prefixes cannot cover it.
+pub const MAX_SPARSE_DIM: u64 = (PAYLOAD_LIMIT / 4) as u64;
 
 const TAG_PULL: u8 = 0;
 const TAG_PULL_REPLY: u8 = 1;
@@ -260,16 +266,28 @@ fn encode_payload(msg: &WireMessage, out: &mut Vec<u8>) {
 }
 
 /// Encodes one message as a complete frame (header + payload).
-pub fn encode_frame(msg: &WireMessage) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] when the payload exceeds [`PAYLOAD_LIMIT`]:
+/// every receiver would reject such a frame anyway, and a payload past
+/// `u32::MAX` would silently truncate the length field and corrupt the
+/// stream, so the sender refuses to put it on the wire at all.
+pub fn encode_frame(msg: &WireMessage) -> Result<Vec<u8>, FrameError> {
     let mut payload = Vec::with_capacity(64);
     encode_payload(msg, &mut payload);
+    if payload.len() > PAYLOAD_LIMIT {
+        return Err(FrameError::TooLarge {
+            len: payload.len() as u64,
+        });
+    }
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     put_u32(&mut out, FORMAT);
     put_u32(&mut out, payload.len() as u32);
     put_u64(&mut out, fnv1a(&payload));
     out.extend_from_slice(&payload);
-    out
+    Ok(out)
 }
 
 /// Bounds-checked sequential reader over a payload.
@@ -380,8 +398,11 @@ fn decode_payload(payload: &[u8]) -> Result<WireMessage, FrameError> {
                 PAYLOAD_DENSE => PushPayload::Dense(r.f32_slice()?),
                 PAYLOAD_SPARSE => {
                     let dim = r.u64()?;
-                    if dim > usize::MAX as u64 {
-                        return Err(FrameError::Malformed("sparse dim out of range"));
+                    // `SparseGrad::reset` allocates per-dimension scratch,
+                    // so a hostile dim would force a huge allocation even
+                    // with zero entries on the wire: cap it like a length.
+                    if dim > MAX_SPARSE_DIM {
+                        return Err(FrameError::Malformed("sparse dim exceeds limit"));
                     }
                     let nnz = r.len_prefix(12)?;
                     let mut grad = SparseGrad::new();
@@ -495,9 +516,11 @@ pub fn decode_frame(buf: &[u8]) -> Result<WireMessage, FrameError> {
     decode_payload(payload)
 }
 
-/// Writes one frame to a stream, returning the bytes written.
+/// Writes one frame to a stream, returning the bytes written. An
+/// unencodable message (payload over [`PAYLOAD_LIMIT`]) surfaces as
+/// [`io::ErrorKind::InvalidInput`] with nothing written.
 pub fn write_frame(w: &mut dyn Write, msg: &WireMessage) -> io::Result<usize> {
-    let bytes = encode_frame(msg);
+    let bytes = encode_frame(msg).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     w.write_all(&bytes)?;
     Ok(bytes.len())
 }
@@ -645,7 +668,7 @@ mod tests {
     #[test]
     fn every_variant_round_trips() {
         for msg in sample_frames() {
-            let bytes = encode_frame(&msg);
+            let bytes = encode_frame(&msg).unwrap();
             let back = decode_frame(&bytes).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
             assert_eq!(back, msg);
         }
@@ -654,7 +677,7 @@ mod tests {
     #[test]
     fn every_flipped_byte_is_rejected() {
         for msg in sample_frames() {
-            let bytes = encode_frame(&msg);
+            let bytes = encode_frame(&msg).unwrap();
             for i in 0..bytes.len() {
                 let mut corrupt = bytes.clone();
                 corrupt[i] ^= 0x01;
@@ -671,7 +694,8 @@ mod tests {
         let bytes = encode_frame(&WireMessage::Notify {
             worker: WorkerId::new(1),
             pushes: 5,
-        });
+        })
+        .unwrap();
         for cut in 0..bytes.len() {
             assert!(
                 decode_frame(&bytes[..cut]).is_err(),
@@ -714,7 +738,8 @@ mod tests {
         let bytes = encode_frame(&WireMessage::PullReply {
             version: 7,
             params: Arc::from(vec![1.0f32; 16].as_slice()),
-        });
+        })
+        .unwrap();
         for cut in 1..bytes.len() {
             let mut cursor = io::Cursor::new(bytes[..cut].to_vec());
             assert!(
@@ -729,7 +754,7 @@ mod tests {
 
     #[test]
     fn hostile_length_is_bounded() {
-        let mut bytes = encode_frame(&WireMessage::Shutdown);
+        let mut bytes = encode_frame(&WireMessage::Shutdown).unwrap();
         // Forge a payload length far beyond the limit.
         bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
@@ -748,7 +773,7 @@ mod tests {
             worker: WorkerId::new(0),
             payload: PushPayload::Sparse(sparse),
         };
-        let mut bytes = encode_frame(&msg);
+        let mut bytes = encode_frame(&msg).unwrap();
         // The index field sits after header(20) + tag(1) + worker(8) +
         // kind(1) + dim(8) + nnz(8) = 46; overwrite it with dim.
         bytes[46..54].copy_from_slice(&4u64.to_le_bytes());
@@ -759,5 +784,47 @@ mod tests {
             decode_frame(&bytes),
             Err(FrameError::Malformed("sparse index beyond dim"))
         );
+    }
+
+    #[test]
+    fn hostile_sparse_dim_is_bounded() {
+        let mut sparse = SparseGrad::new();
+        sparse.reset(4);
+        sparse.add(1, 1.0);
+        sparse.finish();
+        let msg = WireMessage::Push {
+            worker: WorkerId::new(0),
+            payload: PushPayload::Sparse(sparse),
+        };
+        let mut bytes = encode_frame(&msg).unwrap();
+        // The dim field sits after header(20) + tag(1) + worker(8) +
+        // kind(1) = 30; forge a multi-terabyte dimension on an otherwise
+        // tiny frame and fix the checksum, so only the dim bound can
+        // reject it before the decoder allocates.
+        bytes[30..38].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        let sum = fnv1a(&bytes[HEADER_LEN..]);
+        bytes[12..20].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(FrameError::Malformed("sparse dim exceeds limit"))
+        );
+    }
+
+    #[test]
+    fn oversized_payload_refuses_to_encode() {
+        // One f32 past the largest dense gradient a frame can carry.
+        let n = PAYLOAD_LIMIT / 4 + 1;
+        let msg = WireMessage::PullReply {
+            version: 1,
+            params: Arc::from(vec![0.0f32; n].as_slice()),
+        };
+        assert!(matches!(
+            encode_frame(&msg),
+            Err(FrameError::TooLarge { .. })
+        ));
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, &msg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(sink.is_empty(), "nothing may reach the wire");
     }
 }

@@ -285,11 +285,11 @@ impl ShardHost {
     ///
     /// # Errors
     ///
-    /// [`ReplicaError::ServerDown`] while the shard is failing over.
-    pub fn encoded_pull_reply(
-        &mut self,
-        worker: WorkerId,
-    ) -> Result<(Arc<[u8]>, u64), ReplicaError> {
+    /// [`NetError::Replica`] wrapping [`ReplicaError::ServerDown`] while
+    /// the shard is failing over; [`NetError::Frame`] when the model
+    /// dimension exceeds the frame payload limit (deterministic on the
+    /// first pull, at store-construction dimension — never mid-run).
+    pub fn encoded_pull_reply(&mut self, worker: WorkerId) -> Result<(Arc<[u8]>, u64), NetError> {
         let grant = self.pull(worker)?;
         let version = grant.snapshot.version();
         if let Some((cached_version, bytes)) = &self.encoded {
@@ -297,10 +297,11 @@ impl ShardHost {
                 return Ok((Arc::clone(bytes), grant.staleness));
             }
         }
-        let bytes: Arc<[u8]> = Arc::from(encode_frame(&WireMessage::PullReply {
+        let frame = encode_frame(&WireMessage::PullReply {
             version,
             params: grant.snapshot.into_shared(),
-        }));
+        })?;
+        let bytes: Arc<[u8]> = Arc::from(frame);
         self.encoded = Some((version, Arc::clone(&bytes)));
         Ok((bytes, grant.staleness))
     }

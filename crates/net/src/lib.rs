@@ -45,6 +45,7 @@ pub use config::{NetConfig, NetConfigBuilder};
 pub use error::NetError;
 pub use frame::{
     decode_frame, encode_frame, read_frame, write_frame, FrameError, FrameReadError, ReadOutcome,
+    MAX_SPARSE_DIM, PAYLOAD_LIMIT,
 };
 pub use host::{PullGrant, PushReceipt, ShardHost};
 pub use server::{SchedulerConfig, SchedulerRunStats, SchedulerServer, ShardServer, ShardStats};

@@ -631,7 +631,10 @@ struct Central<'a> {
     timers: Vec<(VirtualTime, WorkerId)>,
     per_worker: Vec<u64>,
     epochs: u64,
-    last_worker_beat: Vec<VirtualTime>,
+    /// `None` until the worker's first frame: a worker that has never
+    /// spoken is still starting up (multi-process spawns are slow), and
+    /// the silence timeout only applies after first contact.
+    last_worker_beat: Vec<Option<VirtualTime>>,
     worker_dead: Vec<bool>,
     last_shard_beat: BTreeMap<u64, VirtualTime>,
     stats: SchedulerRunStats,
@@ -673,7 +676,7 @@ impl Central<'_> {
         if w >= self.last_worker_beat.len() {
             return;
         }
-        self.last_worker_beat[w] = now;
+        self.last_worker_beat[w] = Some(now);
         if self.worker_dead[w] && matches!(self.core.try_mark_alive(worker, now), Ok(true)) {
             self.worker_dead[w] = false;
             self.sink.record(
@@ -873,7 +876,10 @@ impl Central<'_> {
                 .min(u64::MAX as u128) as u64,
         );
         for w in 0..self.cfg.workers {
-            if !self.worker_dead[w] && now.saturating_since(self.last_worker_beat[w]) > timeout {
+            let Some(beat) = self.last_worker_beat[w] else {
+                continue;
+            };
+            if !self.worker_dead[w] && now.saturating_since(beat) > timeout {
                 let worker = WorkerId::new(w);
                 if matches!(self.core.try_mark_dead(worker, now), Ok(true)) {
                     self.worker_dead[w] = true;
@@ -961,7 +967,7 @@ fn central_loop(
         timers: Vec::new(),
         per_worker: vec![0; m],
         epochs: 0,
-        last_worker_beat: vec![VirtualTime::ZERO; m],
+        last_worker_beat: vec![None; m],
         worker_dead: vec![false; m],
         last_shard_beat: BTreeMap::new(),
         stats: SchedulerRunStats {

@@ -462,10 +462,13 @@ impl TcpTransport {
             else {
                 continue;
             };
-            // An answer naming the address we just lost, at the epoch we
-            // already had, means the scheduler has not noticed the death
-            // yet — back off and ask again.
-            if epoch <= self.epoch && addr == self.shard.addr() {
+            // Promotion epochs only move forward, so an answer below the
+            // epoch we already hold is a delayed frame from before a later
+            // failover — following it would reconnect to a demoted shard.
+            // An answer at our epoch naming the address we just lost means
+            // the scheduler has not noticed the death yet. Back off and
+            // ask again in both cases.
+            if epoch < self.epoch || (epoch == self.epoch && addr == self.shard.addr()) {
                 continue;
             }
             let worker = self.worker;
@@ -735,7 +738,7 @@ mod tests {
         let server = std::thread::spawn(move || {
             let (stream, peer) = listener.accept().unwrap();
             let mut conn = FrameConn::from_stream(stream, peer.to_string());
-            let bytes: Arc<[u8]> = Arc::from(encode_frame(&msg));
+            let bytes: Arc<[u8]> = Arc::from(encode_frame(&msg).unwrap());
             conn.write_encoded(&bytes).unwrap();
         });
         let cfg = NetConfig::default();

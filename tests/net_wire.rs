@@ -120,9 +120,9 @@ proptest! {
     /// would be too weak an oracle.
     #[test]
     fn every_message_round_trips_bit_exactly(msg in arb_message()) {
-        let bytes = encode_frame(&msg);
+        let bytes = encode_frame(&msg).expect("sample messages fit a frame");
         let decoded = decode_frame(&bytes).expect("own encoding must decode");
-        prop_assert_eq!(encode_frame(&decoded), bytes);
+        prop_assert_eq!(encode_frame(&decoded).expect("decoded re-encodes"), bytes);
     }
 
     /// Flipping any single byte of a frame makes it undecodable: the
@@ -133,7 +133,7 @@ proptest! {
         msg in arb_message(),
         flip in (1u32..256).prop_map(|b| b as u8),
     ) {
-        let bytes = encode_frame(&msg);
+        let bytes = encode_frame(&msg).expect("sample messages fit a frame");
         for i in 0..bytes.len() {
             let mut corrupt = bytes.clone();
             corrupt[i] ^= flip;
@@ -149,7 +149,7 @@ proptest! {
     /// reader — never a message, never a clean `Closed`.
     #[test]
     fn truncated_frames_and_streams_are_rejected(msg in arb_message()) {
-        let bytes = encode_frame(&msg);
+        let bytes = encode_frame(&msg).expect("sample messages fit a frame");
         for cut in 0..bytes.len() {
             prop_assert!(decode_frame(&bytes[..cut]).is_err(), "prefix {}", cut);
         }
@@ -175,14 +175,14 @@ proptest! {
         let mut buf = Vec::new();
         let mut expect = Vec::new();
         for msg in &msgs {
-            expect.push(encode_frame(msg));
+            expect.push(encode_frame(msg).expect("sample messages fit a frame"));
             buf.extend_from_slice(expect.last().expect("just pushed"));
         }
         let mut cursor = io::Cursor::new(buf);
         for (i, bytes) in expect.iter().enumerate() {
             match read_frame(&mut cursor).expect("valid stream") {
                 ReadOutcome::Frame(got, n) => {
-                    prop_assert_eq!(&encode_frame(&got), bytes, "frame {}", i);
+                    prop_assert_eq!(&encode_frame(&got).expect("decoded re-encodes"), bytes, "frame {}", i);
                     prop_assert_eq!(n, bytes.len());
                 }
                 ReadOutcome::Closed => return Err(TestCaseError::fail("closed early")),
