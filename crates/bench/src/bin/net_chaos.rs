@@ -1,0 +1,813 @@
+//! Multi-process chaos soak for the TCP wire: the `net_smoke` topology
+//! (one scheduler, a primary + warm-backup shard pair, four workers over
+//! real loopback sockets) driven through a seeded scenario matrix of
+//! scripted network faults instead of a `kill -9`:
+//!
+//! * `partition-primary`   — the primary's links all go half-open at
+//!   T=400ms (writes vanish, reads hang): the scheduler must promote the
+//!   warm backup on heartbeat silence and the workers must ride the
+//!   failover out through the breaker + QueryPrimary ladder.
+//! * `partition-scheduler` — every worker's control-plane link resets
+//!   mid-stream and the next two reconnects are refused: workers must
+//!   enter degraded mode, keep training on shard progress, and resync
+//!   their cumulative counters on reconnection. Zero promotions.
+//! * `flaky-links`         — worker data-plane writes reset with p=5%:
+//!   the run must still complete with bounded retries. Boundedness is
+//!   asserted structurally: every worker process terminates and reports
+//!   its stats within the drain window — an unbounded retry ladder would
+//!   hang there forever. (A worker cut off *mid-ladder by the teardown
+//!   itself* legitimately burns its budget and exits; that is the bound
+//!   working, not a failure.)
+//!
+//! Faults are deterministic per seed (see `specsync_net::chaos`); the
+//! assertions below are on scenario *outcomes* (promotions, completion,
+//! degraded-mode entries/exits, retry exhaustion), which the scripts pin
+//! down regardless of scheduling.
+//!
+//! * `net_chaos`                      — full matrix, prints the table
+//! * `net_chaos --json`               — full matrix, writes `BENCH_PR9.json`
+//! * `net_chaos --quick`              — smaller push target (CI scale)
+//! * `net_chaos --check BENCH_PR9.json` — runs the matrix, then fails
+//!   (exit 1) unless every scenario in the checked-in report reproduces:
+//!   same scenario set, same promotion count, all passing.
+//! * `net_chaos --scenario NAME`      — run a single scenario by name
+//!
+//! Role invocations mirror `net_smoke` with an extra `--chaos SPEC`
+//! (the `NetChaos::to_spec` grammar) on shard and worker roles.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use specsync_ml::Workload;
+use specsync_net::{
+    ChaosScope, NetChaos, NetConfig, SchedulerConfig, SchedulerServer, ShardHost, ShardServer,
+    TcpTransport,
+};
+use specsync_ps::{ParameterStore, ReplicatedStore};
+use specsync_runtime::{ClockSource, WallClock, WorkerHarness};
+use specsync_simnet::WorkerId;
+use specsync_sync::SchemeKind;
+use specsync_telemetry::NullSink;
+
+/// Worker processes per scenario.
+const WORKERS: usize = 4;
+/// Total notified pushes at which the scheduler declares a scenario done.
+const PUSH_TARGET: u64 = 1_200;
+/// Reduced target for `--quick` (CI scale).
+const QUICK_PUSH_TARGET: u64 = 400;
+/// Deterministic workload seed shared by every process.
+const SEED: u64 = 23;
+/// Hard budget per scenario (the scheduler enforces its own 45s).
+const SCENARIO_BUDGET: Duration = Duration::from_secs(90);
+/// After the scheduler exits, how long straggler roles get to drain and
+/// print their STATS line before being killed. A partitioned role that
+/// never hears the shutdown broadcast is reaped here.
+const DRAIN_GRACE: Duration = Duration::from_secs(15);
+
+/// Wire knobs for a chaos run: fast failure detection, a short I/O
+/// timeout so half-open silence is noticed quickly, and an explicit
+/// connection policy (tight backoff, modest budgets) so the degradation
+/// ladder exercises every rung within the scenario budget.
+fn net_config(chaos: NetChaos) -> NetConfig {
+    NetConfig::builder()
+        .heartbeat_interval(Duration::from_millis(25))
+        .heartbeat_timeout(Duration::from_millis(400))
+        .io_timeout(Duration::from_secs(1))
+        .connect_retries(10)
+        .retry_backoff(Duration::from_millis(20))
+        .op_retry_budget(8)
+        .breaker_threshold(4)
+        .breaker_cooldown(Duration::from_millis(100))
+        .chaos(chaos)
+        .try_build()
+        .expect("valid chaos net configuration")
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn required(args: &[String], flag: &str) -> String {
+    arg_value(args, flag).unwrap_or_else(|| panic!("missing required flag {flag}"))
+}
+
+/// The role's chaos knobs from `--chaos SPEC`, or disabled when absent.
+fn arg_chaos(args: &[String]) -> NetChaos {
+    match arg_value(args, "--chaos") {
+        Some(spec) => NetChaos::from_spec(&spec).expect("valid --chaos spec"),
+        None => NetChaos::disabled(),
+    }
+}
+
+/// Prints a line and flushes immediately: the orchestrator reads child
+/// stdout line-by-line for port coordination, so buffering would hang it.
+fn emit(line: &str) {
+    println!("{line}");
+    std::io::stdout().flush().ok();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match arg_value(&args, "--role").as_deref() {
+        None => orchestrate(&args),
+        Some("scheduler") => run_scheduler(&args),
+        Some("shard") => run_shard(&args),
+        Some("worker") => run_worker(&args),
+        Some(other) => panic!("unknown role {other:?}"),
+    }
+}
+
+// ------------------------------------------------------------ scheduler
+
+fn run_scheduler(args: &[String]) {
+    let workers: usize = required(args, "--workers").parse().expect("--workers");
+    let pushes: u64 = required(args, "--pushes").parse().expect("--pushes");
+    let server = SchedulerServer::bind(
+        "127.0.0.1:0",
+        SchedulerConfig {
+            scheme: SchemeKind::specsync_adaptive(),
+            workers,
+            net: net_config(NetChaos::disabled()),
+            stop_after_pushes: Some(pushes),
+            max_duration: Duration::from_secs(45),
+        },
+    )
+    .expect("bind scheduler");
+    emit(&format!("LISTENING {}", server.local_addr()));
+    let stats = server.run().expect("scheduler run");
+    emit(&format!(
+        "STATS promotions={} completed={} total_pushes={} aborts={} dead_workers={}",
+        stats.promotions,
+        stats.completed,
+        stats.total_pushes,
+        stats.aborts_issued,
+        stats.workers_marked_dead,
+    ));
+}
+
+// ---------------------------------------------------------------- shard
+
+fn run_shard(args: &[String]) {
+    let id: u64 = required(args, "--id").parse().expect("--id");
+    let sched = required(args, "--sched");
+    let backup = args.iter().any(|a| a == "--backup");
+    let relay = arg_value(args, "--relay");
+    let chaos = arg_chaos(args);
+
+    let workload = Workload::tiny_test();
+    let bundle = workload.build(WORKERS, SEED);
+    let initial = bundle.workers[0].params().to_vec();
+    let host = ShardHost::new(ReplicatedStore::from_store(
+        ParameterStore::new(initial, 8),
+        ReplicatedStore::DEFAULT_JOURNAL_CAPACITY,
+    ))
+    .with_workers(WORKERS);
+
+    let mut server =
+        ShardServer::bind(id, "127.0.0.1:0", host, net_config(chaos)).expect("bind shard");
+    if backup {
+        server = server.as_backup();
+    }
+    if let Some(addr) = &relay {
+        server = server.with_backup_relay(addr);
+    }
+    server = server.with_scheduler(&sched);
+    emit(&format!("LISTENING {}", server.local_addr()));
+    let stats = server.run().expect("shard run");
+    emit(&format!(
+        "STATS shard={} pulls={} pushes={} relayed={} serving={} version={}",
+        id, stats.pulls_served, stats.pushes_applied, stats.relayed, stats.serving, stats.version,
+    ));
+}
+
+// --------------------------------------------------------------- worker
+
+fn run_worker(args: &[String]) {
+    let id: usize = required(args, "--id").parse().expect("--id");
+    let workers: usize = required(args, "--workers").parse().expect("--workers");
+    let shard = required(args, "--shard");
+    let sched = required(args, "--sched");
+    let chaos = arg_chaos(args);
+
+    let workload = Workload::tiny_test();
+    let mut bundle = workload.build(workers, SEED);
+    let model = bundle.workers.swap_remove(id);
+    let sampler = workload.sampler_for(model.as_ref(), id, SEED ^ 0xBA7C);
+
+    let worker = WorkerId::new(id);
+    let sink = Arc::new(NullSink);
+    let mut transport =
+        TcpTransport::connect(worker, &shard, &sched, net_config(chaos), sink.clone())
+            .expect("worker connect");
+    let clock: Arc<dyn ClockSource> = Arc::new(WallClock::new());
+    let harness = WorkerHarness {
+        worker,
+        model,
+        sampler,
+        compute_pad: Duration::from_millis(5),
+        abort_poll: Duration::from_millis(1),
+        heartbeat_interval: Duration::from_millis(25),
+        mute_after: None,
+        drop_notify_every: None,
+        clock: Arc::clone(&clock),
+        sink,
+        run_start: clock.now(),
+        stop: Arc::new(AtomicBool::new(false)),
+    };
+    let outcome = harness.run(&mut transport);
+    let stats = transport.stats();
+    emit(&format!(
+        "STATS worker={} pushes={} aborts={} conn_retries={} conn_resets={} circuit_opens={} \
+         retries_exhausted={} degraded_entries={} degraded_exits={}",
+        id,
+        outcome.pushes,
+        outcome.aborts,
+        stats.conn_retries,
+        stats.conn_resets,
+        stats.circuit_opens,
+        stats.retries_exhausted,
+        stats.degraded_entries,
+        stats.degraded_exits,
+    ));
+}
+
+// ---------------------------------------------------------- orchestrator
+
+struct Role {
+    name: &'static str,
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Role {
+    fn spawn(name: &'static str, extra: &[&str]) -> Role {
+        let exe = std::env::current_exe().expect("current_exe");
+        let mut child = Command::new(exe)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Role {
+            name,
+            child,
+            stdout,
+        }
+    }
+
+    /// Reads the child's `LISTENING <addr>` coordination line.
+    fn listening_addr(&mut self) -> String {
+        let mut line = String::new();
+        self.stdout
+            .read_line(&mut line)
+            .unwrap_or_else(|e| panic!("read {} stdout: {e}", self.name));
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("{} printed {line:?}, want LISTENING", self.name))
+            .to_string();
+        eprintln!("[net_chaos] {} listening on {addr}", self.name);
+        addr
+    }
+
+    /// Waits until exit or `deadline`, then SIGKILLs. Returns remaining
+    /// stdout lines.
+    fn finish(mut self, deadline: Instant) -> Vec<String> {
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() >= deadline => {
+                    eprintln!("[net_chaos] {} overran its budget; killing", self.name);
+                    self.child.kill().ok();
+                    self.child.wait().ok();
+                    break;
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                Err(e) => panic!("wait {}: {e}", self.name),
+            }
+        }
+        self.stdout.lines().map_while(Result::ok).collect()
+    }
+}
+
+/// Pulls `key=value` strings out of a child's `STATS ...` line.
+fn stat(lines: &[String], key: &str) -> Option<String> {
+    lines
+        .iter()
+        .filter(|l| l.starts_with("STATS"))
+        .flat_map(|l| l.split_whitespace())
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")).map(str::to_string))
+}
+
+fn stat_u64(lines: &[String], key: &str) -> u64 {
+    stat(lines, key).and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// One scenario of the matrix: which process gets which fault script.
+struct Scenario {
+    name: &'static str,
+    seed: u64,
+    /// Faults injected into the primary shard process (scenario 1).
+    primary_chaos: Option<NetChaos>,
+    /// Faults injected into every worker process (scenarios 2 and 3).
+    worker_chaos: Option<NetChaos>,
+}
+
+/// Everything a finished scenario reports; worker counters are summed
+/// across the four worker processes.
+struct Outcome {
+    name: &'static str,
+    seed: u64,
+    primary_spec: String,
+    worker_spec: String,
+    promotions: u64,
+    completed: bool,
+    total_pushes: u64,
+    dead_workers: u64,
+    backup_serving: bool,
+    worker_pushes: u64,
+    conn_retries: u64,
+    conn_resets: u64,
+    circuit_opens: u64,
+    retries_exhausted: u64,
+    degraded_entries: u64,
+    degraded_exits: u64,
+    /// Worker processes that terminated and printed a STATS line within
+    /// the drain window — the structural "retries are bounded" witness.
+    workers_reporting: usize,
+    elapsed_ms: u64,
+    violations: Vec<String>,
+}
+
+impl Outcome {
+    fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The fixed scenario matrix. Seeds are arbitrary but pinned: the fault
+/// scripts — which write resets, which reconnect is refused — are pure
+/// functions of them.
+fn matrix() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "partition-primary",
+            seed: 9001,
+            primary_chaos: Some(NetChaos {
+                seed: 9001,
+                scope: ChaosScope::All,
+                half_open_after: Some(0),
+                after_ms: 400,
+                ..NetChaos::disabled()
+            }),
+            worker_chaos: None,
+        },
+        Scenario {
+            name: "partition-scheduler",
+            seed: 9002,
+            primary_chaos: None,
+            worker_chaos: Some(NetChaos {
+                seed: 9002,
+                scope: ChaosScope::Sched,
+                reset_after: Some(6),
+                connect_refusals: 2,
+                ..NetChaos::disabled()
+            }),
+        },
+        Scenario {
+            name: "flaky-links",
+            seed: 9003,
+            primary_chaos: None,
+            worker_chaos: Some(NetChaos {
+                seed: 9003,
+                scope: ChaosScope::Shard,
+                reset_permille: 50,
+                ..NetChaos::disabled()
+            }),
+        },
+    ]
+}
+
+/// Scenario-specific assertions; anything returned fails the run.
+fn violations(outcome: &Outcome, push_target: u64) -> Vec<String> {
+    let mut v = Vec::new();
+    let mut check = |ok: bool, msg: String| {
+        if !ok {
+            v.push(msg);
+        }
+    };
+    check(
+        outcome.completed,
+        "the run must reach its push target despite the faults".to_string(),
+    );
+    check(
+        outcome.total_pushes >= push_target,
+        format!(
+            "scheduler saw {} pushes, want >= {push_target}",
+            outcome.total_pushes
+        ),
+    );
+    check(
+        outcome.workers_reporting == WORKERS,
+        format!(
+            "every worker must terminate within the drain window (bounded retries), \
+             only {}/{WORKERS} reported",
+            outcome.workers_reporting
+        ),
+    );
+    match outcome.name {
+        "partition-primary" => {
+            check(
+                outcome.promotions == 1,
+                format!(
+                    "half-open primary must trigger exactly one promotion, saw {}",
+                    outcome.promotions
+                ),
+            );
+            check(
+                outcome.backup_serving,
+                "the backup must end the run as the serving primary".to_string(),
+            );
+            check(
+                outcome.conn_resets >= 1,
+                "workers must observe at least one data-plane failure".to_string(),
+            );
+        }
+        "partition-scheduler" => {
+            check(
+                outcome.promotions == 0,
+                format!(
+                    "control-plane faults must not promote shards, saw {}",
+                    outcome.promotions
+                ),
+            );
+            check(
+                outcome.degraded_entries >= WORKERS as u64,
+                format!(
+                    "every worker must enter degraded mode at least once, saw {} entries",
+                    outcome.degraded_entries
+                ),
+            );
+            check(
+                outcome.degraded_exits >= WORKERS as u64,
+                format!(
+                    "workers must resync out of degraded mode, saw {} exits",
+                    outcome.degraded_exits
+                ),
+            );
+        }
+        "flaky-links" => {
+            check(
+                outcome.promotions == 0,
+                format!(
+                    "flaky worker links must not promote shards, saw {}",
+                    outcome.promotions
+                ),
+            );
+            check(
+                outcome.conn_resets >= 1,
+                "5% reset links must produce at least one observed reset".to_string(),
+            );
+        }
+        other => v.push(format!("unknown scenario {other}")),
+    }
+    v
+}
+
+fn run_scenario(scenario: &Scenario, push_target: u64) -> Outcome {
+    let started = Instant::now();
+    let deadline = started + SCENARIO_BUDGET;
+    let workers_flag = WORKERS.to_string();
+    let pushes_flag = push_target.to_string();
+    let primary_spec = scenario
+        .primary_chaos
+        .as_ref()
+        .map(NetChaos::to_spec)
+        .unwrap_or_default();
+    let worker_spec = scenario
+        .worker_chaos
+        .as_ref()
+        .map(NetChaos::to_spec)
+        .unwrap_or_default();
+    eprintln!(
+        "[net_chaos] === scenario {} (seed {}) primary=[{}] workers=[{}]",
+        scenario.name, scenario.seed, primary_spec, worker_spec
+    );
+
+    let mut scheduler = Role::spawn(
+        "scheduler",
+        &[
+            "--role",
+            "scheduler",
+            "--workers",
+            &workers_flag,
+            "--pushes",
+            &pushes_flag,
+        ],
+    );
+    let sched_addr = scheduler.listening_addr();
+
+    // Backup first (the primary's relay target must exist), then primary.
+    let mut backup = Role::spawn(
+        "backup",
+        &[
+            "--role",
+            "shard",
+            "--id",
+            "1",
+            "--backup",
+            "--sched",
+            &sched_addr,
+        ],
+    );
+    let backup_addr = backup.listening_addr();
+    let mut primary_args = vec![
+        "--role",
+        "shard",
+        "--id",
+        "0",
+        "--relay",
+        &backup_addr,
+        "--sched",
+        &sched_addr,
+    ];
+    if !primary_spec.is_empty() {
+        primary_args.push("--chaos");
+        primary_args.push(&primary_spec);
+    }
+    let mut primary = Role::spawn("primary", &primary_args);
+    let primary_addr = primary.listening_addr();
+
+    let ids: Vec<String> = (0..WORKERS).map(|i| i.to_string()).collect();
+    let worker_roles: Vec<Role> = ids
+        .iter()
+        .map(|id| {
+            let mut worker_args = vec![
+                "--role",
+                "worker",
+                "--id",
+                id,
+                "--workers",
+                &workers_flag,
+                "--shard",
+                &primary_addr,
+                "--sched",
+                &sched_addr,
+            ];
+            if !worker_spec.is_empty() {
+                worker_args.push("--chaos");
+                worker_args.push(&worker_spec);
+            }
+            Role::spawn("worker", &worker_args)
+        })
+        .collect();
+
+    // The scheduler owns run completion; everyone else gets a short drain
+    // window after it exits. A partitioned role that never hears the
+    // shutdown broadcast (its reads hang by script) is reaped here.
+    let sched_lines = scheduler.finish(deadline);
+    let drain = Instant::now() + DRAIN_GRACE;
+    let backup_lines = backup.finish(drain);
+    let _primary_lines = primary.finish(drain);
+    let mut worker_pushes = 0u64;
+    let mut conn_retries = 0u64;
+    let mut conn_resets = 0u64;
+    let mut circuit_opens = 0u64;
+    let mut retries_exhausted = 0u64;
+    let mut degraded_entries = 0u64;
+    let mut degraded_exits = 0u64;
+    let mut workers_reporting = 0usize;
+    for role in worker_roles {
+        let lines = role.finish(drain);
+        if stat(&lines, "worker").is_some() {
+            workers_reporting += 1;
+        }
+        worker_pushes += stat_u64(&lines, "pushes");
+        conn_retries += stat_u64(&lines, "conn_retries");
+        conn_resets += stat_u64(&lines, "conn_resets");
+        circuit_opens += stat_u64(&lines, "circuit_opens");
+        retries_exhausted += stat_u64(&lines, "retries_exhausted");
+        degraded_entries += stat_u64(&lines, "degraded_entries");
+        degraded_exits += stat_u64(&lines, "degraded_exits");
+    }
+
+    let mut outcome = Outcome {
+        name: scenario.name,
+        seed: scenario.seed,
+        primary_spec,
+        worker_spec,
+        promotions: stat_u64(&sched_lines, "promotions"),
+        completed: stat(&sched_lines, "completed").as_deref() == Some("true"),
+        total_pushes: stat_u64(&sched_lines, "total_pushes"),
+        dead_workers: stat_u64(&sched_lines, "dead_workers"),
+        backup_serving: stat(&backup_lines, "serving").as_deref() == Some("true"),
+        worker_pushes,
+        conn_retries,
+        conn_resets,
+        circuit_opens,
+        retries_exhausted,
+        degraded_entries,
+        degraded_exits,
+        workers_reporting,
+        elapsed_ms: started.elapsed().as_millis() as u64,
+        violations: Vec::new(),
+    };
+    outcome.violations = violations(&outcome, push_target);
+    eprintln!(
+        "[net_chaos] {}: {} in {}ms (promotions={} total_pushes={} resets={} opens={} \
+         exhausted={} degraded={}+{}-)",
+        outcome.name,
+        if outcome.passed() { "PASS" } else { "FAIL" },
+        outcome.elapsed_ms,
+        outcome.promotions,
+        outcome.total_pushes,
+        outcome.conn_resets,
+        outcome.circuit_opens,
+        outcome.retries_exhausted,
+        outcome.degraded_entries,
+        outcome.degraded_exits,
+    );
+    for v in &outcome.violations {
+        eprintln!("[net_chaos]   violation: {v}");
+    }
+    outcome
+}
+
+// ----------------------------------------------------------- reporting
+
+fn write_json(path: &Path, outcomes: &[Outcome], push_target: u64) {
+    let mut s = String::from("{\n");
+    s.push_str("  \"generated_by\": \"net_chaos --json\",\n");
+    s.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    s.push_str(&format!("  \"push_target\": {push_target},\n"));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", o.name));
+        s.push_str(&format!("      \"seed\": {},\n", o.seed));
+        s.push_str(&format!(
+            "      \"chaos_primary\": \"{}\",\n",
+            o.primary_spec
+        ));
+        s.push_str(&format!(
+            "      \"chaos_workers\": \"{}\",\n",
+            o.worker_spec
+        ));
+        s.push_str(&format!("      \"promotions\": {},\n", o.promotions));
+        s.push_str(&format!("      \"completed\": {},\n", o.completed));
+        s.push_str(&format!("      \"total_pushes\": {},\n", o.total_pushes));
+        s.push_str(&format!("      \"worker_pushes\": {},\n", o.worker_pushes));
+        s.push_str(&format!("      \"dead_workers\": {},\n", o.dead_workers));
+        s.push_str(&format!("      \"conn_retries\": {},\n", o.conn_retries));
+        s.push_str(&format!("      \"conn_resets\": {},\n", o.conn_resets));
+        s.push_str(&format!("      \"circuit_opens\": {},\n", o.circuit_opens));
+        s.push_str(&format!(
+            "      \"retries_exhausted\": {},\n",
+            o.retries_exhausted
+        ));
+        s.push_str(&format!(
+            "      \"degraded_entries\": {},\n",
+            o.degraded_entries
+        ));
+        s.push_str(&format!(
+            "      \"degraded_exits\": {},\n",
+            o.degraded_exits
+        ));
+        s.push_str(&format!(
+            "      \"workers_reporting\": {},\n",
+            o.workers_reporting
+        ));
+        s.push_str(&format!("      \"elapsed_ms\": {},\n", o.elapsed_ms));
+        s.push_str(&format!("      \"passed\": {}\n", o.passed()));
+        s.push_str(if i + 1 < outcomes.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).expect("write BENCH_PR9.json");
+    eprintln!("[net_chaos] wrote {}", path.display());
+}
+
+/// Pulls the deterministic invariants (`name`, `promotions`, `passed`)
+/// out of each scenario block of a checked-in report. Hand-rolled on
+/// purpose: the workspace has no JSON dependency and the format is our
+/// own fixed emitter above.
+fn parse_baseline(text: &str) -> Vec<(String, u64, bool)> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    let mut promotions = 0u64;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(v) = line.strip_prefix("\"name\": ") {
+            name = Some(v.trim_matches('"').to_string());
+        } else if let Some(v) = line.strip_prefix("\"promotions\": ") {
+            promotions = v.parse().unwrap_or(0);
+        } else if let Some(v) = line.strip_prefix("\"passed\": ") {
+            if let Some(n) = name.take() {
+                out.push((n, promotions, v == "true"));
+            }
+        }
+    }
+    out
+}
+
+/// `--check`: the current run must reproduce the checked-in invariants —
+/// same scenario set, same promotion counts, everything passing on both
+/// sides. Timing-dependent counters (pushes, resets, retries) are
+/// deliberately not compared across machines.
+fn check_baseline(path: &str, outcomes: &[Outcome]) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+    let baseline = parse_baseline(&text);
+    assert!(
+        !baseline.is_empty(),
+        "baseline {path} contains no scenario blocks"
+    );
+    for (name, promotions, passed) in &baseline {
+        assert!(passed, "baseline {path} records scenario {name} as failing");
+        let current = outcomes
+            .iter()
+            .find(|o| o.name == name)
+            .unwrap_or_else(|| panic!("baseline scenario {name} missing from this run"));
+        assert_eq!(
+            current.promotions, *promotions,
+            "scenario {name}: promotions {} != baseline {promotions}",
+            current.promotions
+        );
+    }
+    eprintln!(
+        "[net_chaos] baseline check OK ({} scenarios reproduced)",
+        baseline.len()
+    );
+}
+
+fn orchestrate(args: &[String]) {
+    let json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = arg_value(args, "--check");
+    let only = arg_value(args, "--scenario");
+    let push_target = if quick {
+        QUICK_PUSH_TARGET
+    } else {
+        PUSH_TARGET
+    };
+
+    let scenarios: Vec<Scenario> = matrix()
+        .into_iter()
+        .filter(|s| only.as_deref().is_none_or(|n| n == s.name))
+        .collect();
+    assert!(
+        !scenarios.is_empty(),
+        "no scenario named {only:?}; known: partition-primary, partition-scheduler, flaky-links"
+    );
+
+    let outcomes: Vec<Outcome> = scenarios
+        .iter()
+        .map(|s| run_scenario(s, push_target))
+        .collect();
+
+    println!();
+    println!(
+        "{:<20} {:>6} {:>10} {:>7} {:>7} {:>6} {:>9} {:>10} {:>6}",
+        "scenario", "promo", "pushes", "resets", "opens", "exh", "degraded", "elapsed", "pass"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<20} {:>6} {:>10} {:>7} {:>7} {:>6} {:>4}+{:<4} {:>9}ms {:>6}",
+            o.name,
+            o.promotions,
+            o.total_pushes,
+            o.conn_resets,
+            o.circuit_opens,
+            o.retries_exhausted,
+            o.degraded_entries,
+            o.degraded_exits,
+            o.elapsed_ms,
+            if o.passed() { "ok" } else { "FAIL" },
+        );
+    }
+
+    if json {
+        write_json(Path::new("BENCH_PR9.json"), &outcomes, push_target);
+    }
+    if let Some(path) = &check {
+        check_baseline(path, &outcomes);
+    }
+    let failed: Vec<&str> = outcomes
+        .iter()
+        .filter(|o| !o.passed())
+        .map(|o| o.name)
+        .collect();
+    assert!(failed.is_empty(), "failed scenarios: {failed:?}");
+    println!("net_chaos: OK ({} scenarios)", outcomes.len());
+}

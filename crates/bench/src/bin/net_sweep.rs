@@ -25,7 +25,9 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use specsync_net::{FrameConn, NetConfig, ShardHost, ShardServer, WireMessage};
+use specsync_net::{
+    ConnSeq, ConnTarget, FrameConn, NetConfig, ShardHost, ShardServer, WireMessage,
+};
 use specsync_ps::{ParameterStore, PushPayload, ReplicatedStore};
 use specsync_simnet::WorkerId;
 
@@ -60,9 +62,12 @@ struct LevelResult {
 fn run_level(addr: &str, clients: usize, pulls_per_client: u64) -> LevelResult {
     let barrier = Arc::new(std::sync::Barrier::new(clients + 1));
     let cfg = NetConfig::default();
+    let seq = ConnSeq::new();
     let mut handles = Vec::with_capacity(clients);
     for c in 0..clients {
-        let mut conn = FrameConn::connect_with_retries(addr, &cfg, |_| {}).expect("client connect");
+        let target = ConnTarget::new("sweep-client", &seq, c as u64);
+        let mut conn =
+            FrameConn::connect_with_retries(addr, &cfg, &target, |_| {}).expect("client connect");
         let barrier = Arc::clone(&barrier);
         handles.push(std::thread::spawn(move || {
             let worker = WorkerId::new(c);

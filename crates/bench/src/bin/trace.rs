@@ -164,6 +164,9 @@ struct WorkerTimeline {
     bytes_received: u64,
     /// Transport reconnect attempts.
     conn_retries: u64,
+    /// Connection-policy escalations: resets observed, circuit-breaker
+    /// trips, exhausted retry budgets, degraded-mode entries/exits.
+    net_faults: u64,
 }
 
 fn phase_index(p: WorkerPhase) -> usize {
@@ -408,6 +411,10 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
                     tl.bytes_received = tl.bytes_received.saturating_add(*bytes);
                 }
                 Event::ConnRetry { .. } => tl.conn_retries += 1,
+                Event::ConnReset { .. }
+                | Event::CircuitOpen { .. }
+                | Event::RetryExhausted { .. }
+                | Event::DegradedMode { .. } => tl.net_faults += 1,
                 Event::EpochTuned { .. }
                 | Event::Eval { .. }
                 | Event::StoreRecovered { .. }
@@ -589,23 +596,22 @@ fn summarize(path: &str) -> ExitCode {
 
     // Wire-traffic columns only appear for wall-clock transport traces —
     // the deterministic simulator never emits frame events.
-    if summary
-        .overall
-        .values()
-        .any(|tl| tl.bytes_sent > 0 || tl.bytes_received > 0 || tl.conn_retries > 0)
-    {
+    if summary.overall.values().any(|tl| {
+        tl.bytes_sent > 0 || tl.bytes_received > 0 || tl.conn_retries > 0 || tl.net_faults > 0
+    }) {
         println!("\nper-worker wire traffic:");
         println!(
-            "{:>3} {:>12} {:>12} {:>8}",
-            "w", "tx(KiB)", "rx(KiB)", "retries"
+            "{:>3} {:>12} {:>12} {:>8} {:>8}",
+            "w", "tx(KiB)", "rx(KiB)", "retries", "netflt"
         );
         for (&w, tl) in &summary.overall {
             println!(
-                "{:>3} {:>12.1} {:>12.1} {:>8}",
+                "{:>3} {:>12.1} {:>12.1} {:>8} {:>8}",
                 w,
                 tl.bytes_sent as f64 / 1024.0,
                 tl.bytes_received as f64 / 1024.0,
-                tl.conn_retries
+                tl.conn_retries,
+                tl.net_faults
             );
         }
     }

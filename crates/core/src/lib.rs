@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backoff;
 mod error;
 pub mod estimator;
 mod freshness;
@@ -47,6 +48,7 @@ mod pap;
 mod scheduler;
 mod tuner;
 
+pub use backoff::Backoff;
 pub use error::SpecSyncError;
 pub use freshness::{exact_freshness, mean_missed_updates, oracle_best_window, FreshnessOutcome};
 pub use history::{EvictionCounts, PullRecord, PushHistory, PushRecord};

@@ -5,7 +5,9 @@
 
 use std::time::Duration;
 
-use specsync_core::SpecSyncError;
+use specsync_core::{Backoff, SpecSyncError};
+
+use crate::chaos::NetChaos;
 
 /// Configuration of the TCP transport and its hosts.
 ///
@@ -23,14 +25,26 @@ pub struct NetConfig {
     /// How often clients and shard processes heartbeat the scheduler.
     pub heartbeat_interval: Duration,
     /// Silence after which the scheduler declares a peer dead — for a
-    /// primary shard, this triggers warm-backup promotion. Must exceed
-    /// [`heartbeat_interval`](Self::heartbeat_interval).
+    /// primary shard, this triggers warm-backup promotion. Must be at
+    /// least twice [`heartbeat_interval`](Self::heartbeat_interval), so a
+    /// single delayed beat cannot trip the liveness sweep.
     pub heartbeat_timeout: Duration,
-    /// Read timeout for request/response exchanges.
+    /// Read timeout for request/response exchanges (doubles as the
+    /// per-op send/recv deadline of the connection policy).
     pub io_timeout: Duration,
     /// Granularity of the scheduler server's timer loop (abort deadlines,
     /// liveness sweeps).
     pub tick: Duration,
+    /// Retries one logical transport operation (a pull, a push) may spend
+    /// before the policy escalates to degraded mode.
+    pub op_retry_budget: u32,
+    /// Consecutive per-peer failures that trip the circuit breaker open.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker fast-fails before half-opening a probe.
+    pub breaker_cooldown: Duration,
+    /// Fault-injection knobs ([`NetChaos::disabled`] by default — the
+    /// wire behaves exactly as if the chaos layer did not exist).
+    pub chaos: NetChaos,
 }
 
 impl Default for NetConfig {
@@ -42,6 +56,10 @@ impl Default for NetConfig {
             heartbeat_timeout: Duration::from_millis(500),
             io_timeout: Duration::from_secs(10),
             tick: Duration::from_millis(5),
+            op_retry_budget: 8,
+            breaker_threshold: 4,
+            breaker_cooldown: Duration::from_millis(200),
+            chaos: NetChaos::disabled(),
         }
     }
 }
@@ -77,6 +95,15 @@ impl NetConfig {
                 reason: "heartbeat timeout must exceed the interval",
             });
         }
+        // One delayed or lost beat must not trip the sweep: a timeout in
+        // (interval, 2×interval) declares a peer dead the moment a single
+        // heartbeat lands late, which promoted healthy shards in testing.
+        if self.heartbeat_timeout < self.heartbeat_interval * 2 {
+            return Err(SpecSyncError::InvalidHeartbeat {
+                reason: "heartbeat timeout must be at least twice the interval \
+                         (one delayed beat must not trip the liveness sweep)",
+            });
+        }
         if self.io_timeout.is_zero() {
             return Err(SpecSyncError::InvalidConfig(
                 "i/o timeout must be positive".to_string(),
@@ -87,6 +114,24 @@ impl NetConfig {
                 "scheduler tick must be positive".to_string(),
             ));
         }
+        if self.op_retry_budget == 0 {
+            return Err(SpecSyncError::InvalidRetryPolicy {
+                reason: "per-op retry budget must be positive",
+            });
+        }
+        if self.breaker_threshold == 0 {
+            return Err(SpecSyncError::InvalidRetryPolicy {
+                reason: "circuit breaker threshold must be positive",
+            });
+        }
+        if self.breaker_cooldown.is_zero() {
+            return Err(SpecSyncError::InvalidRetryPolicy {
+                reason: "circuit breaker cooldown must be positive",
+            });
+        }
+        if let Err(reason) = self.chaos.try_validate() {
+            return Err(SpecSyncError::InvalidConfig(reason));
+        }
         Ok(())
     }
 
@@ -96,6 +141,20 @@ impl NetConfig {
     pub fn backoff_delay(&self, attempt: u32) -> Duration {
         let factor = 1u32 << attempt.min(16);
         (self.retry_backoff * factor).min(Duration::from_secs(1))
+    }
+
+    /// The jittered reconnect delay for 0-based `attempt`: the shared
+    /// [`Backoff`] schedule scaled into `[0.5, 1.0]×` by a deterministic
+    /// hash of `(seed, attempt)`, so reconnect storms after a promotion
+    /// do not synchronize across workers while each worker's schedule
+    /// stays reproducible.
+    pub fn jittered_backoff_delay(&self, attempt: u32, seed: u64) -> Duration {
+        let backoff = Backoff::new(self.retry_backoff, self.connect_retries);
+        let capped = attempt.min(self.connect_retries.saturating_sub(1));
+        backoff
+            .jittered(capped, seed)
+            .unwrap_or(self.retry_backoff)
+            .min(Duration::from_secs(1))
     }
 }
 
@@ -142,6 +201,30 @@ impl NetConfigBuilder {
         self
     }
 
+    /// Sets the per-op retry budget of the connection policy.
+    pub fn op_retry_budget(mut self, budget: u32) -> Self {
+        self.config.op_retry_budget = budget;
+        self
+    }
+
+    /// Sets the circuit breaker's consecutive-failure threshold.
+    pub fn breaker_threshold(mut self, threshold: u32) -> Self {
+        self.config.breaker_threshold = threshold;
+        self
+    }
+
+    /// Sets the circuit breaker's fast-fail cooldown.
+    pub fn breaker_cooldown(mut self, cooldown: Duration) -> Self {
+        self.config.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Sets the fault-injection configuration.
+    pub fn chaos(mut self, chaos: NetChaos) -> Self {
+        self.config.chaos = chaos;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn try_build(self) -> Result<NetConfig, SpecSyncError> {
         self.config.try_validate()?;
@@ -185,6 +268,72 @@ mod tests {
             matches!(err, SpecSyncError::InvalidHeartbeat { .. }),
             "got {err:?}"
         );
+    }
+
+    #[test]
+    fn timeout_within_one_beat_of_interval_rejected() {
+        // Strictly greater than the interval but below 2× — a single
+        // delayed heartbeat would trip the sweep, so try_build refuses.
+        let err = NetConfig::builder()
+            .heartbeat_interval(Duration::from_millis(100))
+            .heartbeat_timeout(Duration::from_millis(150))
+            .try_build()
+            .unwrap_err();
+        assert!(
+            matches!(err, SpecSyncError::InvalidHeartbeat { .. }),
+            "got {err:?}"
+        );
+        // Exactly 2× is the boundary and is accepted.
+        assert!(NetConfig::builder()
+            .heartbeat_interval(Duration::from_millis(100))
+            .heartbeat_timeout(Duration::from_millis(200))
+            .try_build()
+            .is_ok());
+    }
+
+    #[test]
+    fn degenerate_policy_knobs_rejected() {
+        for build in [
+            NetConfig::builder().op_retry_budget(0),
+            NetConfig::builder().breaker_threshold(0),
+            NetConfig::builder().breaker_cooldown(Duration::ZERO),
+        ] {
+            let err = build.try_build().unwrap_err();
+            assert!(
+                matches!(err, SpecSyncError::InvalidRetryPolicy { .. }),
+                "got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_chaos_rejected_and_valid_chaos_accepted() {
+        let mut chaos = crate::chaos::NetChaos::disabled();
+        chaos.reset_permille = 2000;
+        let err = NetConfig::builder().chaos(chaos).try_build().unwrap_err();
+        assert!(
+            matches!(err, SpecSyncError::InvalidConfig(_)),
+            "got {err:?}"
+        );
+        let mut chaos = crate::chaos::NetChaos::disabled();
+        chaos.seed = 11;
+        chaos.reset_permille = 50;
+        assert!(NetConfig::builder().chaos(chaos).try_build().is_ok());
+    }
+
+    #[test]
+    fn jittered_backoff_bounded_by_unjittered_and_stable() {
+        let cfg = NetConfig::default();
+        for attempt in 0..cfg.connect_retries {
+            let j = cfg.jittered_backoff_delay(attempt, 3);
+            assert!(j <= cfg.backoff_delay(attempt).max(Backoff::MAX_DELAY));
+            assert!(!j.is_zero());
+            assert_eq!(j, cfg.jittered_backoff_delay(attempt, 3));
+        }
+        // Distinct seeds walk distinct schedules (storm decorrelation).
+        let a: Vec<_> = (0..8).map(|i| cfg.jittered_backoff_delay(i, 1)).collect();
+        let b: Vec<_> = (0..8).map(|i| cfg.jittered_backoff_delay(i, 2)).collect();
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::io;
 
+use specsync_core::SpecSyncError;
 use specsync_ps::ReplicaError;
 
 use crate::frame::{FrameError, FrameReadError};
@@ -35,8 +36,22 @@ pub enum NetError {
         /// Attempts spent.
         attempts: u32,
     },
+    /// The per-peer circuit breaker is open: the operation fast-failed
+    /// without touching the socket.
+    CircuitOpen {
+        /// The peer address the breaker guards.
+        addr: String,
+    },
+    /// One logical operation spent its whole retry budget.
+    RetryExhausted {
+        /// Attempts spent before giving up.
+        attempts: u32,
+    },
     /// The peer (or in-process host thread) is gone.
     Disconnected,
+    /// The [`NetConfig`](crate::NetConfig) failed validation at the
+    /// transport/server entry point.
+    Config(SpecSyncError),
 }
 
 impl fmt::Display for NetError {
@@ -52,7 +67,14 @@ impl fmt::Display for NetError {
             NetError::ConnectFailed { addr, attempts } => {
                 write!(f, "could not connect to {addr} after {attempts} attempts")
             }
+            NetError::CircuitOpen { addr } => {
+                write!(f, "circuit breaker open for {addr}: fast-failing")
+            }
+            NetError::RetryExhausted { attempts } => {
+                write!(f, "operation abandoned after {attempts} attempts")
+            }
             NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Config(e) => write!(f, "invalid net config: {e}"),
         }
     }
 }

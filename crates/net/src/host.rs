@@ -374,6 +374,78 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &c), "new version must re-serialize");
     }
 
+    /// The server's serving idiom — lock the host, grab the encoded
+    /// reply, write outside the lock — under concurrent pullers while a
+    /// pusher bumps versions and a crash/promote cycle runs mid-stream:
+    /// no puller may ever decode a version older than one it already saw
+    /// (a stale cached frame surviving the promotion would do exactly
+    /// that), and after promotion the cache must serve the store's real
+    /// version, not the pre-crash bytes.
+    #[test]
+    fn concurrent_pullers_never_decode_a_stale_cached_reply_across_promotion() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let h = Arc::new(parking_lot::Mutex::new(host()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut pullers = Vec::new();
+        for t in 0..4usize {
+            let h = Arc::clone(&h);
+            let stop = Arc::clone(&stop);
+            pullers.push(std::thread::spawn(move || {
+                let w = WorkerId::new(t % 2);
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // ServerDown mid-failover is expected; keep pulling.
+                    let Ok((bytes, _)) = h.lock().encoded_pull_reply(w) else {
+                        continue;
+                    };
+                    let WireMessage::PullReply { version, .. } = decode_frame(&bytes).unwrap()
+                    else {
+                        panic!("cache served a non-PullReply frame");
+                    };
+                    assert!(version >= last, "stale cached reply: {version} < {last}");
+                    last = version;
+                }
+            }));
+        }
+        let w0 = WorkerId::new(0);
+        let w1 = WorkerId::new(1);
+        for _ in 0..10 {
+            h.lock().push_dense(w0, &[1.0; 8], 0.1).unwrap();
+            h.lock().push_dense(w1, &[1.0; 8], 0.1).unwrap();
+            std::thread::yield_now();
+        }
+        let pre_crash = h.lock().encoded_pull_reply(w0).unwrap().0;
+        {
+            let mut locked = h.lock();
+            locked
+                .failover(&FailoverControl::Crash { server: 0 })
+                .unwrap();
+            locked
+                .failover(&FailoverControl::Promote { server: 0 })
+                .unwrap();
+        }
+        for _ in 0..10 {
+            h.lock().push_dense(w0, &[1.0; 8], 0.1).unwrap();
+            h.lock().push_dense(w1, &[1.0; 8], 0.1).unwrap();
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for p in pullers {
+            p.join().unwrap();
+        }
+        let mut locked = h.lock();
+        let store_version = locked.replica().version();
+        let (bytes, _) = locked.encoded_pull_reply(w0).unwrap();
+        let WireMessage::PullReply { version, .. } = decode_frame(&bytes).unwrap() else {
+            panic!("cache served a non-PullReply frame");
+        };
+        assert_eq!(version, store_version, "cache must track the live store");
+        assert!(
+            !Arc::ptr_eq(&pre_crash, &bytes),
+            "post-promotion pulls must not reuse pre-crash bytes"
+        );
+    }
+
     #[test]
     fn staleness_observed_before_pull_registers() {
         let mut h = host();

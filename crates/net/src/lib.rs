@@ -15,6 +15,13 @@
 //!   through, with two interchangeable implementations:
 //!   [`InProcTransport`] (channels; byte-identical to the pre-wire
 //!   runtime) and [`TcpTransport`] (sockets, reconnect-on-failover).
+//! * [`policy`] — [`ConnPolicy`]: per-op deadlines, jittered backoff
+//!   with a retry budget, and the per-peer [`CircuitBreaker`] that lets
+//!   a worker park against a broken peer instead of erroring out.
+//! * [`chaos`] — deterministic fault injection: [`ChaosStream`] /
+//!   [`ChaosListener`] execute a seeded per-connection [`FaultScript`]
+//!   (refusals, resets, stalls, trickling, corruption, half-open
+//!   silence) behind a [`NetChaos`] config that is free when disabled.
 //! * [`host`] — [`ShardHost`], the transport-agnostic shard brain: a
 //!   replicated store plus the per-version encoded-frame cache that lets
 //!   one serialization serve every concurrent puller of a version.
@@ -33,14 +40,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod error;
 pub mod frame;
 pub mod host;
+pub mod policy;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
+pub use chaos::{ChaosListener, ChaosScope, ChaosStream, ConnSeq, FaultScript, NetChaos};
 pub use config::{NetConfig, NetConfigBuilder};
 pub use error::NetError;
 pub use frame::{
@@ -48,6 +58,10 @@ pub use frame::{
     MAX_SPARSE_DIM, PAYLOAD_LIMIT,
 };
 pub use host::{PullGrant, PushReceipt, ShardHost};
+pub use policy::{Admit, CircuitBreaker, ConnPolicy};
 pub use server::{SchedulerConfig, SchedulerRunStats, SchedulerServer, ShardServer, ShardStats};
-pub use transport::{Endpoint, FrameConn, InProcTransport, ServerFrame, TcpTransport, Transport};
+pub use transport::{
+    ConnTarget, Endpoint, FrameConn, InProcTransport, ServerFrame, TcpTransport, Transport,
+    TransportStats,
+};
 pub use wire::{FailoverControl, MessageSizes, WireMessage};

@@ -1,0 +1,290 @@
+//! The transport's connection policy: per-op deadlines, jittered
+//! exponential backoff with a retry budget, and a per-peer circuit
+//! breaker.
+//!
+//! PR 8's transport retried forever with an unjittered sleep; under a
+//! hostile network that either hammers a struggling peer or synchronizes
+//! every worker's reconnect into a storm. [`ConnPolicy`] bounds and
+//! spreads the retries; [`CircuitBreaker`] converts repeated failure
+//! into fast-fail plus a half-open probe, which is what lets a worker
+//! *park* (degraded mode) instead of spinning.
+//!
+//! The breaker is a pure state machine over a caller-supplied monotonic
+//! `now: Duration` (the transport feeds it
+//! [`WallElapsed`](crate::transport::WallElapsed) readings), so its
+//! transitions unit-test deterministically without touching a clock.
+//!
+//! # State machine
+//!
+//! ```text
+//!            consecutive failures < threshold
+//!           ┌─────────────────────────────────┐
+//!           ▼                                 │ failure
+//!        CLOSED ──────────────────────────────┘
+//!           │ failure # == threshold
+//!           ▼
+//!         OPEN ──(cooldown elapses)──▶ HALF-OPEN
+//!           ▲                              │
+//!           │ probe fails                  │ probe succeeds
+//!           └──────────────────────────────▼
+//!                                       CLOSED
+//! ```
+//!
+//! While OPEN, [`CircuitBreaker::admit`] fast-fails without touching the
+//! socket; the first admit after the cooldown is a *probe* (exactly one
+//! in-flight attempt — HALF-OPEN admits no others until it resolves).
+
+use std::time::Duration;
+
+use specsync_core::Backoff;
+
+use crate::config::NetConfig;
+
+/// Per-connection operating rules derived from [`NetConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnPolicy {
+    /// Deadline for one socket send (write timeout on the stream).
+    pub send_deadline: Duration,
+    /// Deadline for one socket receive (read timeout on the stream).
+    pub recv_deadline: Duration,
+    /// Retries one logical operation may spend before the transport
+    /// escalates (emits `RetryExhausted` and degrades).
+    pub op_retry_budget: u32,
+    /// The shared exponential backoff schedule.
+    pub backoff: Backoff,
+    /// Seed for deterministic jitter — distinct per worker, so retry
+    /// storms decorrelate while each worker stays reproducible.
+    pub jitter_seed: u64,
+    /// Consecutive failures that trip the breaker open.
+    pub breaker_threshold: u32,
+    /// How long the breaker fast-fails before half-opening a probe.
+    pub breaker_cooldown: Duration,
+}
+
+impl ConnPolicy {
+    /// Derives the policy a transport should run with. `jitter_seed`
+    /// should identify the worker (e.g. its index) so schedules
+    /// decorrelate across processes.
+    pub fn from_config(config: &NetConfig, jitter_seed: u64) -> Self {
+        ConnPolicy {
+            send_deadline: config.io_timeout,
+            recv_deadline: config.io_timeout,
+            op_retry_budget: config.op_retry_budget,
+            backoff: Backoff::new(config.retry_backoff, config.connect_retries),
+            jitter_seed,
+            breaker_threshold: config.breaker_threshold,
+            breaker_cooldown: config.breaker_cooldown,
+        }
+    }
+
+    /// The jittered delay before retry `attempt` (0-based), saturating at
+    /// the schedule's final delay once the backoff budget is spent — the
+    /// policy layer above decides when to give up, this only paces.
+    pub fn retry_delay(&self, attempt: u32) -> Duration {
+        let capped = attempt.min(self.backoff.max_retries.saturating_sub(1));
+        self.backoff
+            .jittered(capped, self.jitter_seed)
+            .unwrap_or(self.backoff.base)
+    }
+
+    /// A fresh breaker for one peer under this policy.
+    pub fn new_breaker(&self) -> CircuitBreaker {
+        CircuitBreaker::new(self.breaker_threshold, self.breaker_cooldown)
+    }
+}
+
+/// What [`CircuitBreaker::admit`] tells the caller to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Breaker closed: proceed normally.
+    Proceed,
+    /// Breaker half-open: this attempt is the probe — success closes the
+    /// breaker, failure re-opens it for another cooldown.
+    Probe,
+    /// Breaker open: fast-fail without touching the socket; retry no
+    /// sooner than the embedded instant (same clock the caller feeds in).
+    FastFail {
+        /// When the cooldown elapses and a probe will be admitted.
+        retry_at: Duration,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { until: Duration },
+    HalfOpen,
+}
+
+/// Per-peer circuit breaker: consecutive failures trip it open; while
+/// open, operations fast-fail; after the cooldown one probe is admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    consecutive_failures: u32,
+    state: BreakerState,
+    /// Lifetime count of trips to OPEN (telemetry).
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that trips after `threshold` consecutive
+    /// failures and fast-fails for `cooldown` before probing.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            trips: 0,
+        }
+    }
+
+    /// Should an operation proceed at time `now`?
+    pub fn admit(&mut self, now: Duration) -> Admit {
+        match self.state {
+            BreakerState::Closed => Admit::Proceed,
+            BreakerState::Open { until } if now >= until => {
+                self.state = BreakerState::HalfOpen;
+                Admit::Probe
+            }
+            BreakerState::Open { until } => Admit::FastFail { retry_at: until },
+            // One probe is already in flight; admit nothing else.
+            BreakerState::HalfOpen => Admit::FastFail {
+                retry_at: now + self.cooldown,
+            },
+        }
+    }
+
+    /// Records a successful operation: closes the breaker, clears the
+    /// failure streak.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a failed operation at `now`. Returns `true` when this
+    /// failure *trips* the breaker open (the caller emits `CircuitOpen`
+    /// exactly once per trip).
+    pub fn on_failure(&mut self, now: Duration) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            // A failed probe re-opens immediately.
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open {
+                    until: now + self.cooldown,
+                };
+                self.trips += 1;
+                true
+            }
+            BreakerState::Closed if self.consecutive_failures >= self.threshold => {
+                self.state = BreakerState::Open {
+                    until: now + self.cooldown,
+                };
+                self.trips += 1;
+                true
+            }
+            BreakerState::Closed | BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// The current consecutive-failure streak.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Lifetime count of trips to OPEN.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Whether the breaker is currently open (fast-failing).
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, BreakerState::Open { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    fn policy() -> ConnPolicy {
+        let config = NetConfig::default();
+        ConnPolicy::from_config(&config, 7)
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_fast_fails() {
+        let mut b = CircuitBreaker::new(3, 10 * MS);
+        let now = Duration::ZERO;
+        assert_eq!(b.admit(now), Admit::Proceed);
+        assert!(!b.on_failure(now));
+        assert!(!b.on_failure(now));
+        assert!(b.on_failure(now), "third failure trips");
+        assert_eq!(b.trips(), 1);
+        assert!(b.is_open());
+        match b.admit(5 * MS) {
+            Admit::FastFail { retry_at } => assert_eq!(retry_at, 10 * MS),
+            other => panic!("expected FastFail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breaker_half_opens_probe_then_closes_on_success() {
+        let mut b = CircuitBreaker::new(1, 10 * MS);
+        assert!(b.on_failure(Duration::ZERO));
+        assert_eq!(b.admit(10 * MS), Admit::Probe);
+        // While the probe is in flight nothing else is admitted.
+        assert!(matches!(b.admit(11 * MS), Admit::FastFail { .. }));
+        b.on_success();
+        assert_eq!(b.admit(12 * MS), Admit::Proceed);
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let mut b = CircuitBreaker::new(1, 10 * MS);
+        assert!(b.on_failure(Duration::ZERO));
+        assert_eq!(b.admit(10 * MS), Admit::Probe);
+        assert!(b.on_failure(10 * MS), "failed probe re-trips");
+        assert_eq!(b.trips(), 2);
+        match b.admit(12 * MS) {
+            Admit::FastFail { retry_at } => assert_eq!(retry_at, 20 * MS),
+            other => panic!("expected FastFail, got {other:?}"),
+        }
+        assert_eq!(b.admit(20 * MS), Admit::Probe);
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_to_one() {
+        let mut b = CircuitBreaker::new(0, 10 * MS);
+        assert!(b.on_failure(Duration::ZERO), "first failure trips");
+    }
+
+    #[test]
+    fn retry_delay_jitters_within_schedule_and_saturates() {
+        let p = policy();
+        for attempt in 0..p.backoff.max_retries {
+            let full = p.backoff.delay(attempt).unwrap();
+            let d = p.retry_delay(attempt);
+            assert!(d <= full && d >= full / 2, "attempt {attempt}: {d:?}");
+        }
+        // Past the budget the delay saturates at the final step's jitter
+        // rather than underflowing or panicking.
+        let last = p.retry_delay(p.backoff.max_retries.saturating_sub(1));
+        assert_eq!(p.retry_delay(p.backoff.max_retries + 5), last);
+    }
+
+    #[test]
+    fn distinct_seeds_decorrelate_retry_schedules() {
+        let config = NetConfig::default();
+        let a = ConnPolicy::from_config(&config, 1);
+        let b = ConnPolicy::from_config(&config, 2);
+        let sched = |p: &ConnPolicy| (0..8).map(|i| p.retry_delay(i)).collect::<Vec<_>>();
+        assert_ne!(sched(&a), sched(&b));
+        assert_eq!(sched(&a), sched(&a), "per-seed schedule is stable");
+    }
+}

@@ -31,7 +31,7 @@
 
 use std::collections::BTreeMap;
 use std::io;
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -43,12 +43,13 @@ use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
 use specsync_sync::{SchemeKind, TuningMode};
 use specsync_telemetry::{Event, EventSink, NullSink};
 
+use crate::chaos::{ChaosListener, ChaosStream, ConnSeq};
 use crate::config::NetConfig;
 use crate::error::NetError;
 use crate::frame::{read_frame, write_frame, ReadOutcome};
 use crate::host::ShardHost;
-use crate::transport::FrameConn;
 use crate::transport::WallElapsed;
+use crate::transport::{ConnTarget, FrameConn};
 use crate::wire::{FailoverControl, WireMessage};
 
 // ---------------------------------------------------------------- shard
@@ -112,13 +113,16 @@ impl ShardServer {
     ///
     /// # Errors
     ///
-    /// I/O errors from binding.
+    /// I/O errors from binding, or an invalid configuration — a
+    /// degenerate heartbeat ordering is refused here, before the process
+    /// joins a cluster it would destabilize.
     pub fn bind(
         shard_id: u64,
         addr: &str,
         host: ShardHost,
         config: NetConfig,
     ) -> Result<Self, NetError> {
+        config.try_validate().map_err(NetError::Config)?;
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?.to_string();
         Ok(ShardServer {
@@ -190,10 +194,19 @@ impl ShardServer {
             sched_addr,
         } = self;
 
+        // Per-process outbound connection sequence: chaos scripts advance
+        // per label, so reconnects draw fresh fault streams.
+        let seq = ConnSeq::new();
+
         // Write-ahead relay to the warm backup, handed to the apply
         // thread (relay-then-apply in one thread keeps the orders equal).
         let relay = match &backup_addr {
-            Some(addr) => Some(FrameConn::connect_with_retries(addr, &config, |_| {})?),
+            Some(addr) => Some(FrameConn::connect_with_retries(
+                addr,
+                &config,
+                &ConnTarget::new("relay", &seq, shard_id),
+                |_| {},
+            )?),
             None => None,
         };
 
@@ -234,7 +247,12 @@ impl ShardServer {
 
         // Scheduler link: register, heartbeat, obey control frames.
         if let Some(addr) = &sched_addr {
-            let conn = FrameConn::connect_with_retries(addr, &config, |_| {})?;
+            let conn = FrameConn::connect_with_retries(
+                addr,
+                &config,
+                &ConnTarget::new("sched", &seq, shard_id),
+                |_| {},
+            )?;
             let mut writer = conn.into_stream();
             let mut reader = writer.try_clone()?;
             reader.set_read_timeout(None).ok();
@@ -323,7 +341,10 @@ impl ShardServer {
         }
 
         // Accept loop: non-blocking accept so the stop flag is honored.
+        // Accepted streams run this process's chaos script (pass-through
+        // when chaos is disabled).
         listener.set_nonblocking(true)?;
+        let listener = ChaosListener::new(listener, config.chaos.clone(), "shard-accept");
         while !stop.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, peer)) => {
@@ -337,7 +358,7 @@ impl ShardServer {
                     let peer = peer.to_string();
                     std::thread::spawn(move || {
                         serve_shard_conn(
-                            FrameConn::from_stream(stream, peer),
+                            FrameConn::from_chaos_stream(stream, peer),
                             &host,
                             &serving,
                             &stop,
@@ -489,7 +510,7 @@ enum Peer {
 }
 
 enum ConnEvent {
-    Opened { id: usize, writer: TcpStream },
+    Opened { id: usize, writer: ChaosStream },
     Frame { id: usize, frame: WireMessage },
     Closed { id: usize },
 }
@@ -519,9 +540,7 @@ impl SchedulerServer {
     ///
     /// I/O errors from binding, or an invalid configuration.
     pub fn bind(addr: &str, cfg: SchedulerConfig) -> Result<Self, NetError> {
-        cfg.net.try_validate().map_err(|_| NetError::Unhandled {
-            what: "invalid scheduler net configuration",
-        })?;
+        cfg.net.try_validate().map_err(NetError::Config)?;
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?.to_string();
         Ok(SchedulerServer {
@@ -567,6 +586,7 @@ impl SchedulerServer {
             let stop = Arc::clone(&stop);
             let tick = cfg.net.tick;
             listener.set_nonblocking(true)?;
+            let listener = ChaosListener::new(listener, cfg.net.chaos.clone(), "sched-accept");
             std::thread::spawn(move || {
                 let mut next_id = 0usize;
                 while !stop.load(Ordering::SeqCst) {
@@ -620,7 +640,7 @@ struct Central<'a> {
     clock: &'a WallElapsed,
     sink: &'a Arc<dyn EventSink<Duration>>,
     core: Scheduler,
-    writers: BTreeMap<usize, TcpStream>,
+    writers: BTreeMap<usize, ChaosStream>,
     peers: BTreeMap<usize, Peer>,
     worker_conn: BTreeMap<usize, usize>,
     /// Registered shards by id.
@@ -1021,6 +1041,12 @@ mod tests {
         ShardServer::bind(id, "127.0.0.1:0", host, NetConfig::default()).unwrap()
     }
 
+    fn connect(addr: &str, cfg: &NetConfig) -> FrameConn {
+        let seq = ConnSeq::new();
+        FrameConn::connect_with_retries(addr, cfg, &ConnTarget::new("test", &seq, 0), |_| {})
+            .unwrap()
+    }
+
     #[test]
     fn shard_serves_pull_and_push_over_tcp() {
         let server = shard(0, 8);
@@ -1029,7 +1055,7 @@ mod tests {
         let handle = std::thread::spawn(move || server.run().unwrap());
 
         let cfg = NetConfig::default();
-        let mut conn = FrameConn::connect_with_retries(&addr, &cfg, |_| {}).unwrap();
+        let mut conn = connect(&addr, &cfg);
         let w = WorkerId::new(0);
         let (reply, _, _) = conn
             .exchange(&WireMessage::Push {
@@ -1073,7 +1099,7 @@ mod tests {
         let primary_handle = std::thread::spawn(move || primary.run().unwrap());
 
         let cfg = NetConfig::default();
-        let mut conn = FrameConn::connect_with_retries(&primary_addr, &cfg, |_| {}).unwrap();
+        let mut conn = connect(&primary_addr, &cfg);
         let w = WorkerId::new(0);
         for i in 1..=3u64 {
             let (reply, _, _) = conn
@@ -1092,7 +1118,7 @@ mod tests {
         }
         // A pull against the backup is refused while it is not serving:
         // the connection just closes.
-        let mut bconn = FrameConn::connect_with_retries(&backup_addr, &cfg, |_| {}).unwrap();
+        let mut bconn = connect(&backup_addr, &cfg);
         bconn.write(&WireMessage::Pull { worker: w }).unwrap();
         assert!(bconn.recv().is_err());
         drop(conn);
@@ -1131,7 +1157,7 @@ mod tests {
         let cfg = NetConfig::default();
 
         // A fake primary registers, then a fake backup.
-        let mut primary = FrameConn::connect_with_retries(&sched_addr, &cfg, |_| {}).unwrap();
+        let mut primary = connect(&sched_addr, &cfg);
         primary
             .write(&WireMessage::Failover(FailoverControl::Register {
                 server: 0,
@@ -1139,7 +1165,7 @@ mod tests {
                 addr: "127.0.0.1:7000".into(),
             }))
             .unwrap();
-        let mut backup = FrameConn::connect_with_retries(&sched_addr, &cfg, |_| {}).unwrap();
+        let mut backup = connect(&sched_addr, &cfg);
         backup
             .write(&WireMessage::Failover(FailoverControl::Register {
                 server: 1,
@@ -1149,7 +1175,7 @@ mod tests {
             .unwrap();
 
         // A worker asks where the primary is.
-        let mut worker = FrameConn::connect_with_retries(&sched_addr, &cfg, |_| {}).unwrap();
+        let mut worker = connect(&sched_addr, &cfg);
         worker
             .write(&WireMessage::Failover(FailoverControl::QueryPrimary))
             .unwrap();
@@ -1204,7 +1230,7 @@ mod tests {
         // central loop broadcasts Shutdown and returns.
         drop(backup);
         drop(worker);
-        let mut closer = FrameConn::connect_with_retries(&sched_addr, &cfg, |_| {}).unwrap();
+        let mut closer = connect(&sched_addr, &cfg);
         closer
             .write(&WireMessage::Notify {
                 worker: WorkerId::new(0),

@@ -20,7 +20,6 @@
 //! handled by the other.
 
 use std::io::Write as _;
-use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -28,9 +27,11 @@ use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 use specsync_simnet::WorkerId;
 use specsync_telemetry::{Event, EventSink};
 
+use crate::chaos::{chaos_connect, ChaosStream, ConnSeq};
 use crate::config::NetConfig;
 use crate::error::NetError;
 use crate::frame::{read_frame, write_frame, ReadOutcome};
+use crate::policy::{Admit, CircuitBreaker, ConnPolicy};
 use crate::wire::{FailoverControl, WireMessage};
 
 /// Which peer a [`Transport::send`] addresses.
@@ -198,25 +199,54 @@ impl WallElapsed {
 /// One request/response socket with framed reads and writes.
 #[derive(Debug)]
 pub struct FrameConn {
-    stream: TcpStream,
+    stream: ChaosStream,
     /// Peer address, kept for error reporting and reconnect targeting.
     addr: String,
 }
 
+/// How a [`FrameConn`] connect attempt is labelled for the chaos layer
+/// and jittered for the backoff schedule. Plain connects (tests, simple
+/// tools) use [`ConnTarget::plain`].
+#[derive(Debug)]
+pub struct ConnTarget<'a> {
+    /// Link label — selects the chaos scope and script stream.
+    pub label: &'a str,
+    /// Per-process connection sequence (advances the script stream).
+    pub seq: &'a ConnSeq,
+    /// Seed for deterministic backoff jitter (identify the process or
+    /// worker, so reconnect storms decorrelate).
+    pub jitter_seed: u64,
+}
+
+impl<'a> ConnTarget<'a> {
+    /// A labelled target under `seq` with the given jitter seed.
+    pub fn new(label: &'a str, seq: &'a ConnSeq, jitter_seed: u64) -> Self {
+        ConnTarget {
+            label,
+            seq,
+            jitter_seed,
+        }
+    }
+}
+
 impl FrameConn {
-    /// Connects with bounded retries and exponential backoff. `retry`
-    /// observes each failed attempt (1-based) before the backoff sleep.
+    /// Connects with bounded retries and jittered exponential backoff.
+    /// `retry` observes each failed attempt (1-based) before the backoff
+    /// sleep. The chaos layer (if enabled in `config`) scripts each
+    /// attempt under `target.label`.
     pub fn connect_with_retries(
         addr: &str,
         config: &NetConfig,
+        target: &ConnTarget<'_>,
         mut retry: impl FnMut(u32),
     ) -> Result<Self, NetError> {
         let mut attempt = 0u32;
         loop {
-            match TcpStream::connect(addr) {
+            match chaos_connect(addr, &config.chaos, target.label, target.seq) {
                 Ok(stream) => {
                     stream.set_nodelay(true).ok();
                     stream.set_read_timeout(Some(config.io_timeout)).ok();
+                    stream.set_write_timeout(Some(config.io_timeout)).ok();
                     return Ok(FrameConn {
                         stream,
                         addr: addr.to_string(),
@@ -224,7 +254,7 @@ impl FrameConn {
                 }
                 Err(_) if attempt + 1 < config.connect_retries => {
                     retry(attempt + 1);
-                    std::thread::sleep(config.backoff_delay(attempt));
+                    std::thread::sleep(config.jittered_backoff_delay(attempt, target.jitter_seed));
                     attempt += 1;
                 }
                 Err(_) => {
@@ -237,8 +267,34 @@ impl FrameConn {
         }
     }
 
-    /// Wraps an accepted stream (server side).
-    pub fn from_stream(stream: TcpStream, addr: String) -> Self {
+    /// One connect attempt, no retries, no sleeps — the cheap "is the
+    /// peer still there?" path the transport tries before escalating to
+    /// the failover dance.
+    pub fn connect_once(
+        addr: &str,
+        config: &NetConfig,
+        target: &ConnTarget<'_>,
+    ) -> Result<Self, NetError> {
+        let stream = chaos_connect(addr, &config.chaos, target.label, target.seq)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(config.io_timeout)).ok();
+        stream.set_write_timeout(Some(config.io_timeout)).ok();
+        Ok(FrameConn {
+            stream,
+            addr: addr.to_string(),
+        })
+    }
+
+    /// Wraps an accepted stream (server side), chaos-free.
+    pub fn from_stream(stream: std::net::TcpStream, addr: String) -> Self {
+        FrameConn {
+            stream: ChaosStream::passthrough(stream),
+            addr,
+        }
+    }
+
+    /// Wraps an accepted, already chaos-scripted stream (server side).
+    pub fn from_chaos_stream(stream: ChaosStream, addr: String) -> Self {
         FrameConn { stream, addr }
     }
 
@@ -248,7 +304,7 @@ impl FrameConn {
     }
 
     /// Unwraps the underlying stream (for split reader/writer setups).
-    pub fn into_stream(self) -> TcpStream {
+    pub fn into_stream(self) -> ChaosStream {
         self.stream
     }
 
@@ -289,7 +345,7 @@ impl FrameConn {
 /// `Shutdown`) from request replies (`Primary`).
 #[derive(Debug)]
 struct SchedLink {
-    writer: TcpStream,
+    writer: ChaosStream,
     control_rx: Receiver<WireMessage>,
     reply_rx: Receiver<FailoverControl>,
 }
@@ -298,9 +354,25 @@ impl SchedLink {
     fn connect(
         addr: &str,
         config: &NetConfig,
+        target: &ConnTarget<'_>,
         mut retry: impl FnMut(u32),
     ) -> Result<Self, NetError> {
-        let conn = FrameConn::connect_with_retries(addr, config, &mut retry)?;
+        let conn = FrameConn::connect_with_retries(addr, config, target, &mut retry)?;
+        SchedLink::from_conn(conn)
+    }
+
+    /// One connect attempt, no retries — the degraded-mode reconnect
+    /// path, paced by the caller.
+    fn connect_once(
+        addr: &str,
+        config: &NetConfig,
+        target: &ConnTarget<'_>,
+    ) -> Result<Self, NetError> {
+        let conn = FrameConn::connect_once(addr, config, target)?;
+        SchedLink::from_conn(conn)
+    }
+
+    fn from_conn(conn: FrameConn) -> Result<Self, NetError> {
         let writer = conn.stream.try_clone()?;
         let mut reader = conn.stream;
         // The reader blocks between scheduler pushes; no per-read timeout.
@@ -351,21 +423,67 @@ impl SchedLink {
     }
 }
 
+/// Running totals of the transport's fault handling, printed by soak
+/// harnesses and asserted by the chaos scenario matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Reconnect attempts (`ConnRetry` events).
+    pub conn_retries: u64,
+    /// Established connections lost mid-operation (`ConnReset` events).
+    pub conn_resets: u64,
+    /// Circuit-breaker trips (`CircuitOpen` events).
+    pub circuit_opens: u64,
+    /// Operations that spent a whole retry budget (`RetryExhausted`).
+    pub retries_exhausted: u64,
+    /// Entries into degraded mode (`DegradedMode { entered: true }`).
+    pub degraded_entries: u64,
+    /// Exits from degraded mode.
+    pub degraded_exits: u64,
+}
+
+/// Degraded-state bookkeeping for the scheduler link: reconnects are
+/// paced by the jittered backoff, and control-plane frames are absorbed
+/// (cumulative `Notify` counters make the loss recoverable) until the
+/// link comes back.
+#[derive(Debug)]
+struct SchedDegraded {
+    attempt: u32,
+    next_try: Duration,
+}
+
 /// The TCP transport: the same protocol over real sockets. Holds one
 /// request/response connection to the serving shard and one persistent
-/// demultiplexed link to the scheduler; a shard-connection failure
-/// triggers the `QueryPrimary` → reconnect dance with [`Event::ConnRetry`]
-/// breadcrumbs, which is how a worker rides out a `kill -9`'d primary.
+/// demultiplexed link to the scheduler, both operated under a
+/// [`ConnPolicy`]: per-op deadlines, jittered bounded retries, and a
+/// per-peer circuit breaker. A shard failure runs the degradation
+/// ladder — direct reconnect, then the `QueryPrimary` → reconnect dance
+/// with [`Event::ConnRetry`] breadcrumbs, then *parking* (breaker open,
+/// `DegradedMode`) — which is how a worker rides out anything from a
+/// flaky link to a `kill -9`'d primary. A scheduler-link failure never
+/// stops training: control frames are absorbed while reconnects are
+/// paced in the background, and the cumulative counters in `Notify`
+/// frames resynchronize the scheduler on recovery.
 pub struct TcpTransport {
     worker: WorkerId,
     shard: FrameConn,
     sched: SchedLink,
+    sched_addr: String,
     config: NetConfig,
+    policy: ConnPolicy,
+    seq: ConnSeq,
     sink: Arc<dyn EventSink<Duration>>,
     clock: WallElapsed,
     /// Promotion epoch of the primary we are connected to; a `Primary`
     /// answer with a lower epoch is stale and retried.
     epoch: u64,
+    /// Breaker for the current shard peer; replaced on failover.
+    shard_breaker: CircuitBreaker,
+    /// `Some` while the scheduler link is down.
+    sched_degraded: Option<SchedDegraded>,
+    /// Planes currently degraded (0, 1, or 2); `DegradedMode` events
+    /// fire on the 0↔nonzero transitions.
+    degraded_planes: u32,
+    stats: TransportStats,
 }
 
 impl std::fmt::Debug for TcpTransport {
@@ -381,6 +499,10 @@ impl std::fmt::Debug for TcpTransport {
 impl TcpTransport {
     /// Connects a worker to a shard and a scheduler, emitting
     /// [`Event::ConnRetry`] for every failed attempt.
+    ///
+    /// Validates `config` first — a degenerate heartbeat ordering or
+    /// retry policy is refused with a typed error before any socket is
+    /// touched.
     pub fn connect(
         worker: WorkerId,
         shard_addr: &str,
@@ -388,27 +510,53 @@ impl TcpTransport {
         config: NetConfig,
         sink: Arc<dyn EventSink<Duration>>,
     ) -> Result<Self, NetError> {
+        config.try_validate().map_err(NetError::Config)?;
         let clock = WallElapsed::start();
+        let jitter_seed = worker.index() as u64;
+        let policy = ConnPolicy::from_config(&config, jitter_seed);
+        let seq = ConnSeq::new();
         let retry = |sink: &Arc<dyn EventSink<Duration>>, clock: &WallElapsed, attempt: u32| {
             sink.record(clock.elapsed(), &Event::ConnRetry { worker, attempt });
         };
-        let sched = SchedLink::connect(sched_addr, &config, |a| retry(&sink, &clock, a))?;
-        let shard =
-            FrameConn::connect_with_retries(shard_addr, &config, |a| retry(&sink, &clock, a))?;
+        let sched = SchedLink::connect(
+            sched_addr,
+            &config,
+            &ConnTarget::new("sched", &seq, jitter_seed),
+            |a| retry(&sink, &clock, a),
+        )?;
+        let shard = FrameConn::connect_with_retries(
+            shard_addr,
+            &config,
+            &ConnTarget::new("shard", &seq, jitter_seed),
+            |a| retry(&sink, &clock, a),
+        )?;
+        let shard_breaker = policy.new_breaker();
         Ok(TcpTransport {
             worker,
             shard,
             sched,
+            sched_addr: sched_addr.to_string(),
             config,
+            policy,
+            seq,
             sink,
             clock,
             epoch: 0,
+            shard_breaker,
+            sched_degraded: None,
+            degraded_planes: 0,
+            stats: TransportStats::default(),
         })
     }
 
     /// The worker this transport belongs to.
     pub fn worker(&self) -> WorkerId {
         self.worker
+    }
+
+    /// Running fault-handling totals.
+    pub fn stats(&self) -> TransportStats {
+        self.stats
     }
 
     fn note_sent(&self, msg_class: specsync_simnet::MessageClass, bytes: usize) {
@@ -433,76 +581,286 @@ impl TcpTransport {
         );
     }
 
-    /// Re-resolves the primary through the scheduler and reconnects,
-    /// with `ConnRetry` telemetry per attempt. Loops until the scheduler
-    /// names a primary with a fresh promotion epoch the transport can
-    /// actually reach, or the per-connect retry budget runs dry.
-    fn reconnect_to_primary(&mut self) -> Result<(), NetError> {
-        let mut attempt = 0u32;
-        loop {
-            attempt += 1;
+    fn note_conn_retry(&mut self, attempt: u32) {
+        self.stats.conn_retries += 1;
+        self.sink.record(
+            self.clock.elapsed(),
+            &Event::ConnRetry {
+                worker: self.worker,
+                attempt,
+            },
+        );
+    }
+
+    fn note_reset(&mut self, class: specsync_simnet::MessageClass) {
+        self.stats.conn_resets += 1;
+        self.sink.record(
+            self.clock.elapsed(),
+            &Event::ConnReset {
+                worker: self.worker,
+                class,
+            },
+        );
+    }
+
+    /// Marks one plane degraded; emits `DegradedMode { entered: true }`
+    /// on the first degraded plane.
+    fn enter_degraded_plane(&mut self) {
+        self.degraded_planes += 1;
+        if self.degraded_planes == 1 {
+            self.stats.degraded_entries += 1;
             self.sink.record(
                 self.clock.elapsed(),
-                &Event::ConnRetry {
+                &Event::DegradedMode {
                     worker: self.worker,
-                    attempt,
+                    entered: true,
                 },
             );
-            if attempt > 1 {
-                std::thread::sleep(self.config.backoff_delay(attempt - 2));
-            }
-            if attempt > self.config.connect_retries {
-                return Err(NetError::ConnectFailed {
-                    addr: self.shard.addr().to_string(),
-                    attempts: attempt,
-                });
-            }
-            let Ok(FailoverControl::Primary { addr, epoch }) =
-                self.sched.query_primary(self.config.io_timeout)
-            else {
-                continue;
-            };
-            // Promotion epochs only move forward, so an answer below the
-            // epoch we already hold is a delayed frame from before a later
-            // failover — following it would reconnect to a demoted shard.
-            // An answer at our epoch naming the address we just lost means
-            // the scheduler has not noticed the death yet. Back off and
-            // ask again in both cases.
-            if epoch < self.epoch || (epoch == self.epoch && addr == self.shard.addr()) {
-                continue;
-            }
-            let worker = self.worker;
-            let sink = Arc::clone(&self.sink);
-            let clock = self.clock;
-            match FrameConn::connect_with_retries(&addr, &self.config, |a| {
-                sink.record(clock.elapsed(), &Event::ConnRetry { worker, attempt: a });
-            }) {
-                Ok(conn) => {
-                    self.shard = conn;
-                    self.epoch = epoch;
-                    return Ok(());
-                }
-                Err(_) => continue,
-            }
         }
     }
 
-    /// One shard round trip with failover: an I/O failure (the primary
-    /// died mid-exchange) triggers primary re-resolution and a retry of
-    /// the same frame on the new connection.
+    /// Marks one plane recovered; emits `DegradedMode { entered: false }`
+    /// when the last degraded plane clears.
+    fn exit_degraded_plane(&mut self) {
+        if self.degraded_planes == 0 {
+            return;
+        }
+        self.degraded_planes -= 1;
+        if self.degraded_planes == 0 {
+            self.stats.degraded_exits += 1;
+            self.sink.record(
+                self.clock.elapsed(),
+                &Event::DegradedMode {
+                    worker: self.worker,
+                    entered: false,
+                },
+            );
+        }
+    }
+
+    /// One step of shard-peer reacquisition, the middle rungs of the
+    /// degradation ladder:
+    ///
+    /// 1. while the breaker is closed, try a *direct* reconnect to the
+    ///    address we just lost — a flaky link usually comes back to a
+    ///    perfectly healthy primary, and the failover dance would spin
+    ///    (the scheduler keeps naming the same primary, which the stale
+    ///    check rejects);
+    /// 2. with the breaker open (the peer itself looks broken), ask the
+    ///    scheduler where the primary lives and move to a *fresh* peer:
+    ///    a `Primary` answer below our epoch, or at our epoch naming the
+    ///    address we just lost, is stale — promotion epochs only move
+    ///    forward — so it is an error here and the caller paces a retry.
+    fn reacquire_shard(&mut self, attempt: u32) -> Result<(), NetError> {
+        self.note_conn_retry(attempt);
+        if !self.shard_breaker.is_open() {
+            let target = ConnTarget::new("shard", &self.seq, self.policy.jitter_seed);
+            if let Ok(conn) = FrameConn::connect_once(self.shard.addr(), &self.config, &target) {
+                self.shard = conn;
+                return Ok(());
+            }
+        }
+        let answer = self.sched_query_primary()?;
+        let FailoverControl::Primary { addr, epoch } = answer else {
+            return Err(NetError::UnexpectedReply { want: "Primary" });
+        };
+        if epoch < self.epoch || (epoch == self.epoch && addr == self.shard.addr()) {
+            return Err(NetError::Disconnected);
+        }
+        let target = ConnTarget::new("shard", &self.seq, self.policy.jitter_seed);
+        let conn = FrameConn::connect_once(&addr, &self.config, &target)?;
+        self.shard = conn;
+        self.epoch = epoch;
+        // A fresh peer gets a fresh breaker: its failure history is not
+        // the old primary's.
+        self.shard_breaker = self.policy.new_breaker();
+        Ok(())
+    }
+
+    /// One shard round trip under the connection policy. The full
+    /// degradation ladder, in order: retry with jittered backoff on the
+    /// same peer (budgeted), reacquire the peer (direct, then via the
+    /// scheduler), trip the breaker and *park* — pulls wait and pushes
+    /// are rescheduled onto the next probe rather than erroring the
+    /// worker out (the PR 5 parking semantics, now at the socket layer).
+    /// The park itself is bounded: once the total attempt budget is
+    /// spent the error surfaces, so a permanently dead cluster cannot
+    /// hang a worker forever.
     fn shard_exchange(&mut self, msg: &WireMessage) -> Result<WireMessage, NetError> {
         let class = msg.class();
+        let mut failures = 0u32;
+        let mut parked = false;
+        // Total bound across retries, reacquisitions, and parked probes:
+        // the connect budget on top of the per-op budget.
+        let max_failures = self
+            .policy
+            .op_retry_budget
+            .saturating_add(self.config.connect_retries);
         loop {
+            match self.shard_breaker.admit(self.clock.elapsed()) {
+                Admit::Proceed | Admit::Probe => {}
+                Admit::FastFail { retry_at } => {
+                    // Parked: wait out the cooldown, then loop into the
+                    // half-open probe.
+                    if !parked {
+                        parked = true;
+                        self.enter_degraded_plane();
+                    }
+                    let wait = retry_at
+                        .saturating_sub(self.clock.elapsed())
+                        .min(self.policy.breaker_cooldown)
+                        .max(self.config.tick);
+                    std::thread::sleep(wait);
+                    continue;
+                }
+            }
             match self.shard.exchange(msg) {
                 Ok((reply, sent, received)) => {
+                    self.shard_breaker.on_success();
+                    if parked {
+                        self.exit_degraded_plane();
+                    }
                     self.note_sent(class, sent);
                     self.note_received(reply.class(), received);
                     return Ok(reply);
                 }
-                Err(NetError::Io(_) | NetError::Disconnected) => {
-                    self.reconnect_to_primary()?;
+                // An I/O failure, a vanished peer, or a frame that fails
+                // its checksum (chaos corruption): the connection state
+                // is unknown, so all three re-establish it.
+                Err(NetError::Io(_) | NetError::Disconnected | NetError::Frame(_)) => {
+                    failures += 1;
+                    self.note_reset(class);
+                    if self.shard_breaker.on_failure(self.clock.elapsed()) {
+                        self.stats.circuit_opens += 1;
+                        self.sink.record(
+                            self.clock.elapsed(),
+                            &Event::CircuitOpen {
+                                worker: self.worker,
+                                failures: self.shard_breaker.consecutive_failures(),
+                            },
+                        );
+                    }
+                    if failures == self.policy.op_retry_budget {
+                        self.stats.retries_exhausted += 1;
+                        self.sink.record(
+                            self.clock.elapsed(),
+                            &Event::RetryExhausted {
+                                worker: self.worker,
+                                class,
+                                attempts: failures,
+                            },
+                        );
+                    }
+                    if failures >= max_failures {
+                        if parked {
+                            self.exit_degraded_plane();
+                        }
+                        return Err(NetError::RetryExhausted { attempts: failures });
+                    }
+                    std::thread::sleep(self.policy.retry_delay(failures.saturating_sub(1)));
+                    // Reacquisition failures are paced by the same loop:
+                    // the next exchange on a dead conn fails immediately
+                    // and we land back here with `failures` advanced.
+                    let _ = self.reacquire_shard(failures);
                 }
                 Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends a control-plane frame, absorbing scheduler-link failures:
+    /// the worker keeps training on local progress while reconnects are
+    /// paced by the jittered backoff, and cumulative `Notify` counters
+    /// let the scheduler catch up on reconnection — zero lost pushes.
+    fn sched_send_resilient(&mut self, msg: &WireMessage) -> Result<usize, NetError> {
+        if self.sched_degraded.is_none() {
+            match self.sched.send(msg) {
+                Ok(bytes) => return Ok(bytes),
+                Err(_) => {
+                    self.note_reset(msg.class());
+                    self.enter_degraded_plane();
+                    self.sched_degraded = Some(SchedDegraded {
+                        attempt: 0,
+                        next_try: self.clock.elapsed(),
+                    });
+                }
+            }
+        }
+        if self.try_restore_sched_link() {
+            // Deliver on the fresh link; a failure here re-degrades and
+            // the frame is absorbed like any other degraded-mode frame.
+            match self.sched.send(msg) {
+                Ok(bytes) => return Ok(bytes),
+                Err(_) => {
+                    self.note_reset(msg.class());
+                    self.enter_degraded_plane();
+                    self.sched_degraded = Some(SchedDegraded {
+                        attempt: 0,
+                        next_try: self.clock.elapsed(),
+                    });
+                }
+            }
+        }
+        // Absorbed: control frames are loss-tolerant by design.
+        Ok(0)
+    }
+
+    /// Attempts one paced scheduler-link reconnect if its deadline has
+    /// arrived. Returns `true` when the link is healthy again.
+    fn try_restore_sched_link(&mut self) -> bool {
+        let now = self.clock.elapsed();
+        let Some(state) = &self.sched_degraded else {
+            return true;
+        };
+        if now < state.next_try {
+            return false;
+        }
+        let attempt = state.attempt.saturating_add(1);
+        self.note_conn_retry(attempt);
+        let target = ConnTarget::new("sched", &self.seq, self.policy.jitter_seed);
+        match SchedLink::connect_once(&self.sched_addr, &self.config, &target) {
+            Ok(link) => {
+                self.sched = link;
+                self.sched_degraded = None;
+                self.exit_degraded_plane();
+                true
+            }
+            Err(_) => {
+                if attempt == self.policy.op_retry_budget {
+                    self.stats.retries_exhausted += 1;
+                    self.sink.record(
+                        self.clock.elapsed(),
+                        &Event::RetryExhausted {
+                            worker: self.worker,
+                            class: specsync_simnet::MessageClass::Control,
+                            attempts: attempt,
+                        },
+                    );
+                }
+                self.sched_degraded = Some(SchedDegraded {
+                    attempt,
+                    next_try: now + self.policy.retry_delay(attempt.saturating_sub(1)),
+                });
+                false
+            }
+        }
+    }
+
+    /// Queries the scheduler for the primary, restoring the scheduler
+    /// link first if it is down (the failover dance needs it).
+    fn sched_query_primary(&mut self) -> Result<FailoverControl, NetError> {
+        if self.sched_degraded.is_some() && !self.try_restore_sched_link() {
+            return Err(NetError::Disconnected);
+        }
+        match self.sched.query_primary(self.config.io_timeout) {
+            Ok(answer) => Ok(answer),
+            Err(e) => {
+                self.enter_degraded_plane();
+                self.sched_degraded = Some(SchedDegraded {
+                    attempt: 0,
+                    next_try: self.clock.elapsed(),
+                });
+                Err(e)
             }
         }
     }
@@ -544,12 +902,15 @@ impl Transport for TcpTransport {
                 Endpoint::Scheduler,
             ) => {
                 let class = msg.class();
-                let bytes = self.sched.send(&msg)?;
-                self.note_sent(class, bytes);
+                let bytes = self.sched_send_resilient(&msg)?;
+                // An absorbed (degraded-mode) frame put nothing on the wire.
+                if bytes > 0 {
+                    self.note_sent(class, bytes);
+                }
                 Ok(None)
             }
             (WireMessage::Failover(FailoverControl::QueryPrimary), Endpoint::Scheduler) => {
-                let answer = self.sched.query_primary(self.config.io_timeout)?;
+                let answer = self.sched_query_primary()?;
                 Ok(Some(WireMessage::Failover(answer)))
             }
             (WireMessage::Failover(_), _) => Err(NetError::Unhandled {
@@ -709,7 +1070,9 @@ mod tests {
             .unwrap();
         });
         let cfg = NetConfig::default();
-        let mut conn = FrameConn::connect_with_retries(&addr, &cfg, |_| {}).unwrap();
+        let seq = ConnSeq::new();
+        let target = ConnTarget::new("test", &seq, 0);
+        let mut conn = FrameConn::connect_with_retries(&addr, &cfg, &target, |_| {}).unwrap();
         let (reply, sent, received) = conn
             .exchange(&WireMessage::Heartbeat {
                 worker: WorkerId::new(1),
@@ -742,7 +1105,9 @@ mod tests {
             conn.write_encoded(&bytes).unwrap();
         });
         let cfg = NetConfig::default();
-        let mut conn = FrameConn::connect_with_retries(&addr, &cfg, |_| {}).unwrap();
+        let seq = ConnSeq::new();
+        let target = ConnTarget::new("test", &seq, 0);
+        let mut conn = FrameConn::connect_with_retries(&addr, &cfg, &target, |_| {}).unwrap();
         let (got, _) = conn.recv().unwrap();
         assert_eq!(got, expect);
         server.join().unwrap();
@@ -761,10 +1126,13 @@ mod tests {
             .try_build()
             .unwrap();
         let mut attempts_seen = 0;
-        let err = FrameConn::connect_with_retries(&format!("127.0.0.1:{port}"), &cfg, |_| {
-            attempts_seen += 1;
-        })
-        .unwrap_err();
+        let seq = ConnSeq::new();
+        let target = ConnTarget::new("test", &seq, 0);
+        let err =
+            FrameConn::connect_with_retries(&format!("127.0.0.1:{port}"), &cfg, &target, |_| {
+                attempts_seen += 1;
+            })
+            .unwrap_err();
         assert!(matches!(err, NetError::ConnectFailed { attempts: 2, .. }));
         assert_eq!(attempts_seen, 1);
     }

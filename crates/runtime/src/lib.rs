@@ -43,17 +43,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod backoff;
 mod clock;
 mod config;
 mod report;
 mod runtime;
 mod worker;
 
-pub use backoff::Backoff;
 pub use clock::{ClockSource, ManualClock, WallClock};
 pub use config::{RuntimeChaos, RuntimeConfig, RuntimeConfigBuilder};
 pub use report::{RuntimeReport, WallLossPoint};
 pub use runtime::{run, try_run, try_run_with_clock, try_run_with_sink};
+/// Re-exported from `specsync-core`: the backoff policy was lifted there
+/// so the TCP transport and the runtime share one schedule (PR 9).
+pub use specsync_core::Backoff;
 pub use specsync_sync::SchemeKind;
 pub use worker::{WorkerHarness, WorkerOutcome};

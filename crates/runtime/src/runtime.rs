@@ -62,11 +62,11 @@ use specsync_simnet::{MessageClass, SimDuration, VirtualTime, WorkerId};
 use specsync_sync::{SchemeKind, TuningMode};
 use specsync_telemetry::{Event, EventSink, LossCurve, NullSink};
 
-use crate::backoff::Backoff;
 use crate::clock::{ClockSource, WallClock};
 use crate::config::RuntimeConfig;
 use crate::report::{RuntimeReport, WallLossPoint};
 use crate::worker::WorkerHarness;
+use specsync_core::Backoff;
 
 /// Elapsed run time on the injected clock — the runtime's trace timestamp.
 fn elapsed_since(clock: &dyn ClockSource, start: Duration) -> Duration {

@@ -322,6 +322,46 @@ pub enum Event {
         /// 1-based reconnect attempt number.
         attempt: u32,
     },
+    /// An established connection died under a worker mid-operation — a
+    /// reset, an I/O error, or a read/write deadline expiring (wall-clock
+    /// hosts only). The first visible symptom of a hostile network.
+    ConnReset {
+        /// The worker whose connection dropped.
+        worker: WorkerId,
+        /// The traffic class in flight when the connection died.
+        class: MessageClass,
+    },
+    /// A per-peer circuit breaker tripped open after consecutive
+    /// failures: further operations fast-fail without touching the
+    /// socket until the cooldown elapses and a probe half-opens it
+    /// (wall-clock hosts only).
+    CircuitOpen {
+        /// The worker whose breaker tripped.
+        worker: WorkerId,
+        /// Consecutive failures observed when the breaker opened.
+        failures: u32,
+    },
+    /// An operation spent its whole per-op retry budget without
+    /// succeeding (wall-clock hosts only). The transport escalates to
+    /// degraded mode rather than erroring the worker out.
+    RetryExhausted {
+        /// The worker whose retries ran out.
+        worker: WorkerId,
+        /// The traffic class of the abandoned operation.
+        class: MessageClass,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A worker entered (`entered = true`) or left (`false`) degraded
+    /// mode: pulls park and pushes reschedule against a broken peer
+    /// instead of erroring out, mirroring the PR 5 parking semantics
+    /// (wall-clock hosts only).
+    DegradedMode {
+        /// The degrading / recovering worker.
+        worker: WorkerId,
+        /// `true` on entry into degraded mode, `false` on recovery.
+        entered: bool,
+    },
 }
 
 impl Event {
@@ -345,7 +385,11 @@ impl Event {
             | Event::RetryScheduled { worker, .. }
             | Event::FrameSent { worker, .. }
             | Event::FrameReceived { worker, .. }
-            | Event::ConnRetry { worker, .. } => Some(*worker),
+            | Event::ConnRetry { worker, .. }
+            | Event::ConnReset { worker, .. }
+            | Event::CircuitOpen { worker, .. }
+            | Event::RetryExhausted { worker, .. }
+            | Event::DegradedMode { worker, .. } => Some(*worker),
             Event::EpochTuned { .. }
             | Event::Eval { .. }
             | Event::StoreRecovered { .. }
@@ -386,6 +430,10 @@ impl Event {
             Event::FrameSent { .. } => "frame_sent",
             Event::FrameReceived { .. } => "frame_recv",
             Event::ConnRetry { .. } => "conn_retry",
+            Event::ConnReset { .. } => "conn_reset",
+            Event::CircuitOpen { .. } => "circuit_open",
+            Event::RetryExhausted { .. } => "retry_exhausted",
+            Event::DegradedMode { .. } => "degraded_mode",
         }
     }
 }

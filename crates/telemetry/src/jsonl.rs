@@ -240,6 +240,32 @@ pub fn encode_line(micros: u64, event: &Event) -> String {
         Event::ConnRetry { worker, attempt } => {
             let _ = write!(s, ",\"w\":{},\"attempt\":{attempt}", worker.index());
         }
+        Event::ConnReset { worker, class } => {
+            let _ = write!(
+                s,
+                ",\"w\":{},\"class\":\"{}\"",
+                worker.index(),
+                class.label()
+            );
+        }
+        Event::CircuitOpen { worker, failures } => {
+            let _ = write!(s, ",\"w\":{},\"failures\":{failures}", worker.index());
+        }
+        Event::RetryExhausted {
+            worker,
+            class,
+            attempts,
+        } => {
+            let _ = write!(
+                s,
+                ",\"w\":{},\"class\":\"{}\",\"attempts\":{attempts}",
+                worker.index(),
+                class.label()
+            );
+        }
+        Event::DegradedMode { worker, entered } => {
+            let _ = write!(s, ",\"w\":{},\"entered\":{entered}", worker.index());
+        }
     }
     s.push('}');
     s
@@ -453,6 +479,25 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, String> {
             worker: parse_worker(&pairs)?,
             attempt: u32::try_from(parse_u64(&pairs, "attempt")?)
                 .map_err(|_| "conn retry attempt out of range".to_string())?,
+        },
+        "conn_reset" => Event::ConnReset {
+            worker: parse_worker(&pairs)?,
+            class: parse_class(&pairs)?,
+        },
+        "circuit_open" => Event::CircuitOpen {
+            worker: parse_worker(&pairs)?,
+            failures: u32::try_from(parse_u64(&pairs, "failures")?)
+                .map_err(|_| "circuit open failures out of range".to_string())?,
+        },
+        "retry_exhausted" => Event::RetryExhausted {
+            worker: parse_worker(&pairs)?,
+            class: parse_class(&pairs)?,
+            attempts: u32::try_from(parse_u64(&pairs, "attempts")?)
+                .map_err(|_| "retry exhausted attempts out of range".to_string())?,
+        },
+        "degraded_mode" => Event::DegradedMode {
+            worker: parse_worker(&pairs)?,
+            entered: parse_bool(&pairs, "entered")?,
         },
         other => return Err(format!("unknown event tag `{other}`")),
     };
@@ -749,6 +794,27 @@ mod tests {
         round_trip(Event::ConnRetry {
             worker: w,
             attempt: 3,
+        });
+        round_trip(Event::ConnReset {
+            worker: w,
+            class: MessageClass::PullParams,
+        });
+        round_trip(Event::CircuitOpen {
+            worker: w,
+            failures: 5,
+        });
+        round_trip(Event::RetryExhausted {
+            worker: w,
+            class: MessageClass::PushGrad,
+            attempts: 7,
+        });
+        round_trip(Event::DegradedMode {
+            worker: w,
+            entered: true,
+        });
+        round_trip(Event::DegradedMode {
+            worker: w,
+            entered: false,
         });
     }
 

@@ -154,6 +154,16 @@ pub struct MetricsSnapshot {
     /// Wall-clock nanoseconds per scheduler event-handler invocation
     /// (`SchedCost` events; only wall-clock hosts emit them).
     pub sched_cost: Histogram,
+    /// Established connections that died mid-operation (`ConnReset`).
+    pub conn_resets: u64,
+    /// Circuit-breaker trips to fast-fail (`CircuitOpen`).
+    pub circuit_opens: u64,
+    /// Operations that spent their whole retry budget (`RetryExhausted`).
+    pub retries_exhausted: u64,
+    /// Degraded-mode entries (`DegradedMode { entered: true }`; exits are
+    /// counted as degradations but not here, so `degraded_entries` is the
+    /// number of park/reschedule episodes, not twice it).
+    pub degraded_entries: u64,
 }
 
 impl MetricsSnapshot {
@@ -173,6 +183,10 @@ impl MetricsSnapshot {
             history_evicted: 0,
             eviction_passes: 0,
             sched_cost: Histogram::new(),
+            conn_resets: 0,
+            circuit_opens: 0,
+            retries_exhausted: 0,
+            degraded_entries: 0,
         }
     }
 
@@ -329,6 +343,24 @@ impl<T: Timestamp> EventSink<T> for MetricsSink {
             Event::FrameReceived { worker, bytes, .. } => {
                 let counters = state.worker_mut(worker.index());
                 counters.bytes_received = counters.bytes_received.saturating_add(*bytes);
+            }
+            Event::ConnReset { worker, .. } => {
+                state.worker_mut(worker.index()).conn_retries += 1;
+                state.snapshot.conn_resets += 1;
+            }
+            Event::CircuitOpen { .. } => {
+                state.snapshot.circuit_opens += 1;
+                state.snapshot.degradations += 1;
+            }
+            Event::RetryExhausted { .. } => {
+                state.snapshot.retries_exhausted += 1;
+                state.snapshot.degradations += 1;
+            }
+            Event::DegradedMode { entered, .. } => {
+                if *entered {
+                    state.snapshot.degraded_entries += 1;
+                }
+                state.snapshot.degradations += 1;
             }
             Event::ConnRetry { worker, .. } => {
                 state.worker_mut(worker.index()).conn_retries += 1;

@@ -223,6 +223,10 @@ const BLOCKING_PATHS: &[(&str, &str)] = &[
     ("TcpStream", "socket i/o"),
     ("TcpListener", "socket i/o"),
     ("UdpSocket", "socket i/o"),
+    // The chaos shims wrap sockets (and sleep on purpose): calling them
+    // under a lock blocks exactly like the raw socket would.
+    ("ChaosStream", "socket i/o (chaos shim)"),
+    ("ChaosListener", "socket accept (chaos shim)"),
     ("Instant", "wall-clock read"),
     ("SystemTime", "wall-clock read"),
 ];
@@ -1191,6 +1195,24 @@ mod tests {
             .expect("blocking op");
         assert_eq!(*blocked.0, "file/socket write");
         assert_eq!(blocked.1, &vec!["S.m".to_string()]);
+    }
+
+    #[test]
+    fn chaos_shim_path_calls_count_as_blocking() {
+        let pf = parse(
+            "struct S { m: M }\nimpl S {\n fn f(&self) {\n    let g = self.m.lock();\n    ChaosStream::passthrough(sock);\n    ChaosListener::new(l, c, \"lbl\");\n }\n}\n",
+        );
+        let f = fn_named(&pf, "f");
+        let whats: Vec<&str> = f
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Block { what, held, .. } if !held.is_empty() => Some(*what),
+                _ => None,
+            })
+            .collect();
+        assert!(whats.contains(&"socket i/o (chaos shim)"), "{whats:?}");
+        assert!(whats.contains(&"socket accept (chaos shim)"), "{whats:?}");
     }
 
     #[test]
