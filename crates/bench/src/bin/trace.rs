@@ -422,7 +422,10 @@ fn reconstruct(records: &[TraceRecord]) -> Summary {
                 | Event::CheckpointWritten { .. }
                 | Event::SchedulerRecovered { .. }
                 | Event::HistoryEvicted { .. }
-                | Event::SchedCost { .. } => {}
+                | Event::SchedCost { .. }
+                | Event::BackupJoined { .. }
+                | Event::CatchUpComplete { .. }
+                | Event::ProcessRestarted { .. } => {}
             }
         }
     }

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod supervise;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

@@ -42,6 +42,18 @@ pub struct NetConfig {
     pub breaker_threshold: u32,
     /// How long a tripped breaker fast-fails before half-opening a probe.
     pub breaker_cooldown: Duration,
+    /// Bytes per [`SnapshotChunk`] frame when a rejoining backup streams
+    /// the checkpoint from the primary. Must be positive and at most
+    /// [`PAYLOAD_LIMIT`](crate::frame::PAYLOAD_LIMIT) so every chunk frame
+    /// encodes, whatever the store size.
+    ///
+    /// [`SnapshotChunk`]: crate::wire::FailoverControl::SnapshotChunk
+    pub join_chunk_bytes: usize,
+    /// How many times a supervisor may restart one crashed role before
+    /// declaring the topology unrecoverable. Must be positive — a budget
+    /// of 0 silently disables self-healing, which is always a
+    /// misconfiguration (run unsupervised instead).
+    pub restart_budget: u32,
     /// Fault-injection knobs ([`NetChaos::disabled`] by default — the
     /// wire behaves exactly as if the chaos layer did not exist).
     pub chaos: NetChaos,
@@ -59,6 +71,8 @@ impl Default for NetConfig {
             op_retry_budget: 8,
             breaker_threshold: 4,
             breaker_cooldown: Duration::from_millis(200),
+            join_chunk_bytes: 1 << 20,
+            restart_budget: 5,
             chaos: NetChaos::disabled(),
         }
     }
@@ -127,6 +141,24 @@ impl NetConfig {
         if self.breaker_cooldown.is_zero() {
             return Err(SpecSyncError::InvalidRetryPolicy {
                 reason: "circuit breaker cooldown must be positive",
+            });
+        }
+        if self.join_chunk_bytes == 0 {
+            return Err(SpecSyncError::InvalidConfig(
+                "rejoin snapshot chunk size must be positive".to_string(),
+            ));
+        }
+        if self.join_chunk_bytes > crate::frame::PAYLOAD_LIMIT {
+            return Err(SpecSyncError::InvalidConfig(format!(
+                "rejoin snapshot chunk size of {} bytes exceeds the {}-byte frame payload limit",
+                self.join_chunk_bytes,
+                crate::frame::PAYLOAD_LIMIT
+            )));
+        }
+        if self.restart_budget == 0 {
+            return Err(SpecSyncError::InvalidRetryPolicy {
+                reason: "supervisor restart budget must be positive \
+                         (a budget of 0 disables self-healing; run unsupervised instead)",
             });
         }
         if let Err(reason) = self.chaos.try_validate() {
@@ -219,6 +251,18 @@ impl NetConfigBuilder {
         self
     }
 
+    /// Sets the rejoin snapshot chunk size.
+    pub fn join_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.config.join_chunk_bytes = bytes;
+        self
+    }
+
+    /// Sets the supervisor restart budget.
+    pub fn restart_budget(mut self, budget: u32) -> Self {
+        self.config.restart_budget = budget;
+        self
+    }
+
     /// Sets the fault-injection configuration.
     pub fn chaos(mut self, chaos: NetChaos) -> Self {
         self.config.chaos = chaos;
@@ -304,6 +348,38 @@ mod tests {
                 "got {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn degenerate_rejoin_knobs_rejected() {
+        let err = NetConfig::builder()
+            .join_chunk_bytes(0)
+            .try_build()
+            .unwrap_err();
+        assert!(
+            matches!(err, SpecSyncError::InvalidConfig(_)),
+            "got {err:?}"
+        );
+        let err = NetConfig::builder()
+            .join_chunk_bytes(crate::frame::PAYLOAD_LIMIT + 1)
+            .try_build()
+            .unwrap_err();
+        assert!(
+            matches!(err, SpecSyncError::InvalidConfig(_)),
+            "got {err:?}"
+        );
+        // The payload limit itself is the boundary: a chunk that exactly
+        // fills a frame still encodes.
+        assert!(NetConfig::builder()
+            .join_chunk_bytes(crate::frame::PAYLOAD_LIMIT)
+            .try_build()
+            .is_ok());
+        let err = NetConfig::builder().restart_budget(0).try_build().unwrap_err();
+        assert!(
+            matches!(err, SpecSyncError::InvalidRetryPolicy { .. }),
+            "got {err:?}"
+        );
+        assert!(NetConfig::builder().restart_budget(1).try_build().is_ok());
     }
 
     #[test]

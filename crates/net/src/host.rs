@@ -226,7 +226,45 @@ impl ShardHost {
             | FailoverControl::Primary { .. } => Err(NetError::Unhandled {
                 what: "scheduler-plane failover verb sent to a shard host",
             }),
+            // The rejoin handshake is connection-plane: the server's apply
+            // thread drives the snapshot/catch-up stream itself, because
+            // the protocol owns a socket, not just the store.
+            FailoverControl::JoinAsBackup { .. }
+            | FailoverControl::SnapshotChunk { .. }
+            | FailoverControl::CatchUp { .. }
+            | FailoverControl::BackupReady { .. } => Err(NetError::Unhandled {
+                what: "rejoin-protocol verb routed past the server connection layer",
+            }),
         }
+    }
+
+    /// Tags an incoming `Push` frame as the [`WireMessage::RelayPush`] the
+    /// write-ahead relay forwards: the sequence number is the version this
+    /// push will produce, and the learning rate is the one this host will
+    /// apply — so the backup replays bit-identical arithmetic and can drop
+    /// re-deliveries by sequence. Returns `None` for any other frame.
+    pub fn tag_relay(&self, frame: &WireMessage) -> Option<WireMessage> {
+        let WireMessage::Push { worker, payload } = frame else {
+            return None;
+        };
+        let lr = match &self.lr_fn {
+            Some(f) => f(self.epochs),
+            None => DEFAULT_FRAME_LR,
+        };
+        Some(WireMessage::RelayPush {
+            seq: self.store.version() + 1,
+            worker: *worker,
+            lr,
+            payload: payload.clone(),
+        })
+    }
+
+    /// Replaces the wrapped store with one rebuilt from a rejoin snapshot
+    /// (checkpoint restore + tail replay happen at the caller); the
+    /// encoded-reply cache is dropped so no pre-join bytes can be served.
+    pub fn install_store(&mut self, store: ReplicatedStore) {
+        self.store = store;
+        self.encoded = None;
     }
 
     /// Handles one decoded frame, returning the reply frame (if the verb
@@ -251,6 +289,37 @@ impl ShardHost {
                     Some(f) => f(self.epochs),
                     None => DEFAULT_FRAME_LR,
                 };
+                let receipt = match &payload {
+                    PushPayload::Dense(grad) => self.push_dense(worker, grad, lr)?,
+                    PushPayload::Sparse(grad) => self.push_sparse(worker, grad, lr)?,
+                };
+                Ok(Some(WireMessage::PushAck {
+                    version: receipt.version,
+                    pushes_by_worker: receipt.pushes_by_worker,
+                }))
+            }
+            WireMessage::RelayPush {
+                seq,
+                worker,
+                lr,
+                payload,
+            } => {
+                let version = self.store.version();
+                if seq <= version {
+                    // At-least-once re-delivery (or a rejoin tail that
+                    // overlaps live relays): this sequence is already in
+                    // the store, so ack without touching it — applying
+                    // twice would double the gradient.
+                    return Ok(Some(WireMessage::PushAck {
+                        version,
+                        pushes_by_worker: self.store.pushes_by(worker),
+                    }));
+                }
+                if seq != version + 1 {
+                    return Err(NetError::Unhandled {
+                        what: "relay push sequence gap",
+                    });
+                }
                 let receipt = match &payload {
                     PushPayload::Dense(grad) => self.push_dense(worker, grad, lr)?,
                     PushPayload::Sparse(grad) => self.push_sparse(worker, grad, lr)?,
@@ -475,6 +544,85 @@ mod tests {
         assert_eq!(version, 1);
         assert_eq!(replayed, 1, "promotion replays the journaled push");
         assert!(h.is_available());
+    }
+
+    #[test]
+    fn relay_push_redelivery_is_idempotent() {
+        let mut h = host();
+        let w = WorkerId::new(0);
+        let relay = WireMessage::RelayPush {
+            seq: 1,
+            worker: w,
+            lr: 0.1,
+            payload: PushPayload::Dense(vec![1.0; 8]),
+        };
+        let ack = h.handle(relay.clone()).unwrap();
+        assert_eq!(
+            ack,
+            Some(WireMessage::PushAck {
+                version: 1,
+                pushes_by_worker: 1
+            })
+        );
+        let params_once: Vec<f32> = h.replica_mut().params().to_vec();
+
+        // The at-least-once relay re-delivers the same sequence (e.g. the
+        // primary retried after a dropped ack): the backup must ack
+        // without re-applying.
+        let ack = h.handle(relay).unwrap();
+        assert_eq!(
+            ack,
+            Some(WireMessage::PushAck {
+                version: 1,
+                pushes_by_worker: 1
+            })
+        );
+        assert_eq!(
+            h.replica_mut().params(),
+            params_once.as_slice(),
+            "a re-delivered relay must not double-apply"
+        );
+
+        // A sequence gap is a protocol break, not silently absorbed.
+        let err = h
+            .handle(WireMessage::RelayPush {
+                seq: 5,
+                worker: w,
+                lr: 0.1,
+                payload: PushPayload::Dense(vec![1.0; 8]),
+            })
+            .unwrap_err();
+        assert!(matches!(err, NetError::Unhandled { .. }));
+    }
+
+    #[test]
+    fn tag_relay_carries_seq_and_lr() {
+        let mut h = host().with_lr_fn(|_| 0.25);
+        let w = WorkerId::new(1);
+        h.push_dense(w, &[1.0; 8], 0.25).unwrap();
+        let push = WireMessage::Push {
+            worker: w,
+            payload: PushPayload::Dense(vec![0.5; 8]),
+        };
+        let tagged = h.tag_relay(&push).unwrap();
+        let WireMessage::RelayPush {
+            seq,
+            worker,
+            lr,
+            payload,
+        } = tagged
+        else {
+            panic!("tag_relay must produce RelayPush");
+        };
+        assert_eq!(seq, 2, "seq is the version this push will produce");
+        assert_eq!(worker, w);
+        assert_eq!(lr, 0.25);
+        assert_eq!(payload, PushPayload::Dense(vec![0.5; 8]));
+        assert_eq!(
+            h.tag_relay(&WireMessage::Shutdown),
+            None,
+            "only pushes relay"
+        );
     }
 
     #[test]

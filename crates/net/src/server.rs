@@ -9,12 +9,21 @@
 //! Pulls are served from the host's per-version encoded-frame cache
 //! (serialize once, share the bytes across every concurrent client);
 //! pushes funnel through a **single apply thread**, which write-ahead
-//! relays each `Push` frame to the warm-backup process *before* applying
-//! it locally — one thread doing both means relay order equals apply
-//! order, so the backup replays the primary's exact sequence. Push
-//! delivery to the backup is at-least-once: a push relayed but not yet
-//! locally acked when the primary dies may be applied only on the backup,
-//! which is the safe side for SGD-style updates.
+//! relays each push to the warm-backup process *before* applying it
+//! locally — one thread doing both means relay order equals apply
+//! order, so the backup replays the primary's exact sequence. The relay
+//! carries [`WireMessage::RelayPush`] frames tagged with the store
+//! version each push produces, so delivery can stay at-least-once while
+//! the backup applies exactly once (redeliveries are acked without
+//! re-applying).
+//!
+//! The apply thread also owns **backup (re)provisioning**: a fresh
+//! process connects, sends `JoinAsBackup`, and the apply thread streams
+//! it a `StoreCheckpoint` in bounded `SnapshotChunk` frames plus the
+//! journal tail as `RelayPush` replays. Because live pushes queue behind
+//! the join command on the same channel, the snapshot is a clean cut of
+//! the push order — everything after parity reaches the new backup as a
+//! live relay down the very same connection.
 //!
 //! # Scheduler server
 //!
@@ -39,6 +48,7 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use specsync_core::Scheduler;
+use specsync_ps::{JournalEntry, ParameterStore, ReplicatedStore, StoreCheckpoint};
 use specsync_simnet::{SimDuration, VirtualTime, WorkerId};
 use specsync_sync::{SchemeKind, TuningMode};
 use specsync_telemetry::{Event, EventSink, NullSink};
@@ -57,7 +67,7 @@ use crate::wire::{FailoverControl, WireMessage};
 /// Counters a [`ShardServer`] accumulates; cheap atomics shared across
 /// connection threads.
 #[derive(Debug, Default)]
-struct ShardCounters {
+pub(crate) struct ShardCounters {
     pulls_served: AtomicU64,
     pushes_applied: AtomicU64,
     relayed: AtomicU64,
@@ -96,6 +106,18 @@ pub struct ShardServer {
     counters: Arc<ShardCounters>,
     backup_addr: Option<String>,
     sched_addr: Option<String>,
+    join_addr: Option<String>,
+}
+
+/// What the single apply thread consumes: push-class frames in arrival
+/// order, interleaved with join requests from re-provisioning backups.
+enum ApplyCmd {
+    /// A push to relay-then-apply, with the accepting connection thread's
+    /// reply channel.
+    Frame(WireMessage, Sender<WireMessage>),
+    /// A joining backup's connection: stream it a snapshot plus the
+    /// journal tail, then adopt it as the write-ahead relay target.
+    Join(FrameConn),
 }
 
 impl std::fmt::Debug for ShardServer {
@@ -136,6 +158,7 @@ impl ShardServer {
             counters: Arc::new(ShardCounters::default()),
             backup_addr: None,
             sched_addr: None,
+            join_addr: None,
         })
     }
 
@@ -166,11 +189,27 @@ impl ShardServer {
         self
     }
 
+    /// Re-provisions this shard from the live primary at `addr` before
+    /// serving: stream its checkpoint, replay the journal tail to parity,
+    /// and stay on the connection as the primary's new write-ahead relay
+    /// target. Implies backup duty; combine with [`Self::as_backup`].
+    pub fn join_via(mut self, addr: &str) -> Self {
+        self.join_addr = Some(addr.to_string());
+        self
+    }
+
     /// A handle that flips this server's stop flag (for embedding in
     /// tests; shard processes normally stop on the scheduler's
     /// `Shutdown`).
     pub fn stop_handle(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.stop)
+    }
+
+    /// The live counters, observable while the server runs (tests use
+    /// this to wait for a rejoin handshake to finish before stopping).
+    #[cfg(test)]
+    pub(crate) fn counters_handle(&self) -> Arc<ShardCounters> {
+        Arc::clone(&self.counters)
     }
 
     /// Serves until shutdown. Blocking; returns the run's counters.
@@ -192,6 +231,7 @@ impl ShardServer {
             counters,
             backup_addr,
             sched_addr,
+            join_addr,
         } = self;
 
         // Per-process outbound connection sequence: chaos scripts advance
@@ -211,37 +251,97 @@ impl ShardServer {
         };
 
         // Single apply thread: every push (from any connection) funnels
-        // through here in channel order.
-        let (apply_tx, apply_rx) = unbounded::<(WireMessage, Sender<WireMessage>)>();
+        // through here in channel order, as do join requests — so a
+        // snapshot handed to a joiner is a clean cut of the push order.
+        let (apply_tx, apply_rx) = unbounded::<ApplyCmd>();
         {
             let host = Arc::clone(&host);
             let counters = Arc::clone(&counters);
             let serving = Arc::clone(&serving);
+            let chunk_bytes = config.join_chunk_bytes;
             let mut relay = relay;
             std::thread::spawn(move || {
-                while let Ok((frame, reply_tx)) = apply_rx.recv() {
-                    if let Some(conn) = relay.as_mut() {
-                        // Write-ahead: the backup holds the push before the
-                        // primary applies it. A dead relay degrades to
-                        // unreplicated serving rather than stalling the run.
-                        if conn.exchange(&frame).is_err() {
-                            relay = None;
-                        } else {
-                            counters.relayed.fetch_add(1, Ordering::Relaxed);
+                while let Ok(cmd) = apply_rx.recv() {
+                    match cmd {
+                        ApplyCmd::Frame(frame, reply_tx) => {
+                            if let Some(conn) = relay.as_mut() {
+                                // Tag the relayed push with the version it
+                                // will produce so the backup can ack a
+                                // redelivery without re-applying it.
+                                let tagged = {
+                                    let locked = host.lock();
+                                    locked.tag_relay(&frame)
+                                };
+                                if let Some(relay_frame) = tagged {
+                                    // Write-ahead: the backup holds the push
+                                    // before the primary applies it. A dead
+                                    // relay degrades to unreplicated serving
+                                    // rather than stalling the run.
+                                    if conn.exchange(&relay_frame).is_err() {
+                                        relay = None;
+                                    } else {
+                                        counters.relayed.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            let applied = {
+                                let mut locked = host.lock();
+                                locked.handle(frame)
+                            };
+                            if let Ok(Some(ack)) = applied {
+                                counters.pushes_applied.fetch_add(1, Ordering::Relaxed);
+                                if !serving.load(Ordering::SeqCst) {
+                                    counters.absorbed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                let _ = reply_tx.send(ack);
+                            }
                         }
-                    }
-                    let applied = {
-                        let mut locked = host.lock();
-                        locked.handle(frame)
-                    };
-                    if let Ok(Some(ack)) = applied {
-                        counters.pushes_applied.fetch_add(1, Ordering::Relaxed);
-                        if !serving.load(Ordering::SeqCst) {
-                            counters.absorbed.fetch_add(1, Ordering::Relaxed);
+                        ApplyCmd::Join(mut conn) => {
+                            let (checkpoint, tail) = {
+                                let mut locked = host.lock();
+                                locked.replica_mut().rejoin_snapshot()
+                            };
+                            if stream_rejoin(&mut conn, &checkpoint, &tail, chunk_bytes).is_ok() {
+                                counters
+                                    .relayed
+                                    .fetch_add(tail.len() as u64, Ordering::Relaxed);
+                                // The joiner confirmed parity: it replaces
+                                // whatever relay target this process had.
+                                relay = Some(conn);
+                            }
                         }
-                        let _ = reply_tx.send(ack);
                     }
                 }
+            });
+        }
+
+        // A rejoining backup provisions itself from the live primary
+        // before talking to the scheduler, so it is only ever armed for
+        // promotion at parity.
+        let mut joined: Option<(u64, u64)> = None;
+        if let Some(addr) = &join_addr {
+            let mut conn = FrameConn::connect_with_retries(
+                addr,
+                &config,
+                &ConnTarget::new("join", &seq, shard_id),
+                |_| {},
+            )?;
+            let (version, replayed) = join_cluster(&mut conn, shard_id, &local_addr, &host)?;
+            counters.pushes_applied.fetch_add(replayed, Ordering::Relaxed);
+            counters.absorbed.fetch_add(replayed, Ordering::Relaxed);
+            joined = Some((version, replayed));
+            // The same connection now carries the primary's write-ahead
+            // relay: serve it like any accepted data connection. Clear
+            // the outbound io timeout first — relays arrive only when
+            // workers push, and an idle stretch is not a dead peer.
+            conn.set_read_timeout(None).ok();
+            let host = Arc::clone(&host);
+            let serving = Arc::clone(&serving);
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            let apply_tx = apply_tx.clone();
+            std::thread::spawn(move || {
+                serve_shard_conn(conn, &host, &serving, &stop, &counters, &apply_tx);
             });
         }
 
@@ -264,6 +364,18 @@ impl ShardServer {
                     addr: local_addr.clone(),
                 }),
             )?;
+            if let Some((version, replayed)) = joined {
+                // Tell the scheduler the catch-up finished and where it
+                // landed, so the rejoin is visible in the event stream.
+                write_frame(
+                    &mut writer,
+                    &WireMessage::Failover(FailoverControl::BackupReady {
+                        server: shard_id,
+                        version,
+                        replayed,
+                    }),
+                )?;
+            }
             // Outbound frames (heartbeats + control replies) leave through
             // one writer thread, so no lock ever spans a socket write.
             let (out_tx, out_rx) = unbounded::<WireMessage>();
@@ -319,12 +431,17 @@ impl ShardServer {
                                     .send(WireMessage::Failover(FailoverControl::Ack { server }));
                             }
                             // Replies and worker-plane queries carry no
-                            // instruction for a shard.
+                            // instruction for a shard, and the rejoin
+                            // handshake runs on the data plane, not here.
                             FailoverControl::Promoted { .. }
                             | FailoverControl::Ack { .. }
                             | FailoverControl::Register { .. }
                             | FailoverControl::QueryPrimary
-                            | FailoverControl::Primary { .. } => {}
+                            | FailoverControl::Primary { .. }
+                            | FailoverControl::JoinAsBackup { .. }
+                            | FailoverControl::SnapshotChunk { .. }
+                            | FailoverControl::CatchUp { .. }
+                            | FailoverControl::BackupReady { .. } => {}
                         },
                         Ok(ReadOutcome::Frame(WireMessage::Shutdown, _))
                         | Ok(ReadOutcome::Closed)
@@ -394,7 +511,7 @@ fn serve_shard_conn(
     serving: &AtomicBool,
     stop: &AtomicBool,
     counters: &ShardCounters,
-    apply_tx: &Sender<(WireMessage, Sender<WireMessage>)>,
+    apply_tx: &Sender<ApplyCmd>,
 ) {
     loop {
         let frame = match conn.recv() {
@@ -422,9 +539,9 @@ fn serve_shard_conn(
                 }
                 counters.pulls_served.fetch_add(1, Ordering::Relaxed);
             }
-            frame @ WireMessage::Push { .. } => {
+            frame @ (WireMessage::Push { .. } | WireMessage::RelayPush { .. }) => {
                 let (reply_tx, reply_rx) = bounded(1);
-                if apply_tx.send((frame, reply_tx)).is_err() {
+                if apply_tx.send(ApplyCmd::Frame(frame, reply_tx)).is_err() {
                     return;
                 }
                 let Ok(ack) = reply_rx.recv() else {
@@ -433,6 +550,15 @@ fn serve_shard_conn(
                 if conn.write(&ack).is_err() {
                     return;
                 }
+            }
+            WireMessage::Failover(FailoverControl::JoinAsBackup { .. }) => {
+                // Only a serving primary can provision a joiner. Hand the
+                // whole connection to the apply thread so the snapshot it
+                // streams is a clean cut of the push order.
+                if serving.load(Ordering::SeqCst) {
+                    let _ = apply_tx.send(ApplyCmd::Join(conn));
+                }
+                return;
             }
             WireMessage::Shutdown => {
                 stop.store(true, Ordering::SeqCst);
@@ -451,6 +577,131 @@ fn serve_shard_conn(
             | WireMessage::Abort { .. } => return,
         }
     }
+}
+
+/// Primary side of the rejoin protocol: stream the checkpoint in bounded
+/// chunks, announce the journal tail, replay it, and wait for the joiner
+/// to confirm parity. `Ok` means the connection sits at the primary's
+/// exact version and is safe to adopt as the write-ahead relay.
+fn stream_rejoin(
+    conn: &mut FrameConn,
+    checkpoint: &StoreCheckpoint,
+    tail: &[JournalEntry],
+    chunk_bytes: usize,
+) -> Result<(), NetError> {
+    let bytes = checkpoint.encode();
+    // An encoded checkpoint is never empty (magic + header), so there is
+    // always at least one chunk and every index stays below `total`.
+    let total = bytes.chunks(chunk_bytes).count() as u64;
+    for (index, data) in bytes.chunks(chunk_bytes).enumerate() {
+        conn.write(&WireMessage::Failover(FailoverControl::SnapshotChunk {
+            index: index as u64,
+            total,
+            data: data.to_vec(),
+        }))?;
+    }
+    let through = checkpoint.version() + tail.len() as u64;
+    conn.write(&WireMessage::Failover(FailoverControl::CatchUp {
+        entries: tail.len() as u64,
+        through,
+    }))?;
+    for entry in tail {
+        conn.write(&WireMessage::RelayPush {
+            seq: entry.seq,
+            worker: entry.worker,
+            lr: entry.lr,
+            payload: entry.payload.clone(),
+        })?;
+    }
+    let (reply, _) = conn.recv()?;
+    let WireMessage::Failover(FailoverControl::BackupReady { version, .. }) = reply else {
+        return Err(NetError::UnexpectedReply {
+            want: "BackupReady",
+        });
+    };
+    if version != through {
+        return Err(NetError::Unhandled {
+            what: "joining backup confirmed the wrong version",
+        });
+    }
+    Ok(())
+}
+
+/// Joiner side of the rejoin protocol, driven before the shard registers
+/// with the scheduler: announce intent, install the streamed checkpoint,
+/// replay the journal tail, and confirm parity. Returns the `(version,
+/// replayed)` pair confirmed to the primary.
+fn join_cluster(
+    conn: &mut FrameConn,
+    shard_id: u64,
+    local_addr: &str,
+    host: &Arc<Mutex<ShardHost>>,
+) -> Result<(u64, u64), NetError> {
+    conn.write(&WireMessage::Failover(FailoverControl::JoinAsBackup {
+        server: shard_id,
+        addr: local_addr.to_string(),
+    }))?;
+    let mut bytes = Vec::new();
+    let mut next = 0u64;
+    loop {
+        let (frame, _) = conn.recv()?;
+        let WireMessage::Failover(FailoverControl::SnapshotChunk { index, total, data }) = frame
+        else {
+            return Err(NetError::UnexpectedReply {
+                want: "SnapshotChunk",
+            });
+        };
+        if index != next {
+            return Err(NetError::Unhandled {
+                what: "snapshot chunk out of order",
+            });
+        }
+        bytes.extend_from_slice(&data);
+        next += 1;
+        if next == total {
+            break;
+        }
+    }
+    let checkpoint = StoreCheckpoint::decode(&bytes).map_err(|_| NetError::Unhandled {
+        what: "streamed checkpoint failed to decode",
+    })?;
+    let store = ParameterStore::restore(checkpoint).map_err(|_| NetError::Unhandled {
+        what: "streamed checkpoint failed to restore",
+    })?;
+    {
+        let mut locked = host.lock();
+        locked.install_store(ReplicatedStore::from_store(
+            store,
+            ReplicatedStore::DEFAULT_JOURNAL_CAPACITY,
+        ));
+    }
+    let (frame, _) = conn.recv()?;
+    let WireMessage::Failover(FailoverControl::CatchUp { entries, through }) = frame else {
+        return Err(NetError::UnexpectedReply { want: "CatchUp" });
+    };
+    for _ in 0..entries {
+        let (frame, _) = conn.recv()?;
+        if !matches!(frame, WireMessage::RelayPush { .. }) {
+            return Err(NetError::UnexpectedReply { want: "RelayPush" });
+        }
+        let mut locked = host.lock();
+        locked.handle(frame)?;
+    }
+    let version = {
+        let locked = host.lock();
+        locked.replica().version()
+    };
+    if version != through {
+        return Err(NetError::Unhandled {
+            what: "catch-up left the joiner short of parity",
+        });
+    }
+    conn.write(&WireMessage::Failover(FailoverControl::BackupReady {
+        server: shard_id,
+        version,
+        replayed: entries,
+    }))?;
+    Ok((version, entries))
 }
 
 // ------------------------------------------------------------ scheduler
@@ -647,7 +898,9 @@ struct Central<'a> {
     shards: BTreeMap<u64, (usize, bool, String)>,
     primary: Option<u64>,
     epoch: u64,
-    promotion_pending: bool,
+    /// The shard a `Promote` is in flight to, until its `Promoted` reply
+    /// lands (or its connection dies — either clears the latch).
+    promotion_pending: Option<u64>,
     timers: Vec<(VirtualTime, WorkerId)>,
     per_worker: Vec<u64>,
     epochs: u64,
@@ -709,7 +962,7 @@ impl Central<'_> {
     /// Starts warm-backup promotion (at most one in flight): tell the
     /// registered backup to take over.
     fn initiate_promotion(&mut self) {
-        if self.promotion_pending {
+        if self.promotion_pending.is_some() {
             return;
         }
         let backup = self
@@ -718,7 +971,7 @@ impl Central<'_> {
             .find(|(id, (_, is_backup, _))| *is_backup && Some(**id) != self.primary)
             .map(|(id, (conn, _, _))| (*id, *conn));
         if let Some((server, conn)) = backup {
-            self.promotion_pending = true;
+            self.promotion_pending = Some(server);
             self.write_to(
                 conn,
                 &WireMessage::Failover(FailoverControl::Promote { server }),
@@ -754,7 +1007,17 @@ impl Central<'_> {
                     );
                     self.shards.insert(server, (conn, backup, addr));
                     self.last_shard_beat.insert(server, now);
-                    if !backup {
+                    if backup {
+                        // A (re)joined warm backup is armed: the next
+                        // promotion can target it.
+                        self.sink.record(
+                            self.clock.elapsed(),
+                            &Event::BackupJoined {
+                                shard: server,
+                                epoch: self.epoch,
+                            },
+                        );
+                    } else {
                         self.primary = Some(server);
                     }
                 }
@@ -768,7 +1031,7 @@ impl Central<'_> {
                     }
                     self.primary = Some(server);
                     self.epoch += 1;
-                    self.promotion_pending = false;
+                    self.promotion_pending = None;
                     self.stats.promotions += 1;
                     self.sink.record(
                         self.clock.elapsed(),
@@ -792,12 +1055,32 @@ impl Central<'_> {
                         );
                     }
                 }
-                // Acks and verbs the scheduler sends, not receives.
+                FailoverControl::BackupReady {
+                    server,
+                    version,
+                    replayed,
+                } => {
+                    // The rejoin handshake itself ran shard-to-shard; this
+                    // is the joiner reporting where the catch-up landed.
+                    self.sink.record(
+                        self.clock.elapsed(),
+                        &Event::CatchUpComplete {
+                            shard: server,
+                            version,
+                            replayed,
+                        },
+                    );
+                }
+                // Acks, verbs the scheduler sends rather than receives,
+                // and the data-plane rejoin frames.
                 FailoverControl::Ack { .. }
                 | FailoverControl::Crash { .. }
                 | FailoverControl::Promote { .. }
                 | FailoverControl::Recover { .. }
-                | FailoverControl::Primary { .. } => {}
+                | FailoverControl::Primary { .. }
+                | FailoverControl::JoinAsBackup { .. }
+                | FailoverControl::SnapshotChunk { .. }
+                | FailoverControl::CatchUp { .. } => {}
             },
             WireMessage::Heartbeat { worker } => {
                 if from_shard {
@@ -850,6 +1133,7 @@ impl Central<'_> {
             // Data-plane and reply frames have no scheduler-side meaning;
             // tolerate them rather than dropping the connection.
             WireMessage::Push { .. }
+            | WireMessage::RelayPush { .. }
             | WireMessage::PullReply { .. }
             | WireMessage::PushAck { .. }
             | WireMessage::Abort { .. }
@@ -876,10 +1160,29 @@ impl Central<'_> {
             }
             Some(Peer::Shard { server, .. }) => {
                 self.last_shard_beat.remove(&server);
-                // A dying primary's socket closing is the fast detection
-                // path (kill -9 sends RST on the open connection).
+                let was_backup = self
+                    .shards
+                    .get(&server)
+                    .map(|(_, backup, _)| *backup)
+                    .unwrap_or(false);
                 if self.primary == Some(server) {
+                    // A dying primary's socket closing is the fast
+                    // detection path (kill -9 sends RST on the open
+                    // connection). Its registration is kept so workers can
+                    // still resolve *some* address until the successor's
+                    // `Promoted` flips the advertised primary.
                     self.initiate_promotion();
+                } else if self.promotion_pending == Some(server) {
+                    // The promotion target died between `Promote` and
+                    // `Promoted`: release the latch and retarget, or a
+                    // healthy backup could never be promoted again.
+                    self.shards.remove(&server);
+                    self.promotion_pending = None;
+                    self.initiate_promotion();
+                } else if was_backup {
+                    // A dead warm backup must not be a future promotion
+                    // target.
+                    self.shards.remove(&server);
                 }
             }
             None => {}
@@ -983,7 +1286,7 @@ fn central_loop(
         shards: BTreeMap::new(),
         primary: None,
         epoch: 0,
-        promotion_pending: false,
+        promotion_pending: None,
         timers: Vec::new(),
         per_worker: vec![0; m],
         epochs: 0,
@@ -1239,6 +1542,268 @@ mod tests {
             .unwrap();
         let stats = handle.join().unwrap();
         assert_eq!(stats.promotions, 1);
+        assert!(stats.completed);
+    }
+
+    #[test]
+    fn fresh_shard_rejoins_over_the_wire_and_relays_live_pushes() {
+        // A tiny chunk size forces the snapshot across several
+        // SnapshotChunk frames.
+        let store = ParameterStore::new(vec![0.0; 16], 2);
+        let host = ShardHost::new(ReplicatedStore::from_store(
+            store,
+            ReplicatedStore::DEFAULT_JOURNAL_CAPACITY,
+        ));
+        let pcfg = NetConfig::builder().join_chunk_bytes(16).try_build().unwrap();
+        let primary = ShardServer::bind(0, "127.0.0.1:0", host, pcfg).unwrap();
+        let primary_addr = primary.local_addr().to_string();
+        let primary_stop = primary.stop_handle();
+        let primary_counters = primary.counters_handle();
+        let primary_handle = std::thread::spawn(move || primary.run().unwrap());
+
+        let cfg = NetConfig::default();
+        let mut conn = connect(&primary_addr, &cfg);
+        let w = WorkerId::new(0);
+        for _ in 0..5 {
+            conn.exchange(&WireMessage::Push {
+                worker: w,
+                payload: PushPayload::Dense(vec![1.0; 16]),
+            })
+            .unwrap();
+        }
+
+        // A fresh process provisions itself from the live primary.
+        let store = ParameterStore::new(vec![0.0; 16], 2);
+        let host = ShardHost::new(ReplicatedStore::from_store(
+            store,
+            ReplicatedStore::DEFAULT_JOURNAL_CAPACITY,
+        ));
+        let joiner = ShardServer::bind(2, "127.0.0.1:0", host, NetConfig::default())
+            .unwrap()
+            .as_backup()
+            .join_via(&primary_addr);
+        let joiner_stop = joiner.stop_handle();
+        let joiner_handle = std::thread::spawn(move || joiner.run().unwrap());
+
+        // Wait for the primary to adopt the joiner as its relay: the
+        // journal tail (the 5 pushes above) is counted as relayed the
+        // moment the handshake completes.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while primary_counters.relayed.load(Ordering::Relaxed) < 5 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "rejoin handshake never completed"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // Post-join pushes travel as live write-ahead relays down the
+        // join connection before they are applied or acked, so each ack
+        // below implies the backup already holds the push.
+        for _ in 0..3 {
+            conn.exchange(&WireMessage::Push {
+                worker: w,
+                payload: PushPayload::Dense(vec![1.0; 16]),
+            })
+            .unwrap();
+        }
+        drop(conn);
+
+        primary_stop.store(true, Ordering::SeqCst);
+        joiner_stop.store(true, Ordering::SeqCst);
+        let pstats = primary_handle.join().unwrap();
+        let bstats = joiner_handle.join().unwrap();
+        assert_eq!(pstats.version, 8);
+        assert_eq!(
+            bstats.version, 8,
+            "the joiner must end at the primary's exact version"
+        );
+        assert!(!bstats.serving);
+    }
+
+    #[test]
+    fn promotion_retargets_when_the_chosen_backup_dies_mid_promotion() {
+        let sched = SchedulerServer::bind(
+            "127.0.0.1:0",
+            SchedulerConfig {
+                workers: 1,
+                stop_after_pushes: Some(1),
+                max_duration: Duration::from_secs(20),
+                net: NetConfig::builder()
+                    .heartbeat_interval(Duration::from_millis(10))
+                    .heartbeat_timeout(Duration::from_millis(100))
+                    .try_build()
+                    .unwrap(),
+                ..SchedulerConfig::default()
+            },
+        )
+        .unwrap();
+        let sched_addr = sched.local_addr().to_string();
+        let handle = std::thread::spawn(move || sched.run().unwrap());
+        let cfg = NetConfig::default();
+
+        let mut primary = connect(&sched_addr, &cfg);
+        primary
+            .write(&WireMessage::Failover(FailoverControl::Register {
+                server: 0,
+                backup: false,
+                addr: "127.0.0.1:7000".into(),
+            }))
+            .unwrap();
+        let mut first = connect(&sched_addr, &cfg);
+        first
+            .write(&WireMessage::Failover(FailoverControl::Register {
+                server: 1,
+                backup: true,
+                addr: "127.0.0.1:7001".into(),
+            }))
+            .unwrap();
+        let mut second = connect(&sched_addr, &cfg);
+        second
+            .write(&WireMessage::Failover(FailoverControl::Register {
+                server: 2,
+                backup: true,
+                addr: "127.0.0.1:7002".into(),
+            }))
+            .unwrap();
+        // Let all three registrations land before the crash.
+        std::thread::sleep(Duration::from_millis(50));
+
+        // The primary dies; the scheduler targets the first backup.
+        drop(primary);
+        let (promote, _) = first.recv().unwrap();
+        assert_eq!(
+            promote,
+            WireMessage::Failover(FailoverControl::Promote { server: 1 })
+        );
+
+        // The chosen backup dies *without* replying Promoted — exactly
+        // the window that used to leave the pending latch stuck forever.
+        drop(first);
+        let (promote, _) = second.recv().unwrap();
+        assert_eq!(
+            promote,
+            WireMessage::Failover(FailoverControl::Promote { server: 2 })
+        );
+        second
+            .write(&WireMessage::Failover(FailoverControl::Promoted {
+                server: 2,
+                version: 7,
+                replayed: 0,
+            }))
+            .unwrap();
+        drop(second);
+
+        let mut closer = connect(&sched_addr, &cfg);
+        closer
+            .write(&WireMessage::Notify {
+                worker: WorkerId::new(0),
+                pushes: 1,
+            })
+            .unwrap();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.promotions, 1);
+        assert!(stats.completed);
+    }
+
+    #[test]
+    fn rejoined_backup_is_armed_for_the_next_promotion() {
+        let sched = SchedulerServer::bind(
+            "127.0.0.1:0",
+            SchedulerConfig {
+                workers: 1,
+                stop_after_pushes: Some(1),
+                max_duration: Duration::from_secs(20),
+                net: NetConfig::builder()
+                    .heartbeat_interval(Duration::from_millis(10))
+                    .heartbeat_timeout(Duration::from_millis(100))
+                    .try_build()
+                    .unwrap(),
+                ..SchedulerConfig::default()
+            },
+        )
+        .unwrap();
+        let sched_addr = sched.local_addr().to_string();
+        let handle = std::thread::spawn(move || sched.run().unwrap());
+        let cfg = NetConfig::default();
+
+        let mut primary = connect(&sched_addr, &cfg);
+        primary
+            .write(&WireMessage::Failover(FailoverControl::Register {
+                server: 0,
+                backup: false,
+                addr: "127.0.0.1:7000".into(),
+            }))
+            .unwrap();
+        let mut first = connect(&sched_addr, &cfg);
+        first
+            .write(&WireMessage::Failover(FailoverControl::Register {
+                server: 1,
+                backup: true,
+                addr: "127.0.0.1:7001".into(),
+            }))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+
+        // First crash: the original backup takes over.
+        drop(primary);
+        let (promote, _) = first.recv().unwrap();
+        assert_eq!(
+            promote,
+            WireMessage::Failover(FailoverControl::Promote { server: 1 })
+        );
+        first
+            .write(&WireMessage::Failover(FailoverControl::Promoted {
+                server: 1,
+                version: 5,
+                replayed: 5,
+            }))
+            .unwrap();
+
+        // A re-provisioned shard registers as the new warm backup and
+        // reports its catch-up, re-arming the scheduler.
+        let mut rejoiner = connect(&sched_addr, &cfg);
+        rejoiner
+            .write(&WireMessage::Failover(FailoverControl::Register {
+                server: 2,
+                backup: true,
+                addr: "127.0.0.1:7002".into(),
+            }))
+            .unwrap();
+        rejoiner
+            .write(&WireMessage::Failover(FailoverControl::BackupReady {
+                server: 2,
+                version: 5,
+                replayed: 0,
+            }))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+
+        // Second crash: the *rejoined* backup is promoted.
+        drop(first);
+        let (promote, _) = rejoiner.recv().unwrap();
+        assert_eq!(
+            promote,
+            WireMessage::Failover(FailoverControl::Promote { server: 2 })
+        );
+        rejoiner
+            .write(&WireMessage::Failover(FailoverControl::Promoted {
+                server: 2,
+                version: 9,
+                replayed: 4,
+            }))
+            .unwrap();
+        drop(rejoiner);
+
+        let mut closer = connect(&sched_addr, &cfg);
+        closer
+            .write(&WireMessage::Notify {
+                worker: WorkerId::new(0),
+                pushes: 1,
+            })
+            .unwrap();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.promotions, 2);
         assert!(stats.completed);
     }
 

@@ -149,6 +149,11 @@ impl Transport for InProcTransport {
             (WireMessage::Failover(_), _) => Err(NetError::Unhandled {
                 what: "failover control has no in-process recipient",
             }),
+            // Replica-plane traffic: only a primary's relay thread sends
+            // these, never a worker transport.
+            (WireMessage::RelayPush { .. }, _) => Err(NetError::Unhandled {
+                what: "relay frame sent from a worker transport",
+            }),
             // Frames a worker receives but never sends.
             (WireMessage::PullReply { .. } | WireMessage::PushAck { .. }, _) => {
                 Err(NetError::Unhandled {
@@ -306,6 +311,15 @@ impl FrameConn {
     /// Unwraps the underlying stream (for split reader/writer setups).
     pub fn into_stream(self) -> ChaosStream {
         self.stream
+    }
+
+    /// Adjusts the read timeout (`None` blocks forever). An outbound
+    /// connection starts with `io_timeout` from the config; a connection
+    /// that transitions into a long-lived server role (the rejoin
+    /// connection becoming the relay receiver) must clear it or idle
+    /// periods would look like dead peers.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(dur)
     }
 
     /// Writes one frame, returning its encoded size.
@@ -878,6 +892,7 @@ impl Transport for TcpTransport {
                     WireMessage::PullReply { .. } | WireMessage::PushAck { .. } => Ok(Some(reply)),
                     WireMessage::Pull { .. }
                     | WireMessage::Push { .. }
+                    | WireMessage::RelayPush { .. }
                     | WireMessage::Notify { .. }
                     | WireMessage::Check { .. }
                     | WireMessage::Abort { .. }
@@ -915,6 +930,9 @@ impl Transport for TcpTransport {
             }
             (WireMessage::Failover(_), _) => Err(NetError::Unhandled {
                 what: "workers only send QueryPrimary on the failover plane",
+            }),
+            (WireMessage::RelayPush { .. }, _) => Err(NetError::Unhandled {
+                what: "relay frame sent from a worker transport",
             }),
             (WireMessage::PullReply { .. } | WireMessage::PushAck { .. }, _) => {
                 Err(NetError::Unhandled {

@@ -99,6 +99,24 @@ pub enum WireMessage {
     Failover(FailoverControl),
     /// Graceful shutdown of the receiving host loop.
     Shutdown,
+    /// Primary → backup: a write-ahead relayed push, tagged with the store
+    /// version it produces (`seq`) and the learning rate the primary will
+    /// apply it with. The tag makes the at-least-once relay idempotent — a
+    /// backup that already holds `seq` (it survived a primary crash, or
+    /// caught up through a rejoin tail) acks without re-applying, so no
+    /// push can land twice.
+    RelayPush {
+        /// Store version this push produces (`version + 1` at the
+        /// primary when the push was journalled).
+        seq: u64,
+        /// The originating worker (per-worker counters replay exactly).
+        worker: WorkerId,
+        /// Learning rate the primary applies — carried so both replicas
+        /// run bit-identical arithmetic regardless of local epoch state.
+        lr: f32,
+        /// The gradient.
+        payload: PushPayload,
+    },
 }
 
 impl WireMessage {
@@ -108,7 +126,9 @@ impl WireMessage {
     pub fn class(&self) -> MessageClass {
         match self {
             WireMessage::Pull { .. } | WireMessage::PullReply { .. } => MessageClass::PullParams,
-            WireMessage::Push { .. } | WireMessage::PushAck { .. } => MessageClass::PushGrad,
+            WireMessage::Push { .. }
+            | WireMessage::PushAck { .. }
+            | WireMessage::RelayPush { .. } => MessageClass::PushGrad,
             WireMessage::Notify { .. } => MessageClass::Notify,
             WireMessage::Abort { .. } => MessageClass::Resync,
             WireMessage::Check { .. }
@@ -127,9 +147,13 @@ impl WireMessage {
             | WireMessage::Check { worker }
             | WireMessage::Abort { worker }
             | WireMessage::Heartbeat { worker } => Some(*worker),
+            // `RelayPush` is replica-plane traffic: the worker field is
+            // replay bookkeeping, not a connection identity, so the
+            // scheduler must never bind a connection to it.
             WireMessage::PullReply { .. }
             | WireMessage::PushAck { .. }
             | WireMessage::Failover(_)
+            | WireMessage::RelayPush { .. }
             | WireMessage::Shutdown => None,
         }
     }
@@ -195,6 +219,53 @@ pub enum FailoverControl {
         addr: String,
         /// Promotion epoch (0 until the first failover).
         epoch: u64,
+    },
+    /// Fresh shard process → primary: provision me as the warm backup.
+    /// Opens the rejoin protocol: the primary answers with a chunked
+    /// [`SnapshotChunk`](Self::SnapshotChunk) stream, a
+    /// [`CatchUp`](Self::CatchUp) header, the journal tail as
+    /// [`RelayPush`](WireMessage::RelayPush) frames, and then keeps the
+    /// connection as its live write-ahead relay.
+    JoinAsBackup {
+        /// The joining shard's id.
+        server: u64,
+        /// The address the joiner serves workers on (registered with the
+        /// scheduler once parity is reached).
+        addr: String,
+    },
+    /// Primary → joiner: one bounded chunk of the
+    /// [`StoreCheckpoint`](specsync_ps::StoreCheckpoint) byte stream.
+    /// Chunk size is capped by `NetConfig::join_chunk_bytes`, so no frame
+    /// approaches `PAYLOAD_LIMIT` however large the store grows.
+    SnapshotChunk {
+        /// 0-based chunk index.
+        index: u64,
+        /// Total chunks in this snapshot.
+        total: u64,
+        /// The raw checkpoint bytes of this chunk.
+        data: Vec<u8>,
+    },
+    /// Primary → joiner: snapshot complete; `entries` journal-tail pushes
+    /// follow as `RelayPush` frames, carrying the store through version
+    /// `through`. Parity is defined as the joiner reaching exactly
+    /// `through`.
+    CatchUp {
+        /// Number of tail entries about to be replayed.
+        entries: u64,
+        /// Store version after the full tail is applied.
+        through: u64,
+    },
+    /// Joiner → primary: snapshot restored and tail applied; I serve at
+    /// `version` having replayed `replayed` tail pushes. The primary
+    /// verifies `version` against the promised parity point before wiring
+    /// the connection in as its live relay.
+    BackupReady {
+        /// The joined shard's id.
+        server: u64,
+        /// Store version the joiner reached.
+        version: u64,
+        /// Tail pushes the joiner applied.
+        replayed: u64,
     },
 }
 
@@ -311,6 +382,45 @@ mod tests {
                 WireMessage::Failover(FailoverControl::QueryPrimary),
                 MessageClass::Control,
             ),
+            (
+                WireMessage::Failover(FailoverControl::JoinAsBackup {
+                    server: 2,
+                    addr: "127.0.0.1:9".into(),
+                }),
+                MessageClass::Control,
+            ),
+            (
+                WireMessage::Failover(FailoverControl::SnapshotChunk {
+                    index: 0,
+                    total: 1,
+                    data: vec![1, 2, 3],
+                }),
+                MessageClass::Control,
+            ),
+            (
+                WireMessage::Failover(FailoverControl::CatchUp {
+                    entries: 4,
+                    through: 21,
+                }),
+                MessageClass::Control,
+            ),
+            (
+                WireMessage::Failover(FailoverControl::BackupReady {
+                    server: 2,
+                    version: 21,
+                    replayed: 4,
+                }),
+                MessageClass::Control,
+            ),
+            (
+                WireMessage::RelayPush {
+                    seq: 5,
+                    worker: w,
+                    lr: 0.1,
+                    payload: PushPayload::Dense(vec![1.0]),
+                },
+                MessageClass::PushGrad,
+            ),
             (WireMessage::Shutdown, MessageClass::Control),
         ];
         let sizes = MessageSizes::for_model(100);
@@ -329,6 +439,19 @@ mod tests {
             WireMessage::PushAck {
                 version: 0,
                 pushes_by_worker: 0
+            }
+            .worker(),
+            None
+        );
+        // A relayed push names its originating worker but must *not*
+        // expose it as a connection identity — the scheduler would bind
+        // the relay conn to that worker otherwise.
+        assert_eq!(
+            WireMessage::RelayPush {
+                seq: 1,
+                worker: w,
+                lr: 0.1,
+                payload: PushPayload::Dense(vec![0.0]),
             }
             .worker(),
             None

@@ -375,6 +375,31 @@ impl ReplicatedStore {
         Ok(())
     }
 
+    /// Captures everything a re-provisioning backup needs to reach parity:
+    /// a checkpoint of the warm backup at its applied watermark plus the
+    /// journal tail of pushes past that watermark, in order.
+    ///
+    /// The pair is consistent by construction — the checkpoint's version
+    /// is exactly the watermark, and replaying the returned entries on the
+    /// restored store reproduces the serving replica bit-for-bit (the same
+    /// exactly-once arithmetic [`sync_backup`](Self::sync_backup) runs).
+    /// Snapshotting the *backup* instead of the serving primary keeps the
+    /// journal intact, so the in-process warm backup loses nothing.
+    pub fn rejoin_snapshot(&mut self) -> (crate::checkpoint::StoreCheckpoint, Vec<JournalEntry>) {
+        let checkpoint = self.backup.snapshot_for_checkpoint();
+        debug_assert_eq!(
+            checkpoint.version(),
+            self.backup_applied,
+            "the backup checkpoint captures exactly the applied watermark"
+        );
+        let tail: Vec<JournalEntry> = self
+            .journal
+            .entries_after(self.backup_applied)
+            .cloned()
+            .collect();
+        (checkpoint, tail)
+    }
+
     // ----- read-side passthroughs to the serving replica -----
 
     /// Global version: total pushes applied.
@@ -530,6 +555,40 @@ mod tests {
         assert_eq!(rep.version(), shadow.version());
         assert_eq!(rep.params(), shadow.params());
         assert_eq!(rep.total_failovers(), 2);
+    }
+
+    #[test]
+    fn rejoin_snapshot_plus_tail_reproduces_the_primary() {
+        let base = ParameterStore::new(vec![0.0; 4], 2).with_momentum(0.9);
+        let mut shadow = base.clone();
+        let mut rep = ReplicatedStore::from_store(base, 64);
+        mixed_workload(&mut rep, &mut shadow, 9);
+        rep.sync_backup();
+        mixed_workload(&mut rep, &mut shadow, 8);
+
+        let (ckpt, tail) = rep.rejoin_snapshot();
+        assert_eq!(ckpt.version(), 9, "checkpoint sits at the watermark");
+        assert_eq!(tail.len(), 8, "tail covers exactly the unapplied suffix");
+
+        // A fresh node restores the checkpoint and replays the tail: the
+        // result must be bit-identical to the serving primary.
+        let mut joiner = ParameterStore::restore(ckpt).unwrap();
+        for entry in &tail {
+            let version = match &entry.payload {
+                PushPayload::Dense(grad) => joiner.apply_push(entry.worker, grad, entry.lr),
+                PushPayload::Sparse(grad) => {
+                    joiner.apply_push_sparse(entry.worker, grad, entry.lr)
+                }
+            };
+            assert_eq!(version, entry.seq);
+        }
+        assert_eq!(joiner.version(), rep.version());
+        assert_eq!(joiner.params(), rep.params());
+
+        // The capture is read-only: the in-process backup still promotes.
+        rep.crash_server(0).unwrap();
+        rep.promote(0).unwrap();
+        assert_eq!(rep.params(), shadow.params());
     }
 
     #[test]

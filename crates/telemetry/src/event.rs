@@ -362,6 +362,34 @@ pub enum Event {
         /// `true` on entry into degraded mode, `false` on recovery.
         entered: bool,
     },
+    /// A (re)provisioned shard registered as a warm backup: redundancy is
+    /// restored and the next failover can promote it (wall-clock hosts
+    /// only).
+    BackupJoined {
+        /// Id of the shard that joined as backup.
+        shard: u64,
+        /// The promotion epoch at join time.
+        epoch: u64,
+    },
+    /// A rejoining backup finished snapshot transfer plus journal-tail
+    /// replay and confirmed bit-level parity with the primary (wall-clock
+    /// hosts only).
+    CatchUpComplete {
+        /// Id of the caught-up shard.
+        shard: u64,
+        /// The store version parity was confirmed at.
+        version: u64,
+        /// Journal-tail pushes replayed after the snapshot.
+        replayed: u64,
+    },
+    /// A supervisor restarted a crashed role process (wall-clock hosts
+    /// only). The restart budget bounds how often this can fire per role.
+    ProcessRestarted {
+        /// Id of the restarted shard role (the fresh process's id).
+        shard: u64,
+        /// 1-based restart attempt for this role slot.
+        attempt: u32,
+    },
 }
 
 impl Event {
@@ -397,7 +425,10 @@ impl Event {
             | Event::CheckpointWritten { .. }
             | Event::SchedulerRecovered { .. }
             | Event::HistoryEvicted { .. }
-            | Event::SchedCost { .. } => None,
+            | Event::SchedCost { .. }
+            | Event::BackupJoined { .. }
+            | Event::CatchUpComplete { .. }
+            | Event::ProcessRestarted { .. } => None,
         }
     }
 
@@ -434,6 +465,9 @@ impl Event {
             Event::CircuitOpen { .. } => "circuit_open",
             Event::RetryExhausted { .. } => "retry_exhausted",
             Event::DegradedMode { .. } => "degraded_mode",
+            Event::BackupJoined { .. } => "backup_joined",
+            Event::CatchUpComplete { .. } => "catchup_complete",
+            Event::ProcessRestarted { .. } => "process_restarted",
         }
     }
 }

@@ -266,6 +266,22 @@ pub fn encode_line(micros: u64, event: &Event) -> String {
         Event::DegradedMode { worker, entered } => {
             let _ = write!(s, ",\"w\":{},\"entered\":{entered}", worker.index());
         }
+        Event::BackupJoined { shard, epoch } => {
+            let _ = write!(s, ",\"shard\":{shard},\"epoch\":{epoch}");
+        }
+        Event::CatchUpComplete {
+            shard,
+            version,
+            replayed,
+        } => {
+            let _ = write!(
+                s,
+                ",\"shard\":{shard},\"version\":{version},\"replayed\":{replayed}"
+            );
+        }
+        Event::ProcessRestarted { shard, attempt } => {
+            let _ = write!(s, ",\"shard\":{shard},\"attempt\":{attempt}");
+        }
     }
     s.push('}');
     s
@@ -498,6 +514,20 @@ pub fn parse_trace_line(line: &str) -> Result<TraceRecord, String> {
         "degraded_mode" => Event::DegradedMode {
             worker: parse_worker(&pairs)?,
             entered: parse_bool(&pairs, "entered")?,
+        },
+        "backup_joined" => Event::BackupJoined {
+            shard: parse_u64(&pairs, "shard")?,
+            epoch: parse_u64(&pairs, "epoch")?,
+        },
+        "catchup_complete" => Event::CatchUpComplete {
+            shard: parse_u64(&pairs, "shard")?,
+            version: parse_u64(&pairs, "version")?,
+            replayed: parse_u64(&pairs, "replayed")?,
+        },
+        "process_restarted" => Event::ProcessRestarted {
+            shard: parse_u64(&pairs, "shard")?,
+            attempt: u32::try_from(parse_u64(&pairs, "attempt")?)
+                .map_err(|_| "restart attempt out of range".to_string())?,
         },
         other => return Err(format!("unknown event tag `{other}`")),
     };
@@ -815,6 +845,16 @@ mod tests {
         round_trip(Event::DegradedMode {
             worker: w,
             entered: false,
+        });
+        round_trip(Event::BackupJoined { shard: 2, epoch: 1 });
+        round_trip(Event::CatchUpComplete {
+            shard: 2,
+            version: 512,
+            replayed: 9,
+        });
+        round_trip(Event::ProcessRestarted {
+            shard: 3,
+            attempt: 2,
         });
     }
 

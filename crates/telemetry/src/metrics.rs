@@ -329,8 +329,14 @@ impl<T: Timestamp> EventSink<T> for MetricsSink {
             | Event::StoreRecovered { .. }
             | Event::ShardFailover { .. }
             | Event::SchedulerRecovered { .. } => state.snapshot.degradations += 1,
-            // Checkpoints are routine, not degradations.
-            Event::CheckpointWritten { .. } => {}
+            // Checkpoints and completed rejoins are routine (redundancy
+            // restored), not degradations.
+            Event::CheckpointWritten { .. }
+            | Event::BackupJoined { .. }
+            | Event::CatchUpComplete { .. } => {}
+            // A supervisor restart is the self-healing response to a
+            // crash; count it with the degradation decisions.
+            Event::ProcessRestarted { .. } => state.snapshot.degradations += 1,
             Event::HistoryEvicted { pushes, pulls, .. } => {
                 state.snapshot.history_evicted += pushes + pulls;
                 state.snapshot.eviction_passes += 1;

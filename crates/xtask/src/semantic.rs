@@ -58,7 +58,7 @@ const DISPATCH_CONTRACTS: &[DispatchContract] = &[
 ];
 /// Enums that must have no dead (never-referenced) variants, with their
 /// crate-path hints.
-const NO_DEAD_VARIANTS: &[(&str, &str)] = &[("SpecSyncError", "core")];
+const NO_DEAD_VARIANTS: &[(&str, &str)] = &[("SpecSyncError", "core"), ("FailoverControl", "net")];
 
 /// Locates an enum by name, preferring a defining file whose label
 /// contains `hint` (fixtures have no crate paths, so any match is the
